@@ -1,0 +1,46 @@
+//! Criterion bench for experiment T1.1: sampler update throughput.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sa_sampling::{BiasedReservoir, ChainSampler, Reservoir, ReservoirAlgo};
+
+fn bench_samplers(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut g = c.benchmark_group("t01_sampling");
+    g.throughput(Throughput::Elements(n));
+    for algo in [ReservoirAlgo::R, ReservoirAlgo::L] {
+        g.bench_with_input(
+            BenchmarkId::new("reservoir", format!("{algo:?}")),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    let mut r = Reservoir::new(1_000, algo).unwrap();
+                    for i in 0..n {
+                        r.offer(i);
+                    }
+                    r.n()
+                })
+            },
+        );
+    }
+    g.bench_function("biased_reservoir", |b| {
+        b.iter(|| {
+            let mut r = BiasedReservoir::new(1_000).unwrap();
+            for i in 0..n {
+                r.offer(i);
+            }
+            r.n()
+        })
+    });
+    g.bench_function("chain_sampler_w10k", |b| {
+        b.iter(|| {
+            let mut s = ChainSampler::new(10, 10_000).unwrap();
+            for i in 0..n {
+                s.offer(i);
+            }
+            s.n()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

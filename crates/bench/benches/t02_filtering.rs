@@ -1,0 +1,38 @@
+//! Criterion bench for experiment T1.2: filter insert/query throughput.
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sa_sketches::membership::{BloomFilter, CuckooFilter};
+
+fn bench_filters(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut g = c.benchmark_group("t02_filtering");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("bloom_insert", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::with_fpp(n as usize, 0.01).unwrap();
+            for i in 0..n {
+                f.insert(&i);
+            }
+            f.items()
+        })
+    });
+    g.bench_function("cuckoo_insert", |b| {
+        b.iter(|| {
+            let mut f = CuckooFilter::with_capacity(n as usize);
+            for i in 0..n {
+                f.insert(&i);
+            }
+            f.len()
+        })
+    });
+    let mut bloom = BloomFilter::with_fpp(n as usize, 0.01).unwrap();
+    for i in 0..n {
+        bloom.insert(&i);
+    }
+    g.bench_function("bloom_query", |b| {
+        b.iter(|| (0..n).filter(|i| bloom.contains(i)).count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for experiment T1.4: cardinality estimator updates.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sa_core::traits::CardinalityEstimator;
+use sa_sketches::cardinality::{HyperLogLog, Kmv, LinearCounting, LogLog, Pcsa};
+
+fn bench_cardinality(c: &mut Criterion) {
+    let n = 100_000u64;
+    let hashes: Vec<u64> = (0..n).map(sa_core::hash::mix64).collect();
+    let mut g = c.benchmark_group("t04_cardinality");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("hyperloglog_p12", |b| {
+        b.iter(|| {
+            let mut h = HyperLogLog::new(12).unwrap();
+            for &x in &hashes {
+                h.insert_hash(x);
+            }
+            h.estimate()
+        })
+    });
+    g.bench_function("loglog_p12", |b| {
+        b.iter(|| {
+            let mut h = LogLog::new(12).unwrap();
+            for &x in &hashes {
+                h.insert_hash(x);
+            }
+            h.estimate()
+        })
+    });
+    g.bench_function("pcsa_1024", |b| {
+        b.iter(|| {
+            let mut h = Pcsa::new(1024).unwrap();
+            for &x in &hashes {
+                h.insert_hash(x);
+            }
+            h.estimate()
+        })
+    });
+    g.bench_function("linear_counting_1M", |b| {
+        b.iter(|| {
+            let mut h = LinearCounting::new(1 << 20).unwrap();
+            for &x in &hashes {
+                h.insert_hash(x);
+            }
+            h.estimate()
+        })
+    });
+    for k in [256usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("kmv", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut h = Kmv::new(k).unwrap();
+                for &x in &hashes {
+                    h.insert_hash(x);
+                }
+                h.estimate()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cardinality);
+criterion_main!(benches);

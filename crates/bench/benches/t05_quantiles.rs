@@ -1,0 +1,43 @@
+//! Criterion bench for experiment T1.5: quantile sketch inserts.
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sa_core::traits::QuantileSketch;
+use sa_sketches::quantiles::{CkmsSketch, FrugalMode, FrugalQuantile, GkSketch};
+
+fn bench_quantiles(c: &mut Criterion) {
+    let n = 50_000usize;
+    let mut rng = sa_core::rng::SplitMix64::new(1);
+    let values: Vec<f64> = (0..n).map(|_| rng.next_f64() * 1e6).collect();
+    let mut g = c.benchmark_group("t05_quantiles");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("gk_eps0.01", |b| {
+        b.iter(|| {
+            let mut q = GkSketch::new(0.01).unwrap();
+            for &v in &values {
+                q.insert(v);
+            }
+            q.query(0.5)
+        })
+    });
+    g.bench_function("ckms_targeted", |b| {
+        b.iter(|| {
+            let mut q = CkmsSketch::new(&[(0.5, 0.01), (0.99, 0.001)]).unwrap();
+            for &v in &values {
+                q.insert(v);
+            }
+            q.query(0.99)
+        })
+    });
+    g.bench_function("frugal2u", |b| {
+        b.iter(|| {
+            let mut q = FrugalQuantile::new(0.5, FrugalMode::TwoUnit).unwrap();
+            for &v in &values {
+                q.insert(v);
+            }
+            q.query(0.5)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantiles);
+criterion_main!(benches);

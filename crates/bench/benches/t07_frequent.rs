@@ -1,0 +1,52 @@
+//! Criterion bench for experiment T1.7: heavy-hitter updates (Zipf).
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sa_sketches::frequency::CountMinSketch;
+use sa_sketches::heavy_hitters::{LossyCounting, MisraGries, SpaceSaving};
+
+fn bench_frequent(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut gen = sa_core::generators::ZipfStream::new(100_000, 1.1, 3);
+    let items = gen.take_vec(n);
+    let mut g = c.benchmark_group("t07_frequent");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("misra_gries_k1000", |b| {
+        b.iter(|| {
+            let mut s = MisraGries::new(1_000).unwrap();
+            for &it in &items {
+                s.insert(it);
+            }
+            s.len()
+        })
+    });
+    g.bench_function("space_saving_k1000", |b| {
+        b.iter(|| {
+            let mut s = SpaceSaving::new(1_000).unwrap();
+            for &it in &items {
+                s.insert(it);
+            }
+            s.len()
+        })
+    });
+    g.bench_function("lossy_counting_eps1e-4", |b| {
+        b.iter(|| {
+            let mut s = LossyCounting::new(1e-4).unwrap();
+            for &it in &items {
+                s.insert(it);
+            }
+            s.len()
+        })
+    });
+    g.bench_function("cms_conservative", |b| {
+        b.iter(|| {
+            let mut s = CountMinSketch::new(4096, 4).unwrap().conservative();
+            for &it in &items {
+                s.add(&it, 1);
+            }
+            s.total()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_frequent);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for experiments T1.16/T1.17: windowed counters.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sa_windows::{Dgim, ExpHistogram, SignificantOneCounter, SlidingExtrema};
+
+fn bench_windows(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut rng = sa_core::rng::SplitMix64::new(2);
+    let bits: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.4)).collect();
+    let vals: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    let mut g = c.benchmark_group("t16_windows");
+    g.throughput(Throughput::Elements(n));
+    for r in [2usize, 11] {
+        g.bench_with_input(BenchmarkId::new("dgim_r", r), &r, |b, &r| {
+            b.iter(|| {
+                let mut d = Dgim::with_r(10_000, r).unwrap();
+                for &bit in &bits {
+                    d.push(bit);
+                }
+                d.estimate()
+            })
+        });
+    }
+    g.bench_function("significant_one", |b| {
+        b.iter(|| {
+            let mut s = SignificantOneCounter::new(10_000, 0.2, 0.05).unwrap();
+            for &bit in &bits {
+                s.push(bit);
+            }
+            s.estimate()
+        })
+    });
+    g.bench_function("exp_histogram_variance", |b| {
+        b.iter(|| {
+            let mut e = ExpHistogram::new(10_000, 0.05).unwrap();
+            for &v in &vals {
+                e.push(v);
+            }
+            e.variance()
+        })
+    });
+    g.bench_function("sliding_extrema", |b| {
+        b.iter(|| {
+            let mut e = SlidingExtrema::new(10_000).unwrap();
+            for &v in &vals {
+                e.push(v);
+            }
+            e.range()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_windows);
+criterion_main!(benches);

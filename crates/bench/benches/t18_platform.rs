@@ -1,0 +1,68 @@
+//! Criterion bench for experiment T2: topology throughput by
+//! semantics and executor model (small streams; the experiments binary
+//! runs the larger sweeps).
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sa_platform::topology::vec_spout;
+use sa_platform::tuple::tuple_of;
+use sa_platform::*;
+
+fn build(n: usize) -> TopologyBuilder {
+    let tuples: Vec<Tuple> = (0..n).map(|i| tuple_of([format!("w{}", i % 20)])).collect();
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("src", vec![vec_spout(tuples)]);
+    let bolts: Vec<Box<dyn Bolt>> = (0..2)
+        .map(|_| {
+            Box::new(|t: &Tuple, o: &mut OutputCollector| o.emit(t.clone()))
+                as Box<dyn Bolt>
+        })
+        .collect();
+    tb.set_bolt("echo", bolts).shuffle("src");
+    tb
+}
+
+fn bench_platform(c: &mut Criterion) {
+    let n = 10_000usize;
+    let mut g = c.benchmark_group("t18_platform");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("at_most_once", |b| {
+        b.iter(|| {
+            run_topology(
+                build(n),
+                ExecutorConfig { semantics: Semantics::AtMostOnce, ..Default::default() },
+            )
+            .unwrap()
+            .outputs
+            .len()
+        })
+    });
+    g.bench_function("at_least_once", |b| {
+        b.iter(|| {
+            run_topology(
+                build(n),
+                ExecutorConfig { semantics: Semantics::AtLeastOnce, ..Default::default() },
+            )
+            .unwrap()
+            .outputs
+            .len()
+        })
+    });
+    g.bench_function("multiplexed_at_least_once", |b| {
+        b.iter(|| {
+            run_topology(
+                build(n),
+                ExecutorConfig {
+                    model: ExecutorModel::Multiplexed { tasks_per_worker: 2 },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .outputs
+            .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_platform);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! # sa-bench
+//!
+//! Harness utilities for the `experiments` binary (regenerates every
+//! table/figure row of the paper; see DESIGN.md §4) and the Criterion
+//! micro-benchmarks.
+
+use std::time::Instant;
+
+/// Time a closure; returns (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Throughput in million items/sec.
+pub fn mps(items: usize, secs: f64) -> f64 {
+    items as f64 / secs / 1e6
+}
+
+/// A printed experiment section header.
+pub fn section(id: &str, title: &str) {
+    println!("\n== {id}: {title} ==");
+}
+
+/// One table row: label + columns.
+pub fn row(label: &str, cols: &[(&str, String)]) {
+    let cells: Vec<String> =
+        cols.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("  {label:<34} {}", cells.join("  "));
+}
+
+/// Format a float with sensible precision.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_and_formatting() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+        assert!(mps(2_000_000, 1.0) - 2.0 < 1e-9);
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.0), "1234");
+        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(0.01234), "0.0123");
+    }
+}

@@ -1,0 +1,192 @@
+//! Weighted k-means++ seeding and Lloyd iterations — the in-memory
+//! primitive the streaming schemes call on buffers of (weighted) points.
+
+use crate::{dist2, nearest};
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+
+/// k-means++ seeding over weighted points: the first center is drawn
+/// weight-proportionally, each next one proportional to
+/// `weight · D²(point)`.
+pub fn kmeanspp_seed(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    rng: &mut SplitMix64,
+) -> Result<Vec<Vec<f64>>> {
+    if points.is_empty() {
+        return Err(SaError::InsufficientData("no points to seed from".into()));
+    }
+    if points.len() != weights.len() {
+        return Err(SaError::invalid("weights", "length mismatch with points"));
+    }
+    if k == 0 {
+        return Err(SaError::invalid("k", "must be positive"));
+    }
+    let k = k.min(points.len());
+    let total_w: f64 = weights.iter().sum();
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    // First center: weight-proportional draw.
+    let mut target = rng.next_f64() * total_w;
+    let mut first = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            first = i;
+            break;
+        }
+    }
+    centers.push(points[first].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().zip(weights).map(|(d, w)| d * w).sum();
+        if total <= 0.0 {
+            // All remaining mass sits on existing centers: duplicate one.
+            centers.push(centers[0].clone());
+            continue;
+        }
+        let mut target = rng.next_f64() * total;
+        let mut chosen = points.len() - 1;
+        for (i, (&d, &w)) in d2.iter().zip(weights).enumerate() {
+            target -= d * w;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centers.push(points[chosen].clone());
+        let newc = centers.last().unwrap();
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(dist2(p, newc));
+        }
+    }
+    Ok(centers)
+}
+
+/// Weighted Lloyd iterations until movement < `tol` or `max_iter`.
+/// Returns `(centers, weighted SSE)`.
+pub fn lloyd(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    mut centers: Vec<Vec<f64>>,
+    max_iter: usize,
+    tol: f64,
+) -> (Vec<Vec<f64>>, f64) {
+    let dim = points.first().map_or(0, Vec::len);
+    let k = centers.len();
+    let mut sse = f64::INFINITY;
+    for _ in 0..max_iter {
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut wsum = vec![0.0; k];
+        let mut new_sse = 0.0;
+        for (p, &w) in points.iter().zip(weights) {
+            let (ci, d) = nearest(p, &centers);
+            new_sse += w * d;
+            wsum[ci] += w;
+            for (s, x) in sums[ci].iter_mut().zip(p) {
+                *s += w * x;
+            }
+        }
+        let mut moved: f64 = 0.0;
+        for ci in 0..k {
+            if wsum[ci] > 0.0 {
+                let newc: Vec<f64> =
+                    sums[ci].iter().map(|s| s / wsum[ci]).collect();
+                moved = moved.max(dist2(&newc, &centers[ci]));
+                centers[ci] = newc;
+            }
+        }
+        sse = new_sse;
+        if moved < tol * tol {
+            break;
+        }
+    }
+    (centers, sse)
+}
+
+/// k-means++ seed + Lloyd with 5 restarts, keeping the lowest-SSE run —
+/// the standard defence against local optima.
+pub fn weighted_kmeans(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    rng: &mut SplitMix64,
+) -> Result<Vec<Vec<f64>>> {
+    let mut best: Option<(Vec<Vec<f64>>, f64)> = None;
+    for _ in 0..5 {
+        let seed = kmeanspp_seed(points, weights, k, rng)?;
+        let (centers, sse) = lloyd(points, weights, seed, 50, 1e-9);
+        if best.as_ref().map_or(true, |(_, b)| sse < *b) {
+            best = Some((centers, sse));
+        }
+    }
+    Ok(best.expect("at least one restart ran").0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::GaussianMixtureGen;
+
+    #[test]
+    fn recovers_well_separated_mixture() {
+        let mut g = GaussianMixtureGen::new(4, 2, 100.0, 1.0, 7);
+        let pts: Vec<Vec<f64>> =
+            g.take_vec(2_000).into_iter().map(|p| p.coords).collect();
+        let w = vec![1.0; pts.len()];
+        let mut rng = SplitMix64::new(1);
+        let centers = weighted_kmeans(&pts, &w, 4, &mut rng).unwrap();
+        // Every true center has a found center within a few σ.
+        for truth in &g.centers {
+            let (_, d2) = crate::nearest(truth, &centers);
+            assert!(d2.sqrt() < 5.0, "missed center {truth:?} (d = {})", d2.sqrt());
+        }
+    }
+
+    #[test]
+    fn weights_pull_centers() {
+        // Two points; weight 99 vs 1 with k=1 → center near the heavy one.
+        let pts = vec![vec![0.0], vec![10.0]];
+        let w = vec![99.0, 1.0];
+        let mut rng = SplitMix64::new(2);
+        let centers = weighted_kmeans(&pts, &w, 1, &mut rng).unwrap();
+        assert!((centers[0][0] - 0.1).abs() < 1e-9, "center = {:?}", centers[0]);
+    }
+
+    #[test]
+    fn k_larger_than_points_clamps() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let w = vec![1.0, 1.0];
+        let mut rng = SplitMix64::new(3);
+        let centers = kmeanspp_seed(&pts, &w, 10, &mut rng).unwrap();
+        assert_eq!(centers.len(), 2);
+    }
+
+    #[test]
+    fn seeding_prefers_spread_points() {
+        // Points: tight cluster at 0 and one far point. With k=2 the far
+        // point must be a seed essentially always.
+        let mut pts: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 * 0.01]).collect();
+        pts.push(vec![1000.0]);
+        let w = vec![1.0; pts.len()];
+        let mut hits = 0;
+        for seed in 0..50 {
+            let mut rng = SplitMix64::new(seed);
+            let centers = kmeanspp_seed(&pts, &w, 2, &mut rng).unwrap();
+            if centers.iter().any(|c| c[0] == 1000.0) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 48, "far point seeded only {hits}/50 times");
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let mut rng = SplitMix64::new(4);
+        assert!(kmeanspp_seed(&[], &[], 2, &mut rng).is_err());
+        assert!(
+            kmeanspp_seed(&[vec![1.0]], &[1.0, 2.0], 1, &mut rng).is_err()
+        );
+        assert!(kmeanspp_seed(&[vec![1.0]], &[1.0], 0, &mut rng).is_err());
+    }
+}

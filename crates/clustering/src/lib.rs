@@ -1,0 +1,72 @@
+//! # sa-clustering
+//!
+//! Stream clustering — the Table-1 **Clustering** row ("cluster a data
+//! stream"; application: medical imaging) and Section 2's clustering
+//! synopsis ("choose k representative points minimizing the sum of
+//! errors").
+//!
+//! * [`kmeans`] — weighted k-means++ seeding and Lloyd iterations: the
+//!   in-memory primitive every streaming scheme reduces to.
+//! * [`OnlineKMeans`] — sequential (MacQueen-style) k-means with
+//!   per-centroid learning rates, the cheapest drift-tracking baseline.
+//! * [`StreamKMedian`] — the divide-and-conquer STREAM algorithm of
+//!   Guha–Mishra–Motwani–O'Callaghan (FOCS'00 \[98\]) and O'Callaghan
+//!   et al. (ICDE'02 \[132\]): cluster chunks to weighted centers,
+//!   recursively recluster the centers.
+//! * [`MicroClusters`] — CluStream-style cluster-feature vectors with
+//!   exponential decay (the Aggarwal \[34\] online phase): micro-clusters
+//!   absorb points, merge when close, fade when stale; an offline query
+//!   reclusters them to k macro-centers.
+
+pub mod kmeans;
+mod microclusters;
+mod online;
+mod stream_kmedian;
+
+pub use microclusters::MicroClusters;
+pub use online::OnlineKMeans;
+pub use stream_kmedian::StreamKMedian;
+
+/// Squared Euclidean distance.
+pub(crate) fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Index of the nearest center and its squared distance.
+pub(crate) fn nearest(point: &[f64], centers: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centers.iter().enumerate() {
+        let d = dist2(point, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// Sum of squared distances of points to their nearest centers (SSE) —
+/// the clustering quality metric used across tests and experiment t14.
+pub fn sse(points: &[Vec<f64>], centers: &[Vec<f64>]) -> f64 {
+    points.iter().map(|p| nearest(p, centers).1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist2_and_nearest() {
+        let a = vec![0.0, 0.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(dist2(&a, &b), 25.0);
+        let centers = vec![vec![0.0, 0.0], vec![10.0, 0.0]];
+        assert_eq!(nearest(&[1.0, 0.0], &centers).0, 0);
+        assert_eq!(nearest(&[9.0, 0.0], &centers).0, 1);
+    }
+
+    #[test]
+    fn sse_zero_on_exact_centers() {
+        let pts = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert_eq!(sse(&pts, &pts), 0.0);
+    }
+}

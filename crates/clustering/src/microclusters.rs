@@ -1,0 +1,347 @@
+//! CluStream-style micro-clusters (Aggarwal's stream-clustering survey
+//! line, the paper's \[34\]): the online phase maintains many small
+//! cluster-feature vectors; an offline phase reclusters them on demand.
+
+use crate::kmeans::weighted_kmeans;
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+
+/// A cluster feature vector: (N, LS, SS) with a last-update timestamp.
+#[derive(Clone, Debug)]
+pub struct MicroCluster {
+    /// Decayed point count.
+    pub n: f64,
+    /// Decayed linear sum per dimension.
+    pub ls: Vec<f64>,
+    /// Decayed squared sum per dimension.
+    pub ss: Vec<f64>,
+    /// Time of last absorption.
+    pub last_update: u64,
+}
+
+impl MicroCluster {
+    fn new(point: &[f64], t: u64) -> Self {
+        Self {
+            n: 1.0,
+            ls: point.to_vec(),
+            ss: point.iter().map(|x| x * x).collect(),
+            last_update: t,
+        }
+    }
+
+    /// Centroid.
+    pub fn center(&self) -> Vec<f64> {
+        self.ls.iter().map(|s| s / self.n).collect()
+    }
+
+    /// RMS radius (average per-dimension deviation).
+    pub fn radius(&self) -> f64 {
+        let mut var = 0.0;
+        for d in 0..self.ls.len() {
+            let mean = self.ls[d] / self.n;
+            var += (self.ss[d] / self.n - mean * mean).max(0.0);
+        }
+        (var / self.ls.len() as f64).sqrt()
+    }
+
+    fn decay(&mut self, now: u64, lambda: f64) {
+        let dt = now.saturating_sub(self.last_update) as f64;
+        if dt > 0.0 {
+            let f = (-lambda * dt).exp();
+            self.n *= f;
+            for v in &mut self.ls {
+                *v *= f;
+            }
+            for v in &mut self.ss {
+                *v *= f;
+            }
+            self.last_update = now;
+        }
+    }
+
+    fn absorb(&mut self, point: &[f64], t: u64, lambda: f64) {
+        self.decay(t, lambda);
+        self.n += 1.0;
+        for (s, &x) in self.ls.iter_mut().zip(point) {
+            *s += x;
+        }
+        for (s, &x) in self.ss.iter_mut().zip(point) {
+            *s += x * x;
+        }
+    }
+
+    fn merge(&mut self, other: &MicroCluster) {
+        self.n += other.n;
+        for (a, b) in self.ls.iter_mut().zip(&other.ls) {
+            *a += b;
+        }
+        for (a, b) in self.ss.iter_mut().zip(&other.ss) {
+            *a += b;
+        }
+        self.last_update = self.last_update.max(other.last_update);
+    }
+}
+
+/// The online micro-clustering phase.
+///
+/// A point joins its nearest micro-cluster when within
+/// `radius_factor ×` that cluster's radius; otherwise it founds a new
+/// one. At capacity, the two closest micro-clusters merge (or a faded
+/// one is dropped). `macro_clusters(k)` runs the offline phase.
+#[derive(Clone, Debug)]
+pub struct MicroClusters {
+    clusters: Vec<MicroCluster>,
+    max_clusters: usize,
+    radius_factor: f64,
+    /// Exponential decay rate per tick (0 = no fading).
+    lambda: f64,
+    now: u64,
+    rng: SplitMix64,
+    /// Bootstrap buffer: CluStream seeds its micro-clusters with an
+    /// offline k-means over the first points, because before any radius
+    /// statistics exist there is no sound absorb/spawn rule.
+    init_buffer: Vec<Vec<f64>>,
+}
+
+impl MicroClusters {
+    /// At most `max_clusters ≥ 4` micro-clusters; joining radius factor
+    /// (typically 2–3), decay `lambda ≥ 0` per tick.
+    pub fn new(max_clusters: usize, radius_factor: f64, lambda: f64) -> Result<Self> {
+        if max_clusters < 4 {
+            return Err(SaError::invalid("max_clusters", "must be at least 4"));
+        }
+        if radius_factor <= 0.0 {
+            return Err(SaError::invalid("radius_factor", "must be positive"));
+        }
+        if lambda < 0.0 {
+            return Err(SaError::invalid("lambda", "must be non-negative"));
+        }
+        Ok(Self {
+            clusters: Vec::with_capacity(max_clusters),
+            max_clusters,
+            radius_factor,
+            lambda,
+            now: 0,
+            rng: SplitMix64::new(0x71C),
+            init_buffer: Vec::new(),
+        })
+    }
+
+    /// Offline bootstrap: k-means the buffered points into
+    /// `max_clusters/2` seed micro-clusters.
+    fn bootstrap(&mut self) {
+        let pts = std::mem::take(&mut self.init_buffer);
+        let ws = vec![1.0; pts.len()];
+        let k = (self.max_clusters / 2).max(2).min(pts.len());
+        let centers =
+            weighted_kmeans(&pts, &ws, k, &mut self.rng).expect("non-empty");
+        let mut seeds: Vec<Option<MicroCluster>> = vec![None; centers.len()];
+        for p in &pts {
+            let (ci, _) = crate::nearest(p, &centers);
+            match &mut seeds[ci] {
+                None => seeds[ci] = Some(MicroCluster::new(p, self.now)),
+                Some(mc) => mc.absorb(p, self.now, 0.0),
+            }
+        }
+        self.clusters = seeds.into_iter().flatten().collect();
+    }
+
+    /// Feed one point.
+    pub fn push(&mut self, point: &[f64]) {
+        self.now += 1;
+        if self.clusters.is_empty() {
+            // Bootstrap phase: buffer until 5·max_clusters points, then
+            // seed micro-clusters offline (as CluStream does).
+            self.init_buffer.push(point.to_vec());
+            if self.init_buffer.len() >= 5 * self.max_clusters {
+                self.bootstrap();
+            }
+            return;
+        }
+        // Nearest micro-cluster by centroid distance.
+        let mut best = (0usize, f64::INFINITY);
+        for (i, mc) in self.clusters.iter().enumerate() {
+            let d2 = crate::dist2(point, &mc.center());
+            if d2 < best.1 {
+                best = (i, d2);
+            }
+        }
+        let (bi, bd2) = best;
+        let mc = &self.clusters[bi];
+        // Boundary: factor × radius. A singleton has no radius yet, so
+        // CluStream falls back to half its distance to the nearest other
+        // micro-cluster.
+        let boundary = if mc.n < 2.0 {
+            let c = mc.center();
+            let mut nn = f64::INFINITY;
+            for (j, other) in self.clusters.iter().enumerate() {
+                if j != bi {
+                    nn = nn.min(crate::dist2(&c, &other.center()));
+                }
+            }
+            if nn.is_finite() {
+                nn.sqrt() / 2.0
+            } else {
+                // Lone singleton: only absorb exact duplicates; anything
+                // else founds the second cluster.
+                0.0
+            }
+        } else {
+            (self.radius_factor * mc.radius()).max(1e-3)
+        };
+        if bd2.sqrt() <= boundary {
+            let lambda = self.lambda;
+            let now = self.now;
+            self.clusters[bi].absorb(point, now, lambda);
+        } else {
+            self.clusters.push(MicroCluster::new(point, self.now));
+            if self.clusters.len() > self.max_clusters {
+                self.compact();
+            }
+        }
+    }
+
+    /// Drop the most faded cluster or merge the two closest.
+    fn compact(&mut self) {
+        // Prefer dropping clusters faded to < 1 effective point.
+        for mc in &mut self.clusters {
+            mc.decay(self.now, self.lambda);
+        }
+        if let Some((i, _)) = self
+            .clusters
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.n.partial_cmp(&b.1.n).unwrap())
+        {
+            if self.clusters[i].n < 1.0 {
+                self.clusters.swap_remove(i);
+                return;
+            }
+        }
+        // Merge the closest pair — but only if they are genuinely close
+        // relative to their radii. Merging distant clusters would create
+        // a fat cluster whose boundary swallows whole regions (runaway
+        // absorption); in that case the least-relevant (lowest-weight)
+        // cluster is dropped instead, which is how CluStream sheds
+        // outlier singletons.
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..self.clusters.len() {
+            let ci = self.clusters[i].center();
+            for j in (i + 1)..self.clusters.len() {
+                let d = crate::dist2(&ci, &self.clusters[j].center());
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, d2) = best;
+        let scale = self.clusters[i].radius() + self.clusters[j].radius();
+        if d2.sqrt() <= 4.0 * scale {
+            let other = self.clusters.swap_remove(j);
+            self.clusters[i].merge(&other);
+        } else if let Some((w, _)) = self
+            .clusters
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.n.partial_cmp(&b.1.n).unwrap())
+        {
+            self.clusters.swap_remove(w);
+        }
+    }
+
+    /// Offline phase: recluster micro-cluster centroids (weighted by
+    /// effective counts) into `k` macro-centers.
+    pub fn macro_clusters(&mut self, k: usize) -> Result<Vec<Vec<f64>>> {
+        if self.clusters.is_empty() && !self.init_buffer.is_empty() {
+            // Still in the bootstrap phase: cluster the raw buffer.
+            let ws = vec![1.0; self.init_buffer.len()];
+            let pts = self.init_buffer.clone();
+            return weighted_kmeans(&pts, &ws, k, &mut self.rng);
+        }
+        if self.clusters.is_empty() {
+            return Err(SaError::InsufficientData("no clusters".into()));
+        }
+        // Bring every cluster's decay up to date so stale regimes carry
+        // their faded weight into the reclustering.
+        let (now, lambda) = (self.now, self.lambda);
+        for mc in &mut self.clusters {
+            mc.decay(now, lambda);
+        }
+        self.clusters.retain(|c| c.n > 1e-6);
+        let pts: Vec<Vec<f64>> = self.clusters.iter().map(MicroCluster::center).collect();
+        let ws: Vec<f64> = self.clusters.iter().map(|c| c.n).collect();
+        weighted_kmeans(&pts, &ws, k, &mut self.rng)
+    }
+
+    /// Live micro-clusters.
+    pub fn micro(&self) -> &[MicroCluster] {
+        &self.clusters
+    }
+
+    /// Ticks consumed.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::GaussianMixtureGen;
+
+    #[test]
+    fn macro_clusters_recover_mixture() {
+        let mut g = GaussianMixtureGen::new(4, 2, 80.0, 1.0, 34);
+        let truth = g.centers.clone();
+        let mut mc = MicroClusters::new(40, 3.0, 0.0).unwrap();
+        for p in g.take_vec(10_000) {
+            mc.push(&p.coords);
+        }
+        let centers = mc.macro_clusters(4).unwrap();
+        for t in &truth {
+            let (_, d2) = crate::nearest(t, &centers);
+            assert!(d2.sqrt() < 6.0, "missed {t:?} by {}", d2.sqrt());
+        }
+    }
+
+    #[test]
+    fn micro_cluster_count_bounded() {
+        let mut g = GaussianMixtureGen::new(8, 2, 100.0, 2.0, 32);
+        let mut mc = MicroClusters::new(30, 2.5, 0.0).unwrap();
+        for p in g.take_vec(20_000) {
+            mc.push(&p.coords);
+            assert!(mc.micro().len() <= 30);
+        }
+    }
+
+    #[test]
+    fn decay_forgets_old_regime() {
+        let mut mc = MicroClusters::new(20, 2.5, 0.01).unwrap();
+        // Old regime around (0,0), then new regime around (100,100).
+        for _ in 0..2_000 {
+            mc.push(&[0.0, 0.0]);
+        }
+        for _ in 0..2_000 {
+            mc.push(&[100.0, 100.0]);
+        }
+        let centers = mc.macro_clusters(1).unwrap();
+        let d = crate::dist2(&centers[0], &[100.0, 100.0]).sqrt();
+        assert!(d < 5.0, "macro center {:?} still near old regime", centers[0]);
+    }
+
+    #[test]
+    fn cluster_feature_statistics() {
+        let mut c = MicroCluster::new(&[1.0, 2.0], 1);
+        c.absorb(&[3.0, 4.0], 2, 0.0);
+        assert_eq!(c.n, 2.0);
+        assert_eq!(c.center(), vec![2.0, 3.0]);
+        assert!(c.radius() > 0.9 && c.radius() < 1.1, "r = {}", c.radius());
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(MicroClusters::new(2, 2.0, 0.0).is_err());
+        assert!(MicroClusters::new(10, 0.0, 0.0).is_err());
+        assert!(MicroClusters::new(10, 2.0, -0.1).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Sequential (online) k-means — MacQueen's update with per-centroid
+//! counts, plus an optional decay for drifting streams.
+
+use crate::nearest;
+use sa_core::{Result, SaError};
+
+/// One-point-at-a-time k-means.
+///
+/// Each arrival moves its nearest centroid by `η = 1/(count+1)` (or a
+/// fixed rate under decay) toward the point. O(k·d) per point, no
+/// buffer — the cheapest streaming clusterer and the baseline for t14.
+#[derive(Clone, Debug)]
+pub struct OnlineKMeans {
+    centers: Vec<Vec<f64>>,
+    counts: Vec<u64>,
+    k: usize,
+    dim: usize,
+    /// Fixed learning rate; `None` = MacQueen's 1/n schedule.
+    rate: Option<f64>,
+    seen: u64,
+}
+
+impl OnlineKMeans {
+    /// `k ≥ 1` clusters in `dim ≥ 1` dimensions.
+    pub fn new(k: usize, dim: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        if dim == 0 {
+            return Err(SaError::invalid("dim", "must be positive"));
+        }
+        Ok(Self {
+            centers: Vec::with_capacity(k),
+            counts: Vec::with_capacity(k),
+            k,
+            dim,
+            rate: None,
+            seen: 0,
+        })
+    }
+
+    /// Use a fixed learning rate (tracks drift; forgets the far past).
+    pub fn with_fixed_rate(mut self, rate: f64) -> Result<Self> {
+        if !(rate > 0.0 && rate < 1.0) {
+            return Err(SaError::invalid("rate", "must be in (0,1)"));
+        }
+        self.rate = Some(rate);
+        Ok(self)
+    }
+
+    /// Feed one point; returns the index of the cluster it joined.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != dim`.
+    pub fn push(&mut self, point: &[f64]) -> usize {
+        assert_eq!(point.len(), self.dim, "dimension mismatch");
+        self.seen += 1;
+        // The first k distinct points become the initial centroids.
+        if self.centers.len() < self.k {
+            self.centers.push(point.to_vec());
+            self.counts.push(1);
+            return self.centers.len() - 1;
+        }
+        let (ci, _) = nearest(point, &self.centers);
+        self.counts[ci] += 1;
+        let eta = self
+            .rate
+            .unwrap_or(1.0 / self.counts[ci] as f64);
+        for (c, &x) in self.centers[ci].iter_mut().zip(point) {
+            *c += eta * (x - *c);
+        }
+        ci
+    }
+
+    /// Current centroids.
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
+    /// Points assigned per centroid.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Points seen.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::GaussianMixtureGen;
+
+    #[test]
+    fn converges_on_separated_mixture() {
+        let mut g = GaussianMixtureGen::new(3, 2, 50.0, 1.0, 11);
+        let truth = g.centers.clone();
+        let mut km = OnlineKMeans::new(3, 2).unwrap();
+        for p in g.take_vec(10_000) {
+            km.push(&p.coords);
+        }
+        for t in &truth {
+            let (_, d2) = crate::nearest(t, km.centers());
+            assert!(d2.sqrt() < 8.0, "missed {t:?} by {}", d2.sqrt());
+        }
+    }
+
+    #[test]
+    fn fixed_rate_tracks_drift() {
+        let mut km = OnlineKMeans::new(1, 1)
+            .unwrap()
+            .with_fixed_rate(0.05)
+            .unwrap();
+        for _ in 0..2_000 {
+            km.push(&[0.0]);
+        }
+        for _ in 0..2_000 {
+            km.push(&[100.0]);
+        }
+        // A 1/n scheme would sit near 50; fixed rate follows the drift.
+        assert!(
+            (km.centers()[0][0] - 100.0).abs() < 1.0,
+            "center = {:?}",
+            km.centers()[0]
+        );
+    }
+
+    #[test]
+    fn macqueen_rate_averages_history() {
+        let mut km = OnlineKMeans::new(1, 1).unwrap();
+        for i in 0..1_000 {
+            km.push(&[if i % 2 == 0 { 0.0 } else { 10.0 }]);
+        }
+        assert!(
+            (km.centers()[0][0] - 5.0).abs() < 0.5,
+            "center = {:?}",
+            km.centers()[0]
+        );
+    }
+
+    #[test]
+    fn assignment_indices_returned() {
+        let mut km = OnlineKMeans::new(2, 1).unwrap();
+        let a = km.push(&[0.0]);
+        let b = km.push(&[100.0]);
+        assert_ne!(a, b);
+        let c = km.push(&[1.0]);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(OnlineKMeans::new(0, 2).is_err());
+        assert!(OnlineKMeans::new(2, 0).is_err());
+        assert!(OnlineKMeans::new(2, 2)
+            .unwrap()
+            .with_fixed_rate(1.0)
+            .is_err());
+    }
+}

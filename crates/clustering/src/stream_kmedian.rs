@@ -1,0 +1,198 @@
+//! STREAM k-median (Guha, Mishra, Motwani, O'Callaghan — FOCS 2000;
+//! O'Callaghan et al. — ICDE 2002).
+
+use crate::kmeans::weighted_kmeans;
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+
+/// The divide-and-conquer STREAM algorithm.
+///
+/// Points are buffered in chunks of size `m`; each full chunk is
+/// clustered to `k` *weighted* centers (weight = points absorbed), which
+/// are pushed to the next level. When a level accumulates `m/k` centers
+/// it is reclustered recursively. A final query clusters all live
+/// centers to k. Space is `O(m·log(n/m))`; the constant-factor
+/// approximation of the paper carries through each level.
+#[derive(Clone, Debug)]
+pub struct StreamKMedian {
+    k: usize,
+    chunk: usize,
+    buffer: Vec<Vec<f64>>,
+    /// levels[i] = weighted centers produced by level i.
+    levels: Vec<Vec<(Vec<f64>, f64)>>,
+    rng: SplitMix64,
+    n: u64,
+}
+
+impl StreamKMedian {
+    /// `k ≥ 1` clusters, chunk size `m ≥ 10·k`.
+    pub fn new(k: usize, chunk: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        if chunk < 10 * k {
+            return Err(SaError::invalid("chunk", "must be at least 10·k"));
+        }
+        Ok(Self {
+            k,
+            chunk,
+            buffer: Vec::with_capacity(chunk),
+            levels: Vec::new(),
+            rng: SplitMix64::new(0x57EA),
+            n: 0,
+        })
+    }
+
+    /// Feed one point.
+    pub fn push(&mut self, point: Vec<f64>) {
+        self.n += 1;
+        self.buffer.push(point);
+        if self.buffer.len() >= self.chunk {
+            let pts = std::mem::take(&mut self.buffer);
+            let weights = vec![1.0; pts.len()];
+            let centers = self.cluster_weighted(&pts, &weights);
+            self.add_to_level(0, centers);
+        }
+    }
+
+    fn cluster_weighted(
+        &mut self,
+        pts: &[Vec<f64>],
+        weights: &[f64],
+    ) -> Vec<(Vec<f64>, f64)> {
+        let centers =
+            weighted_kmeans(pts, weights, self.k, &mut self.rng).unwrap();
+        // Weight of each center = total weight assigned to it.
+        let mut wsum = vec![0.0; centers.len()];
+        for (p, &w) in pts.iter().zip(weights) {
+            let (ci, _) = crate::nearest(p, &centers);
+            wsum[ci] += w;
+        }
+        centers
+            .into_iter()
+            .zip(wsum)
+            .filter(|(_, w)| *w > 0.0)
+            .collect()
+    }
+
+    fn add_to_level(&mut self, level: usize, centers: Vec<(Vec<f64>, f64)>) {
+        if self.levels.len() <= level {
+            self.levels.push(Vec::new());
+        }
+        self.levels[level].extend(centers);
+        // Recluster a level once it holds as many centers as a chunk.
+        if self.levels[level].len() >= self.chunk {
+            let batch = std::mem::take(&mut self.levels[level]);
+            let (pts, ws): (Vec<Vec<f64>>, Vec<f64>) = batch.into_iter().unzip();
+            let up = self.cluster_weighted(&pts, &ws);
+            self.add_to_level(level + 1, up);
+        }
+    }
+
+    /// Final clustering of everything seen so far into k centers.
+    pub fn centers(&mut self) -> Result<Vec<Vec<f64>>> {
+        let mut pts: Vec<Vec<f64>> = Vec::new();
+        let mut ws: Vec<f64> = Vec::new();
+        for level in &self.levels {
+            for (c, w) in level {
+                pts.push(c.clone());
+                ws.push(*w);
+            }
+        }
+        for p in &self.buffer {
+            pts.push(p.clone());
+            ws.push(1.0);
+        }
+        if pts.is_empty() {
+            return Err(SaError::InsufficientData("no points seen".into()));
+        }
+        weighted_kmeans(&pts, &ws, self.k, &mut self.rng)
+    }
+
+    /// Points seen.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Retained weighted centers + buffered points (space diagnostic).
+    pub fn retained(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum::<usize>() + self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sse;
+    use sa_core::generators::GaussianMixtureGen;
+
+    #[test]
+    fn recovers_mixture_centers() {
+        let mut g = GaussianMixtureGen::new(5, 3, 100.0, 1.5, 21);
+        let truth = g.centers.clone();
+        let mut skm = StreamKMedian::new(5, 200).unwrap();
+        for p in g.take_vec(20_000) {
+            skm.push(p.coords);
+        }
+        let centers = skm.centers().unwrap();
+        assert_eq!(centers.len(), 5);
+        for t in &truth {
+            let (_, d2) = crate::nearest(t, &centers);
+            assert!(d2.sqrt() < 6.0, "missed {t:?} by {}", d2.sqrt());
+        }
+    }
+
+    #[test]
+    fn sse_close_to_batch_kmeans() {
+        let mut g = GaussianMixtureGen::new(4, 2, 60.0, 2.0, 22);
+        let pts: Vec<Vec<f64>> =
+            g.take_vec(8_000).into_iter().map(|p| p.coords).collect();
+        let mut skm = StreamKMedian::new(4, 160).unwrap();
+        for p in &pts {
+            skm.push(p.clone());
+        }
+        let stream_centers = skm.centers().unwrap();
+        let w = vec![1.0; pts.len()];
+        let mut rng = SplitMix64::new(9);
+        let batch_centers = weighted_kmeans(&pts, &w, 4, &mut rng).unwrap();
+        let stream_sse = sse(&pts, &stream_centers);
+        let batch_sse = sse(&pts, &batch_centers);
+        assert!(
+            stream_sse < batch_sse * 2.0,
+            "stream SSE {stream_sse} vs batch {batch_sse}"
+        );
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut g = GaussianMixtureGen::new(3, 2, 50.0, 1.0, 23);
+        let mut skm = StreamKMedian::new(3, 100).unwrap();
+        for p in g.take_vec(50_000) {
+            skm.push(p.coords);
+        }
+        assert!(skm.retained() < 1_000, "retained {}", skm.retained());
+        assert_eq!(skm.n(), 50_000);
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let mut skm = StreamKMedian::new(2, 20).unwrap();
+        assert!(skm.centers().is_err());
+    }
+
+    #[test]
+    fn partial_buffer_still_clusters() {
+        let mut skm = StreamKMedian::new(2, 50).unwrap();
+        for i in 0..10 {
+            skm.push(vec![i as f64]);
+        }
+        let centers = skm.centers().unwrap();
+        assert_eq!(centers.len(), 2);
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(StreamKMedian::new(0, 100).is_err());
+        assert!(StreamKMedian::new(5, 20).is_err());
+    }
+}

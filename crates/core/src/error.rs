@@ -1,0 +1,73 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Errors raised by constructors and merge operations across the workspace.
+///
+/// Streaming updates themselves are designed to be infallible (a sketch
+/// never errors on `insert`); fallibility is confined to configuration and
+/// to merging structurally incompatible summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SaError {
+    /// A constructor parameter was out of its documented domain.
+    InvalidParameter {
+        /// Parameter name as it appears in the constructor signature.
+        name: &'static str,
+        /// Human-readable constraint violation.
+        reason: String,
+    },
+    /// Two summaries could not be merged (different widths, seeds, …).
+    IncompatibleMerge(String),
+    /// The requested operation needs data the summary no longer holds.
+    InsufficientData(String),
+    /// A platform-level failure (topology validation, channel teardown…).
+    Platform(String),
+}
+
+impl SaError {
+    /// Shorthand for an invalid-parameter error.
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        SaError::InvalidParameter { name, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for SaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SaError::IncompatibleMerge(msg) => {
+                write!(f, "incompatible merge: {msg}")
+            }
+            SaError::InsufficientData(msg) => {
+                write!(f, "insufficient data: {msg}")
+            }
+            SaError::Platform(msg) => write!(f, "platform error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SaError {}
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, SaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SaError::invalid("epsilon", "must be in (0,1)");
+        assert_eq!(e.to_string(), "invalid parameter `epsilon`: must be in (0,1)");
+        let e = SaError::IncompatibleMerge("width 16 vs 32".into());
+        assert!(e.to_string().contains("width 16 vs 32"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SaError::Platform("x".into()));
+    }
+}

@@ -1,0 +1,520 @@
+//! Synthetic workload generators.
+//!
+//! The paper's experiments run on production streams (tweets, IoT sensors,
+//! click-streams) we do not have. Per the reproduction's substitution rule
+//! (DESIGN.md §2), each generator here reproduces the *distributional
+//! property* an algorithm family is sensitive to:
+//!
+//! * [`ZipfStream`] — skewed token streams ("trending hashtags"): heavy
+//!   hitters, frequency sketches and moments care only about skew.
+//! * [`SensorSeries`] — seasonal signal + noise with injected anomalies
+//!   and dropouts: anomaly detection and prediction workloads.
+//! * [`EventStream`] — timestamped events with bounded out-of-orderness:
+//!   window/platform workloads ("stream imperfections" in §3).
+//! * [`GaussianMixtureGen`] — drifting mixtures for stream clustering.
+//! * [`EdgeStreamGen`] — random/preferential-attachment edge streams for
+//!   the graph-analysis rows.
+//! * [`permutation_with_displacement`] — near-sorted data for the
+//!   inversion-counting ("sortedness") row.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, Zipf};
+
+/// Zipf-distributed stream of `u64` item ids from a vocabulary of size
+/// `vocab`, exponent `s` (s=0 would be uniform; s≈1 matches word/hashtag
+/// frequencies).
+pub struct ZipfStream {
+    rng: StdRng,
+    dist: Zipf<f64>,
+}
+
+impl ZipfStream {
+    /// Create a generator. `vocab ≥ 1`, `s > 0`.
+    pub fn new(vocab: u64, s: f64, seed: u64) -> Self {
+        let dist = Zipf::new(vocab, s).expect("valid Zipf parameters");
+        Self { rng: StdRng::seed_from_u64(seed), dist }
+    }
+
+    /// Next item id in `[0, vocab)` (rank 0 is the most frequent item).
+    pub fn next_id(&mut self) -> u64 {
+        self.dist.sample(&mut self.rng) as u64 - 1
+    }
+
+    /// Materialize `n` ids.
+    pub fn take_vec(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_id()).collect()
+    }
+
+    /// Materialize `n` ids rendered as hashtag strings (`"#tag42"`).
+    pub fn take_hashtags(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| format!("#tag{}", self.next_id())).collect()
+    }
+}
+
+/// A single generated sensor reading.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SensorPoint {
+    /// Value after noise/anomaly/dropout effects.
+    pub value: f64,
+    /// Whether this index was injected as an anomaly (ground truth).
+    pub is_anomaly: bool,
+    /// Whether the reading was dropped (for prediction experiments the
+    /// consumer sees `None` here and must impute).
+    pub dropped: bool,
+    /// Clean signal value before noise (for prediction RMSE).
+    pub clean: f64,
+}
+
+/// Seasonal sensor series: `level + amplitude·sin(2πt/period) + drift·t +
+/// N(0,σ²)`, with spike anomalies and Bernoulli dropouts injected at known
+/// positions.
+pub struct SensorSeries {
+    rng: StdRng,
+    noise: Normal<f64>,
+    /// Base level.
+    pub level: f64,
+    /// Seasonal amplitude.
+    pub amplitude: f64,
+    /// Season length in samples.
+    pub period: f64,
+    /// Linear trend per sample.
+    pub drift: f64,
+    /// Probability a sample is replaced by a spike anomaly.
+    pub anomaly_prob: f64,
+    /// Spike magnitude in multiples of σ.
+    pub anomaly_sigmas: f64,
+    /// Probability a sample is dropped.
+    pub dropout_prob: f64,
+    t: u64,
+}
+
+impl SensorSeries {
+    /// A generator with sensible defaults (σ=1, period 64, no trend).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            noise: Normal::new(0.0, 1.0).unwrap(),
+            level: 10.0,
+            amplitude: 3.0,
+            period: 64.0,
+            drift: 0.0,
+            anomaly_prob: 0.0,
+            anomaly_sigmas: 8.0,
+            dropout_prob: 0.0,
+            t: 0,
+        }
+    }
+
+    /// Set the noise standard deviation.
+    pub fn with_noise(mut self, sigma: f64) -> Self {
+        self.noise = Normal::new(0.0, sigma).unwrap();
+        self
+    }
+
+    /// Set the seasonal amplitude (0 disables seasonality).
+    pub fn with_amplitude(mut self, amplitude: f64) -> Self {
+        self.amplitude = amplitude;
+        self
+    }
+
+    /// Set anomaly injection probability.
+    pub fn with_anomalies(mut self, prob: f64, sigmas: f64) -> Self {
+        self.anomaly_prob = prob;
+        self.anomaly_sigmas = sigmas;
+        self
+    }
+
+    /// Set dropout probability.
+    pub fn with_dropout(mut self, prob: f64) -> Self {
+        self.dropout_prob = prob;
+        self
+    }
+
+    /// Set linear drift per sample.
+    pub fn with_drift(mut self, drift: f64) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Generate the next reading.
+    pub fn next_point(&mut self) -> SensorPoint {
+        let t = self.t as f64;
+        self.t += 1;
+        let clean = self.level
+            + self.amplitude * (2.0 * std::f64::consts::PI * t / self.period).sin()
+            + self.drift * t;
+        let sigma = self.noise.std_dev();
+        let mut value = clean + self.noise.sample(&mut self.rng);
+        let is_anomaly = self.rng.gen_bool(self.anomaly_prob);
+        if is_anomaly {
+            let sign = if self.rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            value = clean + sign * self.anomaly_sigmas * sigma.max(1e-9);
+        }
+        let dropped = self.rng.gen_bool(self.dropout_prob);
+        SensorPoint { value, is_anomaly, dropped, clean }
+    }
+
+    /// Materialize `n` readings.
+    pub fn take_vec(&mut self, n: usize) -> Vec<SensorPoint> {
+        (0..n).map(|_| self.next_point()).collect()
+    }
+}
+
+/// One timestamped keyed event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Logical event time (what windowing should use).
+    pub event_time: u64,
+    /// Arrival position (already reflected by stream order).
+    pub key: String,
+    /// Payload value.
+    pub value: i64,
+}
+
+/// Generator of keyed events whose *arrival order* differs from event time
+/// by at most `max_disorder` ticks — the "missing and out-of-order data"
+/// imperfection §3 requires platforms to tolerate.
+pub struct EventStream {
+    rng: StdRng,
+    zipf: Zipf<f64>,
+    clock: u64,
+    /// Maximum event-time disorder.
+    pub max_disorder: u64,
+    /// Probability an event is dropped entirely (missing data).
+    pub drop_prob: f64,
+}
+
+impl EventStream {
+    /// `keys` distinct keys with Zipf(1.1) popularity, given disorder bound.
+    pub fn new(keys: u64, max_disorder: u64, seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            zipf: Zipf::new(keys, 1.1).unwrap(),
+            clock: max_disorder,
+            max_disorder,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Set the probability of dropping events.
+    pub fn with_drops(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Generate the next event, or `None` if this slot was dropped.
+    pub fn next_event(&mut self) -> Option<Event> {
+        self.clock += 1;
+        if self.rng.gen_bool(self.drop_prob) {
+            return None;
+        }
+        let disorder = if self.max_disorder == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=self.max_disorder)
+        };
+        let key_id = self.zipf.sample(&mut self.rng) as u64 - 1;
+        Some(Event {
+            event_time: self.clock - disorder,
+            key: format!("k{key_id}"),
+            value: self.rng.gen_range(1..100),
+        })
+    }
+
+    /// Materialize `n` slots (dropped slots omitted).
+    pub fn take_vec(&mut self, n: usize) -> Vec<Event> {
+        (0..n).filter_map(|_| self.next_event()).collect()
+    }
+}
+
+/// Labeled point from a Gaussian mixture.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabeledPoint {
+    /// Coordinates.
+    pub coords: Vec<f64>,
+    /// Index of the generating component (ground truth for clustering).
+    pub label: usize,
+}
+
+/// Drifting Gaussian mixture in `dim` dimensions for stream clustering.
+pub struct GaussianMixtureGen {
+    rng: StdRng,
+    noise: Normal<f64>,
+    /// Component centers (drift moves them).
+    pub centers: Vec<Vec<f64>>,
+    /// Per-sample drift applied to every center coordinate.
+    pub drift: f64,
+}
+
+impl GaussianMixtureGen {
+    /// `k` random centers in `[-range, range]^dim` with noise σ.
+    pub fn new(k: usize, dim: usize, range: f64, sigma: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = (0..k)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-range..range)).collect())
+            .collect();
+        Self { rng, noise: Normal::new(0.0, sigma).unwrap(), centers, drift: 0.0 }
+    }
+
+    /// Enable per-sample center drift.
+    pub fn with_drift(mut self, drift: f64) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Sample one labeled point.
+    pub fn next_point(&mut self) -> LabeledPoint {
+        let label = self.rng.gen_range(0..self.centers.len());
+        if self.drift != 0.0 {
+            for c in &mut self.centers {
+                for x in c.iter_mut() {
+                    *x += self.drift;
+                }
+            }
+        }
+        let coords = self.centers[label]
+            .iter()
+            .map(|&c| c + self.noise.sample(&mut self.rng))
+            .collect();
+        LabeledPoint { coords, label }
+    }
+
+    /// Materialize `n` points.
+    pub fn take_vec(&mut self, n: usize) -> Vec<LabeledPoint> {
+        (0..n).map(|_| self.next_point()).collect()
+    }
+}
+
+/// Random edge streams for the graph rows (Table 1 "Graph analysis" and
+/// "Path analysis").
+pub struct EdgeStreamGen {
+    rng: StdRng,
+    /// Number of vertices.
+    pub n: usize,
+}
+
+impl EdgeStreamGen {
+    /// Generator over `n` vertices.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), n }
+    }
+
+    /// `m` uniform random edges (Erdős–Rényi G(n,m) with replacement;
+    /// self-loops excluded).
+    pub fn uniform_edges(&mut self, m: usize) -> Vec<(u32, u32)> {
+        let mut edges = Vec::with_capacity(m);
+        while edges.len() < m {
+            let u = self.rng.gen_range(0..self.n) as u32;
+            let v = self.rng.gen_range(0..self.n) as u32;
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        edges
+    }
+
+    /// Preferential-attachment stream: each new vertex attaches `k` edges
+    /// to endpoints sampled proportionally to degree (web-graph-like,
+    /// heavy-tailed degrees).
+    pub fn preferential_attachment(&mut self, k: usize) -> Vec<(u32, u32)> {
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        // Endpoint multiset: sampling uniformly from it is degree-biased.
+        let mut endpoints: Vec<u32> = vec![0, 1];
+        edges.push((0, 1));
+        for v in 2..self.n as u32 {
+            for _ in 0..k {
+                let t = endpoints[self.rng.gen_range(0..endpoints.len())];
+                if t != v {
+                    edges.push((v, t));
+                    endpoints.push(v);
+                    endpoints.push(t);
+                }
+            }
+        }
+        edges
+    }
+
+    /// A clique of `size` vertices embedded among `extra` random edges —
+    /// triangle-rich planted structure for triangle-counting accuracy.
+    pub fn planted_clique(&mut self, size: usize, extra: usize) -> Vec<(u32, u32)> {
+        let mut edges = Vec::new();
+        for i in 0..size as u32 {
+            for j in (i + 1)..size as u32 {
+                edges.push((i, j));
+            }
+        }
+        edges.extend(self.uniform_edges(extra));
+        let mut rng = StdRng::seed_from_u64(self.rng.gen());
+        use rand::seq::SliceRandom;
+        edges.shuffle(&mut rng);
+        edges
+    }
+}
+
+/// A permutation of `0..n` where each element is displaced at most `d`
+/// positions from sorted order — "almost sorted" input whose inversion
+/// count grows with `d` (Table 1 "Counting inversions": sortedness).
+pub fn permutation_with_displacement(n: usize, d: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<u64> = (0..n as u64).collect();
+    if d == 0 {
+        return v;
+    }
+    // Local shuffles of windows of size d+1 bound displacement by d.
+    let mut i = 0;
+    while i < n {
+        let end = (i + d + 1).min(n);
+        for j in (i + 1..end).rev() {
+            let k = rng.gen_range(i..=j);
+            v.swap(j, k);
+        }
+        i = end;
+    }
+    v
+}
+
+/// An AR(1) series `x_t = φ·x_{t-1} + ε_t` for prediction experiments.
+pub fn ar1_series(n: usize, phi: f64, sigma: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise = Normal::new(0.0, sigma).unwrap();
+    let mut v = Vec::with_capacity(n);
+    let mut x = 0.0;
+    for _ in 0..n {
+        x = phi * x + noise.sample(&mut rng);
+        v.push(x);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{exact_counts, exact_distinct};
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut g = ZipfStream::new(1000, 1.1, 7);
+        let ids = g.take_vec(50_000);
+        assert!(ids.iter().all(|&i| i < 1000));
+        let counts = exact_counts(&ids);
+        let top = counts.values().max().copied().unwrap();
+        // Rank-1 item under Zipf(1.1) dominates: far above uniform share.
+        assert!(top as f64 > 5.0 * (50_000.0 / 1000.0));
+    }
+
+    #[test]
+    fn zipf_hashtags_format() {
+        let mut g = ZipfStream::new(10, 1.0, 1);
+        let tags = g.take_hashtags(5);
+        assert!(tags.iter().all(|t| t.starts_with("#tag")));
+    }
+
+    #[test]
+    fn sensor_series_injects_anomalies() {
+        let mut g = SensorSeries::new(3).with_noise(0.5).with_anomalies(0.02, 10.0);
+        let pts = g.take_vec(5000);
+        let n_anom = pts.iter().filter(|p| p.is_anomaly).count();
+        assert!(n_anom > 50 && n_anom < 200, "n_anom = {n_anom}");
+        // Injected anomalies are far from the clean signal.
+        for p in pts.iter().filter(|p| p.is_anomaly) {
+            assert!((p.value - p.clean).abs() > 3.0);
+        }
+    }
+
+    #[test]
+    fn sensor_series_dropout_rate() {
+        let mut g = SensorSeries::new(4).with_dropout(0.1);
+        let pts = g.take_vec(10_000);
+        let dropped = pts.iter().filter(|p| p.dropped).count();
+        assert!((800..1200).contains(&dropped), "dropped = {dropped}");
+    }
+
+    #[test]
+    fn event_stream_disorder_bounded() {
+        let mut g = EventStream::new(50, 16, 5);
+        let evs = g.take_vec(10_000);
+        // Arrival index i corresponds to clock = max_disorder + 1 + i.
+        for (i, e) in evs.iter().enumerate() {
+            let clock = 16 + 1 + i as u64;
+            assert!(e.event_time <= clock && e.event_time + 16 >= clock);
+        }
+    }
+
+    #[test]
+    fn event_stream_drops() {
+        let mut g = EventStream::new(10, 0, 6).with_drops(0.5);
+        let evs = g.take_vec(10_000);
+        assert!(evs.len() > 4_000 && evs.len() < 6_000);
+    }
+
+    #[test]
+    fn mixture_points_near_their_center() {
+        let mut g = GaussianMixtureGen::new(3, 2, 100.0, 1.0, 8);
+        let centers = g.centers.clone();
+        for p in g.take_vec(500) {
+            let c = &centers[p.label];
+            let d2: f64 = p
+                .coords
+                .iter()
+                .zip(c)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            assert!(d2.sqrt() < 6.0);
+        }
+    }
+
+    #[test]
+    fn edge_gen_no_self_loops() {
+        let mut g = EdgeStreamGen::new(100, 9);
+        for (u, v) in g.uniform_edges(1000) {
+            assert_ne!(u, v);
+            assert!(u < 100 && v < 100);
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_has_heavy_tail() {
+        let mut g = EdgeStreamGen::new(2000, 10);
+        let edges = g.preferential_attachment(2);
+        let mut deg = vec![0u32; 2000];
+        for (u, v) in &edges {
+            deg[*u as usize] += 1;
+            deg[*v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let meand = deg.iter().map(|&d| f64::from(d)).sum::<f64>() / 2000.0;
+        assert!(f64::from(max) > 8.0 * meand, "max {max} mean {meand}");
+    }
+
+    #[test]
+    fn planted_clique_contains_all_clique_edges() {
+        let mut g = EdgeStreamGen::new(500, 11);
+        let edges = g.planted_clique(10, 200);
+        let set: std::collections::HashSet<(u32, u32)> =
+            edges.iter().copied().collect();
+        for i in 0..10u32 {
+            for j in (i + 1)..10 {
+                assert!(set.contains(&(i, j)) || set.contains(&(j, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn displacement_permutation_bounds() {
+        for d in [0usize, 3, 10] {
+            let v = permutation_with_displacement(1000, d, 12);
+            assert_eq!(exact_distinct(&v), 1000);
+            for (i, &x) in v.iter().enumerate() {
+                assert!((x as i64 - i as i64).unsigned_abs() as usize <= d);
+            }
+        }
+    }
+
+    #[test]
+    fn ar1_is_stationary_for_small_phi() {
+        let v = ar1_series(50_000, 0.5, 1.0, 13);
+        let m = crate::stats::mean(&v);
+        assert!(m.abs() < 0.1, "mean = {m}");
+    }
+}

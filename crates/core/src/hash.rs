@@ -1,0 +1,280 @@
+//! Hashing primitives shared by every hash-based sketch in the workspace.
+//!
+//! The sketches in this workspace (Bloom filters, Count-Min, HyperLogLog,
+//! KMV, AMS, …) all reduce items to one or two 64-bit hashes. We implement
+//! xxHash64 from scratch (public-domain algorithm, excellent avalanche
+//! behaviour, cheap on 64-bit machines) plus the standard finalizers, and
+//! derive the *k* hash functions a sketch needs via Kirsch–Mitzenmacher
+//! double hashing, which provably preserves the asymptotic false-positive
+//! behaviour of k independent hashes while costing only two.
+
+use std::hash::{Hash, Hasher};
+
+const P1: u64 = 0x9E37_79B1_85EB_CA87;
+const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const P3: u64 = 0x1656_67B1_9E37_79F9;
+const P4: u64 = 0x85EB_CA77_C2B2_AE63;
+const P5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn read64(data: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(data[i..i + 8].try_into().unwrap())
+}
+
+#[inline]
+fn read32(data: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(data[i..i + 4].try_into().unwrap())
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    let val = round(0, val);
+    (acc ^ val).wrapping_mul(P1).wrapping_add(P4)
+}
+
+#[inline]
+fn avalanche(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^= h >> 32;
+    h
+}
+
+/// One-shot xxHash64 of `data` with the given `seed`.
+pub fn xxhash64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let mut i = 0usize;
+    let mut h: u64;
+    if len >= 32 {
+        let mut v1 = seed.wrapping_add(P1).wrapping_add(P2);
+        let mut v2 = seed.wrapping_add(P2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(P1);
+        while i + 32 <= len {
+            v1 = round(v1, read64(data, i));
+            v2 = round(v2, read64(data, i + 8));
+            v3 = round(v3, read64(data, i + 16));
+            v4 = round(v4, read64(data, i + 24));
+            i += 32;
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(P5);
+    }
+    h = h.wrapping_add(len as u64);
+    while i + 8 <= len {
+        h ^= round(0, read64(data, i));
+        h = h.rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+        i += 8;
+    }
+    if i + 4 <= len {
+        h ^= u64::from(read32(data, i)).wrapping_mul(P1);
+        h = h.rotate_left(23).wrapping_mul(P2).wrapping_add(P3);
+        i += 4;
+    }
+    while i < len {
+        h ^= u64::from(data[i]).wrapping_mul(P5);
+        h = h.rotate_left(11).wrapping_mul(P1);
+        i += 1;
+    }
+    avalanche(h)
+}
+
+/// SplitMix64 finalizer: a fast, high-quality bijective mixer for u64 keys.
+///
+/// Used where the item is already a 64-bit integer and a full byte-stream
+/// hash would be wasteful (e.g. re-seeding, deriving register indices).
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`Hasher`] over xxHash64, so any `T: Hash` can be fed to the sketches.
+///
+/// Bytes are buffered and hashed on `finish`; for fixed-size keys the
+/// buffer lives on the stack in practice (it starts with 32 bytes inline
+/// capacity via `Vec::with_capacity`).
+#[derive(Clone, Debug)]
+pub struct XxHasher {
+    seed: u64,
+    buf: Vec<u8>,
+}
+
+impl XxHasher {
+    /// Create a hasher with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, buf: Vec::with_capacity(32) }
+    }
+}
+
+impl Default for XxHasher {
+    fn default() -> Self {
+        Self::with_seed(0)
+    }
+}
+
+impl Hasher for XxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        xxhash64(&self.buf, self.seed)
+    }
+}
+
+/// Hash any `T: Hash` to 64 bits with a seed.
+#[inline]
+pub fn hash64<T: Hash + ?Sized>(item: &T, seed: u64) -> u64 {
+    let mut h = XxHasher::with_seed(seed);
+    item.hash(&mut h);
+    h.finish()
+}
+
+/// The two base hashes used to derive k index functions
+/// (Kirsch–Mitzenmacher: `g_i(x) = h1(x) + i*h2(x)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DoubleHash {
+    /// First base hash.
+    pub h1: u64,
+    /// Second base hash (forced odd so it is invertible mod 2^64).
+    pub h2: u64,
+}
+
+impl DoubleHash {
+    /// Compute the double hash of an item under a sketch-level seed.
+    #[inline]
+    pub fn of<T: Hash + ?Sized>(item: &T, seed: u64) -> Self {
+        let h = hash64(item, seed);
+        // Derive the second hash by remixing; forcing it odd guarantees the
+        // probe sequence visits distinct slots for power-of-two tables.
+        Self { h1: h, h2: mix64(h) | 1 }
+    }
+
+    /// Construct directly from a 64-bit value (for integer-keyed sketches).
+    #[inline]
+    pub fn of_u64(x: u64, seed: u64) -> Self {
+        let h = mix64(x ^ mix64(seed));
+        Self { h1: h, h2: mix64(h) | 1 }
+    }
+
+    /// The i-th derived hash.
+    #[inline]
+    pub fn derive(&self, i: u64) -> u64 {
+        self.h1.wrapping_add(i.wrapping_mul(self.h2))
+    }
+
+    /// The i-th derived index into a table of `m` slots.
+    #[inline]
+    pub fn index(&self, i: u64, m: usize) -> usize {
+        (self.derive(i) % m as u64) as usize
+    }
+}
+
+/// Map a 64-bit hash to `[0, 1)` uniformly.
+#[inline]
+pub fn to_unit(h: u64) -> f64 {
+    // Take the top 53 bits for a full-precision mantissa.
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors from the canonical xxHash implementation.
+    #[test]
+    fn xxhash64_known_vectors() {
+        assert_eq!(xxhash64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxhash64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxhash64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+        assert_eq!(
+            xxhash64(b"Hello, world!", 0),
+            0xF58336A78B6F9476
+        );
+    }
+
+    #[test]
+    fn xxhash64_seed_changes_output() {
+        assert_ne!(xxhash64(b"abc", 0), xxhash64(b"abc", 1));
+    }
+
+    #[test]
+    fn xxhash64_long_input_exercises_wide_loop() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let a = xxhash64(&data, 0);
+        let b = xxhash64(&data, 0);
+        assert_eq!(a, b);
+        let mut data2 = data.clone();
+        data2[999] ^= 1;
+        assert_ne!(a, xxhash64(&data2, 0));
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_sample() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)));
+        }
+    }
+
+    #[test]
+    fn hash64_matches_for_equal_values() {
+        assert_eq!(hash64(&"tweet", 7), hash64(&"tweet", 7));
+        assert_ne!(hash64(&"tweet", 7), hash64(&"tweet", 8));
+        assert_ne!(hash64(&"tweet", 7), hash64(&"tweets", 7));
+    }
+
+    #[test]
+    fn double_hash_derives_distinct_indices() {
+        let dh = DoubleHash::of(&"item", 42);
+        let m = 1024;
+        let idx: std::collections::HashSet<usize> =
+            (0..8).map(|i| dh.index(i, m)).collect();
+        // With h2 odd and m not huge, collisions among 8 probes are unlikely.
+        assert!(idx.len() >= 6);
+    }
+
+    #[test]
+    fn to_unit_in_range() {
+        for i in 0..1000u64 {
+            let u = to_unit(mix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn to_unit_roughly_uniform() {
+        let n = 100_000u64;
+        let mut buckets = [0u32; 10];
+        for i in 0..n {
+            let u = to_unit(mix64(i));
+            buckets[(u * 10.0) as usize] += 1;
+        }
+        for b in buckets {
+            let expected = n as f64 / 10.0;
+            assert!((f64::from(b) - expected).abs() < expected * 0.05);
+        }
+    }
+}

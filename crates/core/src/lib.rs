@@ -1,0 +1,35 @@
+//! # sa-core
+//!
+//! Shared foundation for the `streaming-analytics` workspace: hashing
+//! primitives, deterministic RNG, cross-crate traits, error types, exact
+//! reference statistics, and synthetic workload generators.
+//!
+//! Everything algorithmic in the workspace is written from scratch; this
+//! crate supplies the common substrate so that each sketch/sampler crate
+//! stays focused on its algorithm.
+//!
+//! ## Modules
+//!
+//! * [`hash`] — one-shot and streaming xxHash64, 64-bit finalizers, and
+//!   Kirsch–Mitzenmacher double hashing used by every hash-based sketch.
+//! * [`rng`] — a tiny, dependency-free SplitMix64 for algorithm-internal
+//!   randomness (reproducible, cheap, no trait objects in hot paths).
+//! * [`traits`] — [`traits::Merge`] and the estimator traits shared across
+//!   crates so heterogeneous sketches can be benchmarked uniformly.
+//! * [`error`] — the workspace error type.
+//! * [`stats`] — exact/offline reference implementations (Welford, exact
+//!   quantiles, exact heavy hitters) used as ground truth in tests and
+//!   experiments.
+//! * [`generators`] — synthetic workloads standing in for the paper's
+//!   production streams (Zipf "hashtags", sensor series with injected
+//!   anomalies, out-of-order event times, graph edge streams).
+
+pub mod error;
+pub mod generators;
+pub mod hash;
+pub mod rng;
+pub mod stats;
+pub mod traits;
+
+pub use error::{Result, SaError};
+pub use traits::Merge;

@@ -1,0 +1,175 @@
+//! Deterministic, dependency-free RNG for algorithm internals.
+//!
+//! Several streaming algorithms need a private source of random bits
+//! (reservoir sampling, AMS sign hashes, wedge sampling, skip counters).
+//! Pulling a full `rand` RNG into those hot paths costs monomorphisation
+//! and makes reproducibility awkward across crate versions, so algorithms
+//! in this workspace use this small SplitMix64 generator. Workload
+//! *generators* (not algorithms) use `rand`/`rand_distr` freely.
+
+use crate::hash::mix64;
+
+/// SplitMix64: a tiny, fast, full-period 2^64 PRNG.
+///
+/// Statistical quality is more than sufficient for sampling decisions and
+/// sketch seeding; it is not cryptographic.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded constructor; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-high rejection-free approximation: bias is < 2^-64 per
+        // draw, negligible for sampling decisions.
+        let x = self.next_u64();
+        ((u128::from(x) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, len)`.
+    #[inline]
+    pub fn index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// Random boolean with probability `p` of `true`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Random sign in {-1, +1}.
+    #[inline]
+    pub fn sign(&mut self) -> i64 {
+        if self.next_u64() & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Standard exponential variate (rate 1).
+    #[inline]
+    pub fn exponential(&mut self) -> f64 {
+        // Inverse CDF; `1 - u` avoids ln(0).
+        -(1.0 - self.next_f64()).ln()
+    }
+
+    /// Geometric number of failures before first success with prob `p`.
+    #[inline]
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        debug_assert!(p > 0.0 && p <= 1.0);
+        if p >= 1.0 {
+            return 0;
+        }
+        (self.next_f64().ln() / (1.0 - p).ln()).floor() as u64
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(2);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_mean_close_to_p() {
+        let mut r = SplitMix64::new(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.bernoulli(0.3)).count();
+        let mean = hits as f64 / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn sign_is_balanced() {
+        let mut r = SplitMix64::new(4);
+        let sum: i64 = (0..100_000).map(|_| r.sign()).sum();
+        assert!(sum.abs() < 2_000, "sum = {sum}");
+    }
+
+    #[test]
+    fn exponential_mean_close_to_one() {
+        let mut r = SplitMix64::new(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exponential()).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        let mut r = SplitMix64::new(6);
+        let p = 0.25;
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| r.geometric(p) as f64).sum::<f64>() / n as f64;
+        let expect = (1.0 - p) / p; // failures before success
+        assert!((mean - expect).abs() < 0.1, "mean = {mean}, expect {expect}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(7);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

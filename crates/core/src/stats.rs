@@ -1,0 +1,357 @@
+//! Exact/offline reference statistics.
+//!
+//! Every approximate algorithm in the workspace is validated against an
+//! exact computation. These references are deliberately simple (hash maps,
+//! sorts) — they are the "batch layer" ground truth for tests and for the
+//! EXPERIMENTS.md accuracy columns, not streaming algorithms themselves.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Numerically stable online mean/variance (Welford's algorithm).
+///
+/// Used both as a reference and as a building block by the time-series
+/// crate (it is itself a legitimate streaming algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Observe one value.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 for n < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observed value (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observed value (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Combine with another accumulator (Chan et al. parallel variance).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n;
+        self.mean = (self.n as f64 * self.mean + other.n as f64 * other.mean) / n;
+        self.m2 = m2;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact `q`-quantile of a slice (nearest-rank, `q ∈ [0,1]`).
+///
+/// Returns `None` on an empty slice. Sorts a copy: O(n log n).
+pub fn exact_quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    Some(v[rank - 1])
+}
+
+/// Exact rank of `x` (number of elements ≤ x).
+pub fn exact_rank(values: &[f64], x: f64) -> usize {
+    values.iter().filter(|&&v| v <= x).count()
+}
+
+/// Exact item frequencies.
+pub fn exact_counts<T: Eq + Hash + Clone>(items: &[T]) -> HashMap<T, u64> {
+    let mut m = HashMap::new();
+    for it in items {
+        *m.entry(it.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Exact heavy hitters: items with frequency > `theta * n`, sorted by
+/// descending count.
+pub fn exact_heavy_hitters<T: Eq + Hash + Clone>(
+    items: &[T],
+    theta: f64,
+) -> Vec<(T, u64)> {
+    let n = items.len() as f64;
+    let mut hh: Vec<(T, u64)> = exact_counts(items)
+        .into_iter()
+        .filter(|(_, c)| (*c as f64) > theta * n)
+        .collect();
+    hh.sort_by(|a, b| b.1.cmp(&a.1));
+    hh
+}
+
+/// Exact top-k by frequency (ties broken arbitrarily), descending.
+pub fn exact_top_k<T: Eq + Hash + Clone>(items: &[T], k: usize) -> Vec<(T, u64)> {
+    let mut all: Vec<(T, u64)> = exact_counts(items).into_iter().collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1));
+    all.truncate(k);
+    all
+}
+
+/// Exact number of distinct items.
+pub fn exact_distinct<T: Eq + Hash>(items: &[T]) -> usize {
+    items.iter().collect::<std::collections::HashSet<_>>().len()
+}
+
+/// Exact k-th frequency moment `F_k = Σ f_i^k`.
+pub fn exact_moment<T: Eq + Hash + Clone>(items: &[T], k: u32) -> f64 {
+    exact_counts(items)
+        .values()
+        .map(|&c| (c as f64).powi(k as i32))
+        .sum()
+}
+
+/// Exact inversion count via merge sort, O(n log n).
+pub fn exact_inversions<T: PartialOrd + Clone>(values: &[T]) -> u64 {
+    fn sort_count<T: PartialOrd + Clone>(v: &mut Vec<T>) -> u64 {
+        let n = v.len();
+        if n <= 1 {
+            return 0;
+        }
+        let mut right = v.split_off(n / 2);
+        let mut inv = sort_count(v) + sort_count(&mut right);
+        let mut merged = Vec::with_capacity(n);
+        let (mut i, mut j) = (0, 0);
+        while i < v.len() && j < right.len() {
+            if v[i] <= right[j] {
+                merged.push(v[i].clone());
+                i += 1;
+            } else {
+                // v[i..] are all greater than right[j]: each is an inversion.
+                inv += (v.len() - i) as u64;
+                merged.push(right[j].clone());
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&v[i..]);
+        merged.extend_from_slice(&right[j..]);
+        *v = merged;
+        inv
+    }
+    let mut v = values.to_vec();
+    sort_count(&mut v)
+}
+
+/// Relative error |est - truth| / truth (0 when both are 0).
+pub fn relative_error(est: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if est == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (est - truth).abs() / truth.abs()
+    }
+}
+
+/// Mean of a slice (0 when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Exact Pearson correlation of two equal-length slices.
+///
+/// Returns `None` when fewer than two points or zero variance.
+pub fn exact_pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, -2.5, 10.0];
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let m = mean(&data);
+        let var =
+            data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64;
+        assert!((s.mean() - m).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), -2.5);
+        assert_eq!(s.max(), 10.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_whole() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        let mut whole = OnlineStats::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 3 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            whole.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(3.0);
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.count(), 1);
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.mean(), 3.0);
+    }
+
+    #[test]
+    fn exact_quantile_nearest_rank() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(exact_quantile(&v, 0.0), Some(1.0));
+        assert_eq!(exact_quantile(&v, 0.5), Some(3.0));
+        assert_eq!(exact_quantile(&v, 1.0), Some(5.0));
+        assert_eq!(exact_quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn heavy_hitters_and_top_k() {
+        let items = vec!["a", "a", "a", "b", "b", "c"];
+        let hh = exact_heavy_hitters(&items, 0.25);
+        assert_eq!(hh, vec![("a", 3), ("b", 2)]);
+        let tk = exact_top_k(&items, 2);
+        assert_eq!(tk[0], ("a", 3));
+        assert_eq!(tk[1], ("b", 2));
+    }
+
+    #[test]
+    fn moments_and_distinct() {
+        let items = vec![1, 1, 2, 3];
+        assert_eq!(exact_distinct(&items), 3);
+        assert_eq!(exact_moment(&items, 0), 3.0); // F0 = #distinct
+        assert_eq!(exact_moment(&items, 1), 4.0); // F1 = stream length
+        assert_eq!(exact_moment(&items, 2), 6.0); // 4 + 1 + 1
+    }
+
+    #[test]
+    fn inversions_known_cases() {
+        assert_eq!(exact_inversions(&[1, 2, 3, 4]), 0);
+        assert_eq!(exact_inversions(&[4, 3, 2, 1]), 6);
+        assert_eq!(exact_inversions(&[2, 1, 3]), 1);
+        assert_eq!(exact_inversions::<i32>(&[]), 0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((exact_pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((exact_pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(exact_pearson(&[1.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+}

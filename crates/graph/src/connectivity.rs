@@ -1,0 +1,140 @@
+//! Streaming connectivity via union-find: O(n) state, one pass.
+
+use sa_core::{Result, SaError};
+
+/// Union-find with path halving and union by size.
+///
+/// Processes an edge stream in O(α(n)) amortized per edge and answers
+/// connectivity / component-count / component-size queries — the
+/// canonical "O(n) memory suffices" semi-streaming result.
+#[derive(Clone, Debug)]
+pub struct StreamingConnectivity {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+    edges_seen: u64,
+}
+
+impl StreamingConnectivity {
+    /// Graph over vertices `0..n`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(SaError::invalid("n", "must be positive"));
+        }
+        if n > u32::MAX as usize {
+            return Err(SaError::invalid("n", "too many vertices"));
+        }
+        Ok(Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+            edges_seen: 0,
+        })
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Process one edge; returns `true` if it connected two components.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        self.edges_seen += 1;
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return false;
+        }
+        let (big, small) = if self.size[ru as usize] >= self.size[rv as usize] {
+            (ru, rv)
+        } else {
+            (rv, ru)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `u` and `v` are currently connected.
+    pub fn connected(&mut self, u: u32, v: u32) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Number of connected components.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the component containing `v`.
+    pub fn component_size(&mut self, v: u32) -> u32 {
+        let r = self.find(v);
+        self.size[r as usize]
+    }
+
+    /// Edges processed.
+    pub fn edges_seen(&self) -> u64 {
+        self.edges_seen
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_components() {
+        let mut c = StreamingConnectivity::new(6).unwrap();
+        assert_eq!(c.components(), 6);
+        assert!(c.add_edge(0, 1));
+        assert!(c.add_edge(2, 3));
+        assert_eq!(c.components(), 4);
+        assert!(!c.add_edge(1, 0), "duplicate edge joined nothing");
+        assert!(c.add_edge(1, 2));
+        assert_eq!(c.components(), 3);
+        assert!(c.connected(0, 3));
+        assert!(!c.connected(0, 4));
+        assert_eq!(c.component_size(3), 4);
+    }
+
+    #[test]
+    fn chain_connects_everything() {
+        let n = 10_000;
+        let mut c = StreamingConnectivity::new(n).unwrap();
+        for i in 0..n as u32 - 1 {
+            c.add_edge(i, i + 1);
+        }
+        assert_eq!(c.components(), 1);
+        assert!(c.connected(0, n as u32 - 1));
+        assert_eq!(c.component_size(42), n as u32);
+    }
+
+    #[test]
+    fn random_graph_matches_expectation() {
+        // G(n, m) with m = 2n ln n edges is connected w.h.p.
+        let n = 1_000usize;
+        let mut g = sa_core::generators::EdgeStreamGen::new(n, 5);
+        let m = (2.0 * n as f64 * (n as f64).ln()) as usize;
+        let mut c = StreamingConnectivity::new(n).unwrap();
+        for (u, v) in g.uniform_edges(m) {
+            c.add_edge(u, v);
+        }
+        assert_eq!(c.components(), 1);
+    }
+
+    #[test]
+    fn invalid_n() {
+        assert!(StreamingConnectivity::new(0).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # sa-graph
+//!
+//! Semi-streaming graph algorithms — the Table-1 **Graph analysis** row
+//! ("matching, vertex cover, independent sets, spanners, subgraphs
+//! (sparsification), computing min-cut"; application: web graph
+//! analysis) and the **Path Analysis** row ("does a path of length ≤ ℓ
+//! exist between two nodes in a dynamic graph").
+//!
+//! Edges arrive as a stream; every structure here uses `O(n·polylog n)`
+//! memory (the semi-streaming budget of Feigenbaum et al., the paper's
+//! \[83\]), never the full edge list:
+//!
+//! * [`StreamingConnectivity`] — union-find over the edge stream.
+//! * [`StreamingMatching`] — greedy maximal matching (2-approximation)
+//!   and the matched-vertices 2-approximate vertex cover (\[61\]).
+//! * [`IndependentSet`] — greedy independent set over the edge stream.
+//! * [`TriangleCounter`] — reservoir/wedge-sampling triangle estimation
+//!   (the subgraph-counting line, \[113, 80\]).
+//! * [`GreedySpanner`] — α-spanner by distance-threshold edge retention
+//!   (\[35\]).
+//! * [`Sparsifier`] + [`min_cut`] — uniform edge sampling with
+//!   contraction-based min-cut on the sparsified graph (\[35, 61\]).
+//! * [`DynamicPaths`] — incremental graph with bounded-length path
+//!   queries (Path Analysis, \[79\]).
+
+mod connectivity;
+mod matching;
+mod paths;
+mod spanner;
+mod sparsifier;
+mod triangles;
+
+pub use connectivity::StreamingConnectivity;
+pub use matching::{IndependentSet, StreamingMatching};
+pub use paths::DynamicPaths;
+pub use spanner::GreedySpanner;
+pub use sparsifier::{min_cut, Sparsifier};
+pub use triangles::{exact_triangles, TriangleCounter};

@@ -1,0 +1,263 @@
+//! Greedy maximal matching, 2-approximate vertex cover, and greedy
+//! independent set over edge streams.
+//!
+//! The one-pass greedy matching is the foundational semi-streaming
+//! result (Feigenbaum et al., the paper's \[83\]): keep an edge iff both
+//! endpoints are free. The matching is maximal, hence at least half the
+//! maximum; its endpoint set is a 2-approximate vertex cover (the
+//! parameterized-streaming problem of Chitnis et al. \[61\]).
+
+use sa_core::{Result, SaError};
+
+/// One-pass greedy maximal matching.
+#[derive(Clone, Debug)]
+pub struct StreamingMatching {
+    /// matched_to[v] = u+1 (0 = free).
+    matched_to: Vec<u32>,
+    matching: Vec<(u32, u32)>,
+    edges_seen: u64,
+}
+
+impl StreamingMatching {
+    /// Graph over vertices `0..n`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(SaError::invalid("n", "must be positive"));
+        }
+        Ok(Self {
+            matched_to: vec![0; n],
+            matching: Vec::new(),
+            edges_seen: 0,
+        })
+    }
+
+    /// Process one edge; returns whether it joined the matching.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        self.edges_seen += 1;
+        if u == v {
+            return false;
+        }
+        if self.matched_to[u as usize] == 0 && self.matched_to[v as usize] == 0 {
+            self.matched_to[u as usize] = v + 1;
+            self.matched_to[v as usize] = u + 1;
+            self.matching.push((u, v));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The matching edges.
+    pub fn matching(&self) -> &[(u32, u32)] {
+        &self.matching
+    }
+
+    /// Matching size (≥ half the maximum matching).
+    pub fn size(&self) -> usize {
+        self.matching.len()
+    }
+
+    /// The endpoints of the matching — a vertex cover at most twice the
+    /// minimum.
+    pub fn vertex_cover(&self) -> Vec<u32> {
+        let mut vc = Vec::with_capacity(2 * self.matching.len());
+        for &(u, v) in &self.matching {
+            vc.push(u);
+            vc.push(v);
+        }
+        vc
+    }
+
+    /// Whether vertex `v` is matched.
+    pub fn is_matched(&self, v: u32) -> bool {
+        self.matched_to[v as usize] != 0
+    }
+
+    /// Edges processed.
+    pub fn edges_seen(&self) -> u64 {
+        self.edges_seen
+    }
+}
+
+/// Greedy independent set over an edge stream: start with all vertices
+/// "in"; every arriving edge with both endpoints still in evicts one.
+///
+/// The survivors are an independent set of the *streamed* graph
+/// (Halldórsson et al.'s streaming independent-set line, \[101\]).
+#[derive(Clone, Debug)]
+pub struct IndependentSet {
+    in_set: Vec<bool>,
+    /// Degree-ish counter used to choose which endpoint to evict.
+    hits: Vec<u32>,
+    n: usize,
+}
+
+impl IndependentSet {
+    /// Graph over vertices `0..n`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(SaError::invalid("n", "must be positive"));
+        }
+        Ok(Self { in_set: vec![true; n], hits: vec![0; n], n })
+    }
+
+    /// Process one edge.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        self.hits[u as usize] += 1;
+        self.hits[v as usize] += 1;
+        if self.in_set[u as usize] && self.in_set[v as usize] {
+            // Evict the endpoint that has looked busier so far — it is
+            // more likely to conflict again.
+            let evict = if self.hits[u as usize] >= self.hits[v as usize] {
+                u
+            } else {
+                v
+            };
+            self.in_set[evict as usize] = false;
+        }
+    }
+
+    /// The surviving independent set.
+    pub fn members(&self) -> Vec<u32> {
+        (0..self.n as u32)
+            .filter(|&v| self.in_set[v as usize])
+            .collect()
+    }
+
+    /// Size of the independent set.
+    pub fn size(&self) -> usize {
+        self.in_set.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Exact maximum matching on small graphs via DP over bitmask.
+    fn max_matching_exact(n: usize, edges: &[(u32, u32)]) -> usize {
+        let full = 1usize << n;
+        let mut best = vec![0u8; full];
+        for mask in 0..full {
+            for &(u, v) in edges {
+                let bu = 1 << u;
+                let bv = 1 << v;
+                if mask & bu == 0 && mask & bv == 0 {
+                    let nm = mask | bu | bv;
+                    best[nm] = best[nm].max(best[mask] + 1);
+                }
+            }
+            // Propagate: adding unmatched vertices cannot reduce.
+            for b in 0..n {
+                if mask & (1 << b) == 0 {
+                    let nm = mask | (1 << b);
+                    best[nm] = best[nm].max(best[mask]);
+                }
+            }
+        }
+        best[full - 1] as usize
+    }
+
+    #[test]
+    fn matching_is_valid_and_maximal() {
+        let mut g = sa_core::generators::EdgeStreamGen::new(200, 7);
+        let edges = g.uniform_edges(2_000);
+        let mut m = StreamingMatching::new(200).unwrap();
+        for &(u, v) in &edges {
+            m.add_edge(u, v);
+        }
+        // Valid: no vertex twice.
+        let mut seen = HashSet::new();
+        for &(u, v) in m.matching() {
+            assert!(seen.insert(u), "vertex {u} matched twice");
+            assert!(seen.insert(v), "vertex {v} matched twice");
+        }
+        // Maximal: every streamed edge has a matched endpoint.
+        for &(u, v) in &edges {
+            assert!(
+                m.is_matched(u) || m.is_matched(v),
+                "edge ({u},{v}) uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn two_approximation_on_small_graphs() {
+        for seed in 0..20u64 {
+            let mut g = sa_core::generators::EdgeStreamGen::new(12, seed);
+            let edges = g.uniform_edges(30);
+            let mut m = StreamingMatching::new(12).unwrap();
+            for &(u, v) in &edges {
+                m.add_edge(u, v);
+            }
+            let opt = max_matching_exact(12, &edges);
+            assert!(
+                2 * m.size() >= opt,
+                "seed {seed}: greedy {} vs opt {opt}",
+                m.size()
+            );
+        }
+    }
+
+    #[test]
+    fn vertex_cover_covers_every_edge() {
+        let mut g = sa_core::generators::EdgeStreamGen::new(100, 9);
+        let edges = g.uniform_edges(1_000);
+        let mut m = StreamingMatching::new(100).unwrap();
+        for &(u, v) in &edges {
+            m.add_edge(u, v);
+        }
+        let vc: HashSet<u32> = m.vertex_cover().into_iter().collect();
+        for &(u, v) in &edges {
+            assert!(vc.contains(&u) || vc.contains(&v));
+        }
+    }
+
+    #[test]
+    fn independent_set_is_independent() {
+        let mut g = sa_core::generators::EdgeStreamGen::new(100, 11);
+        let edges = g.uniform_edges(500);
+        let mut is = IndependentSet::new(100).unwrap();
+        for &(u, v) in &edges {
+            is.add_edge(u, v);
+        }
+        let members: HashSet<u32> = is.members().into_iter().collect();
+        assert!(!members.is_empty());
+        for &(u, v) in &edges {
+            assert!(
+                !(members.contains(&u) && members.contains(&v)),
+                "edge ({u},{v}) inside the independent set"
+            );
+        }
+    }
+
+    #[test]
+    fn star_graph_keeps_leaves() {
+        let mut is = IndependentSet::new(10).unwrap();
+        for v in 1..10u32 {
+            is.add_edge(0, v);
+        }
+        let members = is.members();
+        // The hub conflicts with everyone; the 9 leaves (minus possibly
+        // the first) survive.
+        assert!(members.len() >= 8, "{members:?}");
+        assert!(!members.contains(&0));
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut m = StreamingMatching::new(5).unwrap();
+        assert!(!m.add_edge(2, 2));
+        assert_eq!(m.size(), 0);
+    }
+
+    #[test]
+    fn invalid_n() {
+        assert!(StreamingMatching::new(0).is_err());
+        assert!(IndependentSet::new(0).is_err());
+    }
+}

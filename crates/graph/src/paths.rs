@@ -1,0 +1,222 @@
+//! Dynamic bounded-length path queries — the Table-1 **Path Analysis**
+//! row: "determine whether there exists a path of length ≤ ℓ between two
+//! nodes in a dynamic graph" (\[79\]; application: web graph analysis).
+
+use sa_core::{Result, SaError};
+use std::collections::VecDeque;
+
+/// A dynamic undirected graph answering `path_within(u, v, ℓ)`.
+///
+/// Edges can be inserted and deleted; queries run a bidirectional
+/// breadth-first search bounded at `⌈ℓ/2⌉` per side, touching
+/// `O(min(deg^{ℓ/2}, n))` vertices instead of `deg^ℓ` — the standard
+/// practical approach for small ℓ (friend-of-friend queries).
+#[derive(Clone, Debug)]
+pub struct DynamicPaths {
+    adj: Vec<Vec<u32>>,
+    edges: u64,
+}
+
+impl DynamicPaths {
+    /// Graph over vertices `0..n`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(SaError::invalid("n", "must be positive"));
+        }
+        Ok(Self { adj: vec![Vec::new(); n], edges: 0 })
+    }
+
+    /// Insert an undirected edge (parallel edges are ignored).
+    pub fn insert_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v || self.adj[u as usize].contains(&v) {
+            return false;
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.edges += 1;
+        true
+    }
+
+    /// Delete an edge; returns whether it existed.
+    pub fn delete_edge(&mut self, u: u32, v: u32) -> bool {
+        let a = &mut self.adj[u as usize];
+        let Some(pos) = a.iter().position(|&x| x == v) else {
+            return false;
+        };
+        a.swap_remove(pos);
+        let b = &mut self.adj[v as usize];
+        if let Some(pos) = b.iter().position(|&x| x == u) {
+            b.swap_remove(pos);
+        }
+        self.edges -= 1;
+        true
+    }
+
+    /// Whether a path of length ≤ `l` connects `u` and `v`.
+    pub fn path_within(&self, u: u32, v: u32, l: u32) -> bool {
+        self.distance_within(u, v, l).is_some()
+    }
+
+    /// Exact distance if ≤ `l`, via bidirectional bounded BFS.
+    pub fn distance_within(&self, u: u32, v: u32, l: u32) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        if l == 0 {
+            return None;
+        }
+        let n = self.adj.len();
+        // du/dv: distance labels per side (u32::MAX = unvisited).
+        let mut du = vec![u32::MAX; n];
+        let mut dv = vec![u32::MAX; n];
+        du[u as usize] = 0;
+        dv[v as usize] = 0;
+        let mut qu = VecDeque::from([u]);
+        let mut qv = VecDeque::from([v]);
+        let mut best: Option<u32> = None;
+        let (mut ru, mut rv) = (0u32, 0u32); // completed radii
+        while ru + rv < l && (best.is_none()) {
+            // Expand the smaller frontier.
+            let expand_u = qu.len() <= qv.len() && !qu.is_empty() || qv.is_empty();
+            let (q, dist_mine, dist_other, radius) = if expand_u {
+                (&mut qu, &mut du, &dv, &mut ru)
+            } else {
+                (&mut qv, &mut dv, &du, &mut rv)
+            };
+            if q.is_empty() {
+                break;
+            }
+            *radius += 1;
+            let level = *radius;
+            let mut next = VecDeque::new();
+            while let Some(x) = q.pop_front() {
+                for &w in &self.adj[x as usize] {
+                    if dist_mine[w as usize] == u32::MAX {
+                        dist_mine[w as usize] = level;
+                        if dist_other[w as usize] != u32::MAX {
+                            let total = level + dist_other[w as usize];
+                            if total <= l {
+                                best = Some(best.map_or(total, |b| b.min(total)));
+                            }
+                        }
+                        next.push_back(w);
+                    }
+                }
+            }
+            *q = next;
+        }
+        best
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> u64 {
+        self.edges
+    }
+
+    /// Degree of a vertex.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_queries_on_a_chain() {
+        let mut g = DynamicPaths::new(10).unwrap();
+        for i in 0..9u32 {
+            g.insert_edge(i, i + 1);
+        }
+        assert!(g.path_within(0, 9, 9));
+        assert!(!g.path_within(0, 9, 8));
+        assert_eq!(g.distance_within(0, 9, 9), Some(9));
+        assert_eq!(g.distance_within(2, 5, 10), Some(3));
+        assert_eq!(g.distance_within(0, 0, 0), Some(0));
+    }
+
+    #[test]
+    fn deletion_breaks_paths() {
+        let mut g = DynamicPaths::new(5).unwrap();
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        assert!(g.path_within(0, 2, 2));
+        assert!(g.delete_edge(1, 2));
+        assert!(!g.path_within(0, 2, 5));
+        assert!(!g.delete_edge(1, 2), "double delete");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn shortcut_shortens_distance() {
+        let mut g = DynamicPaths::new(8).unwrap();
+        for i in 0..7u32 {
+            g.insert_edge(i, i + 1);
+        }
+        assert_eq!(g.distance_within(0, 7, 10), Some(7));
+        g.insert_edge(0, 6); // shortcut
+        assert_eq!(g.distance_within(0, 7, 10), Some(2));
+    }
+
+    #[test]
+    fn matches_exhaustive_bfs_on_random_dynamic_graph() {
+        use std::collections::VecDeque;
+        let n = 60usize;
+        let mut g = DynamicPaths::new(n).unwrap();
+        let mut reference: std::collections::HashSet<(u32, u32)> =
+            Default::default();
+        let mut rng = sa_core::rng::SplitMix64::new(29);
+        let bfs = |edges: &std::collections::HashSet<(u32, u32)>, s: u32| {
+            let mut adj = vec![Vec::new(); n];
+            for &(a, b) in edges {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+            let mut dist = vec![u32::MAX; n];
+            dist[s as usize] = 0;
+            let mut q = VecDeque::from([s]);
+            while let Some(x) = q.pop_front() {
+                for &w in &adj[x as usize] {
+                    if dist[w as usize] == u32::MAX {
+                        dist[w as usize] = dist[x as usize] + 1;
+                        q.push_back(w);
+                    }
+                }
+            }
+            dist
+        };
+        for step in 0..500 {
+            let u = rng.next_below(n as u64) as u32;
+            let v = rng.next_below(n as u64) as u32;
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if reference.contains(&key) && rng.bernoulli(0.5) {
+                g.delete_edge(u, v);
+                reference.remove(&key);
+            } else if g.insert_edge(u, v) {
+                reference.insert(key);
+            }
+            if step % 50 == 0 {
+                let s = rng.next_below(n as u64) as u32;
+                let t = rng.next_below(n as u64) as u32;
+                let truth = bfs(&reference, s)[t as usize];
+                for l in [1u32, 2, 4, 8] {
+                    let expect = truth != u32::MAX && truth <= l;
+                    assert_eq!(
+                        g.path_within(s, t, l),
+                        expect,
+                        "step {step}: ({s},{t}) within {l}, true dist {truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_n() {
+        assert!(DynamicPaths::new(0).is_err());
+    }
+}

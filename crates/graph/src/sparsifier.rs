@@ -1,0 +1,222 @@
+//! Uniform edge-sampling sparsifier and contraction min-cut — the
+//! "subgraphs (sparsification)" and "computing min-cut" items of the
+//! Table-1 graph row (the Ahn–Guha–McGregor \[35\] problem; we keep a
+//! uniform sample per Karger's sampling theorem: sampling each edge
+//! with `p ≥ Θ(log n / (ε²c))` preserves every cut to `(1±ε)` when
+//! scaled by `1/p`).
+
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+
+/// Streaming uniform edge sampler with weight rescaling.
+#[derive(Clone, Debug)]
+pub struct Sparsifier {
+    p: f64,
+    edges: Vec<(u32, u32)>,
+    n: usize,
+    seen: u64,
+    rng: SplitMix64,
+}
+
+impl Sparsifier {
+    /// Keep each edge with probability `p ∈ (0, 1]`, over vertices `0..n`.
+    pub fn new(n: usize, p: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(SaError::invalid("n", "must be positive"));
+        }
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(SaError::invalid("p", "must be in (0,1]"));
+        }
+        Ok(Self { p, edges: Vec::new(), n, seen: 0, rng: SplitMix64::new(0x59A2) })
+    }
+
+    /// Use a specific RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Process one edge.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        self.seen += 1;
+        if u != v && self.rng.bernoulli(self.p) {
+            self.edges.push((u, v));
+        }
+    }
+
+    /// Sampled edges (each stands for `1/p` original edges).
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// The per-edge weight `1/p` of the sparsifier.
+    pub fn weight(&self) -> f64 {
+        1.0 / self.p
+    }
+
+    /// Estimate of the weight of the cut separating `side` (a predicate
+    /// over vertices) from its complement.
+    pub fn cut_estimate<F: Fn(u32) -> bool>(&self, side: F) -> f64 {
+        self.edges
+            .iter()
+            .filter(|&&(u, v)| side(u) != side(v))
+            .count() as f64
+            * self.weight()
+    }
+
+    /// Edges seen / kept.
+    pub fn stats(&self) -> (u64, usize) {
+        (self.seen, self.edges.len())
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// Karger's contraction algorithm on an explicit edge list, repeated
+/// `trials` times; returns the minimum cut size found (in *sampled*
+/// edges — multiply by the sparsifier weight for the original scale).
+pub fn min_cut(n: usize, edges: &[(u32, u32)], trials: u32, seed: u64) -> usize {
+    let mut rng = SplitMix64::new(seed);
+    let mut best = usize::MAX;
+    for _ in 0..trials {
+        // Union-find contraction: contract random edges until 2 groups.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut groups = n;
+        let mut order: Vec<usize> = (0..edges.len()).collect();
+        rng.shuffle(&mut order);
+        for &ei in &order {
+            if groups <= 2 {
+                break;
+            }
+            let (u, v) = edges[ei];
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru as usize] = rv;
+                groups -= 1;
+            }
+        }
+        if groups > 2 {
+            continue; // disconnected input: cut of 0 exists
+        }
+        let cut = edges
+            .iter()
+            .filter(|&&(u, v)| find(&mut parent, u) != find(&mut parent, v))
+            .count();
+        best = best.min(cut);
+    }
+    if best == usize::MAX {
+        0
+    } else {
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_keeps_p_fraction() {
+        let mut g = sa_core::generators::EdgeStreamGen::new(100, 19);
+        let mut sp = Sparsifier::new(100, 0.1).unwrap();
+        for (u, v) in g.uniform_edges(50_000) {
+            sp.add_edge(u, v);
+        }
+        let (seen, kept) = sp.stats();
+        assert_eq!(seen, 50_000);
+        assert!((4_500..5_500).contains(&kept), "kept {kept}");
+    }
+
+    #[test]
+    fn cut_estimate_close_to_truth() {
+        // Two communities of 50 with dense intra edges and exactly 200
+        // cross edges.
+        let mut edges = Vec::new();
+        let mut rng = SplitMix64::new(23);
+        for _ in 0..5_000 {
+            let u = rng.next_below(50) as u32;
+            let v = rng.next_below(50) as u32;
+            if u != v {
+                edges.push((u, v));
+                edges.push((u + 50, v + 50));
+            }
+        }
+        for i in 0..200u32 {
+            edges.push((i % 50, 50 + (i * 7) % 50));
+        }
+        let mut sp = Sparsifier::new(100, 0.3).unwrap().with_seed(5);
+        for &(u, v) in &edges {
+            sp.add_edge(u, v);
+        }
+        let est = sp.cut_estimate(|v| v < 50);
+        assert!(
+            (est - 200.0).abs() < 60.0,
+            "cut estimate {est} vs true 200"
+        );
+    }
+
+    #[test]
+    fn min_cut_on_barbell() {
+        // Two K10 cliques joined by 3 edges: min cut = 3.
+        let mut edges = Vec::new();
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                edges.push((a, b));
+                edges.push((a + 10, b + 10));
+            }
+        }
+        edges.push((0, 10));
+        edges.push((1, 11));
+        edges.push((2, 12));
+        let cut = min_cut(20, &edges, 100, 7);
+        assert_eq!(cut, 3);
+    }
+
+    #[test]
+    fn min_cut_disconnected_is_zero() {
+        let edges = [(0u32, 1u32), (2, 3)];
+        assert_eq!(min_cut(4, &edges, 10, 1), 0);
+    }
+
+    #[test]
+    fn sparsified_min_cut_preserves_scale() {
+        // Two K40 cliques joined by 40 edges; sample at p=0.5: the
+        // scaled sparsified min cut should be within 50% of 40.
+        let mut edges = Vec::new();
+        for a in 0..40u32 {
+            for b in (a + 1)..40 {
+                edges.push((a, b));
+                edges.push((a + 40, b + 40));
+            }
+        }
+        for i in 0..40u32 {
+            edges.push((i, 40 + i));
+        }
+        let mut sp = Sparsifier::new(80, 0.5).unwrap().with_seed(9);
+        for &(u, v) in &edges {
+            sp.add_edge(u, v);
+        }
+        let cut = min_cut(80, sp.edges(), 200, 11) as f64 * sp.weight();
+        assert!(
+            (cut - 40.0).abs() <= 20.0,
+            "sparsified min cut {cut} vs true 40"
+        );
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(Sparsifier::new(0, 0.5).is_err());
+        assert!(Sparsifier::new(10, 0.0).is_err());
+        assert!(Sparsifier::new(10, 1.5).is_err());
+    }
+}

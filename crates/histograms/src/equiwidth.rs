@@ -1,0 +1,156 @@
+//! Equi-width histogram over a fixed numeric domain.
+
+use sa_core::{Merge, Result, SaError};
+
+/// `b` equal-width buckets over `[lo, hi)`; out-of-range values clamp to
+/// the edge buckets. O(1) updates, mergeable across partitions.
+#[derive(Clone, Debug)]
+pub struct EquiWidthHistogram {
+    counts: Vec<u64>,
+    lo: f64,
+    hi: f64,
+    n: u64,
+}
+
+impl EquiWidthHistogram {
+    /// `b ≥ 1` buckets over `lo < hi`.
+    pub fn new(lo: f64, hi: f64, b: usize) -> Result<Self> {
+        if b == 0 {
+            return Err(SaError::invalid("b", "must be positive"));
+        }
+        if !(lo < hi) {
+            return Err(SaError::invalid("lo", "must be below hi"));
+        }
+        Ok(Self { counts: vec![0; b], lo, hi, n: 0 })
+    }
+
+    /// Bucket index for a value.
+    pub fn bucket_of(&self, x: f64) -> usize {
+        let b = self.counts.len();
+        if x < self.lo {
+            return 0;
+        }
+        let idx = ((x - self.lo) / (self.hi - self.lo) * b as f64) as usize;
+        idx.min(b - 1)
+    }
+
+    /// Observe one value.
+    pub fn insert(&mut self, x: f64) {
+        let i = self.bucket_of(x);
+        self.counts[i] += 1;
+        self.n += 1;
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimated density (fraction of mass) of the bucket holding `x`.
+    pub fn density_at(&self, x: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.counts[self.bucket_of(x)] as f64 / self.n as f64
+    }
+
+    /// Estimated count of values in `[a, b)` assuming uniform spread
+    /// within buckets.
+    pub fn range_count(&self, a: f64, b: f64) -> f64 {
+        if self.n == 0 || a >= b {
+            return 0.0;
+        }
+        let nb = self.counts.len() as f64;
+        let width = (self.hi - self.lo) / nb;
+        let mut total = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let blo = self.lo + i as f64 * width;
+            let bhi = blo + width;
+            let overlap = (b.min(bhi) - a.max(blo)).max(0.0);
+            total += c as f64 * overlap / width;
+        }
+        total
+    }
+
+    /// Values seen.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Merge for EquiWidthHistogram {
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.lo != other.lo
+            || self.hi != other.hi
+            || self.counts.len() != other.counts.len()
+        {
+            return Err(SaError::IncompatibleMerge("histogram shape mismatch".into()));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.n += other.n;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_assignment() {
+        let h = EquiWidthHistogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bucket_of(0.0), 0);
+        assert_eq!(h.bucket_of(1.99), 0);
+        assert_eq!(h.bucket_of(2.0), 1);
+        assert_eq!(h.bucket_of(9.99), 4);
+        assert_eq!(h.bucket_of(10.0), 4); // clamp
+        assert_eq!(h.bucket_of(-5.0), 0); // clamp
+    }
+
+    #[test]
+    fn uniform_data_fills_uniformly() {
+        let mut h = EquiWidthHistogram::new(0.0, 1.0, 10).unwrap();
+        let mut rng = sa_core::rng::SplitMix64::new(1);
+        for _ in 0..100_000 {
+            h.insert(rng.next_f64());
+        }
+        for &c in h.counts() {
+            assert!((9_000..11_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn range_count_interpolates() {
+        let mut h = EquiWidthHistogram::new(0.0, 10.0, 10).unwrap();
+        let mut rng = sa_core::rng::SplitMix64::new(2);
+        for _ in 0..50_000 {
+            h.insert(rng.next_f64() * 10.0);
+        }
+        let est = h.range_count(2.5, 7.5);
+        assert!((est - 25_000.0).abs() < 1_500.0, "est {est}");
+        assert_eq!(h.range_count(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = EquiWidthHistogram::new(0.0, 1.0, 4).unwrap();
+        let mut b = EquiWidthHistogram::new(0.0, 1.0, 4).unwrap();
+        a.insert(0.1);
+        b.insert(0.9);
+        a.merge(&b).unwrap();
+        assert_eq!(a.n(), 2);
+        assert_eq!(a.counts()[0], 1);
+        assert_eq!(a.counts()[3], 1);
+        let c = EquiWidthHistogram::new(0.0, 2.0, 4).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(EquiWidthHistogram::new(0.0, 1.0, 0).is_err());
+        assert!(EquiWidthHistogram::new(1.0, 1.0, 4).is_err());
+        assert!(EquiWidthHistogram::new(2.0, 1.0, 4).is_err());
+    }
+}

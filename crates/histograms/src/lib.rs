@@ -1,0 +1,28 @@
+//! # sa-histograms
+//!
+//! Distribution synopses — Section 2's **Histograms** and **Wavelets**
+//! techniques, quoted directly from the paper:
+//!
+//! * [`EquiWidthHistogram`] — "partition the domain into buckets such
+//!   that the number of values falling into each bucket is uniform
+//!   across all buckets" (equi-width over a fixed domain; streaming
+//!   updates).
+//! * [`EndBiasedHistogram`] — "maintain exact counts of items that occur
+//!   with frequency above a threshold, and approximate the other counts
+//!   by a uniform distribution".
+//! * [`VOptimalHistogram`] — "approximates the distribution … by a
+//!   piecewise-constant function, so as to minimize the sum of squared
+//!   error" (exact O(n²B) dynamic program, the offline reference of the
+//!   Guha–Koudas–Shim \[96\] line, plus a streaming block-wise variant).
+//! * [`wavelet`] — Haar wavelet synopsis: "the signal reconstructed from
+//!   the top few wavelet coefficients best approximates the original
+//!   signal in terms of the L₂ norm" (\[91\]).
+
+mod end_biased;
+mod equiwidth;
+mod voptimal;
+pub mod wavelet;
+
+pub use end_biased::EndBiasedHistogram;
+pub use equiwidth::EquiWidthHistogram;
+pub use voptimal::{v_optimal, Bucket, VOptimalHistogram};

@@ -1,0 +1,229 @@
+//! V-optimal histogram: piecewise-constant approximation minimizing the
+//! sum of squared errors (§2; the Guha–Koudas–Shim \[96\] problem).
+
+use sa_core::{Result, SaError};
+
+/// One histogram bucket over `values[start..end)` approximated by its
+/// mean.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bucket {
+    /// Inclusive start index.
+    pub start: usize,
+    /// Exclusive end index.
+    pub end: usize,
+    /// Bucket mean (the piecewise-constant value).
+    pub mean: f64,
+    /// Sum of squared errors within the bucket.
+    pub sse: f64,
+}
+
+/// Exact V-optimal bucketing via dynamic programming: O(n²·B) time,
+/// O(n·B) space. Returns the optimal buckets and total SSE.
+pub fn v_optimal(values: &[f64], b: usize) -> Result<(Vec<Bucket>, f64)> {
+    let n = values.len();
+    if n == 0 {
+        return Err(SaError::InsufficientData("empty input".into()));
+    }
+    if b == 0 {
+        return Err(SaError::invalid("b", "must be positive"));
+    }
+    let b = b.min(n);
+    // Prefix sums for O(1) segment SSE.
+    let mut pre = vec![0.0; n + 1];
+    let mut pre2 = vec![0.0; n + 1];
+    for (i, &v) in values.iter().enumerate() {
+        pre[i + 1] = pre[i] + v;
+        pre2[i + 1] = pre2[i] + v * v;
+    }
+    let seg_sse = |i: usize, j: usize| -> f64 {
+        // SSE of values[i..j] around its mean.
+        let len = (j - i) as f64;
+        let s = pre[j] - pre[i];
+        let s2 = pre2[j] - pre2[i];
+        (s2 - s * s / len).max(0.0)
+    };
+    // dp[k][j] = min SSE of values[..j] with k buckets.
+    let mut dp = vec![vec![f64::INFINITY; n + 1]; b + 1];
+    let mut cut = vec![vec![0usize; n + 1]; b + 1];
+    dp[0][0] = 0.0;
+    for k in 1..=b {
+        for j in k..=n {
+            for i in (k - 1)..j {
+                let cand = dp[k - 1][i] + seg_sse(i, j);
+                if cand < dp[k][j] {
+                    dp[k][j] = cand;
+                    cut[k][j] = i;
+                }
+            }
+        }
+    }
+    // Choose the bucket count (≤ b) achieving the minimum (more buckets
+    // never hurt, so this is dp[b][n], but guard against n < b).
+    let total = dp[b][n];
+    let mut buckets = Vec::with_capacity(b);
+    let mut j = n;
+    let mut k = b;
+    while k > 0 {
+        let i = cut[k][j];
+        let len = (j - i) as f64;
+        let mean = (pre[j] - pre[i]) / len;
+        buckets.push(Bucket { start: i, end: j, mean, sse: seg_sse(i, j) });
+        j = i;
+        k -= 1;
+    }
+    buckets.reverse();
+    Ok((buckets, total))
+}
+
+/// Streaming (block-wise) V-optimal approximation.
+///
+/// Buffers `block` values, compresses each block with an exact
+/// `v_optimal` into `b` buckets, and keeps the concatenated
+/// piecewise-constant model — the buffer-and-compress scheme behind the
+/// "fast, small-space approximate histogram maintenance" line (\[91\]).
+#[derive(Clone, Debug)]
+pub struct VOptimalHistogram {
+    block: usize,
+    b: usize,
+    buffer: Vec<f64>,
+    /// Compressed representation: (length, mean) runs.
+    runs: Vec<(usize, f64)>,
+    n: u64,
+}
+
+impl VOptimalHistogram {
+    /// Compress every `block ≥ 4` values into `b ≥ 1` buckets.
+    pub fn new(block: usize, b: usize) -> Result<Self> {
+        if block < 4 {
+            return Err(SaError::invalid("block", "must be at least 4"));
+        }
+        if b == 0 || b > block {
+            return Err(SaError::invalid("b", "must be in [1, block]"));
+        }
+        Ok(Self { block, b, buffer: Vec::with_capacity(block), runs: Vec::new(), n: 0 })
+    }
+
+    /// Observe one value.
+    pub fn insert(&mut self, x: f64) {
+        self.n += 1;
+        self.buffer.push(x);
+        if self.buffer.len() >= self.block {
+            let vals = std::mem::take(&mut self.buffer);
+            let (buckets, _) = v_optimal(&vals, self.b).expect("non-empty block");
+            for bk in buckets {
+                self.runs.push((bk.end - bk.start, bk.mean));
+            }
+        }
+    }
+
+    /// Reconstruct the approximate value at stream position `i`.
+    pub fn value_at(&self, i: u64) -> Option<f64> {
+        let mut pos = 0u64;
+        for &(len, mean) in &self.runs {
+            pos += len as u64;
+            if i < pos {
+                return Some(mean);
+            }
+        }
+        let off = (i - pos) as usize;
+        self.buffer.get(off).copied()
+    }
+
+    /// Stored runs + buffered values (space diagnostic).
+    pub fn stored(&self) -> usize {
+        self.runs.len() + self.buffer.len()
+    }
+
+    /// Values seen.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piecewise_constant_input_recovered_exactly() {
+        let mut values = Vec::new();
+        values.extend(std::iter::repeat(5.0).take(20));
+        values.extend(std::iter::repeat(-3.0).take(15));
+        values.extend(std::iter::repeat(9.0).take(25));
+        let (buckets, sse) = v_optimal(&values, 3).unwrap();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(sse, 0.0);
+        assert_eq!(buckets[0].end, 20);
+        assert_eq!(buckets[1].end, 35);
+        assert_eq!(buckets[0].mean, 5.0);
+        assert_eq!(buckets[1].mean, -3.0);
+        assert_eq!(buckets[2].mean, 9.0);
+    }
+
+    #[test]
+    fn more_buckets_never_increase_sse() {
+        let mut rng = sa_core::rng::SplitMix64::new(5);
+        let values: Vec<f64> = (0..80).map(|_| rng.next_f64() * 10.0).collect();
+        let mut last = f64::INFINITY;
+        for b in 1..=10 {
+            let (_, sse) = v_optimal(&values, b).unwrap();
+            assert!(sse <= last + 1e-9, "b={b}: {sse} > {last}");
+            last = sse;
+        }
+    }
+
+    #[test]
+    fn beats_equal_width_split_on_skewed_breakpoints() {
+        // One step not aligned with halves: V-optimal must find it.
+        let mut values = vec![0.0; 30];
+        values.extend(vec![100.0; 10]);
+        let (buckets, sse) = v_optimal(&values, 2).unwrap();
+        assert_eq!(sse, 0.0);
+        assert_eq!(buckets[0].end, 30);
+    }
+
+    #[test]
+    fn dp_matches_brute_force_small() {
+        let values = [1.0, 2.0, 8.0, 9.0, 3.0, 4.0];
+        let (_, sse) = v_optimal(&values, 3).unwrap();
+        // Brute force all 2-cut positions.
+        let mut best = f64::INFINITY;
+        let seg = |i: usize, j: usize| -> f64 {
+            let s: f64 = values[i..j].iter().sum();
+            let m = s / (j - i) as f64;
+            values[i..j].iter().map(|v| (v - m) * (v - m)).sum()
+        };
+        for c1 in 1..5 {
+            for c2 in (c1 + 1)..6 {
+                best = best.min(seg(0, c1) + seg(c1, c2) + seg(c2, 6));
+            }
+        }
+        assert!((sse - best).abs() < 1e-9, "dp {sse} vs brute {best}");
+    }
+
+    #[test]
+    fn streaming_variant_reconstructs_blocks() {
+        let mut h = VOptimalHistogram::new(16, 4).unwrap();
+        // Step signal aligned with nothing in particular.
+        for i in 0..160u64 {
+            h.insert(if (i / 10) % 2 == 0 { 1.0 } else { 5.0 });
+        }
+        // Reconstruction error should be small relative to signal range.
+        let mut err = 0.0;
+        for i in 0..160u64 {
+            let truth = if (i / 10) % 2 == 0 { 1.0 } else { 5.0 };
+            err += (h.value_at(i).unwrap() - truth).abs();
+        }
+        assert!(err / 160.0 < 1.0, "mean abs err {}", err / 160.0);
+        assert!(h.stored() < 160, "no compression: {}", h.stored());
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(v_optimal(&[], 3).is_err());
+        assert!(v_optimal(&[1.0], 0).is_err());
+        assert!(VOptimalHistogram::new(2, 1).is_err());
+        assert!(VOptimalHistogram::new(16, 0).is_err());
+        assert!(VOptimalHistogram::new(16, 17).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Haar wavelet synopsis (§2 **Wavelets**): keep the `k` largest
+//! normalized coefficients; reconstruction from them is the best k-term
+//! L₂ approximation (Parseval).
+
+use sa_core::{Result, SaError};
+
+/// Forward Haar transform (orthonormal). Input length must be a power
+/// of two; returns the coefficient vector.
+pub fn haar_forward(values: &[f64]) -> Result<Vec<f64>> {
+    let n = values.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(SaError::invalid("values", "length must be a power of two"));
+    }
+    let mut data = values.to_vec();
+    let mut len = n;
+    let sqrt2 = std::f64::consts::SQRT_2;
+    while len > 1 {
+        let half = len / 2;
+        let mut tmp = vec![0.0; len];
+        for i in 0..half {
+            tmp[i] = (data[2 * i] + data[2 * i + 1]) / sqrt2;
+            tmp[half + i] = (data[2 * i] - data[2 * i + 1]) / sqrt2;
+        }
+        data[..len].copy_from_slice(&tmp);
+        len = half;
+    }
+    Ok(data)
+}
+
+/// Inverse Haar transform.
+pub fn haar_inverse(coeffs: &[f64]) -> Result<Vec<f64>> {
+    let n = coeffs.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(SaError::invalid("coeffs", "length must be a power of two"));
+    }
+    let mut data = coeffs.to_vec();
+    let mut len = 2;
+    let sqrt2 = std::f64::consts::SQRT_2;
+    while len <= n {
+        let half = len / 2;
+        let mut tmp = vec![0.0; len];
+        for i in 0..half {
+            tmp[2 * i] = (data[i] + data[half + i]) / sqrt2;
+            tmp[2 * i + 1] = (data[i] - data[half + i]) / sqrt2;
+        }
+        data[..len].copy_from_slice(&tmp);
+        len *= 2;
+    }
+    Ok(data)
+}
+
+/// A k-term wavelet synopsis: the `k` largest-magnitude coefficients.
+#[derive(Clone, Debug)]
+pub struct WaveletSynopsis {
+    /// (index, coefficient) pairs kept.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Original signal length.
+    pub n: usize,
+}
+
+impl WaveletSynopsis {
+    /// Build from a signal (length must be a power of two), keeping `k`
+    /// coefficients.
+    pub fn build(values: &[f64], k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        let all = haar_forward(values)?;
+        let mut indexed: Vec<(usize, f64)> =
+            all.into_iter().enumerate().collect();
+        indexed.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+        indexed.truncate(k);
+        Ok(Self { coeffs: indexed, n: values.len() })
+    }
+
+    /// Reconstruct the approximate signal.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let mut coeffs = vec![0.0; self.n];
+        for &(i, c) in &self.coeffs {
+            coeffs[i] = c;
+        }
+        haar_inverse(&coeffs).expect("valid length")
+    }
+
+    /// L₂ error of the reconstruction against the original.
+    pub fn l2_error(&self, original: &[f64]) -> f64 {
+        let rec = self.reconstruct();
+        original
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_identity() {
+        let mut rng = sa_core::rng::SplitMix64::new(1);
+        let values: Vec<f64> = (0..256).map(|_| rng.next_f64() * 10.0).collect();
+        let coeffs = haar_forward(&values).unwrap();
+        let back = haar_inverse(&coeffs).unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut rng = sa_core::rng::SplitMix64::new(2);
+        let values: Vec<f64> = (0..128).map(|_| rng.next_f64() - 0.5).collect();
+        let coeffs = haar_forward(&values).unwrap();
+        let e1: f64 = values.iter().map(|x| x * x).sum();
+        let e2: f64 = coeffs.iter().map(|x| x * x).sum();
+        assert!((e1 - e2).abs() < 1e-9, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn constant_signal_needs_one_coefficient() {
+        let values = vec![7.0; 64];
+        let syn = WaveletSynopsis::build(&values, 1).unwrap();
+        assert!(syn.l2_error(&values) < 1e-9);
+        assert_eq!(syn.coeffs[0].0, 0, "energy must sit in the DC coefficient");
+    }
+
+    #[test]
+    fn step_signal_compresses_well() {
+        let mut values = vec![1.0; 32];
+        values.extend(vec![9.0; 32]);
+        // A dyadic-aligned step needs 2 coefficients.
+        let syn = WaveletSynopsis::build(&values, 2).unwrap();
+        assert!(syn.l2_error(&values) < 1e-9);
+    }
+
+    #[test]
+    fn error_decreases_with_k_and_topk_is_optimal() {
+        let mut rng = sa_core::rng::SplitMix64::new(3);
+        let values: Vec<f64> = (0..256)
+            .map(|i| (i as f64 / 25.0).sin() * 5.0 + rng.next_f64())
+            .collect();
+        let mut last = f64::INFINITY;
+        for k in [4, 16, 64, 256] {
+            let syn = WaveletSynopsis::build(&values, k).unwrap();
+            let err = syn.l2_error(&values);
+            assert!(err <= last + 1e-9, "k={k}: {err} > {last}");
+            last = err;
+        }
+        // Parseval optimality: error² = energy of dropped coefficients.
+        let all = haar_forward(&values).unwrap();
+        let mut mags: Vec<f64> = all.iter().map(|c| c * c).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let dropped: f64 = mags[16..].iter().sum();
+        let syn = WaveletSynopsis::build(&values, 16).unwrap();
+        assert!(
+            (syn.l2_error(&values).powi(2) - dropped).abs() < 1e-6,
+            "top-k not optimal"
+        );
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(haar_forward(&[]).is_err());
+        assert!(haar_forward(&[1.0, 2.0, 3.0]).is_err());
+        assert!(WaveletSynopsis::build(&[1.0, 2.0], 0).is_err());
+    }
+}

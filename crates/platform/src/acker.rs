@@ -1,0 +1,239 @@
+//! Storm's XOR-ack protocol.
+//!
+//! Every spout tuple registers a *root* with the acker. Each edge of the
+//! tuple tree gets a random 64-bit id; the acker keeps, per root, the
+//! XOR of the ids of all *pending* edges. A bolt processing input edge
+//! `e` and emitting edges `e₁…e_k` sends `e ⊕ e₁ ⊕ … ⊕ e_k`: the input
+//! toggles off, the children toggle on. When the XOR hits zero every
+//! edge has been both created and retired — the whole tree is processed
+//! and the spout is acked. Tracking any tree costs 8 bytes regardless
+//! of its size, which is the celebrated trick.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Per-root acker state.
+#[derive(Debug)]
+struct Entry {
+    xor: u64,
+    /// Wall-clock registration time (for message timeouts).
+    born: Instant,
+}
+
+/// What the acker decided about a root after an update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AckOutcome {
+    /// Tree still has pending edges.
+    Pending,
+    /// Tree fully processed — spout should `ack`.
+    Complete,
+}
+
+/// The acker service (one instance is enough; Storm shards by root id).
+#[derive(Debug, Default)]
+pub struct Acker {
+    entries: HashMap<u64, Entry>,
+    /// Completed roots since the last drain.
+    completed: Vec<u64>,
+    /// Failed (explicit or timed-out) roots since the last drain.
+    failed: Vec<u64>,
+}
+
+impl Acker {
+    /// Empty acker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new spout tuple: `root` with the XOR of its initial
+    /// edge ids.
+    pub fn init(&mut self, root: u64, first_edges_xor: u64) {
+        let e = self
+            .entries
+            .entry(root)
+            .or_insert(Entry { xor: 0, born: Instant::now() });
+        e.xor ^= first_edges_xor;
+        if e.xor == 0 {
+            // Degenerate: a tuple tree that finished instantly.
+            self.entries.remove(&root);
+            self.completed.push(root);
+        }
+    }
+
+    /// Apply a bolt's ack value (`input ⊕ emitted…`).
+    ///
+    /// Init and ack are symmetric XOR updates, so an ack racing ahead of
+    /// its root's `init` simply creates the entry — exactly Storm's
+    /// design. (A random-id subset XOR-ing to zero prematurely has
+    /// probability ≈ 2⁻⁶⁴ per tree, the protocol's accepted risk.)
+    pub fn ack(&mut self, root: u64, ack_val: u64) -> AckOutcome {
+        let e = self
+            .entries
+            .entry(root)
+            .or_insert(Entry { xor: 0, born: Instant::now() });
+        e.xor ^= ack_val;
+        if e.xor == 0 {
+            self.entries.remove(&root);
+            self.completed.push(root);
+            AckOutcome::Complete
+        } else {
+            AckOutcome::Pending
+        }
+    }
+
+    /// Explicitly fail a root (bolt error): the spout must replay.
+    pub fn fail(&mut self, root: u64) {
+        if self.entries.remove(&root).is_some() {
+            self.failed.push(root);
+        }
+    }
+
+    /// Expire roots pending longer than `max_age` (message-timeout
+    /// replay, Storm's `topology.message.timeout`).
+    pub fn expire(&mut self, max_age: Duration) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| now.duration_since(e.born) > max_age)
+            .map(|(&r, _)| r)
+            .collect();
+        for r in expired {
+            self.entries.remove(&r);
+            self.failed.push(r);
+        }
+    }
+
+    /// Hand a drained completion back (it belonged to another spout).
+    pub fn requeue_completed(&mut self, root: u64) {
+        self.completed.push(root);
+    }
+
+    /// Hand a drained failure back (it belonged to another spout).
+    pub fn requeue_failed(&mut self, root: u64) {
+        self.failed.push(root);
+    }
+
+    /// Drain roots completed since the last call.
+    pub fn take_completed(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Drain roots failed since the last call.
+    pub fn take_failed(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.failed)
+    }
+
+    /// Trees still pending.
+    pub fn pending(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_completes() {
+        // spout → a → b: edges e0 (spout→a), e1 (a→b).
+        let mut acker = Acker::new();
+        let (e0, e1) = (0xAAAA, 0xBBBB);
+        acker.init(7, e0);
+        // Bolt a: consumed e0, emitted e1.
+        assert_eq!(acker.ack(7, e0 ^ e1), AckOutcome::Pending);
+        // Bolt b: consumed e1, emitted nothing.
+        assert_eq!(acker.ack(7, e1), AckOutcome::Complete);
+        assert_eq!(acker.take_completed(), vec![7]);
+        assert_eq!(acker.pending(), 0);
+    }
+
+    #[test]
+    fn fanout_tree_completes_only_when_all_leaves_done() {
+        // spout → a; a emits to b and c.
+        let mut acker = Acker::new();
+        let (e0, e1, e2) = (1u64 << 1, 1 << 2, 1 << 3);
+        acker.init(1, e0);
+        assert_eq!(acker.ack(1, e0 ^ e1 ^ e2), AckOutcome::Pending);
+        assert_eq!(acker.ack(1, e1), AckOutcome::Pending);
+        assert_eq!(acker.ack(1, e2), AckOutcome::Complete);
+    }
+
+    #[test]
+    fn out_of_order_acks_still_complete() {
+        let mut acker = Acker::new();
+        let (e0, e1) = (0x11, 0x22);
+        acker.init(3, e0);
+        // Downstream finishes before upstream's ack arrives.
+        assert_eq!(acker.ack(3, e1), AckOutcome::Pending);
+        assert_eq!(acker.ack(3, e0 ^ e1), AckOutcome::Complete);
+    }
+
+    #[test]
+    fn explicit_fail() {
+        let mut acker = Acker::new();
+        acker.init(5, 0xF0);
+        acker.fail(5);
+        assert_eq!(acker.take_failed(), vec![5]);
+        assert_eq!(acker.pending(), 0);
+    }
+
+    #[test]
+    fn timeout_expires_stuck_trees() {
+        let mut acker = Acker::new();
+        acker.init(6, 0xF1);
+        std::thread::sleep(Duration::from_millis(20));
+        acker.expire(Duration::from_millis(5));
+        assert_eq!(acker.take_failed(), vec![6]);
+        assert_eq!(acker.pending(), 0);
+        // Fresh entries survive the same expiry.
+        acker.init(7, 0xF2);
+        acker.expire(Duration::from_millis(5));
+        assert!(acker.take_failed().is_empty());
+    }
+
+    #[test]
+    fn instant_completion_of_leafless_tuple() {
+        // A spout tuple that no bolt consumes completes on init+ack.
+        let mut acker = Acker::new();
+        acker.init(9, 0xE);
+        assert_eq!(acker.ack(9, 0xE), AckOutcome::Complete);
+    }
+
+    #[test]
+    fn zero_xor_init_completes_immediately() {
+        // A spout tuple with no subscribers at all.
+        let mut acker = Acker::new();
+        acker.init(10, 0);
+        assert_eq!(acker.take_completed(), vec![10]);
+    }
+
+    #[test]
+    fn late_acks_become_orphan_entries_that_expire() {
+        let mut acker = Acker::new();
+        acker.init(2, 0x5);
+        acker.ack(2, 0x5);
+        assert_eq!(acker.take_completed(), vec![2]);
+        // A stale ack for the settled root re-opens a garbage entry…
+        assert_eq!(acker.ack(2, 0x5), AckOutcome::Pending);
+        assert!(acker.take_completed().is_empty());
+        assert_eq!(acker.pending(), 1);
+        // …which the timeout sweeps away (the spout will find no
+        // matching in-flight message and ignore the failure).
+        std::thread::sleep(Duration::from_millis(10));
+        acker.expire(Duration::from_millis(1));
+        assert_eq!(acker.pending(), 0);
+    }
+
+    #[test]
+    fn ack_racing_ahead_of_init_still_completes() {
+        // The executor sends tuples before registering the root; a fast
+        // bolt's ack can arrive first and must not be lost.
+        let mut acker = Acker::new();
+        let (e0, e1) = (0xA1, 0xB2);
+        assert_eq!(acker.ack(4, e0 ^ e1), AckOutcome::Pending); // bolt a
+        assert_eq!(acker.ack(4, e1), AckOutcome::Pending); // bolt b
+        acker.init(4, e0); // spout registers last
+        assert_eq!(acker.take_completed(), vec![4]);
+    }
+}

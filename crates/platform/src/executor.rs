@@ -1,0 +1,621 @@
+//! The runtime: maps a topology onto worker threads and channels.
+//!
+//! A "cluster" here is a set of OS threads (workers) connected by
+//! crossbeam channels (links); DESIGN.md §2 argues why the semantics
+//! under study — groupings, acking, replay, backpressure — are
+//! preserved by this substitution. Two executor models reproduce the
+//! Storm→Heron redesign the paper describes:
+//!
+//! * [`ExecutorModel::ProcessPerTask`] (Heron): every task gets its own
+//!   thread and a **bounded** input queue — natural backpressure.
+//! * [`ExecutorModel::Multiplexed`] (Storm): several tasks of a
+//!   component share one worker thread and use **unbounded** queues —
+//!   exactly the "complex set of queues … making the performance worse"
+//!   configuration the paper says motivated Heron.
+
+use crate::acker::Acker;
+use crate::metrics::Metrics;
+use crate::topology::{
+    Bolt, ComponentDecl, ComponentKind, Grouping, OutputCollector, Spout,
+    TopologyBuilder,
+};
+use crate::tuple::Tuple;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Delivery guarantee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Semantics {
+    /// Fire-and-forget: no acking, lost tuples stay lost (S4-style).
+    AtMostOnce,
+    /// Storm's XOR-ack protocol: failed/timed-out trees are replayed by
+    /// the spout. Exactly-once is built on top of this by bolts that
+    /// deduplicate through [`crate::checkpoint::CheckpointStore`].
+    AtLeastOnce,
+}
+
+/// How tasks map onto worker threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutorModel {
+    /// Heron: one thread per task, bounded queues (backpressure).
+    ProcessPerTask,
+    /// Storm: up to `tasks_per_worker` tasks of a component share a
+    /// thread; unbounded queues (no backpressure).
+    Multiplexed {
+        /// Tasks sharing one worker thread.
+        tasks_per_worker: usize,
+    },
+}
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    /// Thread/queue model.
+    pub model: ExecutorModel,
+    /// Delivery guarantee.
+    pub semantics: Semantics,
+    /// Queue capacity in ProcessPerTask mode.
+    pub channel_capacity: usize,
+    /// Probability that a link delivery is dropped (failure injection).
+    pub link_drop_prob: f64,
+    /// Wall-clock age after which a pending tuple tree is failed and
+    /// replayed (Storm's message timeout).
+    pub ack_timeout: Duration,
+    /// Wall-clock bound on draining after spouts exhaust.
+    pub shutdown_timeout: Duration,
+    /// RNG seed (edge ids, drop injection).
+    pub seed: u64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            model: ExecutorModel::ProcessPerTask,
+            semantics: Semantics::AtLeastOnce,
+            channel_capacity: 1024,
+            link_drop_prob: 0.0,
+            ack_timeout: Duration::from_secs(5),
+            shutdown_timeout: Duration::from_secs(10),
+            seed: 0xD15C0,
+        }
+    }
+}
+
+/// What a run returns.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Tuples emitted by *terminal* bolts (no downstream subscribers),
+    /// keyed by component name.
+    pub outputs: HashMap<String, Vec<Tuple>>,
+    /// Runtime metrics.
+    pub metrics: Metrics,
+    /// False when the shutdown timeout expired with trees still pending.
+    pub clean_shutdown: bool,
+}
+
+enum Msg {
+    Data(Tuple),
+    Flush,
+    Terminate,
+}
+
+/// One downstream subscription of a component.
+#[derive(Clone)]
+struct Route {
+    grouping: Grouping,
+    senders: Vec<Sender<Msg>>,
+}
+
+type Sink = Arc<Mutex<HashMap<String, Vec<Tuple>>>>;
+
+/// Shared context for emitting tuples from a task.
+struct EmitCtx {
+    routes: Vec<Route>,
+    shuffle_counters: Vec<usize>,
+    rng: SplitMix64,
+    drop_prob: f64,
+    metrics: Metrics,
+    component: String,
+    sink: Sink,
+}
+
+impl EmitCtx {
+    /// Send a tuple to every subscription, assigning fresh edge ids.
+    /// Returns the XOR of all new edge ids (for ack bookkeeping).
+    fn route(&mut self, tuple: &Tuple, track: bool) -> u64 {
+        if self.routes.is_empty() {
+            // Terminal component: collect into the sink.
+            self.sink
+                .lock()
+                .entry(self.component.clone())
+                .or_default()
+                .push(tuple.clone());
+            return 0;
+        }
+        let mut xor = 0u64;
+        for (ri, route) in self.routes.iter().enumerate() {
+            let targets: Vec<usize> = match &route.grouping {
+                Grouping::Shuffle => {
+                    let i = self.shuffle_counters[ri] % route.senders.len();
+                    self.shuffle_counters[ri] += 1;
+                    vec![i]
+                }
+                Grouping::Fields(fields) => {
+                    let mut h = 0u64;
+                    for &f in fields {
+                        if let Some(v) = tuple.get(f) {
+                            h ^= v.hash64().rotate_left(f as u32);
+                        }
+                    }
+                    vec![(h % route.senders.len() as u64) as usize]
+                }
+                Grouping::Global => vec![0],
+                Grouping::All => (0..route.senders.len()).collect(),
+            };
+            for t in targets {
+                let mut msg = tuple.clone();
+                let edge = self.rng.next_u64() | 1;
+                msg.id = edge;
+                if track {
+                    xor ^= edge;
+                }
+                self.metrics.add(&format!("{}.emitted", self.component), 1);
+                if self.drop_prob > 0.0 && self.rng.bernoulli(self.drop_prob) {
+                    // Link failure: the message is lost in flight. Its
+                    // edge id stays in the ack tree so the timeout will
+                    // replay the root.
+                    self.metrics.link_dropped();
+                    continue;
+                }
+                // Blocking send = backpressure in bounded mode.
+                let _ = route.senders[t].send(Msg::Data(msg));
+            }
+        }
+        xor
+    }
+}
+
+const ROOT_SHIFT: u32 = 48;
+
+fn encode_root(spout_task: usize, local: u64) -> u64 {
+    ((spout_task as u64 + 1) << ROOT_SHIFT) | (local & ((1 << ROOT_SHIFT) - 1))
+}
+
+fn decode_root(root: u64) -> (usize, u64) {
+    (((root >> ROOT_SHIFT) - 1) as usize, root & ((1 << ROOT_SHIFT) - 1))
+}
+
+/// Run a topology to completion: spouts drain, trees settle (or the
+/// shutdown timeout fires), bolts flush in topological order.
+pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<RunResult> {
+    builder.validate()?;
+    let metrics = Metrics::new();
+    let sink: Sink = Arc::new(Mutex::new(HashMap::new()));
+    let acker = Arc::new(Mutex::new(Acker::new()));
+    let unclean = Arc::new(AtomicBool::new(false));
+
+    // --- Build channels for every bolt task. ---
+    let mut receivers: HashMap<String, Vec<Receiver<Msg>>> = HashMap::new();
+    let mut senders: HashMap<String, Vec<Sender<Msg>>> = HashMap::new();
+    for c in &builder.components {
+        if matches!(c.kind, ComponentKind::Bolt(_)) {
+            let mut rx = Vec::new();
+            let mut tx = Vec::new();
+            for _ in 0..c.parallelism {
+                let (s, r) = match config.model {
+                    ExecutorModel::ProcessPerTask => bounded(config.channel_capacity),
+                    ExecutorModel::Multiplexed { .. } => unbounded(),
+                };
+                tx.push(s);
+                rx.push(r);
+            }
+            receivers.insert(c.name.clone(), rx);
+            senders.insert(c.name.clone(), tx);
+        }
+    }
+
+    // --- Routing tables: component → its downstream routes. ---
+    let mut routes: HashMap<String, Vec<Route>> = HashMap::new();
+    for c in &builder.components {
+        routes.entry(c.name.clone()).or_default();
+    }
+    for c in &builder.components {
+        for (upstream, grouping) in &c.inputs {
+            routes.get_mut(upstream).unwrap().push(Route {
+                grouping: grouping.clone(),
+                senders: senders[&c.name].clone(),
+            });
+        }
+    }
+
+    // Topological order of components (spouts first). The builder is a
+    // DAG by validation of names; cycles would deadlock — detect them.
+    let order = topo_order(&builder)?;
+
+    let mut spout_handles = Vec::new();
+    let mut bolt_handles: HashMap<String, Vec<std::thread::JoinHandle<()>>> =
+        HashMap::new();
+    let mut decls: Vec<ComponentDecl> = builder.components;
+
+    // --- Spawn bolts (reverse topo order so downstream exists first —
+    //     senders are already cloned, order only matters for clarity). ---
+    let mut task_seed = config.seed;
+    for decl in decls.iter_mut() {
+        let ComponentKind::Bolt(ref mut instances) = decl.kind else {
+            continue;
+        };
+        let name = decl.name.clone();
+        let my_routes = routes[&name].clone();
+        let rx_list = receivers.remove(&name).expect("bolt channel");
+        let instances: Vec<Box<dyn Bolt>> = std::mem::take(instances);
+        let mut tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)> =
+            instances.into_iter().zip(rx_list).collect();
+
+        let group_size = match config.model {
+            ExecutorModel::ProcessPerTask => 1,
+            ExecutorModel::Multiplexed { tasks_per_worker } => {
+                tasks_per_worker.max(1)
+            }
+        };
+        let mut handles = Vec::new();
+        while !tasks.is_empty() {
+            let chunk: Vec<(Box<dyn Bolt>, Receiver<Msg>)> = tasks
+                .drain(..group_size.min(tasks.len()))
+                .collect();
+            task_seed = sa_core::hash::mix64(task_seed);
+            let ctx_template = WorkerCtx {
+                name: name.clone(),
+                routes: my_routes.clone(),
+                acker: acker.clone(),
+                semantics: config.semantics,
+                metrics: metrics.clone(),
+                sink: sink.clone(),
+                drop_prob: config.link_drop_prob,
+                seed: task_seed,
+            };
+            handles.push(std::thread::spawn(move || {
+                run_bolt_worker(chunk, ctx_template);
+            }));
+        }
+        bolt_handles.insert(name, handles);
+    }
+
+    // --- Spawn spouts. ---
+    let mut spout_task_idx = 0usize;
+    for decl in decls.iter_mut() {
+        let ComponentKind::Spout(ref mut instances) = decl.kind else {
+            continue;
+        };
+        let name = decl.name.clone();
+        let my_routes = routes[&name].clone();
+        for spout in std::mem::take(instances) {
+            task_seed = sa_core::hash::mix64(task_seed);
+            let ctx = SpoutCtx {
+                task: spout_task_idx,
+                name: name.clone(),
+                routes: my_routes.clone(),
+                acker: acker.clone(),
+                semantics: config.semantics,
+                metrics: metrics.clone(),
+                sink: sink.clone(),
+                drop_prob: config.link_drop_prob,
+                seed: task_seed,
+                ack_timeout: config.ack_timeout,
+                shutdown_timeout: config.shutdown_timeout,
+                unclean: unclean.clone(),
+            };
+            spout_task_idx += 1;
+            spout_handles.push(std::thread::spawn(move || run_spout(spout, ctx)));
+        }
+    }
+
+    // --- Shutdown protocol: join spouts, then flush+terminate bolts in
+    //     topological order so upstream flush output reaches live
+    //     downstream tasks. ---
+    for h in spout_handles {
+        h.join().map_err(|_| SaError::Platform("spout panicked".into()))?;
+    }
+    for name in &order {
+        let Some(tx_list) = senders.get(name) else {
+            continue; // spout
+        };
+        for tx in tx_list {
+            let _ = tx.send(Msg::Flush);
+            let _ = tx.send(Msg::Terminate);
+        }
+        // Drop our sender clones so channels close once upstreams are
+        // gone, then join this component's workers.
+        if let Some(handles) = bolt_handles.remove(name) {
+            for h in handles {
+                h.join()
+                    .map_err(|_| SaError::Platform("bolt panicked".into()))?;
+            }
+        }
+    }
+
+    let outputs = std::mem::take(&mut *sink.lock());
+    Ok(RunResult {
+        outputs,
+        metrics,
+        clean_shutdown: !unclean.load(Ordering::Relaxed),
+    })
+}
+
+fn topo_order(builder: &TopologyBuilder) -> Result<Vec<String>> {
+    let mut indeg: HashMap<&str, usize> = HashMap::new();
+    let mut down: HashMap<&str, Vec<&str>> = HashMap::new();
+    for c in &builder.components {
+        indeg.entry(c.name.as_str()).or_insert(0);
+        for (up, _) in &c.inputs {
+            *indeg.entry(c.name.as_str()).or_insert(0) += 1;
+            down.entry(up.as_str()).or_default().push(c.name.as_str());
+        }
+    }
+    let mut queue: Vec<&str> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    queue.sort(); // determinism
+    let mut order = Vec::new();
+    while let Some(n) = queue.pop() {
+        order.push(n.to_string());
+        for &d in down.get(n).into_iter().flatten() {
+            let e = indeg.get_mut(d).unwrap();
+            *e -= 1;
+            if *e == 0 {
+                queue.push(d);
+            }
+        }
+    }
+    if order.len() != builder.components.len() {
+        return Err(SaError::Platform("topology contains a cycle".into()));
+    }
+    Ok(order)
+}
+
+struct SpoutCtx {
+    task: usize,
+    name: String,
+    routes: Vec<Route>,
+    acker: Arc<Mutex<Acker>>,
+    semantics: Semantics,
+    metrics: Metrics,
+    sink: Sink,
+    drop_prob: f64,
+    seed: u64,
+    ack_timeout: Duration,
+    shutdown_timeout: Duration,
+    unclean: Arc<AtomicBool>,
+}
+
+fn run_spout(mut spout: Box<dyn Spout>, ctx: SpoutCtx) {
+    let mut emit = EmitCtx {
+        shuffle_counters: vec![0; ctx.routes.len()],
+        routes: ctx.routes,
+        rng: SplitMix64::new(ctx.seed),
+        drop_prob: ctx.drop_prob,
+        metrics: ctx.metrics.clone(),
+        component: ctx.name.clone(),
+        sink: ctx.sink,
+    };
+    let mut local_auto = 0u64;
+    // Fresh ack-tree root per emission: replays get a new tree, so stale
+    // acks from an earlier attempt cannot corrupt it (Storm assigns new
+    // root ids on re-emission for the same reason). `in_flight` maps
+    // live roots back to the spout's stable message id.
+    let mut root_counter = 0u64;
+    let mut in_flight: HashMap<u64, u64> = HashMap::new();
+    let deadline_base = Instant::now();
+    let mut exhausted_at: Option<Instant> = None;
+    loop {
+        // Settle acks/fails destined for this spout.
+        if ctx.semantics == Semantics::AtLeastOnce {
+            let (completed, failed) = {
+                let mut acker = ctx.acker.lock();
+                acker.expire(ctx.ack_timeout);
+                (acker.take_completed(), acker.take_failed())
+            };
+            for root in completed {
+                let (task, _) = decode_root(root);
+                if task == ctx.task {
+                    if let Some(local) = in_flight.remove(&root) {
+                        spout.ack(local);
+                        ctx.metrics.root_acked();
+                    }
+                } else {
+                    // Not ours: hand it back for the owning spout.
+                    ctx.acker.lock().requeue_completed(root);
+                }
+            }
+            for root in failed {
+                let (task, _) = decode_root(root);
+                if task == ctx.task {
+                    if let Some(local) = in_flight.remove(&root) {
+                        spout.fail(local);
+                        ctx.metrics.root_failed();
+                        ctx.metrics.root_replayed();
+                    }
+                } else {
+                    ctx.acker.lock().requeue_failed(root);
+                }
+            }
+        }
+        match spout.next_tuple() {
+            Some(mut t) => {
+                exhausted_at = None;
+                // The spout's own message id (stable across replays)
+                // arrives in `root`; it becomes the tuple's lineage.
+                let local = if t.root != 0 {
+                    t.root
+                } else {
+                    local_auto += 1;
+                    local_auto
+                };
+                t.lineage = local;
+                match ctx.semantics {
+                    Semantics::AtMostOnce => {
+                        t.root = 0;
+                        emit.route(&t, false);
+                    }
+                    Semantics::AtLeastOnce => {
+                        root_counter += 1;
+                        let root = encode_root(ctx.task, root_counter);
+                        t.root = root;
+                        in_flight.insert(root, local);
+                        let xor = emit.route(&t, true);
+                        ctx.acker.lock().init(root, xor);
+                    }
+                }
+            }
+            None => {
+                let done = match ctx.semantics {
+                    Semantics::AtMostOnce => true,
+                    Semantics::AtLeastOnce => {
+                        spout.pending() == 0
+                    }
+                };
+                if done {
+                    break;
+                }
+                let started = *exhausted_at.get_or_insert_with(Instant::now);
+                if started.elapsed() > ctx.shutdown_timeout
+                    || deadline_base.elapsed() > ctx.shutdown_timeout.mul_f32(4.0)
+                {
+                    ctx.unclean.store(true, Ordering::Relaxed);
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+struct WorkerCtx {
+    name: String,
+    routes: Vec<Route>,
+    acker: Arc<Mutex<Acker>>,
+    semantics: Semantics,
+    metrics: Metrics,
+    sink: Sink,
+    drop_prob: f64,
+    seed: u64,
+}
+
+fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
+    struct TaskState {
+        bolt: Box<dyn Bolt>,
+        rx: Receiver<Msg>,
+        emit: EmitCtx,
+        done: bool,
+    }
+    let mut states: Vec<TaskState> = tasks
+        .into_iter()
+        .enumerate()
+        .map(|(i, (bolt, rx))| TaskState {
+            bolt,
+            rx,
+            emit: EmitCtx {
+                shuffle_counters: vec![0; ctx.routes.len()],
+                routes: ctx.routes.clone(),
+                rng: SplitMix64::new(ctx.seed.wrapping_add(i as u64 * 0x9E37)),
+                drop_prob: ctx.drop_prob,
+                metrics: ctx.metrics.clone(),
+                component: ctx.name.clone(),
+                sink: ctx.sink.clone(),
+            },
+            done: false,
+        })
+        .collect();
+    let single = states.len() == 1;
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for st in states.iter_mut() {
+            if st.done {
+                continue;
+            }
+            all_done = false;
+            let msg = if single {
+                // Dedicated worker: block.
+                match st.rx.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => {
+                        st.done = true;
+                        continue;
+                    }
+                }
+            } else {
+                match st.rx.try_recv() {
+                    Ok(m) => Some(m),
+                    Err(crossbeam::channel::TryRecvError::Empty) => None,
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                        st.done = true;
+                        continue;
+                    }
+                }
+            };
+            let Some(msg) = msg else { continue };
+            progressed = true;
+            match msg {
+                Msg::Data(t) => {
+                    ctx.metrics.add(&format!("{}.executed", ctx.name), 1);
+                    let mut out = OutputCollector::new();
+                    st.bolt.execute(&t, &mut out);
+                    handle_emissions(&t, out, st, &ctx);
+                }
+                Msg::Flush => {
+                    let mut out = OutputCollector::new();
+                    st.bolt.flush(&mut out);
+                    for mut e in out.emitted {
+                        e.root = 0;
+                        st.emit.route(&e, false);
+                    }
+                }
+                Msg::Terminate => {
+                    st.done = true;
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed && !single {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    fn handle_emissions(
+        input: &Tuple,
+        out: OutputCollector,
+        st: &mut TaskState,
+        ctx: &WorkerCtx,
+    ) {
+        let anchored =
+            ctx.semantics == Semantics::AtLeastOnce && input.root != 0;
+        if out.failed {
+            if anchored {
+                ctx.acker.lock().fail(input.root);
+            }
+            return;
+        }
+        let mut xor_new = 0u64;
+        for mut e in out.emitted {
+            e.root = input.root;
+            e.lineage = input.lineage;
+            if e.event_time == 0 {
+                e.event_time = input.event_time;
+            }
+            xor_new ^= st.emit.route(&e, anchored);
+        }
+        if anchored {
+            ctx.acker.lock().ack(input.root, input.id ^ xor_new);
+        }
+    }
+}

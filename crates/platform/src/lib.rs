@@ -1,0 +1,42 @@
+//! # sa-platform
+//!
+//! A miniature distributed stream-processing engine reproducing the
+//! design space of the paper's Table 2 and the Lambda Architecture of
+//! its Figure 1, on a single machine: worker threads stand in for
+//! cluster nodes and crossbeam channels for network links (DESIGN.md §2
+//! documents why this preserves the semantics under study).
+//!
+//! What maps to what:
+//!
+//! * **Storm** — [`topology`]'s spout/bolt DAG with stream groupings,
+//!   and [`acker`]'s XOR-ack protocol giving at-least-once delivery
+//!   with replay.
+//! * **Heron** — [`executor::ExecutorModel::ProcessPerTask`]: one task
+//!   per worker, vs. Storm's multiplexed workers
+//!   ([`executor::ExecutorModel::Multiplexed`]) — the debuggability/
+//!   isolation redesign the paper describes, benchmarked in t18.
+//! * **MillWheel** — [`checkpoint`]'s versioned store with atomic
+//!   per-key commits and dedup tokens: exactly-once state updates.
+//! * **Samza / Kafka** — [`log`]'s durable partitioned log with offsets
+//!   and replayable consumers.
+//! * **Figure 1 (Lambda)** — [`lambda`]: immutable master dataset,
+//!   batch views, serving-layer index, speed layer, merged queries.
+//!
+//! §3's platform requirements are exercised by tests: resilience to
+//! out-of-order/missing data (event-time windows + watermarks via
+//! `sa-windows`), predictable outcomes (exactly-once test), availability
+//! under failures (failure-injection tests), and incremental scale-out
+//! (parallelism sweeps in t18).
+
+pub mod acker;
+pub mod checkpoint;
+pub mod executor;
+pub mod lambda;
+pub mod log;
+pub mod metrics;
+pub mod topology;
+pub mod tuple;
+
+pub use executor::{run_topology, ExecutorConfig, ExecutorModel, Semantics};
+pub use topology::{Bolt, Grouping, OutputCollector, Spout, TopologyBuilder};
+pub use tuple::{Tuple, Value};

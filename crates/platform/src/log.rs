@@ -1,0 +1,202 @@
+//! A durable partitioned log — the Kafka stand-in that gives this
+//! workspace Samza's persistence/replay semantics and the Lambda
+//! architecture's immutable master dataset (see DESIGN.md §2 for the
+//! substitution argument: Samza's guarantees derive from log semantics
+//! — append, offset, replay — which are reproduced here exactly).
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One record in a partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Partition-local offset.
+    pub offset: u64,
+    /// Partitioning key.
+    pub key: String,
+    /// Payload.
+    pub value: Vec<u8>,
+}
+
+/// An append-only, partitioned, replayable log. Cloning shares the
+/// underlying storage (it is the "cluster-wide" log).
+#[derive(Clone, Debug)]
+pub struct Log {
+    partitions: Arc<Vec<RwLock<Vec<Record>>>>,
+}
+
+impl Log {
+    /// A log with `partitions ≥ 1` partitions.
+    pub fn new(partitions: usize) -> sa_core::Result<Self> {
+        if partitions == 0 {
+            return Err(sa_core::SaError::invalid("partitions", "must be positive"));
+        }
+        Ok(Self {
+            partitions: Arc::new(
+                (0..partitions).map(|_| RwLock::new(Vec::new())).collect(),
+            ),
+        })
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition a key routes to.
+    pub fn partition_of(&self, key: &str) -> usize {
+        (sa_core::hash::hash64(key, 0x10C) % self.partitions.len() as u64) as usize
+    }
+
+    /// Append by key; returns `(partition, offset)`.
+    pub fn append(&self, key: &str, value: Vec<u8>) -> (usize, u64) {
+        let p = self.partition_of(key);
+        let mut part = self.partitions[p].write();
+        let offset = part.len() as u64;
+        part.push(Record { offset, key: key.to_string(), value });
+        (p, offset)
+    }
+
+    /// Read up to `max` records from a partition starting at `offset`.
+    pub fn read(&self, partition: usize, offset: u64, max: usize) -> Vec<Record> {
+        let part = self.partitions[partition].read();
+        part.iter()
+            .skip(offset as usize)
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    /// End offset (next offset to be written) of a partition.
+    pub fn end_offset(&self, partition: usize) -> u64 {
+        self.partitions[partition].read().len() as u64
+    }
+
+    /// Total records across partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.read().len()).sum()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A consumer with per-partition committed offsets (a one-member
+/// "consumer group"): reads are repeatable until committed, which is
+/// exactly the at-least-once contract Samza inherits from Kafka.
+#[derive(Clone, Debug)]
+pub struct Consumer {
+    log: Log,
+    offsets: Vec<u64>,
+}
+
+impl Consumer {
+    /// A consumer starting at the log's beginning.
+    pub fn new(log: &Log) -> Self {
+        Self { log: log.clone(), offsets: vec![0; log.partitions()] }
+    }
+
+    /// Poll up to `max` records from one partition (does not advance the
+    /// committed offset).
+    pub fn poll(&self, partition: usize, max: usize) -> Vec<Record> {
+        self.log.read(partition, self.offsets[partition], max)
+    }
+
+    /// Commit the offset after processing records up to `offset`
+    /// exclusive.
+    pub fn commit(&mut self, partition: usize, offset: u64) {
+        self.offsets[partition] = offset;
+    }
+
+    /// Committed offset of a partition.
+    pub fn committed(&self, partition: usize) -> u64 {
+        self.offsets[partition]
+    }
+
+    /// Records remaining across all partitions.
+    pub fn lag(&self) -> u64 {
+        (0..self.log.partitions())
+            .map(|p| self.log.end_offset(p) - self.offsets[p])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_read_round_trip() {
+        let log = Log::new(4).unwrap();
+        let (p, o) = log.append("user1", b"hello".to_vec());
+        assert_eq!(o, 0);
+        let recs = log.read(p, 0, 10);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].value, b"hello");
+        assert_eq!(recs[0].key, "user1");
+    }
+
+    #[test]
+    fn same_key_same_partition_ordered() {
+        let log = Log::new(8).unwrap();
+        for i in 0..100u32 {
+            log.append("k", i.to_le_bytes().to_vec());
+        }
+        let p = log.partition_of("k");
+        let recs = log.read(p, 0, 1000);
+        assert_eq!(recs.len(), 100);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.offset, i as u64);
+            assert_eq!(r.value, (i as u32).to_le_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_partitions() {
+        let log = Log::new(8).unwrap();
+        for i in 0..1000u32 {
+            log.append(&format!("k{i}"), vec![]);
+        }
+        let mut used = 0;
+        for p in 0..8 {
+            if log.end_offset(p) > 0 {
+                used += 1;
+            }
+        }
+        assert!(used >= 6, "only {used} partitions used");
+    }
+
+    #[test]
+    fn consumer_replay_until_commit() {
+        let log = Log::new(1).unwrap();
+        for i in 0..5u8 {
+            log.append("k", vec![i]);
+        }
+        let mut c = Consumer::new(&log);
+        let batch1 = c.poll(0, 3);
+        assert_eq!(batch1.len(), 3);
+        // Crash before commit: poll again → same records (replay).
+        let batch2 = c.poll(0, 3);
+        assert_eq!(batch1, batch2);
+        c.commit(0, 3);
+        let batch3 = c.poll(0, 3);
+        assert_eq!(batch3.len(), 2);
+        assert_eq!(batch3[0].value, vec![3]);
+        assert_eq!(c.lag(), 2);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let log = Log::new(2).unwrap();
+        let log2 = log.clone();
+        log.append("a", vec![1]);
+        assert_eq!(log2.len(), 1);
+    }
+
+    #[test]
+    fn invalid_partitions() {
+        assert!(Log::new(0).is_err());
+    }
+}

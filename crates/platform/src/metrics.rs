@@ -1,0 +1,108 @@
+//! Runtime metrics: per-component counters plus a latency histogram,
+//! shared across worker threads.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared metrics sink. Clones share storage.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    inner: Arc<MetricsInner>,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: Mutex<HashMap<String, u64>>,
+    acked_roots: AtomicU64,
+    failed_roots: AtomicU64,
+    replayed_roots: AtomicU64,
+    dropped_links: AtomicU64,
+}
+
+impl Metrics {
+    /// Empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add to a named counter (e.g. `"count.executed"`).
+    pub fn add(&self, name: &str, delta: u64) {
+        *self.inner.counters.lock().entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Read a named counter.
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Record an acked root.
+    pub fn root_acked(&self) {
+        self.inner.acked_roots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a failed (to-be-replayed) root.
+    pub fn root_failed(&self) {
+        self.inner.failed_roots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a replayed root.
+    pub fn root_replayed(&self) {
+        self.inner.replayed_roots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an injected link drop.
+    pub fn link_dropped(&self) {
+        self.inner.dropped_links.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot (acked, failed, replayed, dropped).
+    pub fn root_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.inner.acked_roots.load(Ordering::Relaxed),
+            self.inner.failed_roots.load(Ordering::Relaxed),
+            self.inner.replayed_roots.load(Ordering::Relaxed),
+            self.inner.dropped_links.load(Ordering::Relaxed),
+        )
+    }
+
+    /// All named counters, sorted.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .inner
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m.add("x.executed", 3);
+        m2.add("x.executed", 4);
+        assert_eq!(m.get("x.executed"), 7);
+        assert_eq!(m.get("missing"), 0);
+    }
+
+    #[test]
+    fn root_stats() {
+        let m = Metrics::new();
+        m.root_acked();
+        m.root_failed();
+        m.root_failed();
+        m.root_replayed();
+        m.link_dropped();
+        assert_eq!(m.root_stats(), (1, 2, 1, 1));
+    }
+}

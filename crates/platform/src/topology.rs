@@ -1,0 +1,328 @@
+//! Topology model: spouts, bolts, groupings — Storm's abstractions,
+//! which the rest of Table 2's systems refine.
+
+use crate::tuple::Tuple;
+
+/// Message routing between components (Storm's stream groupings).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Grouping {
+    /// Round-robin across the downstream tasks.
+    Shuffle,
+    /// Hash of the named field indices: same key → same task (the
+    /// grouping that makes stateful aggregation correct).
+    Fields(Vec<usize>),
+    /// Everything to task 0.
+    Global,
+    /// Replicate to every task.
+    All,
+}
+
+/// A data source. Implementations must be `Send` — each spout task runs
+/// on its own thread.
+pub trait Spout: Send {
+    /// Produce the next tuple, or `None` when (currently) exhausted.
+    /// Exhaustion is not terminal: the runtime polls again until the
+    /// shutdown condition is met, so replaying spouts can re-emit.
+    fn next_tuple(&mut self) -> Option<Tuple>;
+
+    /// The runtime confirms full processing of the tuple rooted here
+    /// (at-least-once mode only).
+    fn ack(&mut self, _root: u64) {}
+
+    /// The runtime reports a failed/timed-out tuple; reliable spouts
+    /// re-emit it.
+    fn fail(&mut self, _root: u64) {}
+
+    /// Whether every emitted tuple has been fully settled (used for
+    /// clean shutdown in at-least-once mode).
+    fn pending(&self) -> usize {
+        0
+    }
+}
+
+/// Emission interface handed to bolts.
+pub struct OutputCollector {
+    /// Tuples emitted during this `execute` call.
+    pub(crate) emitted: Vec<Tuple>,
+    /// Whether the input tuple was explicitly failed.
+    pub(crate) failed: bool,
+}
+
+impl OutputCollector {
+    pub(crate) fn new() -> Self {
+        Self { emitted: Vec::new(), failed: false }
+    }
+
+    /// Emit a tuple anchored to the current input (its lineage joins the
+    /// ack tree; a replay of the root will re-drive it).
+    pub fn emit(&mut self, tuple: Tuple) {
+        self.emitted.push(tuple);
+    }
+
+    /// Mark the input tuple as failed: the root will be replayed in
+    /// at-least-once mode.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+}
+
+/// A processing node. `Send` — each task runs on a worker thread.
+pub trait Bolt: Send {
+    /// Process one input tuple, emitting any number of outputs.
+    fn execute(&mut self, input: &Tuple, out: &mut OutputCollector);
+
+    /// Called when the topology is draining; bolts may emit final
+    /// aggregates.
+    fn flush(&mut self, _out: &mut OutputCollector) {}
+}
+
+/// Blanket impl so closures can be used as stateless bolts.
+impl<F> Bolt for F
+where
+    F: FnMut(&Tuple, &mut OutputCollector) + Send,
+{
+    fn execute(&mut self, input: &Tuple, out: &mut OutputCollector) {
+        self(input, out)
+    }
+}
+
+/// One component (spout or bolt) declaration.
+pub(crate) struct ComponentDecl {
+    pub name: String,
+    pub parallelism: usize,
+    pub kind: ComponentKind,
+    /// (upstream component name, grouping).
+    pub inputs: Vec<(String, Grouping)>,
+}
+
+pub(crate) enum ComponentKind {
+    Spout(Vec<Box<dyn Spout>>),
+    Bolt(Vec<Box<dyn Bolt>>),
+}
+
+/// Declarative topology builder (Storm's `TopologyBuilder`).
+///
+/// ```
+/// use sa_platform::{TopologyBuilder, Grouping, Tuple};
+/// use sa_platform::topology::vec_spout;
+/// use sa_platform::tuple::tuple_of;
+///
+/// let mut tb = TopologyBuilder::new();
+/// tb.set_spout("words", vec![vec_spout(vec![tuple_of(["a"]), tuple_of(["b"])])]);
+/// tb.set_bolt("noop", vec![Box::new(|t: &Tuple, out: &mut sa_platform::OutputCollector| {
+///     out.emit(t.clone());
+/// }) as Box<dyn sa_platform::Bolt>])
+///   .shuffle("words");
+/// ```
+#[derive(Default)]
+pub struct TopologyBuilder {
+    pub(crate) components: Vec<ComponentDecl>,
+}
+
+/// Handle for wiring a bolt's inputs.
+pub struct BoltHandle<'a> {
+    decl: &'a mut ComponentDecl,
+}
+
+impl<'a> BoltHandle<'a> {
+    /// Subscribe with shuffle grouping.
+    pub fn shuffle(self, upstream: &str) -> BoltHandle<'a> {
+        self.decl.inputs.push((upstream.to_string(), Grouping::Shuffle));
+        self
+    }
+
+    /// Subscribe with fields (hash) grouping on the given field indices.
+    pub fn fields(self, upstream: &str, fields: Vec<usize>) -> BoltHandle<'a> {
+        self.decl.inputs.push((upstream.to_string(), Grouping::Fields(fields)));
+        self
+    }
+
+    /// Subscribe with global grouping.
+    pub fn global(self, upstream: &str) -> BoltHandle<'a> {
+        self.decl.inputs.push((upstream.to_string(), Grouping::Global));
+        self
+    }
+
+    /// Subscribe with all (broadcast) grouping.
+    pub fn all(self, upstream: &str) -> BoltHandle<'a> {
+        self.decl.inputs.push((upstream.to_string(), Grouping::All));
+        self
+    }
+}
+
+impl TopologyBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a spout; parallelism = number of instances supplied.
+    pub fn set_spout(&mut self, name: &str, instances: Vec<Box<dyn Spout>>) {
+        assert!(!instances.is_empty(), "need at least one spout instance");
+        self.components.push(ComponentDecl {
+            name: name.to_string(),
+            parallelism: instances.len(),
+            kind: ComponentKind::Spout(instances),
+            inputs: Vec::new(),
+        });
+    }
+
+    /// Declare a bolt; parallelism = number of instances supplied.
+    /// Returns a handle to wire its inputs.
+    pub fn set_bolt(&mut self, name: &str, instances: Vec<Box<dyn Bolt>>) -> BoltHandle<'_> {
+        assert!(!instances.is_empty(), "need at least one bolt instance");
+        self.components.push(ComponentDecl {
+            name: name.to_string(),
+            parallelism: instances.len(),
+            kind: ComponentKind::Bolt(instances),
+            inputs: Vec::new(),
+        });
+        BoltHandle { decl: self.components.last_mut().unwrap() }
+    }
+
+    /// Validate the wiring: every input references a declared component,
+    /// no self-loops, spouts have no inputs.
+    pub fn validate(&self) -> sa_core::Result<()> {
+        use sa_core::SaError;
+        let names: std::collections::HashSet<&str> =
+            self.components.iter().map(|c| c.name.as_str()).collect();
+        if names.len() != self.components.len() {
+            return Err(SaError::Platform("duplicate component name".into()));
+        }
+        for c in &self.components {
+            for (up, _) in &c.inputs {
+                if !names.contains(up.as_str()) {
+                    return Err(SaError::Platform(format!(
+                        "{} subscribes to unknown component {up}",
+                        c.name
+                    )));
+                }
+                if up == &c.name {
+                    return Err(SaError::Platform(format!(
+                        "{} subscribes to itself",
+                        c.name
+                    )));
+                }
+            }
+            if matches!(c.kind, ComponentKind::Spout(_)) && !c.inputs.is_empty() {
+                return Err(SaError::Platform(format!(
+                    "spout {} cannot have inputs",
+                    c.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A simple spout over a fixed vector, with reliable-replay support:
+/// failed tuples are re-queued, acked tuples are retired.
+pub struct VecSpout {
+    queue: std::collections::VecDeque<(u64, Tuple)>,
+    in_flight: std::collections::HashMap<u64, Tuple>,
+    next_seq: u64,
+    /// Total re-emissions performed (diagnostic).
+    pub replays: u64,
+}
+
+impl VecSpout {
+    /// A spout that will emit the given tuples (once each, plus replays).
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        let queue: std::collections::VecDeque<(u64, Tuple)> = tuples
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (i as u64 + 1, t))
+            .collect();
+        let next_seq = queue.len() as u64 + 1;
+        Self {
+            queue,
+            in_flight: std::collections::HashMap::new(),
+            next_seq,
+            replays: 0,
+        }
+    }
+}
+
+/// Boxed [`VecSpout`] constructor (the common case in tests/examples).
+pub fn vec_spout(tuples: Vec<Tuple>) -> Box<dyn Spout> {
+    Box::new(VecSpout::new(tuples))
+}
+
+impl Spout for VecSpout {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let (seq, mut t) = self.queue.pop_front()?;
+        t.root = seq;
+        self.in_flight.insert(seq, t.clone());
+        self.next_seq = self.next_seq.max(seq + 1);
+        Some(t)
+    }
+
+    fn ack(&mut self, root: u64) {
+        self.in_flight.remove(&root);
+    }
+
+    fn fail(&mut self, root: u64) {
+        if let Some(t) = self.in_flight.remove(&root) {
+            self.replays += 1;
+            self.queue.push_back((root, t));
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.in_flight.len() + self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple_of;
+
+    #[test]
+    fn builder_validates_wiring() {
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("s", vec![vec_spout(vec![])]);
+        tb.set_bolt(
+            "b",
+            vec![Box::new(|_: &Tuple, _: &mut OutputCollector| {}) as Box<dyn Bolt>],
+        )
+        .shuffle("s");
+        assert!(tb.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_unknown_upstream() {
+        let mut tb = TopologyBuilder::new();
+        tb.set_bolt(
+            "b",
+            vec![Box::new(|_: &Tuple, _: &mut OutputCollector| {}) as Box<dyn Bolt>],
+        )
+        .shuffle("ghost");
+        assert!(tb.validate().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_names() {
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("x", vec![vec_spout(vec![])]);
+        tb.set_spout("x", vec![vec_spout(vec![])]);
+        assert!(tb.validate().is_err());
+    }
+
+    #[test]
+    fn vec_spout_replays_failures() {
+        let mut s = VecSpout::new(vec![tuple_of(["a"]), tuple_of(["b"])]);
+        let t1 = s.next_tuple().unwrap();
+        let _t2 = s.next_tuple().unwrap();
+        assert_eq!(s.pending(), 2);
+        s.ack(t1.root);
+        assert_eq!(s.pending(), 1);
+        s.fail(2);
+        assert_eq!(s.replays, 1);
+        let replayed = s.next_tuple().unwrap();
+        assert_eq!(replayed.root, 2);
+        s.ack(2);
+        assert_eq!(s.pending(), 0);
+        assert!(s.next_tuple().is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Bernoulli (coin-flip) sampling — the baseline every reservoir scheme
+//! is measured against.
+
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+
+/// Keep each item independently with probability `p`.
+///
+/// Sample size is binomial (unbounded in expectation for unbounded
+/// streams) — which is exactly why reservoirs exist; experiment t01
+/// contrasts the two.
+#[derive(Clone, Debug)]
+pub struct BernoulliSampler<T> {
+    sample: Vec<T>,
+    p: f64,
+    n: u64,
+    rng: SplitMix64,
+}
+
+impl<T> BernoulliSampler<T> {
+    /// Sampling probability `p ∈ (0, 1]`.
+    pub fn new(p: f64) -> Result<Self> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(SaError::invalid("p", "must be in (0,1]"));
+        }
+        Ok(Self { sample: Vec::new(), p, n: 0, rng: SplitMix64::new(0xBE12) })
+    }
+
+    /// Use a specific RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Offer one item.
+    pub fn offer(&mut self, item: T) {
+        self.n += 1;
+        if self.rng.bernoulli(self.p) {
+            self.sample.push(item);
+        }
+    }
+
+    /// The retained items.
+    pub fn sample(&self) -> &[T] {
+        &self.sample
+    }
+
+    /// Items seen.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Horvitz–Thompson estimate of the stream length from the sample.
+    pub fn estimated_n(&self) -> f64 {
+        self.sample.len() as f64 / self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_near_pn() {
+        let mut s = BernoulliSampler::new(0.01).unwrap().with_seed(1);
+        for i in 0..100_000u64 {
+            s.offer(i);
+        }
+        let len = s.sample().len();
+        assert!((800..1200).contains(&len), "len = {len}");
+        let est = s.estimated_n();
+        assert!((est - 100_000.0).abs() < 20_000.0);
+    }
+
+    #[test]
+    fn p_one_keeps_everything() {
+        let mut s = BernoulliSampler::new(1.0).unwrap();
+        for i in 0..100u32 {
+            s.offer(i);
+        }
+        assert_eq!(s.sample().len(), 100);
+    }
+
+    #[test]
+    fn invalid_p() {
+        assert!(BernoulliSampler::<u32>::new(0.0).is_err());
+        assert!(BernoulliSampler::<u32>::new(1.1).is_err());
+    }
+}

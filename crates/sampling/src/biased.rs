@@ -1,0 +1,136 @@
+//! Biased reservoir sampling (Aggarwal, VLDB 2006 — the paper's \[33\]).
+
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+
+/// Temporally biased reservoir for *evolving* streams.
+///
+/// A uniform reservoir gives ancient and recent items equal standing,
+/// which is wrong when the stream's distribution drifts. Aggarwal's
+/// scheme targets an exponential bias `p(r, t) ∝ e^{-λ(t-r)}` toward
+/// recent items: with reservoir fraction `F = len/k`, each arrival is
+/// inserted with probability `F` replacing a random victim, otherwise
+/// appended — realizing the bias with amortized O(1) work and maximum
+/// reservoir size `k = 1/λ`.
+#[derive(Clone, Debug)]
+pub struct BiasedReservoir<T> {
+    sample: Vec<T>,
+    k: usize,
+    n: u64,
+    rng: SplitMix64,
+}
+
+impl<T> BiasedReservoir<T> {
+    /// Capacity `k = 1/λ` (larger k ⇒ weaker recency bias).
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        Ok(Self {
+            sample: Vec::with_capacity(k),
+            k,
+            n: 0,
+            rng: SplitMix64::new(0xB1A5),
+        })
+    }
+
+    /// Use a specific RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Offer one item.
+    pub fn offer(&mut self, item: T) {
+        self.n += 1;
+        let fraction = self.sample.len() as f64 / self.k as f64;
+        if self.sample.len() < self.k && !self.rng.bernoulli(fraction) {
+            self.sample.push(item);
+        } else {
+            // Replace a random victim: coin success = deletion + insert.
+            let victim = self.rng.index(self.sample.len());
+            self.sample[victim] = item;
+        }
+    }
+
+    /// The current (recency-biased) sample.
+    pub fn sample(&self) -> &[T] {
+        &self.sample
+    }
+
+    /// Items seen.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The effective bias rate λ = 1/k.
+    pub fn lambda(&self) -> f64 {
+        1.0 / self.k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recent_items_overrepresented() {
+        // Stream of 100k sequence numbers; with k = 1000 the sample
+        // should be dominated by the recent past (mean ≫ n/2).
+        let mut br = BiasedReservoir::new(1_000).unwrap().with_seed(4);
+        let n = 100_000u64;
+        for i in 0..n {
+            br.offer(i as f64);
+        }
+        let mean = sa_core::stats::mean(br.sample());
+        assert!(
+            mean > 0.95 * n as f64,
+            "mean = {mean}, expected strong recency bias"
+        );
+    }
+
+    #[test]
+    fn age_distribution_roughly_exponential() {
+        // P(age > k) should be ≈ e^{-1}; P(age > 2k) ≈ e^{-2}.
+        let k = 500usize;
+        let n = 50_000u64;
+        let mut older_than_k = 0usize;
+        let mut older_than_2k = 0usize;
+        let mut total = 0usize;
+        for seed in 0..20u64 {
+            let mut br = BiasedReservoir::new(k).unwrap().with_seed(seed);
+            for i in 0..n {
+                br.offer(i);
+            }
+            for &v in br.sample() {
+                let age = n - 1 - v;
+                total += 1;
+                if age > k as u64 {
+                    older_than_k += 1;
+                }
+                if age > 2 * k as u64 {
+                    older_than_2k += 1;
+                }
+            }
+        }
+        let p1 = older_than_k as f64 / total as f64;
+        let p2 = older_than_2k as f64 / total as f64;
+        assert!((p1 - (-1.0f64).exp()).abs() < 0.08, "P(age>k) = {p1}");
+        assert!((p2 - (-2.0f64).exp()).abs() < 0.06, "P(age>2k) = {p2}");
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut br = BiasedReservoir::new(10).unwrap();
+        for i in 0..1000u32 {
+            br.offer(i);
+            assert!(br.sample().len() <= 10);
+        }
+        assert_eq!(br.n(), 1000);
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        assert!(BiasedReservoir::<u32>::new(0).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Chain sampling over sliding windows (Babcock, Datar, Motwani —
+//! SODA 2002, the paper's \[45\]).
+
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+use std::collections::VecDeque;
+
+/// One chain = one uniform sample of the last `w` items.
+#[derive(Clone, Debug)]
+struct Chain<T> {
+    /// (arrival index, item); front is the current sample, the rest are
+    /// pre-selected replacements for successive expirations.
+    links: VecDeque<(u64, T)>,
+    /// Arrival index whose item must be captured as the next link.
+    awaiting: u64,
+}
+
+/// Sliding-window uniform sampling.
+///
+/// A plain reservoir cannot *unsample* expired items; chain sampling
+/// fixes this by pre-electing, for every sampled item, the index of its
+/// replacement within the following window — building a chain whose
+/// expected length is O(1). `k` independent chains give a
+/// with-replacement sample of size `k` of the current window.
+#[derive(Clone, Debug)]
+pub struct ChainSampler<T> {
+    chains: Vec<Chain<T>>,
+    window: u64,
+    n: u64,
+    rng: SplitMix64,
+}
+
+impl<T: Clone> ChainSampler<T> {
+    /// `k ≥ 1` chains over a window of `window ≥ 1` most recent items.
+    pub fn new(k: usize, window: u64) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        if window == 0 {
+            return Err(SaError::invalid("window", "must be positive"));
+        }
+        Ok(Self {
+            chains: vec![Chain { links: VecDeque::new(), awaiting: 0 }; k],
+            window,
+            n: 0,
+            rng: SplitMix64::new(0xC4A1),
+        })
+    }
+
+    /// Use a specific RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Offer the next stream item.
+    pub fn offer(&mut self, item: T) {
+        self.n += 1;
+        let i = self.n; // 1-based arrival index
+        let w = self.window;
+        let oldest_live = i.saturating_sub(w) + 1;
+        for c in 0..self.chains.len() {
+            // Expire dead links from the front.
+            while let Some(&(idx, _)) = self.chains[c].links.front() {
+                if idx < oldest_live {
+                    self.chains[c].links.pop_front();
+                } else {
+                    break;
+                }
+            }
+            // Replace the whole chain with probability 1/min(i, w).
+            let p_denom = i.min(w);
+            if self.rng.next_below(p_denom) == 0 {
+                self.chains[c].links.clear();
+                self.chains[c].links.push_back((i, item.clone()));
+                self.chains[c].awaiting = i + 1 + self.rng.next_below(w);
+            } else if self.chains[c].awaiting == i
+                && !self.chains[c].links.is_empty()
+            {
+                // Capture the pre-elected successor and elect the next.
+                self.chains[c].links.push_back((i, item.clone()));
+                self.chains[c].awaiting = i + 1 + self.rng.next_below(w);
+            }
+        }
+    }
+
+    /// Current with-replacement sample of the live window (one item per
+    /// chain whose sample is still live).
+    pub fn sample(&self) -> Vec<&T> {
+        let oldest_live = self.n.saturating_sub(self.window) + 1;
+        self.chains
+            .iter()
+            .filter_map(|c| {
+                c.links
+                    .front()
+                    .filter(|&&(idx, _)| idx >= oldest_live)
+                    .map(|(_, item)| item)
+            })
+            .collect()
+    }
+
+    /// Items seen so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Total stored links across chains — the space diagnostic showing
+    /// the expected O(k) chain memory.
+    pub fn stored_links(&self) -> usize {
+        self.chains.iter().map(|c| c.links.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_come_from_live_window() {
+        let mut cs = ChainSampler::new(50, 1_000).unwrap().with_seed(5);
+        for i in 0..100_000u64 {
+            cs.offer(i);
+        }
+        for &v in cs.sample() {
+            assert!(v >= 99_000, "stale sample {v}");
+        }
+    }
+
+    #[test]
+    fn window_sampling_is_roughly_uniform() {
+        // Aggregate many runs; each window decile should get ~10%.
+        let w = 1_000u64;
+        let mut buckets = [0u32; 10];
+        let mut total = 0u32;
+        for seed in 0..30u64 {
+            let mut cs = ChainSampler::new(20, w).unwrap().with_seed(seed);
+            for i in 0..10_000u64 {
+                cs.offer(i);
+            }
+            for &v in cs.sample() {
+                let age = 9_999 - v;
+                buckets[(age * 10 / w) as usize] += 1;
+                total += 1;
+            }
+        }
+        let expected = f64::from(total) / 10.0;
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                (f64::from(b) - expected).abs() < expected * 0.35,
+                "decile {i}: {b} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn chains_never_empty_after_warmup() {
+        let mut cs = ChainSampler::new(100, 500).unwrap().with_seed(6);
+        for i in 0..5_000u64 {
+            cs.offer(i);
+        }
+        // Every chain should produce a live sample essentially always.
+        assert!(cs.sample().len() >= 95, "only {} live", cs.sample().len());
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        let mut cs = ChainSampler::new(100, 10_000).unwrap().with_seed(7);
+        for i in 0..200_000u64 {
+            cs.offer(i);
+        }
+        // Expected chain length is O(1); generous bound.
+        assert!(cs.stored_links() < 100 * 20, "{} links", cs.stored_links());
+    }
+
+    #[test]
+    fn short_stream_sample_within_it() {
+        let mut cs = ChainSampler::new(10, 100).unwrap();
+        for i in 0..5u64 {
+            cs.offer(i);
+        }
+        for &v in cs.sample() {
+            assert!(v < 5);
+        }
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(ChainSampler::<u32>::new(0, 10).is_err());
+        assert!(ChainSampler::<u32>::new(10, 0).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Sampling from distributed streams (Cormode, Muthukrishnan, Yi, Zhang
+//! — PODS 2010 / JACM 2012; the paper's \[69, 70\]).
+
+use crate::reservoir::{Reservoir, ReservoirAlgo};
+use sa_core::{Merge, Result, SaError};
+
+/// Coordinator-side uniform sampling over `s` partitioned sites.
+///
+/// Each site runs a local reservoir over its partition; the coordinator
+/// merges them weighted by per-site counts, producing a sample
+/// distributed as if one reservoir had seen the interleaved stream —
+/// the "intrinsically distribute computation" requirement of §2 applied
+/// to sampling. (The paper's protocol also bounds *communication*; here
+/// sites ship their reservoir on demand, which matches the
+/// one-shot-query model used in experiment t01.)
+#[derive(Clone, Debug)]
+pub struct DistributedSampler<T> {
+    sites: Vec<Reservoir<T>>,
+    k: usize,
+}
+
+impl<T: Clone> DistributedSampler<T> {
+    /// `s ≥ 1` sites, each with a size-`k` local reservoir.
+    pub fn new(sites: usize, k: usize) -> Result<Self> {
+        if sites == 0 {
+            return Err(SaError::invalid("sites", "must be positive"));
+        }
+        let mut v = Vec::with_capacity(sites);
+        for i in 0..sites {
+            v.push(Reservoir::new(k, ReservoirAlgo::L)?.with_seed(0xD15 + i as u64));
+        }
+        Ok(Self { sites: v, k })
+    }
+
+    /// Offer an item observed at `site`.
+    ///
+    /// # Panics
+    /// Panics if `site` is out of range.
+    pub fn offer(&mut self, site: usize, item: T) {
+        self.sites[site].offer(item);
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Total items across sites.
+    pub fn n(&self) -> u64 {
+        self.sites.iter().map(Reservoir::n).sum()
+    }
+
+    /// Coordinator query: a uniform size-`k` sample over all sites.
+    pub fn global_sample(&self) -> Result<Vec<T>> {
+        let mut acc: Option<Reservoir<T>> = None;
+        for site in &self.sites {
+            match &mut acc {
+                None => acc = Some(site.clone()),
+                Some(a) => a.merge(site)?,
+            }
+        }
+        Ok(acc.map(|a| a.sample().to_vec()).unwrap_or_default())
+    }
+
+    /// Per-site sample sizes (diagnostic).
+    pub fn site_counts(&self) -> Vec<u64> {
+        self.sites.iter().map(Reservoir::n).collect()
+    }
+
+    /// Reservoir capacity per site.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_sample_weights_sites_by_volume() {
+        // Site 0 sees 9x the traffic of site 1.
+        let mut frac = 0.0;
+        let runs = 30;
+        for run in 0..runs {
+            let mut ds = DistributedSampler::new(2, 200).unwrap();
+            for i in 0..(90_000 + run) as u64 {
+                ds.offer(0, ("site0", i));
+            }
+            for i in 0..10_000u64 {
+                ds.offer(1, ("site1", i));
+            }
+            let sample = ds.global_sample().unwrap();
+            frac += sample.iter().filter(|(s, _)| *s == "site0").count() as f64
+                / sample.len() as f64;
+        }
+        frac /= runs as f64;
+        assert!((frac - 0.9).abs() < 0.05, "site0 fraction = {frac}");
+    }
+
+    #[test]
+    fn single_site_degenerates_to_reservoir() {
+        let mut ds = DistributedSampler::new(1, 50).unwrap();
+        for i in 0..10_000u64 {
+            ds.offer(0, i);
+        }
+        let s = ds.global_sample().unwrap();
+        assert_eq!(s.len(), 50);
+        assert_eq!(ds.n(), 10_000);
+    }
+
+    #[test]
+    fn empty_sites_yield_empty_sample() {
+        let ds = DistributedSampler::<u64>::new(4, 10).unwrap();
+        assert!(ds.global_sample().unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_sites_rejected() {
+        assert!(DistributedSampler::<u64>::new(0, 10).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # sa-sampling
+//!
+//! Stream sampling — the Table-1 **Sampling** row ("obtain a
+//! representative set of the stream"; application: A/B testing) and the
+//! first synopsis technique of Section 2.
+//!
+//! * [`Reservoir`] — Vitter's Algorithm R and the skip-optimized
+//!   Algorithm L (the paper's \[161\]).
+//! * [`WeightedReservoir`] — Efraimidis–Spirakis A-ES exponential-jump
+//!   weighted sampling (\[58\]).
+//! * [`BiasedReservoir`] — Aggarwal's temporally biased reservoir for
+//!   evolving streams (\[33\]).
+//! * [`BernoulliSampler`] — fixed-rate sampling, the baseline.
+//! * [`ChainSampler`] — Babcock–Datar–Motwani chain sampling over a
+//!   sliding window (\[45\]).
+//! * [`PrioritySampler`] — priority sampling over sliding windows (the
+//!   Braverman–Ostrovsky–Zaniolo line, \[51\]).
+//! * [`DistributedSampler`] — coordinator merging per-partition samples
+//!   into one uniform sample (Cormode–Muthukrishnan–Yi–Zhang, \[69, 70\]).
+
+mod bernoulli;
+mod biased;
+mod chain;
+mod distributed;
+mod priority;
+mod reservoir;
+mod weighted;
+
+pub use bernoulli::BernoulliSampler;
+pub use biased::BiasedReservoir;
+pub use chain::ChainSampler;
+pub use distributed::DistributedSampler;
+pub use priority::PrioritySampler;
+pub use reservoir::{Reservoir, ReservoirAlgo};
+pub use weighted::WeightedReservoir;

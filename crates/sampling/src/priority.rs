@@ -1,0 +1,160 @@
+//! Priority sampling over sliding windows (the Babcock–Datar–Motwani
+//! "priority sample" / Braverman–Ostrovsky–Zaniolo optimal-sampling
+//! lineage — the paper's \[51\]).
+
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+use std::collections::VecDeque;
+
+/// One instance: the live item of minimum priority.
+#[derive(Clone, Debug)]
+struct Instance<T> {
+    /// (arrival index, priority, item); priorities strictly increase from
+    /// front to back, so the front is the window minimum.
+    ladder: VecDeque<(u64, f64, T)>,
+}
+
+/// Sliding-window sampling via random priorities.
+///
+/// Every arrival draws a uniform priority; the window's sample is its
+/// minimum-priority live item — uniform because every live item is
+/// equally likely to hold the minimum. Only items that are a "suffix
+/// minimum" can ever become the sample, so the ladder stores O(log w)
+/// items in expectation. `k` instances give a with-replacement size-k
+/// sample.
+#[derive(Clone, Debug)]
+pub struct PrioritySampler<T> {
+    instances: Vec<Instance<T>>,
+    window: u64,
+    n: u64,
+    rng: SplitMix64,
+}
+
+impl<T: Clone> PrioritySampler<T> {
+    /// `k ≥ 1` instances over the last `window ≥ 1` items.
+    pub fn new(k: usize, window: u64) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        if window == 0 {
+            return Err(SaError::invalid("window", "must be positive"));
+        }
+        Ok(Self {
+            instances: vec![Instance { ladder: VecDeque::new() }; k],
+            window,
+            n: 0,
+            rng: SplitMix64::new(0x9817),
+        })
+    }
+
+    /// Use a specific RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Offer the next stream item.
+    pub fn offer(&mut self, item: T) {
+        self.n += 1;
+        let i = self.n;
+        let oldest_live = i.saturating_sub(self.window) + 1;
+        for inst in &mut self.instances {
+            let p = self.rng.next_f64();
+            // Expire the front.
+            while let Some(&(idx, _, _)) = inst.ladder.front() {
+                if idx < oldest_live {
+                    inst.ladder.pop_front();
+                } else {
+                    break;
+                }
+            }
+            // The new item beats (and thus obsoletes) every larger
+            // priority at the back.
+            while let Some(&(_, q, _)) = inst.ladder.back() {
+                if q >= p {
+                    inst.ladder.pop_back();
+                } else {
+                    break;
+                }
+            }
+            inst.ladder.push_back((i, p, item.clone()));
+        }
+    }
+
+    /// Current with-replacement sample (one per instance).
+    pub fn sample(&self) -> Vec<&T> {
+        self.instances
+            .iter()
+            .filter_map(|inst| inst.ladder.front().map(|(_, _, item)| item))
+            .collect()
+    }
+
+    /// Items seen.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Total ladder entries — expected `O(k·log w)`.
+    pub fn stored(&self) -> usize {
+        self.instances.iter().map(|i| i.ladder.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_live() {
+        let mut ps = PrioritySampler::new(20, 1_000).unwrap().with_seed(1);
+        for i in 0..50_000u64 {
+            ps.offer(i);
+        }
+        assert_eq!(ps.sample().len(), 20);
+        for &v in ps.sample() {
+            assert!(v >= 49_000, "stale {v}");
+        }
+    }
+
+    #[test]
+    fn uniform_over_window() {
+        let w = 1_000u64;
+        let mut buckets = [0u32; 10];
+        let mut total = 0u32;
+        for seed in 0..40u64 {
+            let mut ps = PrioritySampler::new(20, w).unwrap().with_seed(seed);
+            for i in 0..20_000u64 {
+                ps.offer(i);
+            }
+            for &v in ps.sample() {
+                let age = 19_999 - v;
+                buckets[(age * 10 / w) as usize] += 1;
+                total += 1;
+            }
+        }
+        let expected = f64::from(total) / 10.0;
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                (f64::from(b) - expected).abs() < expected * 0.3,
+                "decile {i}: {b} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_is_logarithmic() {
+        let mut ps = PrioritySampler::new(50, 100_000).unwrap().with_seed(2);
+        for i in 0..500_000u64 {
+            ps.offer(i);
+        }
+        // E[ladder] ≈ H(w) ≈ ln(1e5) ≈ 11.5 per instance.
+        let per = ps.stored() as f64 / 50.0;
+        assert!(per < 30.0, "{per} entries per instance");
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(PrioritySampler::<u32>::new(0, 10).is_err());
+        assert!(PrioritySampler::<u32>::new(1, 0).is_err());
+    }
+}

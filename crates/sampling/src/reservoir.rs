@@ -1,0 +1,295 @@
+//! Uniform reservoir sampling (Vitter, TOMS 1985).
+
+use sa_core::rng::SplitMix64;
+use sa_core::{Merge, Result, SaError};
+
+/// Which reservoir algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReservoirAlgo {
+    /// Algorithm R: one random draw per item. O(n) draws.
+    R,
+    /// Algorithm L: geometric skips — O(k·log(n/k)) draws total, the
+    /// right choice for high-velocity streams.
+    L,
+}
+
+/// A fixed-size uniform sample of an unbounded stream.
+///
+/// After `n` items each one is retained with probability exactly `k/n`.
+///
+/// ```
+/// use sa_sampling::{Reservoir, ReservoirAlgo};
+///
+/// let mut r = Reservoir::new(100, ReservoirAlgo::L).unwrap();
+/// for user_id in 0..1_000_000u64 {
+///     r.offer(user_id);
+/// }
+/// assert_eq!(r.sample().len(), 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Reservoir<T> {
+    sample: Vec<T>,
+    k: usize,
+    n: u64,
+    algo: ReservoirAlgo,
+    rng: SplitMix64,
+    /// Algorithm L state: w ∈ (0,1), items to skip.
+    w: f64,
+    skip: u64,
+}
+
+impl<T> Reservoir<T> {
+    /// Sample size `k ≥ 1`.
+    pub fn new(k: usize, algo: ReservoirAlgo) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        Ok(Self {
+            sample: Vec::with_capacity(k),
+            k,
+            n: 0,
+            algo,
+            rng: SplitMix64::new(0x9E5),
+            w: 1.0,
+            skip: 0,
+        })
+    }
+
+    /// Use a specific RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Offer one stream item.
+    pub fn offer(&mut self, item: T) {
+        self.n += 1;
+        if self.sample.len() < self.k {
+            self.sample.push(item);
+            if self.sample.len() == self.k && self.algo == ReservoirAlgo::L {
+                self.advance_l();
+            }
+            return;
+        }
+        match self.algo {
+            ReservoirAlgo::R => {
+                let j = self.rng.next_below(self.n);
+                if (j as usize) < self.k {
+                    self.sample[j as usize] = item;
+                }
+            }
+            ReservoirAlgo::L => {
+                if self.skip > 0 {
+                    self.skip -= 1;
+                    return;
+                }
+                let slot = self.rng.index(self.k);
+                self.sample[slot] = item;
+                self.advance_l();
+            }
+        }
+    }
+
+    /// Draw the next skip length for Algorithm L.
+    fn advance_l(&mut self) {
+        // w *= exp(ln(u)/k); skip ~ floor(ln(u')/ln(1-w)).
+        self.w *= (self.rng.next_f64().max(f64::MIN_POSITIVE).ln()
+            / self.k as f64)
+            .exp();
+        let denom = (1.0 - self.w).ln();
+        self.skip = if denom == 0.0 {
+            u64::MAX
+        } else {
+            (self.rng.next_f64().max(f64::MIN_POSITIVE).ln() / denom).floor()
+                as u64
+        };
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> &[T] {
+        &self.sample
+    }
+
+    /// Items seen so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+}
+
+impl<T: Clone> Merge for Reservoir<T> {
+    /// Merge two reservoirs into a uniform sample of the concatenated
+    /// stream: each output slot comes from `self` with probability
+    /// `n_self/(n_self+n_other)`.
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.k != other.k {
+            return Err(SaError::IncompatibleMerge("reservoir k mismatch".into()));
+        }
+        let total = self.n + other.n;
+        if total == 0 {
+            return Ok(());
+        }
+        let mut merged = Vec::with_capacity(self.k);
+        let mut mine: Vec<T> = self.sample.clone();
+        let mut theirs: Vec<T> = other.sample.clone();
+        self.rng.shuffle(&mut mine);
+        self.rng.shuffle(&mut theirs);
+        let want = self.k.min(mine.len() + theirs.len());
+        let mut mi = mine.into_iter();
+        let mut ti = theirs.into_iter();
+        let p_self = self.n as f64 / total as f64;
+        while merged.len() < want {
+            let from_self = self.rng.bernoulli(p_self);
+            let next = if from_self { mi.next().or_else(|| ti.next()) } else { ti.next().or_else(|| mi.next()) };
+            match next {
+                Some(item) => merged.push(item),
+                None => break,
+            }
+        }
+        self.sample = merged;
+        self.n = total;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chi-square-style uniformity check: each stream decile should hold
+    /// about 10% of the sample.
+    fn check_uniformity(algo: ReservoirAlgo, seed: u64) {
+        let k = 10_000;
+        let n = 1_000_000u64;
+        let mut r = Reservoir::new(k, algo).unwrap().with_seed(seed);
+        for i in 0..n {
+            r.offer(i);
+        }
+        assert_eq!(r.sample().len(), k);
+        let mut buckets = [0u32; 10];
+        for &v in r.sample() {
+            buckets[(v * 10 / n) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            let expected = k as f64 / 10.0;
+            assert!(
+                (f64::from(b) - expected).abs() < expected * 0.15,
+                "{algo:?} bucket {i}: {b} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm_r_is_uniform() {
+        check_uniformity(ReservoirAlgo::R, 1);
+    }
+
+    #[test]
+    fn algorithm_l_is_uniform() {
+        check_uniformity(ReservoirAlgo::L, 2);
+    }
+
+    #[test]
+    fn small_stream_kept_entirely() {
+        for algo in [ReservoirAlgo::R, ReservoirAlgo::L] {
+            let mut r = Reservoir::new(100, algo).unwrap();
+            for i in 0..50u32 {
+                r.offer(i);
+            }
+            let mut s = r.sample().to_vec();
+            s.sort_unstable();
+            assert_eq!(s, (0..50).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn inclusion_probability_matches_k_over_n() {
+        // Track how often item #0 survives across many runs.
+        let runs = 2_000;
+        let k = 10;
+        let n = 100u64;
+        let mut hits = 0;
+        for seed in 0..runs {
+            let mut r =
+                Reservoir::new(k, ReservoirAlgo::R).unwrap().with_seed(seed);
+            for i in 0..n {
+                r.offer(i);
+            }
+            if r.sample().contains(&0) {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / runs as f64;
+        let expect = k as f64 / n as f64;
+        assert!((p - expect).abs() < 0.03, "p = {p}, expected {expect}");
+    }
+
+    #[test]
+    fn algorithm_l_matches_r_statistically() {
+        // Means of samples from a linear stream should agree.
+        let n = 200_000u64;
+        let mut means = Vec::new();
+        for algo in [ReservoirAlgo::R, ReservoirAlgo::L] {
+            let mut r = Reservoir::new(5_000, algo).unwrap().with_seed(7);
+            for i in 0..n {
+                r.offer(i as f64);
+            }
+            means.push(sa_core::stats::mean(r.sample()));
+        }
+        let mid = n as f64 / 2.0;
+        for m in means {
+            assert!((m - mid).abs() < mid * 0.05, "mean = {m}");
+        }
+    }
+
+    #[test]
+    fn merge_weights_sides_correctly() {
+        // Merge a reservoir that saw 90k items with one that saw 10k;
+        // on average 90% of the merged sample should come from the big one.
+        let mut big_fraction = 0.0;
+        let runs = 50;
+        for seed in 0..runs {
+            let mut a = Reservoir::new(100, ReservoirAlgo::R)
+                .unwrap()
+                .with_seed(seed);
+            let mut b = Reservoir::new(100, ReservoirAlgo::R)
+                .unwrap()
+                .with_seed(seed + 1000);
+            for i in 0..90_000u64 {
+                a.offer(("big", i));
+            }
+            for i in 0..10_000u64 {
+                b.offer(("small", i));
+            }
+            a.merge(&b).unwrap();
+            assert_eq!(a.n(), 100_000);
+            big_fraction += a
+                .sample()
+                .iter()
+                .filter(|(side, _)| *side == "big")
+                .count() as f64
+                / 100.0;
+        }
+        big_fraction /= runs as f64;
+        assert!(
+            (big_fraction - 0.9).abs() < 0.05,
+            "big fraction = {big_fraction}"
+        );
+    }
+
+    #[test]
+    fn merge_k_mismatch_rejected() {
+        let mut a = Reservoir::<u32>::new(10, ReservoirAlgo::R).unwrap();
+        let b = Reservoir::<u32>::new(20, ReservoirAlgo::R).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        assert!(Reservoir::<u32>::new(0, ReservoirAlgo::R).is_err());
+    }
+}

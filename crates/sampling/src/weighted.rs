@@ -1,0 +1,178 @@
+//! Weighted reservoir sampling (Efraimidis & Spirakis, A-ES).
+
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by key ascending (min-heap via reverse compare).
+#[derive(Clone, Debug)]
+struct Keyed<T> {
+    key: f64,
+    item: T,
+    weight: f64,
+}
+
+impl<T> PartialEq for Keyed<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Keyed<T> {}
+impl<T> PartialOrd for Keyed<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Keyed<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on key.
+        other.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Weighted sampling *without replacement*: item `i` with weight `w_i`
+/// gets key `u^{1/w_i}` (u uniform); the k largest keys form the sample.
+/// Inclusion probabilities are proportional to weights, and the sketch
+/// is a single pass with a size-k heap.
+///
+/// ```
+/// use sa_sampling::WeightedReservoir;
+///
+/// let mut wr = WeightedReservoir::new(10).unwrap();
+/// wr.offer("whale", 1000.0);
+/// for i in 0..100 {
+///     wr.offer("minnow", 1.0 + (i as f64) * 0.0);
+/// }
+/// assert!(wr.sample().iter().any(|(s, _)| **s == "whale"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct WeightedReservoir<T> {
+    heap: BinaryHeap<Keyed<T>>,
+    k: usize,
+    n: u64,
+    rng: SplitMix64,
+}
+
+impl<T> WeightedReservoir<T> {
+    /// Sample size `k ≥ 1`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        Ok(Self {
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+            n: 0,
+            rng: SplitMix64::new(0xAE5),
+        })
+    }
+
+    /// Use a specific RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Offer an item with positive weight (non-positive weights are
+    /// ignored — they can never be sampled).
+    pub fn offer(&mut self, item: T, weight: f64) {
+        if weight <= 0.0 || !weight.is_finite() {
+            return;
+        }
+        self.n += 1;
+        let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
+        let key = u.powf(1.0 / weight);
+        if self.heap.len() < self.k {
+            self.heap.push(Keyed { key, item, weight });
+        } else if let Some(min) = self.heap.peek() {
+            if key > min.key {
+                self.heap.pop();
+                self.heap.push(Keyed { key, item, weight });
+            }
+        }
+    }
+
+    /// The current sample as `(item, weight)` pairs.
+    pub fn sample(&self) -> Vec<(&T, f64)> {
+        self.heap.iter().map(|e| (&e.item, e.weight)).collect()
+    }
+
+    /// Items offered (with positive weight) so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Consume into owned items.
+    pub fn into_sample(self) -> Vec<(T, f64)> {
+        self.heap.into_iter().map(|e| (e.item, e.weight)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_weight_dominates_inclusion() {
+        // Two classes: weight 10 vs weight 1, equal counts. The heavy
+        // class should fill ~10/11 of the sample.
+        let runs = 100;
+        let mut heavy_frac = 0.0;
+        for seed in 0..runs {
+            let mut wr = WeightedReservoir::new(100).unwrap().with_seed(seed);
+            for i in 0..5_000u64 {
+                wr.offer(("heavy", i), 10.0);
+                wr.offer(("light", i), 1.0);
+            }
+            heavy_frac += wr
+                .sample()
+                .iter()
+                .filter(|((s, _), _)| *s == "heavy")
+                .count() as f64
+                / 100.0;
+        }
+        heavy_frac /= runs as f64;
+        assert!(
+            (heavy_frac - 10.0 / 11.0).abs() < 0.05,
+            "heavy fraction = {heavy_frac}"
+        );
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_uniform() {
+        let mut wr = WeightedReservoir::new(2_000).unwrap().with_seed(3);
+        let n = 100_000u64;
+        for i in 0..n {
+            wr.offer(i, 1.0);
+        }
+        let mean: f64 = wr.sample().iter().map(|(&v, _)| v as f64).sum::<f64>()
+            / 2_000.0;
+        let mid = n as f64 / 2.0;
+        assert!((mean - mid).abs() < mid * 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn small_stream_kept() {
+        let mut wr = WeightedReservoir::new(10).unwrap();
+        for i in 0..5u32 {
+            wr.offer(i, (i + 1) as f64);
+        }
+        assert_eq!(wr.sample().len(), 5);
+    }
+
+    #[test]
+    fn nonpositive_weights_ignored() {
+        let mut wr = WeightedReservoir::new(10).unwrap();
+        wr.offer("bad", 0.0);
+        wr.offer("worse", -5.0);
+        wr.offer("nan", f64::NAN);
+        assert_eq!(wr.n(), 0);
+        assert!(wr.sample().is_empty());
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        assert!(WeightedReservoir::<u32>::new(0).is_err());
+    }
+}

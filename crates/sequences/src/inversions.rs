@@ -1,0 +1,250 @@
+//! Inversion counting — the Table-1 **Counting Inversions** row
+//! ("estimate number of inversions; measure sortedness of data",
+//! Ajtai–Jayram–Kumar–Sivakumar \[36\]).
+
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+
+/// Exact streaming inversion counter over a bounded value universe,
+/// using a Fenwick (binary indexed) tree: O(log U) per element,
+/// O(U) space. The ground truth for the sampling estimator.
+#[derive(Clone, Debug)]
+pub struct ExactInversions {
+    /// Fenwick tree over value counts.
+    tree: Vec<u64>,
+    universe: usize,
+    inversions: u64,
+    n: u64,
+}
+
+impl ExactInversions {
+    /// Values must lie in `0..universe`.
+    pub fn new(universe: usize) -> Result<Self> {
+        if universe == 0 {
+            return Err(SaError::invalid("universe", "must be positive"));
+        }
+        Ok(Self { tree: vec![0; universe + 1], universe, inversions: 0, n: 0 })
+    }
+
+    fn add(&mut self, mut i: usize) {
+        i += 1;
+        while i <= self.universe {
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Count of previously seen values ≤ i.
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0;
+        let mut idx = i.min(self.universe);
+        while idx > 0 {
+            s += self.tree[idx];
+            idx -= idx & idx.wrapping_neg();
+        }
+        s
+    }
+
+    /// Feed the next value; returns inversions added by it.
+    ///
+    /// # Panics
+    /// Panics if `x ≥ universe`.
+    pub fn push(&mut self, x: u64) -> u64 {
+        assert!((x as usize) < self.universe, "value out of universe");
+        // Inversions added = # earlier elements strictly greater than x.
+        let greater = self.n - self.prefix(x as usize);
+        self.inversions += greater;
+        self.add(x as usize);
+        self.n += 1;
+        greater
+    }
+
+    /// Total inversions so far.
+    pub fn total(&self) -> u64 {
+        self.inversions
+    }
+
+    /// Elements seen.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Normalized sortedness in [0,1]: 1 = sorted, 0 = reversed.
+    pub fn sortedness(&self) -> f64 {
+        if self.n < 2 {
+            return 1.0;
+        }
+        let max = self.n * (self.n - 1) / 2;
+        1.0 - self.inversions as f64 / max as f64
+    }
+}
+
+/// Sampling-based inversion estimator in sublinear space.
+///
+/// Keeps `k` uniformly sampled earlier values via reservoir sampling;
+/// each arrival `x_t` is compared against the sample, and the fraction
+/// of retained values greater than `x_t` — an unbiased estimate of
+/// `Pr_{i<t}[x_i > x_t]` — is scaled by `t−1` and accumulated. Standard
+/// error ∼ `1/√(pairs compared)` — the space/accuracy trade the \[36\]
+/// lower bounds show is necessary.
+#[derive(Clone, Debug)]
+pub struct SampledInversions {
+    sample: Vec<u64>,
+    k: usize,
+    n: u64,
+    /// Running unbiased estimate of the inversion count.
+    estimate: f64,
+    rng: SplitMix64,
+}
+
+impl SampledInversions {
+    /// Keep `k ≥ 8` sampled elements.
+    pub fn new(k: usize) -> Result<Self> {
+        if k < 8 {
+            return Err(SaError::invalid("k", "must be at least 8"));
+        }
+        Ok(Self {
+            sample: Vec::with_capacity(k),
+            k,
+            n: 0,
+            estimate: 0.0,
+            rng: SplitMix64::new(0x1277),
+        })
+    }
+
+    /// Use a specific RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Feed the next value.
+    pub fn push(&mut self, x: u64) {
+        self.n += 1;
+        // Fraction of sampled earlier elements greater than x estimates
+        // Pr[x_i > x over i < t]; scale by (t-1) earlier elements.
+        if !self.sample.is_empty() && self.n > 1 {
+            let greater = self.sample.iter().filter(|&&s| s > x).count();
+            self.estimate += greater as f64 / self.sample.len() as f64
+                * (self.n - 1) as f64;
+        }
+        // Reservoir over elements.
+        if self.sample.len() < self.k {
+            self.sample.push(x);
+        } else {
+            let j = self.rng.next_below(self.n);
+            if (j as usize) < self.k {
+                self.sample[j as usize] = x;
+            }
+        }
+    }
+
+    /// Estimated total inversions.
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    /// Elements seen.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::permutation_with_displacement;
+    use sa_core::stats::{exact_inversions, relative_error};
+
+    #[test]
+    fn exact_matches_merge_sort_reference() {
+        let mut rng = SplitMix64::new(1);
+        for trial in 0..10 {
+            let v: Vec<u64> = (0..500).map(|_| rng.next_below(100)).collect();
+            let mut counter = ExactInversions::new(100).unwrap();
+            for &x in &v {
+                counter.push(x);
+            }
+            assert_eq!(
+                counter.total(),
+                exact_inversions(&v),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn sortedness_endpoints() {
+        let mut sorted = ExactInversions::new(100).unwrap();
+        for x in 0..100 {
+            sorted.push(x);
+        }
+        assert_eq!(sorted.total(), 0);
+        assert_eq!(sorted.sortedness(), 1.0);
+        let mut rev = ExactInversions::new(100).unwrap();
+        for x in (0..100).rev() {
+            rev.push(x);
+        }
+        assert_eq!(rev.total(), 100 * 99 / 2);
+        assert_eq!(rev.sortedness(), 0.0);
+    }
+
+    #[test]
+    fn displacement_controls_inversions() {
+        let mut counts = Vec::new();
+        for d in [0usize, 10, 100, 1000] {
+            let v = permutation_with_displacement(5_000, d, 3);
+            let mut c = ExactInversions::new(5_000).unwrap();
+            for &x in &v {
+                c.push(x);
+            }
+            counts.push(c.total());
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] < counts[2] && counts[2] < counts[3], "{counts:?}");
+    }
+
+    #[test]
+    fn sampled_estimator_tracks_truth() {
+        let n = 20_000usize;
+        for d in [50usize, 2000] {
+            let v = permutation_with_displacement(n, d, 9);
+            let truth = exact_inversions(&v) as f64;
+            let mut est_sum = 0.0;
+            let runs = 3;
+            for seed in 0..runs {
+                let mut s = SampledInversions::new(512).unwrap().with_seed(seed);
+                for &x in &v {
+                    s.push(x);
+                }
+                est_sum += s.estimate();
+            }
+            let err = relative_error(est_sum / runs as f64, truth);
+            assert!(err < 0.25, "d={d}: err {err} (truth {truth})");
+        }
+    }
+
+    #[test]
+    fn sampled_space_is_bounded() {
+        let mut s = SampledInversions::new(64).unwrap();
+        for i in 0..100_000u64 {
+            s.push(i % 1000);
+        }
+        assert_eq!(s.sample.len(), 64);
+        assert_eq!(s.n(), 100_000);
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(ExactInversions::new(0).is_err());
+        assert!(SampledInversions::new(4).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "value out of universe")]
+    fn out_of_universe_panics() {
+        let mut c = ExactInversions::new(10).unwrap();
+        c.push(10);
+    }
+}

@@ -1,0 +1,155 @@
+//! Longest common subsequence against a fixed query, over a stream.
+//!
+//! The general two-stream LCS needs Ω(n) space (Sun & Woodruff, the
+//! paper's \[152\]); the practical streaming variant fixes one side — a
+//! query pattern of length `m` — and processes the stream one element at
+//! a time with the single-row DP, O(m) space and O(m) per element.
+
+use sa_core::{Result, SaError};
+
+/// Streaming LCS length between a fixed `query` and the stream so far.
+///
+/// ```
+/// use sa_sequences::StreamingLcs;
+///
+/// let mut lcs = StreamingLcs::new(b"GATTACA".to_vec()).unwrap();
+/// for &c in b"GCATGCU" {
+///     lcs.push(c);
+/// }
+/// assert_eq!(lcs.lcs_len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamingLcs<T: Eq + Clone> {
+    query: Vec<T>,
+    /// row[j] = LCS(stream so far, query[..j]).
+    row: Vec<usize>,
+    n: u64,
+}
+
+impl<T: Eq + Clone> StreamingLcs<T> {
+    /// Non-empty query pattern.
+    pub fn new(query: Vec<T>) -> Result<Self> {
+        if query.is_empty() {
+            return Err(SaError::invalid("query", "must be non-empty"));
+        }
+        let m = query.len();
+        Ok(Self { query, row: vec![0; m + 1], n: 0 })
+    }
+
+    /// Feed the next stream element; returns the updated LCS length.
+    pub fn push(&mut self, x: T) -> usize {
+        self.n += 1;
+        let mut prev_diag = 0; // row[j-1] from the previous stream step
+        for j in 1..=self.query.len() {
+            let old = self.row[j];
+            if self.query[j - 1] == x {
+                self.row[j] = prev_diag + 1;
+            }
+            if self.row[j] < self.row[j - 1] {
+                self.row[j] = self.row[j - 1];
+            }
+            prev_diag = old;
+        }
+        self.row[self.query.len()]
+    }
+
+    /// Current LCS length.
+    pub fn lcs_len(&self) -> usize {
+        self.row[self.query.len()]
+    }
+
+    /// Fraction of the query matched, in `[0,1]` — a similarity score
+    /// ("subsequences similar to a given query sequence").
+    pub fn similarity(&self) -> f64 {
+        self.lcs_len() as f64 / self.query.len() as f64
+    }
+
+    /// Stream elements consumed.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Query length.
+    pub fn query_len(&self) -> usize {
+        self.query.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Full O(nm) reference.
+    fn lcs_exact<T: Eq>(a: &[T], b: &[T]) -> usize {
+        let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+        for i in 1..=a.len() {
+            for j in 1..=b.len() {
+                dp[i][j] = if a[i - 1] == b[j - 1] {
+                    dp[i - 1][j - 1] + 1
+                } else {
+                    dp[i - 1][j].max(dp[i][j - 1])
+                };
+            }
+        }
+        dp[a.len()][b.len()]
+    }
+
+    #[test]
+    fn classic_dna_example() {
+        let mut lcs = StreamingLcs::new(b"GATTACA".to_vec()).unwrap();
+        let mut len = 0;
+        for &c in b"GCATGCU" {
+            len = lcs.push(c);
+        }
+        assert_eq!(len, 4);
+        assert_eq!(lcs.lcs_len(), lcs_exact(b"GCATGCU", b"GATTACA"));
+    }
+
+    #[test]
+    fn matches_reference_on_random_streams() {
+        let mut rng = sa_core::rng::SplitMix64::new(3);
+        for trial in 0..20 {
+            let query: Vec<u8> =
+                (0..30).map(|_| rng.next_below(4) as u8).collect();
+            let stream: Vec<u8> =
+                (0..200).map(|_| rng.next_below(4) as u8).collect();
+            let mut lcs = StreamingLcs::new(query.clone()).unwrap();
+            for (i, &x) in stream.iter().enumerate() {
+                let got = lcs.push(x);
+                if i % 37 == 0 {
+                    assert_eq!(
+                        got,
+                        lcs_exact(&stream[..=i], &query),
+                        "trial {trial}, prefix {i}"
+                    );
+                }
+            }
+            assert_eq!(lcs.lcs_len(), lcs_exact(&stream, &query));
+        }
+    }
+
+    #[test]
+    fn identical_stream_matches_fully() {
+        let q = vec![1, 2, 3, 4, 5];
+        let mut lcs = StreamingLcs::new(q.clone()).unwrap();
+        for x in q {
+            lcs.push(x);
+        }
+        assert_eq!(lcs.similarity(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_alphabets_match_nothing() {
+        let mut lcs = StreamingLcs::new(vec![1, 2, 3]).unwrap();
+        for x in [4, 5, 6, 7] {
+            lcs.push(x);
+        }
+        assert_eq!(lcs.lcs_len(), 0);
+        assert_eq!(lcs.similarity(), 0.0);
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert!(StreamingLcs::<u8>::new(vec![]).is_err());
+    }
+}

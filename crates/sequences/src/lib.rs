@@ -1,0 +1,26 @@
+//! # sa-sequences
+//!
+//! Order statistics of streams — two Table-1 rows:
+//!
+//! * **Counting Inversions** ([`inversions`]) — "estimate the number of
+//!   inversions … measure sortedness of data" (Ajtai–Jayram–Kumar–
+//!   Sivakumar, the paper's \[36\]): an exact BIT-based counter for
+//!   ground truth and a sampling estimator in sublinear space.
+//! * **Finding Subsequences** ([`lis`], [`lcs`]) — "find Longest
+//!   Increasing Subsequences, Longest Common Subsequence, subsequences
+//!   similar to a given query" (\[122, 152, 87\]; application: traffic
+//!   analysis). Patience sorting gives exact streaming LIS length in
+//!   O(n) space; [`lis::BoundedLis`] keeps only `k` patience piles for
+//!   the space-bounded approximation the streaming papers study; LCS is
+//!   against a fixed query pattern in O(|query|) space per element.
+//!
+//! (Similarity search against a query *shape* over numeric streams lives
+//! in `sa-timeseries::patterns`.)
+
+pub mod inversions;
+pub mod lcs;
+pub mod lis;
+
+pub use inversions::{ExactInversions, SampledInversions};
+pub use lcs::StreamingLcs;
+pub use lis::{BoundedLis, PatienceLis};

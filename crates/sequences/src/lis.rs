@@ -1,0 +1,210 @@
+//! Longest increasing subsequence over streams.
+
+use sa_core::{Result, SaError};
+
+/// Exact streaming LIS length via patience sorting.
+///
+/// Maintains the minimal possible tail of an increasing subsequence of
+/// every length; each arrival binary-searches and replaces (or extends)
+/// in O(log L). Space is O(L) — linear in the LIS, which is the proven
+/// lower bound for exact computation (Gál & Gopalan, the paper's
+/// \[87\]).
+#[derive(Clone, Debug, Default)]
+pub struct PatienceLis {
+    /// tails[i] = smallest tail of an increasing subsequence of length i+1.
+    tails: Vec<i64>,
+    n: u64,
+}
+
+impl PatienceLis {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed the next element; returns the LIS length so far.
+    pub fn push(&mut self, x: i64) -> usize {
+        self.n += 1;
+        // Strictly increasing: find first tail >= x.
+        let pos = self.tails.partition_point(|&t| t < x);
+        if pos == self.tails.len() {
+            self.tails.push(x);
+        } else {
+            self.tails[pos] = x;
+        }
+        self.tails.len()
+    }
+
+    /// Current LIS length.
+    pub fn lis_len(&self) -> usize {
+        self.tails.len()
+    }
+
+    /// Elements seen.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Space used (pile tails stored).
+    pub fn space(&self) -> usize {
+        self.tails.len()
+    }
+}
+
+/// Space-bounded approximate LIS: at most `k` patience piles.
+///
+/// When the LIS exceeds `k`, the structure keeps the *k smallest tails*
+/// (dropping the largest pile) plus a count of dropped piles — the
+/// reported length is a lower bound that is exact whenever the true LIS
+/// ≤ k, matching the deterministic one-pass approximation trade-off of
+/// Liben-Nowell et al. (the paper's \[122\]).
+#[derive(Clone, Debug)]
+pub struct BoundedLis {
+    tails: Vec<i64>,
+    k: usize,
+    /// Piles evicted because the bound was hit.
+    overflow: u64,
+    n: u64,
+}
+
+impl BoundedLis {
+    /// Keep at most `k ≥ 1` piles.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        Ok(Self { tails: Vec::with_capacity(k + 1), k, overflow: 0, n: 0 })
+    }
+
+    /// Feed the next element.
+    pub fn push(&mut self, x: i64) {
+        self.n += 1;
+        let pos = self.tails.partition_point(|&t| t < x);
+        if pos == self.tails.len() {
+            if self.tails.len() < self.k {
+                self.tails.push(x);
+            } else {
+                // A chain longer than k exists; we cannot afford its
+                // pile, only remember that it happened.
+                self.overflow += 1;
+            }
+        } else {
+            self.tails[pos] = x;
+        }
+    }
+
+    /// Lower bound on the LIS (exact when no overflow occurred).
+    pub fn lis_lower_bound(&self) -> usize {
+        self.tails.len()
+    }
+
+    /// Whether the answer is exact.
+    pub fn is_exact(&self) -> bool {
+        self.overflow == 0
+    }
+
+    /// Upper bound: piles + evictions (a chain may have continued).
+    pub fn lis_upper_bound(&self) -> u64 {
+        self.tails.len() as u64 + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::permutation_with_displacement;
+
+    /// O(n²) reference LIS.
+    fn lis_exact(v: &[i64]) -> usize {
+        let n = v.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut dp = vec![1usize; n];
+        for i in 1..n {
+            for j in 0..i {
+                if v[j] < v[i] {
+                    dp[i] = dp[i].max(dp[j] + 1);
+                }
+            }
+        }
+        dp.into_iter().max().unwrap()
+    }
+
+    #[test]
+    fn known_sequences() {
+        let mut p = PatienceLis::new();
+        for x in [3i64, 1, 4, 1, 5, 9, 2, 6] {
+            p.push(x);
+        }
+        assert_eq!(p.lis_len(), 4); // 1,4,5,9 or 1,4,5,6 etc.
+        let mut sorted = PatienceLis::new();
+        for x in 0..100i64 {
+            sorted.push(x);
+        }
+        assert_eq!(sorted.lis_len(), 100);
+        let mut rev = PatienceLis::new();
+        for x in (0..100i64).rev() {
+            rev.push(x);
+        }
+        assert_eq!(rev.lis_len(), 1);
+    }
+
+    #[test]
+    fn matches_quadratic_reference() {
+        let mut rng = sa_core::rng::SplitMix64::new(1);
+        for trial in 0..20 {
+            let v: Vec<i64> =
+                (0..200).map(|_| rng.next_below(50) as i64).collect();
+            let mut p = PatienceLis::new();
+            for &x in &v {
+                p.push(x);
+            }
+            assert_eq!(p.lis_len(), lis_exact(&v), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn near_sorted_has_long_lis() {
+        let v = permutation_with_displacement(10_000, 3, 7);
+        let mut p = PatienceLis::new();
+        for &x in &v {
+            p.push(x as i64);
+        }
+        // Displacement ≤ 3 keeps the LIS near n.
+        assert!(p.lis_len() > 2_500, "LIS = {}", p.lis_len());
+    }
+
+    #[test]
+    fn bounded_exact_below_k() {
+        let mut b = BoundedLis::new(64).unwrap();
+        let mut p = PatienceLis::new();
+        let mut rng = sa_core::rng::SplitMix64::new(2);
+        for _ in 0..500 {
+            let x = rng.next_below(30) as i64; // LIS ≤ 30 < 64
+            b.push(x);
+            p.push(x);
+        }
+        assert!(b.is_exact());
+        assert_eq!(b.lis_lower_bound(), p.lis_len());
+    }
+
+    #[test]
+    fn bounded_brackets_truth_above_k() {
+        let mut b = BoundedLis::new(10).unwrap();
+        let mut p = PatienceLis::new();
+        for x in 0..100i64 {
+            b.push(x);
+            p.push(x);
+        }
+        assert!(!b.is_exact());
+        assert!(b.lis_lower_bound() <= p.lis_len());
+        assert!(b.lis_upper_bound() >= p.lis_len() as u64);
+        assert_eq!(b.lis_lower_bound(), 10);
+    }
+
+    #[test]
+    fn invalid_k() {
+        assert!(BoundedLis::new(0).is_err());
+    }
+}

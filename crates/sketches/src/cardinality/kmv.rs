@@ -1,0 +1,183 @@
+//! K-Minimum-Values (bottom-k) distinct counting
+//! (Bar-Yossef et al., RANDOM'02 — the paper's \[46\]).
+
+use sa_core::hash::to_unit;
+use sa_core::traits::CardinalityEstimator;
+use sa_core::{Merge, Result, SaError};
+use std::collections::BTreeSet;
+
+/// KMV keeps the `k` smallest distinct hash values; if the k-th smallest
+/// (normalized to `[0,1)`) is `u_k`, the unbiased estimate is
+/// `(k-1)/u_k`. Unlike register sketches, the retained sample also
+/// supports set operations (Jaccard, intersection size).
+#[derive(Clone, Debug)]
+pub struct Kmv {
+    k: usize,
+    mins: BTreeSet<u64>,
+}
+
+impl Kmv {
+    /// Keep the `k ≥ 2` minimum hash values.
+    pub fn new(k: usize) -> Result<Self> {
+        if k < 2 {
+            return Err(SaError::invalid("k", "must be at least 2"));
+        }
+        Ok(Self { k, mins: BTreeSet::new() })
+    }
+
+    /// Insert a hashable item.
+    pub fn insert<T: std::hash::Hash + ?Sized>(&mut self, item: &T) {
+        self.insert_hash(sa_core::hash::hash64(item, 0));
+    }
+
+    /// Number of retained hash values (≤ k).
+    pub fn retained(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Estimated Jaccard similarity with another KMV of the same k:
+    /// the fraction of the combined bottom-k present in both sets.
+    pub fn jaccard(&self, other: &Self) -> f64 {
+        let union: BTreeSet<u64> = self
+            .mins
+            .iter()
+            .chain(other.mins.iter())
+            .copied()
+            .collect();
+        let bottom: Vec<u64> = union.iter().take(self.k).copied().collect();
+        if bottom.is_empty() {
+            return 0.0;
+        }
+        let both = bottom
+            .iter()
+            .filter(|h| self.mins.contains(h) && other.mins.contains(h))
+            .count();
+        both as f64 / bottom.len() as f64
+    }
+
+    /// Estimated size of the intersection with `other`.
+    pub fn intersection_estimate(&self, other: &Self) -> f64 {
+        let mut union = self.clone();
+        if union.merge(other).is_err() {
+            return 0.0;
+        }
+        self.jaccard(other) * union.estimate()
+    }
+}
+
+impl CardinalityEstimator for Kmv {
+    fn insert_hash(&mut self, hash: u64) {
+        if self.mins.len() < self.k {
+            self.mins.insert(hash);
+        } else {
+            let max = *self.mins.iter().next_back().unwrap();
+            if hash < max && self.mins.insert(hash) {
+                self.mins.remove(&max);
+            }
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        let n = self.mins.len();
+        if n < self.k {
+            // Fewer distinct values than k: the sample is the whole set.
+            return n as f64;
+        }
+        let kth = *self.mins.iter().next_back().unwrap();
+        (self.k as f64 - 1.0) / to_unit(kth)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.mins.len() * 8
+    }
+}
+
+impl Merge for Kmv {
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.k != other.k {
+            return Err(SaError::IncompatibleMerge("KMV k mismatch".into()));
+        }
+        for &h in &other.mins {
+            self.insert_hash(h);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::stats::relative_error;
+
+    #[test]
+    fn exact_below_k() {
+        let mut kmv = Kmv::new(100).unwrap();
+        for i in 0..50u64 {
+            kmv.insert(&i);
+            kmv.insert(&i); // duplicate
+        }
+        assert_eq!(kmv.estimate(), 50.0);
+    }
+
+    #[test]
+    fn estimate_above_k() {
+        let mut kmv = Kmv::new(1024).unwrap();
+        for i in 0..500_000u64 {
+            kmv.insert(&i);
+        }
+        let err = relative_error(kmv.estimate(), 500_000.0);
+        // σ ≈ 1/√(k-2) ≈ 3.1%; allow 4σ.
+        assert!(err < 0.13, "err = {err}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Kmv::new(256).unwrap();
+        let mut b = Kmv::new(256).unwrap();
+        let mut whole = Kmv::new(256).unwrap();
+        for i in 0..100_000u64 {
+            if i % 2 == 0 {
+                a.insert(&i);
+            } else {
+                b.insert(&i);
+            }
+            whole.insert(&i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(), whole.estimate());
+    }
+
+    #[test]
+    fn jaccard_of_overlapping_sets() {
+        let mut a = Kmv::new(512).unwrap();
+        let mut b = Kmv::new(512).unwrap();
+        // |A| = |B| = 20k, |A∩B| = 10k, |A∪B| = 30k → J = 1/3.
+        for i in 0..20_000u64 {
+            a.insert(&i);
+        }
+        for i in 10_000..30_000u64 {
+            b.insert(&i);
+        }
+        let j = a.jaccard(&b);
+        assert!((j - 1.0 / 3.0).abs() < 0.08, "jaccard = {j}");
+        let inter = a.intersection_estimate(&b);
+        assert!(relative_error(inter, 10_000.0) < 0.25, "inter = {inter}");
+    }
+
+    #[test]
+    fn identical_sets_jaccard_one() {
+        let mut a = Kmv::new(64).unwrap();
+        let mut b = Kmv::new(64).unwrap();
+        for i in 0..1000u64 {
+            a.insert(&i);
+            b.insert(&i);
+        }
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn k_must_be_at_least_two() {
+        assert!(Kmv::new(1).is_err());
+        assert!(Kmv::new(0).is_err());
+    }
+}

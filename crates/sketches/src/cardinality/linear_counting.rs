@@ -1,0 +1,135 @@
+//! Linear Counting: bitmap occupancy cardinality estimation.
+
+use sa_core::traits::CardinalityEstimator;
+use sa_core::{Merge, Result, SaError};
+
+/// Linear (probabilistic) counting.
+///
+/// Hash each item to one of `m` bits; with `V` the fraction of bits still
+/// zero, the MLE of the cardinality is `-m·ln V`. Accurate while the map
+/// stays unsaturated (load factor up to ~12 distinct items per bit is
+/// usable, but best below m·ln m); HyperLogLog's small-range correction
+/// delegates to exactly this estimator.
+#[derive(Clone, Debug)]
+pub struct LinearCounting {
+    bits: Vec<u64>,
+    m: usize,
+}
+
+impl LinearCounting {
+    /// A bitmap of `m` bits.
+    pub fn new(m: usize) -> Result<Self> {
+        if m == 0 {
+            return Err(SaError::invalid("m", "must be positive"));
+        }
+        Ok(Self { bits: vec![0; m.div_ceil(64)], m })
+    }
+
+    /// Insert a hashable item.
+    pub fn insert<T: std::hash::Hash + ?Sized>(&mut self, item: &T) {
+        self.insert_hash(sa_core::hash::hash64(item, 0));
+    }
+
+    /// Number of zero bits remaining.
+    pub fn zero_bits(&self) -> usize {
+        let ones: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        self.m - ones as usize
+    }
+}
+
+impl CardinalityEstimator for LinearCounting {
+    fn insert_hash(&mut self, hash: u64) {
+        let idx = (hash % self.m as u64) as usize;
+        self.bits[idx / 64] |= 1 << (idx % 64);
+    }
+
+    fn estimate(&self) -> f64 {
+        let zeros = self.zero_bits();
+        if zeros == 0 {
+            // Saturated: the estimator diverges; report the asymptote.
+            return self.m as f64 * (self.m as f64).ln();
+        }
+        let v = zeros as f64 / self.m as f64;
+        -(self.m as f64) * v.ln()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+impl Merge for LinearCounting {
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.m != other.m {
+            return Err(SaError::IncompatibleMerge(format!(
+                "bitmap sizes differ: {} vs {}",
+                self.m, other.m
+            )));
+        }
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::stats::relative_error;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let lc = LinearCounting::new(1024).unwrap();
+        assert_eq!(lc.estimate(), 0.0);
+    }
+
+    #[test]
+    fn accurate_at_moderate_load() {
+        let mut lc = LinearCounting::new(16_384).unwrap();
+        for i in 0..10_000u64 {
+            lc.insert(&i);
+        }
+        let err = relative_error(lc.estimate(), 10_000.0);
+        assert!(err < 0.03, "err = {err}");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut lc = LinearCounting::new(4096).unwrap();
+        for _ in 0..10 {
+            for i in 0..500u64 {
+                lc.insert(&i);
+            }
+        }
+        let err = relative_error(lc.estimate(), 500.0);
+        assert!(err < 0.1, "err = {err}");
+    }
+
+    #[test]
+    fn saturation_reports_finite() {
+        let mut lc = LinearCounting::new(64).unwrap();
+        for i in 0..100_000u64 {
+            lc.insert(&i);
+        }
+        assert!(lc.estimate().is_finite());
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = LinearCounting::new(8192).unwrap();
+        let mut b = LinearCounting::new(8192).unwrap();
+        let mut whole = LinearCounting::new(8192).unwrap();
+        for i in 0..2000u64 {
+            if i % 2 == 0 {
+                a.insert(&i);
+            } else {
+                b.insert(&i);
+            }
+            whole.insert(&i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(), whole.estimate());
+        assert!(a.merge(&LinearCounting::new(64).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Distinct-element estimation — the Table-1 **Estimating Cardinality**
+//! row ("site audience analysis").
+//!
+//! The estimators trace the lineage the paper cites:
+//!
+//! * [`LinearCounting`] — hash into a bitmap, estimate from the fraction
+//!   of empty bits (Whang et al.; the small-range workhorse).
+//! * [`Pcsa`] — Flajolet–Martin probabilistic counting with stochastic
+//!   averaging (FOCS'83, the paper's \[85\]).
+//! * [`LogLog`] — Durand–Flajolet (ESA'03, \[78\]): keep only the max
+//!   ρ per register.
+//! * [`HyperLogLog`] — Flajolet et al. (AofA'07, \[84\]): harmonic mean,
+//!   1.04/√m error; includes the HLL++-style small-range correction via
+//!   LinearCounting (Heule et al., \[103\]) — toggleable for the t04
+//!   ablation.
+//! * [`Kmv`] — K-Minimum-Values / bottom-k (Bar-Yossef et al., \[46\]);
+//!   also supports set operations.
+//! * [`SlidingHyperLogLog`] — Chabchoub & Hébrail (\[54\]): HLL answering
+//!   cardinality over any suffix window of the stream.
+
+mod hyperloglog;
+mod kmv;
+mod linear_counting;
+mod loglog;
+mod pcsa;
+mod sliding_hll;
+
+pub use hyperloglog::HyperLogLog;
+pub use kmv::Kmv;
+pub use linear_counting::LinearCounting;
+pub use loglog::LogLog;
+pub use pcsa::Pcsa;
+pub use sliding_hll::SlidingHyperLogLog;
+
+/// Position of the first 1-bit (1-based) in the low `width` bits of `w`,
+/// scanning from the most significant of those bits; `width + 1` if all
+/// zero. This is the ρ function of the FM/LogLog/HLL family.
+#[inline]
+pub(crate) fn rho(w: u64, width: u32) -> u8 {
+    debug_assert!(width <= 64);
+    let shifted = if width == 64 { w } else { w << (64 - width) };
+    (shifted.leading_zeros().min(width) + 1) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_basics() {
+        // Top bit of the 8-bit window set → rho = 1.
+        assert_eq!(rho(0b1000_0000, 8), 1);
+        assert_eq!(rho(0b0100_0000, 8), 2);
+        assert_eq!(rho(0b0000_0001, 8), 8);
+        assert_eq!(rho(0, 8), 9);
+        assert_eq!(rho(u64::MAX, 64), 1);
+        assert_eq!(rho(1, 64), 64);
+        assert_eq!(rho(0, 64), 65);
+    }
+}

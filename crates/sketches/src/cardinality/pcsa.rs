@@ -1,0 +1,137 @@
+//! Flajolet–Martin probabilistic counting with stochastic averaging
+//! (PCSA), FOCS 1983.
+
+
+use sa_core::traits::CardinalityEstimator;
+use sa_core::{Merge, Result, SaError};
+
+/// Magic constant φ from the FM analysis: `E[2^R] ≈ n/φ`.
+const PHI: f64 = 0.77351;
+
+/// PCSA: `m` 64-bit bitmaps; item goes to bitmap `h mod m` and sets bit
+/// `ρ(h / m)`. The estimate averages the position of the lowest unset bit
+/// across bitmaps. Standard error ≈ `0.78/√m`.
+#[derive(Clone, Debug)]
+pub struct Pcsa {
+    maps: Vec<u64>,
+}
+
+impl Pcsa {
+    /// `m ≥ 2` bitmaps.
+    pub fn new(m: usize) -> Result<Self> {
+        if m < 2 {
+            return Err(SaError::invalid("m", "need at least 2 bitmaps"));
+        }
+        Ok(Self { maps: vec![0; m] })
+    }
+
+    /// Insert a hashable item.
+    pub fn insert<T: std::hash::Hash + ?Sized>(&mut self, item: &T) {
+        self.insert_hash(sa_core::hash::hash64(item, 0));
+    }
+
+    /// Index (0-based) of the lowest zero bit of a bitmap.
+    #[inline]
+    fn lowest_zero(map: u64) -> u32 {
+        (!map).trailing_zeros()
+    }
+}
+
+impl CardinalityEstimator for Pcsa {
+    fn insert_hash(&mut self, hash: u64) {
+        let m = self.maps.len() as u64;
+        let idx = (hash % m) as usize;
+        // FM's ρ: the 0-based position of the least-significant 1-bit.
+        let bit = (hash / m).trailing_zeros();
+        if bit < 64 {
+            self.maps[idx] |= 1 << bit;
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        let m = self.maps.len() as f64;
+        let mean_r: f64 = self
+            .maps
+            .iter()
+            .map(|&map| f64::from(Self::lowest_zero(map)))
+            .sum::<f64>()
+            / m;
+        m / PHI * 2f64.powf(mean_r)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.maps.len() * 8
+    }
+}
+
+impl Merge for Pcsa {
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.maps.len() != other.maps.len() {
+            return Err(SaError::IncompatibleMerge("PCSA m mismatch".into()));
+        }
+        for (a, b) in self.maps.iter_mut().zip(&other.maps) {
+            *a |= b;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::stats::relative_error;
+
+    #[test]
+    fn lowest_zero_examples() {
+        assert_eq!(Pcsa::lowest_zero(0), 0);
+        assert_eq!(Pcsa::lowest_zero(0b1), 1);
+        assert_eq!(Pcsa::lowest_zero(0b1011), 2);
+        assert_eq!(Pcsa::lowest_zero(u64::MAX), 64);
+    }
+
+    #[test]
+    fn estimate_within_expected_error() {
+        let m = 256;
+        let mut p = Pcsa::new(m).unwrap();
+        for i in 0..100_000u64 {
+            p.insert(&i);
+        }
+        let err = relative_error(p.estimate(), 100_000.0);
+        // σ ≈ 0.78/√256 ≈ 4.9%; allow 4σ.
+        assert!(err < 0.20, "err = {err}");
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut p = Pcsa::new(64).unwrap();
+        for _ in 0..50 {
+            for i in 0..1000u64 {
+                p.insert(&i);
+            }
+        }
+        let err = relative_error(p.estimate(), 1000.0);
+        assert!(err < 0.4, "err = {err}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Pcsa::new(128).unwrap();
+        let mut b = Pcsa::new(128).unwrap();
+        let mut whole = Pcsa::new(128).unwrap();
+        for i in 0..50_000u64 {
+            if i % 2 == 0 {
+                a.insert(&i);
+            } else {
+                b.insert(&i);
+            }
+            whole.insert(&i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(), whole.estimate());
+    }
+
+    #[test]
+    fn invalid_m() {
+        assert!(Pcsa::new(1).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Sliding HyperLogLog (Chabchoub & Hébrail, ICDMW 2010 — the paper's
+//! \[54\]): cardinality over *any* recent window of the stream.
+
+use super::rho;
+use sa_core::{Result, SaError};
+
+/// Per-register list of "possible future maxima": pairs `(t, ρ)` kept so
+/// that timestamps strictly increase while ρ strictly decreases. The
+/// newest entry always survives; an older entry survives only while its ρ
+/// exceeds everything newer — exactly the set needed to answer "max ρ in
+/// the last w ticks" for any `w ≤ horizon`.
+#[derive(Clone, Debug, Default)]
+struct Lfpm {
+    entries: Vec<(u64, u8)>,
+}
+
+impl Lfpm {
+    fn add(&mut self, t: u64, r: u8) {
+        // Drop entries the new one dominates (older AND not larger).
+        while let Some(&(_, lr)) = self.entries.last() {
+            if lr <= r {
+                self.entries.pop();
+            } else {
+                break;
+            }
+        }
+        self.entries.push((t, r));
+    }
+
+    fn expire(&mut self, oldest: u64) {
+        // Keep the newest expired entry out; entries are time-ascending.
+        let cut = self.entries.partition_point(|&(t, _)| t < oldest);
+        if cut > 0 {
+            self.entries.drain(..cut);
+        }
+    }
+
+    fn max_since(&self, t0: u64) -> u8 {
+        // Entries are ρ-descending, so the first entry with t ≥ t0 wins.
+        self.entries
+            .iter()
+            .find(|&&(t, _)| t >= t0)
+            .map_or(0, |&(_, r)| r)
+    }
+}
+
+/// HyperLogLog over a sliding window.
+///
+/// Answers `estimate(w)` — the number of distinct items among the last
+/// `w` ticks — for any `w` up to the configured horizon, using the
+/// list-of-future-maxima construction. Space is `O(m · ln(n/m))` expected
+/// per window.
+///
+/// ```
+/// use sa_sketches::cardinality::SlidingHyperLogLog;
+///
+/// let mut s = SlidingHyperLogLog::new(10, 1_000).unwrap();
+/// for t in 0..5_000u64 {
+///     s.insert_at(&(t % 700), t); // 700 distinct items circulating
+/// }
+/// let est = s.estimate_window(1_000);
+/// assert!((est - 700.0).abs() / 700.0 < 0.15);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SlidingHyperLogLog {
+    registers: Vec<Lfpm>,
+    p: u32,
+    horizon: u64,
+    now: u64,
+}
+
+impl SlidingHyperLogLog {
+    /// Precision `p ∈ [4, 16]`, maximum window `horizon > 0` ticks.
+    pub fn new(p: u32, horizon: u64) -> Result<Self> {
+        if !(4..=16).contains(&p) {
+            return Err(SaError::invalid("p", "precision must be in [4,16]"));
+        }
+        if horizon == 0 {
+            return Err(SaError::invalid("horizon", "must be positive"));
+        }
+        Ok(Self {
+            registers: vec![Lfpm::default(); 1 << p],
+            p,
+            horizon,
+            now: 0,
+        })
+    }
+
+    /// Insert an item observed at time `t` (must be non-decreasing).
+    pub fn insert_at<T: std::hash::Hash + ?Sized>(&mut self, item: &T, t: u64) {
+        self.insert_hash_at(sa_core::hash::hash64(item, 0), t);
+    }
+
+    /// Insert by precomputed hash at time `t`.
+    pub fn insert_hash_at(&mut self, hash: u64, t: u64) {
+        debug_assert!(t >= self.now, "timestamps must be non-decreasing");
+        self.now = self.now.max(t);
+        let idx = (hash >> (64 - self.p)) as usize;
+        let r = rho(hash, 64 - self.p);
+        self.registers[idx].add(t, r);
+        let oldest = self.now.saturating_sub(self.horizon);
+        self.registers[idx].expire(oldest);
+    }
+
+    /// Estimated distinct count among items with `t > now - window`.
+    pub fn estimate_window(&self, window: u64) -> f64 {
+        let window = window.min(self.horizon);
+        let t0 = self.now.saturating_sub(window) + 1;
+        let m = self.registers.len() as f64;
+        let mut sum = 0.0;
+        let mut zeros = 0usize;
+        for reg in &self.registers {
+            let r = reg.max_since(t0);
+            if r == 0 {
+                zeros += 1;
+            }
+            sum += 2f64.powi(-i32::from(r));
+        }
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            mm => 0.7213 / (1.0 + 1.079 / mm as f64),
+        };
+        let e = alpha * m * m / sum;
+        if e <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            e
+        }
+    }
+
+    /// Total stored (t, ρ) entries — the space the LFPM lists occupy.
+    pub fn stored_entries(&self) -> usize {
+        self.registers.iter().map(|r| r.entries.len()).sum()
+    }
+
+    /// Current stream time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::stats::relative_error;
+
+    #[test]
+    fn lfpm_keeps_decreasing_maxima() {
+        let mut l = Lfpm::default();
+        l.add(1, 5);
+        l.add(2, 3);
+        l.add(3, 4); // dominates (2,3)
+        assert_eq!(l.entries, vec![(1, 5), (3, 4)]);
+        assert_eq!(l.max_since(0), 5);
+        assert_eq!(l.max_since(2), 4);
+        assert_eq!(l.max_since(4), 0);
+        l.expire(2);
+        assert_eq!(l.entries, vec![(3, 4)]);
+    }
+
+    #[test]
+    fn whole_horizon_matches_plain_hll_scale() {
+        let mut s = SlidingHyperLogLog::new(11, u64::MAX / 2).unwrap();
+        let n = 100_000u64;
+        for i in 0..n {
+            s.insert_at(&i, i);
+        }
+        let err = relative_error(s.estimate_window(u64::MAX / 2), n as f64);
+        assert!(err < 0.08, "err = {err}");
+    }
+
+    #[test]
+    fn window_sees_only_recent_items() {
+        let mut s = SlidingHyperLogLog::new(11, 10_000).unwrap();
+        // Phase 1: 50k distinct items, then phase 2: 1k items repeating.
+        let mut t = 0u64;
+        for i in 0..50_000u64 {
+            s.insert_at(&i, t);
+            t += 1;
+        }
+        for i in 0..10_000u64 {
+            s.insert_at(&(1_000_000 + (i % 1_000)), t);
+            t += 1;
+        }
+        let est = s.estimate_window(10_000);
+        let err = relative_error(est, 1_000.0);
+        assert!(err < 0.15, "est = {est}");
+    }
+
+    #[test]
+    fn nested_windows_are_monotone() {
+        let mut s = SlidingHyperLogLog::new(10, 100_000).unwrap();
+        for i in 0..50_000u64 {
+            s.insert_at(&i, i);
+        }
+        let e1 = s.estimate_window(1_000);
+        let e2 = s.estimate_window(10_000);
+        let e3 = s.estimate_window(50_000);
+        assert!(e1 <= e2 * 1.05 && e2 <= e3 * 1.05, "{e1} {e2} {e3}");
+        assert!(relative_error(e2, 10_000.0) < 0.15);
+    }
+
+    #[test]
+    fn space_stays_bounded() {
+        let mut s = SlidingHyperLogLog::new(8, 1_000).unwrap();
+        for i in 0..200_000u64 {
+            s.insert_at(&i, i);
+        }
+        // Expected O(m · ln(window/m)) entries, far below the 200k inserts.
+        assert!(s.stored_entries() < 5_000, "{} entries", s.stored_entries());
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(SlidingHyperLogLog::new(3, 10).is_err());
+        assert!(SlidingHyperLogLog::new(10, 0).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! Count-Min sketch (Cormode & Muthukrishnan, Journal of Algorithms 2005).
+
+use sa_core::hash::DoubleHash;
+use sa_core::traits::FrequencyEstimator;
+use sa_core::{Merge, Result, SaError};
+
+/// Count-Min sketch: `d` rows × `w` counters.
+///
+/// Point queries return `f̂ ≥ f` with `f̂ ≤ f + ε·N` with probability
+/// `1 - δ`, where `w = ⌈e/ε⌉`, `d = ⌈ln(1/δ)⌉` and `N` is the total
+/// count inserted. Conservative update (optional) tightens the
+/// overestimate on skewed streams but loses mergeability and deletions.
+///
+/// ```
+/// use sa_sketches::frequency::CountMinSketch;
+///
+/// let mut cms = CountMinSketch::with_error(0.001, 0.01).unwrap();
+/// for _ in 0..42 {
+///     cms.add(&"#breaking", 1);
+/// }
+/// assert!(cms.estimate(&"#breaking") >= 42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    counters: Vec<i64>,
+    width: usize,
+    depth: usize,
+    total: i64,
+    conservative: bool,
+    seed: u64,
+}
+
+impl CountMinSketch {
+    /// Explicit geometry: `depth` rows of `width` counters.
+    pub fn new(width: usize, depth: usize) -> Result<Self> {
+        if width == 0 {
+            return Err(SaError::invalid("width", "must be positive"));
+        }
+        if depth == 0 {
+            return Err(SaError::invalid("depth", "must be positive"));
+        }
+        Ok(Self {
+            counters: vec![0; width * depth],
+            width,
+            depth,
+            total: 0,
+            conservative: false,
+            seed: 0xCAFE,
+        })
+    }
+
+    /// Geometry from accuracy targets: additive error ≤ `epsilon·N` with
+    /// probability `1 - delta`.
+    pub fn with_error(epsilon: f64, delta: f64) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SaError::invalid("epsilon", "must be in (0,1)"));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SaError::invalid("delta", "must be in (0,1)"));
+        }
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil() as usize;
+        Self::new(width, depth.max(1))
+    }
+
+    /// Enable conservative update (Estan–Varghese): on insert, only
+    /// counters that equal the current minimum estimate are raised.
+    /// Incompatible with deletions and with `merge`.
+    pub fn conservative(mut self) -> Self {
+        self.conservative = true;
+        self
+    }
+
+    /// Row-major counter access.
+    #[inline]
+    fn slot(&self, row: usize, col: usize) -> usize {
+        row * self.width + col
+    }
+
+    /// Add `count` occurrences of a hashable item.
+    pub fn add<T: std::hash::Hash + ?Sized>(&mut self, item: &T, count: i64) {
+        self.add_hash(sa_core::hash::hash64(item, self.seed), count);
+    }
+
+    /// Estimated frequency of a hashable item.
+    pub fn estimate<T: std::hash::Hash + ?Sized>(&self, item: &T) -> i64 {
+        self.estimate_hash(sa_core::hash::hash64(item, self.seed))
+    }
+
+    /// Total count added (`N` in the error bound).
+    pub fn total(&self) -> i64 {
+        self.total
+    }
+
+    /// Width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Depth (number of rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Heap bytes used by counters.
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len() * 8
+    }
+
+    /// Estimate of the inner product (join size) with another sketch of
+    /// identical shape: `min_rows Σ_j a[r][j]·b[r][j]`.
+    pub fn inner_product(&self, other: &Self) -> Result<i64> {
+        if self.width != other.width || self.depth != other.depth
+            || self.seed != other.seed
+        {
+            return Err(SaError::IncompatibleMerge("CMS shape mismatch".into()));
+        }
+        let mut best = i64::MAX;
+        for r in 0..self.depth {
+            let mut dot = 0i64;
+            for c in 0..self.width {
+                dot += self.counters[self.slot(r, c)]
+                    * other.counters[other.slot(r, c)];
+            }
+            best = best.min(dot);
+        }
+        Ok(best)
+    }
+}
+
+impl FrequencyEstimator for CountMinSketch {
+    fn add_hash(&mut self, hash: u64, count: i64) {
+        let dh = DoubleHash { h1: hash, h2: sa_core::hash::mix64(hash) | 1 };
+        self.total += count;
+        if self.conservative && count > 0 {
+            // Raise each counter only up to (current estimate + count).
+            let est = self.estimate_hash(hash);
+            let target = est + count;
+            for r in 0..self.depth {
+                let idx = self.slot(r, dh.index(r as u64, self.width));
+                if self.counters[idx] < target {
+                    self.counters[idx] = target;
+                }
+            }
+        } else {
+            for r in 0..self.depth {
+                let idx = self.slot(r, dh.index(r as u64, self.width));
+                self.counters[idx] += count;
+            }
+        }
+    }
+
+    fn estimate_hash(&self, hash: u64) -> i64 {
+        let dh = DoubleHash { h1: hash, h2: sa_core::hash::mix64(hash) | 1 };
+        (0..self.depth)
+            .map(|r| self.counters[self.slot(r, dh.index(r as u64, self.width))])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+impl Merge for CountMinSketch {
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.width != other.width
+            || self.depth != other.depth
+            || self.seed != other.seed
+        {
+            return Err(SaError::IncompatibleMerge("CMS shape mismatch".into()));
+        }
+        if self.conservative || other.conservative {
+            return Err(SaError::IncompatibleMerge(
+                "conservative-update CMS is not mergeable".into(),
+            ));
+        }
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms = CountMinSketch::with_error(0.01, 0.01).unwrap();
+        for i in 0..1000u64 {
+            cms.add(&i, (i % 7 + 1) as i64);
+        }
+        for i in 0..1000u64 {
+            assert!(cms.estimate(&i) >= (i % 7 + 1) as i64);
+        }
+    }
+
+    #[test]
+    fn error_within_bound() {
+        let epsilon = 0.005;
+        let mut cms = CountMinSketch::with_error(epsilon, 0.01).unwrap();
+        let n = 100_000u64;
+        for i in 0..n {
+            cms.add(&(i % 1000), 1);
+        }
+        let bound = (epsilon * n as f64) as i64;
+        let mut violations = 0;
+        for i in 0..1000u64 {
+            let err = cms.estimate(&i) - 100;
+            if err > bound {
+                violations += 1;
+            }
+        }
+        // δ = 1% per query; allow a generous margin over 10 expected.
+        assert!(violations <= 30, "violations = {violations}");
+    }
+
+    #[test]
+    fn conservative_update_tightens_estimates() {
+        let mut plain = CountMinSketch::new(64, 4).unwrap();
+        let mut cons = CountMinSketch::new(64, 4).unwrap().conservative();
+        // Skewed stream on a deliberately tiny sketch.
+        let mut g = sa_core::generators::ZipfStream::new(10_000, 1.2, 42);
+        let items = g.take_vec(50_000);
+        for &it in &items {
+            plain.add(&it, 1);
+            cons.add(&it, 1);
+        }
+        let truth = sa_core::stats::exact_counts(&items);
+        let (mut err_plain, mut err_cons) = (0i64, 0i64);
+        for (&item, &c) in truth.iter() {
+            err_plain += plain.estimate(&item) - c as i64;
+            err_cons += cons.estimate(&item) - c as i64;
+        }
+        assert!(
+            err_cons < err_plain,
+            "conservative {err_cons} not tighter than plain {err_plain}"
+        );
+        // Conservative update still never underestimates.
+        for (&item, &c) in truth.iter() {
+            assert!(cons.estimate(&item) >= c as i64);
+        }
+    }
+
+    #[test]
+    fn deletions_supported_in_plain_mode() {
+        let mut cms = CountMinSketch::new(1024, 5).unwrap();
+        cms.add(&"x", 10);
+        cms.add(&"x", -4);
+        assert!(cms.estimate(&"x") >= 6);
+        assert!(cms.estimate(&"x") <= 10);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = CountMinSketch::new(512, 4).unwrap();
+        let mut b = CountMinSketch::new(512, 4).unwrap();
+        let mut whole = CountMinSketch::new(512, 4).unwrap();
+        for i in 0..10_000u64 {
+            let item = i % 100;
+            if i % 2 == 0 {
+                a.add(&item, 1);
+            } else {
+                b.add(&item, 1);
+            }
+            whole.add(&item, 1);
+        }
+        a.merge(&b).unwrap();
+        for i in 0..100u64 {
+            assert_eq!(a.estimate(&i), whole.estimate(&i));
+        }
+        assert_eq!(a.total(), whole.total());
+    }
+
+    #[test]
+    fn conservative_merge_rejected() {
+        let mut a = CountMinSketch::new(64, 2).unwrap().conservative();
+        let b = CountMinSketch::new(64, 2).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn inner_product_estimates_join_size() {
+        let mut a = CountMinSketch::new(2048, 5).unwrap();
+        let mut b = CountMinSketch::new(2048, 5).unwrap();
+        // A has items 0..100 ×10, B has items 50..150 ×10.
+        for i in 0..100u64 {
+            a.add(&i, 10);
+        }
+        for i in 50..150u64 {
+            b.add(&i, 10);
+        }
+        // True join size = Σ f_a(i)·f_b(i) = 50 × 100 = 5000.
+        let est = a.inner_product(&b).unwrap();
+        assert!(est >= 5000, "inner product underestimated: {est}");
+        assert!(est < 7000, "inner product too loose: {est}");
+    }
+
+    #[test]
+    fn geometry_from_error_targets() {
+        let cms = CountMinSketch::with_error(0.001, 0.01).unwrap();
+        assert!(cms.width() >= 2718);
+        assert!(cms.depth() >= 4);
+        assert!(CountMinSketch::with_error(0.0, 0.1).is_err());
+        assert!(CountMinSketch::with_error(0.1, 1.5).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Point-frequency sketches: the substrate for heavy-hitter queries and
+//! the F₂/join-size estimators.
+//!
+//! * [`CountMinSketch`] — Cormode & Muthukrishnan's Count-Min (J. Alg.
+//!   2005, the paper's \[66\]), with an optional **conservative update**
+//!   mode (Estan & Varghese) that only raises the minimal counters —
+//!   the t07 ablation compares the two.
+//! * [`CountSketch`] — Charikar, Chen, Farach-Colton (TCS 2004, \[57\]):
+//!   signed counters give an *unbiased* estimator with error scaling in
+//!   `√F₂` instead of `F₁`, much tighter on skewed data.
+
+mod count_min;
+mod count_sketch;
+
+pub use count_min::CountMinSketch;
+pub use count_sketch::CountSketch;

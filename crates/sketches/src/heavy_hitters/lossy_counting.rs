@@ -1,0 +1,189 @@
+//! Lossy Counting (Manku & Motwani — VLDB 2002).
+
+use super::HeavyHitter;
+use sa_core::{Result, SaError};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Deterministic frequent-items with bucket-based pruning.
+///
+/// The stream is conceptually divided into buckets of width `⌈1/ε⌉`.
+/// Each tracked item stores its observed count plus `Δ` — the bucket id
+/// at insertion, an upper bound on occurrences missed before tracking
+/// began. At every bucket boundary, items with `count + Δ ≤ b` (the
+/// current bucket) are dropped. Guarantees: reported counts
+/// underestimate by at most `ε·n`; querying with threshold `(θ−ε)·n`
+/// returns **all** θ-frequent items and none with frequency below
+/// `(θ−ε)·n`. Space is `O((1/ε)·log εn)`.
+#[derive(Clone, Debug)]
+pub struct LossyCounting<T: Eq + Hash + Clone> {
+    entries: HashMap<T, (u64, u64)>, // item -> (count, delta)
+    epsilon: f64,
+    width: u64,
+    n: u64,
+}
+
+impl<T: Eq + Hash + Clone> LossyCounting<T> {
+    /// Error parameter `ε ∈ (0,1)`; pick `ε ≤ θ/10` for crisp answers.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SaError::invalid("epsilon", "must be in (0,1)"));
+        }
+        Ok(Self {
+            entries: HashMap::new(),
+            epsilon,
+            width: (1.0 / epsilon).ceil() as u64,
+            n: 0,
+        })
+    }
+
+    /// Current bucket id (1-based).
+    #[inline]
+    fn bucket(&self) -> u64 {
+        self.n.div_ceil(self.width).max(1)
+    }
+
+    /// Process one occurrence.
+    pub fn insert(&mut self, item: T) {
+        self.n += 1;
+        let b = self.bucket();
+        match self.entries.get_mut(&item) {
+            Some((count, _)) => *count += 1,
+            None => {
+                self.entries.insert(item, (1, b - 1));
+            }
+        }
+        // Prune at bucket boundaries.
+        if self.n % self.width == 0 {
+            self.entries.retain(|_, (count, delta)| *count + *delta > b);
+        }
+    }
+
+    /// Stream length so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Estimated (under-)count of an item.
+    pub fn estimate(&self, item: &T) -> u64 {
+        self.entries.get(item).map_or(0, |&(c, _)| c)
+    }
+
+    /// All items with `count ≥ (θ − ε)·n`, sorted by descending count —
+    /// the Manku–Motwani output rule: no θ-frequent item is missed.
+    pub fn frequent_items(&self, theta: f64) -> Vec<HeavyHitter<T>> {
+        let threshold = (theta - self.epsilon) * self.n as f64;
+        let mut out: Vec<HeavyHitter<T>> = self
+            .entries
+            .iter()
+            .filter(|(_, &(c, _))| c as f64 >= threshold)
+            .map(|(item, &(c, d))| HeavyHitter { item: item.clone(), count: c, error: d })
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out
+    }
+
+    /// Number of tracked entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::ZipfStream;
+    use sa_core::stats::{exact_counts, exact_heavy_hitters};
+
+    #[test]
+    fn all_frequent_items_reported() {
+        let mut g = ZipfStream::new(50_000, 1.2, 51);
+        let items = g.take_vec(100_000);
+        let theta = 0.01;
+        let mut lc = LossyCounting::new(theta / 10.0).unwrap();
+        for &it in &items {
+            lc.insert(it);
+        }
+        let truth = exact_heavy_hitters(&items, theta);
+        let found: std::collections::HashSet<u64> =
+            lc.frequent_items(theta).into_iter().map(|h| h.item).collect();
+        for (item, _) in truth {
+            assert!(found.contains(&item), "missed {item}");
+        }
+    }
+
+    #[test]
+    fn no_very_infrequent_item_reported() {
+        let mut g = ZipfStream::new(50_000, 1.2, 52);
+        let items = g.take_vec(100_000);
+        let theta = 0.01;
+        let eps = theta / 10.0;
+        let mut lc = LossyCounting::new(eps).unwrap();
+        for &it in &items {
+            lc.insert(it);
+        }
+        let truth = exact_counts(&items);
+        let floor = ((theta - eps) * items.len() as f64) as u64;
+        for h in lc.frequent_items(theta) {
+            assert!(
+                truth[&h.item] >= floor,
+                "item {} with true count {} reported (floor {floor})",
+                h.item,
+                truth[&h.item]
+            );
+        }
+    }
+
+    #[test]
+    fn undercount_bounded_by_epsilon_n() {
+        let mut g = ZipfStream::new(10_000, 1.1, 53);
+        let items = g.take_vec(80_000);
+        let eps = 0.001;
+        let mut lc = LossyCounting::new(eps).unwrap();
+        for &it in &items {
+            lc.insert(it);
+        }
+        let truth = exact_counts(&items);
+        for (item, &(c, _)) in &lc.entries {
+            let t = truth[item];
+            assert!(c <= t, "overestimate: {c} > {t}");
+            assert!(
+                (t - c) as f64 <= eps * items.len() as f64,
+                "undercount {} > εn",
+                t - c
+            );
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut lc = LossyCounting::new(0.001).unwrap();
+        // Uniform stream: worst case for counter algorithms.
+        for i in 0..1_000_000u64 {
+            lc.insert(i % 100_000);
+        }
+        assert!(
+            lc.len() < 110_000,
+            "tracked {} entries",
+            lc.len()
+        );
+        // On a skewed stream space collapses to the frequent few.
+        let mut g = ZipfStream::new(1_000_000, 1.5, 54);
+        let mut lc2 = LossyCounting::new(0.001).unwrap();
+        for it in g.take_vec(1_000_000) {
+            lc2.insert(it);
+        }
+        assert!(lc2.len() < 5_000, "tracked {} on zipf", lc2.len());
+    }
+
+    #[test]
+    fn invalid_epsilon() {
+        assert!(LossyCounting::<u64>::new(0.0).is_err());
+        assert!(LossyCounting::<u64>::new(1.0).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Misra–Gries frequent-items summary (1982).
+
+use super::HeavyHitter;
+use sa_core::{Merge, Result, SaError};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// The k-counter deterministic summary.
+///
+/// Keeps at most `k` item counters; when a new item arrives with all
+/// counters occupied, every counter is decremented (the "group
+/// cancellation" step). Each stored count underestimates the true count
+/// by at most `n/(k+1)`, so any item with true frequency above `n/(k+1)`
+/// is guaranteed to be present — choose `k ≥ 1/θ` to catch all
+/// θ-heavy-hitters.
+///
+/// ```
+/// use sa_sketches::heavy_hitters::MisraGries;
+///
+/// let mut mg = MisraGries::new(10).unwrap();
+/// for _ in 0..100 { mg.insert("#hot"); }
+/// for i in 0..50 { mg.insert(format!("#cold{i}").leak() as &str); }
+/// let hh = mg.heavy_hitters(0.5);
+/// assert_eq!(hh[0].item, "#hot");
+/// ```
+#[derive(Clone, Debug)]
+pub struct MisraGries<T: Eq + Hash + Clone> {
+    counters: HashMap<T, u64>,
+    k: usize,
+    n: u64,
+}
+
+impl<T: Eq + Hash + Clone> MisraGries<T> {
+    /// At most `k ≥ 1` counters.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        Ok(Self { counters: HashMap::with_capacity(k + 1), k, n: 0 })
+    }
+
+    /// Process one occurrence of `item`.
+    pub fn insert(&mut self, item: T) {
+        self.insert_weighted(item, 1);
+    }
+
+    /// Process `w` occurrences at once.
+    pub fn insert_weighted(&mut self, item: T, w: u64) {
+        self.n += w;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += w;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(item, w);
+            return;
+        }
+        // Group cancellation: subtract the largest amount that zeroes at
+        // least one counter or exhausts w.
+        let min = *self.counters.values().min().unwrap_or(&0);
+        let dec = min.min(w);
+        let rem = w - dec;
+        self.counters.retain(|_, c| {
+            *c -= dec;
+            *c > 0
+        });
+        if rem > 0 {
+            // Space freed (or w survives): recurse once; guaranteed room.
+            if self.counters.len() < self.k {
+                self.counters.insert(item, rem);
+            }
+        }
+    }
+
+    /// Stream length so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Maximum undercount of any stored counter: `n/(k+1)` bound realized
+    /// as the total decremented weight is not tracked per item, so we
+    /// report the theoretical bound.
+    pub fn max_error(&self) -> u64 {
+        self.n / (self.k as u64 + 1)
+    }
+
+    /// Estimated count of an item (lower bound on the true count).
+    pub fn estimate(&self, item: &T) -> u64 {
+        self.counters.get(item).copied().unwrap_or(0)
+    }
+
+    /// Candidates whose *upper-bound* count exceeds `θ·n`, sorted by
+    /// descending stored count. Guaranteed to include every item with
+    /// true frequency > θ·n when `k ≥ 1/θ`.
+    pub fn heavy_hitters(&self, theta: f64) -> Vec<HeavyHitter<T>> {
+        let err = self.max_error();
+        let threshold = theta * self.n as f64;
+        let mut out: Vec<HeavyHitter<T>> = self
+            .counters
+            .iter()
+            .filter(|(_, &c)| (c + err) as f64 > threshold)
+            .map(|(item, &c)| HeavyHitter { item: item.clone(), count: c, error: err })
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out
+    }
+
+    /// Number of live counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counters are live.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl<T: Eq + Hash + Clone> Merge for MisraGries<T> {
+    /// Merge (Agarwal et al.): add counters pointwise, then subtract the
+    /// (k+1)-th largest count from all and drop non-positive ones.
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.k != other.k {
+            return Err(SaError::IncompatibleMerge("MG k mismatch".into()));
+        }
+        for (item, &c) in &other.counters {
+            *self.counters.entry(item.clone()).or_insert(0) += c;
+        }
+        self.n += other.n;
+        if self.counters.len() > self.k {
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let cut = counts[self.k]; // (k+1)-th largest
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(cut);
+                *c > 0
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::ZipfStream;
+    use sa_core::stats::exact_counts;
+
+    #[test]
+    fn finds_all_true_heavy_hitters() {
+        let mut g = ZipfStream::new(100_000, 1.2, 31);
+        let items = g.take_vec(100_000);
+        let theta = 0.02;
+        let mut mg = MisraGries::new((1.0 / theta) as usize).unwrap();
+        for &it in &items {
+            mg.insert(it);
+        }
+        let truth = sa_core::stats::exact_heavy_hitters(&items, theta);
+        let found: std::collections::HashSet<u64> =
+            mg.heavy_hitters(theta).into_iter().map(|h| h.item).collect();
+        for (item, _) in truth {
+            assert!(found.contains(&item), "missed heavy hitter {item}");
+        }
+    }
+
+    #[test]
+    fn undercount_bounded() {
+        let mut g = ZipfStream::new(10_000, 1.1, 32);
+        let items = g.take_vec(50_000);
+        let k = 100;
+        let mut mg = MisraGries::new(k).unwrap();
+        for &it in &items {
+            mg.insert(it);
+        }
+        let truth = exact_counts(&items);
+        let bound = 50_000 / (k as u64 + 1);
+        for (item, est) in mg.counters.iter() {
+            let t = truth[item];
+            assert!(*est <= t, "MG must underestimate: {est} > {t}");
+            assert!(t - est <= bound, "undercount {} > bound {bound}", t - est);
+        }
+    }
+
+    #[test]
+    fn never_exceeds_k_counters() {
+        let mut mg = MisraGries::new(5).unwrap();
+        for i in 0..10_000u64 {
+            mg.insert(i);
+            assert!(mg.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn weighted_inserts() {
+        let mut mg = MisraGries::new(3).unwrap();
+        mg.insert_weighted("a", 100);
+        mg.insert_weighted("b", 50);
+        mg.insert_weighted("c", 10);
+        mg.insert_weighted("d", 20); // cancels 10 from everyone, evicts c
+        assert_eq!(mg.estimate(&"a"), 90);
+        assert_eq!(mg.estimate(&"b"), 40);
+        assert_eq!(mg.estimate(&"c"), 0);
+        assert_eq!(mg.estimate(&"d"), 10);
+        assert_eq!(mg.n(), 180);
+    }
+
+    #[test]
+    fn merge_preserves_heavy_hitters() {
+        let mut g = ZipfStream::new(1_000, 1.3, 33);
+        let items = g.take_vec(40_000);
+        let mut a = MisraGries::new(50).unwrap();
+        let mut b = MisraGries::new(50).unwrap();
+        for (i, &it) in items.iter().enumerate() {
+            if i % 2 == 0 {
+                a.insert(it);
+            } else {
+                b.insert(it);
+            }
+        }
+        a.merge(&b).unwrap();
+        assert!(a.len() <= 50);
+        assert_eq!(a.n(), 40_000);
+        let truth = sa_core::stats::exact_heavy_hitters(&items, 0.05);
+        let found: std::collections::HashSet<u64> =
+            a.heavy_hitters(0.05).into_iter().map(|h| h.item).collect();
+        for (item, _) in truth {
+            assert!(found.contains(&item), "merge lost heavy hitter {item}");
+        }
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        assert!(MisraGries::<u64>::new(0).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Frequent elements — the Table-1 **Finding Frequent Elements** row
+//! ("trending hashtags"): items whose frequency exceeds `θ·n`.
+//!
+//! The four classic counter-based algorithms plus the sketch+heap
+//! combination, matching the paper's long citation list for this row:
+//!
+//! * [`MisraGries`] — deterministic k-counter summary (the paper's
+//!   \[125\] lineage; rediscovered as "Frequent" by Karp–Shenker–
+//!   Papadimitriou \[114\] and Demaine–López-Ortiz–Munro \[75\]).
+//! * [`SpaceSaving`] — Metwally, Agrawal, El Abbadi (ICDT'05, \[128\]):
+//!   per-item overestimation bounded by the minimum counter; the
+//!   practical winner in Cormode–Hadjieleftheriou's evaluation \[65\].
+//! * [`LossyCounting`] — Manku & Motwani (VLDB'02, \[125\]):
+//!   bucket-based deletion with `f ≥ (θ-ε)n` output guarantee.
+//! * [`StickySampling`] — Manku & Motwani's randomized sibling.
+//! * [`TopKSketch`] — Count-Min + min-heap, the "sketch + dictionary"
+//!   design used for top-k queries (\[104\], \[166\]).
+
+mod lossy_counting;
+mod misra_gries;
+mod space_saving;
+mod sticky_sampling;
+mod topk;
+
+pub use lossy_counting::LossyCounting;
+pub use misra_gries::MisraGries;
+pub use space_saving::SpaceSaving;
+pub use sticky_sampling::StickySampling;
+pub use topk::TopKSketch;
+
+/// A reported frequent item with its estimated count bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeavyHitter<T> {
+    /// The item.
+    pub item: T,
+    /// Estimated count (algorithm-specific semantics; see each type).
+    pub count: u64,
+    /// Maximum possible overestimation of `count`.
+    pub error: u64,
+}

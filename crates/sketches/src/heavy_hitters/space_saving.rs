@@ -1,0 +1,326 @@
+//! SpaceSaving (Metwally, Agrawal, El Abbadi — ICDT 2005).
+
+use super::HeavyHitter;
+use sa_core::{Merge, Result, SaError};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+
+#[derive(Clone, Debug)]
+struct Slot<T> {
+    item: T,
+    count: u64,
+    error: u64,
+}
+
+/// SpaceSaving with `k` monitored counters.
+///
+/// Unmonitored arrivals *replace* the minimum counter, inheriting its
+/// count (+1) and recording that count as the item's maximum
+/// overestimation. Guarantees: `estimate ≥ true count` and
+/// `estimate − error ≤ true count`, with the minimum counter bounding
+/// every error by `n/k`. The heap-over-slots layout keeps updates
+/// `O(log k)` amortized (stale heap entries are skipped lazily).
+#[derive(Clone, Debug)]
+pub struct SpaceSaving<T: Eq + Hash + Clone> {
+    slots: Vec<Slot<T>>,
+    index: HashMap<T, usize>,
+    /// Lazy min-heap of (count, slot); stale when count != slot count.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    k: usize,
+    n: u64,
+}
+
+impl<T: Eq + Hash + Clone> SpaceSaving<T> {
+    /// Monitor at most `k ≥ 1` items; catches all θ-heavy-hitters for
+    /// `k ≥ 1/θ`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        Ok(Self {
+            slots: Vec::with_capacity(k),
+            index: HashMap::with_capacity(k),
+            heap: BinaryHeap::new(),
+            k,
+            n: 0,
+        })
+    }
+
+    /// Process one occurrence.
+    pub fn insert(&mut self, item: T) {
+        self.insert_weighted(item, 1);
+    }
+
+    /// Process `w` occurrences at once.
+    pub fn insert_weighted(&mut self, item: T, w: u64) {
+        self.n += w;
+        if let Some(&slot) = self.index.get(&item) {
+            self.slots[slot].count += w;
+            self.heap.push(Reverse((self.slots[slot].count, slot)));
+            return;
+        }
+        if self.slots.len() < self.k {
+            let slot = self.slots.len();
+            self.slots.push(Slot { item: item.clone(), count: w, error: 0 });
+            self.index.insert(item, slot);
+            self.heap.push(Reverse((w, slot)));
+            return;
+        }
+        // Evict the current minimum (skipping stale heap entries).
+        let slot = loop {
+            let Reverse((count, slot)) = *self.heap.peek().expect("non-empty");
+            if self.slots[slot].count == count {
+                self.heap.pop();
+                break slot;
+            }
+            self.heap.pop();
+        };
+        let old = &mut self.slots[slot];
+        let inherited = old.count;
+        self.index.remove(&old.item);
+        old.item = item.clone();
+        old.error = inherited;
+        old.count = inherited + w;
+        self.index.insert(item, slot);
+        self.heap.push(Reverse((inherited + w, slot)));
+    }
+
+    /// Stream length so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Estimated count — an upper bound on the true count.
+    pub fn estimate(&self, item: &T) -> u64 {
+        self.index.get(item).map_or(0, |&s| self.slots[s].count)
+    }
+
+    /// Guaranteed lower bound on the true count.
+    pub fn lower_bound(&self, item: &T) -> u64 {
+        self.index
+            .get(item)
+            .map_or(0, |&s| self.slots[s].count - self.slots[s].error)
+    }
+
+    /// Items whose estimate exceeds `θ·n`, sorted by descending count.
+    /// Includes every true θ-heavy-hitter when `k ≥ 1/θ`.
+    pub fn heavy_hitters(&self, theta: f64) -> Vec<HeavyHitter<T>> {
+        let threshold = theta * self.n as f64;
+        let mut out: Vec<HeavyHitter<T>> = self
+            .slots
+            .iter()
+            .filter(|s| s.count as f64 > threshold)
+            .map(|s| HeavyHitter { item: s.item.clone(), count: s.count, error: s.error })
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out
+    }
+
+    /// Top-j monitored items by estimated count.
+    pub fn top_k(&self, j: usize) -> Vec<HeavyHitter<T>> {
+        let mut all: Vec<HeavyHitter<T>> = self
+            .slots
+            .iter()
+            .map(|s| HeavyHitter { item: s.item.clone(), count: s.count, error: s.error })
+            .collect();
+        all.sort_by(|a, b| b.count.cmp(&a.count));
+        all.truncate(j);
+        all
+    }
+
+    /// Live counters.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the summary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl<T: Eq + Hash + Clone> Merge for SpaceSaving<T> {
+    /// Merge by combining counters (counts and errors add for shared
+    /// items; absent items inherit the other side's values), then keeping
+    /// the k largest.
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.k != other.k {
+            return Err(SaError::IncompatibleMerge("SpaceSaving k mismatch".into()));
+        }
+        let mut combined: HashMap<T, (u64, u64)> = HashMap::new();
+        // The minimum counter bounds what an absent item could have had.
+        let my_min = self.slots.iter().map(|s| s.count).min().unwrap_or(0);
+        let other_min = other.slots.iter().map(|s| s.count).min().unwrap_or(0);
+        let my_full = self.slots.len() == self.k;
+        let other_full = other.slots.len() == other.k;
+        for s in &self.slots {
+            let e = combined.entry(s.item.clone()).or_insert((0, 0));
+            e.0 += s.count;
+            e.1 += s.error;
+        }
+        for s in &other.slots {
+            let e = combined.entry(s.item.clone()).or_insert((0, 0));
+            e.0 += s.count;
+            e.1 += s.error;
+        }
+        // Items present on only one side get the other side's min as
+        // bonus count and error (they may have occurred up to that often).
+        for (item, (count, error)) in combined.iter_mut() {
+            let in_me = self.index.contains_key(item);
+            let in_other = other.index.contains_key(item);
+            if !in_me && my_full {
+                *count += my_min;
+                *error += my_min;
+            }
+            if !in_other && other_full {
+                *count += other_min;
+                *error += other_min;
+            }
+        }
+        let mut entries: Vec<(T, (u64, u64))> = combined.into_iter().collect();
+        entries.sort_by(|a, b| b.1 .0.cmp(&a.1 .0));
+        entries.truncate(self.k);
+        self.slots.clear();
+        self.index.clear();
+        self.heap.clear();
+        for (i, (item, (count, error))) in entries.into_iter().enumerate() {
+            self.index.insert(item.clone(), i);
+            self.heap.push(Reverse((count, i)));
+            self.slots.push(Slot { item, count, error });
+        }
+        self.n += other.n;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::ZipfStream;
+    use sa_core::stats::{exact_counts, exact_heavy_hitters, exact_top_k};
+
+    #[test]
+    fn estimates_bracket_truth() {
+        let mut g = ZipfStream::new(10_000, 1.1, 41);
+        let items = g.take_vec(100_000);
+        let mut ss = SpaceSaving::new(200).unwrap();
+        for &it in &items {
+            ss.insert(it);
+        }
+        let truth = exact_counts(&items);
+        for slot in &ss.slots {
+            let t = truth[&slot.item];
+            assert!(slot.count >= t, "SS must overestimate: {} < {t}", slot.count);
+            assert!(
+                slot.count - slot.error <= t,
+                "lower bound violated: {} - {} > {t}",
+                slot.count,
+                slot.error
+            );
+        }
+    }
+
+    #[test]
+    fn min_counter_bounds_error() {
+        let mut g = ZipfStream::new(50_000, 1.0, 42);
+        let items = g.take_vec(50_000);
+        let k = 100;
+        let mut ss = SpaceSaving::new(k).unwrap();
+        for &it in &items {
+            ss.insert(it);
+        }
+        let min = ss.slots.iter().map(|s| s.count).min().unwrap();
+        assert!(min <= 50_000 / k as u64 + 1, "min {min} > n/k");
+        for s in &ss.slots {
+            assert!(s.error <= min);
+        }
+    }
+
+    #[test]
+    fn finds_all_heavy_hitters() {
+        let mut g = ZipfStream::new(100_000, 1.2, 43);
+        let items = g.take_vec(200_000);
+        let theta = 0.01;
+        let mut ss = SpaceSaving::new(100).unwrap();
+        for &it in &items {
+            ss.insert(it);
+        }
+        let truth = exact_heavy_hitters(&items, theta);
+        let found: std::collections::HashSet<u64> =
+            ss.heavy_hitters(theta).into_iter().map(|h| h.item).collect();
+        for (item, _) in truth {
+            assert!(found.contains(&item), "missed {item}");
+        }
+    }
+
+    #[test]
+    fn top_k_matches_exact_on_skewed_stream() {
+        let mut g = ZipfStream::new(10_000, 1.4, 44);
+        let items = g.take_vec(100_000);
+        let mut ss = SpaceSaving::new(500).unwrap();
+        for &it in &items {
+            ss.insert(it);
+        }
+        let truth: Vec<u64> = exact_top_k(&items, 10).into_iter().map(|(i, _)| i).collect();
+        let est: Vec<u64> = ss.top_k(10).into_iter().map(|h| h.item).collect();
+        // The top few of a steep Zipf must match exactly.
+        assert_eq!(est[..5], truth[..5]);
+    }
+
+    #[test]
+    fn bounded_memory() {
+        let mut ss = SpaceSaving::new(10).unwrap();
+        for i in 0..100_000u64 {
+            ss.insert(i);
+        }
+        assert_eq!(ss.len(), 10);
+        assert_eq!(ss.n(), 100_000);
+    }
+
+    #[test]
+    fn merge_keeps_heavy_hitters() {
+        let mut g = ZipfStream::new(5_000, 1.3, 45);
+        let items = g.take_vec(60_000);
+        let mut a = SpaceSaving::new(100).unwrap();
+        let mut b = SpaceSaving::new(100).unwrap();
+        for (i, &it) in items.iter().enumerate() {
+            if i % 2 == 0 {
+                a.insert(it);
+            } else {
+                b.insert(it);
+            }
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.n(), 60_000);
+        assert!(a.len() <= 100);
+        let truth = exact_heavy_hitters(&items, 0.02);
+        let found: std::collections::HashSet<u64> =
+            a.heavy_hitters(0.02).into_iter().map(|h| h.item).collect();
+        for (item, _) in truth {
+            assert!(found.contains(&item), "merge lost {item}");
+        }
+        // Upper-bound property survives the merge.
+        let truth_counts = exact_counts(&items);
+        for s in &a.slots {
+            assert!(s.count >= truth_counts[&s.item]);
+        }
+    }
+
+    #[test]
+    fn weighted_updates() {
+        let mut ss = SpaceSaving::new(2).unwrap();
+        ss.insert_weighted("a", 10);
+        ss.insert_weighted("b", 5);
+        ss.insert_weighted("c", 3); // evicts b (min=5): count 8, error 5
+        assert_eq!(ss.estimate(&"c"), 8);
+        assert_eq!(ss.lower_bound(&"c"), 3);
+        assert_eq!(ss.estimate(&"b"), 0);
+        assert_eq!(ss.estimate(&"a"), 10);
+    }
+
+    #[test]
+    fn invalid_k() {
+        assert!(SpaceSaving::<u64>::new(0).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Sticky Sampling (Manku & Motwani — VLDB 2002), the randomized
+//! companion of Lossy Counting.
+
+use super::HeavyHitter;
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Probabilistic frequent-items summary.
+///
+/// Items already tracked are always counted; new items enter with the
+/// current sampling rate `1/r`. The rate halves (r doubles) on a fixed
+/// schedule `t = (1/ε)·ln(1/(θ·δ))`, and at each rate change every
+/// tracked entry is "re-sampled": it loses a Geometric(1/r) number of
+/// counts and is dropped if it reaches zero. Expected space
+/// `(2/ε)·ln(1/(θδ))` — independent of the stream length, which is the
+/// advantage over Lossy Counting the t07 experiment shows.
+#[derive(Clone, Debug)]
+pub struct StickySampling<T: Eq + Hash + Clone> {
+    entries: HashMap<T, u64>,
+    epsilon: f64,
+    theta: f64,
+    /// Current sampling denominator: new items enter w.p. 1/r.
+    r: u64,
+    /// Length of the first segment, `t = (1/ε)ln(1/(θδ))`.
+    t: u64,
+    /// Items until the next rate doubling.
+    until_switch: u64,
+    rng: SplitMix64,
+    n: u64,
+}
+
+impl<T: Eq + Hash + Clone> StickySampling<T> {
+    /// Support threshold `theta`, error `epsilon < theta`, failure
+    /// probability `delta`.
+    pub fn new(theta: f64, epsilon: f64, delta: f64) -> Result<Self> {
+        if !(theta > 0.0 && theta < 1.0) {
+            return Err(SaError::invalid("theta", "must be in (0,1)"));
+        }
+        if !(epsilon > 0.0 && epsilon < theta) {
+            return Err(SaError::invalid("epsilon", "must be in (0, theta)"));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SaError::invalid("delta", "must be in (0,1)"));
+        }
+        let t = ((1.0 / epsilon) * (1.0 / (theta * delta)).ln()).ceil() as u64;
+        Ok(Self {
+            entries: HashMap::new(),
+            epsilon,
+            theta,
+            r: 1,
+            t: t.max(1),
+            until_switch: 2 * t.max(1),
+            rng: SplitMix64::new(0x571C),
+            n: 0,
+        })
+    }
+
+    /// Use a specific RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Process one occurrence.
+    pub fn insert(&mut self, item: T) {
+        self.n += 1;
+        if self.until_switch == 0 {
+            self.r *= 2;
+            self.until_switch = self.t * self.r;
+            self.resample();
+        }
+        self.until_switch -= 1;
+        if let Some(c) = self.entries.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.r == 1 || self.rng.next_below(self.r) == 0 {
+            self.entries.insert(item, 1);
+        }
+    }
+
+    /// On a rate change, diminish each entry by a Geometric(1/r) count —
+    /// as if the entry had been sampled at the new coarser rate all along.
+    fn resample(&mut self) {
+        let r = self.r;
+        let mut dead = Vec::new();
+        for (item, count) in self.entries.iter_mut() {
+            // Repeatedly flip an unbiased coin; deduct one count per tail.
+            let mut c = *count;
+            while c > 0 && self.rng.next_below(r) != 0 {
+                c -= 1;
+            }
+            *count = c;
+            if c == 0 {
+                dead.push(item.clone());
+            }
+        }
+        for item in dead {
+            self.entries.remove(&item);
+        }
+    }
+
+    /// Stream length so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Estimated (under-)count.
+    pub fn estimate(&self, item: &T) -> u64 {
+        self.entries.get(item).copied().unwrap_or(0)
+    }
+
+    /// Items with `count ≥ (θ−ε)·n` — all θ-frequent items with
+    /// probability `1 − δ`.
+    pub fn frequent_items(&self) -> Vec<HeavyHitter<T>> {
+        let threshold = (self.theta - self.epsilon) * self.n as f64;
+        let mut out: Vec<HeavyHitter<T>> = self
+            .entries
+            .iter()
+            .filter(|(_, &c)| c as f64 >= threshold)
+            .map(|(item, &c)| HeavyHitter {
+                item: item.clone(),
+                count: c,
+                error: (self.epsilon * self.n as f64) as u64,
+            })
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out
+    }
+
+    /// Number of tracked entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::ZipfStream;
+    use sa_core::stats::exact_heavy_hitters;
+
+    #[test]
+    fn finds_frequent_items_whp() {
+        let theta = 0.02;
+        let mut g = ZipfStream::new(20_000, 1.3, 61);
+        let items = g.take_vec(200_000);
+        let mut hits = 0;
+        let mut total = 0;
+        for seed in 0..5u64 {
+            let mut ss = StickySampling::new(theta, theta / 10.0, 0.01)
+                .unwrap()
+                .with_seed(seed);
+            for &it in &items {
+                ss.insert(it);
+            }
+            let truth = exact_heavy_hitters(&items, theta);
+            let found: std::collections::HashSet<u64> =
+                ss.frequent_items().into_iter().map(|h| h.item).collect();
+            for (item, _) in truth {
+                total += 1;
+                if found.contains(&item) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits as f64 / total as f64 > 0.95, "{hits}/{total}");
+    }
+
+    #[test]
+    fn space_independent_of_stream_length() {
+        let mut ss = StickySampling::new(0.01, 0.001, 0.01).unwrap();
+        // Uniform worst case, long stream.
+        let mut g = ZipfStream::new(1_000_000, 0.5, 62);
+        for it in g.take_vec(500_000) {
+            ss.insert(it);
+        }
+        let bound = (2.0 / 0.001) * (1.0f64 / (0.01 * 0.01)).ln();
+        assert!(
+            (ss.len() as f64) < 3.0 * bound,
+            "len {} vs bound {bound}",
+            ss.len()
+        );
+    }
+
+    #[test]
+    fn never_overestimates() {
+        let mut g = ZipfStream::new(1_000, 1.1, 63);
+        let items = g.take_vec(50_000);
+        let mut ss = StickySampling::new(0.05, 0.01, 0.05).unwrap();
+        for &it in &items {
+            ss.insert(it);
+        }
+        let truth = sa_core::stats::exact_counts(&items);
+        for (item, &c) in &ss.entries {
+            assert!(c <= truth[item], "{c} > {}", truth[item]);
+        }
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(StickySampling::<u64>::new(0.0, 0.001, 0.1).is_err());
+        assert!(StickySampling::<u64>::new(0.01, 0.02, 0.1).is_err());
+        assert!(StickySampling::<u64>::new(0.01, 0.001, 0.0).is_err());
+    }
+}

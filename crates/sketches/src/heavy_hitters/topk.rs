@@ -1,0 +1,162 @@
+//! Top-k via Count-Min + heap ("sketch plus dictionary" — the design
+//! behind top-k monitoring systems, Table 1 \[104, 166\]).
+
+use super::HeavyHitter;
+use crate::frequency::CountMinSketch;
+use sa_core::{Result, SaError};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Tracks the (approximate) `k` most frequent items.
+///
+/// Every item's frequency is estimated from a Count-Min sketch; a small
+/// dictionary of the current top-k candidates is kept alongside. Unlike
+/// SpaceSaving, accuracy is inherited from the sketch (`+ εN`
+/// overestimation), but the sketch also answers point queries for
+/// *arbitrary* items, which counter-based summaries cannot.
+#[derive(Clone, Debug)]
+pub struct TopKSketch<T: Eq + Hash + Clone> {
+    sketch: CountMinSketch,
+    candidates: HashMap<T, i64>,
+    k: usize,
+    n: u64,
+}
+
+impl<T: Eq + Hash + Clone + std::hash::Hash> TopKSketch<T> {
+    /// Track `k ≥ 1` items with a sketch of the given accuracy.
+    pub fn new(k: usize, epsilon: f64, delta: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        Ok(Self {
+            sketch: CountMinSketch::with_error(epsilon, delta)?.conservative(),
+            candidates: HashMap::with_capacity(2 * k),
+            k,
+            n: 0,
+        })
+    }
+
+    /// Process one occurrence.
+    pub fn insert(&mut self, item: T) {
+        self.n += 1;
+        self.sketch.add(&item, 1);
+        let est = self.sketch.estimate(&item);
+        let full = self.candidates.len() >= 2 * self.k;
+        match self.candidates.get_mut(&item) {
+            Some(c) => *c = est,
+            None if !full => {
+                self.candidates.insert(item, est);
+            }
+            None => {
+                // Replace the weakest candidate if this item beats it.
+                if let Some((weak_item, weak)) = self
+                    .candidates
+                    .iter()
+                    .min_by_key(|(_, &c)| c)
+                    .map(|(i, &c)| (i.clone(), c))
+                {
+                    if est > weak {
+                        self.candidates.remove(&weak_item);
+                        self.candidates.insert(item, est);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current top-k by estimated count, descending.
+    pub fn top_k(&self) -> Vec<HeavyHitter<T>> {
+        let mut all: Vec<HeavyHitter<T>> = self
+            .candidates
+            .iter()
+            .map(|(item, &c)| HeavyHitter {
+                item: item.clone(),
+                count: c.max(0) as u64,
+                error: (self.sketch.total() as f64
+                    * std::f64::consts::E
+                    / self.sketch.width() as f64) as u64,
+            })
+            .collect();
+        all.sort_by(|a, b| b.count.cmp(&a.count));
+        all.truncate(self.k);
+        all
+    }
+
+    /// Point estimate for any item (sketch query).
+    pub fn estimate(&self, item: &T) -> i64 {
+        self.sketch.estimate(item)
+    }
+
+    /// Stream length so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::ZipfStream;
+    use sa_core::stats::exact_top_k;
+
+    #[test]
+    fn top_items_found_on_skewed_stream() {
+        let mut g = ZipfStream::new(100_000, 1.3, 71);
+        let items = g.take_vec(200_000);
+        let mut tk = TopKSketch::new(20, 0.0005, 0.01).unwrap();
+        for &it in &items {
+            tk.insert(it);
+        }
+        let truth: std::collections::HashSet<u64> =
+            exact_top_k(&items, 20).into_iter().map(|(i, _)| i).collect();
+        let found: Vec<u64> = tk.top_k().into_iter().map(|h| h.item).collect();
+        assert_eq!(found.len(), 20);
+        let overlap = found.iter().filter(|i| truth.contains(i)).count();
+        assert!(overlap >= 17, "only {overlap}/20 of true top-k found");
+    }
+
+    #[test]
+    fn counts_close_to_truth_for_top_items() {
+        let mut g = ZipfStream::new(10_000, 1.5, 72);
+        let items = g.take_vec(100_000);
+        let mut tk = TopKSketch::new(5, 0.0005, 0.01).unwrap();
+        for &it in &items {
+            tk.insert(it);
+        }
+        let truth = sa_core::stats::exact_counts(&items);
+        for h in tk.top_k() {
+            let t = truth[&h.item] as f64;
+            let err = (h.count as f64 - t).abs() / t;
+            assert!(err < 0.05, "item {}: est {} true {t}", h.item, h.count);
+        }
+    }
+
+    #[test]
+    fn arbitrary_point_queries_work() {
+        let mut tk = TopKSketch::new(3, 0.001, 0.01).unwrap();
+        for _ in 0..500 {
+            tk.insert(1u64);
+        }
+        for i in 2..100u64 {
+            tk.insert(i);
+        }
+        assert!(tk.estimate(&1) >= 500);
+        // A non-candidate item is still queryable via the sketch.
+        assert!(tk.estimate(&50) >= 1);
+    }
+
+    #[test]
+    fn candidate_set_bounded() {
+        let mut tk = TopKSketch::new(10, 0.01, 0.1).unwrap();
+        for i in 0..100_000u64 {
+            tk.insert(i % 1000);
+        }
+        assert!(tk.candidates.len() <= 20);
+        assert_eq!(tk.n(), 100_000);
+    }
+
+    #[test]
+    fn invalid_k() {
+        assert!(TopKSketch::<u64>::new(0, 0.01, 0.01).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! # sa-sketches
+//!
+//! Probabilistic stream summaries ("sketches") — the core data-reduction
+//! toolbox of the tutorial's Section 2, covering the Table-1 rows:
+//!
+//! * **Filtering** ([`membership`]) — Bloom filter and variants
+//!   (counting, partitioned, cuckoo).
+//! * **Estimating cardinality** ([`cardinality`]) — Linear Counting,
+//!   Flajolet–Martin PCSA, LogLog, HyperLogLog (+ small-range corrected
+//!   variant), K-Minimum-Values, Sliding HyperLogLog.
+//! * **Estimating quantiles** ([`quantiles`]) — Greenwald–Khanna, CKMS
+//!   biased quantiles, Frugal streaming, reservoir baseline.
+//! * **Estimating moments** ([`moments`]) — AMS tug-of-war F₂, fast-AMS,
+//!   sampling-based F_k.
+//! * **Finding frequent elements** ([`heavy_hitters`]) — Misra–Gries,
+//!   SpaceSaving, Lossy Counting, Sticky Sampling, CMS+heap top-k.
+//! * Point-frequency substrates ([`frequency`]) — Count-Min (plain and
+//!   conservative-update) and Count-Sketch.
+//!
+//! All summaries are mergeable ([`sa_core::Merge`]) so they distribute
+//! across partitions/nodes, as the paper's scale-out requirement demands.
+
+pub mod cardinality;
+pub mod frequency;
+pub mod heavy_hitters;
+pub mod membership;
+pub mod moments;
+pub mod quantiles;

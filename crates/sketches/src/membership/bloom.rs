@@ -1,0 +1,208 @@
+//! The classic Bloom filter (Bloom, CACM 1970).
+
+use sa_core::hash::DoubleHash;
+use sa_core::traits::MembershipFilter;
+use sa_core::{Merge, Result, SaError};
+
+/// Space/time-efficient approximate set with no false negatives.
+///
+/// `m` bits, `k` derived hash functions. False-positive probability after
+/// `n` inserts is `(1 - e^{-kn/m})^k`.
+///
+/// ```
+/// use sa_sketches::membership::BloomFilter;
+/// use sa_core::traits::MembershipFilter;
+/// use sa_core::hash::hash64;
+///
+/// let mut f = BloomFilter::with_fpp(1_000, 0.01).unwrap();
+/// f.insert(&"user42");
+/// assert!(f.contains(&"user42"));
+/// let _ = f.insert_hash(hash64(&"via-trait", 0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: usize,
+    k: u32,
+    items: u64,
+}
+
+impl BloomFilter {
+    /// A filter with exactly `m` bits and `k` hash functions.
+    pub fn new(m: usize, k: u32) -> Result<Self> {
+        if m == 0 {
+            return Err(SaError::invalid("m", "must be positive"));
+        }
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        Ok(Self { bits: vec![0; m.div_ceil(64)], m, k, items: 0 })
+    }
+
+    /// A filter sized for `expected_items` at false-positive rate `fpp`.
+    pub fn with_fpp(expected_items: usize, fpp: f64) -> Result<Self> {
+        if !(fpp > 0.0 && fpp < 1.0) {
+            return Err(SaError::invalid("fpp", "must be in (0,1)"));
+        }
+        let m = super::bits_for_fpp(expected_items.max(1), fpp);
+        let k = super::optimal_k(m, expected_items.max(1)) as u32;
+        Self::new(m, k)
+    }
+
+    /// Number of hash functions.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of inserts performed (not distinct items).
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Insert any hashable item.
+    pub fn insert<T: std::hash::Hash + ?Sized>(&mut self, item: &T) {
+        self.insert_hash(sa_core::hash::hash64(item, 0));
+    }
+
+    /// Membership query for any hashable item.
+    pub fn contains<T: std::hash::Hash + ?Sized>(&self, item: &T) -> bool {
+        self.contains_hash(sa_core::hash::hash64(item, 0))
+    }
+
+    /// Fraction of bits set — a saturation diagnostic.
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        f64::from(set) / self.m as f64
+    }
+
+    /// Predicted false-positive probability at the current fill.
+    pub fn estimated_fpp(&self) -> f64 {
+        self.fill_ratio().powi(self.k as i32)
+    }
+
+    #[inline]
+    fn set_bit(&mut self, idx: usize) {
+        self.bits[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    #[inline]
+    fn get_bit(&self, idx: usize) -> bool {
+        self.bits[idx / 64] >> (idx % 64) & 1 == 1
+    }
+}
+
+impl MembershipFilter for BloomFilter {
+    fn insert_hash(&mut self, hash: u64) -> bool {
+        let dh = DoubleHash { h1: hash, h2: sa_core::hash::mix64(hash) | 1 };
+        for i in 0..u64::from(self.k) {
+            self.set_bit(dh.index(i, self.m));
+        }
+        self.items += 1;
+        true
+    }
+
+    fn contains_hash(&self, hash: u64) -> bool {
+        let dh = DoubleHash { h1: hash, h2: sa_core::hash::mix64(hash) | 1 };
+        (0..u64::from(self.k)).all(|i| self.get_bit(dh.index(i, self.m)))
+    }
+
+    fn bits(&self) -> usize {
+        self.m
+    }
+}
+
+impl Merge for BloomFilter {
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.m != other.m || self.k != other.k {
+            return Err(SaError::IncompatibleMerge(format!(
+                "bloom shape mismatch: ({}, {}) vs ({}, {})",
+                self.m, self.k, other.m, other.k
+            )));
+        }
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        self.items += other.items;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_fpp(1000, 0.01).unwrap();
+        for i in 0..1000u32 {
+            f.insert(&i);
+        }
+        for i in 0..1000u32 {
+            assert!(f.contains(&i), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn fpp_close_to_target() {
+        let n = 10_000;
+        let mut f = BloomFilter::with_fpp(n, 0.01).unwrap();
+        for i in 0..n as u64 {
+            f.insert(&i);
+        }
+        let trials = 100_000u64;
+        let fp = (n as u64..n as u64 + trials).filter(|i| f.contains(i)).count();
+        let rate = fp as f64 / trials as f64;
+        assert!(rate < 0.02, "observed fpp {rate}");
+        assert!(rate > 0.002, "suspiciously low fpp {rate}");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_much() {
+        let f = BloomFilter::new(1024, 4).unwrap();
+        assert!(!f.contains(&"x"));
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = BloomFilter::new(4096, 5).unwrap();
+        let mut b = BloomFilter::new(4096, 5).unwrap();
+        for i in 0..100u32 {
+            a.insert(&i);
+        }
+        for i in 100..200u32 {
+            b.insert(&i);
+        }
+        a.merge(&b).unwrap();
+        for i in 0..200u32 {
+            assert!(a.contains(&i));
+        }
+        assert_eq!(a.items(), 200);
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = BloomFilter::new(1024, 4).unwrap();
+        let b = BloomFilter::new(2048, 4).unwrap();
+        assert!(matches!(a.merge(&b), Err(SaError::IncompatibleMerge(_))));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(BloomFilter::new(0, 3).is_err());
+        assert!(BloomFilter::new(10, 0).is_err());
+        assert!(BloomFilter::with_fpp(10, 0.0).is_err());
+        assert!(BloomFilter::with_fpp(10, 1.0).is_err());
+    }
+
+    #[test]
+    fn estimated_fpp_tracks_fill() {
+        let mut f = BloomFilter::with_fpp(1000, 0.01).unwrap();
+        assert_eq!(f.estimated_fpp(), 0.0);
+        for i in 0..1000u32 {
+            f.insert(&i);
+        }
+        let est = f.estimated_fpp();
+        assert!(est > 0.001 && est < 0.05, "est = {est}");
+    }
+}

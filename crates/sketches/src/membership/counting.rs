@@ -1,0 +1,226 @@
+//! Counting Bloom filter with 4-bit saturating counters.
+//!
+//! Replaces each bit with a small counter so deletions are supported
+//! (Fan et al.'s summary-cache construction, improved by Bonomi et al.
+//! — the paper's \[50\]). Counters saturate at 15 and saturated counters
+//! are never decremented, preserving the no-false-negative guarantee even
+//! after overflow.
+
+use sa_core::hash::DoubleHash;
+use sa_core::traits::MembershipFilter;
+use sa_core::{Merge, Result, SaError};
+
+const MAX_COUNT: u8 = 15;
+
+/// A Bloom filter variant supporting `remove`.
+///
+/// ```
+/// use sa_sketches::membership::CountingBloomFilter;
+///
+/// let mut f = CountingBloomFilter::new(4096, 4).unwrap();
+/// f.insert(&"session-1");
+/// assert!(f.contains(&"session-1"));
+/// f.remove(&"session-1");
+/// assert!(!f.contains(&"session-1"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CountingBloomFilter {
+    /// Two counters per byte.
+    counters: Vec<u8>,
+    m: usize,
+    k: u32,
+}
+
+impl CountingBloomFilter {
+    /// `m` counters (4 bits each) and `k` hash functions.
+    pub fn new(m: usize, k: u32) -> Result<Self> {
+        if m == 0 {
+            return Err(SaError::invalid("m", "must be positive"));
+        }
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        Ok(Self { counters: vec![0; m.div_ceil(2)], m, k })
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> u8 {
+        let b = self.counters[idx / 2];
+        if idx % 2 == 0 {
+            b & 0x0F
+        } else {
+            b >> 4
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize, val: u8) {
+        let b = &mut self.counters[idx / 2];
+        if idx % 2 == 0 {
+            *b = (*b & 0xF0) | (val & 0x0F);
+        } else {
+            *b = (*b & 0x0F) | (val << 4);
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self, idx: usize) {
+        let c = self.get(idx);
+        if c < MAX_COUNT {
+            self.set(idx, c + 1);
+        }
+    }
+
+    #[inline]
+    fn drop_one(&mut self, idx: usize) {
+        let c = self.get(idx);
+        // Saturated counters are sticky: decrementing could create a
+        // false negative for other items hashed here.
+        if c > 0 && c < MAX_COUNT {
+            self.set(idx, c - 1);
+        }
+    }
+
+    /// Insert a hashable item.
+    pub fn insert<T: std::hash::Hash + ?Sized>(&mut self, item: &T) {
+        self.insert_hash(sa_core::hash::hash64(item, 0));
+    }
+
+    /// Query a hashable item.
+    pub fn contains<T: std::hash::Hash + ?Sized>(&self, item: &T) -> bool {
+        self.contains_hash(sa_core::hash::hash64(item, 0))
+    }
+
+    /// Remove a hashable item. Removing an item that was never inserted
+    /// may introduce false negatives for colliding items — callers must
+    /// only remove items they know are present.
+    pub fn remove<T: std::hash::Hash + ?Sized>(&mut self, item: &T) {
+        self.remove_hash(sa_core::hash::hash64(item, 0));
+    }
+
+    /// Remove by precomputed hash.
+    pub fn remove_hash(&mut self, hash: u64) {
+        let dh = DoubleHash { h1: hash, h2: sa_core::hash::mix64(hash) | 1 };
+        for i in 0..u64::from(self.k) {
+            let idx = dh.index(i, self.m);
+            self.drop_one(idx);
+        }
+    }
+}
+
+impl MembershipFilter for CountingBloomFilter {
+    fn insert_hash(&mut self, hash: u64) -> bool {
+        let dh = DoubleHash { h1: hash, h2: sa_core::hash::mix64(hash) | 1 };
+        for i in 0..u64::from(self.k) {
+            let idx = dh.index(i, self.m);
+            self.bump(idx);
+        }
+        true
+    }
+
+    fn contains_hash(&self, hash: u64) -> bool {
+        let dh = DoubleHash { h1: hash, h2: sa_core::hash::mix64(hash) | 1 };
+        (0..u64::from(self.k)).all(|i| self.get(dh.index(i, self.m)) > 0)
+    }
+
+    fn bits(&self) -> usize {
+        self.m * 4
+    }
+}
+
+impl Merge for CountingBloomFilter {
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.m != other.m || self.k != other.k {
+            return Err(SaError::IncompatibleMerge(
+                "counting bloom shape mismatch".into(),
+            ));
+        }
+        for idx in 0..self.m {
+            let sum = self.get(idx).saturating_add(other.get(idx)).min(MAX_COUNT);
+            self.set(idx, sum);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_remove_round_trip() {
+        let mut f = CountingBloomFilter::new(4096, 4).unwrap();
+        for i in 0..100u32 {
+            f.insert(&i);
+        }
+        for i in 0..100u32 {
+            assert!(f.contains(&i));
+        }
+        for i in 0..50u32 {
+            f.remove(&i);
+        }
+        for i in 50..100u32 {
+            assert!(f.contains(&i), "removed wrong item {i}");
+        }
+        // Most removed items should now be absent (collisions allowed).
+        let still = (0..50u32).filter(|i| f.contains(i)).count();
+        assert!(still < 5, "{still} of 50 removed items still present");
+    }
+
+    #[test]
+    fn duplicate_inserts_need_matching_removes() {
+        let mut f = CountingBloomFilter::new(1024, 3).unwrap();
+        f.insert(&"x");
+        f.insert(&"x");
+        f.remove(&"x");
+        assert!(f.contains(&"x"));
+        f.remove(&"x");
+        assert!(!f.contains(&"x"));
+    }
+
+    #[test]
+    fn counters_saturate_without_false_negatives() {
+        let mut f = CountingBloomFilter::new(64, 2).unwrap();
+        for _ in 0..100 {
+            f.insert(&"hot");
+        }
+        // 100 > 15: counters saturated. Removing 100 times must not
+        // produce a false negative for a saturated counter path.
+        for _ in 0..100 {
+            f.remove(&"hot");
+        }
+        assert!(f.contains(&"hot"), "sticky saturation violated");
+    }
+
+    #[test]
+    fn nibble_packing_is_isolated() {
+        let mut f = CountingBloomFilter::new(10, 1).unwrap();
+        f.set(4, 7);
+        f.set(5, 9);
+        assert_eq!(f.get(4), 7);
+        assert_eq!(f.get(5), 9);
+        f.set(4, 0);
+        assert_eq!(f.get(5), 9);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = CountingBloomFilter::new(2048, 3).unwrap();
+        let mut b = CountingBloomFilter::new(2048, 3).unwrap();
+        a.insert(&"left");
+        b.insert(&"right");
+        a.merge(&b).unwrap();
+        assert!(a.contains(&"left"));
+        assert!(a.contains(&"right"));
+        // Removing "right" once clears it.
+        a.remove(&"right");
+        assert!(!a.contains(&"right"));
+    }
+
+    #[test]
+    fn merge_shape_mismatch() {
+        let mut a = CountingBloomFilter::new(128, 2).unwrap();
+        let b = CountingBloomFilter::new(128, 3).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+}

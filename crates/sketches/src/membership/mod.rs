@@ -1,0 +1,63 @@
+//! Approximate set membership — the Table-1 **Filtering** row.
+//!
+//! "Extract elements which meet a certain criterion", the criterion here
+//! being set membership with a controlled false-positive rate and zero
+//! false negatives. Four filters from the paper's citation list:
+//!
+//! * [`BloomFilter`] — Bloom's original bit array (cited as \[49\]).
+//! * [`CountingBloomFilter`] — 4-bit counters supporting deletion
+//!   (Bonomi et al., \[50\]).
+//! * [`PartitionedBloomFilter`] — one partition per hash function
+//!   (Putze/Sanders/Singler-style cache-friendly layout, \[137\]).
+//! * [`CuckooFilter`] — fingerprints in a cuckoo table; deletion and
+//!   better space at low FPP (Fan et al., \[82\]).
+//!
+//! All use Kirsch–Mitzenmacher double hashing ("less hashing, same
+//! performance", \[116\]).
+
+mod bloom;
+mod counting;
+mod cuckoo;
+mod partitioned;
+
+pub use bloom::BloomFilter;
+pub use counting::CountingBloomFilter;
+pub use cuckoo::CuckooFilter;
+pub use partitioned::PartitionedBloomFilter;
+
+/// Optimal number of hash functions for a Bloom filter with `m` bits and
+/// `n` expected items: `k = (m/n) ln 2`, clamped to at least 1.
+pub fn optimal_k(m: usize, n: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    (((m as f64 / n as f64) * std::f64::consts::LN_2).round() as usize).max(1)
+}
+
+/// Bits needed for target false-positive probability `p` and `n` items:
+/// `m = -n ln p / (ln 2)^2`.
+pub fn bits_for_fpp(n: usize, p: f64) -> usize {
+    assert!(p > 0.0 && p < 1.0, "fpp must be in (0,1)");
+    let ln2 = std::f64::consts::LN_2;
+    ((-(n as f64) * p.ln()) / (ln2 * ln2)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_k_matches_formula() {
+        // m/n = 10 → k ≈ 6.93 → 7
+        assert_eq!(optimal_k(1000, 100), 7);
+        assert_eq!(optimal_k(100, 0), 1);
+        assert_eq!(optimal_k(1, 1000), 1);
+    }
+
+    #[test]
+    fn bits_for_one_percent_fpp() {
+        // Classic result: ~9.59 bits/item at 1% FPP.
+        let bits = bits_for_fpp(1000, 0.01);
+        assert!((9_500..9_700).contains(&bits), "bits = {bits}");
+    }
+}

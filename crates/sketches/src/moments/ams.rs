@@ -1,0 +1,299 @@
+//! Alon–Matias–Szegedy frequency-moment estimators (STOC 1996).
+
+use sa_core::hash::{hash64, mix64};
+use sa_core::rng::SplitMix64;
+use sa_core::{Merge, Result, SaError};
+use std::hash::Hash;
+
+/// Tug-of-war F₂ sketch: `s1 × s2` signed counters.
+///
+/// Counter `(i,j)` maintains `Z_ij = Σ_x f_x · ξ_ij(x)` with hash-derived
+/// signs `ξ ∈ {±1}`; `Z²` is an unbiased F₂ estimate with variance
+/// `≤ 2F₂²`. Averaging `s1` estimates shrinks variance; the median of
+/// `s2` averages boosts confidence: ε,δ-accuracy at
+/// `s1 = O(1/ε²), s2 = O(log 1/δ)`.
+#[derive(Clone, Debug)]
+pub struct AmsF2 {
+    /// Row-major `s2` groups × `s1` counters.
+    z: Vec<i64>,
+    s1: usize,
+    s2: usize,
+    seed: u64,
+}
+
+impl AmsF2 {
+    /// `s1` counters averaged per group, `s2` groups medianed.
+    pub fn new(s1: usize, s2: usize) -> Result<Self> {
+        if s1 == 0 {
+            return Err(SaError::invalid("s1", "must be positive"));
+        }
+        if s2 == 0 {
+            return Err(SaError::invalid("s2", "must be positive"));
+        }
+        Ok(Self { z: vec![0; s1 * s2], s1, s2, seed: 0xA3 })
+    }
+
+    /// Geometry from accuracy targets: relative error `ε` with
+    /// probability `1-δ`.
+    pub fn with_error(epsilon: f64, delta: f64) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SaError::invalid("epsilon", "must be in (0,1)"));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SaError::invalid("delta", "must be in (0,1)"));
+        }
+        let s1 = (8.0 / (epsilon * epsilon)).ceil() as usize;
+        let s2 = (2.0 * (1.0 / delta).ln()).ceil().max(1.0) as usize;
+        Self::new(s1, s2)
+    }
+
+    /// Add `count` occurrences of an item (negative = deletion; the
+    /// sketch supports the full turnstile model).
+    pub fn add<T: Hash + ?Sized>(&mut self, item: &T, count: i64) {
+        self.add_hash(hash64(item, self.seed), count);
+    }
+
+    /// Add by precomputed hash.
+    pub fn add_hash(&mut self, hash: u64, count: i64) {
+        for (idx, z) in self.z.iter_mut().enumerate() {
+            // Independent sign per counter from the (hash, counter) pair.
+            let sign = if mix64(hash ^ (idx as u64).wrapping_mul(0x9E37_79B9)) & 1
+                == 0
+            {
+                1
+            } else {
+                -1
+            };
+            *z += sign * count;
+        }
+    }
+
+    /// Median-of-means F₂ estimate.
+    pub fn estimate(&self) -> f64 {
+        let mut groups: Vec<f64> = (0..self.s2)
+            .map(|g| {
+                let sum: f64 = self.z[g * self.s1..(g + 1) * self.s1]
+                    .iter()
+                    .map(|&z| (z as f64) * (z as f64))
+                    .sum();
+                sum / self.s1 as f64
+            })
+            .collect();
+        groups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        groups[groups.len() / 2]
+    }
+
+    /// Heap bytes used.
+    pub fn size_bytes(&self) -> usize {
+        self.z.len() * 8
+    }
+}
+
+impl Merge for AmsF2 {
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.s1 != other.s1 || self.s2 != other.s2 || self.seed != other.seed {
+            return Err(SaError::IncompatibleMerge("AMS shape mismatch".into()));
+        }
+        for (a, b) in self.z.iter_mut().zip(&other.z) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+/// One sampled tracker for the general-k AMS estimator.
+#[derive(Clone, Debug)]
+struct Tracker {
+    item_hash: u64,
+    /// Occurrences of the item from its sampled position onward.
+    r: u64,
+}
+
+/// AMS sampling estimator for `F_k`, any `k ≥ 2`.
+///
+/// Each of `s` trackers picks a stream position uniformly (reservoir
+/// style) and counts that item's remaining occurrences `r`; the estimate
+/// `n·(r^k − (r−1)^k)` is unbiased. Variance is large — `O(n^{1−1/k})`
+/// trackers are needed — which the t06 experiment demonstrates against
+/// the tug-of-war sketch at k=2.
+#[derive(Clone, Debug)]
+pub struct AmsFk {
+    trackers: Vec<Tracker>,
+    k: u32,
+    n: u64,
+    rng: SplitMix64,
+    seed: u64,
+}
+
+impl AmsFk {
+    /// `s` trackers for moment order `k ≥ 1`.
+    pub fn new(k: u32, s: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be at least 1"));
+        }
+        if s == 0 {
+            return Err(SaError::invalid("s", "must be positive"));
+        }
+        Ok(Self {
+            trackers: vec![Tracker { item_hash: 0, r: 0 }; s],
+            k,
+            n: 0,
+            rng: SplitMix64::new(0xF4),
+            seed: 0xA4,
+        })
+    }
+
+    /// Use a specific RNG seed for position sampling.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Process one occurrence of an item.
+    pub fn insert<T: Hash + ?Sized>(&mut self, item: &T) {
+        let h = hash64(item, self.seed);
+        self.n += 1;
+        for t in self.trackers.iter_mut() {
+            // Reservoir over positions: adopt this position w.p. 1/n.
+            if self.rng.next_below(self.n) == 0 {
+                t.item_hash = h;
+                t.r = 1;
+            } else if t.r > 0 && t.item_hash == h {
+                t.r += 1;
+            }
+        }
+    }
+
+    /// Mean-of-trackers F_k estimate.
+    pub fn estimate(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let k = self.k as i32;
+        let sum: f64 = self
+            .trackers
+            .iter()
+            .map(|t| {
+                let r = t.r as f64;
+                self.n as f64 * (r.powi(k) - (r - 1.0).powi(k))
+            })
+            .sum();
+        sum / self.trackers.len() as f64
+    }
+
+    /// Stream length so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::ZipfStream;
+    use sa_core::stats::{exact_moment, relative_error};
+
+    #[test]
+    fn f2_accurate_on_skewed_stream() {
+        let mut g = ZipfStream::new(10_000, 1.1, 81);
+        let items = g.take_vec(100_000);
+        let mut ams = AmsF2::with_error(0.1, 0.05).unwrap();
+        for &it in &items {
+            ams.add(&it, 1);
+        }
+        let truth = exact_moment(&items, 2);
+        let err = relative_error(ams.estimate(), truth);
+        assert!(err < 0.2, "err = {err}");
+    }
+
+    #[test]
+    fn f2_exact_relation_on_uniform() {
+        // 1000 items × 10 occurrences: F2 = 1000 × 100 = 100_000.
+        let mut ams = AmsF2::new(512, 5).unwrap();
+        for rep in 0..10 {
+            for i in 0..1000u64 {
+                let _ = rep;
+                ams.add(&i, 1);
+            }
+        }
+        let err = relative_error(ams.estimate(), 100_000.0);
+        assert!(err < 0.2, "err = {err}");
+    }
+
+    #[test]
+    fn f2_supports_deletions() {
+        let mut ams = AmsF2::new(256, 5).unwrap();
+        for i in 0..1000u64 {
+            ams.add(&i, 5);
+        }
+        for i in 0..1000u64 {
+            ams.add(&i, -5);
+        }
+        assert_eq!(ams.estimate(), 0.0);
+    }
+
+    #[test]
+    fn f2_merge_equals_whole() {
+        let mut a = AmsF2::new(128, 3).unwrap();
+        let mut b = AmsF2::new(128, 3).unwrap();
+        let mut whole = AmsF2::new(128, 3).unwrap();
+        for i in 0..20_000u64 {
+            let item = i % 200;
+            if i % 2 == 0 {
+                a.add(&item, 1);
+            } else {
+                b.add(&item, 1);
+            }
+            whole.add(&item, 1);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(), whole.estimate());
+    }
+
+    #[test]
+    fn fk_estimates_f2_and_f3() {
+        let mut g = ZipfStream::new(100, 1.0, 82);
+        let items = g.take_vec(50_000);
+        for k in [2u32, 3] {
+            let mut est_sum = 0.0;
+            let runs = 3;
+            for seed in 0..runs {
+                let mut fk = AmsFk::new(k, 2000).unwrap().with_seed(seed);
+                for &it in &items {
+                    fk.insert(&it);
+                }
+                est_sum += fk.estimate();
+            }
+            let truth = exact_moment(&items, k);
+            let err = relative_error(est_sum / runs as f64, truth);
+            assert!(err < 0.3, "k={k}: err = {err}");
+        }
+    }
+
+    #[test]
+    fn fk_f1_is_exact_stream_length() {
+        let mut fk = AmsFk::new(1, 10).unwrap();
+        for i in 0..5_000u64 {
+            fk.insert(&(i % 37));
+        }
+        // k=1: n·(r − (r−1)) = n for every tracker.
+        assert_eq!(fk.estimate(), 5_000.0);
+    }
+
+    #[test]
+    fn empty_estimates() {
+        let ams = AmsF2::new(16, 3).unwrap();
+        assert_eq!(ams.estimate(), 0.0);
+        let fk = AmsFk::new(2, 4).unwrap();
+        assert_eq!(fk.estimate(), 0.0);
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(AmsF2::new(0, 1).is_err());
+        assert!(AmsF2::new(1, 0).is_err());
+        assert!(AmsF2::with_error(0.0, 0.1).is_err());
+        assert!(AmsFk::new(0, 10).is_err());
+        assert!(AmsFk::new(2, 0).is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! Frequency-moment estimation — the Table-1 **Estimating Moments** row
+//! ("estimating distribution of frequencies of different elements";
+//! application: databases/query planning).
+//!
+//! `F_k = Σ_i f_i^k` over item frequencies `f_i`:
+//! * `F_0` — distinct count (see [`crate::cardinality`]),
+//! * `F_1` — stream length,
+//! * `F_2` — the self-join size / Gini "surprise" index,
+//! * higher `k` — skewness of the frequency distribution.
+//!
+//! * [`AmsF2`] — the original tug-of-war sketch of Alon, Matias &
+//!   Szegedy (STOC'96, the paper's \[39\] — the work that *introduced*
+//!   sketching), median-of-means over `s1 × s2` ±1 counters.
+//! * [`AmsFk`] — AMS's sampling estimator for general `k`:
+//!   `n·(r^k − (r−1)^k)` with `r` the suffix count of a uniformly
+//!   sampled position.
+//! * Fast-AMS in practice: [`crate::frequency::CountSketch::f2_estimate`]
+//!   — each Count-Sketch row is a bucketed tug-of-war (Thorup–Zhang);
+//!   the t06 experiment compares all three.
+
+mod ams;
+
+pub use ams::{AmsF2, AmsFk};

@@ -1,0 +1,265 @@
+//! CKMS targeted/biased quantiles (Cormode, Korn, Muthukrishnan,
+//! Srivastava — "Effective computation of biased quantiles over data
+//! streams", ICDE 2005; the biased-quantile line of work the paper cites
+//! via Zhang & Wang \[170\]).
+
+use sa_core::traits::QuantileSketch;
+use sa_core::{Result, SaError};
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    v: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// Targeted-quantile summary.
+///
+/// Where GK spends the same rank-error budget `ε·n` everywhere, CKMS
+/// takes a set of *targets* `(φ_j, ε_j)` and maintains just enough
+/// resolution around each — e.g. `(0.5, 0.01), (0.99, 0.001),
+/// (0.999, 0.0001)` keeps tail latencies sharp at a fraction of the
+/// uniform-ε cost.
+///
+/// ```
+/// use sa_sketches::quantiles::CkmsSketch;
+/// use sa_core::traits::QuantileSketch;
+///
+/// let mut q = CkmsSketch::new(&[(0.5, 0.01), (0.99, 0.001)]).unwrap();
+/// for i in 0..100_000 {
+///     q.insert(i as f64);
+/// }
+/// let p99 = q.query(0.99).unwrap();
+/// assert!((p99 - 99_000.0).abs() < 1_000.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CkmsSketch {
+    targets: Vec<(f64, f64)>,
+    entries: Vec<Entry>,
+    buffer: Vec<f64>,
+    n: u64,
+}
+
+impl CkmsSketch {
+    /// Create from `(quantile, allowed_rank_error)` targets.
+    pub fn new(targets: &[(f64, f64)]) -> Result<Self> {
+        if targets.is_empty() {
+            return Err(SaError::invalid("targets", "need at least one target"));
+        }
+        for &(phi, eps) in targets {
+            if !(0.0..=1.0).contains(&phi) {
+                return Err(SaError::invalid("targets", "quantile must be in [0,1]"));
+            }
+            if !(eps > 0.0 && eps < 0.5) {
+                return Err(SaError::invalid("targets", "epsilon must be in (0,0.5)"));
+            }
+        }
+        Ok(Self {
+            targets: targets.to_vec(),
+            entries: Vec::new(),
+            buffer: Vec::new(),
+            n: 0,
+        })
+    }
+
+    /// The CKMS invariant: allowed `g+Δ` at rank `r` out of `n`.
+    fn invariant(&self, r: f64, n: u64) -> u64 {
+        let n = n as f64;
+        let mut f = f64::MAX;
+        for &(phi, eps) in &self.targets {
+            let fj = if r < phi * n {
+                // Error budget grows as we move below the target rank.
+                if phi < 1.0 {
+                    2.0 * eps * (n - r) / (1.0 - phi)
+                } else {
+                    f64::MAX
+                }
+            } else if phi > 0.0 {
+                2.0 * eps * r / phi
+            } else {
+                f64::MAX
+            };
+            f = f.min(fj);
+        }
+        f.max(1.0) as u64
+    }
+
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        self.buffer.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let buffer = std::mem::take(&mut self.buffer);
+        let mut rmin = 0u64;
+        let mut idx = 0usize;
+        for v in buffer {
+            while idx < self.entries.len() && self.entries[idx].v <= v {
+                rmin += self.entries[idx].g;
+                idx += 1;
+            }
+            self.n += 1;
+            let delta = if idx == 0 || idx == self.entries.len() {
+                0
+            } else {
+                self.invariant(rmin as f64, self.n).saturating_sub(1)
+            };
+            self.entries.insert(idx, Entry { v, g: 1, delta });
+            rmin += 1;
+            idx += 1;
+        }
+        self.compress();
+    }
+
+    fn compress(&mut self) {
+        if self.entries.len() < 3 {
+            return;
+        }
+        let mut rmin: u64 = self.entries.iter().map(|e| e.g).sum();
+        let mut i = self.entries.len() - 2;
+        // rmin currently = n; walk right-to-left tracking r_min of i+1.
+        rmin -= self.entries[self.entries.len() - 1].g;
+        while i >= 1 {
+            rmin -= self.entries[i].g;
+            let merged = self.entries[i].g + self.entries[i + 1].g
+                + self.entries[i + 1].delta;
+            if merged <= self.invariant(rmin as f64, self.n) {
+                self.entries[i + 1].g += self.entries[i].g;
+                self.entries.remove(i);
+            }
+            i -= 1;
+        }
+    }
+
+    /// Entries currently stored (after flushing the write buffer).
+    pub fn entry_count(&mut self) -> usize {
+        self.flush();
+        self.entries.len()
+    }
+}
+
+impl QuantileSketch for CkmsSketch {
+    fn insert(&mut self, value: f64) {
+        self.buffer.push(value);
+        if self.buffer.len() >= 500 {
+            self.flush();
+        }
+    }
+
+    fn query(&self, q: f64) -> Option<f64> {
+        // Pending buffered values are merged logically via a clone-free
+        // path: callers that need buffered data flushed should use
+        // `query` after `entry_count`, or rely on the automatic flush.
+        if self.entries.is_empty() && self.buffer.is_empty() {
+            return None;
+        }
+        if !self.buffer.is_empty() {
+            let mut me = self.clone();
+            me.flush();
+            return me.query(q);
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.n as f64).ceil().max(1.0);
+        let budget = self.invariant(target, self.n) as f64 / 2.0;
+        let mut rmin = 0u64;
+        for (i, e) in self.entries.iter().enumerate() {
+            rmin += e.g;
+            let next = self
+                .entries
+                .get(i + 1)
+                .map(|ne| (rmin + ne.g + ne.delta) as f64)
+                .unwrap_or(f64::MAX);
+            if next > target + budget {
+                return Some(e.v);
+            }
+        }
+        self.entries.last().map(|e| e.v)
+    }
+
+    fn count(&self) -> u64 {
+        self.n + self.buffer.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use sa_core::stats::exact_rank;
+
+    #[test]
+    fn targeted_tail_is_sharp() {
+        let mut s =
+            CkmsSketch::new(&[(0.5, 0.02), (0.99, 0.001), (0.999, 0.0005)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let values: Vec<f64> = (0..200_000).map(|_| rng.gen::<f64>()).collect();
+        for &v in &values {
+            s.insert(v);
+        }
+        let n = values.len() as f64;
+        for &(q, eps) in &[(0.5, 0.02), (0.99, 0.001), (0.999, 0.0005)] {
+            let est = s.query(q).unwrap();
+            let r = exact_rank(&values, est) as f64;
+            assert!(
+                (r - q * n).abs() <= 2.0 * eps * n + 1.0,
+                "q={q}: rank {r} vs {} (±{})",
+                q * n,
+                2.0 * eps * n
+            );
+        }
+    }
+
+    #[test]
+    fn space_smaller_than_uniform_gk_for_tail_targets() {
+        use crate::quantiles::GkSketch;
+        let mut ckms = CkmsSketch::new(&[(0.99, 0.001)]).unwrap();
+        let mut gk = GkSketch::new(0.001).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for _ in 0..100_000 {
+            let v: f64 = rng.gen();
+            ckms.insert(v);
+            gk.insert(v);
+        }
+        let c = ckms.entry_count();
+        let g = gk.tuple_count();
+        assert!(c < g, "ckms {c} entries vs gk {g} tuples");
+    }
+
+    #[test]
+    fn sorted_and_reversed_inputs() {
+        for rev in [false, true] {
+            let mut s = CkmsSketch::new(&[(0.5, 0.01), (0.9, 0.005)]).unwrap();
+            let mut values: Vec<f64> = (0..50_000).map(|i| i as f64).collect();
+            if rev {
+                values.reverse();
+            }
+            for &v in &values {
+                s.insert(v);
+            }
+            let est = s.query(0.9).unwrap();
+            assert!(
+                (est - 45_000.0).abs() < 1_500.0,
+                "rev={rev}: p90 = {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_with_pending_buffer() {
+        let mut s = CkmsSketch::new(&[(0.5, 0.05)]).unwrap();
+        for i in 0..100 {
+            s.insert(i as f64); // stays in buffer (< 500)
+        }
+        assert_eq!(s.count(), 100);
+        let p50 = s.query(0.5).unwrap();
+        assert!((p50 - 50.0).abs() <= 10.0, "p50 = {p50}");
+    }
+
+    #[test]
+    fn empty_and_invalid() {
+        let s = CkmsSketch::new(&[(0.5, 0.01)]).unwrap();
+        assert_eq!(s.query(0.5), None);
+        assert!(CkmsSketch::new(&[]).is_err());
+        assert!(CkmsSketch::new(&[(1.5, 0.01)]).is_err());
+        assert!(CkmsSketch::new(&[(0.5, 0.9)]).is_err());
+    }
+}

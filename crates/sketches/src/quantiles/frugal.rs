@@ -1,0 +1,203 @@
+//! Frugal streaming quantiles (Ma, Muthukrishnan, Sandler — 2013,
+//! the paper's \[123\]): quantile tracking in one or two words of memory.
+
+use sa_core::rng::SplitMix64;
+use sa_core::traits::QuantileSketch;
+use sa_core::{Result, SaError};
+
+/// Which frugal variant to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrugalMode {
+    /// Frugal-1U: fixed ±1 steps. One word of state.
+    OneUnit,
+    /// Frugal-2U: adaptive step size that grows under persistent drift
+    /// and shrinks on direction changes. Two words of state.
+    TwoUnit,
+}
+
+/// A single-quantile frugal estimator.
+///
+/// Tracks the `q`-quantile of a stream using O(1) memory: on each item,
+/// the estimate takes a small step toward the item with probability
+/// chosen so the process's stationary point is the true quantile. The
+/// trade-off (visible in experiment t05) is slow convergence and no
+/// worst-case guarantee — the price of frugality.
+#[derive(Clone, Debug)]
+pub struct FrugalQuantile {
+    q: f64,
+    mode: FrugalMode,
+    estimate: f64,
+    step: f64,
+    /// +1 / -1: direction of the last move (Frugal-2U).
+    last_sign: f64,
+    rng: SplitMix64,
+    n: u64,
+    initialized: bool,
+}
+
+impl FrugalQuantile {
+    /// Track quantile `q ∈ (0,1)` with the given variant.
+    pub fn new(q: f64, mode: FrugalMode) -> Result<Self> {
+        if !(q > 0.0 && q < 1.0) {
+            return Err(SaError::invalid("q", "must be in (0,1)"));
+        }
+        Ok(Self {
+            q,
+            mode,
+            estimate: 0.0,
+            step: 1.0,
+            last_sign: 0.0,
+            rng: SplitMix64::new(0xF2),
+            n: 0,
+            initialized: false,
+        })
+    }
+
+    /// Use a specific seed for the randomized steps.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// The current estimate (meaningful once items have been seen).
+    pub fn current(&self) -> f64 {
+        self.estimate
+    }
+
+    fn step_up(&mut self, x: f64) {
+        match self.mode {
+            FrugalMode::OneUnit => self.estimate += 1.0,
+            FrugalMode::TwoUnit => {
+                // Accelerate on repeated same-direction moves.
+                self.step += if self.last_sign > 0.0 { self.step.abs().max(1.0) * 0.5 } else { -self.step * 0.5 };
+                self.step = self.step.clamp(1.0, (x - self.estimate).abs().max(1.0));
+                self.estimate = (self.estimate + self.step).min(x);
+                self.last_sign = 1.0;
+            }
+        }
+    }
+
+    fn step_down(&mut self, x: f64) {
+        match self.mode {
+            FrugalMode::OneUnit => self.estimate -= 1.0,
+            FrugalMode::TwoUnit => {
+                self.step += if self.last_sign < 0.0 { self.step.abs().max(1.0) * 0.5 } else { -self.step * 0.5 };
+                self.step = self.step.clamp(1.0, (self.estimate - x).abs().max(1.0));
+                self.estimate = (self.estimate - self.step).max(x);
+                self.last_sign = -1.0;
+            }
+        }
+    }
+}
+
+impl QuantileSketch for FrugalQuantile {
+    fn insert(&mut self, value: f64) {
+        self.n += 1;
+        if !self.initialized {
+            // Seed the walk at the first observation.
+            self.estimate = value;
+            self.initialized = true;
+            return;
+        }
+        if value > self.estimate {
+            if self.rng.bernoulli(self.q) {
+                self.step_up(value);
+            }
+        } else if value < self.estimate && self.rng.bernoulli(1.0 - self.q) {
+            self.step_down(value);
+        }
+    }
+
+    fn query(&self, q: f64) -> Option<f64> {
+        // A frugal estimator tracks exactly one quantile.
+        if !self.initialized || (q - self.q).abs() > 1e-9 {
+            if !self.initialized {
+                return None;
+            }
+        }
+        Some(self.estimate)
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn run(mode: FrugalMode, q: f64, n: usize, scale: f64) -> f64 {
+        let mut f = FrugalQuantile::new(q, mode).unwrap().with_seed(77);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..n {
+            f.insert(rng.gen::<f64>() * scale);
+        }
+        f.current()
+    }
+
+    #[test]
+    fn one_unit_converges_on_unit_scale_integers() {
+        // Frugal-1U takes ±1 steps, so test on a [0,1000] integer-ish range.
+        let mut f = FrugalQuantile::new(0.5, FrugalMode::OneUnit).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        for _ in 0..200_000 {
+            f.insert(rng.gen_range(0..1000) as f64);
+        }
+        let est = f.current();
+        assert!((est - 500.0).abs() < 60.0, "median est = {est}");
+    }
+
+    #[test]
+    fn two_unit_converges_faster_on_large_scale() {
+        let est1 = run(FrugalMode::OneUnit, 0.5, 20_000, 1e6);
+        let est2 = run(FrugalMode::TwoUnit, 0.5, 20_000, 1e6);
+        let err1 = (est1 - 5e5).abs();
+        let err2 = (est2 - 5e5).abs();
+        assert!(
+            err2 < err1,
+            "2U ({est2}, err {err2}) not better than 1U ({est1}, err {err1})"
+        );
+        assert!(err2 / 1e6 < 0.15, "2U relative error {}", err2 / 1e6);
+    }
+
+    #[test]
+    fn tracks_tail_quantile() {
+        let mut f = FrugalQuantile::new(0.9, FrugalMode::TwoUnit).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for _ in 0..300_000 {
+            f.insert(rng.gen_range(0..10_000) as f64);
+        }
+        let est = f.current();
+        assert!((est - 9_000.0).abs() < 700.0, "p90 est = {est}");
+    }
+
+    #[test]
+    fn adapts_to_distribution_shift() {
+        let mut f = FrugalQuantile::new(0.5, FrugalMode::TwoUnit).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        for _ in 0..100_000 {
+            f.insert(rng.gen_range(0..100) as f64);
+        }
+        // Shift the distribution by +10_000.
+        for _ in 0..100_000 {
+            f.insert(rng.gen_range(10_000..10_100) as f64);
+        }
+        let est = f.current();
+        assert!((est - 10_050.0).abs() < 100.0, "post-shift est = {est}");
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let f = FrugalQuantile::new(0.5, FrugalMode::OneUnit).unwrap();
+        assert_eq!(f.query(0.5), None);
+        assert_eq!(f.count(), 0);
+    }
+
+    #[test]
+    fn invalid_q_rejected() {
+        assert!(FrugalQuantile::new(0.0, FrugalMode::OneUnit).is_err());
+        assert!(FrugalQuantile::new(1.0, FrugalMode::TwoUnit).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Greenwald–Khanna ε-approximate quantile summary (SIGMOD 2001).
+
+use sa_core::traits::QuantileSketch;
+use sa_core::{Result, SaError};
+
+/// One GK tuple: `v` with `g = r_min(v) - r_min(prev)` and
+/// `delta = r_max(v) - r_min(v)`.
+#[derive(Clone, Copy, Debug)]
+struct Tuple {
+    v: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// The Greenwald–Khanna summary.
+///
+/// Deterministically answers any quantile query with rank error at most
+/// `ε·n`, keeping `O((1/ε)·log(εn))` tuples.
+///
+/// ```
+/// use sa_sketches::quantiles::GkSketch;
+/// use sa_core::traits::QuantileSketch;
+///
+/// let mut gk = GkSketch::new(0.01).unwrap();
+/// for i in 0..10_000 {
+///     gk.insert(i as f64);
+/// }
+/// let p50 = gk.query(0.5).unwrap();
+/// assert!((p50 - 5_000.0).abs() <= 0.01 * 10_000.0 + 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GkSketch {
+    epsilon: f64,
+    tuples: Vec<Tuple>,
+    n: u64,
+    since_compress: u64,
+}
+
+impl GkSketch {
+    /// Target rank error `ε ∈ (0, 0.5)`.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon < 0.5) {
+            return Err(SaError::invalid("epsilon", "must be in (0, 0.5)"));
+        }
+        Ok(Self { epsilon, tuples: Vec::new(), n: 0, since_compress: 0 })
+    }
+
+    /// Number of stored tuples (the sketch's space).
+    pub fn tuple_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The rank-error budget `⌊2εn⌋` used by insert and compress.
+    #[inline]
+    fn threshold(&self) -> u64 {
+        (2.0 * self.epsilon * self.n as f64).floor() as u64
+    }
+
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let threshold = self.threshold();
+        // Merge right-to-left; endpoints are kept exact.
+        let mut i = self.tuples.len() - 2;
+        while i >= 1 {
+            let merged_g = self.tuples[i].g + self.tuples[i + 1].g;
+            if merged_g + self.tuples[i + 1].delta <= threshold {
+                self.tuples[i + 1].g = merged_g;
+                self.tuples.remove(i);
+            }
+            i -= 1;
+        }
+    }
+
+    /// ε-approximate rank of `x` (midpoint of its rank interval).
+    pub fn rank(&self, x: f64) -> u64 {
+        let mut rmin = 0u64;
+        for t in &self.tuples {
+            if t.v > x {
+                return rmin + t.delta.min(1) / 2; // below the first greater tuple
+            }
+            rmin += t.g;
+        }
+        self.n
+    }
+}
+
+impl QuantileSketch for GkSketch {
+    fn insert(&mut self, value: f64) {
+        self.n += 1;
+        let delta = if self.tuples.is_empty() {
+            0
+        } else {
+            self.threshold().saturating_sub(1)
+        };
+        let pos = self.tuples.partition_point(|t| t.v <= value);
+        let at_edge = pos == 0 || pos == self.tuples.len();
+        self.tuples.insert(
+            pos,
+            Tuple { v: value, g: 1, delta: if at_edge { 0 } else { delta } },
+        );
+        self.since_compress += 1;
+        if self.since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    fn query(&self, q: f64) -> Option<f64> {
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.n as f64).ceil().max(1.0) as u64;
+        let budget = (self.epsilon * self.n as f64) as u64;
+        let mut rmin = 0u64;
+        for (i, t) in self.tuples.iter().enumerate() {
+            rmin += t.g;
+            let next_overshoot = self
+                .tuples
+                .get(i + 1)
+                .map(|nt| rmin + nt.g + nt.delta)
+                .unwrap_or(u64::MAX);
+            if next_overshoot > target + budget {
+                return Some(t.v);
+            }
+        }
+        self.tuples.last().map(|t| t.v)
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use sa_core::stats::exact_rank;
+
+    fn check_all_quantiles(values: &[f64], epsilon: f64) {
+        let mut gk = GkSketch::new(epsilon).unwrap();
+        for &v in values {
+            gk.insert(v);
+        }
+        let n = values.len() as f64;
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let est = gk.query(q).unwrap();
+            let r = exact_rank(values, est) as f64;
+            let target = q * n;
+            assert!(
+                (r - target).abs() <= epsilon * n + 1.0,
+                "q={q}: rank {r} vs target {target} (ε·n = {})",
+                epsilon * n
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_input() {
+        let values: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
+        check_all_quantiles(&values, 0.01);
+    }
+
+    #[test]
+    fn reverse_sorted_input() {
+        let values: Vec<f64> = (0..20_000).rev().map(|i| i as f64).collect();
+        check_all_quantiles(&values, 0.01);
+    }
+
+    #[test]
+    fn random_input() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let values: Vec<f64> = (0..30_000).map(|_| rng.gen::<f64>() * 1e6).collect();
+        check_all_quantiles(&values, 0.02);
+    }
+
+    #[test]
+    fn heavily_duplicated_input() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let values: Vec<f64> = (0..20_000).map(|_| rng.gen_range(0..10) as f64).collect();
+        let mut gk = GkSketch::new(0.01).unwrap();
+        for &v in &values {
+            gk.insert(v);
+        }
+        let est = gk.query(0.5).unwrap();
+        let r = exact_rank(&values, est) as f64;
+        assert!((r - 10_000.0).abs() <= 0.01 * 20_000.0 + 2_000.0);
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut gk = GkSketch::new(0.01).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100_000 {
+            gk.insert(rng.gen::<f64>());
+        }
+        assert!(
+            gk.tuple_count() < 2_000,
+            "kept {} tuples for 100k inserts",
+            gk.tuple_count()
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut gk = GkSketch::new(0.1).unwrap();
+        assert_eq!(gk.query(0.5), None);
+        gk.insert(42.0);
+        assert_eq!(gk.query(0.0), Some(42.0));
+        assert_eq!(gk.query(1.0), Some(42.0));
+        assert_eq!(gk.count(), 1);
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut gk = GkSketch::new(0.05).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen::<f64>() * 100.0;
+            lo = lo.min(v);
+            hi = hi.max(v);
+            gk.insert(v);
+        }
+        assert_eq!(gk.query(0.0), Some(lo));
+        assert_eq!(gk.query(1.0), Some(hi));
+    }
+
+    #[test]
+    fn invalid_epsilon() {
+        assert!(GkSketch::new(0.0).is_err());
+        assert!(GkSketch::new(0.5).is_err());
+    }
+}

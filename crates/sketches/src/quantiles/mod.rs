@@ -1,0 +1,24 @@
+//! Quantile estimation in small space — the Table-1 **Estimating
+//! Quantiles** row ("network analysis").
+//!
+//! * [`GkSketch`] — Greenwald–Khanna (SIGMOD'01, the paper's \[93\]):
+//!   deterministic ε-approximate rank queries in `O((1/ε)·log εn)` space.
+//! * [`CkmsSketch`] — Cormode–Korn–Muthukrishnan–Srivastava *targeted*
+//!   quantiles (the biased-quantile line the paper cites as \[170\]):
+//!   per-target error so tail quantiles (p99, p999) get fine resolution
+//!   without paying for the middle.
+//! * [`FrugalQuantile`] — Ma, Muthukrishnan & Sandler's "frugal
+//!   streaming" (\[123\]): one or two words of state per quantile.
+//! * [`SampledQuantile`] — reservoir-sampling baseline: exact quantile of
+//!   a uniform sample; the strawman every sketch is compared against in
+//!   experiment t05.
+
+mod ckms;
+mod frugal;
+mod gk;
+mod sampled;
+
+pub use ckms::CkmsSketch;
+pub use frugal::{FrugalQuantile, FrugalMode};
+pub use gk::GkSketch;
+pub use sampled::SampledQuantile;

@@ -1,0 +1,104 @@
+//! Reservoir-sampling quantile baseline.
+
+use sa_core::rng::SplitMix64;
+use sa_core::traits::QuantileSketch;
+use sa_core::{Result, SaError};
+
+/// Exact quantile of a uniform reservoir sample — the strawman the
+/// deterministic sketches are compared against in experiment t05.
+///
+/// With a reservoir of `k` items the rank error is `O(1/√k)` *with
+/// constant probability only* (no deterministic guarantee), which is why
+/// GK/CKMS dominate it at equal space on adversarial data.
+#[derive(Clone, Debug)]
+pub struct SampledQuantile {
+    reservoir: Vec<f64>,
+    k: usize,
+    n: u64,
+    rng: SplitMix64,
+}
+
+impl SampledQuantile {
+    /// Reservoir capacity `k ≥ 1`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(SaError::invalid("k", "must be positive"));
+        }
+        Ok(Self {
+            reservoir: Vec::with_capacity(k),
+            k,
+            n: 0,
+            rng: SplitMix64::new(0x5A17),
+        })
+    }
+
+    /// Use a specific RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Current reservoir size (≤ k).
+    pub fn sample_size(&self) -> usize {
+        self.reservoir.len()
+    }
+}
+
+impl QuantileSketch for SampledQuantile {
+    fn insert(&mut self, value: f64) {
+        self.n += 1;
+        if self.reservoir.len() < self.k {
+            self.reservoir.push(value);
+        } else {
+            // Algorithm R: replace a random slot with prob k/n.
+            let j = self.rng.next_below(self.n) as usize;
+            if j < self.k {
+                self.reservoir[j] = value;
+            }
+        }
+    }
+
+    fn query(&self, q: f64) -> Option<f64> {
+        sa_core::stats::exact_quantile(&self.reservoir, q)
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn small_stream_is_exact() {
+        let mut s = SampledQuantile::new(1000).unwrap();
+        for i in 0..100 {
+            s.insert(i as f64);
+        }
+        assert_eq!(s.query(0.5), Some(49.0));
+        assert_eq!(s.query(1.0), Some(99.0));
+    }
+
+    #[test]
+    fn large_stream_approximate() {
+        let mut s = SampledQuantile::new(4000).unwrap().with_seed(9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        for _ in 0..500_000 {
+            s.insert(rng.gen::<f64>());
+        }
+        let p50 = s.query(0.5).unwrap();
+        assert!((p50 - 0.5).abs() < 0.05, "p50 = {p50}");
+        assert_eq!(s.sample_size(), 4000);
+        assert_eq!(s.count(), 500_000);
+    }
+
+    #[test]
+    fn empty() {
+        let s = SampledQuantile::new(10).unwrap();
+        assert_eq!(s.query(0.5), None);
+        assert!(SampledQuantile::new(0).is_err());
+    }
+}

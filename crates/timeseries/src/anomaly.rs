@@ -1,0 +1,391 @@
+//! Streaming anomaly detection — the Table-1 **Anomaly Detection** row
+//! ("detect anomalies in a data stream"; application: sensor networks).
+//!
+//! Four detectors spanning the row's citation families:
+//! * [`RobustZScore`] — median/MAD over a rolling window (robust to the
+//!   anomalies it is hunting, unlike mean/σ).
+//! * [`Cusum`] — Page's cumulative-sum change detector for level shifts
+//!   (the distributional-change family, \[71\]).
+//! * [`SeasonalDetector`] — per-phase baselines for periodic signals
+//!   (the model-based family, \[151\]).
+//! * [`DistanceDetector`] — count of near neighbours in a reference
+//!   window (the distance/density family, \[150, 153\]).
+
+use sa_core::{Result, SaError};
+use std::collections::VecDeque;
+
+/// Verdict for one observation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Verdict {
+    /// Whether the observation is flagged.
+    pub is_anomaly: bool,
+    /// Detector-specific score (higher = more anomalous).
+    pub score: f64,
+}
+
+/// Median/MAD z-score over a rolling window.
+///
+/// Scores `|x − median| / (1.4826·MAD)`; both statistics have a 50%
+/// breakdown point, so a burst of outliers cannot drag the baseline the
+/// way it would an EWMA.
+#[derive(Clone, Debug)]
+pub struct RobustZScore {
+    window: VecDeque<f64>,
+    capacity: usize,
+    threshold: f64,
+}
+
+impl RobustZScore {
+    /// Rolling window of `capacity ≥ 8` points, flag above `threshold`
+    /// robust z-units (3–5 is typical).
+    pub fn new(capacity: usize, threshold: f64) -> Result<Self> {
+        if capacity < 8 {
+            return Err(SaError::invalid("capacity", "must be at least 8"));
+        }
+        if threshold <= 0.0 {
+            return Err(SaError::invalid("threshold", "must be positive"));
+        }
+        Ok(Self { window: VecDeque::with_capacity(capacity), capacity, threshold })
+    }
+
+    fn median(sorted: &[f64]) -> f64 {
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    }
+
+    /// Score the next observation, then add it to the window.
+    pub fn observe(&mut self, x: f64) -> Verdict {
+        let verdict = if self.window.len() < 8 {
+            Verdict { is_anomaly: false, score: 0.0 }
+        } else {
+            let mut sorted: Vec<f64> = self.window.iter().copied().collect();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let med = Self::median(&sorted);
+            let mut devs: Vec<f64> = sorted.iter().map(|v| (v - med).abs()).collect();
+            devs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mad = Self::median(&devs);
+            let scale = 1.4826 * mad.max(1e-12);
+            let score = (x - med).abs() / scale;
+            Verdict { is_anomaly: score > self.threshold, score }
+        };
+        // Anomalous points still enter the window (the robustness of
+        // median/MAD is the defence, not exclusion).
+        self.window.push_back(x);
+        if self.window.len() > self.capacity {
+            self.window.pop_front();
+        }
+        verdict
+    }
+}
+
+/// Page's CUSUM: detects persistent level shifts, not single spikes.
+///
+/// Tracks `S⁺ ← max(0, S⁺ + (x − μ − κ))` and the mirrored `S⁻`;
+/// crossing `h` signals a change, after which the baseline re-anchors.
+#[derive(Clone, Debug)]
+pub struct Cusum {
+    mean: f64,
+    /// Allowance (slack) κ, in absolute units.
+    kappa: f64,
+    /// Decision threshold h, in absolute units.
+    h: f64,
+    s_pos: f64,
+    s_neg: f64,
+    n: u64,
+    warmup: u64,
+}
+
+impl Cusum {
+    /// Slack `kappa` and threshold `h` (absolute units); the baseline
+    /// mean is learned over the first `warmup ≥ 1` points.
+    pub fn new(kappa: f64, h: f64, warmup: u64) -> Result<Self> {
+        if kappa < 0.0 {
+            return Err(SaError::invalid("kappa", "must be non-negative"));
+        }
+        if h <= 0.0 {
+            return Err(SaError::invalid("h", "must be positive"));
+        }
+        if warmup == 0 {
+            return Err(SaError::invalid("warmup", "must be positive"));
+        }
+        Ok(Self { mean: 0.0, kappa, h, s_pos: 0.0, s_neg: 0.0, n: 0, warmup })
+    }
+
+    /// Feed the next observation; `is_anomaly` marks a detected shift.
+    pub fn observe(&mut self, x: f64) -> Verdict {
+        self.n += 1;
+        if self.n <= self.warmup {
+            // Running mean during warmup.
+            self.mean += (x - self.mean) / self.n as f64;
+            return Verdict { is_anomaly: false, score: 0.0 };
+        }
+        self.s_pos = (self.s_pos + x - self.mean - self.kappa).max(0.0);
+        self.s_neg = (self.s_neg - x + self.mean - self.kappa).max(0.0);
+        let score = self.s_pos.max(self.s_neg) / self.h;
+        if score >= 1.0 {
+            // Signal and re-anchor at the new level.
+            self.mean = x;
+            self.s_pos = 0.0;
+            self.s_neg = 0.0;
+            return Verdict { is_anomaly: true, score };
+        }
+        Verdict { is_anomaly: false, score }
+    }
+
+    /// The current baseline mean.
+    pub fn baseline(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Per-phase seasonal baseline: one EWMA mean/deviation per position in
+/// the season, so "3am looks like previous 3ams".
+#[derive(Clone, Debug)]
+pub struct SeasonalDetector {
+    period: usize,
+    alpha: f64,
+    threshold: f64,
+    level: Vec<f64>,
+    dev: Vec<f64>,
+    seen: Vec<u32>,
+    t: u64,
+}
+
+impl SeasonalDetector {
+    /// Season length `period ≥ 2`, smoothing `α`, flag above `threshold`
+    /// deviations.
+    pub fn new(period: usize, alpha: f64, threshold: f64) -> Result<Self> {
+        if period < 2 {
+            return Err(SaError::invalid("period", "must be at least 2"));
+        }
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(SaError::invalid("alpha", "must be in (0,1]"));
+        }
+        if threshold <= 0.0 {
+            return Err(SaError::invalid("threshold", "must be positive"));
+        }
+        Ok(Self {
+            period,
+            alpha,
+            threshold,
+            level: vec![0.0; period],
+            dev: vec![0.0; period],
+            seen: vec![0; period],
+            t: 0,
+        })
+    }
+
+    /// Feed the next observation (consecutive samples advance the phase).
+    pub fn observe(&mut self, x: f64) -> Verdict {
+        let phase = (self.t % self.period as u64) as usize;
+        self.t += 1;
+        self.seen[phase] += 1;
+        if self.seen[phase] <= 2 {
+            // Need two full seasons before judging a phase.
+            if self.seen[phase] == 1 {
+                self.level[phase] = x;
+            } else {
+                self.dev[phase] = (x - self.level[phase]).abs();
+                self.level[phase] += self.alpha * (x - self.level[phase]);
+            }
+            return Verdict { is_anomaly: false, score: 0.0 };
+        }
+        let resid = x - self.level[phase];
+        let scale = self.dev[phase].max(1e-9);
+        let score = resid.abs() / scale;
+        let is_anomaly = score > self.threshold;
+        // Anomalies update the baseline with a dampened weight so a
+        // one-off spike does not poison the phase.
+        let w = if is_anomaly { self.alpha * 0.1 } else { self.alpha };
+        self.level[phase] += w * resid;
+        self.dev[phase] += w * (resid.abs() - self.dev[phase]);
+        Verdict { is_anomaly, score }
+    }
+}
+
+/// Distance-based outlier detection: a point is anomalous when fewer
+/// than `min_neighbors` of the last `window` points lie within `radius`.
+#[derive(Clone, Debug)]
+pub struct DistanceDetector {
+    window: VecDeque<f64>,
+    capacity: usize,
+    radius: f64,
+    min_neighbors: usize,
+}
+
+impl DistanceDetector {
+    /// Reference window size, neighbourhood `radius > 0`, and the
+    /// minimum neighbour count for normality.
+    pub fn new(capacity: usize, radius: f64, min_neighbors: usize) -> Result<Self> {
+        if capacity < min_neighbors || capacity == 0 {
+            return Err(SaError::invalid("capacity", "must exceed min_neighbors"));
+        }
+        if radius <= 0.0 {
+            return Err(SaError::invalid("radius", "must be positive"));
+        }
+        Ok(Self {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            radius,
+            min_neighbors,
+        })
+    }
+
+    /// Score the next observation, then add it to the window.
+    pub fn observe(&mut self, x: f64) -> Verdict {
+        let verdict = if self.window.len() < self.capacity / 2 {
+            Verdict { is_anomaly: false, score: 0.0 }
+        } else {
+            let neighbors = self
+                .window
+                .iter()
+                .filter(|&&v| (v - x).abs() <= self.radius)
+                .count();
+            Verdict {
+                is_anomaly: neighbors < self.min_neighbors,
+                score: self.min_neighbors as f64 / (neighbors as f64 + 1.0),
+            }
+        };
+        self.window.push_back(x);
+        if self.window.len() > self.capacity {
+            self.window.pop_front();
+        }
+        verdict
+    }
+}
+
+/// Convenience: run a detector over a labeled stream and report
+/// precision/recall against ground truth.
+pub fn evaluate<F>(points: &[(f64, bool)], mut detector: F) -> (f64, f64)
+where
+    F: FnMut(f64) -> Verdict,
+{
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fnn = 0usize;
+    for &(x, truth) in points {
+        let v = detector(x);
+        match (v.is_anomaly, truth) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fnn += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fnn == 0 { 1.0 } else { tp as f64 / (tp + fnn) as f64 };
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::SensorSeries;
+
+    fn sensor_points(n: usize, seed: u64) -> Vec<(f64, bool)> {
+        // Mild seasonality so the rolling window's spread stays close to
+        // the noise scale — spikes at 10σ then stand out clearly.
+        let mut g = SensorSeries::new(seed)
+            .with_noise(0.5)
+            .with_amplitude(0.5)
+            .with_anomalies(0.01, 10.0);
+        g.take_vec(n).into_iter().map(|p| (p.value, p.is_anomaly)).collect()
+    }
+
+    #[test]
+    fn robust_zscore_catches_spikes() {
+        let pts = sensor_points(5_000, 1);
+        let mut det = RobustZScore::new(64, 5.0).unwrap();
+        let (precision, recall) = evaluate(&pts, |x| det.observe(x));
+        assert!(recall > 0.8, "recall = {recall}");
+        assert!(precision > 0.5, "precision = {precision}");
+    }
+
+    #[test]
+    fn robust_zscore_survives_outlier_bursts() {
+        let mut det = RobustZScore::new(64, 4.0).unwrap();
+        for _ in 0..200 {
+            det.observe(10.0);
+        }
+        // A burst of 10 extreme values must still be flagged throughout
+        // (an EWMA baseline would adapt and stop flagging).
+        let mut flagged = 0;
+        for _ in 0..10 {
+            if det.observe(1000.0).is_anomaly {
+                flagged += 1;
+            }
+        }
+        assert_eq!(flagged, 10);
+        // And normal values afterwards are not flagged.
+        assert!(!det.observe(10.0).is_anomaly);
+    }
+
+    #[test]
+    fn cusum_detects_level_shift_not_noise() {
+        let mut det = Cusum::new(0.5, 6.0, 100).unwrap();
+        let mut rng = sa_core::rng::SplitMix64::new(2);
+        let mut fired_before_shift = 0;
+        for _ in 0..2_000 {
+            let x = (rng.next_f64() - 0.5) * 2.0; // mean 0, range ±1
+            if det.observe(x).is_anomaly {
+                fired_before_shift += 1;
+            }
+        }
+        assert_eq!(fired_before_shift, 0, "false alarms on stationary noise");
+        // Shift the mean by +3: must fire within a few samples.
+        let mut fired_at = None;
+        for i in 0..50 {
+            let x = 3.0 + (rng.next_f64() - 0.5) * 2.0;
+            if det.observe(x).is_anomaly {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        assert!(fired_at.is_some(), "CUSUM never detected the shift");
+        assert!(fired_at.unwrap() < 10, "detection delay {fired_at:?}");
+    }
+
+    #[test]
+    fn seasonal_detector_uses_phase_baselines() {
+        let period = 24usize;
+        let mut det = SeasonalDetector::new(period, 0.3, 4.0).unwrap();
+        // Strong deterministic season: value = phase.
+        for day in 0..20 {
+            for phase in 0..period {
+                let v = det.observe(phase as f64 + 0.01 * day as f64);
+                assert!(!v.is_anomaly, "false alarm day {day} phase {phase}");
+            }
+        }
+        // A value normal for phase 23 but abnormal for phase 2.
+        for phase in 0..2 {
+            det.observe(phase as f64);
+        }
+        let v = det.observe(23.0); // at phase 2
+        assert!(v.is_anomaly, "phase-contextual anomaly missed");
+    }
+
+    #[test]
+    fn distance_detector_flags_isolated_points() {
+        let mut det = DistanceDetector::new(100, 1.0, 3).unwrap();
+        let mut rng = sa_core::rng::SplitMix64::new(3);
+        for _ in 0..200 {
+            det.observe(5.0 + rng.next_f64());
+        }
+        assert!(det.observe(50.0).is_anomaly);
+        assert!(!det.observe(5.5).is_anomaly);
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(RobustZScore::new(4, 3.0).is_err());
+        assert!(RobustZScore::new(64, 0.0).is_err());
+        assert!(Cusum::new(-1.0, 5.0, 10).is_err());
+        assert!(Cusum::new(0.5, 0.0, 10).is_err());
+        assert!(SeasonalDetector::new(1, 0.5, 3.0).is_err());
+        assert!(DistanceDetector::new(2, 1.0, 5).is_err());
+    }
+}

@@ -1,0 +1,368 @@
+//! Streaming correlation — the Table-1 **Correlation** row ("find data
+//! subsets highly correlated to a given data set"; application: fraud
+//! detection).
+//!
+//! * [`StreamingPearson`] — exact all-history Pearson from O(1) sufficient
+//!   statistics.
+//! * [`WindowedCorrelation`] — Pearson over a sliding window (the
+//!   StatStream-style "correlated aggregates" primitive, \[163, 165\]).
+//! * [`CorrelationMatrix`] — all-pairs windowed correlations over `d`
+//!   streams with a top-pairs query (fraud-ring discovery, \[99\]).
+//! * [`LaggedCorrelation`] — best lead/lag alignment within `±L`
+//!   (the lagged-correlation search of \[146\]).
+
+use sa_core::{Result, SaError};
+use std::collections::VecDeque;
+
+/// Exact Pearson correlation of a pair of co-arriving streams from five
+/// running sums.
+#[derive(Clone, Debug, Default)]
+pub struct StreamingPearson {
+    n: u64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    syy: f64,
+    sxy: f64,
+}
+
+impl StreamingPearson {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe an aligned pair.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.syy += y * y;
+        self.sxy += x * y;
+    }
+
+    /// Current correlation (`None` below 2 points or zero variance).
+    pub fn correlation(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let n = self.n as f64;
+        let cov = self.sxy - self.sx * self.sy / n;
+        let vx = self.sxx - self.sx * self.sx / n;
+        let vy = self.syy - self.sy * self.sy / n;
+        if vx <= 0.0 || vy <= 0.0 {
+            return None;
+        }
+        Some(cov / (vx * vy).sqrt())
+    }
+
+    /// Pairs observed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Combine with another accumulator (distributes across partitions).
+    pub fn merge(&mut self, other: &Self) {
+        self.n += other.n;
+        self.sx += other.sx;
+        self.sy += other.sy;
+        self.sxx += other.sxx;
+        self.syy += other.syy;
+        self.sxy += other.sxy;
+    }
+}
+
+/// Pearson over the last `w` aligned pairs.
+#[derive(Clone, Debug)]
+pub struct WindowedCorrelation {
+    window: VecDeque<(f64, f64)>,
+    capacity: usize,
+    sums: StreamingPearson,
+}
+
+impl WindowedCorrelation {
+    /// Window of `w ≥ 2` pairs.
+    pub fn new(w: usize) -> Result<Self> {
+        if w < 2 {
+            return Err(SaError::invalid("w", "must be at least 2"));
+        }
+        Ok(Self {
+            window: VecDeque::with_capacity(w),
+            capacity: w,
+            sums: StreamingPearson::new(),
+        })
+    }
+
+    /// Observe an aligned pair; evicts the oldest beyond the window.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.window.push_back((x, y));
+        self.sums.push(x, y);
+        if self.window.len() > self.capacity {
+            let (ox, oy) = self.window.pop_front().unwrap();
+            // Downdate the sums (exact since we store the raw pairs).
+            self.sums.n -= 1;
+            self.sums.sx -= ox;
+            self.sums.sy -= oy;
+            self.sums.sxx -= ox * ox;
+            self.sums.syy -= oy * oy;
+            self.sums.sxy -= ox * oy;
+        }
+    }
+
+    /// Correlation over the live window.
+    pub fn correlation(&self) -> Option<f64> {
+        self.sums.correlation()
+    }
+
+    /// Live pairs.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+/// All-pairs windowed correlation over `d` streams.
+#[derive(Clone, Debug)]
+pub struct CorrelationMatrix {
+    d: usize,
+    window: VecDeque<Vec<f64>>,
+    capacity: usize,
+}
+
+impl CorrelationMatrix {
+    /// `d ≥ 2` streams, window of `w ≥ 2` ticks.
+    pub fn new(d: usize, w: usize) -> Result<Self> {
+        if d < 2 {
+            return Err(SaError::invalid("d", "need at least 2 streams"));
+        }
+        if w < 2 {
+            return Err(SaError::invalid("w", "must be at least 2"));
+        }
+        Ok(Self { d, window: VecDeque::with_capacity(w), capacity: w })
+    }
+
+    /// Push one tick: a value per stream.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != d`.
+    pub fn push(&mut self, values: Vec<f64>) {
+        assert_eq!(values.len(), self.d, "tick arity mismatch");
+        self.window.push_back(values);
+        if self.window.len() > self.capacity {
+            self.window.pop_front();
+        }
+    }
+
+    /// Correlation of streams `i` and `j` over the window.
+    pub fn correlation(&self, i: usize, j: usize) -> Option<f64> {
+        let x: Vec<f64> = self.window.iter().map(|t| t[i]).collect();
+        let y: Vec<f64> = self.window.iter().map(|t| t[j]).collect();
+        sa_core::stats::exact_pearson(&x, &y)
+    }
+
+    /// Pairs with |correlation| ≥ `threshold`, sorted by descending |r| —
+    /// the "find highly correlated subsets" query of the Table-1 row.
+    pub fn correlated_pairs(&self, threshold: f64) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.d {
+            for j in (i + 1)..self.d {
+                if let Some(r) = self.correlation(i, j) {
+                    if r.abs() >= threshold {
+                        out.push((i, j, r));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).unwrap());
+        out
+    }
+
+    /// Number of streams.
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+}
+
+/// Best lead/lag correlation within `±max_lag` over a rolling buffer.
+#[derive(Clone, Debug)]
+pub struct LaggedCorrelation {
+    x: VecDeque<f64>,
+    y: VecDeque<f64>,
+    capacity: usize,
+    max_lag: usize,
+}
+
+impl LaggedCorrelation {
+    /// Buffer `w` pairs, search lags in `[-max_lag, +max_lag]`
+    /// (positive lag = y follows x).
+    pub fn new(w: usize, max_lag: usize) -> Result<Self> {
+        if w < 2 * max_lag + 4 {
+            return Err(SaError::invalid("w", "window too small for max_lag"));
+        }
+        Ok(Self {
+            x: VecDeque::with_capacity(w),
+            y: VecDeque::with_capacity(w),
+            capacity: w,
+            max_lag,
+        })
+    }
+
+    /// Observe an aligned pair.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.x.push_back(x);
+        self.y.push_back(y);
+        if self.x.len() > self.capacity {
+            self.x.pop_front();
+            self.y.pop_front();
+        }
+    }
+
+    /// `(best_lag, correlation)` maximizing |r|; positive lag means y
+    /// lags x by that many ticks.
+    pub fn best_lag(&self) -> Option<(i64, f64)> {
+        if self.x.len() < 2 * self.max_lag + 4 {
+            return None;
+        }
+        let xs: Vec<f64> = self.x.iter().copied().collect();
+        let ys: Vec<f64> = self.y.iter().copied().collect();
+        let n = xs.len();
+        let mut best: Option<(i64, f64)> = None;
+        for lag in -(self.max_lag as i64)..=(self.max_lag as i64) {
+            let (xa, ya) = if lag >= 0 {
+                (&xs[..n - lag as usize], &ys[lag as usize..])
+            } else {
+                (&xs[(-lag) as usize..], &ys[..n - (-lag) as usize])
+            };
+            if let Some(r) = sa_core::stats::exact_pearson(xa, ya) {
+                if best.map_or(true, |(_, b)| r.abs() > b.abs()) {
+                    best = Some((lag, r));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_matches_exact() {
+        let mut sp = StreamingPearson::new();
+        let mut rng = sa_core::rng::SplitMix64::new(1);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..5_000 {
+            let x = rng.next_f64();
+            let y = 0.7 * x + 0.3 * rng.next_f64();
+            sp.push(x, y);
+            xs.push(x);
+            ys.push(y);
+        }
+        let exact = sa_core::stats::exact_pearson(&xs, &ys).unwrap();
+        let est = sp.correlation().unwrap();
+        assert!((est - exact).abs() < 1e-9, "{est} vs {exact}");
+    }
+
+    #[test]
+    fn streaming_merge_equals_whole() {
+        let mut a = StreamingPearson::new();
+        let mut b = StreamingPearson::new();
+        let mut whole = StreamingPearson::new();
+        for i in 0..1000 {
+            let x = (i as f64).sin();
+            let y = (i as f64).cos();
+            if i % 2 == 0 {
+                a.push(x, y);
+            } else {
+                b.push(x, y);
+            }
+            whole.push(x, y);
+        }
+        a.merge(&b);
+        assert!(
+            (a.correlation().unwrap() - whole.correlation().unwrap()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn windowed_tracks_regime_change() {
+        let mut wc = WindowedCorrelation::new(200).unwrap();
+        let mut rng = sa_core::rng::SplitMix64::new(2);
+        // Phase 1: positively correlated.
+        for _ in 0..1_000 {
+            let x = rng.next_f64();
+            wc.push(x, x + 0.05 * rng.next_f64());
+        }
+        assert!(wc.correlation().unwrap() > 0.9);
+        // Phase 2: anti-correlated; the window must flip sign.
+        for _ in 0..1_000 {
+            let x = rng.next_f64();
+            wc.push(x, -x + 0.05 * rng.next_f64());
+        }
+        assert!(wc.correlation().unwrap() < -0.9);
+        assert_eq!(wc.len(), 200);
+    }
+
+    #[test]
+    fn matrix_finds_the_correlated_pair() {
+        let mut cm = CorrelationMatrix::new(5, 256).unwrap();
+        let mut rng = sa_core::rng::SplitMix64::new(3);
+        for t in 0..1_000 {
+            let base = (t as f64 / 10.0).sin();
+            let mut tick = vec![0.0; 5];
+            // Streams 1 and 3 follow the same signal; others are noise.
+            tick[0] = rng.next_f64();
+            tick[1] = base + 0.05 * rng.next_f64();
+            tick[2] = rng.next_f64();
+            tick[3] = base + 0.05 * rng.next_f64();
+            tick[4] = rng.next_f64();
+            cm.push(tick);
+        }
+        let pairs = cm.correlated_pairs(0.8);
+        assert_eq!(pairs.len(), 1, "pairs = {pairs:?}");
+        assert_eq!((pairs[0].0, pairs[0].1), (1, 3));
+        assert!(pairs[0].2 > 0.9);
+    }
+
+    #[test]
+    fn lagged_recovers_known_lag() {
+        let mut lc = LaggedCorrelation::new(400, 20).unwrap();
+        let mut history = VecDeque::new();
+        let mut rng = sa_core::rng::SplitMix64::new(4);
+        for t in 0..2_000u64 {
+            let x = (t as f64 / 7.0).sin() + 0.1 * rng.next_f64();
+            history.push_back(x);
+            // y is x delayed by 8 ticks.
+            let y = if history.len() > 8 {
+                history[history.len() - 9]
+            } else {
+                0.0
+            };
+            lc.push(x, y);
+        }
+        let (lag, r) = lc.best_lag().unwrap();
+        assert_eq!(lag, 8, "lag = {lag}, r = {r}");
+        assert!(r > 0.9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let sp = StreamingPearson::new();
+        assert_eq!(sp.correlation(), None);
+        let mut c = StreamingPearson::new();
+        c.push(1.0, 1.0);
+        c.push(1.0, 2.0); // zero x-variance
+        assert_eq!(c.correlation(), None);
+        assert!(WindowedCorrelation::new(1).is_err());
+        assert!(CorrelationMatrix::new(1, 10).is_err());
+        assert!(LaggedCorrelation::new(10, 10).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # sa-timeseries
+//!
+//! Streaming time-series analytics covering four Table-1 rows:
+//!
+//! * **Anomaly Detection** ([`anomaly`]) — robust z-score over a rolling
+//!   MAD window, CUSUM change detection, seasonal decomposition, and a
+//!   distance-based detector (the \[135, 151, 150, …\] family; "sensor
+//!   networks").
+//! * **Data Prediction** ([`predict`]) — Kalman filters (the paper cites
+//!   Kalman \[111\] and Kalman-filter event prediction \[160\]) and
+//!   online AR/RLS regression for imputing missing sensor values.
+//! * **Correlation** ([`correlation`]) — streaming Pearson, windowed
+//!   correlation matrices and lagged correlation search (the
+//!   StatStream/\[163, 165, 99\] line; "fraud detection").
+//! * **Temporal Pattern Analysis** ([`patterns`]) — SAX-style
+//!   discretization, motif discovery, and subsequence matching under
+//!   z-normalized distance (\[60, 168, 38\]; "traffic analysis").
+//!
+//! Plus [`smoothing`] — EWMA and Holt's double exponential smoothing,
+//! the substrate the detectors build on.
+
+pub mod anomaly;
+pub mod correlation;
+pub mod patterns;
+pub mod predict;
+pub mod smoothing;

@@ -1,0 +1,308 @@
+//! Temporal pattern analysis — the Table-1 **Temporal Pattern Analysis**
+//! row ("detect patterns in a data stream"; application: traffic
+//! analysis).
+//!
+//! * [`SaxDiscretizer`] — Symbolic Aggregate approXimation: PAA +
+//!   Gaussian-breakpoint alphabet, the standard front-end for streaming
+//!   pattern mining (the \[60\] shape-detection lineage).
+//! * [`MotifDetector`] — counts symbolized subsequences to surface
+//!   recurring motifs and flag never-seen-before patterns.
+//! * [`SubsequenceMatcher`] — sliding z-normalized Euclidean matching of
+//!   a query shape against the stream (the "subsequences similar to a
+//!   given query" problem, \[159\]'s time-warping relaxation is
+//!   approximated by tolerance bands).
+
+use sa_core::{Result, SaError};
+use std::collections::{HashMap, VecDeque};
+
+/// SAX: piecewise-aggregate approximation + equiprobable alphabet.
+#[derive(Clone, Debug)]
+pub struct SaxDiscretizer {
+    /// Points per PAA segment.
+    segment: usize,
+    /// Gaussian breakpoints for the alphabet.
+    breakpoints: Vec<f64>,
+    buffer: Vec<f64>,
+}
+
+impl SaxDiscretizer {
+    /// `segment ≥ 1` points per symbol, alphabet size `a ∈ [2, 10]`.
+    pub fn new(segment: usize, alphabet: usize) -> Result<Self> {
+        if segment == 0 {
+            return Err(SaError::invalid("segment", "must be positive"));
+        }
+        if !(2..=10).contains(&alphabet) {
+            return Err(SaError::invalid("alphabet", "must be in [2,10]"));
+        }
+        // Equiprobable N(0,1) breakpoints for alphabet sizes 2..=10.
+        const TABLE: [&[f64]; 9] = [
+            &[0.0],
+            &[-0.43, 0.43],
+            &[-0.67, 0.0, 0.67],
+            &[-0.84, -0.25, 0.25, 0.84],
+            &[-0.97, -0.43, 0.0, 0.43, 0.97],
+            &[-1.07, -0.57, -0.18, 0.18, 0.57, 1.07],
+            &[-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15],
+            &[-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22],
+            &[-1.28, -0.84, -0.52, -0.25, 0.0, 0.25, 0.52, 0.84, 1.28],
+        ];
+        Ok(Self {
+            segment,
+            breakpoints: TABLE[alphabet - 2].to_vec(),
+            buffer: Vec::with_capacity(segment),
+        })
+    }
+
+    /// Feed one (already z-normalized) value; emits a symbol when a PAA
+    /// segment completes.
+    pub fn push(&mut self, x: f64) -> Option<u8> {
+        self.buffer.push(x);
+        if self.buffer.len() < self.segment {
+            return None;
+        }
+        let mean = sa_core::stats::mean(&self.buffer);
+        self.buffer.clear();
+        let sym = self
+            .breakpoints
+            .iter()
+            .take_while(|&&b| mean > b)
+            .count() as u8;
+        Some(sym)
+    }
+
+    /// Alphabet size.
+    pub fn alphabet(&self) -> usize {
+        self.breakpoints.len() + 1
+    }
+}
+
+/// Counts fixed-length symbol n-grams to find motifs (recurring
+/// patterns) and surprising (rare) patterns.
+#[derive(Clone, Debug)]
+pub struct MotifDetector {
+    len: usize,
+    recent: VecDeque<u8>,
+    counts: HashMap<Vec<u8>, u64>,
+    total: u64,
+}
+
+impl MotifDetector {
+    /// Motif length `len ≥ 2` symbols.
+    pub fn new(len: usize) -> Result<Self> {
+        if len < 2 {
+            return Err(SaError::invalid("len", "must be at least 2"));
+        }
+        Ok(Self {
+            len,
+            recent: VecDeque::with_capacity(len),
+            counts: HashMap::new(),
+            total: 0,
+        })
+    }
+
+    /// Feed the next symbol; returns the count (including this one) of
+    /// the n-gram just completed, or `None` while warming up.
+    pub fn push(&mut self, symbol: u8) -> Option<u64> {
+        self.recent.push_back(symbol);
+        if self.recent.len() > self.len {
+            self.recent.pop_front();
+        }
+        if self.recent.len() < self.len {
+            return None;
+        }
+        let gram: Vec<u8> = self.recent.iter().copied().collect();
+        let c = self.counts.entry(gram).or_insert(0);
+        *c += 1;
+        self.total += 1;
+        Some(*c)
+    }
+
+    /// The `k` most frequent motifs, descending.
+    pub fn top_motifs(&self, k: usize) -> Vec<(Vec<u8>, u64)> {
+        let mut v: Vec<(Vec<u8>, u64)> =
+            self.counts.iter().map(|(g, &c)| (g.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.truncate(k);
+        v
+    }
+
+    /// Whether the n-gram ending now was seen at most `rare_limit` times
+    /// — a "surprising pattern" flag.
+    pub fn current_is_rare(&self, rare_limit: u64) -> bool {
+        if self.recent.len() < self.len {
+            return false;
+        }
+        let gram: Vec<u8> = self.recent.iter().copied().collect();
+        self.counts.get(&gram).copied().unwrap_or(0) <= rare_limit
+    }
+
+    /// Distinct patterns observed.
+    pub fn distinct_patterns(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Sliding z-normalized Euclidean subsequence matching.
+#[derive(Clone, Debug)]
+pub struct SubsequenceMatcher {
+    /// z-normalized query.
+    query: Vec<f64>,
+    window: VecDeque<f64>,
+    /// Match when normalized distance ≤ threshold.
+    threshold: f64,
+}
+
+impl SubsequenceMatcher {
+    /// Query shape of `≥ 4` points; `threshold` is the per-point RMS
+    /// distance allowed after z-normalization (0.3–0.5 is tolerant).
+    pub fn new(query: &[f64], threshold: f64) -> Result<Self> {
+        if query.len() < 4 {
+            return Err(SaError::invalid("query", "need at least 4 points"));
+        }
+        if threshold <= 0.0 {
+            return Err(SaError::invalid("threshold", "must be positive"));
+        }
+        let z = Self::znorm(query)
+            .ok_or_else(|| SaError::invalid("query", "zero variance"))?;
+        Ok(Self {
+            query: z,
+            window: VecDeque::with_capacity(query.len()),
+            threshold,
+        })
+    }
+
+    fn znorm(v: &[f64]) -> Option<Vec<f64>> {
+        let m = sa_core::stats::mean(v);
+        let var = v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64;
+        if var <= 1e-18 {
+            return None;
+        }
+        let s = var.sqrt();
+        Some(v.iter().map(|x| (x - m) / s).collect())
+    }
+
+    /// Feed the next value; returns the normalized distance when the
+    /// current window matches the query within threshold.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        self.window.push_back(x);
+        if self.window.len() > self.query.len() {
+            self.window.pop_front();
+        }
+        if self.window.len() < self.query.len() {
+            return None;
+        }
+        let w: Vec<f64> = self.window.iter().copied().collect();
+        let z = Self::znorm(&w)?;
+        let d2: f64 = z
+            .iter()
+            .zip(&self.query)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let rms = (d2 / self.query.len() as f64).sqrt();
+        (rms <= self.threshold).then_some(rms)
+    }
+
+    /// Query length in points.
+    pub fn query_len(&self) -> usize {
+        self.query.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sax_symbols_order_with_value() {
+        let mut sax = SaxDiscretizer::new(1, 4).unwrap();
+        let lo = sax.push(-2.0).unwrap();
+        let mid = sax.push(0.1).unwrap();
+        let hi = sax.push(2.0).unwrap();
+        assert!(lo < mid && mid < hi);
+        assert_eq!(sax.alphabet(), 4);
+    }
+
+    #[test]
+    fn sax_paa_averages_segments() {
+        let mut sax = SaxDiscretizer::new(4, 3).unwrap();
+        assert_eq!(sax.push(1.0), None);
+        assert_eq!(sax.push(1.0), None);
+        assert_eq!(sax.push(1.0), None);
+        let s = sax.push(1.0).unwrap();
+        assert_eq!(s, 2); // mean 1.0 > 0.67 → top symbol of a 3-alphabet
+    }
+
+    #[test]
+    fn motif_detector_finds_planted_motif() {
+        let mut md = MotifDetector::new(3).unwrap();
+        let mut rng = sa_core::rng::SplitMix64::new(1);
+        // Background noise symbols 0..8, planted motif [1,2,3] every 20.
+        for i in 0..5_000u64 {
+            if i % 20 < 3 {
+                md.push((i % 20 + 1) as u8);
+            } else {
+                md.push((rng.next_below(8)) as u8);
+            }
+        }
+        let top = md.top_motifs(1);
+        assert_eq!(top[0].0, vec![1, 2, 3], "top motif = {:?}", top[0]);
+    }
+
+    #[test]
+    fn rare_pattern_flagging() {
+        let mut md = MotifDetector::new(2).unwrap();
+        for _ in 0..100 {
+            md.push(1);
+            md.push(2);
+        }
+        // [2,9] has never been seen until now.
+        md.push(9);
+        assert!(md.current_is_rare(1));
+        md.push(1);
+        md.push(2);
+        md.push(1); // [2,1] is common
+        assert!(!md.current_is_rare(1));
+    }
+
+    #[test]
+    fn matcher_finds_planted_shape() {
+        // Query: one sine period over 32 points.
+        let query: Vec<f64> = (0..32)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 32.0).sin())
+            .collect();
+        let mut m = SubsequenceMatcher::new(&query, 0.35).unwrap();
+        let mut rng = sa_core::rng::SplitMix64::new(2);
+        let mut matches = Vec::new();
+        // Noise, then the shape (scaled + offset: z-norm must still match),
+        // then noise.
+        for i in 0..500usize {
+            let x = if (200..232).contains(&i) {
+                5.0 + 3.0 * query[i - 200] + 0.05 * rng.next_f64()
+            } else {
+                rng.next_f64() * 2.0 - 1.0
+            };
+            if m.push(x).is_some() {
+                matches.push(i);
+            }
+        }
+        assert!(
+            matches.iter().any(|&i| (228..=235).contains(&i)),
+            "planted shape not found; matches = {matches:?}"
+        );
+        // No spurious matches far from the plant.
+        assert!(
+            matches.iter().all(|&i| i >= 220),
+            "false matches: {matches:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(SaxDiscretizer::new(0, 4).is_err());
+        assert!(SaxDiscretizer::new(1, 1).is_err());
+        assert!(SaxDiscretizer::new(1, 11).is_err());
+        assert!(MotifDetector::new(1).is_err());
+        assert!(SubsequenceMatcher::new(&[1.0, 2.0], 0.3).is_err());
+        assert!(SubsequenceMatcher::new(&[1.0; 8], 0.3).is_err());
+    }
+}

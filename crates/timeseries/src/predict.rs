@@ -1,0 +1,371 @@
+//! Streaming prediction / missing-value imputation — the Table-1
+//! **Data Prediction** row ("predict missing values in a data stream";
+//! application: sensor data analysis).
+//!
+//! * [`KalmanFilter1D`] — scalar Kalman filter (Kalman 1960, the paper's
+//!   \[111\]; applied to missing sensor events in \[160\]).
+//! * [`KalmanFilterCV`] — constant-velocity (position+velocity state)
+//!   filter for trending signals.
+//! * [`RlsAr`] — recursive-least-squares AR(p) one-step predictor (the
+//!   online-regression family, \[142, 164\]).
+
+use sa_core::{Result, SaError};
+use std::collections::VecDeque;
+
+/// Scalar Kalman filter tracking a (slowly varying) level.
+///
+/// Model: `x_t = x_{t-1} + w`, `z_t = x_t + v`, with process variance
+/// `q` and measurement variance `r`. `predict()` returns the prior —
+/// use it to impute a dropped reading, then call `skip()` to propagate
+/// uncertainty without a measurement.
+#[derive(Clone, Debug)]
+pub struct KalmanFilter1D {
+    x: f64,
+    p: f64,
+    q: f64,
+    r: f64,
+    n: u64,
+}
+
+impl KalmanFilter1D {
+    /// Process variance `q > 0`, measurement variance `r > 0`.
+    pub fn new(q: f64, r: f64) -> Result<Self> {
+        if q <= 0.0 {
+            return Err(SaError::invalid("q", "must be positive"));
+        }
+        if r <= 0.0 {
+            return Err(SaError::invalid("r", "must be positive"));
+        }
+        Ok(Self { x: 0.0, p: 1e6, q, r, n: 0 })
+    }
+
+    /// Prior prediction for the next value.
+    pub fn predict(&self) -> f64 {
+        self.x
+    }
+
+    /// Current error variance.
+    pub fn variance(&self) -> f64 {
+        self.p
+    }
+
+    /// Incorporate a measurement; returns the posterior estimate.
+    pub fn update(&mut self, z: f64) -> f64 {
+        self.n += 1;
+        if self.n == 1 {
+            self.x = z;
+            self.p = self.r;
+            return self.x;
+        }
+        let p_prior = self.p + self.q;
+        let k = p_prior / (p_prior + self.r);
+        self.x += k * (z - self.x);
+        self.p = (1.0 - k) * p_prior;
+        self.x
+    }
+
+    /// Advance one step with no measurement (dropout): uncertainty grows.
+    pub fn skip(&mut self) {
+        self.p += self.q;
+    }
+}
+
+/// Constant-velocity Kalman filter: state = (position, velocity).
+#[derive(Clone, Debug)]
+pub struct KalmanFilterCV {
+    /// State (position, velocity).
+    x: [f64; 2],
+    /// Covariance (row-major 2×2).
+    p: [f64; 4],
+    q: f64,
+    r: f64,
+    n: u64,
+}
+
+impl KalmanFilterCV {
+    /// Process noise intensity `q > 0`, measurement variance `r > 0`.
+    pub fn new(q: f64, r: f64) -> Result<Self> {
+        if q <= 0.0 {
+            return Err(SaError::invalid("q", "must be positive"));
+        }
+        if r <= 0.0 {
+            return Err(SaError::invalid("r", "must be positive"));
+        }
+        Ok(Self { x: [0.0, 0.0], p: [1e6, 0.0, 0.0, 1e6], q, r, n: 0 })
+    }
+
+    fn time_update(&mut self) {
+        // x ← F x with F = [[1,1],[0,1]].
+        self.x[0] += self.x[1];
+        // P ← F P Fᵀ + Q, Q = q·[[1/4,1/2],[1/2,1]] (discrete white accel).
+        let [p00, p01, p10, p11] = self.p;
+        let n00 = p00 + p01 + p10 + p11 + self.q * 0.25;
+        let n01 = p01 + p11 + self.q * 0.5;
+        let n10 = p10 + p11 + self.q * 0.5;
+        let n11 = p11 + self.q;
+        self.p = [n00, n01, n10, n11];
+    }
+
+    /// One-step-ahead position prediction (prior).
+    pub fn predict(&self) -> f64 {
+        self.x[0] + self.x[1]
+    }
+
+    /// Current velocity estimate.
+    pub fn velocity(&self) -> f64 {
+        self.x[1]
+    }
+
+    /// Incorporate a position measurement; returns the posterior position.
+    pub fn update(&mut self, z: f64) -> f64 {
+        self.n += 1;
+        if self.n == 1 {
+            self.x = [z, 0.0];
+            self.p = [self.r, 0.0, 0.0, 1e3];
+            return z;
+        }
+        self.time_update();
+        let [p00, p01, p10, p11] = self.p;
+        let s = p00 + self.r;
+        let k0 = p00 / s;
+        let k1 = p10 / s;
+        let resid = z - self.x[0];
+        self.x[0] += k0 * resid;
+        self.x[1] += k1 * resid;
+        self.p = [
+            (1.0 - k0) * p00,
+            (1.0 - k0) * p01,
+            p10 - k1 * p00,
+            p11 - k1 * p01,
+        ];
+        self.x[0]
+    }
+
+    /// Advance one step with no measurement.
+    pub fn skip(&mut self) {
+        if self.n > 0 {
+            self.time_update();
+        }
+    }
+}
+
+/// Recursive least squares AR(p) one-step predictor.
+///
+/// Learns weights `w` minimizing `Σ λ^{n-t}(x_t − w·[x_{t-1}…x_{t-p}])²`
+/// online, with forgetting factor `λ` for drifting processes.
+#[derive(Clone, Debug)]
+pub struct RlsAr {
+    /// Model order.
+    p: usize,
+    lambda: f64,
+    w: Vec<f64>,
+    /// Inverse correlation matrix (row-major p×p).
+    pinv: Vec<f64>,
+    history: VecDeque<f64>,
+    n: u64,
+}
+
+impl RlsAr {
+    /// Order `p ≥ 1`, forgetting factor `λ ∈ (0.9, 1]` typically.
+    pub fn new(p: usize, lambda: f64) -> Result<Self> {
+        if p == 0 {
+            return Err(SaError::invalid("p", "must be positive"));
+        }
+        if !(lambda > 0.0 && lambda <= 1.0) {
+            return Err(SaError::invalid("lambda", "must be in (0,1]"));
+        }
+        let mut pinv = vec![0.0; p * p];
+        for i in 0..p {
+            pinv[i * p + i] = 1e3; // large initial uncertainty
+        }
+        Ok(Self { p, lambda, w: vec![0.0; p], pinv, history: VecDeque::new(), n: 0 })
+    }
+
+    /// Predict the next value from the current history (0 until p seen).
+    pub fn predict(&self) -> f64 {
+        if self.history.len() < self.p {
+            return *self.history.back().unwrap_or(&0.0);
+        }
+        self.w
+            .iter()
+            .zip(self.history.iter().rev())
+            .map(|(w, x)| w * x)
+            .sum()
+    }
+
+    /// Observe the next value, updating the model. Returns the error of
+    /// the prediction that was in force before this observation.
+    pub fn update(&mut self, x: f64) -> f64 {
+        self.n += 1;
+        let err = x - self.predict();
+        if self.history.len() >= self.p {
+            // Regressor: most recent first.
+            let u: Vec<f64> = self.history.iter().rev().take(self.p).copied().collect();
+            let p = self.p;
+            // k = P u / (λ + uᵀ P u)
+            let mut pu = vec![0.0; p];
+            for i in 0..p {
+                for j in 0..p {
+                    pu[i] += self.pinv[i * p + j] * u[j];
+                }
+            }
+            let upu: f64 = u.iter().zip(&pu).map(|(a, b)| a * b).sum();
+            let denom = self.lambda + upu;
+            let k: Vec<f64> = pu.iter().map(|v| v / denom).collect();
+            for i in 0..p {
+                self.w[i] += k[i] * err;
+            }
+            // P ← (P − k uᵀ P) / λ
+            let mut utp = vec![0.0; p];
+            for j in 0..p {
+                for i in 0..p {
+                    utp[j] += u[i] * self.pinv[i * p + j];
+                }
+            }
+            for i in 0..p {
+                for j in 0..p {
+                    self.pinv[i * p + j] =
+                        (self.pinv[i * p + j] - k[i] * utp[j]) / self.lambda;
+                }
+            }
+        }
+        self.history.push_back(x);
+        if self.history.len() > self.p {
+            self.history.pop_front();
+        }
+        err
+    }
+
+    /// Learned AR weights (most-recent lag first).
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::generators::{ar1_series, SensorSeries};
+
+    #[test]
+    fn kalman1d_denoises_constant_signal() {
+        let mut kf = KalmanFilter1D::new(1e-4, 1.0).unwrap();
+        let mut rng = sa_core::rng::SplitMix64::new(1);
+        for _ in 0..2_000 {
+            kf.update(42.0 + (rng.next_f64() - 0.5) * 4.0);
+        }
+        assert!((kf.predict() - 42.0).abs() < 0.3, "est = {}", kf.predict());
+    }
+
+    #[test]
+    fn kalman1d_imputes_dropouts_better_than_zero_fill() {
+        let mut g = SensorSeries::new(2).with_noise(0.3).with_dropout(0.2);
+        let pts = g.take_vec(4_000);
+        let mut kf = KalmanFilter1D::new(0.05, 0.3 * 0.3).unwrap();
+        let mut se_kf = 0.0;
+        let mut se_zero = 0.0;
+        let mut missing = 0usize;
+        for p in &pts {
+            if p.dropped {
+                let imputed = kf.predict();
+                se_kf += (imputed - p.clean).powi(2);
+                se_zero += p.clean.powi(2);
+                missing += 1;
+                kf.skip();
+            } else {
+                kf.update(p.value);
+            }
+        }
+        assert!(missing > 500);
+        let rmse_kf = (se_kf / missing as f64).sqrt();
+        let rmse_zero = (se_zero / missing as f64).sqrt();
+        assert!(
+            rmse_kf < rmse_zero / 4.0,
+            "kalman {rmse_kf} vs zero-fill {rmse_zero}"
+        );
+        // Kalman tracks the seasonal signal to within ~2 noise sigmas.
+        assert!(rmse_kf < 1.0, "rmse = {rmse_kf}");
+    }
+
+    #[test]
+    fn kalman_cv_tracks_ramp() {
+        let mut kf = KalmanFilterCV::new(1e-3, 1.0).unwrap();
+        let mut rng = sa_core::rng::SplitMix64::new(3);
+        for t in 0..1_000 {
+            kf.update(2.0 * t as f64 + (rng.next_f64() - 0.5) * 2.0);
+        }
+        assert!((kf.velocity() - 2.0).abs() < 0.05, "vel = {}", kf.velocity());
+        let pred = kf.predict();
+        assert!((pred - 2.0 * 1000.0).abs() < 2.0, "pred = {pred}");
+    }
+
+    #[test]
+    fn kalman_cv_skip_extrapolates() {
+        let mut kf = KalmanFilterCV::new(1e-3, 0.5).unwrap();
+        for t in 0..500 {
+            kf.update(3.0 * t as f64);
+        }
+        for _ in 0..10 {
+            kf.skip();
+        }
+        let expected = 3.0 * 510.0;
+        assert!(
+            (kf.predict() - expected).abs() < 5.0,
+            "pred {} vs {expected}",
+            kf.predict()
+        );
+    }
+
+    #[test]
+    fn rls_learns_ar1_coefficient() {
+        let series = ar1_series(5_000, 0.8, 1.0, 4);
+        let mut rls = RlsAr::new(1, 0.999).unwrap();
+        for &x in &series {
+            rls.update(x);
+        }
+        assert!(
+            (rls.weights()[0] - 0.8).abs() < 0.05,
+            "w = {:?}",
+            rls.weights()
+        );
+    }
+
+    #[test]
+    fn rls_prediction_beats_naive_on_ar2() {
+        // x_t = 1.5 x_{t-1} − 0.7 x_{t-2} + ε (a damped oscillator).
+        let mut rng = sa_core::rng::SplitMix64::new(5);
+        let mut xs = vec![0.0, 0.0];
+        for _ in 0..6_000 {
+            let n = xs.len();
+            let x = 1.5 * xs[n - 1] - 0.7 * xs[n - 2]
+                + (rng.next_f64() - 0.5) * 0.5;
+            xs.push(x);
+        }
+        let mut rls = RlsAr::new(2, 0.999).unwrap();
+        let mut se_rls = 0.0;
+        let mut se_naive = 0.0;
+        let mut prev = 0.0;
+        for (i, &x) in xs.iter().enumerate() {
+            if i > 1000 {
+                se_naive += (x - prev).powi(2);
+                let pred = rls.predict();
+                se_rls += (x - pred).powi(2);
+            }
+            rls.update(x);
+            prev = x;
+        }
+        assert!(
+            se_rls < se_naive * 0.5,
+            "rls {se_rls} vs naive {se_naive}"
+        );
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(KalmanFilter1D::new(0.0, 1.0).is_err());
+        assert!(KalmanFilter1D::new(1.0, 0.0).is_err());
+        assert!(KalmanFilterCV::new(-1.0, 1.0).is_err());
+        assert!(RlsAr::new(0, 0.99).is_err());
+        assert!(RlsAr::new(2, 1.5).is_err());
+    }
+}

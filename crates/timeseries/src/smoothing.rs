@@ -1,0 +1,172 @@
+//! Exponential smoothing: EWMA and Holt's linear (trend) method.
+
+use sa_core::{Result, SaError};
+
+/// Exponentially weighted moving average with optional variance tracking.
+///
+/// `level ← α·x + (1−α)·level`. The companion EWM variance uses the
+/// standard recursive form, giving a drift-adaptive mean ± deviation
+/// band that the anomaly detectors consume.
+#[derive(Clone, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    level: f64,
+    var: f64,
+    n: u64,
+}
+
+impl Ewma {
+    /// Smoothing factor `α ∈ (0, 1]`.
+    pub fn new(alpha: f64) -> Result<Self> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(SaError::invalid("alpha", "must be in (0,1]"));
+        }
+        Ok(Self { alpha, level: 0.0, var: 0.0, n: 0 })
+    }
+
+    /// Update with the next observation; returns the new level.
+    pub fn update(&mut self, x: f64) -> f64 {
+        self.n += 1;
+        if self.n == 1 {
+            self.level = x;
+            self.var = 0.0;
+            return self.level;
+        }
+        let diff = x - self.level;
+        // Update variance before the level so it measures surprise
+        // against the pre-update prediction.
+        self.var = (1.0 - self.alpha) * (self.var + self.alpha * diff * diff);
+        self.level += self.alpha * diff;
+        self.level
+    }
+
+    /// Current smoothed level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Current EWM standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// Observations consumed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Holt's double exponential smoothing: level + trend, forecasting
+/// `h` steps ahead as `level + h·trend`.
+#[derive(Clone, Debug)]
+pub struct Holt {
+    alpha: f64,
+    beta: f64,
+    level: f64,
+    trend: f64,
+    n: u64,
+}
+
+impl Holt {
+    /// Level factor `α ∈ (0,1]`, trend factor `β ∈ (0,1]`.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(SaError::invalid("alpha", "must be in (0,1]"));
+        }
+        if !(beta > 0.0 && beta <= 1.0) {
+            return Err(SaError::invalid("beta", "must be in (0,1]"));
+        }
+        Ok(Self { alpha, beta, level: 0.0, trend: 0.0, n: 0 })
+    }
+
+    /// Update with the next observation.
+    pub fn update(&mut self, x: f64) {
+        self.n += 1;
+        match self.n {
+            1 => self.level = x,
+            2 => {
+                self.trend = x - self.level;
+                self.level = x;
+            }
+            _ => {
+                let prev_level = self.level;
+                self.level =
+                    self.alpha * x + (1.0 - self.alpha) * (self.level + self.trend);
+                self.trend = self.beta * (self.level - prev_level)
+                    + (1.0 - self.beta) * self.trend;
+            }
+        }
+    }
+
+    /// Forecast `h` steps ahead.
+    pub fn forecast(&self, h: u64) -> f64 {
+        self.level + h as f64 * self.trend
+    }
+
+    /// Current level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Current trend per step.
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = Ewma::new(0.2).unwrap();
+        for _ in 0..200 {
+            e.update(5.0);
+        }
+        assert!((e.level() - 5.0).abs() < 1e-9);
+        assert!(e.stddev() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_tracks_step_change() {
+        let mut e = Ewma::new(0.3).unwrap();
+        for _ in 0..100 {
+            e.update(0.0);
+        }
+        for _ in 0..50 {
+            e.update(10.0);
+        }
+        assert!((e.level() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ewma_stddev_reflects_noise() {
+        let mut e = Ewma::new(0.1).unwrap();
+        let mut rng = sa_core::rng::SplitMix64::new(1);
+        for _ in 0..5_000 {
+            e.update(if rng.bernoulli(0.5) { 1.0 } else { -1.0 });
+        }
+        // Values are ±1 around mean 0: stddev ≈ 1.
+        assert!((e.stddev() - 1.0).abs() < 0.3, "stddev = {}", e.stddev());
+    }
+
+    #[test]
+    fn holt_learns_linear_trend() {
+        let mut h = Holt::new(0.5, 0.3).unwrap();
+        for t in 0..300 {
+            h.update(2.0 * t as f64 + 10.0);
+        }
+        assert!((h.trend() - 2.0).abs() < 0.05, "trend = {}", h.trend());
+        let f = h.forecast(10);
+        let expected = 2.0 * 309.0 + 10.0;
+        assert!((f - expected).abs() < 2.0, "forecast {f} vs {expected}");
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(Ewma::new(0.0).is_err());
+        assert!(Ewma::new(1.1).is_err());
+        assert!(Holt::new(0.5, 0.0).is_err());
+    }
+}

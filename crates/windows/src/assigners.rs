@@ -1,0 +1,192 @@
+//! Event-time window assignment: tumbling, sliding (hopping), and
+//! session windows — the windowing vocabulary shared by every platform
+//! in Table 2 (MillWheel's "notion of logical time", Spark's window
+//! operator, Flink's assigners).
+
+/// A half-open event-time window `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Window {
+    /// Inclusive start.
+    pub start: u64,
+    /// Exclusive end.
+    pub end: u64,
+}
+
+impl Window {
+    /// Whether a timestamp falls inside the window.
+    pub fn contains(&self, t: u64) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Window length.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Assign a timestamp to its tumbling window of the given `size`.
+pub fn tumbling(t: u64, size: u64) -> Window {
+    assert!(size > 0, "window size must be positive");
+    let start = t - t % size;
+    Window { start, end: start + size }
+}
+
+/// Assign a timestamp to every sliding window of `size` advancing by
+/// `slide` that contains it (at most `⌈size/slide⌉` windows).
+pub fn sliding(t: u64, size: u64, slide: u64) -> Vec<Window> {
+    assert!(size > 0 && slide > 0, "size and slide must be positive");
+    assert!(slide <= size, "slide must not exceed size");
+    let mut out = Vec::new();
+    let last_start = t - t % slide;
+    let mut start = last_start;
+    loop {
+        if start + size > t {
+            out.push(Window { start, end: start + size });
+        }
+        if start < slide {
+            break;
+        }
+        start -= slide;
+        if start + size <= t {
+            break;
+        }
+    }
+    out.reverse();
+    out
+}
+
+/// Incremental session-window builder with a fixed inactivity `gap`:
+/// timestamps within `gap` of an existing session extend it; sessions
+/// that touch are merged.
+#[derive(Clone, Debug, Default)]
+pub struct SessionWindows {
+    /// Sorted, disjoint sessions.
+    sessions: Vec<Window>,
+    gap: u64,
+}
+
+impl SessionWindows {
+    /// Create with inactivity gap `gap ≥ 1`.
+    pub fn new(gap: u64) -> Self {
+        assert!(gap > 0, "gap must be positive");
+        Self { sessions: Vec::new(), gap }
+    }
+
+    /// Add an event timestamp; returns the (possibly merged) session it
+    /// now belongs to.
+    pub fn add(&mut self, t: u64) -> Window {
+        let mut new = Window { start: t, end: t + self.gap };
+        // Merge every session that overlaps [t, t+gap) or abuts within gap.
+        let mut i = 0;
+        while i < self.sessions.len() {
+            let s = self.sessions[i];
+            let overlaps = s.start <= new.end && new.start <= s.end;
+            if overlaps {
+                new.start = new.start.min(s.start);
+                new.end = new.end.max(s.end);
+                self.sessions.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let pos = self
+            .sessions
+            .partition_point(|s| s.start < new.start);
+        self.sessions.insert(pos, new);
+        new
+    }
+
+    /// Sessions whose end precedes the watermark — safe to emit.
+    pub fn close_before(&mut self, watermark: u64) -> Vec<Window> {
+        let mut closed = Vec::new();
+        self.sessions.retain(|s| {
+            if s.end <= watermark {
+                closed.push(*s);
+                false
+            } else {
+                true
+            }
+        });
+        closed
+    }
+
+    /// Currently open sessions.
+    pub fn open(&self) -> &[Window] {
+        &self.sessions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_partitions_time() {
+        assert_eq!(tumbling(0, 10), Window { start: 0, end: 10 });
+        assert_eq!(tumbling(9, 10), Window { start: 0, end: 10 });
+        assert_eq!(tumbling(10, 10), Window { start: 10, end: 20 });
+        assert!(tumbling(25, 10).contains(25));
+    }
+
+    #[test]
+    fn sliding_covers_timestamp() {
+        let ws = sliding(25, 10, 5);
+        assert_eq!(ws.len(), 2);
+        for w in &ws {
+            assert!(w.contains(25), "{w:?}");
+            assert_eq!(w.len(), 10);
+        }
+        assert_eq!(ws[0], Window { start: 20, end: 30 });
+        // slide == size degenerates to tumbling.
+        let wt = sliding(25, 10, 10);
+        assert_eq!(wt, vec![tumbling(25, 10)]);
+    }
+
+    #[test]
+    fn sliding_early_timestamps() {
+        let ws = sliding(2, 10, 5);
+        assert!(!ws.is_empty());
+        for w in ws {
+            assert!(w.contains(2));
+        }
+    }
+
+    #[test]
+    fn sessions_merge_on_proximity() {
+        let mut s = SessionWindows::new(10);
+        s.add(100);
+        s.add(105); // extends
+        assert_eq!(s.open().len(), 1);
+        assert_eq!(s.open()[0], Window { start: 100, end: 115 });
+        s.add(200); // separate
+        assert_eq!(s.open().len(), 2);
+        s.add(120); // bridges nothing (115+ gap? 120 within [100,115+?]) —
+                    // 120 < 115? no: 120 overlaps [120,130) with [100,115)? no.
+        assert_eq!(s.open().len(), 3);
+        // An event between two sessions merges them.
+        s.add(112); // [112,122) overlaps [100,115) and [120,130)
+        assert_eq!(s.open().len(), 2);
+        assert_eq!(s.open()[0], Window { start: 100, end: 130 });
+    }
+
+    #[test]
+    fn sessions_close_on_watermark() {
+        let mut s = SessionWindows::new(5);
+        s.add(10);
+        s.add(100);
+        let closed = s.close_before(50);
+        assert_eq!(closed, vec![Window { start: 10, end: 15 }]);
+        assert_eq!(s.open().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slide must not exceed size")]
+    fn sliding_rejects_bad_slide() {
+        sliding(0, 5, 10);
+    }
+}

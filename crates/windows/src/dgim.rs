@@ -1,0 +1,249 @@
+//! DGIM basic counting (Datar, Gionis, Indyk, Motwani — SICOMP 2002).
+
+use sa_core::{Result, SaError};
+use std::collections::VecDeque;
+
+/// Approximate count of 1-bits in a sliding window of `n` slots.
+///
+/// Ones are grouped into buckets of power-of-two sizes, at most `r`
+/// buckets per size (newest first); exceeding `r` merges the two oldest
+/// of that size. The estimate drops half of the oldest (straddling)
+/// bucket, giving relative error at most `1/(2(r−1))` — so
+/// `r = ⌈1/(2ε)⌉ + 1` yields ε-accuracy in `O((1/ε)·log²n)` bits.
+/// The `r` knob is the t16 ablation (space ↔ accuracy).
+///
+/// ```
+/// use sa_windows::Dgim;
+///
+/// let mut d = Dgim::new(10_000, 0.05).unwrap();
+/// for t in 0..100_000u64 {
+///     d.push(t % 3 == 0); // a third of slots are 1
+/// }
+/// let est = d.estimate() as f64;
+/// assert!((est - 3333.0).abs() / 3333.0 < 0.06);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dgim {
+    /// (last-1 timestamp, bucket size); newest at the front.
+    buckets: VecDeque<(u64, u64)>,
+    window: u64,
+    /// Max buckets allowed per size.
+    r: usize,
+    now: u64,
+}
+
+impl Dgim {
+    /// Window of `n ≥ 1` slots, relative error target `ε ∈ (0, 0.5]`.
+    pub fn new(n: u64, epsilon: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(SaError::invalid("n", "must be positive"));
+        }
+        if !(epsilon > 0.0 && epsilon <= 0.5) {
+            return Err(SaError::invalid("epsilon", "must be in (0, 0.5]"));
+        }
+        let r = (1.0 / (2.0 * epsilon)).ceil() as usize + 1;
+        Ok(Self { buckets: VecDeque::new(), window: n, r, now: 0 })
+    }
+
+    /// Directly choose `r` (max buckets per size); `r ≥ 2`.
+    pub fn with_r(n: u64, r: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(SaError::invalid("n", "must be positive"));
+        }
+        if r < 2 {
+            return Err(SaError::invalid("r", "must be at least 2"));
+        }
+        Ok(Self { buckets: VecDeque::new(), window: n, r, now: 0 })
+    }
+
+    /// Push the next bit into the window.
+    pub fn push(&mut self, bit: bool) {
+        self.now += 1;
+        // Expire buckets that left the window entirely.
+        while let Some(&(ts, _)) = self.buckets.back() {
+            if ts + self.window <= self.now {
+                self.buckets.pop_back();
+            } else {
+                break;
+            }
+        }
+        if !bit {
+            return;
+        }
+        self.buckets.push_front((self.now, 1));
+        // Cascade merges: at most r buckets of each size. Bucket sizes
+        // are non-decreasing toward the past, so each size forms a
+        // contiguous run starting where the previous one ended — the
+        // cascade is O(r) amortized.
+        let mut size = 1u64;
+        let mut run_start = 0usize;
+        loop {
+            let mut j = run_start;
+            while j < self.buckets.len() && self.buckets[j].1 == size {
+                j += 1;
+            }
+            if j - run_start <= self.r {
+                break;
+            }
+            // Merge the two oldest of the run (positions j-2, j-1),
+            // keeping the newer timestamp of the pair.
+            let newer_ts = self.buckets[j - 2].0;
+            self.buckets[j - 2] = (newer_ts, size * 2);
+            self.buckets.remove(j - 1);
+            run_start = j - 2;
+            size *= 2;
+        }
+    }
+
+    /// Estimated number of 1s among the last `window` slots.
+    pub fn estimate(&self) -> u64 {
+        self.estimate_last(self.window)
+    }
+
+    /// Estimated number of 1s among the last `w ≤ window` slots.
+    pub fn estimate_last(&self, w: u64) -> u64 {
+        let w = w.min(self.window);
+        let cutoff = self.now.saturating_sub(w);
+        let mut total = 0u64;
+        let mut oldest_included = 0u64;
+        for &(ts, size) in &self.buckets {
+            if ts > cutoff {
+                total += size;
+                oldest_included = size;
+            }
+        }
+        // The oldest bucket may straddle the boundary: count half.
+        total - oldest_included / 2
+    }
+
+    /// Number of buckets stored (space diagnostic).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Exact upper bound on the relative error for this `r`.
+    pub fn error_bound(&self) -> f64 {
+        1.0 / (2.0 * (self.r as f64 - 1.0))
+    }
+
+    /// Slots consumed so far.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::rng::SplitMix64;
+    use std::collections::VecDeque;
+
+    /// Exact sliding-window reference.
+    struct ExactWindow {
+        bits: VecDeque<bool>,
+        n: usize,
+    }
+    impl ExactWindow {
+        fn new(n: usize) -> Self {
+            Self { bits: VecDeque::new(), n }
+        }
+        fn push(&mut self, b: bool) {
+            self.bits.push_back(b);
+            if self.bits.len() > self.n {
+                self.bits.pop_front();
+            }
+        }
+        fn count(&self) -> u64 {
+            self.bits.iter().filter(|&&b| b).count() as u64
+        }
+    }
+
+    fn run_against_exact(density: f64, epsilon: f64, seed: u64) {
+        let n = 10_000u64;
+        let mut d = Dgim::new(n, epsilon).unwrap();
+        let mut exact = ExactWindow::new(n as usize);
+        let mut rng = SplitMix64::new(seed);
+        for i in 0..100_000u64 {
+            let bit = rng.bernoulli(density);
+            d.push(bit);
+            exact.push(bit);
+            if i % 977 == 0 && i > n {
+                let t = exact.count();
+                let e = d.estimate();
+                if t > 0 {
+                    let rel = (e as f64 - t as f64).abs() / t as f64;
+                    assert!(
+                        rel <= epsilon + 0.01,
+                        "i={i}: est {e} vs true {t} (rel {rel})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_dense_stream() {
+        run_against_exact(0.5, 0.05, 1);
+    }
+
+    #[test]
+    fn accuracy_sparse_stream() {
+        run_against_exact(0.02, 0.1, 2);
+    }
+
+    #[test]
+    fn accuracy_tight_epsilon() {
+        run_against_exact(0.3, 0.01, 3);
+    }
+
+    #[test]
+    fn all_ones_and_all_zeros() {
+        let mut d = Dgim::new(1_000, 0.1).unwrap();
+        for _ in 0..5_000 {
+            d.push(true);
+        }
+        let e = d.estimate();
+        assert!((e as f64 - 1_000.0).abs() <= 100.0 + 1.0, "est {e}");
+        let mut z = Dgim::new(1_000, 0.1).unwrap();
+        for _ in 0..5_000 {
+            z.push(false);
+        }
+        assert_eq!(z.estimate(), 0);
+    }
+
+    #[test]
+    fn space_is_polylog() {
+        let mut d = Dgim::new(1_000_000, 0.05).unwrap();
+        for _ in 0..2_000_000u64 {
+            d.push(true);
+        }
+        // r·log2(n) ≈ 11·20 = 220 buckets max.
+        assert!(d.bucket_count() < 300, "{} buckets", d.bucket_count());
+    }
+
+    #[test]
+    fn sub_window_queries() {
+        let mut d = Dgim::new(10_000, 0.05).unwrap();
+        for _ in 0..10_000 {
+            d.push(true);
+        }
+        let e = d.estimate_last(1_000) as f64;
+        assert!((e - 1_000.0).abs() <= 110.0, "est {e}");
+    }
+
+    #[test]
+    fn larger_r_means_smaller_error_bound() {
+        let d2 = Dgim::with_r(100, 2).unwrap();
+        let d8 = Dgim::with_r(100, 8).unwrap();
+        assert!(d8.error_bound() < d2.error_bound());
+        assert_eq!(d2.error_bound(), 0.5);
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(Dgim::new(0, 0.1).is_err());
+        assert!(Dgim::new(10, 0.0).is_err());
+        assert!(Dgim::new(10, 0.6).is_err());
+        assert!(Dgim::with_r(10, 1).is_err());
+    }
+}

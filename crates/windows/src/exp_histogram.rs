@@ -1,0 +1,251 @@
+//! Generalized exponential histogram: count / sum / variance over a
+//! sliding window (the "maintaining statistics like variance" problem of
+//! §2 — Babcock, Datar, Motwani, O'Callaghan's extension of DGIM).
+
+use sa_core::{Result, SaError};
+use std::collections::VecDeque;
+
+/// One bucket's aggregates (mergeable via Chan's parallel-variance rule).
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    /// Timestamp of the most recent element in the bucket.
+    ts: u64,
+    count: u64,
+    sum: f64,
+    /// Sum of squared deviations from the bucket mean.
+    m2: f64,
+}
+
+impl Bucket {
+    fn merge(self, other: Bucket) -> Bucket {
+        let count = self.count + other.count;
+        let delta = other.mean() - self.mean();
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64)
+                / count as f64;
+        Bucket {
+            ts: self.ts.max(other.ts),
+            count,
+            sum: self.sum + other.sum,
+            m2,
+        }
+    }
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Sliding-window count / sum / mean / variance.
+///
+/// Every arrival opens a singleton bucket; when more than `r` buckets
+/// share a count, the two oldest merge (doubling the count) — the DGIM
+/// discipline applied to full statistics. All aggregates except the
+/// straddling oldest bucket are exact, so the relative error of
+/// count/sum is `≤ 1/(2(r−1))` and mean/variance inherit the same
+/// boundary fuzziness.
+#[derive(Clone, Debug)]
+pub struct ExpHistogram {
+    /// Newest at the front.
+    buckets: VecDeque<Bucket>,
+    window: u64,
+    r: usize,
+    now: u64,
+}
+
+impl ExpHistogram {
+    /// Window of `n ≥ 1` slots, error target `ε ∈ (0, 0.5]`.
+    pub fn new(n: u64, epsilon: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(SaError::invalid("n", "must be positive"));
+        }
+        if !(epsilon > 0.0 && epsilon <= 0.5) {
+            return Err(SaError::invalid("epsilon", "must be in (0, 0.5]"));
+        }
+        let r = (1.0 / (2.0 * epsilon)).ceil() as usize + 1;
+        Ok(Self { buckets: VecDeque::new(), window: n, r, now: 0 })
+    }
+
+    /// Push the next value.
+    pub fn push(&mut self, value: f64) {
+        self.now += 1;
+        while let Some(b) = self.buckets.back() {
+            if b.ts + self.window <= self.now {
+                self.buckets.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.buckets.push_front(Bucket {
+            ts: self.now,
+            count: 1,
+            sum: value,
+            m2: 0.0,
+        });
+        // Cascade merges on bucket *count* (powers of two, contiguous
+        // non-decreasing runs toward the past).
+        let mut size = 1u64;
+        let mut run_start = 0usize;
+        loop {
+            let mut j = run_start;
+            while j < self.buckets.len() && self.buckets[j].count == size {
+                j += 1;
+            }
+            if j - run_start <= self.r {
+                break;
+            }
+            let merged = self.buckets[j - 1].merge(self.buckets[j - 2]);
+            self.buckets[j - 2] = merged;
+            self.buckets.remove(j - 1);
+            run_start = j - 2;
+            size *= 2;
+        }
+    }
+
+    /// Combine all live buckets, halving the straddling oldest one.
+    fn combined(&self) -> Bucket {
+        let mut acc: Option<Bucket> = None;
+        let live = self.buckets.len();
+        for (i, &b) in self.buckets.iter().enumerate() {
+            let mut b = b;
+            if i + 1 == live && live > 1 {
+                // Oldest bucket straddles the window boundary: take half.
+                b.count = (b.count / 2).max(1);
+                let frac = b.count as f64 / self.buckets[i].count as f64;
+                b.sum *= frac;
+                b.m2 *= frac;
+            }
+            acc = Some(match acc {
+                None => b,
+                Some(a) => a.merge(b),
+            });
+        }
+        acc.unwrap_or(Bucket { ts: 0, count: 0, sum: 0.0, m2: 0.0 })
+    }
+
+    /// Approximate number of live elements.
+    pub fn count(&self) -> u64 {
+        if self.buckets.is_empty() {
+            0
+        } else {
+            self.combined().count
+        }
+    }
+
+    /// Approximate sum over the window.
+    pub fn sum(&self) -> f64 {
+        self.combined().sum
+    }
+
+    /// Approximate mean over the window.
+    pub fn mean(&self) -> f64 {
+        self.combined().mean()
+    }
+
+    /// Approximate population variance over the window.
+    pub fn variance(&self) -> f64 {
+        let b = self.combined();
+        if b.count < 2 {
+            0.0
+        } else {
+            b.m2 / b.count as f64
+        }
+    }
+
+    /// Buckets stored (space diagnostic).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::rng::SplitMix64;
+
+    #[test]
+    fn matches_exact_statistics() {
+        let n = 5_000u64;
+        let mut eh = ExpHistogram::new(n, 0.05).unwrap();
+        let mut rng = SplitMix64::new(1);
+        let mut all: Vec<f64> = Vec::new();
+        for _ in 0..50_000 {
+            let v = rng.next_f64() * 10.0 + 5.0;
+            eh.push(v);
+            all.push(v);
+        }
+        let live = &all[all.len() - n as usize..];
+        let exact_mean = sa_core::stats::mean(live);
+        let exact_var = live
+            .iter()
+            .map(|x| (x - exact_mean) * (x - exact_mean))
+            .sum::<f64>()
+            / live.len() as f64;
+        let exact_sum: f64 = live.iter().sum();
+        assert!(
+            (eh.count() as f64 - n as f64).abs() / n as f64 <= 0.06,
+            "count {}",
+            eh.count()
+        );
+        assert!(
+            (eh.sum() - exact_sum).abs() / exact_sum <= 0.06,
+            "sum {} vs {exact_sum}",
+            eh.sum()
+        );
+        assert!(
+            (eh.mean() - exact_mean).abs() / exact_mean <= 0.02,
+            "mean {} vs {exact_mean}",
+            eh.mean()
+        );
+        assert!(
+            (eh.variance() - exact_var).abs() / exact_var <= 0.15,
+            "var {} vs {exact_var}",
+            eh.variance()
+        );
+    }
+
+    #[test]
+    fn detects_windowed_mean_shift() {
+        let mut eh = ExpHistogram::new(1_000, 0.1).unwrap();
+        for _ in 0..10_000 {
+            eh.push(1.0);
+        }
+        for _ in 0..2_000 {
+            eh.push(100.0);
+        }
+        // The window is now entirely in the new regime.
+        assert!((eh.mean() - 100.0).abs() < 5.0, "mean = {}", eh.mean());
+        assert!(eh.variance() < 10.0, "var = {}", eh.variance());
+    }
+
+    #[test]
+    fn space_is_polylog() {
+        let mut eh = ExpHistogram::new(100_000, 0.05).unwrap();
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..500_000 {
+            eh.push(rng.next_f64());
+        }
+        assert!(eh.bucket_count() < 300, "{} buckets", eh.bucket_count());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut eh = ExpHistogram::new(10, 0.1).unwrap();
+        assert_eq!(eh.count(), 0);
+        assert_eq!(eh.variance(), 0.0);
+        eh.push(7.0);
+        assert_eq!(eh.count(), 1);
+        assert_eq!(eh.mean(), 7.0);
+        assert_eq!(eh.variance(), 0.0);
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(ExpHistogram::new(0, 0.1).is_err());
+        assert!(ExpHistogram::new(10, 0.9).is_err());
+    }
+}

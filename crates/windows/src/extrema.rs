@@ -1,0 +1,128 @@
+//! Sliding-window max/min via monotonic deques — the O(1) amortized
+//! building block behind windowed "location/motion" and threshold
+//! operators (§2's common streaming operators).
+
+use sa_core::{Result, SaError};
+use std::collections::VecDeque;
+
+/// Exact maximum and minimum of the last `n` values, O(1) amortized.
+#[derive(Clone, Debug)]
+pub struct SlidingExtrema {
+    /// (index, value), values strictly decreasing — front is the max.
+    maxq: VecDeque<(u64, f64)>,
+    /// (index, value), values strictly increasing — front is the min.
+    minq: VecDeque<(u64, f64)>,
+    window: u64,
+    now: u64,
+}
+
+impl SlidingExtrema {
+    /// Window of `n ≥ 1` values.
+    pub fn new(n: u64) -> Result<Self> {
+        if n == 0 {
+            return Err(SaError::invalid("n", "must be positive"));
+        }
+        Ok(Self {
+            maxq: VecDeque::new(),
+            minq: VecDeque::new(),
+            window: n,
+            now: 0,
+        })
+    }
+
+    /// Push the next value.
+    pub fn push(&mut self, value: f64) {
+        self.now += 1;
+        let cutoff = self.now.saturating_sub(self.window);
+        while self.maxq.front().is_some_and(|&(i, _)| i <= cutoff) {
+            self.maxq.pop_front();
+        }
+        while self.minq.front().is_some_and(|&(i, _)| i <= cutoff) {
+            self.minq.pop_front();
+        }
+        while self.maxq.back().is_some_and(|&(_, v)| v <= value) {
+            self.maxq.pop_back();
+        }
+        while self.minq.back().is_some_and(|&(_, v)| v >= value) {
+            self.minq.pop_back();
+        }
+        self.maxq.push_back((self.now, value));
+        self.minq.push_back((self.now, value));
+    }
+
+    /// Maximum of the live window (`None` before any push).
+    pub fn max(&self) -> Option<f64> {
+        self.maxq.front().map(|&(_, v)| v)
+    }
+
+    /// Minimum of the live window.
+    pub fn min(&self) -> Option<f64> {
+        self.minq.front().map(|&(_, v)| v)
+    }
+
+    /// Range (max − min) of the live window.
+    pub fn range(&self) -> Option<f64> {
+        Some(self.max()? - self.min()?)
+    }
+
+    /// Stored entries across both deques.
+    pub fn stored(&self) -> usize {
+        self.maxq.len() + self.minq.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::rng::SplitMix64;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn matches_exact_on_random_stream() {
+        let n = 500u64;
+        let mut se = SlidingExtrema::new(n).unwrap();
+        let mut rng = SplitMix64::new(1);
+        let mut window: VecDeque<f64> = VecDeque::new();
+        for _ in 0..20_000 {
+            let v = rng.next_f64() * 1000.0 - 500.0;
+            se.push(v);
+            window.push_back(v);
+            if window.len() > n as usize {
+                window.pop_front();
+            }
+            let exact_max = window.iter().cloned().fold(f64::MIN, f64::max);
+            let exact_min = window.iter().cloned().fold(f64::MAX, f64::min);
+            assert_eq!(se.max(), Some(exact_max));
+            assert_eq!(se.min(), Some(exact_min));
+        }
+    }
+
+    #[test]
+    fn monotone_streams() {
+        let mut se = SlidingExtrema::new(10).unwrap();
+        for i in 0..100 {
+            se.push(i as f64);
+        }
+        assert_eq!(se.max(), Some(99.0));
+        assert_eq!(se.min(), Some(90.0));
+        assert_eq!(se.range(), Some(9.0));
+        // Decreasing stream stores everything in one deque but stays
+        // bounded by the window.
+        let mut sd = SlidingExtrema::new(10).unwrap();
+        for i in (0..100).rev() {
+            sd.push(i as f64);
+        }
+        assert_eq!(sd.min(), Some(0.0));
+        assert_eq!(sd.max(), Some(9.0));
+        assert!(sd.stored() <= 20);
+    }
+
+    #[test]
+    fn empty_and_invalid() {
+        let se = SlidingExtrema::new(5).unwrap();
+        assert_eq!(se.max(), None);
+        assert_eq!(se.min(), None);
+        assert_eq!(se.range(), None);
+        assert!(SlidingExtrema::new(0).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # sa-windows
+//!
+//! Sliding-window algorithms — Section 2's second synopsis technique and
+//! two dedicated Table-1 rows:
+//!
+//! * [`Dgim`] — Datar–Gionis–Indyk–Motwani exponential-histogram bit
+//!   counting, the **Basic Counting** row (\[72\]): `(1±ε)`-approximate
+//!   count of 1-bits in the last `n` slots using `O((1/ε)·log²n)` bits.
+//! * [`SignificantOneCounter`] — Lee & Ting (SODA'06, \[119\]), the
+//!   **Significant One Counting** row: `ε·m` error guaranteed only when
+//!   `m ≥ θn`, in `O(1/(εθ))` space — cheaper than DGIM when only
+//!   significant counts matter (traffic accounting \[81\]).
+//! * [`ExpHistogram`] — generalized exponential histogram maintaining
+//!   count/sum/mean/variance over the window ("maintaining statistics
+//!   like variance", §2).
+//! * [`SlidingExtrema`] — monotonic-deque max/min over the window.
+//! * [`SlidingQuantile`] — block-merged quantile summary over a sliding
+//!   window (the Arasu–Manku \[42\] problem).
+//! * [`assigners`] — tumbling/sliding/session event-time window
+//!   assignment used by the platform crate.
+
+pub mod assigners;
+mod dgim;
+mod exp_histogram;
+mod extrema;
+mod significant;
+mod sw_quantiles;
+
+pub use dgim::Dgim;
+pub use exp_histogram::ExpHistogram;
+pub use extrema::SlidingExtrema;
+pub use significant::SignificantOneCounter;
+pub use sw_quantiles::SlidingQuantile;

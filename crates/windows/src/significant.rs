@@ -1,0 +1,218 @@
+//! Significant-one counting (Lee & Ting, SODA 2006 — the paper's
+//! \[119\]): ε-accuracy only when the count is *significant*
+//! (`m ≥ θn`), in `O(1/(εθ))` space instead of DGIM's `O((1/ε)·log²n)`.
+//!
+//! The insight: if only counts above `θn` matter (traffic accounting
+//! \[81\]), buckets can have a fixed size `λ = ½εθn` rather than an
+//! exponential ladder. At most `n/λ = 2/(εθ)` buckets exist, each
+//! contributing at most λ of boundary uncertainty through the single
+//! straddling bucket — so the absolute error is `≤ λ ≤ ½εθn ≤ ½εm ≤ εm`
+//! whenever `m ≥ θn`.
+
+use sa_core::{Result, SaError};
+use std::collections::VecDeque;
+
+/// Fixed-λ bucket counter for significant counts.
+#[derive(Clone, Debug)]
+pub struct SignificantOneCounter {
+    /// Sealed buckets: (timestamp of last 1, ones) with ones == λ.
+    buckets: VecDeque<(u64, u64)>,
+    /// Ones in the currently filling bucket.
+    fill: u64,
+    lambda: u64,
+    window: u64,
+    theta: f64,
+    epsilon: f64,
+    now: u64,
+}
+
+impl SignificantOneCounter {
+    /// Window `n`, significance threshold `θ ∈ (0,1)`, error `ε ∈ (0,1)`.
+    pub fn new(n: u64, theta: f64, epsilon: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(SaError::invalid("n", "must be positive"));
+        }
+        if !(theta > 0.0 && theta < 1.0) {
+            return Err(SaError::invalid("theta", "must be in (0,1)"));
+        }
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SaError::invalid("epsilon", "must be in (0,1)"));
+        }
+        let lambda = ((epsilon * theta * n as f64) / 2.0).floor().max(1.0) as u64;
+        Ok(Self {
+            buckets: VecDeque::new(),
+            fill: 0,
+            lambda,
+            window: n,
+            theta,
+            epsilon,
+            now: 0,
+        })
+    }
+
+    /// Push the next bit.
+    pub fn push(&mut self, bit: bool) {
+        self.now += 1;
+        // Expire buckets whose last 1 left the window.
+        while let Some(&(ts, _)) = self.buckets.front() {
+            if ts + self.window <= self.now {
+                self.buckets.pop_front();
+            } else {
+                break;
+            }
+        }
+        if bit {
+            self.fill += 1;
+            if self.fill == self.lambda {
+                self.buckets.push_back((self.now, self.lambda));
+                self.fill = 0;
+            }
+        }
+    }
+
+    /// Estimated 1s in the window. Accurate to `ε·m` when `m ≥ θ·n`;
+    /// below the significance threshold only the weaker absolute bound
+    /// `≤ ½εθn` holds (by design — that is the space saving).
+    pub fn estimate(&self) -> u64 {
+        let full: u64 = self.buckets.iter().map(|&(_, s)| s).sum();
+        let straddle = if self.buckets.len() > 1 { self.lambda / 2 } else { 0 };
+        (full + self.fill).saturating_sub(straddle)
+    }
+
+    /// Whether the current estimate clears the significance threshold.
+    pub fn is_significant(&self) -> bool {
+        self.estimate() as f64 >= self.theta * self.window as f64
+    }
+
+    /// Buckets stored — bounded by `2/(εθ) + 1` regardless of n.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket granularity λ.
+    pub fn lambda(&self) -> u64 {
+        self.lambda
+    }
+
+    /// Theoretical space bound in buckets.
+    pub fn space_bound(&self) -> usize {
+        (2.0 / (self.epsilon * self.theta)).ceil() as usize + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::rng::SplitMix64;
+    use std::collections::VecDeque;
+
+    struct ExactWindow {
+        bits: VecDeque<bool>,
+        n: usize,
+    }
+    impl ExactWindow {
+        fn new(n: usize) -> Self {
+            Self { bits: VecDeque::new(), n }
+        }
+        fn push(&mut self, b: bool) {
+            self.bits.push_back(b);
+            if self.bits.len() > self.n {
+                self.bits.pop_front();
+            }
+        }
+        fn count(&self) -> u64 {
+            self.bits.iter().filter(|&&b| b).count() as u64
+        }
+    }
+
+    #[test]
+    fn significant_counts_within_epsilon() {
+        let n = 10_000u64;
+        let theta = 0.2;
+        let eps = 0.1;
+        let mut c = SignificantOneCounter::new(n, theta, eps).unwrap();
+        let mut exact = ExactWindow::new(n as usize);
+        let mut rng = SplitMix64::new(3);
+        for i in 0..100_000u64 {
+            let bit = rng.bernoulli(0.5); // m ≈ 0.5n ≥ θn: significant
+            c.push(bit);
+            exact.push(bit);
+            if i > n && i % 1_003 == 0 {
+                let t = exact.count();
+                let e = c.estimate();
+                let rel = (e as f64 - t as f64).abs() / t as f64;
+                assert!(rel <= eps, "i={i}: est {e} true {t} rel {rel}");
+                assert!(c.is_significant());
+            }
+        }
+    }
+
+    #[test]
+    fn insignificant_counts_have_absolute_bound_only() {
+        let n = 10_000u64;
+        let theta = 0.2;
+        let eps = 0.1;
+        let mut c = SignificantOneCounter::new(n, theta, eps).unwrap();
+        let mut exact = ExactWindow::new(n as usize);
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..50_000u64 {
+            let bit = rng.bernoulli(0.01); // m ≈ 0.01n < θn
+            c.push(bit);
+            exact.push(bit);
+        }
+        let t = exact.count();
+        let e = c.estimate();
+        let abs_bound = eps * theta * n as f64; // λ-scale slack
+        assert!(
+            (e as f64 - t as f64).abs() <= abs_bound,
+            "est {e} true {t} bound {abs_bound}"
+        );
+        assert!(!c.is_significant());
+    }
+
+    #[test]
+    fn space_independent_of_window_size() {
+        for n in [10_000u64, 1_000_000] {
+            let mut c = SignificantOneCounter::new(n, 0.1, 0.1).unwrap();
+            for _ in 0..2 * n {
+                c.push(true);
+            }
+            assert!(
+                c.bucket_count() <= c.space_bound(),
+                "n={n}: {} buckets > bound {}",
+                c.bucket_count(),
+                c.space_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn uses_less_space_than_dgim_at_same_epsilon() {
+        use crate::Dgim;
+        // The space advantage appears when only large counts matter
+        // (θ = 0.5) and ε is tight — DGIM must pay (1/2ε)·log²n while
+        // the λ-counter pays 2/(εθ).
+        let n = 1_000_000u64;
+        let mut sig = SignificantOneCounter::new(n, 0.5, 0.01).unwrap();
+        let mut dgim = Dgim::new(n, 0.01).unwrap();
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..2 * n {
+            let b = rng.bernoulli(0.5);
+            sig.push(b);
+            dgim.push(b);
+        }
+        assert!(
+            sig.bucket_count() < dgim.bucket_count(),
+            "sig {} vs dgim {}",
+            sig.bucket_count(),
+            dgim.bucket_count()
+        );
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(SignificantOneCounter::new(0, 0.1, 0.1).is_err());
+        assert!(SignificantOneCounter::new(10, 0.0, 0.1).is_err());
+        assert!(SignificantOneCounter::new(10, 0.1, 1.0).is_err());
+    }
+}

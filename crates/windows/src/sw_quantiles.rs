@@ -1,0 +1,193 @@
+//! Sliding-window quantiles (the Arasu–Manku problem — "approximate
+//! counts and quantiles over sliding windows", PODS 2004, the paper's
+//! \[42\]) via block-level summaries.
+//!
+//! The window is covered by `B` equal blocks. Completed blocks are
+//! compressed to a weighted sample (every ⌈εb⌉-th order statistic), the
+//! current block is kept exact; a query merges the compressed blocks
+//! overlapping the window. Rank error ≤ ε per block plus one boundary
+//! block, i.e. `ε·w + w/B` total — choose `B ≈ 1/ε` for `O(ε·w)`.
+
+use sa_core::{Result, SaError};
+use std::collections::VecDeque;
+
+/// A compressed block: sorted values with equal weights.
+#[derive(Clone, Debug)]
+struct BlockSummary {
+    /// Sorted representative values.
+    values: Vec<f64>,
+    /// Weight (in original elements) per representative.
+    weight: f64,
+    /// Index of the last element in this block.
+    end: u64,
+}
+
+/// Quantiles over the last `w` elements.
+#[derive(Clone, Debug)]
+pub struct SlidingQuantile {
+    blocks: VecDeque<BlockSummary>,
+    current: Vec<f64>,
+    window: u64,
+    block: usize,
+    keep_every: usize,
+    now: u64,
+}
+
+impl SlidingQuantile {
+    /// Window `w ≥ 2`, rank-error target `ε ∈ (0, 0.5)`.
+    pub fn new(w: u64, epsilon: f64) -> Result<Self> {
+        if w < 2 {
+            return Err(SaError::invalid("w", "must be at least 2"));
+        }
+        if !(epsilon > 0.0 && epsilon < 0.5) {
+            return Err(SaError::invalid("epsilon", "must be in (0, 0.5)"));
+        }
+        // B ≈ 2/ε blocks; each compressed to ~2/ε representatives.
+        let blocks = ((2.0 / epsilon).ceil() as u64).min(w.max(2)) as usize;
+        let block = (w as usize / blocks).max(1);
+        let keep_every = ((epsilon * block as f64) / 2.0).floor().max(1.0) as usize;
+        Ok(Self {
+            blocks: VecDeque::new(),
+            current: Vec::with_capacity(block),
+            window: w,
+            block,
+            keep_every,
+            now: 0,
+        })
+    }
+
+    /// Push the next value.
+    pub fn push(&mut self, value: f64) {
+        self.now += 1;
+        self.current.push(value);
+        if self.current.len() >= self.block {
+            let mut vals = std::mem::take(&mut self.current);
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // Keep every keep_every-th order statistic (offset to the
+            // middle of its stratum).
+            let kept: Vec<f64> = vals
+                .iter()
+                .skip(self.keep_every / 2)
+                .step_by(self.keep_every)
+                .copied()
+                .collect();
+            let weight = vals.len() as f64 / kept.len().max(1) as f64;
+            self.blocks.push_back(BlockSummary {
+                values: kept,
+                weight,
+                end: self.now,
+            });
+        }
+        // Drop blocks entirely outside the window.
+        let cutoff = self.now.saturating_sub(self.window);
+        while let Some(b) = self.blocks.front() {
+            if b.end <= cutoff {
+                self.blocks.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Approximate `q`-quantile of the window (`None` while empty).
+    pub fn query(&self, q: f64) -> Option<f64> {
+        let mut weighted: Vec<(f64, f64)> = Vec::new();
+        for b in &self.blocks {
+            for &v in &b.values {
+                weighted.push((v, b.weight));
+            }
+        }
+        for &v in &self.current {
+            weighted.push((v, 1.0));
+        }
+        if weighted.is_empty() {
+            return None;
+        }
+        weighted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let total: f64 = weighted.iter().map(|(_, w)| w).sum();
+        let target = q.clamp(0.0, 1.0) * total;
+        let mut acc = 0.0;
+        for (v, w) in &weighted {
+            acc += w;
+            if acc >= target {
+                return Some(*v);
+            }
+        }
+        weighted.last().map(|(v, _)| *v)
+    }
+
+    /// Stored representatives (space diagnostic).
+    pub fn stored(&self) -> usize {
+        self.blocks.iter().map(|b| b.values.len()).sum::<usize>()
+            + self.current.len()
+    }
+
+    /// Elements seen.
+    pub fn n(&self) -> u64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::rng::SplitMix64;
+    use sa_core::stats::exact_rank;
+
+    #[test]
+    fn window_quantiles_within_error() {
+        let w = 10_000u64;
+        let eps = 0.05;
+        let mut sq = SlidingQuantile::new(w, eps).unwrap();
+        let mut rng = SplitMix64::new(1);
+        let mut all = Vec::new();
+        for _ in 0..60_000 {
+            let v = rng.next_f64() * 100.0;
+            sq.push(v);
+            all.push(v);
+        }
+        let live = &all[all.len() - w as usize..];
+        for &q in &[0.1, 0.5, 0.9] {
+            let est = sq.query(q).unwrap();
+            let r = exact_rank(live, est) as f64;
+            let err = (r - q * w as f64).abs() / w as f64;
+            assert!(err <= 2.0 * eps, "q={q}: rank error {err}");
+        }
+    }
+
+    #[test]
+    fn reflects_distribution_shift() {
+        let mut sq = SlidingQuantile::new(1_000, 0.05).unwrap();
+        for _ in 0..5_000 {
+            sq.push(10.0);
+        }
+        for _ in 0..1_500 {
+            sq.push(1_000.0);
+        }
+        let med = sq.query(0.5).unwrap();
+        assert!(med > 500.0, "median = {med} did not track the shift");
+    }
+
+    #[test]
+    fn space_is_compressed() {
+        let w = 100_000u64;
+        let mut sq = SlidingQuantile::new(w, 0.02).unwrap();
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..300_000 {
+            sq.push(rng.next_f64());
+        }
+        assert!(
+            sq.stored() < w as usize / 4,
+            "stored {} ≥ w/4",
+            sq.stored()
+        );
+    }
+
+    #[test]
+    fn empty_and_invalid() {
+        let sq = SlidingQuantile::new(100, 0.1).unwrap();
+        assert_eq!(sq.query(0.5), None);
+        assert!(SlidingQuantile::new(1, 0.1).is_err());
+        assert!(SlidingQuantile::new(100, 0.5).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Quickstart: the sketch toolbox in five minutes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sa_core::traits::{CardinalityEstimator, QuantileSketch};
+use streaming_analytics::sketches::cardinality::HyperLogLog;
+use streaming_analytics::sketches::frequency::CountMinSketch;
+use streaming_analytics::sketches::heavy_hitters::SpaceSaving;
+use streaming_analytics::sketches::membership::BloomFilter;
+use streaming_analytics::sketches::quantiles::GkSketch;
+use streaming_analytics::windows::Dgim;
+
+fn main() {
+    // A synthetic "click stream": 2M events over 300k users with
+    // Zipf-distributed page popularity.
+    let mut users = streaming_analytics::core::generators::ZipfStream::new(300_000, 1.05, 42);
+    let events: Vec<u64> = users.take_vec(2_000_000);
+
+    // 1. Membership: have we seen this user before? (Table 1: Filtering)
+    let mut seen = BloomFilter::with_fpp(300_000, 0.01).unwrap();
+    let mut first_time = 0u64;
+    for &u in &events {
+        if !seen.contains(&u) {
+            first_time += 1;
+            seen.insert(&u);
+        }
+    }
+    println!("bloom filter:    ~{first_time} first-time users (1% fpp, {} KiB)",
+        sa_core::traits::MembershipFilter::bits(&seen) / 8192);
+
+    // 2. Cardinality: distinct users. (Table 1: Estimating Cardinality)
+    let mut hll = HyperLogLog::new(12).unwrap();
+    for &u in &events {
+        hll.insert(&u);
+    }
+    let exact = streaming_analytics::core::stats::exact_distinct(&events);
+    println!(
+        "hyperloglog:     {:.0} distinct users (exact {exact}, {} bytes of state)",
+        hll.estimate(),
+        hll.size_bytes()
+    );
+
+    // 3. Frequency: how often did user 0 (the most active) appear?
+    let mut cms = CountMinSketch::with_error(0.0001, 0.01).unwrap();
+    for &u in &events {
+        cms.add(&u, 1);
+    }
+    let truth = events.iter().filter(|&&u| u == 0).count();
+    println!("count-min:       user 0 appeared ~{} times (exact {truth})", cms.estimate(&0u64));
+
+    // 4. Heavy hitters: the top-5 users. (Table 1: Frequent Elements)
+    let mut ss = SpaceSaving::new(100).unwrap();
+    for &u in &events {
+        ss.insert(u);
+    }
+    println!("space-saving:    top-5 users:");
+    for h in ss.top_k(5) {
+        println!("                   user {:>6}  ~{} events (±{})", h.item, h.count, h.error);
+    }
+
+    // 5. Quantiles: session-length distribution. (Table 1: Quantiles)
+    let mut gk = GkSketch::new(0.001).unwrap();
+    let mut rng = sa_core::rng::SplitMix64::new(7);
+    for _ in 0..1_000_000 {
+        // Log-normal-ish session lengths.
+        gk.insert((rng.next_f64() * rng.next_f64().recip()).min(1e4));
+    }
+    println!(
+        "gk quantiles:    p50 {:.2}  p99 {:.2}  p999 {:.2}  ({} tuples stored)",
+        gk.query(0.5).unwrap(),
+        gk.query(0.99).unwrap(),
+        gk.query(0.999).unwrap(),
+        gk.tuple_count()
+    );
+
+    // 6. Sliding windows: active-flag density over the last hour.
+    //    (Table 1: Basic Counting)
+    let mut dgim = Dgim::new(3600, 0.02).unwrap();
+    for t in 0..86_400u64 {
+        dgim.push(t % 7 != 0); // "active" six sevenths of the time
+    }
+    println!(
+        "dgim:            ~{} active seconds in the last hour (exact ~3086, {} buckets)",
+        dgim.estimate(),
+        dgim.bucket_count()
+    );
+}

@@ -1,0 +1,39 @@
+//! # streaming-analytics
+//!
+//! A from-scratch Rust reproduction of **"Real Time Analytics:
+//! Algorithms and Systems"** (Kejariwal, Kulkarni, Ramasamy — VLDB 2015
+//! tutorial): every algorithm family of the paper's Table 1, a
+//! miniature stream-processing platform spanning the design space of
+//! its Table 2 (Storm/Heron/MillWheel/Samza semantics), and the Lambda
+//! Architecture of its Figure 1.
+//!
+//! This façade crate re-exports the workspace. Start with the examples:
+//!
+//! * `examples/quickstart.rs` — a tour of the sketch toolbox.
+//! * `examples/trending_hashtags.rs` — heavy hitters on a Zipf tweet
+//!   stream, standalone and as a platform topology.
+//! * `examples/site_audience.rs` — cardinality estimation across
+//!   distributed partitions.
+//! * `examples/sensor_pipeline.rs` — anomaly detection + Kalman
+//!   imputation over a sensor stream.
+//! * `examples/lambda_wordcount.rs` — the Figure-1 Lambda Architecture
+//!   end to end.
+//!
+//! Per-module guides live in each crate:
+//! [`sketches`](sa_sketches), [`sampling`](sa_sampling),
+//! [`windows`](sa_windows), [`timeseries`](sa_timeseries),
+//! [`clustering`](sa_clustering), [`graph`](sa_graph),
+//! [`sequences`](sa_sequences), [`histograms`](sa_histograms),
+//! [`platform`](sa_platform), with shared plumbing in
+//! [`core`](sa_core).
+
+pub use sa_clustering as clustering;
+pub use sa_core as core;
+pub use sa_graph as graph;
+pub use sa_histograms as histograms;
+pub use sa_platform as platform;
+pub use sa_sampling as sampling;
+pub use sa_sequences as sequences;
+pub use sa_sketches as sketches;
+pub use sa_timeseries as timeseries;
+pub use sa_windows as windows;

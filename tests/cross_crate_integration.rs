@@ -1,0 +1,151 @@
+//! Cross-crate integration: sketches running *inside* platform
+//! topologies, the way the paper's systems deploy them at Twitter —
+//! and the Lambda architecture consuming the same stream as a topology.
+
+use std::collections::HashMap;
+use streaming_analytics::core::generators::ZipfStream;
+use streaming_analytics::core::stats::{exact_distinct, exact_top_k, relative_error};
+use streaming_analytics::platform::lambda::LambdaArchitecture;
+use streaming_analytics::platform::topology::vec_spout;
+use streaming_analytics::platform::tuple::tuple_of;
+use streaming_analytics::platform::{
+    run_topology, Bolt, ExecutorConfig, OutputCollector, TopologyBuilder, Tuple, Value,
+};
+use streaming_analytics::sketches::cardinality::HyperLogLog;
+use streaming_analytics::sketches::heavy_hitters::SpaceSaving;
+use sa_core::traits::CardinalityEstimator;
+
+/// Bolt holding a SpaceSaving summary, flushing its top-k.
+struct TrendBolt(SpaceSaving<String>);
+impl Bolt for TrendBolt {
+    fn execute(&mut self, input: &Tuple, _out: &mut OutputCollector) {
+        if let Some(tag) = input.get(0).and_then(Value::as_str) {
+            self.0.insert(tag.to_string());
+        }
+    }
+    fn flush(&mut self, out: &mut OutputCollector) {
+        for h in self.0.top_k(20) {
+            out.emit(tuple_of([Value::Str(h.item), Value::Int(h.count as i64)]));
+        }
+    }
+}
+
+/// Bolt holding an HLL, flushing its estimate.
+struct AudienceBolt(HyperLogLog);
+impl Bolt for AudienceBolt {
+    fn execute(&mut self, input: &Tuple, _out: &mut OutputCollector) {
+        if let Some(tag) = input.get(0).and_then(Value::as_str) {
+            self.0.insert(&tag);
+        }
+    }
+    fn flush(&mut self, out: &mut OutputCollector) {
+        out.emit(tuple_of([Value::Float(self.0.estimate())]));
+    }
+}
+
+#[test]
+fn trending_topology_matches_offline_top_k() {
+    let n = 200_000;
+    let mut gen = ZipfStream::new(50_000, 1.3, 7);
+    let tags = gen.take_hashtags(n);
+    let truth: Vec<String> =
+        exact_top_k(&tags, 10).into_iter().map(|(t, _)| t).collect();
+
+    let tuples: Vec<Tuple> = tags.iter().map(|t| tuple_of([t.as_str()])).collect();
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("tweets", vec![vec_spout(tuples)]);
+    let bolts: Vec<Box<dyn Bolt>> = (0..4)
+        .map(|_| Box::new(TrendBolt(SpaceSaving::new(200).unwrap())) as Box<dyn Bolt>)
+        .collect();
+    tb.set_bolt("trend", bolts).fields("tweets", vec![0]);
+    let result = run_topology(tb, ExecutorConfig::default()).unwrap();
+    assert!(result.clean_shutdown);
+
+    let mut merged: Vec<(String, i64)> = result.outputs["trend"]
+        .iter()
+        .map(|t| {
+            (
+                t.get(0).and_then(Value::as_str).unwrap().to_string(),
+                t.get(1).and_then(Value::as_int).unwrap(),
+            )
+        })
+        .collect();
+    merged.sort_by(|a, b| b.1.cmp(&a.1));
+    let found: Vec<String> = merged.into_iter().take(10).map(|(t, _)| t).collect();
+    // The top-5 of a steep Zipf must agree exactly; the rest overlap.
+    assert_eq!(found[..5], truth[..5]);
+    let overlap = found.iter().filter(|t| truth.contains(t)).count();
+    assert!(overlap >= 8, "top-10 overlap only {overlap}");
+}
+
+#[test]
+fn audience_topology_estimates_distinct_users() {
+    let n = 100_000;
+    let mut gen = ZipfStream::new(30_000, 1.05, 8);
+    let users = gen.take_hashtags(n);
+    let truth = exact_distinct(&users) as f64;
+
+    let tuples: Vec<Tuple> = users.iter().map(|u| tuple_of([u.as_str()])).collect();
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("views", vec![vec_spout(tuples)]);
+    // Parallel HLL bolts each see a shard (fields grouping); their
+    // merged estimate equals a union because HLLs merge.
+    let bolts: Vec<Box<dyn Bolt>> = (0..3)
+        .map(|_| Box::new(AudienceBolt(HyperLogLog::new(12).unwrap())) as Box<dyn Bolt>)
+        .collect();
+    tb.set_bolt("audience", bolts).fields("views", vec![0]);
+    let result = run_topology(tb, ExecutorConfig::default()).unwrap();
+    // Shards partition the key space, so estimates add.
+    let total: f64 = result.outputs["audience"]
+        .iter()
+        .map(|t| t.get(0).and_then(Value::as_float).unwrap())
+        .sum();
+    assert!(
+        relative_error(total, truth) < 0.05,
+        "estimated {total} vs {truth}"
+    );
+}
+
+#[test]
+fn lambda_and_topology_agree_on_counts() {
+    // The same event stream drives a Lambda deployment and a streaming
+    // topology; batch-merged queries must agree with the topology's
+    // exact per-key counts.
+    let n = 50_000;
+    let mut gen = ZipfStream::new(500, 1.1, 9);
+    let keys = gen.take_hashtags(n);
+
+    let lambda = LambdaArchitecture::new(4).unwrap();
+    for (i, k) in keys.iter().enumerate() {
+        lambda.ingest(k, 1);
+        if i == n / 2 {
+            lambda.run_batch();
+        }
+    }
+
+    #[derive(Default)]
+    struct CountBolt(HashMap<String, i64>);
+    impl Bolt for CountBolt {
+        fn execute(&mut self, input: &Tuple, _out: &mut OutputCollector) {
+            let k = input.get(0).and_then(Value::as_str).unwrap().to_string();
+            *self.0.entry(k).or_insert(0) += 1;
+        }
+        fn flush(&mut self, out: &mut OutputCollector) {
+            for (k, c) in &self.0 {
+                out.emit(tuple_of([Value::Str(k.clone()), Value::Int(*c)]));
+            }
+        }
+    }
+    let tuples: Vec<Tuple> = keys.iter().map(|k| tuple_of([k.as_str()])).collect();
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("events", vec![vec_spout(tuples)]);
+    tb.set_bolt("count", vec![Box::new(CountBolt::default()) as Box<dyn Bolt>])
+        .fields("events", vec![0]);
+    let result = run_topology(tb, ExecutorConfig::default()).unwrap();
+
+    for t in &result.outputs["count"] {
+        let k = t.get(0).and_then(Value::as_str).unwrap();
+        let c = t.get(1).and_then(Value::as_int).unwrap();
+        assert_eq!(lambda.query(k), c, "disagreement on key {k}");
+    }
+}

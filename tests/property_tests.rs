@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) for the invariants DESIGN.md §7
+//! promises: merge laws, no-false-negative guarantees, error bounds.
+
+use proptest::prelude::*;
+use sa_core::traits::{CardinalityEstimator, QuantileSketch};
+use sa_core::Merge;
+use streaming_analytics::sketches::cardinality::{HyperLogLog, Kmv};
+use streaming_analytics::sketches::frequency::CountMinSketch;
+use streaming_analytics::sketches::heavy_hitters::{MisraGries, SpaceSaving};
+use streaming_analytics::sketches::membership::BloomFilter;
+use streaming_analytics::sketches::quantiles::GkSketch;
+use streaming_analytics::windows::{Dgim, SlidingExtrema};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn bloom_no_false_negatives(items in prop::collection::vec(any::<u64>(), 1..500)) {
+        let mut f = BloomFilter::with_fpp(items.len().max(8), 0.01).unwrap();
+        for it in &items {
+            f.insert(it);
+        }
+        for it in &items {
+            prop_assert!(f.contains(it));
+        }
+    }
+
+    /// Bloom merge ≡ filter built from the concatenated stream.
+    #[test]
+    fn bloom_merge_equals_concat(
+        a in prop::collection::vec(any::<u64>(), 0..200),
+        b in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut fa = BloomFilter::new(4096, 4).unwrap();
+        let mut fb = BloomFilter::new(4096, 4).unwrap();
+        let mut fc = BloomFilter::new(4096, 4).unwrap();
+        for it in &a { fa.insert(it); fc.insert(it); }
+        for it in &b { fb.insert(it); fc.insert(it); }
+        fa.merge(&fb).unwrap();
+        // Identical bit arrays → identical answers for every query.
+        for it in a.iter().chain(&b) {
+            prop_assert_eq!(fa.contains(it), fc.contains(it));
+        }
+    }
+
+    /// HLL merge answers exactly like the concatenated-stream sketch.
+    #[test]
+    fn hll_merge_equals_concat(
+        a in prop::collection::vec(any::<u64>(), 0..500),
+        b in prop::collection::vec(any::<u64>(), 0..500),
+    ) {
+        let mut ha = HyperLogLog::new(8).unwrap();
+        let mut hb = HyperLogLog::new(8).unwrap();
+        let mut hc = HyperLogLog::new(8).unwrap();
+        for it in &a { ha.insert(it); hc.insert(it); }
+        for it in &b { hb.insert(it); hc.insert(it); }
+        ha.merge(&hb).unwrap();
+        prop_assert_eq!(ha.estimate(), hc.estimate());
+    }
+
+    /// KMV estimates exactly when distinct count ≤ k.
+    #[test]
+    fn kmv_exact_below_k(items in prop::collection::vec(0u64..100, 0..300)) {
+        let mut kmv = Kmv::new(128).unwrap();
+        for it in &items {
+            kmv.insert(it);
+        }
+        let distinct = sa_core::stats::exact_distinct(&items) as f64;
+        prop_assert_eq!(kmv.estimate(), distinct);
+    }
+
+    /// Count-Min never underestimates under inserts.
+    #[test]
+    fn cms_never_underestimates(items in prop::collection::vec(0u64..50, 1..400)) {
+        let mut cms = CountMinSketch::new(64, 4).unwrap();
+        for it in &items {
+            cms.add(it, 1);
+        }
+        let truth = sa_core::stats::exact_counts(&items);
+        for (it, &c) in &truth {
+            prop_assert!(cms.estimate(it) >= c as i64);
+        }
+    }
+
+    /// Misra–Gries undercounts by at most n/(k+1).
+    #[test]
+    fn misra_gries_error_bound(items in prop::collection::vec(0u64..30, 1..500)) {
+        let k = 8;
+        let mut mg = MisraGries::new(k).unwrap();
+        for &it in &items {
+            mg.insert(it);
+        }
+        let truth = sa_core::stats::exact_counts(&items);
+        let bound = items.len() as u64 / (k as u64 + 1);
+        for (it, &c) in &truth {
+            let est = mg.estimate(it);
+            prop_assert!(est <= c);
+            prop_assert!(c - est <= bound, "undercount {} > {}", c - est, bound);
+        }
+    }
+
+    /// SpaceSaving brackets the truth: lower ≤ true ≤ estimate.
+    #[test]
+    fn space_saving_brackets(items in prop::collection::vec(0u64..30, 1..500)) {
+        let mut ss = SpaceSaving::new(8).unwrap();
+        for &it in &items {
+            ss.insert(it);
+        }
+        let truth = sa_core::stats::exact_counts(&items);
+        for (it, &c) in &truth {
+            let est = ss.estimate(it);
+            if est > 0 {
+                prop_assert!(est >= c);
+                prop_assert!(ss.lower_bound(it) <= c);
+            }
+        }
+    }
+
+    /// GK rank error stays within ε·n on arbitrary input order.
+    #[test]
+    fn gk_rank_error_bound(values in prop::collection::vec(-1e6f64..1e6, 2..800)) {
+        let eps = 0.05;
+        let mut gk = GkSketch::new(eps).unwrap();
+        for &v in &values {
+            gk.insert(v);
+        }
+        let n = values.len() as f64;
+        for q in [0.1, 0.5, 0.9] {
+            let est = gk.query(q).unwrap();
+            let rank = sa_core::stats::exact_rank(&values, est) as f64;
+            prop_assert!(
+                (rank - q * n).abs() <= eps * n + 1.0,
+                "q={}, rank {} target {}", q, rank, q * n
+            );
+        }
+    }
+
+    /// DGIM relative error respects its bound on random bit streams.
+    #[test]
+    fn dgim_error_bound(bits in prop::collection::vec(any::<bool>(), 100..2000), seed in any::<u64>()) {
+        let _ = seed;
+        let window = 64u64;
+        let mut d = Dgim::new(window, 0.1).unwrap();
+        for &b in &bits {
+            d.push(b);
+        }
+        let exact = bits[bits.len().saturating_sub(window as usize)..]
+            .iter()
+            .filter(|&&b| b)
+            .count() as f64;
+        if exact > 0.0 {
+            let err = (d.estimate() as f64 - exact).abs() / exact;
+            prop_assert!(err <= 0.11, "err {}", err);
+        }
+    }
+
+    /// Sliding extrema agree with a naive window scan.
+    #[test]
+    fn extrema_match_naive(values in prop::collection::vec(-1e3f64..1e3, 1..300)) {
+        let w = 16u64;
+        let mut se = SlidingExtrema::new(w).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            se.push(v);
+            let lo = i.saturating_sub(w as usize - 1);
+            let win = &values[lo..=i];
+            let mx = win.iter().cloned().fold(f64::MIN, f64::max);
+            let mn = win.iter().cloned().fold(f64::MAX, f64::min);
+            prop_assert_eq!(se.max(), Some(mx));
+            prop_assert_eq!(se.min(), Some(mn));
+        }
+    }
+
+    /// Exact inversion counter matches the merge-sort reference.
+    #[test]
+    fn inversions_match_reference(values in prop::collection::vec(0u64..64, 0..300)) {
+        use streaming_analytics::sequences::inversions::ExactInversions;
+        let mut c = ExactInversions::new(64).unwrap();
+        for &v in &values {
+            c.push(v);
+        }
+        prop_assert_eq!(c.total(), sa_core::stats::exact_inversions(&values));
+    }
+
+    /// Patience LIS matches the quadratic DP.
+    #[test]
+    fn lis_matches_dp(values in prop::collection::vec(-100i64..100, 0..200)) {
+        use streaming_analytics::sequences::PatienceLis;
+        let mut p = PatienceLis::new();
+        for &v in &values {
+            p.push(v);
+        }
+        // O(n²) reference.
+        let mut dp = vec![1usize; values.len()];
+        let mut best = 0;
+        for i in 0..values.len() {
+            for j in 0..i {
+                if values[j] < values[i] {
+                    dp[i] = dp[i].max(dp[j] + 1);
+                }
+            }
+            best = best.max(dp[i]);
+        }
+        prop_assert_eq!(p.lis_len(), best);
+    }
+
+    /// Haar round-trip is the identity (for power-of-two lengths).
+    #[test]
+    fn haar_round_trip(values in prop::collection::vec(-1e3f64..1e3, 1..9)) {
+        use streaming_analytics::histograms::wavelet::{haar_forward, haar_inverse};
+        let n = values.len().next_power_of_two();
+        let mut v = values.clone();
+        v.resize(n, 0.0);
+        let back = haar_inverse(&haar_forward(&v).unwrap()).unwrap();
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Welford merge is associative with the combined stream.
+    #[test]
+    fn welford_merge_law(
+        a in prop::collection::vec(-1e3f64..1e3, 0..200),
+        b in prop::collection::vec(-1e3f64..1e3, 0..200),
+    ) {
+        use sa_core::stats::OnlineStats;
+        let mut sa_ = OnlineStats::new();
+        let mut sb = OnlineStats::new();
+        let mut sc = OnlineStats::new();
+        for &x in &a { sa_.push(x); sc.push(x); }
+        for &x in &b { sb.push(x); sc.push(x); }
+        sa_.merge(&sb);
+        prop_assert_eq!(sa_.count(), sc.count());
+        prop_assert!((sa_.mean() - sc.mean()).abs() < 1e-6);
+        prop_assert!((sa_.variance() - sc.variance()).abs() < 1e-4);
+    }
+}
