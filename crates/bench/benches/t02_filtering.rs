@@ -28,9 +28,7 @@ fn bench_filters(c: &mut Criterion) {
     for i in 0..n {
         bloom.insert(&i);
     }
-    g.bench_function("bloom_query", |b| {
-        b.iter(|| (0..n).filter(|i| bloom.contains(i)).count())
-    });
+    g.bench_function("bloom_query", |b| b.iter(|| (0..n).filter(|i| bloom.contains(i)).count()));
     g.finish();
 }
 

@@ -13,10 +13,8 @@ use sa_core::generators::*;
 use sa_core::rng::SplitMix64;
 use sa_core::stats::*;
 use sa_core::traits::*;
-use serde::Serialize;
 use std::collections::HashMap;
 
-#[derive(Serialize)]
 struct JsonRow {
     experiment: String,
     label: String,
@@ -38,12 +36,36 @@ impl Recorder {
         self.rows.push(JsonRow {
             experiment: self.current.clone(),
             label: label.to_string(),
-            metrics: cols
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.clone()))
-                .collect(),
+            metrics: cols.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
         });
     }
+}
+
+/// Hand-rolled JSON (the build is offline; serde is not vendored).
+fn rows_to_json(rows: &[JsonRow]) -> String {
+    use sa_platform::metrics::escape_json as esc;
+    use std::fmt::Write as _;
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let mut metrics: Vec<(&String, &String)> = row.metrics.iter().collect();
+        metrics.sort();
+        let body = metrics
+            .iter()
+            .map(|(k, v)| format!("\"{}\": \"{}\"", esc(k), esc(v)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "  {{\"experiment\": \"{}\", \"label\": \"{}\", \"metrics\": {{{}}}}}{}",
+            esc(&row.experiment),
+            esc(&row.label),
+            body,
+            sep
+        );
+    }
+    out.push(']');
+    out
 }
 
 fn main() {
@@ -51,30 +73,74 @@ fn main() {
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
     let mut r = Recorder { rows: Vec::new(), current: String::new() };
 
-    if want("t1.1") { t1_1_sampling(&mut r); }
-    if want("t1.2") { t1_2_filtering(&mut r); }
-    if want("t1.3") { t1_3_correlation(&mut r); }
-    if want("t1.4") { t1_4_cardinality(&mut r); }
-    if want("t1.5") { t1_5_quantiles(&mut r); }
-    if want("t1.6") { t1_6_moments(&mut r); }
-    if want("t1.7") { t1_7_frequent(&mut r); }
-    if want("t1.8") { t1_8_inversions(&mut r); }
-    if want("t1.9") { t1_9_subsequences(&mut r); }
-    if want("t1.10") { t1_10_paths(&mut r); }
-    if want("t1.11") { t1_11_anomaly(&mut r); }
-    if want("t1.12") { t1_12_patterns(&mut r); }
-    if want("t1.13") { t1_13_prediction(&mut r); }
-    if want("t1.14") { t1_14_clustering(&mut r); }
-    if want("t1.15") { t1_15_graph(&mut r); }
-    if want("t1.16") { t1_16_basic_counting(&mut r); }
-    if want("t1.17") { t1_17_significant(&mut r); }
-    if want("t2") { t2_platform(&mut r); }
-    if want("f1") { f1_lambda(&mut r); }
-    if want("s2.h") { s2_histograms(&mut r); }
-    if want("s2.w") { s2_wavelets(&mut r); }
+    if want("t1.1") {
+        t1_1_sampling(&mut r);
+    }
+    if want("t1.2") {
+        t1_2_filtering(&mut r);
+    }
+    if want("t1.3") {
+        t1_3_correlation(&mut r);
+    }
+    if want("t1.4") {
+        t1_4_cardinality(&mut r);
+    }
+    if want("t1.5") {
+        t1_5_quantiles(&mut r);
+    }
+    if want("t1.6") {
+        t1_6_moments(&mut r);
+    }
+    if want("t1.7") {
+        t1_7_frequent(&mut r);
+    }
+    if want("t1.8") {
+        t1_8_inversions(&mut r);
+    }
+    if want("t1.9") {
+        t1_9_subsequences(&mut r);
+    }
+    if want("t1.10") {
+        t1_10_paths(&mut r);
+    }
+    if want("t1.11") {
+        t1_11_anomaly(&mut r);
+    }
+    if want("t1.12") {
+        t1_12_patterns(&mut r);
+    }
+    if want("t1.13") {
+        t1_13_prediction(&mut r);
+    }
+    if want("t1.14") {
+        t1_14_clustering(&mut r);
+    }
+    if want("t1.15") {
+        t1_15_graph(&mut r);
+    }
+    if want("t1.16") {
+        t1_16_basic_counting(&mut r);
+    }
+    if want("t1.17") {
+        t1_17_significant(&mut r);
+    }
+    if want("t2") {
+        t2_platform(&mut r);
+    }
+    if want("t2.b") {
+        t2_batch_ablation(&mut r);
+    }
+    if want("f1") {
+        f1_lambda(&mut r);
+    }
+    if want("s2.h") {
+        s2_histograms(&mut r);
+    }
+    if want("s2.w") {
+        s2_wavelets(&mut r);
+    }
 
-    let json = serde_json::to_string_pretty(&r.rows).unwrap();
-    std::fs::write("experiments_results.json", json).ok();
+    std::fs::write("experiments_results.json", rows_to_json(&r.rows)).ok();
     println!("\n[{} rows written to experiments_results.json]", r.rows.len());
 }
 
@@ -91,46 +157,62 @@ fn t1_1_sampling(r: &mut Recorder) {
     for (name, algo) in [("reservoir-R", ReservoirAlgo::R), ("reservoir-L", ReservoirAlgo::L)] {
         let (res, secs) = timed(|| {
             let mut s = Reservoir::new(10_000, algo).unwrap().with_seed(1);
-            for &x in &stream { s.offer(x); }
+            for &x in &stream {
+                s.offer(x);
+            }
             s
         });
         let m = mean(res.sample());
-        r.row(name, &[
-            ("sample_mean_err", f((m - true_mean).abs() / true_mean)),
-            ("k", "10000".into()),
-            ("Mitems/s", f(mps(n, secs))),
-        ]);
+        r.row(
+            name,
+            &[
+                ("sample_mean_err", f((m - true_mean).abs() / true_mean)),
+                ("k", "10000".into()),
+                ("Mitems/s", f(mps(n, secs))),
+            ],
+        );
     }
     let (bern, secs) = timed(|| {
         let mut s = BernoulliSampler::new(0.01).unwrap();
-        for &x in &stream { s.offer(x); }
+        for &x in &stream {
+            s.offer(x);
+        }
         s
     });
-    r.row("bernoulli(p=1%)", &[
-        ("sample_size", bern.sample().len().to_string()),
-        ("unbounded", "yes".into()),
-        ("Mitems/s", f(mps(n, secs))),
-    ]);
+    r.row(
+        "bernoulli(p=1%)",
+        &[
+            ("sample_size", bern.sample().len().to_string()),
+            ("unbounded", "yes".into()),
+            ("Mitems/s", f(mps(n, secs))),
+        ],
+    );
     // Recency-biased: mean sample age.
     let mut br = BiasedReservoir::new(1_000).unwrap().with_seed(2);
-    for i in 0..n as u64 { br.offer(i); }
-    let mean_age = n as f64 - 1.0 - mean(&br.sample().iter().map(|&v| v as f64).collect::<Vec<_>>());
-    r.row("biased-reservoir(k=1000)", &[
-        ("mean_age", f(mean_age)),
-        ("expected≈k", "1000".into()),
-    ]);
+    for i in 0..n as u64 {
+        br.offer(i);
+    }
+    let mean_age =
+        n as f64 - 1.0 - mean(&br.sample().iter().map(|&v| v as f64).collect::<Vec<_>>());
+    r.row("biased-reservoir(k=1000)", &[("mean_age", f(mean_age)), ("expected≈k", "1000".into())]);
     // Sliding-window samplers.
     let mut cs = ChainSampler::new(100, 10_000).unwrap().with_seed(3);
     let mut ps = PrioritySampler::new(100, 10_000).unwrap().with_seed(4);
-    for i in 0..n as u64 { cs.offer(i); ps.offer(i); }
-    r.row("chain-sampler(w=10k)", &[
-        ("live_samples", cs.sample().len().to_string()),
-        ("stored_links", cs.stored_links().to_string()),
-    ]);
-    r.row("priority-sampler(w=10k)", &[
-        ("live_samples", ps.sample().len().to_string()),
-        ("stored", ps.stored().to_string()),
-    ]);
+    for i in 0..n as u64 {
+        cs.offer(i);
+        ps.offer(i);
+    }
+    r.row(
+        "chain-sampler(w=10k)",
+        &[
+            ("live_samples", cs.sample().len().to_string()),
+            ("stored_links", cs.stored_links().to_string()),
+        ],
+    );
+    r.row(
+        "priority-sampler(w=10k)",
+        &[("live_samples", ps.sample().len().to_string()), ("stored", ps.stored().to_string())],
+    );
     // Distributed: 4 sites, skewed volumes.
     let mut ds = DistributedSampler::new(4, 500).unwrap();
     for site in 0..4usize {
@@ -140,10 +222,7 @@ fn t1_1_sampling(r: &mut Recorder) {
     }
     let sample = ds.global_sample().unwrap();
     let frac3 = sample.iter().filter(|(s, _)| *s == 3).count() as f64 / sample.len() as f64;
-    r.row("distributed(4 sites)", &[
-        ("site3_fraction", f(frac3)),
-        ("expected", "0.4".into()),
-    ]);
+    r.row("distributed(4 sites)", &[("site3_fraction", f(frac3)), ("expected", "0.4".into())]);
 }
 
 // ---------------------------------------------------------------- T1.2
@@ -153,37 +232,55 @@ fn t1_2_filtering(r: &mut Recorder) {
     let n = 1_000_000usize;
     for target_fpp in [0.01, 0.001] {
         let mut bf = BloomFilter::with_fpp(n, target_fpp).unwrap();
-        let (_, secs) = timed(|| { for i in 0..n as u64 { bf.insert(&i); } });
+        let (_, secs) = timed(|| {
+            for i in 0..n as u64 {
+                bf.insert(&i);
+            }
+        });
         let fp = ((n as u64)..(n as u64 + 200_000)).filter(|i| bf.contains(i)).count();
-        r.row(&format!("bloom(fpp={target_fpp})"), &[
-            ("measured_fpp", f(fp as f64 / 200_000.0)),
-            ("bits/item", f(bf.bits() as f64 / n as f64)),
-            ("Mops/s", f(mps(n, secs))),
-        ]);
+        r.row(
+            &format!("bloom(fpp={target_fpp})"),
+            &[
+                ("measured_fpp", f(fp as f64 / 200_000.0)),
+                ("bits/item", f(bf.bits() as f64 / n as f64)),
+                ("Mops/s", f(mps(n, secs))),
+            ],
+        );
     }
     let mut pbf = PartitionedBloomFilter::new(n * 10, 7).unwrap();
-    for i in 0..n as u64 { pbf.insert(&i); }
+    for i in 0..n as u64 {
+        pbf.insert(&i);
+    }
     let fp = ((n as u64)..(n as u64 + 200_000)).filter(|i| pbf.contains(i)).count();
-    r.row("partitioned-bloom(10 bits/item)", &[
-        ("measured_fpp", f(fp as f64 / 200_000.0)),
-    ]);
+    r.row("partitioned-bloom(10 bits/item)", &[("measured_fpp", f(fp as f64 / 200_000.0))]);
     let mut cbf = CountingBloomFilter::new(n * 3, 7).unwrap();
-    for i in 0..n as u64 { cbf.insert(&i); }
-    for i in 0..(n / 2) as u64 { cbf.remove(&i); }
+    for i in 0..n as u64 {
+        cbf.insert(&i);
+    }
+    for i in 0..(n / 2) as u64 {
+        cbf.remove(&i);
+    }
     let still = (0..(n / 2) as u64).filter(|i| cbf.contains(i)).count();
-    r.row("counting-bloom(del 50%)", &[
-        ("deleted_still_visible", f(still as f64 / (n / 2) as f64)),
-        ("bits/item", "12".into()),
-    ]);
+    r.row(
+        "counting-bloom(del 50%)",
+        &[("deleted_still_visible", f(still as f64 / (n / 2) as f64)), ("bits/item", "12".into())],
+    );
     let mut cf = CuckooFilter::with_capacity(n);
-    let (_, secs) = timed(|| { for i in 0..n as u64 { cf.insert(&i); } });
+    let (_, secs) = timed(|| {
+        for i in 0..n as u64 {
+            cf.insert(&i);
+        }
+    });
     let fp = ((n as u64)..(n as u64 + 200_000)).filter(|i| cf.contains(i)).count();
-    r.row("cuckoo(16-bit fp)", &[
-        ("measured_fpp", f(fp as f64 / 200_000.0)),
-        ("load", f(cf.load())),
-        ("bits/item", f(sa_core::traits::MembershipFilter::bits(&cf) as f64 / n as f64)),
-        ("Mops/s", f(mps(n, secs))),
-    ]);
+    r.row(
+        "cuckoo(16-bit fp)",
+        &[
+            ("measured_fpp", f(fp as f64 / 200_000.0)),
+            ("load", f(cf.load())),
+            ("bits/item", f(sa_core::traits::MembershipFilter::bits(&cf) as f64 / n as f64)),
+            ("Mops/s", f(mps(n, secs))),
+        ],
+    );
 }
 
 // ---------------------------------------------------------------- T1.3
@@ -199,19 +296,24 @@ fn t1_3_correlation(r: &mut Recorder) {
         for t in 0..n {
             let base = (t as f64 / 9.0).sin();
             let mut tick = vec![0.0; d];
-            for (j, v) in tick.iter_mut().enumerate() { *v = rng.next_f64() + j as f64; }
+            for (j, v) in tick.iter_mut().enumerate() {
+                *v = rng.next_f64() + j as f64;
+            }
             tick[4] = base + 0.1 * rng.next_f64(); // the colluding pair
             tick[13] = base + 0.1 * rng.next_f64();
             cm.push(tick);
         }
     });
     let pairs = cm.correlated_pairs(0.8);
-    r.row(&format!("matrix({d} streams, w={w})"), &[
-        ("pairs_found", pairs.len().to_string()),
-        ("top_pair", format!("({},{})", pairs[0].0, pairs[0].1)),
-        ("r", f(pairs[0].2)),
-        ("Mticks/s", f(mps(n, secs))),
-    ]);
+    r.row(
+        &format!("matrix({d} streams, w={w})"),
+        &[
+            ("pairs_found", pairs.len().to_string()),
+            ("top_pair", format!("({},{})", pairs[0].0, pairs[0].1)),
+            ("r", f(pairs[0].2)),
+            ("Mticks/s", f(mps(n, secs))),
+        ],
+    );
     let mut lc = LaggedCorrelation::new(600, 30).unwrap();
     let mut hist = std::collections::VecDeque::new();
     for t in 0..10_000u64 {
@@ -221,10 +323,7 @@ fn t1_3_correlation(r: &mut Recorder) {
         lc.push(x, y);
     }
     let (lag, rho) = lc.best_lag().unwrap();
-    r.row("lagged-correlation(true lag 12)", &[
-        ("found_lag", lag.to_string()),
-        ("r", f(rho)),
-    ]);
+    r.row("lagged-correlation(true lag 12)", &[("found_lag", lag.to_string()), ("r", f(rho))]);
 }
 
 // ---------------------------------------------------------------- T1.4
@@ -234,12 +333,19 @@ fn t1_4_cardinality(r: &mut Recorder) {
     let n = 1_000_000u64;
     let hashes: Vec<u64> = (0..n).map(|i| sa_core::hash::mix64(i ^ 0xFEED)).collect();
     let run = |est: &mut dyn CardinalityEstimator| -> (f64, usize, f64) {
-        let (_, secs) = timed(|| { for &h in &hashes { est.insert_hash(h); } });
+        let (_, secs) = timed(|| {
+            for &h in &hashes {
+                est.insert_hash(h);
+            }
+        });
         (relative_error(est.estimate(), n as f64), est.size_bytes(), mps(n as usize, secs))
     };
     let mut lc = LinearCounting::new(1 << 20).unwrap();
     let (e, b, t) = run(&mut lc);
-    r.row("linear-counting(1M bits)", &[("rel_err", f(e)), ("bytes", b.to_string()), ("Mops/s", f(t))]);
+    r.row(
+        "linear-counting(1M bits)",
+        &[("rel_err", f(e)), ("bytes", b.to_string()), ("Mops/s", f(t))],
+    );
     let mut fm = Pcsa::new(1024).unwrap();
     let (e, b, t) = run(&mut fm);
     r.row("FM-PCSA(m=1024)", &[("rel_err", f(e)), ("bytes", b.to_string()), ("Mops/s", f(t))]);
@@ -256,19 +362,30 @@ fn t1_4_cardinality(r: &mut Recorder) {
     for small_n in [500u64, 5_000] {
         let mut raw = HyperLogLog::new(12).unwrap().without_small_range_correction();
         let mut cor = HyperLogLog::new(12).unwrap();
-        for i in 0..small_n { raw.insert(&i); cor.insert(&i); }
-        r.row(&format!("hll p=12 @n={small_n} (ablation)"), &[
-            ("raw_err", f(relative_error(raw.estimate(), small_n as f64))),
-            ("corrected_err", f(relative_error(cor.estimate(), small_n as f64))),
-        ]);
+        for i in 0..small_n {
+            raw.insert(&i);
+            cor.insert(&i);
+        }
+        r.row(
+            &format!("hll p=12 @n={small_n} (ablation)"),
+            &[
+                ("raw_err", f(relative_error(raw.estimate(), small_n as f64))),
+                ("corrected_err", f(relative_error(cor.estimate(), small_n as f64))),
+            ],
+        );
     }
     // Sliding window cardinality.
     let mut sh = SlidingHyperLogLog::new(12, 100_000).unwrap();
-    for t in 0..500_000u64 { sh.insert_at(&(t % 80_000), t); }
-    r.row("sliding-hll(w=100k)", &[
-        ("rel_err", f(relative_error(sh.estimate_window(100_000), 80_000.0))),
-        ("stored_entries", sh.stored_entries().to_string()),
-    ]);
+    for t in 0..500_000u64 {
+        sh.insert_at(&(t % 80_000), t);
+    }
+    r.row(
+        "sliding-hll(w=100k)",
+        &[
+            ("rel_err", f(relative_error(sh.estimate_window(100_000), 80_000.0))),
+            ("stored_entries", sh.stored_entries().to_string()),
+        ],
+    );
 }
 
 // ---------------------------------------------------------------- T1.5
@@ -283,35 +400,58 @@ fn t1_5_quantiles(r: &mut Recorder) {
         (exact_rank(&values, est) as f64 - phi * n as f64).abs() / n as f64
     };
     let mut gk = GkSketch::new(0.001).unwrap();
-    let (_, secs) = timed(|| { for &v in &values { gk.insert(v); } });
-    r.row("GK(ε=0.001)", &[
-        ("p50_rank_err", f(check(&gk, 0.5))),
-        ("p99_rank_err", f(check(&gk, 0.99))),
-        ("tuples", gk.tuple_count().to_string()),
-        ("Mops/s", f(mps(n, secs))),
-    ]);
+    let (_, secs) = timed(|| {
+        for &v in &values {
+            gk.insert(v);
+        }
+    });
+    r.row(
+        "GK(ε=0.001)",
+        &[
+            ("p50_rank_err", f(check(&gk, 0.5))),
+            ("p99_rank_err", f(check(&gk, 0.99))),
+            ("tuples", gk.tuple_count().to_string()),
+            ("Mops/s", f(mps(n, secs))),
+        ],
+    );
     let mut ckms = CkmsSketch::new(&[(0.5, 0.01), (0.99, 0.001), (0.999, 0.0002)]).unwrap();
-    let (_, secs) = timed(|| { for &v in &values { ckms.insert(v); } });
+    let (_, secs) = timed(|| {
+        for &v in &values {
+            ckms.insert(v);
+        }
+    });
     let entries = ckms.entry_count();
-    r.row("CKMS(targeted tails)", &[
-        ("p99_rank_err", f(check(&ckms, 0.99))),
-        ("p999_rank_err", f(check(&ckms, 0.999))),
-        ("entries", entries.to_string()),
-        ("Mops/s", f(mps(n, secs))),
-    ]);
+    r.row(
+        "CKMS(targeted tails)",
+        &[
+            ("p99_rank_err", f(check(&ckms, 0.99))),
+            ("p999_rank_err", f(check(&ckms, 0.999))),
+            ("entries", entries.to_string()),
+            ("Mops/s", f(mps(n, secs))),
+        ],
+    );
     let mut fr = FrugalQuantile::new(0.5, FrugalMode::TwoUnit).unwrap().with_seed(3);
-    let (_, secs) = timed(|| { for &v in &values { fr.insert(v); } });
-    r.row("frugal-2U(median)", &[
-        ("p50_rank_err", f(check(&fr, 0.5))),
-        ("words_of_state", "2".into()),
-        ("Mops/s", f(mps(n, secs))),
-    ]);
+    let (_, secs) = timed(|| {
+        for &v in &values {
+            fr.insert(v);
+        }
+    });
+    r.row(
+        "frugal-2U(median)",
+        &[
+            ("p50_rank_err", f(check(&fr, 0.5))),
+            ("words_of_state", "2".into()),
+            ("Mops/s", f(mps(n, secs))),
+        ],
+    );
     let mut sq = SampledQuantile::new(1_000).unwrap().with_seed(4);
-    for &v in &values { sq.insert(v); }
-    r.row("reservoir-baseline(k=1000)", &[
-        ("p50_rank_err", f(check(&sq, 0.5))),
-        ("p99_rank_err", f(check(&sq, 0.99))),
-    ]);
+    for &v in &values {
+        sq.insert(v);
+    }
+    r.row(
+        "reservoir-baseline(k=1000)",
+        &[("p50_rank_err", f(check(&sq, 0.5))), ("p99_rank_err", f(check(&sq, 0.99)))],
+    );
 }
 
 // ---------------------------------------------------------------- T1.6
@@ -324,25 +464,41 @@ fn t1_6_moments(r: &mut Recorder) {
         let items = g.take_vec(500_000);
         let truth = exact_moment(&items, 2);
         let mut ams = AmsF2::new(256, 5).unwrap();
-        let (_, secs) = timed(|| { for &it in &items { ams.add(&it, 1); } });
-        r.row(&format!("AMS tug-of-war (zipf s={s})"), &[
-            ("rel_err", f(relative_error(ams.estimate(), truth))),
-            ("counters", "1280".into()),
-            ("Mops/s", f(mps(items.len(), secs))),
-        ]);
+        let (_, secs) = timed(|| {
+            for &it in &items {
+                ams.add(&it, 1);
+            }
+        });
+        r.row(
+            &format!("AMS tug-of-war (zipf s={s})"),
+            &[
+                ("rel_err", f(relative_error(ams.estimate(), truth))),
+                ("counters", "1280".into()),
+                ("Mops/s", f(mps(items.len(), secs))),
+            ],
+        );
         let mut cs = CountSketch::new(4096, 5).unwrap();
-        let (_, secs) = timed(|| { for &it in &items { cs.add(&it, 1); } });
-        r.row(&format!("fast-AMS/CountSketch (zipf s={s})"), &[
-            ("rel_err", f(relative_error(cs.f2_estimate(), truth))),
-            ("Mops/s", f(mps(items.len(), secs))),
-        ]);
+        let (_, secs) = timed(|| {
+            for &it in &items {
+                cs.add(&it, 1);
+            }
+        });
+        r.row(
+            &format!("fast-AMS/CountSketch (zipf s={s})"),
+            &[
+                ("rel_err", f(relative_error(cs.f2_estimate(), truth))),
+                ("Mops/s", f(mps(items.len(), secs))),
+            ],
+        );
         let mut fk = AmsFk::new(3, 3_000).unwrap().with_seed(5);
-        for &it in &items { fk.insert(&it); }
+        for &it in &items {
+            fk.insert(&it);
+        }
         let t3 = exact_moment(&items, 3);
-        r.row(&format!("AMS-sampling F3 (zipf s={s})"), &[
-            ("rel_err", f(relative_error(fk.estimate(), t3))),
-            ("trackers", "3000".into()),
-        ]);
+        r.row(
+            &format!("AMS-sampling F3 (zipf s={s})"),
+            &[("rel_err", f(relative_error(fk.estimate(), t3))), ("trackers", "3000".into())],
+        );
     }
 }
 
@@ -358,40 +514,76 @@ fn t1_7_frequent(r: &mut Recorder) {
     let counts = exact_counts(&items);
     let eval = |found: Vec<u64>| -> (f64, f64) {
         let fs: std::collections::HashSet<u64> = found.into_iter().collect();
-        let recall = truth.iter().filter(|i| fs.contains(i)).count() as f64 / truth.len().max(1) as f64;
+        let recall =
+            truth.iter().filter(|i| fs.contains(i)).count() as f64 / truth.len().max(1) as f64;
         let floor = (theta - 0.0002) * items.len() as f64;
-        let precise = fs.iter().filter(|i| counts[i] as f64 >= floor).count() as f64 / fs.len().max(1) as f64;
+        let precise =
+            fs.iter().filter(|i| counts[i] as f64 >= floor).count() as f64 / fs.len().max(1) as f64;
         (recall, precise)
     };
     let mut mg = MisraGries::new(2_000).unwrap();
-    let (_, secs) = timed(|| { for &it in &items { mg.insert(it); } });
+    let (_, secs) = timed(|| {
+        for &it in &items {
+            mg.insert(it);
+        }
+    });
     let (rec, prec) = eval(mg.heavy_hitters(theta).into_iter().map(|h| h.item).collect());
-    r.row("misra-gries(k=2000)", &[("recall", f(rec)), ("precision", f(prec)), ("Mops/s", f(mps(items.len(), secs)))]);
+    r.row(
+        "misra-gries(k=2000)",
+        &[("recall", f(rec)), ("precision", f(prec)), ("Mops/s", f(mps(items.len(), secs)))],
+    );
     let mut ss = SpaceSaving::new(2_000).unwrap();
-    let (_, secs) = timed(|| { for &it in &items { ss.insert(it); } });
+    let (_, secs) = timed(|| {
+        for &it in &items {
+            ss.insert(it);
+        }
+    });
     let (rec, prec) = eval(ss.heavy_hitters(theta).into_iter().map(|h| h.item).collect());
-    r.row("space-saving(k=2000)", &[("recall", f(rec)), ("precision", f(prec)), ("Mops/s", f(mps(items.len(), secs)))]);
+    r.row(
+        "space-saving(k=2000)",
+        &[("recall", f(rec)), ("precision", f(prec)), ("Mops/s", f(mps(items.len(), secs)))],
+    );
     let mut lcount = LossyCounting::new(theta / 10.0).unwrap();
-    let (_, secs) = timed(|| { for &it in &items { lcount.insert(it); } });
+    let (_, secs) = timed(|| {
+        for &it in &items {
+            lcount.insert(it);
+        }
+    });
     let (rec, prec) = eval(lcount.frequent_items(theta).into_iter().map(|h| h.item).collect());
-    r.row("lossy-counting(ε=θ/10)", &[("recall", f(rec)), ("precision", f(prec)), ("entries", lcount.len().to_string()), ("Mops/s", f(mps(items.len(), secs)))]);
+    r.row(
+        "lossy-counting(ε=θ/10)",
+        &[
+            ("recall", f(rec)),
+            ("precision", f(prec)),
+            ("entries", lcount.len().to_string()),
+            ("Mops/s", f(mps(items.len(), secs))),
+        ],
+    );
     let mut st = StickySampling::new(theta, theta / 10.0, 0.01).unwrap().with_seed(6);
-    for &it in &items { st.insert(it); }
+    for &it in &items {
+        st.insert(it);
+    }
     let (rec, prec) = eval(st.frequent_items().into_iter().map(|h| h.item).collect());
-    r.row("sticky-sampling", &[("recall", f(rec)), ("precision", f(prec)), ("entries", st.len().to_string())]);
+    r.row(
+        "sticky-sampling",
+        &[("recall", f(rec)), ("precision", f(prec)), ("entries", st.len().to_string())],
+    );
     // Ablation: CMS plain vs conservative point error on the top 100.
     use sa_sketches::frequency::CountMinSketch;
     let mut plain = CountMinSketch::new(4096, 4).unwrap();
     let mut cons = CountMinSketch::new(4096, 4).unwrap().conservative();
-    for &it in &items { plain.add(&it, 1); cons.add(&it, 1); }
+    for &it in &items {
+        plain.add(&it, 1);
+        cons.add(&it, 1);
+    }
     let top: Vec<(u64, u64)> = exact_top_k(&items, 100);
     let err = |cms: &CountMinSketch| -> f64 {
         top.iter().map(|&(i, c)| (cms.estimate(&i) - c as i64) as f64).sum::<f64>() / 100.0
     };
-    r.row("CMS ablation (top-100 over-count)", &[
-        ("plain", f(err(&plain))),
-        ("conservative", f(err(&cons))),
-    ]);
+    r.row(
+        "CMS ablation (top-100 over-count)",
+        &[("plain", f(err(&plain))), ("conservative", f(err(&cons)))],
+    );
 }
 
 // ---------------------------------------------------------------- T1.8
@@ -402,15 +594,24 @@ fn t1_8_inversions(r: &mut Recorder) {
     for d in [10usize, 1_000, 50_000] {
         let v = permutation_with_displacement(n, d, 41);
         let mut ex = ExactInversions::new(n).unwrap();
-        let (_, secs) = timed(|| { for &x in &v { ex.push(x); } });
+        let (_, secs) = timed(|| {
+            for &x in &v {
+                ex.push(x);
+            }
+        });
         let mut sa = SampledInversions::new(256).unwrap().with_seed(7);
-        for &x in &v { sa.push(x); }
-        r.row(&format!("displacement d={d}"), &[
-            ("exact", ex.total().to_string()),
-            ("sortedness", f(ex.sortedness())),
-            ("sampled_rel_err", f(relative_error(sa.estimate(), ex.total() as f64))),
-            ("exact_Mops/s", f(mps(n, secs))),
-        ]);
+        for &x in &v {
+            sa.push(x);
+        }
+        r.row(
+            &format!("displacement d={d}"),
+            &[
+                ("exact", ex.total().to_string()),
+                ("sortedness", f(ex.sortedness())),
+                ("sampled_rel_err", f(relative_error(sa.estimate(), ex.total() as f64))),
+                ("exact_Mops/s", f(mps(n, secs))),
+            ],
+        );
     }
 }
 
@@ -422,27 +623,41 @@ fn t1_9_subsequences(r: &mut Recorder) {
     for d in [5usize, 5_000] {
         let v = permutation_with_displacement(n, d, 51);
         let mut lis = PatienceLis::new();
-        let (_, secs) = timed(|| { for &x in &v { lis.push(x as i64); } });
+        let (_, secs) = timed(|| {
+            for &x in &v {
+                lis.push(x as i64);
+            }
+        });
         let mut bounded = BoundedLis::new(1_000).unwrap();
-        for &x in &v { bounded.push(x as i64); }
-        r.row(&format!("LIS (displacement {d})"), &[
-            ("lis_len", lis.lis_len().to_string()),
-            ("space", lis.space().to_string()),
-            ("bounded_k1000_lower", bounded.lis_lower_bound().to_string()),
-            ("Mops/s", f(mps(n, secs))),
-        ]);
+        for &x in &v {
+            bounded.push(x as i64);
+        }
+        r.row(
+            &format!("LIS (displacement {d})"),
+            &[
+                ("lis_len", lis.lis_len().to_string()),
+                ("space", lis.space().to_string()),
+                ("bounded_k1000_lower", bounded.lis_lower_bound().to_string()),
+                ("Mops/s", f(mps(n, secs))),
+            ],
+        );
     }
     let mut rng = SplitMix64::new(12);
     let query: Vec<u8> = (0..64).map(|_| rng.next_below(4) as u8).collect();
     let mut lcs = StreamingLcs::new(query).unwrap();
     let (_, secs) = timed(|| {
-        for _ in 0..200_000 { lcs.push(rng.next_below(4) as u8); }
+        for _ in 0..200_000 {
+            lcs.push(rng.next_below(4) as u8);
+        }
     });
-    r.row("LCS vs 64-symbol query", &[
-        ("similarity", f(lcs.similarity())),
-        ("space", "O(|query|)".into()),
-        ("Mops/s", f(mps(200_000, secs))),
-    ]);
+    r.row(
+        "LCS vs 64-symbol query",
+        &[
+            ("similarity", f(lcs.similarity())),
+            ("space", "O(|query|)".into()),
+            ("Mops/s", f(mps(200_000, secs))),
+        ],
+    );
 }
 
 // --------------------------------------------------------------- T1.10
@@ -453,7 +668,11 @@ fn t1_10_paths(r: &mut Recorder) {
     let mut gen = EdgeStreamGen::new(n, 61);
     let edges = gen.preferential_attachment(3);
     let mut g = DynamicPaths::new(n).unwrap();
-    let (_, build) = timed(|| { for &(u, v) in &edges { g.insert_edge(u, v); } });
+    let (_, build) = timed(|| {
+        for &(u, v) in &edges {
+            g.insert_edge(u, v);
+        }
+    });
     let mut rng = SplitMix64::new(13);
     for l in [2u32, 4, 6] {
         let queries = 2_000;
@@ -462,25 +681,33 @@ fn t1_10_paths(r: &mut Recorder) {
             for _ in 0..queries {
                 let u = rng.next_below(n as u64) as u32;
                 let v = rng.next_below(n as u64) as u32;
-                if g.path_within(u, v, l) { hits += 1; }
+                if g.path_within(u, v, l) {
+                    hits += 1;
+                }
             }
             hits
         });
-        r.row(&format!("ℓ={l}"), &[
-            ("reachable_frac", f(hits as f64 / queries as f64)),
-            ("queries/s", sa_bench::f(queries as f64 / secs)),
-        ]);
+        r.row(
+            &format!("ℓ={l}"),
+            &[
+                ("reachable_frac", f(hits as f64 / queries as f64)),
+                ("queries/s", sa_bench::f(queries as f64 / secs)),
+            ],
+        );
     }
     // Deletions change answers.
     let (u0, v0) = edges[0];
     let before = g.path_within(u0, v0, 1);
     g.delete_edge(u0, v0);
     let after = g.path_within(u0, v0, 1);
-    r.row("dynamic deletion", &[
-        ("edge_count", g.edge_count().to_string()),
-        ("direct_before/after", format!("{before}/{after}")),
-        ("build_Medges/s", f(mps(edges.len(), build))),
-    ]);
+    r.row(
+        "dynamic deletion",
+        &[
+            ("edge_count", g.edge_count().to_string()),
+            ("direct_before/after", format!("{before}/{after}")),
+            ("build_Medges/s", f(mps(edges.len(), build))),
+        ],
+    );
 }
 
 // --------------------------------------------------------------- T1.11
@@ -488,13 +715,17 @@ fn t1_11_anomaly(r: &mut Recorder) {
     use sa_timeseries::anomaly::*;
     r.section("T1.11", "Anomaly detection (sensor networks) — precision/recall");
     let make = |seed: u64| -> Vec<(f64, bool)> {
-        let mut g = SensorSeries::new(seed).with_noise(0.5).with_amplitude(0.5).with_anomalies(0.01, 10.0);
+        let mut g =
+            SensorSeries::new(seed).with_noise(0.5).with_amplitude(0.5).with_anomalies(0.01, 10.0);
         g.take_vec(20_000).into_iter().map(|p| (p.value, p.is_anomaly)).collect()
     };
     let pts = make(71);
     let mut rz = RobustZScore::new(64, 5.0).unwrap();
     let ((p, rec), secs) = timed(|| evaluate(&pts, |x| rz.observe(x)));
-    r.row("robust-zscore(MAD, w=64)", &[("precision", f(p)), ("recall", f(rec)), ("Mops/s", f(mps(pts.len(), secs)))]);
+    r.row(
+        "robust-zscore(MAD, w=64)",
+        &[("precision", f(p)), ("recall", f(rec)), ("Mops/s", f(mps(pts.len(), secs)))],
+    );
     let mut dd = DistanceDetector::new(128, 2.0, 3).unwrap();
     let (p, rec) = evaluate(&pts, |x| dd.observe(x));
     r.row("distance-based(r=2, k=3)", &[("precision", f(p)), ("recall", f(rec))]);
@@ -508,13 +739,18 @@ fn t1_11_anomaly(r: &mut Recorder) {
             detected_at = Some(i - 2_000);
         }
     }
-    r.row("cusum(level shift +2σ)", &[
-        ("detection_delay", format!("{:?}", detected_at.unwrap_or(9999))),
-        ("false_alarms_pre_shift", "0".into()),
-    ]);
+    r.row(
+        "cusum(level shift +2σ)",
+        &[
+            ("detection_delay", format!("{:?}", detected_at.unwrap_or(9999))),
+            ("false_alarms_pre_shift", "0".into()),
+        ],
+    );
     let mut sd = SeasonalDetector::new(64, 0.3, 5.0).unwrap();
-    let mut g = SensorSeries::new(72).with_noise(0.3).with_amplitude(4.0).with_anomalies(0.01, 12.0);
-    let seasonal_pts: Vec<(f64, bool)> = g.take_vec(20_000).into_iter().map(|p| (p.value, p.is_anomaly)).collect();
+    let mut g =
+        SensorSeries::new(72).with_noise(0.3).with_amplitude(4.0).with_anomalies(0.01, 12.0);
+    let seasonal_pts: Vec<(f64, bool)> =
+        g.take_vec(20_000).into_iter().map(|p| (p.value, p.is_anomaly)).collect();
     let (p, rec) = evaluate(&seasonal_pts, |x| sd.observe(x));
     r.row("seasonal(period=64, strong season)", &[("precision", f(p)), ("recall", f(rec))]);
 }
@@ -530,28 +766,39 @@ fn t1_12_patterns(r: &mut Recorder) {
         md.push(sym);
     }
     let top = md.top_motifs(1);
-    r.row("motif-detector(4-grams)", &[
-        ("top_motif_count", top[0].1.to_string()),
-        ("planted_occurrences", (200_000u64 / 50).to_string()),
-        ("distinct_patterns", md.distinct_patterns().to_string()),
-    ]);
-    let query: Vec<f64> = (0..32).map(|i| (2.0 * std::f64::consts::PI * i as f64 / 32.0).sin()).collect();
+    r.row(
+        "motif-detector(4-grams)",
+        &[
+            ("top_motif_count", top[0].1.to_string()),
+            ("planted_occurrences", (200_000u64 / 50).to_string()),
+            ("distinct_patterns", md.distinct_patterns().to_string()),
+        ],
+    );
+    let query: Vec<f64> =
+        (0..32).map(|i| (2.0 * std::f64::consts::PI * i as f64 / 32.0).sin()).collect();
     let mut m = SubsequenceMatcher::new(&query, 0.35).unwrap();
     let mut found = 0;
     let n = 100_000;
     let (_, secs) = timed(|| {
         for i in 0..n {
-            let x = if (i / 1000) % 10 == 9 { 3.0 * query[i % 32] } else { rng.next_f64() * 2.0 - 1.0 };
-            if m.push(x).is_some() { found += 1; }
+            let x =
+                if (i / 1000) % 10 == 9 { 3.0 * query[i % 32] } else { rng.next_f64() * 2.0 - 1.0 };
+            if m.push(x).is_some() {
+                found += 1;
+            }
         }
     });
-    r.row("shape-matcher(sine query)", &[
-        ("matches", found.to_string()),
-        ("Mops/s", f(mps(n, secs))),
-    ]);
+    r.row(
+        "shape-matcher(sine query)",
+        &[("matches", found.to_string()), ("Mops/s", f(mps(n, secs)))],
+    );
     let mut sax = SaxDiscretizer::new(8, 5).unwrap();
     let mut symbols = 0;
-    for _ in 0..10_000 { if sax.push(rng.next_f64() * 2.0 - 1.0).is_some() { symbols += 1; } }
+    for _ in 0..10_000 {
+        if sax.push(rng.next_f64() * 2.0 - 1.0).is_some() {
+            symbols += 1;
+        }
+    }
     r.row("sax(8:1 PAA, |Σ|=5)", &[("symbols_from_10k", symbols.to_string())]);
 }
 
@@ -576,10 +823,13 @@ fn t1_13_prediction(r: &mut Recorder) {
             last_seen = p.value;
         }
     }
-    r.row(&format!("kalman-1D vs last-value ({missing} gaps)"), &[
-        ("kalman_rmse", f((se_kf / missing as f64).sqrt())),
-        ("last_value_rmse", f((se_last / missing as f64).sqrt())),
-    ]);
+    r.row(
+        &format!("kalman-1D vs last-value ({missing} gaps)"),
+        &[
+            ("kalman_rmse", f((se_kf / missing as f64).sqrt())),
+            ("last_value_rmse", f((se_last / missing as f64).sqrt())),
+        ],
+    );
     let series = ar1_series(30_000, 0.9, 1.0, 82);
     let mut rls = RlsAr::new(2, 0.999).unwrap();
     let (mut se_rls, mut se_naive, mut prev) = (0.0, 0.0, 0.0);
@@ -591,14 +841,19 @@ fn t1_13_prediction(r: &mut Recorder) {
         rls.update(x);
         prev = x;
     }
-    r.row("RLS-AR(2) one-step (AR1 φ=0.9)", &[
-        ("rls_mse", f(se_rls / 29_500.0)),
-        ("naive_mse", f(se_naive / 29_500.0)),
-        ("learned_w", format!("{:.2?}", rls.weights())),
-    ]);
+    r.row(
+        "RLS-AR(2) one-step (AR1 φ=0.9)",
+        &[
+            ("rls_mse", f(se_rls / 29_500.0)),
+            ("naive_mse", f(se_naive / 29_500.0)),
+            ("learned_w", format!("{:.2?}", rls.weights())),
+        ],
+    );
     let mut cv = KalmanFilterCV::new(1e-3, 1.0).unwrap();
     let mut rng = SplitMix64::new(16);
-    for t in 0..5_000 { cv.update(0.5 * t as f64 + rng.next_f64()); }
+    for t in 0..5_000 {
+        cv.update(0.5 * t as f64 + rng.next_f64());
+    }
     r.row("kalman-CV (ramp 0.5/step)", &[("velocity_est", f(cv.velocity()))]);
 }
 
@@ -615,27 +870,48 @@ fn t1_14_clustering(r: &mut Recorder) {
     let batch_sse = sse(&pts, &batch);
     r.row("batch k-means++ (reference)", &[("sse", f(batch_sse)), ("sec", f(secs_b))]);
     let mut skm = StreamKMedian::new(k, 400).unwrap();
-    let (_, secs) = timed(|| { for p in &pts { skm.push(p.clone()); } });
+    let (_, secs) = timed(|| {
+        for p in &pts {
+            skm.push(p.clone());
+        }
+    });
     let sc = skm.centers().unwrap();
-    r.row("STREAM k-median(chunk=400)", &[
-        ("sse_ratio", f(sse(&pts, &sc) / batch_sse)),
-        ("retained", skm.retained().to_string()),
-        ("Mops/s", f(mps(pts.len(), secs))),
-    ]);
+    r.row(
+        "STREAM k-median(chunk=400)",
+        &[
+            ("sse_ratio", f(sse(&pts, &sc) / batch_sse)),
+            ("retained", skm.retained().to_string()),
+            ("Mops/s", f(mps(pts.len(), secs))),
+        ],
+    );
     let mut ok = OnlineKMeans::new(k, 4).unwrap();
-    let (_, secs) = timed(|| { for p in &pts { ok.push(p); } });
-    r.row("online k-means (MacQueen)", &[
-        ("sse_ratio", f(sse(&pts, ok.centers()) / batch_sse)),
-        ("Mops/s", f(mps(pts.len(), secs))),
-    ]);
+    let (_, secs) = timed(|| {
+        for p in &pts {
+            ok.push(p);
+        }
+    });
+    r.row(
+        "online k-means (MacQueen)",
+        &[
+            ("sse_ratio", f(sse(&pts, ok.centers()) / batch_sse)),
+            ("Mops/s", f(mps(pts.len(), secs))),
+        ],
+    );
     let mut mc = MicroClusters::new(60, 3.0, 0.0).unwrap();
-    let (_, secs) = timed(|| { for p in &pts { mc.push(p); } });
+    let (_, secs) = timed(|| {
+        for p in &pts {
+            mc.push(p);
+        }
+    });
     let cc = mc.macro_clusters(k).unwrap();
-    r.row("micro-clusters(q=60)", &[
-        ("sse_ratio", f(sse(&pts, &cc) / batch_sse)),
-        ("micro", mc.micro().len().to_string()),
-        ("Mops/s", f(mps(pts.len(), secs))),
-    ]);
+    r.row(
+        "micro-clusters(q=60)",
+        &[
+            ("sse_ratio", f(sse(&pts, &cc) / batch_sse)),
+            ("micro", mc.micro().len().to_string()),
+            ("Mops/s", f(mps(pts.len(), secs))),
+        ],
+    );
 }
 
 // --------------------------------------------------------------- T1.15
@@ -647,44 +923,72 @@ fn t1_15_graph(r: &mut Recorder) {
     let edges = gen.preferential_attachment(4);
     let m = edges.len();
     let mut conn = StreamingConnectivity::new(n).unwrap();
-    let (_, secs) = timed(|| { for &(u, v) in &edges { conn.add_edge(u, v); } });
-    r.row("connectivity(union-find)", &[
-        ("components", conn.components().to_string()),
-        ("Medges/s", f(mps(m, secs))),
-    ]);
+    let (_, secs) = timed(|| {
+        for &(u, v) in &edges {
+            conn.add_edge(u, v);
+        }
+    });
+    r.row(
+        "connectivity(union-find)",
+        &[("components", conn.components().to_string()), ("Medges/s", f(mps(m, secs)))],
+    );
     let mut mat = StreamingMatching::new(n).unwrap();
-    let (_, secs) = timed(|| { for &(u, v) in &edges { mat.add_edge(u, v); } });
-    r.row("greedy matching (2-approx)", &[
-        ("matching", mat.size().to_string()),
-        ("vertex_cover", mat.vertex_cover().len().to_string()),
-        ("Medges/s", f(mps(m, secs))),
-    ]);
+    let (_, secs) = timed(|| {
+        for &(u, v) in &edges {
+            mat.add_edge(u, v);
+        }
+    });
+    r.row(
+        "greedy matching (2-approx)",
+        &[
+            ("matching", mat.size().to_string()),
+            ("vertex_cover", mat.vertex_cover().len().to_string()),
+            ("Medges/s", f(mps(m, secs))),
+        ],
+    );
     let mut is = IndependentSet::new(n).unwrap();
-    for &(u, v) in &edges { is.add_edge(u, v); }
+    for &(u, v) in &edges {
+        is.add_edge(u, v);
+    }
     r.row("greedy independent set", &[("size", is.size().to_string())]);
     let mut gen2 = EdgeStreamGen::new(2_000, 102);
     let tri_edges = gen2.planted_clique(40, 20_000);
     let truth = exact_triangles(&tri_edges) as f64;
     let mut tc = TriangleCounter::new(8_000).unwrap().with_seed(9);
-    let (_, secs) = timed(|| { for &(u, v) in &tri_edges { tc.add_edge(u, v); } });
-    r.row("triangles(reservoir 8k of 20.8k)", &[
-        ("rel_err", f(relative_error(tc.estimate(), truth))),
-        ("Medges/s", f(mps(tri_edges.len(), secs))),
-    ]);
+    let (_, secs) = timed(|| {
+        for &(u, v) in &tri_edges {
+            tc.add_edge(u, v);
+        }
+    });
+    r.row(
+        "triangles(reservoir 8k of 20.8k)",
+        &[
+            ("rel_err", f(relative_error(tc.estimate(), truth))),
+            ("Medges/s", f(mps(tri_edges.len(), secs))),
+        ],
+    );
     let mut sp = GreedySpanner::new(5_000, 3).unwrap();
     let mut gen3 = EdgeStreamGen::new(5_000, 103);
     let dense = gen3.uniform_edges(100_000);
-    for &(u, v) in &dense { sp.add_edge(u, v); }
-    r.row("3-spanner", &[
-        ("kept_edges", sp.size().to_string()),
-        ("of", dense.len().to_string()),
-    ]);
+    for &(u, v) in &dense {
+        sp.add_edge(u, v);
+    }
+    r.row("3-spanner", &[("kept_edges", sp.size().to_string()), ("of", dense.len().to_string())]);
     // Min-cut via sparsification: two K40s + 40 cross edges.
     let mut barbell = Vec::new();
-    for a in 0..40u32 { for b in (a + 1)..40 { barbell.push((a, b)); barbell.push((a + 40, b + 40)); } }
-    for i in 0..40u32 { barbell.push((i, 40 + i)); }
+    for a in 0..40u32 {
+        for b in (a + 1)..40 {
+            barbell.push((a, b));
+            barbell.push((a + 40, b + 40));
+        }
+    }
+    for i in 0..40u32 {
+        barbell.push((i, 40 + i));
+    }
     let mut spf = Sparsifier::new(80, 0.5).unwrap().with_seed(10);
-    for &(u, v) in &barbell { spf.add_edge(u, v); }
+    for &(u, v) in &barbell {
+        spf.add_edge(u, v);
+    }
     let cut = min_cut(80, spf.edges(), 200, 11) as f64 * spf.weight();
     r.row("min-cut on ½-sparsifier (true 40)", &[("estimate", f(cut))]);
 }
@@ -700,12 +1004,19 @@ fn t1_16_basic_counting(r: &mut Recorder) {
     let exact: u64 = bits[bits.len() - window as usize..].iter().filter(|&&b| b).count() as u64;
     for rr in [2usize, 4, 11, 51] {
         let mut d = Dgim::with_r(window, rr).unwrap();
-        let (_, secs) = timed(|| { for &b in &bits { d.push(b); } });
-        r.row(&format!("DGIM r={rr} (ε≤{})", f(d.error_bound())), &[
-            ("rel_err", f(relative_error(d.estimate() as f64, exact as f64))),
-            ("buckets", d.bucket_count().to_string()),
-            ("Mops/s", f(mps(n as usize, secs))),
-        ]);
+        let (_, secs) = timed(|| {
+            for &b in &bits {
+                d.push(b);
+            }
+        });
+        r.row(
+            &format!("DGIM r={rr} (ε≤{})", f(d.error_bound())),
+            &[
+                ("rel_err", f(relative_error(d.estimate() as f64, exact as f64))),
+                ("buckets", d.bucket_count().to_string()),
+                ("Mops/s", f(mps(n as usize, secs))),
+            ],
+        );
     }
 }
 
@@ -725,12 +1036,15 @@ fn t1_17_significant(r: &mut Recorder) {
             sig.push(b);
             dgim.push(b);
         }
-        r.row(&format!("density {density} (θ=0.2, ε=0.05)"), &[
-            ("significant", sig.is_significant().to_string()),
-            ("sig_rel_err", f(relative_error(sig.estimate() as f64, exact as f64))),
-            ("sig_buckets", sig.bucket_count().to_string()),
-            ("dgim_buckets", dgim.bucket_count().to_string()),
-        ]);
+        r.row(
+            &format!("density {density} (θ=0.2, ε=0.05)"),
+            &[
+                ("significant", sig.is_significant().to_string()),
+                ("sig_rel_err", f(relative_error(sig.estimate() as f64, exact as f64))),
+                ("sig_buckets", sig.bucket_count().to_string()),
+                ("dgim_buckets", dgim.bucket_count().to_string()),
+            ],
+        );
     }
 }
 
@@ -746,11 +1060,15 @@ fn t2_platform(r: &mut Recorder) {
         let mut tb = TopologyBuilder::new();
         tb.set_spout("src", vec![vec_spout(tuples)]);
         let echo: Vec<Box<dyn Bolt>> = (0..4)
-            .map(|_| Box::new(|t: &Tuple, o: &mut OutputCollector| o.emit(t.clone())) as Box<dyn Bolt>)
+            .map(|_| {
+                Box::new(|t: &Tuple, o: &mut OutputCollector| o.emit(t.clone())) as Box<dyn Bolt>
+            })
             .collect();
         tb.set_bolt("stage1", echo).shuffle("src");
         let sinks: Vec<Box<dyn Bolt>> = (0..4)
-            .map(|_| Box::new(|t: &Tuple, o: &mut OutputCollector| o.emit(t.clone())) as Box<dyn Bolt>)
+            .map(|_| {
+                Box::new(|t: &Tuple, o: &mut OutputCollector| o.emit(t.clone())) as Box<dyn Bolt>
+            })
             .collect();
         tb.set_bolt("sink", sinks).fields("stage1", vec![0]);
         (tb, n as i64)
@@ -759,30 +1077,108 @@ fn t2_platform(r: &mut Recorder) {
     for (label, model, semantics, drop) in [
         ("heron-style, at-most-once", ExecutorModel::ProcessPerTask, Semantics::AtMostOnce, 0.0),
         ("heron-style, at-least-once", ExecutorModel::ProcessPerTask, Semantics::AtLeastOnce, 0.0),
-        ("storm-style multiplexed, at-least-once", ExecutorModel::Multiplexed { tasks_per_worker: 4 }, Semantics::AtLeastOnce, 0.0),
-        ("heron-style, at-least-once, 2% loss", ExecutorModel::ProcessPerTask, Semantics::AtLeastOnce, 0.02),
+        (
+            "storm-style multiplexed, at-least-once",
+            ExecutorModel::Multiplexed { tasks_per_worker: 4 },
+            Semantics::AtLeastOnce,
+            0.0,
+        ),
+        (
+            "heron-style, at-least-once, 2% loss",
+            ExecutorModel::ProcessPerTask,
+            Semantics::AtLeastOnce,
+            0.02,
+        ),
     ] {
         let (tb, truth) = make(n);
         let (res, secs) = timed(|| {
-            run_topology(tb, ExecutorConfig {
-                model,
-                semantics,
-                link_drop_prob: drop,
-                ack_timeout: Duration::from_millis(400),
-                shutdown_timeout: Duration::from_secs(30),
-                ..Default::default()
-            }).unwrap()
+            run_topology(
+                tb,
+                ExecutorConfig {
+                    model,
+                    semantics,
+                    link_drop_prob: drop,
+                    ack_timeout: Duration::from_millis(400),
+                    shutdown_timeout: Duration::from_secs(30),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
         let delivered = res.outputs.get("sink").map_or(0, Vec::len) as i64;
-        let (acked, _, replayed, dropped) = res.metrics.root_stats();
-        r.row(label, &[
-            ("delivered", format!("{delivered}/{truth}")),
-            ("acked", acked.to_string()),
-            ("replayed", replayed.to_string()),
-            ("lost_msgs", dropped.to_string()),
-            ("Ktuples/s", sa_bench::f(n as f64 / secs / 1e3)),
-            ("clean", res.clean_shutdown.to_string()),
-        ]);
+        let snap = res.metrics.snapshot();
+        r.row(
+            label,
+            &[
+                ("delivered", format!("{delivered}/{truth}")),
+                ("acked", snap.acked_roots.to_string()),
+                ("replayed", snap.replayed_roots.to_string()),
+                ("lost_msgs", snap.dropped_links.to_string()),
+                ("Ktuples/s", sa_bench::f(n as f64 / secs / 1e3)),
+                ("clean", res.clean_shutdown.to_string()),
+            ],
+        );
+    }
+}
+
+// ---------------------------------------------------------------- T2.B
+/// Tentpole ablation: link batch size × delivery semantics on the t18
+/// word-count topology. Shows what batching buys (channel + acker
+/// synchronisation amortised over the batch) and what each guarantee
+/// costs on top.
+fn t2_batch_ablation(r: &mut Recorder) {
+    use sa_platform::topology::{vec_spout, Bolt};
+    use sa_platform::tuple::tuple_of;
+    use sa_platform::*;
+    use std::time::Duration;
+    r.section("T2.B", "Batching ablation — batch_size × semantics, word-count throughput");
+    let n = 100_000;
+    let make = || -> TopologyBuilder {
+        let tuples: Vec<Tuple> = (0..n).map(|i| tuple_of([format!("w{}", i % 50)])).collect();
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("src", vec![vec_spout(tuples)]);
+        let split: Vec<Box<dyn Bolt>> = (0..4)
+            .map(|_| {
+                Box::new(|t: &Tuple, o: &mut OutputCollector| o.emit(t.clone())) as Box<dyn Bolt>
+            })
+            .collect();
+        tb.set_bolt("stage1", split).shuffle("src");
+        let sinks: Vec<Box<dyn Bolt>> = (0..4)
+            .map(|_| {
+                Box::new(|t: &Tuple, o: &mut OutputCollector| o.emit(t.clone())) as Box<dyn Bolt>
+            })
+            .collect();
+        tb.set_bolt("sink", sinks).fields("stage1", vec![0]);
+        tb
+    };
+    for (sem_label, semantics) in
+        [("at-most-once", Semantics::AtMostOnce), ("at-least-once", Semantics::AtLeastOnce)]
+    {
+        for batch_size in [1usize, 8, 64, 256] {
+            let tb = make();
+            let (res, secs) = timed(|| {
+                run_topology(
+                    tb,
+                    ExecutorConfig {
+                        semantics,
+                        batch_size,
+                        ack_timeout: Duration::from_secs(5),
+                        shutdown_timeout: Duration::from_secs(30),
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            });
+            let delivered = res.outputs.get("sink").map_or(0, Vec::len);
+            r.row(
+                &format!("{sem_label}, batch={batch_size}"),
+                &[
+                    ("delivered", format!("{delivered}/{n}")),
+                    ("Ktuples/s", sa_bench::f(n as f64 / secs / 1e3)),
+                    ("clean", res.clean_shutdown.to_string()),
+                ],
+            );
+        }
     }
 }
 
@@ -812,17 +1208,20 @@ fn f1_lambda(r: &mut Recorder) {
         max_err = max_err.max((lambda.query(&key) - t).abs());
         batch_stale += (t - lambda.query_batch_only(&key)).abs();
     }
-    r.row("200k events, batch every 50k", &[
-        ("merged_query_max_err", max_err.to_string()),
-        ("batch_only_staleness(500 keys)", batch_stale.to_string()),
-        ("speed_layer_keys", lambda.speed_layer_keys().to_string()),
-        ("Kevents/s", sa_bench::f(210_000.0 / secs / 1e3)),
-    ]);
+    r.row(
+        "200k events, batch every 50k",
+        &[
+            ("merged_query_max_err", max_err.to_string()),
+            ("batch_only_staleness(500 keys)", batch_stale.to_string()),
+            ("speed_layer_keys", lambda.speed_layer_keys().to_string()),
+            ("Kevents/s", sa_bench::f(210_000.0 / secs / 1e3)),
+        ],
+    );
     let (_, batch_secs) = timed(|| lambda.run_batch());
-    r.row("batch recompute", &[
-        ("sec", f(batch_secs)),
-        ("speed_keys_after", lambda.speed_layer_keys().to_string()),
-    ]);
+    r.row(
+        "batch recompute",
+        &[("sec", f(batch_secs)), ("speed_keys_after", lambda.speed_layer_keys().to_string())],
+    );
 }
 
 // ---------------------------------------------------------------- S2.H
@@ -847,24 +1246,33 @@ fn s2_histograms(r: &mut Recorder) {
         let m = mean(c);
         ew_sse += c.iter().map(|x| (x - m) * (x - m)).sum::<f64>();
     }
-    r.row(&format!("{} points, {b} buckets", values.len()), &[
-        ("v_optimal_sse", f(vo_sse)),
-        ("equi_width_sse", f(ew_sse)),
-        ("ratio", f(ew_sse / vo_sse.max(1e-9))),
-        ("buckets", vo.len().to_string()),
-    ]);
+    r.row(
+        &format!("{} points, {b} buckets", values.len()),
+        &[
+            ("v_optimal_sse", f(vo_sse)),
+            ("equi_width_sse", f(ew_sse)),
+            ("ratio", f(ew_sse / vo_sse.max(1e-9))),
+            ("buckets", vo.len().to_string()),
+        ],
+    );
     let mut g = ZipfStream::new(10_000, 1.3, 112);
     let items = g.take_vec(200_000);
     let mut eb = EndBiasedHistogram::new(0.01).unwrap();
-    for &it in &items { eb.insert(it); }
+    for &it in &items {
+        eb.insert(it);
+    }
     let truth = exact_counts(&items);
     let head = eb.head();
-    let head_err: f64 = head.iter().map(|(i, c)| (*c as f64 - truth[i] as f64).abs()).sum::<f64>() / head.len().max(1) as f64;
-    r.row("end-biased(θ=1%)", &[
-        ("head_items", head.len().to_string()),
-        ("head_mean_abs_err", f(head_err)),
-        ("distinct", eb.distinct().to_string()),
-    ]);
+    let head_err: f64 = head.iter().map(|(i, c)| (*c as f64 - truth[i] as f64).abs()).sum::<f64>()
+        / head.len().max(1) as f64;
+    r.row(
+        "end-biased(θ=1%)",
+        &[
+            ("head_items", head.len().to_string()),
+            ("head_mean_abs_err", f(head_err)),
+            ("distinct", eb.distinct().to_string()),
+        ],
+    );
 }
 
 // ---------------------------------------------------------------- S2.W
@@ -882,9 +1290,12 @@ fn s2_wavelets(r: &mut Recorder) {
     let energy: f64 = values.iter().map(|x| x * x).sum::<f64>().sqrt();
     for k in [8usize, 32, 128, 1024] {
         let syn = WaveletSynopsis::build(&values, k).unwrap();
-        r.row(&format!("top-{k} of 1024 coefficients"), &[
-            ("l2_err_pct", f(100.0 * syn.l2_error(&values) / energy)),
-            ("compression", f(n as f64 / k as f64)),
-        ]);
+        r.row(
+            &format!("top-{k} of 1024 coefficients"),
+            &[
+                ("l2_err_pct", f(100.0 * syn.l2_error(&values) / energy)),
+                ("compression", f(n as f64 / k as f64)),
+            ],
+        );
     }
 }

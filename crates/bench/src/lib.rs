@@ -25,8 +25,7 @@ pub fn section(id: &str, title: &str) {
 
 /// One table row: label + columns.
 pub fn row(label: &str, cols: &[(&str, String)]) {
-    let cells: Vec<String> =
-        cols.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let cells: Vec<String> = cols.iter().map(|(k, v)| format!("{k}={v}")).collect();
     println!("  {label:<34} {}", cells.join("  "));
 }
 
@@ -55,7 +54,7 @@ mod tests {
         assert!(mps(2_000_000, 1.0) - 2.0 < 1e-9);
         assert_eq!(f(0.0), "0");
         assert_eq!(f(1234.0), "1234");
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(1.23456), "1.23");
         assert_eq!(f(0.01234), "0.0123");
     }
 }

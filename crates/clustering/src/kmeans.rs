@@ -90,8 +90,7 @@ pub fn lloyd(
         let mut moved: f64 = 0.0;
         for ci in 0..k {
             if wsum[ci] > 0.0 {
-                let newc: Vec<f64> =
-                    sums[ci].iter().map(|s| s / wsum[ci]).collect();
+                let newc: Vec<f64> = sums[ci].iter().map(|s| s / wsum[ci]).collect();
                 moved = moved.max(dist2(&newc, &centers[ci]));
                 centers[ci] = newc;
             }
@@ -116,7 +115,7 @@ pub fn weighted_kmeans(
     for _ in 0..5 {
         let seed = kmeanspp_seed(points, weights, k, rng)?;
         let (centers, sse) = lloyd(points, weights, seed, 50, 1e-9);
-        if best.as_ref().map_or(true, |(_, b)| sse < *b) {
+        if best.as_ref().is_none_or(|(_, b)| sse < *b) {
             best = Some((centers, sse));
         }
     }
@@ -131,8 +130,7 @@ mod tests {
     #[test]
     fn recovers_well_separated_mixture() {
         let mut g = GaussianMixtureGen::new(4, 2, 100.0, 1.0, 7);
-        let pts: Vec<Vec<f64>> =
-            g.take_vec(2_000).into_iter().map(|p| p.coords).collect();
+        let pts: Vec<Vec<f64>> = g.take_vec(2_000).into_iter().map(|p| p.coords).collect();
         let w = vec![1.0; pts.len()];
         let mut rng = SplitMix64::new(1);
         let centers = weighted_kmeans(&pts, &w, 4, &mut rng).unwrap();
@@ -184,9 +182,7 @@ mod tests {
     fn errors_on_bad_input() {
         let mut rng = SplitMix64::new(4);
         assert!(kmeanspp_seed(&[], &[], 2, &mut rng).is_err());
-        assert!(
-            kmeanspp_seed(&[vec![1.0]], &[1.0, 2.0], 1, &mut rng).is_err()
-        );
+        assert!(kmeanspp_seed(&[vec![1.0]], &[1.0, 2.0], 1, &mut rng).is_err());
         assert!(kmeanspp_seed(&[vec![1.0]], &[1.0], 0, &mut rng).is_err());
     }
 }

@@ -133,8 +133,7 @@ impl MicroClusters {
         let pts = std::mem::take(&mut self.init_buffer);
         let ws = vec![1.0; pts.len()];
         let k = (self.max_clusters / 2).max(2).min(pts.len());
-        let centers =
-            weighted_kmeans(&pts, &ws, k, &mut self.rng).expect("non-empty");
+        let centers = weighted_kmeans(&pts, &ws, k, &mut self.rng).expect("non-empty");
         let mut seeds: Vec<Option<MicroCluster>> = vec![None; centers.len()];
         for p in &pts {
             let (ci, _) = crate::nearest(p, &centers);
@@ -207,11 +206,8 @@ impl MicroClusters {
         for mc in &mut self.clusters {
             mc.decay(self.now, self.lambda);
         }
-        if let Some((i, _)) = self
-            .clusters
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.n.partial_cmp(&b.1.n).unwrap())
+        if let Some((i, _)) =
+            self.clusters.iter().enumerate().min_by(|a, b| a.1.n.partial_cmp(&b.1.n).unwrap())
         {
             if self.clusters[i].n < 1.0 {
                 self.clusters.swap_remove(i);
@@ -239,11 +235,8 @@ impl MicroClusters {
         if d2.sqrt() <= 4.0 * scale {
             let other = self.clusters.swap_remove(j);
             self.clusters[i].merge(&other);
-        } else if let Some((w, _)) = self
-            .clusters
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.n.partial_cmp(&b.1.n).unwrap())
+        } else if let Some((w, _)) =
+            self.clusters.iter().enumerate().min_by(|a, b| a.1.n.partial_cmp(&b.1.n).unwrap())
         {
             self.clusters.swap_remove(w);
         }

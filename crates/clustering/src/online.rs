@@ -63,9 +63,7 @@ impl OnlineKMeans {
         }
         let (ci, _) = nearest(point, &self.centers);
         self.counts[ci] += 1;
-        let eta = self
-            .rate
-            .unwrap_or(1.0 / self.counts[ci] as f64);
+        let eta = self.rate.unwrap_or(1.0 / self.counts[ci] as f64);
         for (c, &x) in self.centers[ci].iter_mut().zip(point) {
             *c += eta * (x - *c);
         }
@@ -109,10 +107,7 @@ mod tests {
 
     #[test]
     fn fixed_rate_tracks_drift() {
-        let mut km = OnlineKMeans::new(1, 1)
-            .unwrap()
-            .with_fixed_rate(0.05)
-            .unwrap();
+        let mut km = OnlineKMeans::new(1, 1).unwrap().with_fixed_rate(0.05).unwrap();
         for _ in 0..2_000 {
             km.push(&[0.0]);
         }
@@ -120,11 +115,7 @@ mod tests {
             km.push(&[100.0]);
         }
         // A 1/n scheme would sit near 50; fixed rate follows the drift.
-        assert!(
-            (km.centers()[0][0] - 100.0).abs() < 1.0,
-            "center = {:?}",
-            km.centers()[0]
-        );
+        assert!((km.centers()[0][0] - 100.0).abs() < 1.0, "center = {:?}", km.centers()[0]);
     }
 
     #[test]
@@ -133,11 +124,7 @@ mod tests {
         for i in 0..1_000 {
             km.push(&[if i % 2 == 0 { 0.0 } else { 10.0 }]);
         }
-        assert!(
-            (km.centers()[0][0] - 5.0).abs() < 0.5,
-            "center = {:?}",
-            km.centers()[0]
-        );
+        assert!((km.centers()[0][0] - 5.0).abs() < 0.5, "center = {:?}", km.centers()[0]);
     }
 
     #[test]
@@ -154,9 +141,6 @@ mod tests {
     fn invalid_params() {
         assert!(OnlineKMeans::new(0, 2).is_err());
         assert!(OnlineKMeans::new(2, 0).is_err());
-        assert!(OnlineKMeans::new(2, 2)
-            .unwrap()
-            .with_fixed_rate(1.0)
-            .is_err());
+        assert!(OnlineKMeans::new(2, 2).unwrap().with_fixed_rate(1.0).is_err());
     }
 }

@@ -55,24 +55,15 @@ impl StreamKMedian {
         }
     }
 
-    fn cluster_weighted(
-        &mut self,
-        pts: &[Vec<f64>],
-        weights: &[f64],
-    ) -> Vec<(Vec<f64>, f64)> {
-        let centers =
-            weighted_kmeans(pts, weights, self.k, &mut self.rng).unwrap();
+    fn cluster_weighted(&mut self, pts: &[Vec<f64>], weights: &[f64]) -> Vec<(Vec<f64>, f64)> {
+        let centers = weighted_kmeans(pts, weights, self.k, &mut self.rng).unwrap();
         // Weight of each center = total weight assigned to it.
         let mut wsum = vec![0.0; centers.len()];
         for (p, &w) in pts.iter().zip(weights) {
             let (ci, _) = crate::nearest(p, &centers);
             wsum[ci] += w;
         }
-        centers
-            .into_iter()
-            .zip(wsum)
-            .filter(|(_, w)| *w > 0.0)
-            .collect()
+        centers.into_iter().zip(wsum).filter(|(_, w)| *w > 0.0).collect()
     }
 
     fn add_to_level(&mut self, level: usize, centers: Vec<(Vec<f64>, f64)>) {
@@ -145,8 +136,7 @@ mod tests {
     #[test]
     fn sse_close_to_batch_kmeans() {
         let mut g = GaussianMixtureGen::new(4, 2, 60.0, 2.0, 22);
-        let pts: Vec<Vec<f64>> =
-            g.take_vec(8_000).into_iter().map(|p| p.coords).collect();
+        let pts: Vec<Vec<f64>> = g.take_vec(8_000).into_iter().map(|p| p.coords).collect();
         let mut skm = StreamKMedian::new(4, 160).unwrap();
         for p in &pts {
             skm.push(p.clone());
@@ -157,10 +147,7 @@ mod tests {
         let batch_centers = weighted_kmeans(&pts, &w, 4, &mut rng).unwrap();
         let stream_sse = sse(&pts, &stream_centers);
         let batch_sse = sse(&pts, &batch_centers);
-        assert!(
-            stream_sse < batch_sse * 2.0,
-            "stream SSE {stream_sse} vs batch {batch_sse}"
-        );
+        assert!(stream_sse < batch_sse * 2.0, "stream SSE {stream_sse} vs batch {batch_sse}");
     }
 
     #[test]

@@ -20,8 +20,57 @@ pub enum SaError {
     IncompatibleMerge(String),
     /// The requested operation needs data the summary no longer holds.
     InsufficientData(String),
-    /// A platform-level failure (topology validation, channel teardown…).
+    /// A platform-level failure (channel teardown, worker panic…).
     Platform(String),
+    /// The topology wiring is invalid (caught before any thread spawns).
+    Topology(TopologyError),
+}
+
+/// Structural problems in a topology declaration, surfaced by
+/// `TopologyBuilder::validate` (run automatically by `run_topology`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Two components share a name.
+    DuplicateComponent(String),
+    /// A bolt subscribes to a component that was never declared.
+    UnknownUpstream {
+        /// The subscribing bolt.
+        component: String,
+        /// The missing upstream name.
+        upstream: String,
+    },
+    /// A component subscribes to itself.
+    SelfLoop(String),
+    /// A spout declares inputs.
+    SpoutWithInputs(String),
+    /// The component graph contains a directed cycle.
+    Cycle,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicateComponent(name) => {
+                write!(f, "duplicate component name `{name}`")
+            }
+            TopologyError::UnknownUpstream { component, upstream } => {
+                write!(f, "`{component}` subscribes to unknown component `{upstream}`")
+            }
+            TopologyError::SelfLoop(name) => {
+                write!(f, "`{name}` subscribes to itself")
+            }
+            TopologyError::SpoutWithInputs(name) => {
+                write!(f, "spout `{name}` cannot have inputs")
+            }
+            TopologyError::Cycle => write!(f, "component graph contains a cycle"),
+        }
+    }
+}
+
+impl From<TopologyError> for SaError {
+    fn from(e: TopologyError) -> Self {
+        SaError::Topology(e)
+    }
 }
 
 impl SaError {
@@ -44,6 +93,7 @@ impl fmt::Display for SaError {
                 write!(f, "insufficient data: {msg}")
             }
             SaError::Platform(msg) => write!(f, "platform error: {msg}"),
+            SaError::Topology(e) => write!(f, "invalid topology: {e}"),
         }
     }
 }

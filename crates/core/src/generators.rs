@@ -209,11 +209,8 @@ impl EventStream {
         if self.rng.gen_bool(self.drop_prob) {
             return None;
         }
-        let disorder = if self.max_disorder == 0 {
-            0
-        } else {
-            self.rng.gen_range(0..=self.max_disorder)
-        };
+        let disorder =
+            if self.max_disorder == 0 { 0 } else { self.rng.gen_range(0..=self.max_disorder) };
         let key_id = self.zipf.sample(&mut self.rng) as u64 - 1;
         Some(Event {
             event_time: self.clock - disorder,
@@ -251,9 +248,8 @@ impl GaussianMixtureGen {
     /// `k` random centers in `[-range, range]^dim` with noise σ.
     pub fn new(k: usize, dim: usize, range: f64, sigma: f64, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let centers = (0..k)
-            .map(|_| (0..dim).map(|_| rng.gen_range(-range..range)).collect())
-            .collect();
+        let centers =
+            (0..k).map(|_| (0..dim).map(|_| rng.gen_range(-range..range)).collect()).collect();
         Self { rng, noise: Normal::new(0.0, sigma).unwrap(), centers, drift: 0.0 }
     }
 
@@ -273,10 +269,8 @@ impl GaussianMixtureGen {
                 }
             }
         }
-        let coords = self.centers[label]
-            .iter()
-            .map(|&c| c + self.noise.sample(&mut self.rng))
-            .collect();
+        let coords =
+            self.centers[label].iter().map(|&c| c + self.noise.sample(&mut self.rng)).collect();
         LabeledPoint { coords, label }
     }
 
@@ -454,12 +448,7 @@ mod tests {
         let centers = g.centers.clone();
         for p in g.take_vec(500) {
             let c = &centers[p.label];
-            let d2: f64 = p
-                .coords
-                .iter()
-                .zip(c)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d2: f64 = p.coords.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
             assert!(d2.sqrt() < 6.0);
         }
     }
@@ -491,8 +480,7 @@ mod tests {
     fn planted_clique_contains_all_clique_edges() {
         let mut g = EdgeStreamGen::new(500, 11);
         let edges = g.planted_clique(10, 200);
-        let set: std::collections::HashSet<(u32, u32)> =
-            edges.iter().copied().collect();
+        let set: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
         for i in 0..10u32 {
             for j in (i + 1)..10 {
                 assert!(set.contains(&(i, j)) || set.contains(&(j, i)));

@@ -28,9 +28,7 @@ fn read32(data: &[u8], i: usize) -> u32 {
 
 #[inline]
 fn round(acc: u64, input: u64) -> u64 {
-    acc.wrapping_add(input.wrapping_mul(P2))
-        .rotate_left(31)
-        .wrapping_mul(P1)
+    acc.wrapping_add(input.wrapping_mul(P2)).rotate_left(31).wrapping_mul(P1)
 }
 
 #[inline]
@@ -209,10 +207,7 @@ mod tests {
         assert_eq!(xxhash64(b"", 0), 0xEF46_DB37_51D8_E999);
         assert_eq!(xxhash64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
         assert_eq!(xxhash64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
-        assert_eq!(
-            xxhash64(b"Hello, world!", 0),
-            0xF58336A78B6F9476
-        );
+        assert_eq!(xxhash64(b"Hello, world!", 0), 0xF58336A78B6F9476);
     }
 
     #[test]
@@ -250,8 +245,7 @@ mod tests {
     fn double_hash_derives_distinct_indices() {
         let dh = DoubleHash::of(&"item", 42);
         let m = 1024;
-        let idx: std::collections::HashSet<usize> =
-            (0..8).map(|i| dh.index(i, m)).collect();
+        let idx: std::collections::HashSet<usize> = (0..8).map(|i| dh.index(i, m)).collect();
         // With h2 odd and m not huge, collisions among 8 probes are unlikely.
         assert!(idx.len() >= 6);
     }

@@ -31,5 +31,5 @@ pub mod rng;
 pub mod stats;
 pub mod traits;
 
-pub use error::{Result, SaError};
+pub use error::{Result, SaError, TopologyError};
 pub use traits::Merge;

@@ -157,8 +157,7 @@ mod tests {
         let mut r = SplitMix64::new(6);
         let p = 0.25;
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| r.geometric(p) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| r.geometric(p) as f64).sum::<f64>() / n as f64;
         let expect = (1.0 - p) / p; // failures before success
         assert!((mean - expect).abs() < 0.1, "mean = {mean}, expect {expect}");
     }

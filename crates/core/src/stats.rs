@@ -96,9 +96,7 @@ impl OnlineStats {
         }
         let n = (self.n + other.n) as f64;
         let delta = other.mean - self.mean;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n;
         self.mean = (self.n as f64 * self.mean + other.n as f64 * other.mean) / n;
         self.m2 = m2;
         self.n += other.n;
@@ -136,23 +134,18 @@ pub fn exact_counts<T: Eq + Hash + Clone>(items: &[T]) -> HashMap<T, u64> {
 
 /// Exact heavy hitters: items with frequency > `theta * n`, sorted by
 /// descending count.
-pub fn exact_heavy_hitters<T: Eq + Hash + Clone>(
-    items: &[T],
-    theta: f64,
-) -> Vec<(T, u64)> {
+pub fn exact_heavy_hitters<T: Eq + Hash + Clone>(items: &[T], theta: f64) -> Vec<(T, u64)> {
     let n = items.len() as f64;
-    let mut hh: Vec<(T, u64)> = exact_counts(items)
-        .into_iter()
-        .filter(|(_, c)| (*c as f64) > theta * n)
-        .collect();
-    hh.sort_by(|a, b| b.1.cmp(&a.1));
+    let mut hh: Vec<(T, u64)> =
+        exact_counts(items).into_iter().filter(|(_, c)| (*c as f64) > theta * n).collect();
+    hh.sort_by_key(|e| std::cmp::Reverse(e.1));
     hh
 }
 
 /// Exact top-k by frequency (ties broken arbitrarily), descending.
 pub fn exact_top_k<T: Eq + Hash + Clone>(items: &[T], k: usize) -> Vec<(T, u64)> {
     let mut all: Vec<(T, u64)> = exact_counts(items).into_iter().collect();
-    all.sort_by(|a, b| b.1.cmp(&a.1));
+    all.sort_by_key(|e| std::cmp::Reverse(e.1));
     all.truncate(k);
     all
 }
@@ -164,10 +157,7 @@ pub fn exact_distinct<T: Eq + Hash>(items: &[T]) -> usize {
 
 /// Exact k-th frequency moment `F_k = Σ f_i^k`.
 pub fn exact_moment<T: Eq + Hash + Clone>(items: &[T], k: u32) -> f64 {
-    exact_counts(items)
-        .values()
-        .map(|&c| (c as f64).powi(k as i32))
-        .sum()
+    exact_counts(items).values().map(|&c| (c as f64).powi(k as i32)).sum()
 }
 
 /// Exact inversion count via merge sort, O(n log n).
@@ -262,8 +252,7 @@ mod tests {
             s.push(x);
         }
         let m = mean(&data);
-        let var =
-            data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64;
         assert!((s.mean() - m).abs() < 1e-12);
         assert!((s.variance() - var).abs() < 1e-12);
         assert_eq!(s.min(), -2.5);

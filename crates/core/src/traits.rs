@@ -125,8 +125,7 @@ mod tests {
 
     #[test]
     fn estimator_traits_are_object_safe() {
-        let mut v: Vec<Box<dyn CardinalityEstimator>> =
-            vec![Box::new(Exact::default())];
+        let mut v: Vec<Box<dyn CardinalityEstimator>> = vec![Box::new(Exact::default())];
         v[0].insert_hash(7);
         assert_eq!(v[0].estimate(), 1.0);
         let _ = SaError::Platform(String::new()); // silence unused import

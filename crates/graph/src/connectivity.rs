@@ -24,12 +24,7 @@ impl StreamingConnectivity {
         if n > u32::MAX as usize {
             return Err(SaError::invalid("n", "too many vertices"));
         }
-        Ok(Self {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            components: n,
-            edges_seen: 0,
-        })
+        Ok(Self { parent: (0..n as u32).collect(), size: vec![1; n], components: n, edges_seen: 0 })
     }
 
     fn find(&mut self, mut x: u32) -> u32 {
@@ -51,11 +46,8 @@ impl StreamingConnectivity {
         if ru == rv {
             return false;
         }
-        let (big, small) = if self.size[ru as usize] >= self.size[rv as usize] {
-            (ru, rv)
-        } else {
-            (rv, ru)
-        };
+        let (big, small) =
+            if self.size[ru as usize] >= self.size[rv as usize] { (ru, rv) } else { (rv, ru) };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         self.components -= 1;

@@ -24,11 +24,7 @@ impl StreamingMatching {
         if n == 0 {
             return Err(SaError::invalid("n", "must be positive"));
         }
-        Ok(Self {
-            matched_to: vec![0; n],
-            matching: Vec::new(),
-            edges_seen: 0,
-        })
+        Ok(Self { matched_to: vec![0; n], matching: Vec::new(), edges_seen: 0 })
     }
 
     /// Process one edge; returns whether it joined the matching.
@@ -111,20 +107,14 @@ impl IndependentSet {
         if self.in_set[u as usize] && self.in_set[v as usize] {
             // Evict the endpoint that has looked busier so far — it is
             // more likely to conflict again.
-            let evict = if self.hits[u as usize] >= self.hits[v as usize] {
-                u
-            } else {
-                v
-            };
+            let evict = if self.hits[u as usize] >= self.hits[v as usize] { u } else { v };
             self.in_set[evict as usize] = false;
         }
     }
 
     /// The surviving independent set.
     pub fn members(&self) -> Vec<u32> {
-        (0..self.n as u32)
-            .filter(|&v| self.in_set[v as usize])
-            .collect()
+        (0..self.n as u32).filter(|&v| self.in_set[v as usize]).collect()
     }
 
     /// Size of the independent set.
@@ -178,10 +168,7 @@ mod tests {
         }
         // Maximal: every streamed edge has a matched endpoint.
         for &(u, v) in &edges {
-            assert!(
-                m.is_matched(u) || m.is_matched(v),
-                "edge ({u},{v}) uncovered"
-            );
+            assert!(m.is_matched(u) || m.is_matched(v), "edge ({u},{v}) uncovered");
         }
     }
 
@@ -195,11 +182,7 @@ mod tests {
                 m.add_edge(u, v);
             }
             let opt = max_matching_exact(12, &edges);
-            assert!(
-                2 * m.size() >= opt,
-                "seed {seed}: greedy {} vs opt {opt}",
-                m.size()
-            );
+            assert!(2 * m.size() >= opt, "seed {seed}: greedy {} vs opt {opt}", m.size());
         }
     }
 

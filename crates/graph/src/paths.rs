@@ -164,8 +164,7 @@ mod tests {
         use std::collections::VecDeque;
         let n = 60usize;
         let mut g = DynamicPaths::new(n).unwrap();
-        let mut reference: std::collections::HashSet<(u32, u32)> =
-            Default::default();
+        let mut reference: std::collections::HashSet<(u32, u32)> = Default::default();
         let mut rng = sa_core::rng::SplitMix64::new(29);
         let bfs = |edges: &std::collections::HashSet<(u32, u32)>, s: u32| {
             let mut adj = vec![Vec::new(); n];

@@ -144,12 +144,7 @@ mod tests {
             }
         }
         // The spanner must actually discard edges on a dense graph.
-        assert!(
-            sp.size() < edges.len() / 2,
-            "kept {} of {}",
-            sp.size(),
-            edges.len()
-        );
+        assert!(sp.size() < edges.len() / 2, "kept {} of {}", sp.size(), edges.len());
     }
 
     #[test]

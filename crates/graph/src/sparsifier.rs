@@ -57,11 +57,7 @@ impl Sparsifier {
     /// Estimate of the weight of the cut separating `side` (a predicate
     /// over vertices) from its complement.
     pub fn cut_estimate<F: Fn(u32) -> bool>(&self, side: F) -> f64 {
-        self.edges
-            .iter()
-            .filter(|&&(u, v)| side(u) != side(v))
-            .count() as f64
-            * self.weight()
+        self.edges.iter().filter(|&&(u, v)| side(u) != side(v)).count() as f64 * self.weight()
     }
 
     /// Edges seen / kept.
@@ -108,10 +104,8 @@ pub fn min_cut(n: usize, edges: &[(u32, u32)], trials: u32, seed: u64) -> usize 
         if groups > 2 {
             continue; // disconnected input: cut of 0 exists
         }
-        let cut = edges
-            .iter()
-            .filter(|&&(u, v)| find(&mut parent, u) != find(&mut parent, v))
-            .count();
+        let cut =
+            edges.iter().filter(|&&(u, v)| find(&mut parent, u) != find(&mut parent, v)).count();
         best = best.min(cut);
     }
     if best == usize::MAX {
@@ -159,10 +153,7 @@ mod tests {
             sp.add_edge(u, v);
         }
         let est = sp.cut_estimate(|v| v < 50);
-        assert!(
-            (est - 200.0).abs() < 60.0,
-            "cut estimate {est} vs true 200"
-        );
+        assert!((est - 200.0).abs() < 60.0, "cut estimate {est} vs true 200");
     }
 
     #[test]
@@ -207,10 +198,7 @@ mod tests {
             sp.add_edge(u, v);
         }
         let cut = min_cut(80, sp.edges(), 200, 11) as f64 * sp.weight();
-        assert!(
-            (cut - 40.0).abs() <= 20.0,
-            "sparsified min cut {cut} vs true 40"
-        );
+        assert!((cut - 40.0).abs() <= 20.0, "sparsified min cut {cut} vs true 40");
     }
 
     #[test]

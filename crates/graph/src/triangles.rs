@@ -129,10 +129,7 @@ pub fn exact_triangles(edges: &[(u32, u32)]) -> u64 {
             if v > u {
                 if let Some(nv) = adj.get(&v) {
                     let (s, l) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
-                    count += s
-                        .iter()
-                        .filter(|&&w| w > v && l.contains(&w))
-                        .count() as u64;
+                    count += s.iter().filter(|&&w| w > v && l.contains(&w)).count() as u64;
                 }
             }
         }

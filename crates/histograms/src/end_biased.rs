@@ -29,11 +29,7 @@ impl<T: Eq + Hash + Clone> EndBiasedHistogram<T> {
             return Err(SaError::invalid("theta", "must be in (0,1)"));
         }
         let k = (2.0 / theta).ceil() as usize;
-        Ok(Self {
-            summary: SpaceSaving::new(k)?,
-            distinct: HashSet::new(),
-            theta,
-        })
+        Ok(Self { summary: SpaceSaving::new(k)?, distinct: HashSet::new(), theta })
     }
 
     /// Observe one value.
@@ -44,11 +40,7 @@ impl<T: Eq + Hash + Clone> EndBiasedHistogram<T> {
 
     /// The exact-count head: values above `θ·n` with their counts.
     pub fn head(&self) -> Vec<(T, u64)> {
-        self.summary
-            .heavy_hitters(self.theta)
-            .into_iter()
-            .map(|h| (h.item, h.count))
-            .collect()
+        self.summary.heavy_hitters(self.theta).into_iter().map(|h| (h.item, h.count)).collect()
     }
 
     /// Estimated frequency of a value: head count if frequent, else the
@@ -100,10 +92,7 @@ mod tests {
         let bound = 100_000.0 * 0.02 / 2.0;
         for (item, c) in h.head() {
             let t = truth[&item] as f64;
-            assert!(
-                (c as f64 - t).abs() <= bound,
-                "head {item}: {c} vs {t}"
-            );
+            assert!((c as f64 - t).abs() <= bound, "head {item}: {c} vs {t}");
         }
         // A mid-tail item is modelled, not zero — and within an order of
         // magnitude on Zipf data.

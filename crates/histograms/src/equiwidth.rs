@@ -18,7 +18,7 @@ impl EquiWidthHistogram {
         if b == 0 {
             return Err(SaError::invalid("b", "must be positive"));
         }
-        if !(lo < hi) {
+        if lo.is_nan() || hi.is_nan() || lo >= hi {
             return Err(SaError::invalid("lo", "must be below hi"));
         }
         Ok(Self { counts: vec![0; b], lo, hi, n: 0 })
@@ -80,10 +80,7 @@ impl EquiWidthHistogram {
 
 impl Merge for EquiWidthHistogram {
     fn merge(&mut self, other: &Self) -> Result<()> {
-        if self.lo != other.lo
-            || self.hi != other.hi
-            || self.counts.len() != other.counts.len()
-        {
+        if self.lo != other.lo || self.hi != other.hi || self.counts.len() != other.counts.len() {
             return Err(SaError::IncompatibleMerge("histogram shape mismatch".into()));
         }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {

@@ -147,9 +147,9 @@ mod tests {
     #[test]
     fn piecewise_constant_input_recovered_exactly() {
         let mut values = Vec::new();
-        values.extend(std::iter::repeat(5.0).take(20));
-        values.extend(std::iter::repeat(-3.0).take(15));
-        values.extend(std::iter::repeat(9.0).take(25));
+        values.extend(std::iter::repeat_n(5.0, 20));
+        values.extend(std::iter::repeat_n(-3.0, 15));
+        values.extend(std::iter::repeat_n(9.0, 25));
         let (buckets, sse) = v_optimal(&values, 3).unwrap();
         assert_eq!(buckets.len(), 3);
         assert_eq!(sse, 0.0);

@@ -66,8 +66,7 @@ impl WaveletSynopsis {
             return Err(SaError::invalid("k", "must be positive"));
         }
         let all = haar_forward(values)?;
-        let mut indexed: Vec<(usize, f64)> =
-            all.into_iter().enumerate().collect();
+        let mut indexed: Vec<(usize, f64)> = all.into_iter().enumerate().collect();
         indexed.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
         indexed.truncate(k);
         Ok(Self { coeffs: indexed, n: values.len() })
@@ -85,12 +84,7 @@ impl WaveletSynopsis {
     /// L₂ error of the reconstruction against the original.
     pub fn l2_error(&self, original: &[f64]) -> f64 {
         let rec = self.reconstruct();
-        original
-            .iter()
-            .zip(&rec)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        original.iter().zip(&rec).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 }
 
@@ -139,9 +133,8 @@ mod tests {
     #[test]
     fn error_decreases_with_k_and_topk_is_optimal() {
         let mut rng = sa_core::rng::SplitMix64::new(3);
-        let values: Vec<f64> = (0..256)
-            .map(|i| (i as f64 / 25.0).sin() * 5.0 + rng.next_f64())
-            .collect();
+        let values: Vec<f64> =
+            (0..256).map(|i| (i as f64 / 25.0).sin() * 5.0 + rng.next_f64()).collect();
         let mut last = f64::INFINITY;
         for k in [4, 16, 64, 256] {
             let syn = WaveletSynopsis::build(&values, k).unwrap();
@@ -155,10 +148,7 @@ mod tests {
         mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let dropped: f64 = mags[16..].iter().sum();
         let syn = WaveletSynopsis::build(&values, 16).unwrap();
-        assert!(
-            (syn.l2_error(&values).powi(2) - dropped).abs() < 1e-6,
-            "top-k not optimal"
-        );
+        assert!((syn.l2_error(&values).powi(2) - dropped).abs() < 1e-6, "top-k not optimal");
     }
 
     #[test]

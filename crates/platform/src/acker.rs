@@ -48,10 +48,7 @@ impl Acker {
     /// Register a new spout tuple: `root` with the XOR of its initial
     /// edge ids.
     pub fn init(&mut self, root: u64, first_edges_xor: u64) {
-        let e = self
-            .entries
-            .entry(root)
-            .or_insert(Entry { xor: 0, born: Instant::now() });
+        let e = self.entries.entry(root).or_insert(Entry { xor: 0, born: Instant::now() });
         e.xor ^= first_edges_xor;
         if e.xor == 0 {
             // Degenerate: a tuple tree that finished instantly.
@@ -67,10 +64,7 @@ impl Acker {
     /// design. (A random-id subset XOR-ing to zero prematurely has
     /// probability ≈ 2⁻⁶⁴ per tree, the protocol's accepted risk.)
     pub fn ack(&mut self, root: u64, ack_val: u64) -> AckOutcome {
-        let e = self
-            .entries
-            .entry(root)
-            .or_insert(Entry { xor: 0, born: Instant::now() });
+        let e = self.entries.entry(root).or_insert(Entry { xor: 0, born: Instant::now() });
         e.xor ^= ack_val;
         if e.xor == 0 {
             self.entries.remove(&root);

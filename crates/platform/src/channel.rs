@@ -1,0 +1,106 @@
+//! Executor links: a thin front over `std::sync::mpsc` that lets one
+//! `Sender` type carry both flavours the two executor models need —
+//! rendezvous-bounded (ProcessPerTask / Heron, blocking send =
+//! backpressure) and unbounded (Multiplexed / Storm).
+
+use std::sync::mpsc;
+
+/// Sending half of a link.
+pub enum Sender<T> {
+    /// Bounded queue: `send` blocks when full (backpressure).
+    Bounded(mpsc::SyncSender<T>),
+    /// Unbounded queue: `send` never blocks.
+    Unbounded(mpsc::Sender<T>),
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Sender::Bounded(s) => Sender::Bounded(s.clone()),
+            Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Deliver `value`; `Err` only when the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), Disconnected> {
+        match self {
+            Sender::Bounded(s) => s.send(value).map_err(|_| Disconnected),
+            Sender::Unbounded(s) => s.send(value).map_err(|_| Disconnected),
+        }
+    }
+}
+
+/// The peer end of the link has hung up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Disconnected;
+
+/// Receiving half of a link.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+/// Why a non-blocking receive returned nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Queue momentarily empty; senders still connected.
+    Empty,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives; `Err` when all senders are gone.
+    pub fn recv(&self) -> Result<T, Disconnected> {
+        self.inner.recv().map_err(|_| Disconnected)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+}
+
+/// A link: `Some(capacity)` = bounded, `None` = unbounded.
+pub fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    match capacity {
+        Some(n) => {
+            let (s, r) = mpsc::sync_channel(n);
+            (Sender::Bounded(s), Receiver { inner: r })
+        }
+        None => {
+            let (s, r) = mpsc::channel();
+            (Sender::Unbounded(s), Receiver { inner: r })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_roundtrip_and_disconnect() {
+        let (tx, rx) = channel::<u32>(Some(2));
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn unbounded_never_blocks() {
+        let (tx, rx) = channel::<u32>(None);
+        for i in 0..10_000 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.recv(), Ok(0));
+    }
+}

@@ -6,9 +6,9 @@
 //! halves are properties of the store interface (atomic commit, dedup
 //! token set), reproduced here in-process (DESIGN.md §2).
 
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Versioned per-key state with dedup tokens. Clones share storage.
 #[derive(Clone, Debug, Default)]
@@ -34,7 +34,7 @@ impl CheckpointStore {
 
     /// Read a key's current `(version, value)`.
     pub fn get(&self, key: &str) -> Option<(u64, Vec<u8>)> {
-        self.inner.lock().state.get(key).cloned()
+        self.inner.lock().unwrap().state.get(key).cloned()
     }
 
     /// Atomically: if `record_id` was already committed for `key`,
@@ -49,7 +49,7 @@ impl CheckpointStore {
     where
         F: FnOnce(Option<&[u8]>) -> Vec<u8>,
     {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let seen = inner.seen.entry(key.to_string()).or_default();
         if !seen.insert(record_id) {
             inner.duplicates += 1;
@@ -65,7 +65,7 @@ impl CheckpointStore {
 
     /// Unconditional (non-deduped) write, used by batch layers.
     pub fn put(&self, key: &str, value: Vec<u8>) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let version = inner.state.get(key).map_or(0, |(v, _)| *v) + 1;
         inner.state.insert(key.to_string(), (version, value));
         inner.commits += 1;
@@ -73,23 +73,18 @@ impl CheckpointStore {
 
     /// Snapshot of all keys (for serving-layer style scans).
     pub fn scan(&self) -> Vec<(String, Vec<u8>)> {
-        self.inner
-            .lock()
-            .state
-            .iter()
-            .map(|(k, (_, v))| (k.clone(), v.clone()))
-            .collect()
+        self.inner.lock().unwrap().state.iter().map(|(k, (_, v))| (k.clone(), v.clone())).collect()
     }
 
     /// (commits, duplicates-dropped) counters.
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         (inner.commits, inner.duplicates)
     }
 
     /// Number of keys.
     pub fn len(&self) -> usize {
-        self.inner.lock().state.len()
+        self.inner.lock().unwrap().state.len()
     }
 
     /// Whether empty.
@@ -100,9 +95,7 @@ impl CheckpointStore {
 
 /// Helper: little-endian i64 counters stored in the value bytes.
 pub fn counter_add(current: Option<&[u8]>, delta: i64) -> Vec<u8> {
-    let cur = current
-        .and_then(|b| b.try_into().ok())
-        .map_or(0, i64::from_le_bytes);
+    let cur = current.and_then(|b| b.try_into().ok()).map_or(0, i64::from_le_bytes);
     (cur + delta).to_le_bytes().to_vec()
 }
 
@@ -146,9 +139,7 @@ mod tests {
                 for i in 0..1_000u64 {
                     // Half the ids collide across threads → dedup.
                     let id = t * 1_000 + i;
-                    s.commit("ctr", id / 2 + (t % 2) * 1_000_000, |c| {
-                        counter_add(c, 1)
-                    });
+                    s.commit("ctr", id / 2 + (t % 2) * 1_000_000, |c| counter_add(c, 1));
                 }
             }));
         }

@@ -17,9 +17,9 @@
 
 use crate::checkpoint::{counter_add, counter_value, CheckpointStore};
 use crate::log::Log;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A keyed-count Lambda deployment (the canonical example: per-key event
 /// counts, e.g. hashtag impressions).
@@ -55,8 +55,8 @@ impl LambdaArchitecture {
         // Batch path: append to the immutable master dataset.
         self.master.append(key, count.to_le_bytes().to_vec());
         // Speed path: incremental real-time view.
-        *self.speed.lock().entry(key.to_string()).or_insert(0) += count;
-        *self.ingested.lock() += 1;
+        *self.speed.lock().unwrap().entry(key.to_string()).or_insert(0) += count;
+        *self.ingested.lock().unwrap() += 1;
     }
 
     /// Stages 2–3: recompute batch views from the *entire* master
@@ -68,9 +68,8 @@ impl LambdaArchitecture {
     pub fn run_batch(&self) -> u64 {
         // Snapshot the horizon first: events appended *during* the batch
         // run stay in the speed layer.
-        let horizon: Vec<u64> = (0..self.master.partitions())
-            .map(|p| self.master.end_offset(p))
-            .collect();
+        let horizon: Vec<u64> =
+            (0..self.master.partitions()).map(|p| self.master.end_offset(p)).collect();
         let mut views: HashMap<String, i64> = HashMap::new();
         let mut folded = 0u64;
         for (p, &end) in horizon.iter().enumerate() {
@@ -87,9 +86,9 @@ impl LambdaArchitecture {
         // Retire speed-layer state now covered by batch views. Events
         // ingested after the horizon snapshot re-enter the speed layer
         // below: recompute the uncovered tail exactly.
-        let mut speed = self.speed.lock();
+        let mut speed = self.speed.lock().unwrap();
         speed.clear();
-        let mut hz = self.batch_horizon.lock();
+        let mut hz = self.batch_horizon.lock().unwrap();
         *hz = horizon.clone();
         drop(hz);
         for (p, &start) in horizon.iter().enumerate() {
@@ -105,11 +104,8 @@ impl LambdaArchitecture {
     /// Stage 5: answer a query by merging the batch view (serving
     /// layer) with the real-time view (speed layer).
     pub fn query(&self, key: &str) -> i64 {
-        let batch = self
-            .serving
-            .get(key)
-            .map_or(0, |(_, v)| counter_value(&v));
-        let speed = self.speed.lock().get(key).copied().unwrap_or(0);
+        let batch = self.serving.get(key).map_or(0, |(_, v)| counter_value(&v));
+        let speed = self.speed.lock().unwrap().get(key).copied().unwrap_or(0);
         batch + speed
     }
 
@@ -120,17 +116,17 @@ impl LambdaArchitecture {
 
     /// Speed-view-only answer.
     pub fn query_speed_only(&self, key: &str) -> i64 {
-        self.speed.lock().get(key).copied().unwrap_or(0)
+        self.speed.lock().unwrap().get(key).copied().unwrap_or(0)
     }
 
     /// Number of events in the speed layer (staleness of batch views).
     pub fn speed_layer_keys(&self) -> usize {
-        self.speed.lock().len()
+        self.speed.lock().unwrap().len()
     }
 
     /// Total events ingested.
     pub fn ingested(&self) -> u64 {
-        *self.ingested.lock()
+        *self.ingested.lock().unwrap()
     }
 
     /// The master dataset (for inspection/recomputation).

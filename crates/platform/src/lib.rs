@@ -3,7 +3,7 @@
 //! A miniature distributed stream-processing engine reproducing the
 //! design space of the paper's Table 2 and the Lambda Architecture of
 //! its Figure 1, on a single machine: worker threads stand in for
-//! cluster nodes and crossbeam channels for network links (DESIGN.md §2
+//! cluster nodes and batched channels for network links (DESIGN.md §2
 //! documents why this preserves the semantics under study).
 //!
 //! What maps to what:
@@ -29,6 +29,7 @@
 //! (parallelism sweeps in t18).
 
 pub mod acker;
+pub mod channel;
 pub mod checkpoint;
 pub mod executor;
 pub mod lambda;
@@ -37,6 +38,10 @@ pub mod metrics;
 pub mod topology;
 pub mod tuple;
 
-pub use executor::{run_topology, ExecutorConfig, ExecutorModel, Semantics};
-pub use topology::{Bolt, Grouping, OutputCollector, Spout, TopologyBuilder};
-pub use tuple::{Tuple, Value};
+pub use executor::{run_topology, ExecutorConfig, ExecutorModel, RunResult, Semantics};
+pub use metrics::{CounterHandle, Metrics, MetricsSnapshot};
+pub use topology::{
+    vec_spout, Bolt, BoltHandle, Grouping, OutputCollector, Spout, SpoutHandle, TopologyBuilder,
+    VecSpout,
+};
+pub use tuple::{tuple_of, Batch, Tuple, Value};

@@ -4,8 +4,8 @@
 //! substitution argument: Samza's guarantees derive from log semantics
 //! — append, offset, replay — which are reproduced here exactly).
 
-use parking_lot::RwLock;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// One record in a partition.
 #[derive(Clone, Debug, PartialEq)]
@@ -32,9 +32,7 @@ impl Log {
             return Err(sa_core::SaError::invalid("partitions", "must be positive"));
         }
         Ok(Self {
-            partitions: Arc::new(
-                (0..partitions).map(|_| RwLock::new(Vec::new())).collect(),
-            ),
+            partitions: Arc::new((0..partitions).map(|_| RwLock::new(Vec::new())).collect()),
         })
     }
 
@@ -51,7 +49,7 @@ impl Log {
     /// Append by key; returns `(partition, offset)`.
     pub fn append(&self, key: &str, value: Vec<u8>) -> (usize, u64) {
         let p = self.partition_of(key);
-        let mut part = self.partitions[p].write();
+        let mut part = self.partitions[p].write().unwrap();
         let offset = part.len() as u64;
         part.push(Record { offset, key: key.to_string(), value });
         (p, offset)
@@ -59,22 +57,18 @@ impl Log {
 
     /// Read up to `max` records from a partition starting at `offset`.
     pub fn read(&self, partition: usize, offset: u64, max: usize) -> Vec<Record> {
-        let part = self.partitions[partition].read();
-        part.iter()
-            .skip(offset as usize)
-            .take(max)
-            .cloned()
-            .collect()
+        let part = self.partitions[partition].read().unwrap();
+        part.iter().skip(offset as usize).take(max).cloned().collect()
     }
 
     /// End offset (next offset to be written) of a partition.
     pub fn end_offset(&self, partition: usize) -> u64 {
-        self.partitions[partition].read().len() as u64
+        self.partitions[partition].read().unwrap().len() as u64
     }
 
     /// Total records across partitions.
     pub fn len(&self) -> usize {
-        self.partitions.iter().map(|p| p.read().len()).sum()
+        self.partitions.iter().map(|p| p.read().unwrap().len()).sum()
     }
 
     /// Whether the log is empty.
@@ -117,9 +111,7 @@ impl Consumer {
 
     /// Records remaining across all partitions.
     pub fn lag(&self) -> u64 {
-        (0..self.log.partitions())
-            .map(|p| self.log.end_offset(p) - self.offsets[p])
-            .sum()
+        (0..self.log.partitions()).map(|p| self.log.end_offset(p) - self.offsets[p]).sum()
     }
 }
 

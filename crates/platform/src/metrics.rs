@@ -1,12 +1,70 @@
-//! Runtime metrics: per-component counters plus a latency histogram,
-//! shared across worker threads.
+//! Topology metrics: pre-registered, allocation-free counters.
+//!
+//! The emit path is the hottest loop in the executor, so counters there
+//! must cost one atomic add — no `String` key construction, no map
+//! lookup, no mutex. Components resolve their counter names ONCE at
+//! topology-build (worker-spawn) time via [`Metrics::register`], which
+//! interns the name and hands back a [`CounterHandle`]: an `Arc` to a
+//! cache-line-sharded bank of `AtomicU64` cells plus a fixed shard
+//! index. [`CounterHandle::add`] is then a single relaxed `fetch_add`
+//! on a shard picked round-robin at registration, so concurrent workers
+//! bumping the same logical counter usually touch different cache
+//! lines.
+//!
+//! Reads are rare (end-of-run, tests, benches) and go through
+//! [`Metrics::snapshot`], which sums the shards into an immutable,
+//! serialisable [`MetricsSnapshot`].
 
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// Shared metrics sink. Clones share storage.
+/// Shards per counter: eight padded cells cover typical worker counts.
+const SHARDS: usize = 8;
+
+/// One `AtomicU64` padded out to its own cache line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCell(AtomicU64);
+
+/// The sharded storage behind one logical counter.
+#[derive(Debug, Default)]
+struct CounterCells {
+    shards: [PaddedCell; SHARDS],
+}
+
+impl CounterCells {
+    fn sum(&self) -> u64 {
+        self.shards.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A pre-resolved counter: clone-cheap, lock-free, allocation-free.
+///
+/// Obtained from [`Metrics::register`] at build time; `add` is the only
+/// thing the hot loop ever calls.
+#[derive(Clone, Debug)]
+pub struct CounterHandle {
+    cells: Arc<CounterCells>,
+    shard: usize,
+}
+
+impl CounterHandle {
+    /// Increment by `delta`: one relaxed `fetch_add`, no allocation, no
+    /// lock.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.cells.shards[self.shard].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current total across all shards (all registrants of this name).
+    pub fn value(&self) -> u64 {
+        self.cells.sum()
+    }
+}
+
+/// Shared metrics sink for one topology run. Clones share storage.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     inner: Arc<MetricsInner>,
@@ -14,7 +72,11 @@ pub struct Metrics {
 
 #[derive(Debug, Default)]
 struct MetricsInner {
-    counters: Mutex<HashMap<String, u64>>,
+    /// Interned counters: name -> cell bank. Touched only at
+    /// registration and snapshot time, never per tuple.
+    registry: Mutex<HashMap<String, Arc<CounterCells>>>,
+    /// Round-robin shard assignment for successive registrations.
+    next_shard: AtomicUsize,
     acked_roots: AtomicU64,
     failed_roots: AtomicU64,
     replayed_roots: AtomicU64,
@@ -27,14 +89,18 @@ impl Metrics {
         Self::default()
     }
 
-    /// Add to a named counter (e.g. `"count.executed"`).
-    pub fn add(&self, name: &str, delta: u64) {
-        *self.inner.counters.lock().entry(name.to_string()).or_insert(0) += delta;
-    }
-
-    /// Read a named counter.
-    pub fn get(&self, name: &str) -> u64 {
-        self.inner.counters.lock().get(name).copied().unwrap_or(0)
+    /// Intern `name` and return a handle bound to one shard of its cell
+    /// bank. Registering the same name again returns a handle over the
+    /// same cells (next shard), so totals aggregate across workers.
+    /// Build-time only — allocates and locks.
+    pub fn register(&self, name: &str) -> CounterHandle {
+        let mut reg = self.inner.registry.lock().unwrap();
+        let cells = reg
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(CounterCells::default()))
+            .clone();
+        let shard = self.inner.next_shard.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        CounterHandle { cells, shard }
     }
 
     /// Record an acked root.
@@ -52,57 +118,147 @@ impl Metrics {
         self.inner.replayed_roots.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record an injected link drop.
-    pub fn link_dropped(&self) {
-        self.inner.dropped_links.fetch_add(1, Ordering::Relaxed);
+    /// Record `n` injected link drops.
+    pub fn links_dropped(&self, n: u64) {
+        self.inner.dropped_links.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Snapshot (acked, failed, replayed, dropped).
-    pub fn root_stats(&self) -> (u64, u64, u64, u64) {
-        (
-            self.inner.acked_roots.load(Ordering::Relaxed),
-            self.inner.failed_roots.load(Ordering::Relaxed),
-            self.inner.replayed_roots.load(Ordering::Relaxed),
-            self.inner.dropped_links.load(Ordering::Relaxed),
-        )
-    }
-
-    /// All named counters, sorted.
-    pub fn counters(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self
+    /// Immutable view of every counter and root stat at this instant.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
             .inner
-            .counters
+            .registry
             .lock()
+            .unwrap()
             .iter()
-            .map(|(k, &c)| (k.clone(), c))
+            .map(|(name, cells)| (name.clone(), cells.sum()))
             .collect();
-        v.sort();
-        v
+        MetricsSnapshot {
+            counters,
+            acked_roots: self.inner.acked_roots.load(Ordering::Relaxed),
+            failed_roots: self.inner.failed_roots.load(Ordering::Relaxed),
+            replayed_roots: self.inner.replayed_roots.load(Ordering::Relaxed),
+            dropped_links: self.inner.dropped_links.load(Ordering::Relaxed),
+        }
     }
+}
+
+/// A point-in-time copy of all metrics, detached from the live cells.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Named counters, in name order.
+    pub counters: BTreeMap<String, u64>,
+    /// Roots fully acked.
+    pub acked_roots: u64,
+    /// Roots failed (explicitly or by timeout).
+    pub failed_roots: u64,
+    /// Roots replayed by spouts.
+    pub replayed_roots: u64,
+    /// Tuples dropped by link failure injection.
+    pub dropped_links: u64,
+}
+
+impl MetricsSnapshot {
+    /// Value of a named counter (0 when never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Render as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", escape_json(k));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "}},\n  \"acked_roots\": {},\n  \"failed_roots\": {},\n  \
+             \"replayed_roots\": {},\n  \"dropped_links\": {}\n}}",
+            self.acked_roots, self.failed_roots, self.replayed_roots, self.dropped_links
+        );
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::thread;
 
     #[test]
-    fn counters_accumulate_across_clones() {
+    fn handles_share_cells_by_name() {
         let m = Metrics::new();
-        let m2 = m.clone();
-        m.add("x.executed", 3);
-        m2.add("x.executed", 4);
-        assert_eq!(m.get("x.executed"), 7);
-        assert_eq!(m.get("missing"), 0);
+        let a = m.register("x.emitted");
+        let b = m.register("x.emitted");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.value(), 7);
+        assert_eq!(m.snapshot().counter("x.emitted"), 7);
+        assert_eq!(m.snapshot().counter("missing"), 0);
     }
 
     #[test]
-    fn root_stats() {
+    fn concurrent_adds_do_not_lose_counts() {
+        let m = Metrics::new();
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let h = m.register("hot");
+            joins.push(thread::spawn(move || {
+                for _ in 0..10_000 {
+                    h.add(1);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(m.snapshot().counter("hot"), 80_000);
+    }
+
+    #[test]
+    fn root_stats_roundtrip_through_snapshot() {
         let m = Metrics::new();
         m.root_acked();
         m.root_failed();
         m.root_failed();
         m.root_replayed();
-        m.link_dropped();
-        assert_eq!(m.root_stats(), (1, 2, 1, 1));
+        m.links_dropped(3);
+        let s = m.snapshot();
+        assert_eq!(
+            (s.acked_roots, s.failed_roots, s.replayed_roots, s.dropped_links),
+            (1, 2, 1, 3)
+        );
+    }
+
+    #[test]
+    fn snapshot_json_escapes_and_brackets() {
+        let m = Metrics::new();
+        m.register("a\"b").add(1);
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\\\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
     }
 }

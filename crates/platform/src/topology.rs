@@ -2,6 +2,7 @@
 //! which the rest of Table 2's systems refine.
 
 use crate::tuple::Tuple;
+use sa_core::TopologyError;
 
 /// Message routing between components (Storm's stream groupings).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -119,6 +120,25 @@ pub struct TopologyBuilder {
     pub(crate) components: Vec<ComponentDecl>,
 }
 
+/// Handle returned by [`TopologyBuilder::set_spout`], mirroring
+/// [`BoltHandle`] so both declaration forms read fluently. Spouts take
+/// no inputs, so the handle only exposes identity.
+pub struct SpoutHandle<'a> {
+    decl: &'a mut ComponentDecl,
+}
+
+impl SpoutHandle<'_> {
+    /// The declared component name.
+    pub fn name(&self) -> &str {
+        &self.decl.name
+    }
+
+    /// The number of task instances declared.
+    pub fn parallelism(&self) -> usize {
+        self.decl.parallelism
+    }
+}
+
 /// Handle for wiring a bolt's inputs.
 pub struct BoltHandle<'a> {
     decl: &'a mut ComponentDecl,
@@ -157,7 +177,8 @@ impl TopologyBuilder {
     }
 
     /// Declare a spout; parallelism = number of instances supplied.
-    pub fn set_spout(&mut self, name: &str, instances: Vec<Box<dyn Spout>>) {
+    /// Returns a handle, symmetric with [`TopologyBuilder::set_bolt`].
+    pub fn set_spout(&mut self, name: &str, instances: Vec<Box<dyn Spout>>) -> SpoutHandle<'_> {
         assert!(!instances.is_empty(), "need at least one spout instance");
         self.components.push(ComponentDecl {
             name: name.to_string(),
@@ -165,6 +186,7 @@ impl TopologyBuilder {
             kind: ComponentKind::Spout(instances),
             inputs: Vec::new(),
         });
+        SpoutHandle { decl: self.components.last_mut().unwrap() }
     }
 
     /// Declare a bolt; parallelism = number of instances supplied.
@@ -181,34 +203,32 @@ impl TopologyBuilder {
     }
 
     /// Validate the wiring: every input references a declared component,
-    /// no self-loops, spouts have no inputs.
+    /// no self-loops, spouts have no inputs, names are unique.
+    ///
+    /// `run_topology` calls this automatically; problems surface as
+    /// typed [`TopologyError`] variants inside [`SaError::Topology`].
     pub fn validate(&self) -> sa_core::Result<()> {
-        use sa_core::SaError;
-        let names: std::collections::HashSet<&str> =
-            self.components.iter().map(|c| c.name.as_str()).collect();
-        if names.len() != self.components.len() {
-            return Err(SaError::Platform("duplicate component name".into()));
+        let mut names = std::collections::HashSet::new();
+        for c in &self.components {
+            if !names.insert(c.name.as_str()) {
+                return Err(TopologyError::DuplicateComponent(c.name.clone()).into());
+            }
         }
         for c in &self.components {
             for (up, _) in &c.inputs {
-                if !names.contains(up.as_str()) {
-                    return Err(SaError::Platform(format!(
-                        "{} subscribes to unknown component {up}",
-                        c.name
-                    )));
-                }
                 if up == &c.name {
-                    return Err(SaError::Platform(format!(
-                        "{} subscribes to itself",
-                        c.name
-                    )));
+                    return Err(TopologyError::SelfLoop(c.name.clone()).into());
+                }
+                if !names.contains(up.as_str()) {
+                    return Err(TopologyError::UnknownUpstream {
+                        component: c.name.clone(),
+                        upstream: up.clone(),
+                    }
+                    .into());
                 }
             }
             if matches!(c.kind, ComponentKind::Spout(_)) && !c.inputs.is_empty() {
-                return Err(SaError::Platform(format!(
-                    "spout {} cannot have inputs",
-                    c.name
-                )));
+                return Err(TopologyError::SpoutWithInputs(c.name.clone()).into());
             }
         }
         Ok(())
@@ -228,18 +248,10 @@ pub struct VecSpout {
 impl VecSpout {
     /// A spout that will emit the given tuples (once each, plus replays).
     pub fn new(tuples: Vec<Tuple>) -> Self {
-        let queue: std::collections::VecDeque<(u64, Tuple)> = tuples
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| (i as u64 + 1, t))
-            .collect();
+        let queue: std::collections::VecDeque<(u64, Tuple)> =
+            tuples.into_iter().enumerate().map(|(i, t)| (i as u64 + 1, t)).collect();
         let next_seq = queue.len() as u64 + 1;
-        Self {
-            queue,
-            in_flight: std::collections::HashMap::new(),
-            next_seq,
-            replays: 0,
-        }
+        Self { queue, in_flight: std::collections::HashMap::new(), next_seq, replays: 0 }
     }
 }
 
@@ -282,23 +294,20 @@ mod tests {
     fn builder_validates_wiring() {
         let mut tb = TopologyBuilder::new();
         tb.set_spout("s", vec![vec_spout(vec![])]);
-        tb.set_bolt(
-            "b",
-            vec![Box::new(|_: &Tuple, _: &mut OutputCollector| {}) as Box<dyn Bolt>],
-        )
-        .shuffle("s");
+        tb.set_bolt("b", vec![Box::new(|_: &Tuple, _: &mut OutputCollector| {}) as Box<dyn Bolt>])
+            .shuffle("s");
         assert!(tb.validate().is_ok());
     }
 
     #[test]
     fn builder_rejects_unknown_upstream() {
         let mut tb = TopologyBuilder::new();
-        tb.set_bolt(
-            "b",
-            vec![Box::new(|_: &Tuple, _: &mut OutputCollector| {}) as Box<dyn Bolt>],
-        )
-        .shuffle("ghost");
-        assert!(tb.validate().is_err());
+        tb.set_bolt("b", vec![Box::new(|_: &Tuple, _: &mut OutputCollector| {}) as Box<dyn Bolt>])
+            .shuffle("ghost");
+        assert!(matches!(
+            tb.validate(),
+            Err(sa_core::SaError::Topology(TopologyError::UnknownUpstream { .. }))
+        ));
     }
 
     #[test]
@@ -306,7 +315,18 @@ mod tests {
         let mut tb = TopologyBuilder::new();
         tb.set_spout("x", vec![vec_spout(vec![])]);
         tb.set_spout("x", vec![vec_spout(vec![])]);
-        assert!(tb.validate().is_err());
+        assert!(matches!(
+            tb.validate(),
+            Err(sa_core::SaError::Topology(TopologyError::DuplicateComponent(n))) if n == "x"
+        ));
+    }
+
+    #[test]
+    fn spout_handle_reports_identity() {
+        let mut tb = TopologyBuilder::new();
+        let h = tb.set_spout("s", vec![vec_spout(vec![]), vec_spout(vec![])]);
+        assert_eq!(h.name(), "s");
+        assert_eq!(h.parallelism(), 2);
     }
 
     #[test]

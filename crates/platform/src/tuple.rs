@@ -1,10 +1,9 @@
 //! The data model: dynamically typed tuples, as in Storm/Heron.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single field value.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     /// 64-bit signed integer.
     Int(i64),
@@ -91,7 +90,7 @@ impl From<bool> for Value {
 }
 
 /// A tuple flowing through the topology.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Tuple {
     /// Field values.
     pub values: Vec<Value>,
@@ -133,6 +132,13 @@ pub fn tuple_of<V: Into<Value>, I: IntoIterator<Item = V>>(vals: I) -> Tuple {
     Tuple::new(vals.into_iter().map(Into::into).collect())
 }
 
+/// The unit of transfer on every executor link: a run of tuples that
+/// travel, get routed, and get acked together. Batching amortises
+/// channel synchronisation and acker locking across `len()` tuples;
+/// `ExecutorConfig::batch_size` bounds it and the linger policy flushes
+/// partial batches so latency stays bounded under trickle input.
+pub type Batch = Vec<Tuple>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,15 +172,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn debug_render_carries_fields() {
         let t = tuple_of(["hello"]).at(7);
-        let json = serde_json_compat(&t);
-        assert!(json.contains("hello"));
-    }
-
-    // serde_json is not a dependency of this crate; just check the
-    // Serialize impl compiles through a simple writer.
-    fn serde_json_compat(t: &Tuple) -> String {
-        format!("{t:?}")
+        let text = format!("{t:?}");
+        assert!(text.contains("hello"));
     }
 }

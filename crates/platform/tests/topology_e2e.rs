@@ -11,8 +11,8 @@ use sa_platform::checkpoint::{counter_add, counter_value, CheckpointStore};
 use sa_platform::topology::vec_spout;
 use sa_platform::tuple::tuple_of;
 use sa_platform::{
-    run_topology, Bolt, ExecutorConfig, ExecutorModel, OutputCollector,
-    Semantics, TopologyBuilder, Tuple, Value,
+    run_topology, Bolt, ExecutorConfig, ExecutorModel, OutputCollector, Semantics, TopologyBuilder,
+    Tuple, Value,
 };
 use std::collections::HashMap;
 use std::time::Duration;
@@ -26,10 +26,7 @@ impl Bolt for SplitBolt {
             return;
         };
         for (i, word) in sentence.split_whitespace().enumerate() {
-            out.emit(Tuple::new(vec![
-                Value::Str(word.to_string()),
-                Value::Int(i as i64),
-            ]));
+            out.emit(Tuple::new(vec![Value::Str(word.to_string()), Value::Int(i as i64)]));
         }
     }
 }
@@ -99,16 +96,19 @@ fn collect_counts(outputs: &HashMap<String, Vec<Tuple>>, name: &str) -> HashMap<
     m
 }
 
-fn wordcount_builder(n_sentences: usize, splitters: usize, counters: usize) -> (TopologyBuilder, HashMap<String, i64>) {
+fn wordcount_builder(
+    n_sentences: usize,
+    splitters: usize,
+    counters: usize,
+) -> (TopologyBuilder, HashMap<String, i64>) {
     let (tuples, truth) = sentences(n_sentences);
     let mut tb = TopologyBuilder::new();
     tb.set_spout("sentences", vec![vec_spout(tuples)]);
     let split: Vec<Box<dyn Bolt>> =
         (0..splitters).map(|_| Box::new(SplitBolt) as Box<dyn Bolt>).collect();
     tb.set_bolt("split", split).shuffle("sentences");
-    let count: Vec<Box<dyn Bolt>> = (0..counters)
-        .map(|_| Box::new(CountBolt::default()) as Box<dyn Bolt>)
-        .collect();
+    let count: Vec<Box<dyn Bolt>> =
+        (0..counters).map(|_| Box::new(CountBolt::default()) as Box<dyn Bolt>).collect();
     tb.set_bolt("count", count).fields("split", vec![0]);
     (tb, truth)
 }
@@ -116,11 +116,9 @@ fn wordcount_builder(n_sentences: usize, splitters: usize, counters: usize) -> (
 #[test]
 fn wordcount_exact_under_at_most_once_no_failures() {
     let (tb, truth) = wordcount_builder(200, 3, 4);
-    let result = run_topology(
-        tb,
-        ExecutorConfig { semantics: Semantics::AtMostOnce, ..Default::default() },
-    )
-    .unwrap();
+    let result =
+        run_topology(tb, ExecutorConfig { semantics: Semantics::AtMostOnce, ..Default::default() })
+            .unwrap();
     assert!(result.clean_shutdown);
     let counts = collect_counts(&result.outputs, "count");
     assert_eq!(counts, truth);
@@ -137,9 +135,9 @@ fn wordcount_exact_under_at_least_once_no_failures() {
     assert!(result.clean_shutdown);
     let counts = collect_counts(&result.outputs, "count");
     assert_eq!(counts, truth);
-    let (acked, failed, _, _) = result.metrics.root_stats();
-    assert_eq!(acked, 200);
-    assert_eq!(failed, 0);
+    let snap = result.metrics.snapshot();
+    assert_eq!(snap.acked_roots, 200);
+    assert_eq!(snap.failed_roots, 0);
 }
 
 #[test]
@@ -158,8 +156,7 @@ fn at_most_once_loses_data_under_link_failures() {
     let total: i64 = counts.values().sum();
     let true_total: i64 = truth.values().sum();
     assert!(total < true_total, "lost nothing despite 10% drops");
-    let (_, _, _, dropped) = result.metrics.root_stats();
-    assert!(dropped > 0);
+    assert!(result.metrics.snapshot().dropped_links > 0);
 }
 
 #[test]
@@ -182,10 +179,10 @@ fn at_least_once_replays_and_never_undercounts() {
         let got = counts.get(w).copied().unwrap_or(0);
         assert!(got >= t, "undercounted {w}: {got} < {t}");
     }
-    let (acked, _, replayed, dropped) = result.metrics.root_stats();
-    assert_eq!(acked, 150, "every root eventually acked");
-    assert!(replayed > 0, "no replays despite drops");
-    assert!(dropped > 0);
+    let snap = result.metrics.snapshot();
+    assert_eq!(snap.acked_roots, 150, "every root eventually acked");
+    assert!(snap.replayed_roots > 0, "no replays despite drops");
+    assert!(snap.dropped_links > 0);
 }
 
 #[test]
@@ -194,12 +191,9 @@ fn exactly_once_is_exact_under_link_failures() {
     let store = CheckpointStore::new();
     let mut tb = TopologyBuilder::new();
     tb.set_spout("sentences", vec![vec_spout(tuples)]);
-    tb.set_bolt("split", vec![Box::new(SplitBolt) as Box<dyn Bolt>])
-        .shuffle("sentences");
+    tb.set_bolt("split", vec![Box::new(SplitBolt) as Box<dyn Bolt>]).shuffle("sentences");
     let counters: Vec<Box<dyn Bolt>> = (0..3)
-        .map(|_| {
-            Box::new(ExactlyOnceCountBolt { store: store.clone() }) as Box<dyn Bolt>
-        })
+        .map(|_| Box::new(ExactlyOnceCountBolt { store: store.clone() }) as Box<dyn Bolt>)
         .collect();
     tb.set_bolt("count", counters).fields("split", vec![0]);
     let result = run_topology(
@@ -238,28 +232,20 @@ fn fields_grouping_sends_key_to_single_task() {
         }
         fn flush(&mut self, out: &mut OutputCollector) {
             for (w, c) in &self.counts {
-                out.emit(tuple_of([
-                    Value::Str(w.clone()),
-                    Value::Int(*c),
-                    Value::Int(self.tag),
-                ]));
+                out.emit(tuple_of([Value::Str(w.clone()), Value::Int(*c), Value::Int(self.tag)]));
             }
         }
     }
     let (tuples, _) = sentences(100);
     let mut tb = TopologyBuilder::new();
     tb.set_spout("sentences", vec![vec_spout(tuples)]);
-    tb.set_bolt("split", vec![Box::new(SplitBolt) as Box<dyn Bolt>])
-        .shuffle("sentences");
+    tb.set_bolt("split", vec![Box::new(SplitBolt) as Box<dyn Bolt>]).shuffle("sentences");
     let counters: Vec<Box<dyn Bolt>> = (0..4)
-        .map(|i| {
-            Box::new(TaggedCount { tag: i, counts: HashMap::new() }) as Box<dyn Bolt>
-        })
+        .map(|i| Box::new(TaggedCount { tag: i, counts: HashMap::new() }) as Box<dyn Bolt>)
         .collect();
     tb.set_bolt("count", counters).fields("split", vec![0]);
     let result = run_topology(tb, ExecutorConfig::default()).unwrap();
-    let mut word_tasks: HashMap<String, std::collections::HashSet<i64>> =
-        HashMap::new();
+    let mut word_tasks: HashMap<String, std::collections::HashSet<i64>> = HashMap::new();
     for t in &result.outputs["count"] {
         let w = t.get(0).and_then(Value::as_str).unwrap().to_string();
         let tag = t.get(2).and_then(Value::as_int).unwrap();
@@ -330,8 +316,7 @@ fn multi_stage_pipeline_with_filter() {
     let (tuples, truth) = sentences(120);
     let mut tb = TopologyBuilder::new();
     tb.set_spout("sentences", vec![vec_spout(tuples)]);
-    tb.set_bolt("split", vec![Box::new(SplitBolt) as Box<dyn Bolt>])
-        .shuffle("sentences");
+    tb.set_bolt("split", vec![Box::new(SplitBolt) as Box<dyn Bolt>]).shuffle("sentences");
     tb.set_bolt(
         "filter",
         vec![Box::new(|t: &Tuple, out: &mut OutputCollector| {
@@ -341,11 +326,8 @@ fn multi_stage_pipeline_with_filter() {
         }) as Box<dyn Bolt>],
     )
     .shuffle("split");
-    tb.set_bolt(
-        "count",
-        vec![Box::new(CountBolt::default()) as Box<dyn Bolt>],
-    )
-    .fields("filter", vec![0]);
+    tb.set_bolt("count", vec![Box::new(CountBolt::default()) as Box<dyn Bolt>])
+        .fields("filter", vec![0]);
     let result = run_topology(tb, ExecutorConfig::default()).unwrap();
     let counts = collect_counts(&result.outputs, "count");
     assert_eq!(counts.len(), 1);
@@ -360,14 +342,12 @@ fn parallel_spouts_partition_the_stream() {
     let right = tuples[mid..].to_vec();
     let mut tb = TopologyBuilder::new();
     tb.set_spout("sentences", vec![vec_spout(left), vec_spout(right)]);
-    tb.set_bolt("split", vec![Box::new(SplitBolt) as Box<dyn Bolt>])
-        .shuffle("sentences");
+    tb.set_bolt("split", vec![Box::new(SplitBolt) as Box<dyn Bolt>]).shuffle("sentences");
     tb.set_bolt("count", vec![Box::new(CountBolt::default()) as Box<dyn Bolt>])
         .fields("split", vec![0]);
     let result = run_topology(tb, ExecutorConfig::default()).unwrap();
     assert!(result.clean_shutdown);
     let counts = collect_counts(&result.outputs, "count");
     assert_eq!(counts, truth);
-    let (acked, _, _, _) = result.metrics.root_stats();
-    assert_eq!(acked, 200);
+    assert_eq!(result.metrics.snapshot().acked_roots, 200);
 }

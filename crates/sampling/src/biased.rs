@@ -26,12 +26,7 @@ impl<T> BiasedReservoir<T> {
         if k == 0 {
             return Err(SaError::invalid("k", "must be positive"));
         }
-        Ok(Self {
-            sample: Vec::with_capacity(k),
-            k,
-            n: 0,
-            rng: SplitMix64::new(0xB1A5),
-        })
+        Ok(Self { sample: Vec::with_capacity(k), k, n: 0, rng: SplitMix64::new(0xB1A5) })
     }
 
     /// Use a specific RNG seed.
@@ -83,10 +78,7 @@ mod tests {
             br.offer(i as f64);
         }
         let mean = sa_core::stats::mean(br.sample());
-        assert!(
-            mean > 0.95 * n as f64,
-            "mean = {mean}, expected strong recency bias"
-        );
+        assert!(mean > 0.95 * n as f64, "mean = {mean}, expected strong recency bias");
     }
 
     #[test]

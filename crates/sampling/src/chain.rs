@@ -74,9 +74,7 @@ impl<T: Clone> ChainSampler<T> {
                 self.chains[c].links.clear();
                 self.chains[c].links.push_back((i, item.clone()));
                 self.chains[c].awaiting = i + 1 + self.rng.next_below(w);
-            } else if self.chains[c].awaiting == i
-                && !self.chains[c].links.is_empty()
-            {
+            } else if self.chains[c].awaiting == i && !self.chains[c].links.is_empty() {
                 // Capture the pre-elected successor and elect the next.
                 self.chains[c].links.push_back((i, item.clone()));
                 self.chains[c].awaiting = i + 1 + self.rng.next_below(w);
@@ -91,10 +89,7 @@ impl<T: Clone> ChainSampler<T> {
         self.chains
             .iter()
             .filter_map(|c| {
-                c.links
-                    .front()
-                    .filter(|&&(idx, _)| idx >= oldest_live)
-                    .map(|(_, item)| item)
+                c.links.front().filter(|&&(idx, _)| idx >= oldest_live).map(|(_, item)| item)
             })
             .collect()
     }

@@ -91,8 +91,8 @@ mod tests {
                 ds.offer(1, ("site1", i));
             }
             let sample = ds.global_sample().unwrap();
-            frac += sample.iter().filter(|(s, _)| *s == "site0").count() as f64
-                / sample.len() as f64;
+            frac +=
+                sample.iter().filter(|(s, _)| *s == "site0").count() as f64 / sample.len() as f64;
         }
         frac /= runs as f64;
         assert!((frac - 0.9).abs() < 0.05, "site0 fraction = {frac}");

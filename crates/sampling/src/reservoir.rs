@@ -93,15 +93,12 @@ impl<T> Reservoir<T> {
     /// Draw the next skip length for Algorithm L.
     fn advance_l(&mut self) {
         // w *= exp(ln(u)/k); skip ~ floor(ln(u')/ln(1-w)).
-        self.w *= (self.rng.next_f64().max(f64::MIN_POSITIVE).ln()
-            / self.k as f64)
-            .exp();
+        self.w *= (self.rng.next_f64().max(f64::MIN_POSITIVE).ln() / self.k as f64).exp();
         let denom = (1.0 - self.w).ln();
         self.skip = if denom == 0.0 {
             u64::MAX
         } else {
-            (self.rng.next_f64().max(f64::MIN_POSITIVE).ln() / denom).floor()
-                as u64
+            (self.rng.next_f64().max(f64::MIN_POSITIVE).ln() / denom).floor() as u64
         };
     }
 
@@ -144,7 +141,11 @@ impl<T: Clone> Merge for Reservoir<T> {
         let p_self = self.n as f64 / total as f64;
         while merged.len() < want {
             let from_self = self.rng.bernoulli(p_self);
-            let next = if from_self { mi.next().or_else(|| ti.next()) } else { ti.next().or_else(|| mi.next()) };
+            let next = if from_self {
+                mi.next().or_else(|| ti.next())
+            } else {
+                ti.next().or_else(|| mi.next())
+            };
             match next {
                 Some(item) => merged.push(item),
                 None => break,
@@ -214,8 +215,7 @@ mod tests {
         let n = 100u64;
         let mut hits = 0;
         for seed in 0..runs {
-            let mut r =
-                Reservoir::new(k, ReservoirAlgo::R).unwrap().with_seed(seed);
+            let mut r = Reservoir::new(k, ReservoirAlgo::R).unwrap().with_seed(seed);
             for i in 0..n {
                 r.offer(i);
             }
@@ -253,12 +253,8 @@ mod tests {
         let mut big_fraction = 0.0;
         let runs = 50;
         for seed in 0..runs {
-            let mut a = Reservoir::new(100, ReservoirAlgo::R)
-                .unwrap()
-                .with_seed(seed);
-            let mut b = Reservoir::new(100, ReservoirAlgo::R)
-                .unwrap()
-                .with_seed(seed + 1000);
+            let mut a = Reservoir::new(100, ReservoirAlgo::R).unwrap().with_seed(seed);
+            let mut b = Reservoir::new(100, ReservoirAlgo::R).unwrap().with_seed(seed + 1000);
             for i in 0..90_000u64 {
                 a.offer(("big", i));
             }
@@ -267,18 +263,11 @@ mod tests {
             }
             a.merge(&b).unwrap();
             assert_eq!(a.n(), 100_000);
-            big_fraction += a
-                .sample()
-                .iter()
-                .filter(|(side, _)| *side == "big")
-                .count() as f64
-                / 100.0;
+            big_fraction +=
+                a.sample().iter().filter(|(side, _)| *side == "big").count() as f64 / 100.0;
         }
         big_fraction /= runs as f64;
-        assert!(
-            (big_fraction - 0.9).abs() < 0.05,
-            "big fraction = {big_fraction}"
-        );
+        assert!((big_fraction - 0.9).abs() < 0.05, "big fraction = {big_fraction}");
     }
 
     #[test]

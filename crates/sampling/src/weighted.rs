@@ -60,12 +60,7 @@ impl<T> WeightedReservoir<T> {
         if k == 0 {
             return Err(SaError::invalid("k", "must be positive"));
         }
-        Ok(Self {
-            heap: BinaryHeap::with_capacity(k + 1),
-            k,
-            n: 0,
-            rng: SplitMix64::new(0xAE5),
-        })
+        Ok(Self { heap: BinaryHeap::with_capacity(k + 1), k, n: 0, rng: SplitMix64::new(0xAE5) })
     }
 
     /// Use a specific RNG seed.
@@ -125,18 +120,11 @@ mod tests {
                 wr.offer(("heavy", i), 10.0);
                 wr.offer(("light", i), 1.0);
             }
-            heavy_frac += wr
-                .sample()
-                .iter()
-                .filter(|((s, _), _)| *s == "heavy")
-                .count() as f64
-                / 100.0;
+            heavy_frac +=
+                wr.sample().iter().filter(|((s, _), _)| *s == "heavy").count() as f64 / 100.0;
         }
         heavy_frac /= runs as f64;
-        assert!(
-            (heavy_frac - 10.0 / 11.0).abs() < 0.05,
-            "heavy fraction = {heavy_frac}"
-        );
+        assert!((heavy_frac - 10.0 / 11.0).abs() < 0.05, "heavy fraction = {heavy_frac}");
     }
 
     #[test]
@@ -146,8 +134,7 @@ mod tests {
         for i in 0..n {
             wr.offer(i, 1.0);
         }
-        let mean: f64 = wr.sample().iter().map(|(&v, _)| v as f64).sum::<f64>()
-            / 2_000.0;
+        let mean: f64 = wr.sample().iter().map(|(&v, _)| v as f64).sum::<f64>() / 2_000.0;
         let mid = n as f64 / 2.0;
         assert!((mean - mid).abs() < mid * 0.05, "mean = {mean}");
     }

@@ -126,8 +126,7 @@ impl SampledInversions {
         // Pr[x_i > x over i < t]; scale by (t-1) earlier elements.
         if !self.sample.is_empty() && self.n > 1 {
             let greater = self.sample.iter().filter(|&&s| s > x).count();
-            self.estimate += greater as f64 / self.sample.len() as f64
-                * (self.n - 1) as f64;
+            self.estimate += greater as f64 / self.sample.len() as f64 * (self.n - 1) as f64;
         }
         // Reservoir over elements.
         if self.sample.len() < self.k {
@@ -166,11 +165,7 @@ mod tests {
             for &x in &v {
                 counter.push(x);
             }
-            assert_eq!(
-                counter.total(),
-                exact_inversions(&v),
-                "trial {trial}"
-            );
+            assert_eq!(counter.total(), exact_inversions(&v), "trial {trial}");
         }
     }
 

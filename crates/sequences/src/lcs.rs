@@ -109,19 +109,13 @@ mod tests {
     fn matches_reference_on_random_streams() {
         let mut rng = sa_core::rng::SplitMix64::new(3);
         for trial in 0..20 {
-            let query: Vec<u8> =
-                (0..30).map(|_| rng.next_below(4) as u8).collect();
-            let stream: Vec<u8> =
-                (0..200).map(|_| rng.next_below(4) as u8).collect();
+            let query: Vec<u8> = (0..30).map(|_| rng.next_below(4) as u8).collect();
+            let stream: Vec<u8> = (0..200).map(|_| rng.next_below(4) as u8).collect();
             let mut lcs = StreamingLcs::new(query.clone()).unwrap();
             for (i, &x) in stream.iter().enumerate() {
                 let got = lcs.push(x);
                 if i % 37 == 0 {
-                    assert_eq!(
-                        got,
-                        lcs_exact(&stream[..=i], &query),
-                        "trial {trial}, prefix {i}"
-                    );
+                    assert_eq!(got, lcs_exact(&stream[..=i], &query), "trial {trial}, prefix {i}");
                 }
             }
             assert_eq!(lcs.lcs_len(), lcs_exact(&stream, &query));

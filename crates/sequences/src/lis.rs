@@ -154,8 +154,7 @@ mod tests {
     fn matches_quadratic_reference() {
         let mut rng = sa_core::rng::SplitMix64::new(1);
         for trial in 0..20 {
-            let v: Vec<i64> =
-                (0..200).map(|_| rng.next_below(50) as i64).collect();
+            let v: Vec<i64> = (0..200).map(|_| rng.next_below(50) as i64).collect();
             let mut p = PatienceLis::new();
             for &x in &v {
                 p.push(x);

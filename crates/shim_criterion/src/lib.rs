@@ -1,0 +1,159 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The vendored environment has no registry access, so this package
+//! reproduces the slice of criterion's API the t-series benches use:
+//! groups, `bench_function`/`bench_with_input`, `Throughput`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//! Measurement is a plain adaptive wall-clock loop — good enough to
+//! compare configurations on one machine, with none of criterion's
+//! statistics.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque-value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared per-iteration workload, for items/sec reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name (`function/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { full: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup { _c: self, throughput: None, target: Duration::from_millis(300) }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one(name, None, Duration::from_millis(300), f);
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    target: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration workload for items/sec reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Criterion compatibility: sample count maps onto measure time.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.target = Duration::from_millis(30 * n.clamp(5, 100) as u64);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.throughput, self.target, f);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.full, self.throughput, self.target, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing already happened per bench).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    target: Duration,
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Measure `f`: one warmup call, then enough iterations to fill the
+    /// measurement window.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let reps = (self.target.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 1e7) as u64;
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        self.mean_secs = t1.elapsed().as_secs_f64() / reps as f64;
+    }
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    target: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { target, mean_secs: 0.0 };
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if b.mean_secs > 0.0 => {
+            format!("  {:.2} Melem/s", n as f64 / b.mean_secs / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if b.mean_secs > 0.0 => {
+            format!("  {:.2} MiB/s", n as f64 / b.mean_secs / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("  {name:<40} {:>12.3} µs/iter{rate}", b.mean_secs * 1e6);
+}
+
+/// Bundle benchmark functions into one runner, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

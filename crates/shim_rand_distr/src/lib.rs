@@ -1,0 +1,191 @@
+//! Offline stand-in for the `rand_distr` crate: the two distributions
+//! this workspace's generators use (`Normal`, `Zipf`), API-compatible
+//! with `rand_distr` 0.4 at the call sites in `sa-core::generators`.
+
+use rand::RngCore;
+use std::fmt;
+
+/// A distribution that can be sampled with any [`RngCore`].
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error for [`Normal`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution, sampled by Box–Muller (no cached spare, so
+/// sampling is stateless and `&self`).
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// `N(mean, std_dev²)`. Errors when `std_dev` is negative or NaN.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The distribution's standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let uniform = |rng: &mut R| (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // Box–Muller; 1-u keeps the log argument in (0, 1].
+        let u1 = 1.0 - uniform(rng);
+        let u2 = uniform(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Parameter error for [`Zipf`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZipfError;
+
+impl fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Zipf needs n >= 1 and s > 0")
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over `{1, …, n}` with `P(k) ∝ k^(-s)`, sampled by
+/// Hörmann–Derflinger rejection-inversion (O(1) per draw, no tables).
+#[derive(Clone, Copy, Debug)]
+pub struct Zipf<F> {
+    n: F,
+    s: F,
+    /// H(0.5): lower end of the inversion domain.
+    h_lo: F,
+    /// H(n + 0.5): upper end of the inversion domain.
+    h_hi: F,
+}
+
+impl Zipf<f64> {
+    /// Zipf over `n` ranks with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n < 1 || s.is_nan() || s <= 0.0 {
+            return Err(ZipfError);
+        }
+        let nf = n as f64;
+        let (h_lo, h_hi) = (big_h(0.5, s), big_h(nf + 0.5, s));
+        Ok(Self { n: nf, s, h_lo, h_hi })
+    }
+}
+
+/// Antiderivative of `x^(-s)` (the continuous majorant's CDF core).
+fn big_h(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        x.ln()
+    } else {
+        (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+    }
+}
+
+fn big_h_inv(y: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        y.exp()
+    } else {
+        (1.0 + (1.0 - s) * y).powf(1.0 / (1.0 - s))
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u01 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let u = self.h_lo + u01 * (self.h_hi - self.h_lo);
+            let x = big_h_inv(u, self.s).clamp(0.5, self.n + 0.5);
+            let k = x.round().clamp(1.0, self.n);
+            // Accept when u falls inside rank k's exact mass under the
+            // majorant: [H(k-0.5), H(k-0.5) + k^(-s)).
+            if u - big_h(k - 0.5, self.s) < k.powf(-self.s) {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_sigma() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zipf_in_range_and_skewed() {
+        let d = Zipf::new(1000, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = vec![0u32; 1001];
+        let n = 100_000;
+        for _ in 0..n {
+            let k = d.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&k));
+            counts[k as usize] += 1;
+        }
+        // Rank 1 under Zipf(1.1) holds a large constant share; uniform
+        // share would be 100.
+        assert!(counts[1] > 10 * (n / 1000), "rank-1 count {}", counts[1]);
+        assert!(counts[1] > counts[2] && counts[2] > counts[10]);
+    }
+
+    #[test]
+    fn zipf_exponent_one_matches_harmonic_head() {
+        let d = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000usize;
+        let mut c1 = 0usize;
+        for _ in 0..n {
+            if d.sample(&mut rng) as u64 == 1 {
+                c1 += 1;
+            }
+        }
+        // P(1) = 1/H_100 ≈ 0.1928.
+        let p = c1 as f64 / n as f64;
+        assert!((p - 0.1928).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+    }
+}

@@ -75,11 +75,7 @@ impl HyperLogLog {
     /// The raw (uncorrected) HLL estimate.
     pub fn raw_estimate(&self) -> f64 {
         let m = self.registers.len() as f64;
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-i32::from(r)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-i32::from(r))).sum();
         Self::alpha(self.registers.len()) * m * m / sum
     }
 

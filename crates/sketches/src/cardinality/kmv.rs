@@ -38,20 +38,13 @@ impl Kmv {
     /// Estimated Jaccard similarity with another KMV of the same k:
     /// the fraction of the combined bottom-k present in both sets.
     pub fn jaccard(&self, other: &Self) -> f64 {
-        let union: BTreeSet<u64> = self
-            .mins
-            .iter()
-            .chain(other.mins.iter())
-            .copied()
-            .collect();
+        let union: BTreeSet<u64> = self.mins.iter().chain(other.mins.iter()).copied().collect();
         let bottom: Vec<u64> = union.iter().take(self.k).copied().collect();
         if bottom.is_empty() {
             return 0.0;
         }
-        let both = bottom
-            .iter()
-            .filter(|h| self.mins.contains(h) && other.mins.contains(h))
-            .count();
+        let both =
+            bottom.iter().filter(|h| self.mins.contains(h) && other.mins.contains(h)).count();
         both as f64 / bottom.len() as f64
     }
 

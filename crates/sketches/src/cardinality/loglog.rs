@@ -49,8 +49,7 @@ impl CardinalityEstimator for LogLog {
 
     fn estimate(&self) -> f64 {
         let m = self.registers.len() as f64;
-        let mean: f64 =
-            self.registers.iter().map(|&r| f64::from(r)).sum::<f64>() / m;
+        let mean: f64 = self.registers.iter().map(|&r| f64::from(r)).sum::<f64>() / m;
         ALPHA_INF * m * 2f64.powf(mean)
     }
 

@@ -1,7 +1,6 @@
 //! Flajolet–Martin probabilistic counting with stochastic averaging
 //! (PCSA), FOCS 1983.
 
-
 use sa_core::traits::CardinalityEstimator;
 use sa_core::{Merge, Result, SaError};
 
@@ -50,12 +49,8 @@ impl CardinalityEstimator for Pcsa {
 
     fn estimate(&self) -> f64 {
         let m = self.maps.len() as f64;
-        let mean_r: f64 = self
-            .maps
-            .iter()
-            .map(|&map| f64::from(Self::lowest_zero(map)))
-            .sum::<f64>()
-            / m;
+        let mean_r: f64 =
+            self.maps.iter().map(|&map| f64::from(Self::lowest_zero(map))).sum::<f64>() / m;
         m / PHI * 2f64.powf(mean_r)
     }
 

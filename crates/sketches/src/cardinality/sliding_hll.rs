@@ -37,10 +37,7 @@ impl Lfpm {
 
     fn max_since(&self, t0: u64) -> u8 {
         // Entries are ρ-descending, so the first entry with t ≥ t0 wins.
-        self.entries
-            .iter()
-            .find(|&&(t, _)| t >= t0)
-            .map_or(0, |&(_, r)| r)
+        self.entries.iter().find(|&&(t, _)| t >= t0).map_or(0, |&(_, r)| r)
     }
 }
 
@@ -78,12 +75,7 @@ impl SlidingHyperLogLog {
         if horizon == 0 {
             return Err(SaError::invalid("horizon", "must be positive"));
         }
-        Ok(Self {
-            registers: vec![Lfpm::default(); 1 << p],
-            p,
-            horizon,
-            now: 0,
-        })
+        Ok(Self { registers: vec![Lfpm::default(); 1 << p], p, horizon, now: 0 })
     }
 
     /// Insert an item observed at time `t` (must be non-decreasing).

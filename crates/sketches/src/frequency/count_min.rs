@@ -110,17 +110,14 @@ impl CountMinSketch {
     /// Estimate of the inner product (join size) with another sketch of
     /// identical shape: `min_rows Σ_j a[r][j]·b[r][j]`.
     pub fn inner_product(&self, other: &Self) -> Result<i64> {
-        if self.width != other.width || self.depth != other.depth
-            || self.seed != other.seed
-        {
+        if self.width != other.width || self.depth != other.depth || self.seed != other.seed {
             return Err(SaError::IncompatibleMerge("CMS shape mismatch".into()));
         }
         let mut best = i64::MAX;
         for r in 0..self.depth {
             let mut dot = 0i64;
             for c in 0..self.width {
-                dot += self.counters[self.slot(r, c)]
-                    * other.counters[other.slot(r, c)];
+                dot += self.counters[self.slot(r, c)] * other.counters[other.slot(r, c)];
             }
             best = best.min(dot);
         }
@@ -161,10 +158,7 @@ impl FrequencyEstimator for CountMinSketch {
 
 impl Merge for CountMinSketch {
     fn merge(&mut self, other: &Self) -> Result<()> {
-        if self.width != other.width
-            || self.depth != other.depth
-            || self.seed != other.seed
-        {
+        if self.width != other.width || self.depth != other.depth || self.seed != other.seed {
             return Err(SaError::IncompatibleMerge("CMS shape mismatch".into()));
         }
         if self.conservative || other.conservative {
@@ -232,10 +226,7 @@ mod tests {
             err_plain += plain.estimate(&item) - c as i64;
             err_cons += cons.estimate(&item) - c as i64;
         }
-        assert!(
-            err_cons < err_plain,
-            "conservative {err_cons} not tighter than plain {err_plain}"
-        );
+        assert!(err_cons < err_plain, "conservative {err_cons} not tighter than plain {err_plain}");
         // Conservative update still never underestimates.
         for (&item, &c) in truth.iter() {
             assert!(cons.estimate(&item) >= c as i64);

@@ -97,13 +97,8 @@ impl FrequencyEstimator for CountSketch {
 
 impl Merge for CountSketch {
     fn merge(&mut self, other: &Self) -> Result<()> {
-        if self.width != other.width
-            || self.depth != other.depth
-            || self.seed != other.seed
-        {
-            return Err(SaError::IncompatibleMerge(
-                "count-sketch shape mismatch".into(),
-            ));
+        if self.width != other.width || self.depth != other.depth || self.seed != other.seed {
+            return Err(SaError::IncompatibleMerge("count-sketch shape mismatch".into()));
         }
         for (a, b) in self.counters.iter_mut().zip(&other.counters) {
             *a += b;
@@ -127,7 +122,7 @@ mod tests {
         }
         let truth = exact_counts(&items);
         let mut top: Vec<(u64, u64)> = truth.iter().map(|(&k, &v)| (k, v)).collect();
-        top.sort_by(|a, b| b.1.cmp(&a.1));
+        top.sort_by_key(|e| std::cmp::Reverse(e.1));
         for &(item, count) in top.iter().take(10) {
             let est = cs.estimate(&item);
             let err = relative_error(est as f64, count as f64);
@@ -143,10 +138,8 @@ mod tests {
         for i in 0..10_000u64 {
             cs.add(&i, 1);
         }
-        let mean_err: f64 = (0..10_000u64)
-            .map(|i| (cs.estimate(&i) - 1) as f64)
-            .sum::<f64>()
-            / 10_000.0;
+        let mean_err: f64 =
+            (0..10_000u64).map(|i| (cs.estimate(&i) - 1) as f64).sum::<f64>() / 10_000.0;
         assert!(mean_err.abs() < 2.0, "mean error = {mean_err}");
     }
 

@@ -29,12 +29,7 @@ impl<T: Eq + Hash + Clone> LossyCounting<T> {
         if !(epsilon > 0.0 && epsilon < 1.0) {
             return Err(SaError::invalid("epsilon", "must be in (0,1)"));
         }
-        Ok(Self {
-            entries: HashMap::new(),
-            epsilon,
-            width: (1.0 / epsilon).ceil() as u64,
-            n: 0,
-        })
+        Ok(Self { entries: HashMap::new(), epsilon, width: (1.0 / epsilon).ceil() as u64, n: 0 })
     }
 
     /// Current bucket id (1-based).
@@ -54,7 +49,7 @@ impl<T: Eq + Hash + Clone> LossyCounting<T> {
             }
         }
         // Prune at bucket boundaries.
-        if self.n % self.width == 0 {
+        if self.n.is_multiple_of(self.width) {
             self.entries.retain(|_, (count, delta)| *count + *delta > b);
         }
     }
@@ -79,7 +74,7 @@ impl<T: Eq + Hash + Clone> LossyCounting<T> {
             .filter(|(_, &(c, _))| c as f64 >= threshold)
             .map(|(item, &(c, d))| HeavyHitter { item: item.clone(), count: c, error: d })
             .collect();
-        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out.sort_by_key(|h| std::cmp::Reverse(h.count));
         out
     }
 
@@ -152,11 +147,7 @@ mod tests {
         for (item, &(c, _)) in &lc.entries {
             let t = truth[item];
             assert!(c <= t, "overestimate: {c} > {t}");
-            assert!(
-                (t - c) as f64 <= eps * items.len() as f64,
-                "undercount {} > εn",
-                t - c
-            );
+            assert!((t - c) as f64 <= eps * items.len() as f64, "undercount {} > εn", t - c);
         }
     }
 
@@ -167,11 +158,7 @@ mod tests {
         for i in 0..1_000_000u64 {
             lc.insert(i % 100_000);
         }
-        assert!(
-            lc.len() < 110_000,
-            "tracked {} entries",
-            lc.len()
-        );
+        assert!(lc.len() < 110_000, "tracked {} entries", lc.len());
         // On a skewed stream space collapses to the frequent few.
         let mut g = ZipfStream::new(1_000_000, 1.5, 54);
         let mut lc2 = LossyCounting::new(0.001).unwrap();

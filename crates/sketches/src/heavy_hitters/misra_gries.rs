@@ -101,7 +101,7 @@ impl<T: Eq + Hash + Clone> MisraGries<T> {
             .filter(|(_, &c)| (c + err) as f64 > threshold)
             .map(|(item, &c)| HeavyHitter { item: item.clone(), count: c, error: err })
             .collect();
-        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out.sort_by_key(|h| std::cmp::Reverse(h.count));
         out
     }
 

@@ -98,9 +98,7 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
 
     /// Guaranteed lower bound on the true count.
     pub fn lower_bound(&self, item: &T) -> u64 {
-        self.index
-            .get(item)
-            .map_or(0, |&s| self.slots[s].count - self.slots[s].error)
+        self.index.get(item).map_or(0, |&s| self.slots[s].count - self.slots[s].error)
     }
 
     /// Items whose estimate exceeds `θ·n`, sorted by descending count.
@@ -113,7 +111,7 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
             .filter(|s| s.count as f64 > threshold)
             .map(|s| HeavyHitter { item: s.item.clone(), count: s.count, error: s.error })
             .collect();
-        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out.sort_by_key(|h| std::cmp::Reverse(h.count));
         out
     }
 
@@ -124,7 +122,7 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
             .iter()
             .map(|s| HeavyHitter { item: s.item.clone(), count: s.count, error: s.error })
             .collect();
-        all.sort_by(|a, b| b.count.cmp(&a.count));
+        all.sort_by_key(|h| std::cmp::Reverse(h.count));
         all.truncate(j);
         all
     }
@@ -179,7 +177,7 @@ impl<T: Eq + Hash + Clone> Merge for SpaceSaving<T> {
             }
         }
         let mut entries: Vec<(T, (u64, u64))> = combined.into_iter().collect();
-        entries.sort_by(|a, b| b.1 .0.cmp(&a.1 .0));
+        entries.sort_by_key(|e| std::cmp::Reverse(e.1 .0));
         entries.truncate(self.k);
         self.slots.clear();
         self.index.clear();

@@ -126,7 +126,7 @@ impl<T: Eq + Hash + Clone> StickySampling<T> {
                 error: (self.epsilon * self.n as f64) as u64,
             })
             .collect();
-        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out.sort_by_key(|h| std::cmp::Reverse(h.count));
         out
     }
 
@@ -155,9 +155,7 @@ mod tests {
         let mut hits = 0;
         let mut total = 0;
         for seed in 0..5u64 {
-            let mut ss = StickySampling::new(theta, theta / 10.0, 0.01)
-                .unwrap()
-                .with_seed(seed);
+            let mut ss = StickySampling::new(theta, theta / 10.0, 0.01).unwrap().with_seed(seed);
             for &it in &items {
                 ss.insert(it);
             }
@@ -183,11 +181,7 @@ mod tests {
             ss.insert(it);
         }
         let bound = (2.0 / 0.001) * (1.0f64 / (0.01 * 0.01)).ln();
-        assert!(
-            (ss.len() as f64) < 3.0 * bound,
-            "len {} vs bound {bound}",
-            ss.len()
-        );
+        assert!((ss.len() as f64) < 3.0 * bound, "len {} vs bound {bound}", ss.len());
     }
 
     #[test]

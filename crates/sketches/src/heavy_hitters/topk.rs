@@ -49,11 +49,8 @@ impl<T: Eq + Hash + Clone + std::hash::Hash> TopKSketch<T> {
             }
             None => {
                 // Replace the weakest candidate if this item beats it.
-                if let Some((weak_item, weak)) = self
-                    .candidates
-                    .iter()
-                    .min_by_key(|(_, &c)| c)
-                    .map(|(i, &c)| (i.clone(), c))
+                if let Some((weak_item, weak)) =
+                    self.candidates.iter().min_by_key(|(_, &c)| c).map(|(i, &c)| (i.clone(), c))
                 {
                     if est > weak {
                         self.candidates.remove(&weak_item);
@@ -72,12 +69,11 @@ impl<T: Eq + Hash + Clone + std::hash::Hash> TopKSketch<T> {
             .map(|(item, &c)| HeavyHitter {
                 item: item.clone(),
                 count: c.max(0) as u64,
-                error: (self.sketch.total() as f64
-                    * std::f64::consts::E
+                error: (self.sketch.total() as f64 * std::f64::consts::E
                     / self.sketch.width() as f64) as u64,
             })
             .collect();
-        all.sort_by(|a, b| b.count.cmp(&a.count));
+        all.sort_by_key(|h| std::cmp::Reverse(h.count));
         all.truncate(self.k);
         all
     }

@@ -46,7 +46,7 @@ impl CountingBloomFilter {
     #[inline]
     fn get(&self, idx: usize) -> u8 {
         let b = self.counters[idx / 2];
-        if idx % 2 == 0 {
+        if idx.is_multiple_of(2) {
             b & 0x0F
         } else {
             b >> 4
@@ -56,7 +56,7 @@ impl CountingBloomFilter {
     #[inline]
     fn set(&mut self, idx: usize, val: u8) {
         let b = &mut self.counters[idx / 2];
-        if idx % 2 == 0 {
+        if idx.is_multiple_of(2) {
             *b = (*b & 0xF0) | (val & 0x0F);
         } else {
             *b = (*b & 0x0F) | (val << 4);
@@ -131,9 +131,7 @@ impl MembershipFilter for CountingBloomFilter {
 impl Merge for CountingBloomFilter {
     fn merge(&mut self, other: &Self) -> Result<()> {
         if self.m != other.m || self.k != other.k {
-            return Err(SaError::IncompatibleMerge(
-                "counting bloom shape mismatch".into(),
-            ));
+            return Err(SaError::IncompatibleMerge("counting bloom shape mismatch".into()));
         }
         for idx in 0..self.m {
             let sum = self.get(idx).saturating_add(other.get(idx)).min(MAX_COUNT);

@@ -37,14 +37,13 @@ pub struct CuckooFilter {
 impl CuckooFilter {
     /// A filter able to hold about `capacity` items at ~95% load.
     pub fn with_capacity(capacity: usize) -> Self {
-        let buckets = ((capacity.max(SLOTS)) as f64 / (SLOTS as f64 * 0.95))
-            .ceil() as usize;
+        let buckets = ((capacity.max(SLOTS)) as f64 / (SLOTS as f64 * 0.95)).ceil() as usize;
         let nbuckets = buckets.next_power_of_two();
         Self {
             buckets: vec![[0; SLOTS]; nbuckets],
             mask: nbuckets - 1,
             len: 0,
-            rng: SplitMix64::new(0xC0FF_EE),
+            rng: SplitMix64::new(0x00C0_FFEE),
         }
     }
 

@@ -78,9 +78,7 @@ impl MembershipFilter for PartitionedBloomFilter {
 impl Merge for PartitionedBloomFilter {
     fn merge(&mut self, other: &Self) -> Result<()> {
         if self.part != other.part || self.k != other.k {
-            return Err(SaError::IncompatibleMerge(
-                "partitioned bloom shape mismatch".into(),
-            ));
+            return Err(SaError::IncompatibleMerge("partitioned bloom shape mismatch".into()));
         }
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;

@@ -57,13 +57,8 @@ impl AmsF2 {
     pub fn add_hash(&mut self, hash: u64, count: i64) {
         for (idx, z) in self.z.iter_mut().enumerate() {
             // Independent sign per counter from the (hash, counter) pair.
-            let sign = if mix64(hash ^ (idx as u64).wrapping_mul(0x9E37_79B9)) & 1
-                == 0
-            {
-                1
-            } else {
-                -1
-            };
+            let sign =
+                if mix64(hash ^ (idx as u64).wrapping_mul(0x9E37_79B9)) & 1 == 0 { 1 } else { -1 };
             *z += sign * count;
         }
     }

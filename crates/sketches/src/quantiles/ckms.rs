@@ -54,12 +54,7 @@ impl CkmsSketch {
                 return Err(SaError::invalid("targets", "epsilon must be in (0,0.5)"));
             }
         }
-        Ok(Self {
-            targets: targets.to_vec(),
-            entries: Vec::new(),
-            buffer: Vec::new(),
-            n: 0,
-        })
+        Ok(Self { targets: targets.to_vec(), entries: Vec::new(), buffer: Vec::new(), n: 0 })
     }
 
     /// The CKMS invariant: allowed `g+Δ` at rank `r` out of `n`.
@@ -120,8 +115,7 @@ impl CkmsSketch {
         rmin -= self.entries[self.entries.len() - 1].g;
         while i >= 1 {
             rmin -= self.entries[i].g;
-            let merged = self.entries[i].g + self.entries[i + 1].g
-                + self.entries[i + 1].delta;
+            let merged = self.entries[i].g + self.entries[i + 1].g + self.entries[i + 1].delta;
             if merged <= self.invariant(rmin as f64, self.n) {
                 self.entries[i + 1].g += self.entries[i].g;
                 self.entries.remove(i);
@@ -188,8 +182,7 @@ mod tests {
 
     #[test]
     fn targeted_tail_is_sharp() {
-        let mut s =
-            CkmsSketch::new(&[(0.5, 0.02), (0.99, 0.001), (0.999, 0.0005)]).unwrap();
+        let mut s = CkmsSketch::new(&[(0.5, 0.02), (0.99, 0.001), (0.999, 0.0005)]).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let values: Vec<f64> = (0..200_000).map(|_| rng.gen::<f64>()).collect();
         for &v in &values {
@@ -236,10 +229,7 @@ mod tests {
                 s.insert(v);
             }
             let est = s.query(0.9).unwrap();
-            assert!(
-                (est - 45_000.0).abs() < 1_500.0,
-                "rev={rev}: p90 = {est}"
-            );
+            assert!((est - 45_000.0).abs() < 1_500.0, "rev={rev}: p90 = {est}");
         }
     }
 

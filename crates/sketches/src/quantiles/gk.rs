@@ -89,17 +89,10 @@ impl GkSketch {
 impl QuantileSketch for GkSketch {
     fn insert(&mut self, value: f64) {
         self.n += 1;
-        let delta = if self.tuples.is_empty() {
-            0
-        } else {
-            self.threshold().saturating_sub(1)
-        };
+        let delta = if self.tuples.is_empty() { 0 } else { self.threshold().saturating_sub(1) };
         let pos = self.tuples.partition_point(|t| t.v <= value);
         let at_edge = pos == 0 || pos == self.tuples.len();
-        self.tuples.insert(
-            pos,
-            Tuple { v: value, g: 1, delta: if at_edge { 0 } else { delta } },
-        );
+        self.tuples.insert(pos, Tuple { v: value, g: 1, delta: if at_edge { 0 } else { delta } });
         self.since_compress += 1;
         if self.since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
             self.compress();
@@ -117,11 +110,8 @@ impl QuantileSketch for GkSketch {
         let mut rmin = 0u64;
         for (i, t) in self.tuples.iter().enumerate() {
             rmin += t.g;
-            let next_overshoot = self
-                .tuples
-                .get(i + 1)
-                .map(|nt| rmin + nt.g + nt.delta)
-                .unwrap_or(u64::MAX);
+            let next_overshoot =
+                self.tuples.get(i + 1).map(|nt| rmin + nt.g + nt.delta).unwrap_or(u64::MAX);
             if next_overshoot > target + budget {
                 return Some(t.v);
             }
@@ -197,11 +187,7 @@ mod tests {
         for _ in 0..100_000 {
             gk.insert(rng.gen::<f64>());
         }
-        assert!(
-            gk.tuple_count() < 2_000,
-            "kept {} tuples for 100k inserts",
-            gk.tuple_count()
-        );
+        assert!(gk.tuple_count() < 2_000, "kept {} tuples for 100k inserts", gk.tuple_count());
     }
 
     #[test]

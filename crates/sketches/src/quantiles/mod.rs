@@ -19,6 +19,6 @@ mod gk;
 mod sampled;
 
 pub use ckms::CkmsSketch;
-pub use frugal::{FrugalQuantile, FrugalMode};
+pub use frugal::{FrugalMode, FrugalQuantile};
 pub use gk::GkSketch;
 pub use sampled::SampledQuantile;

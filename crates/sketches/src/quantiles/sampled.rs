@@ -24,12 +24,7 @@ impl SampledQuantile {
         if k == 0 {
             return Err(SaError::invalid("k", "must be positive"));
         }
-        Ok(Self {
-            reservoir: Vec::with_capacity(k),
-            k,
-            n: 0,
-            rng: SplitMix64::new(0x5A17),
-        })
+        Ok(Self { reservoir: Vec::with_capacity(k), k, n: 0, rng: SplitMix64::new(0x5A17) })
     }
 
     /// Use a specific RNG seed.

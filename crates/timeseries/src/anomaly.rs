@@ -227,12 +227,7 @@ impl DistanceDetector {
         if radius <= 0.0 {
             return Err(SaError::invalid("radius", "must be positive"));
         }
-        Ok(Self {
-            window: VecDeque::with_capacity(capacity),
-            capacity,
-            radius,
-            min_neighbors,
-        })
+        Ok(Self { window: VecDeque::with_capacity(capacity), capacity, radius, min_neighbors })
     }
 
     /// Score the next observation, then add it to the window.
@@ -240,11 +235,7 @@ impl DistanceDetector {
         let verdict = if self.window.len() < self.capacity / 2 {
             Verdict { is_anomaly: false, score: 0.0 }
         } else {
-            let neighbors = self
-                .window
-                .iter()
-                .filter(|&&v| (v - x).abs() <= self.radius)
-                .count();
+            let neighbors = self.window.iter().filter(|&&v| (v - x).abs() <= self.radius).count();
             Verdict {
                 is_anomaly: neighbors < self.min_neighbors,
                 score: self.min_neighbors as f64 / (neighbors as f64 + 1.0),
@@ -289,10 +280,8 @@ mod tests {
     fn sensor_points(n: usize, seed: u64) -> Vec<(f64, bool)> {
         // Mild seasonality so the rolling window's spread stays close to
         // the noise scale — spikes at 10σ then stand out clearly.
-        let mut g = SensorSeries::new(seed)
-            .with_noise(0.5)
-            .with_amplitude(0.5)
-            .with_anomalies(0.01, 10.0);
+        let mut g =
+            SensorSeries::new(seed).with_noise(0.5).with_amplitude(0.5).with_anomalies(0.01, 10.0);
         g.take_vec(n).into_iter().map(|p| (p.value, p.is_anomaly)).collect()
     }
 

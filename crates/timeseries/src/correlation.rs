@@ -87,11 +87,7 @@ impl WindowedCorrelation {
         if w < 2 {
             return Err(SaError::invalid("w", "must be at least 2"));
         }
-        Ok(Self {
-            window: VecDeque::with_capacity(w),
-            capacity: w,
-            sums: StreamingPearson::new(),
-        })
+        Ok(Self { window: VecDeque::with_capacity(w), capacity: w, sums: StreamingPearson::new() })
     }
 
     /// Observe an aligned pair; evicts the oldest beyond the window.
@@ -239,7 +235,7 @@ impl LaggedCorrelation {
                 (&xs[(-lag) as usize..], &ys[..n - (-lag) as usize])
             };
             if let Some(r) = sa_core::stats::exact_pearson(xa, ya) {
-                if best.map_or(true, |(_, b)| r.abs() > b.abs()) {
+                if best.is_none_or(|(_, b)| r.abs() > b.abs()) {
                     best = Some((lag, r));
                 }
             }
@@ -286,10 +282,7 @@ mod tests {
             whole.push(x, y);
         }
         a.merge(&b);
-        assert!(
-            (a.correlation().unwrap() - whole.correlation().unwrap()).abs()
-                < 1e-12
-        );
+        assert!((a.correlation().unwrap() - whole.correlation().unwrap()).abs() < 1e-12);
     }
 
     #[test]
@@ -341,11 +334,7 @@ mod tests {
             let x = (t as f64 / 7.0).sin() + 0.1 * rng.next_f64();
             history.push_back(x);
             // y is x delayed by 8 ticks.
-            let y = if history.len() > 8 {
-                history[history.len() - 9]
-            } else {
-                0.0
-            };
+            let y = if history.len() > 8 { history[history.len() - 9] } else { 0.0 };
             lc.push(x, y);
         }
         let (lag, r) = lc.best_lag().unwrap();

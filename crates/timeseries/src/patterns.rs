@@ -62,11 +62,7 @@ impl SaxDiscretizer {
         }
         let mean = sa_core::stats::mean(&self.buffer);
         self.buffer.clear();
-        let sym = self
-            .breakpoints
-            .iter()
-            .take_while(|&&b| mean > b)
-            .count() as u8;
+        let sym = self.breakpoints.iter().take_while(|&&b| mean > b).count() as u8;
         Some(sym)
     }
 
@@ -92,12 +88,7 @@ impl MotifDetector {
         if len < 2 {
             return Err(SaError::invalid("len", "must be at least 2"));
         }
-        Ok(Self {
-            len,
-            recent: VecDeque::with_capacity(len),
-            counts: HashMap::new(),
-            total: 0,
-        })
+        Ok(Self { len, recent: VecDeque::with_capacity(len), counts: HashMap::new(), total: 0 })
     }
 
     /// Feed the next symbol; returns the count (including this one) of
@@ -119,9 +110,8 @@ impl MotifDetector {
 
     /// The `k` most frequent motifs, descending.
     pub fn top_motifs(&self, k: usize) -> Vec<(Vec<u8>, u64)> {
-        let mut v: Vec<(Vec<u8>, u64)> =
-            self.counts.iter().map(|(g, &c)| (g.clone(), c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut v: Vec<(Vec<u8>, u64)> = self.counts.iter().map(|(g, &c)| (g.clone(), c)).collect();
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v.truncate(k);
         v
     }
@@ -162,13 +152,8 @@ impl SubsequenceMatcher {
         if threshold <= 0.0 {
             return Err(SaError::invalid("threshold", "must be positive"));
         }
-        let z = Self::znorm(query)
-            .ok_or_else(|| SaError::invalid("query", "zero variance"))?;
-        Ok(Self {
-            query: z,
-            window: VecDeque::with_capacity(query.len()),
-            threshold,
-        })
+        let z = Self::znorm(query).ok_or_else(|| SaError::invalid("query", "zero variance"))?;
+        Ok(Self { query: z, window: VecDeque::with_capacity(query.len()), threshold })
     }
 
     fn znorm(v: &[f64]) -> Option<Vec<f64>> {
@@ -193,11 +178,7 @@ impl SubsequenceMatcher {
         }
         let w: Vec<f64> = self.window.iter().copied().collect();
         let z = Self::znorm(&w)?;
-        let d2: f64 = z
-            .iter()
-            .zip(&self.query)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let d2: f64 = z.iter().zip(&self.query).map(|(a, b)| (a - b) * (a - b)).sum();
         let rms = (d2 / self.query.len() as f64).sqrt();
         (rms <= self.threshold).then_some(rms)
     }
@@ -267,9 +248,8 @@ mod tests {
     #[test]
     fn matcher_finds_planted_shape() {
         // Query: one sine period over 32 points.
-        let query: Vec<f64> = (0..32)
-            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 32.0).sin())
-            .collect();
+        let query: Vec<f64> =
+            (0..32).map(|i| (2.0 * std::f64::consts::PI * i as f64 / 32.0).sin()).collect();
         let mut m = SubsequenceMatcher::new(&query, 0.35).unwrap();
         let mut rng = sa_core::rng::SplitMix64::new(2);
         let mut matches = Vec::new();
@@ -290,10 +270,7 @@ mod tests {
             "planted shape not found; matches = {matches:?}"
         );
         // No spurious matches far from the plant.
-        assert!(
-            matches.iter().all(|&i| i >= 220),
-            "false matches: {matches:?}"
-        );
+        assert!(matches.iter().all(|&i| i >= 220), "false matches: {matches:?}");
     }
 
     #[test]

@@ -132,12 +132,7 @@ impl KalmanFilterCV {
         let resid = z - self.x[0];
         self.x[0] += k0 * resid;
         self.x[1] += k1 * resid;
-        self.p = [
-            (1.0 - k0) * p00,
-            (1.0 - k0) * p01,
-            p10 - k1 * p00,
-            p11 - k1 * p01,
-        ];
+        self.p = [(1.0 - k0) * p00, (1.0 - k0) * p01, p10 - k1 * p00, p11 - k1 * p01];
         self.x[0]
     }
 
@@ -186,15 +181,12 @@ impl RlsAr {
         if self.history.len() < self.p {
             return *self.history.back().unwrap_or(&0.0);
         }
-        self.w
-            .iter()
-            .zip(self.history.iter().rev())
-            .map(|(w, x)| w * x)
-            .sum()
+        self.w.iter().zip(self.history.iter().rev()).map(|(w, x)| w * x).sum()
     }
 
     /// Observe the next value, updating the model. Returns the error of
     /// the prediction that was in force before this observation.
+    #[allow(clippy::needless_range_loop)] // textbook matrix index form
     pub fn update(&mut self, x: f64) -> f64 {
         self.n += 1;
         let err = x - self.predict();
@@ -224,8 +216,7 @@ impl RlsAr {
             }
             for i in 0..p {
                 for j in 0..p {
-                    self.pinv[i * p + j] =
-                        (self.pinv[i * p + j] - k[i] * utp[j]) / self.lambda;
+                    self.pinv[i * p + j] = (self.pinv[i * p + j] - k[i] * utp[j]) / self.lambda;
                 }
             }
         }
@@ -279,10 +270,7 @@ mod tests {
         assert!(missing > 500);
         let rmse_kf = (se_kf / missing as f64).sqrt();
         let rmse_zero = (se_zero / missing as f64).sqrt();
-        assert!(
-            rmse_kf < rmse_zero / 4.0,
-            "kalman {rmse_kf} vs zero-fill {rmse_zero}"
-        );
+        assert!(rmse_kf < rmse_zero / 4.0, "kalman {rmse_kf} vs zero-fill {rmse_zero}");
         // Kalman tracks the seasonal signal to within ~2 noise sigmas.
         assert!(rmse_kf < 1.0, "rmse = {rmse_kf}");
     }
@@ -309,11 +297,7 @@ mod tests {
             kf.skip();
         }
         let expected = 3.0 * 510.0;
-        assert!(
-            (kf.predict() - expected).abs() < 5.0,
-            "pred {} vs {expected}",
-            kf.predict()
-        );
+        assert!((kf.predict() - expected).abs() < 5.0, "pred {} vs {expected}", kf.predict());
     }
 
     #[test]
@@ -323,11 +307,7 @@ mod tests {
         for &x in &series {
             rls.update(x);
         }
-        assert!(
-            (rls.weights()[0] - 0.8).abs() < 0.05,
-            "w = {:?}",
-            rls.weights()
-        );
+        assert!((rls.weights()[0] - 0.8).abs() < 0.05, "w = {:?}", rls.weights());
     }
 
     #[test]
@@ -337,8 +317,7 @@ mod tests {
         let mut xs = vec![0.0, 0.0];
         for _ in 0..6_000 {
             let n = xs.len();
-            let x = 1.5 * xs[n - 1] - 0.7 * xs[n - 2]
-                + (rng.next_f64() - 0.5) * 0.5;
+            let x = 1.5 * xs[n - 1] - 0.7 * xs[n - 2] + (rng.next_f64() - 0.5) * 0.5;
             xs.push(x);
         }
         let mut rls = RlsAr::new(2, 0.999).unwrap();
@@ -354,10 +333,7 @@ mod tests {
             rls.update(x);
             prev = x;
         }
-        assert!(
-            se_rls < se_naive * 0.5,
-            "rls {se_rls} vs naive {se_naive}"
-        );
+        assert!(se_rls < se_naive * 0.5, "rls {se_rls} vs naive {se_naive}");
     }
 
     #[test]

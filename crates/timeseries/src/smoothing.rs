@@ -90,10 +90,8 @@ impl Holt {
             }
             _ => {
                 let prev_level = self.level;
-                self.level =
-                    self.alpha * x + (1.0 - self.alpha) * (self.level + self.trend);
-                self.trend = self.beta * (self.level - prev_level)
-                    + (1.0 - self.beta) * self.trend;
+                self.level = self.alpha * x + (1.0 - self.alpha) * (self.level + self.trend);
+                self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
             }
         }
     }

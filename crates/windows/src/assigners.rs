@@ -94,9 +94,7 @@ impl SessionWindows {
                 i += 1;
             }
         }
-        let pos = self
-            .sessions
-            .partition_point(|s| s.start < new.start);
+        let pos = self.sessions.partition_point(|s| s.start < new.start);
         self.sessions.insert(pos, new);
         new
     }

@@ -172,10 +172,7 @@ mod tests {
                 let e = d.estimate();
                 if t > 0 {
                     let rel = (e as f64 - t as f64).abs() / t as f64;
-                    assert!(
-                        rel <= epsilon + 0.01,
-                        "i={i}: est {e} vs true {t} (rel {rel})"
-                    );
+                    assert!(rel <= epsilon + 0.01, "i={i}: est {e} vs true {t} (rel {rel})");
                 }
             }
         }

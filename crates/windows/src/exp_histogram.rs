@@ -22,14 +22,8 @@ impl Bucket {
         let delta = other.mean() - self.mean();
         let m2 = self.m2
             + other.m2
-            + delta * delta * (self.count as f64 * other.count as f64)
-                / count as f64;
-        Bucket {
-            ts: self.ts.max(other.ts),
-            count,
-            sum: self.sum + other.sum,
-            m2,
-        }
+            + delta * delta * (self.count as f64 * other.count as f64) / count as f64;
+        Bucket { ts: self.ts.max(other.ts), count, sum: self.sum + other.sum, m2 }
     }
     fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -80,12 +74,7 @@ impl ExpHistogram {
                 break;
             }
         }
-        self.buckets.push_front(Bucket {
-            ts: self.now,
-            count: 1,
-            sum: value,
-            m2: 0.0,
-        });
+        self.buckets.push_front(Bucket { ts: self.now, count: 1, sum: value, m2: 0.0 });
         // Cascade merges on bucket *count* (powers of two, contiguous
         // non-decreasing runs toward the past).
         let mut size = 1u64;
@@ -180,17 +169,10 @@ mod tests {
         }
         let live = &all[all.len() - n as usize..];
         let exact_mean = sa_core::stats::mean(live);
-        let exact_var = live
-            .iter()
-            .map(|x| (x - exact_mean) * (x - exact_mean))
-            .sum::<f64>()
+        let exact_var = live.iter().map(|x| (x - exact_mean) * (x - exact_mean)).sum::<f64>()
             / live.len() as f64;
         let exact_sum: f64 = live.iter().sum();
-        assert!(
-            (eh.count() as f64 - n as f64).abs() / n as f64 <= 0.06,
-            "count {}",
-            eh.count()
-        );
+        assert!((eh.count() as f64 - n as f64).abs() / n as f64 <= 0.06, "count {}", eh.count());
         assert!(
             (eh.sum() - exact_sum).abs() / exact_sum <= 0.06,
             "sum {} vs {exact_sum}",

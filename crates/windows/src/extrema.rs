@@ -22,12 +22,7 @@ impl SlidingExtrema {
         if n == 0 {
             return Err(SaError::invalid("n", "must be positive"));
         }
-        Ok(Self {
-            maxq: VecDeque::new(),
-            minq: VecDeque::new(),
-            window: n,
-            now: 0,
-        })
+        Ok(Self { maxq: VecDeque::new(), minq: VecDeque::new(), window: n, now: 0 })
     }
 
     /// Push the next value.

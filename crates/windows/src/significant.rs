@@ -39,15 +39,7 @@ impl SignificantOneCounter {
             return Err(SaError::invalid("epsilon", "must be in (0,1)"));
         }
         let lambda = ((epsilon * theta * n as f64) / 2.0).floor().max(1.0) as u64;
-        Ok(Self {
-            buckets: VecDeque::new(),
-            fill: 0,
-            lambda,
-            window: n,
-            theta,
-            epsilon,
-            now: 0,
-        })
+        Ok(Self { buckets: VecDeque::new(), fill: 0, lambda, window: n, theta, epsilon, now: 0 })
     }
 
     /// Push the next bit.
@@ -163,10 +155,7 @@ mod tests {
         let t = exact.count();
         let e = c.estimate();
         let abs_bound = eps * theta * n as f64; // λ-scale slack
-        assert!(
-            (e as f64 - t as f64).abs() <= abs_bound,
-            "est {e} true {t} bound {abs_bound}"
-        );
+        assert!((e as f64 - t as f64).abs() <= abs_bound, "est {e} true {t} bound {abs_bound}");
         assert!(!c.is_significant());
     }
 

@@ -65,18 +65,10 @@ impl SlidingQuantile {
             vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
             // Keep every keep_every-th order statistic (offset to the
             // middle of its stratum).
-            let kept: Vec<f64> = vals
-                .iter()
-                .skip(self.keep_every / 2)
-                .step_by(self.keep_every)
-                .copied()
-                .collect();
+            let kept: Vec<f64> =
+                vals.iter().skip(self.keep_every / 2).step_by(self.keep_every).copied().collect();
             let weight = vals.len() as f64 / kept.len().max(1) as f64;
-            self.blocks.push_back(BlockSummary {
-                values: kept,
-                weight,
-                end: self.now,
-            });
+            self.blocks.push_back(BlockSummary { values: kept, weight, end: self.now });
         }
         // Drop blocks entirely outside the window.
         let cutoff = self.now.saturating_sub(self.window);
@@ -118,8 +110,7 @@ impl SlidingQuantile {
 
     /// Stored representatives (space diagnostic).
     pub fn stored(&self) -> usize {
-        self.blocks.iter().map(|b| b.values.len()).sum::<usize>()
-            + self.current.len()
+        self.blocks.iter().map(|b| b.values.len()).sum::<usize>() + self.current.len()
     }
 
     /// Elements seen.
@@ -176,11 +167,7 @@ mod tests {
         for _ in 0..300_000 {
             sq.push(rng.next_f64());
         }
-        assert!(
-            sq.stored() < w as usize / 4,
-            "stored {} ≥ w/4",
-            sq.stored()
-        );
+        assert!(sq.stored() < w as usize / 4, "stored {} ≥ w/4", sq.stored());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sa_core::traits::{CardinalityEstimator, QuantileSketch};
+use streaming_analytics::prelude::{CardinalityEstimator, QuantileSketch};
 use streaming_analytics::sketches::cardinality::HyperLogLog;
 use streaming_analytics::sketches::frequency::CountMinSketch;
 use streaming_analytics::sketches::heavy_hitters::SpaceSaving;
@@ -27,8 +27,10 @@ fn main() {
             seen.insert(&u);
         }
     }
-    println!("bloom filter:    ~{first_time} first-time users (1% fpp, {} KiB)",
-        sa_core::traits::MembershipFilter::bits(&seen) / 8192);
+    println!(
+        "bloom filter:    ~{first_time} first-time users (1% fpp, {} KiB)",
+        sa_core::traits::MembershipFilter::bits(&seen) / 8192
+    );
 
     // 2. Cardinality: distinct users. (Table 1: Estimating Cardinality)
     let mut hll = HyperLogLog::new(12).unwrap();

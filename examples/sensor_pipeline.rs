@@ -54,7 +54,10 @@ fn main() {
     }
 
     let n_anom = readings.iter().filter(|p| p.is_anomaly && !p.dropped).count();
-    println!("stream:          {} readings, {n_anom} injected anomalies, {imputed} dropouts", readings.len());
+    println!(
+        "stream:          {} readings, {n_anom} injected anomalies, {imputed} dropouts",
+        readings.len()
+    );
     println!(
         "robust z-score:  {true_pos}/{n_anom} caught ({} missed), {false_pos} false alarms",
         missed

@@ -11,9 +11,8 @@
 //! cargo run --release --example site_audience
 //! ```
 
-use sa_core::traits::CardinalityEstimator;
-use sa_core::Merge;
 use streaming_analytics::core::rng::SplitMix64;
+use streaming_analytics::prelude::{CardinalityEstimator, Merge};
 use streaming_analytics::sketches::cardinality::{HyperLogLog, Kmv, SlidingHyperLogLog};
 
 fn main() {
@@ -30,8 +29,7 @@ fn main() {
     for _ in 0..1_000_000 {
         let visitor = rng.next_below(400_000);
         let home = (visitor % 3) as usize;
-        let region =
-            if rng.bernoulli(0.1) { rng.index(3) } else { home };
+        let region = if rng.bernoulli(0.1) { rng.index(3) } else { home };
         sketches[region].insert(&visitor);
         kmvs[region].insert(&visitor);
     }
@@ -50,9 +48,7 @@ fn main() {
     // KMV bonus: audience *overlap* between two regions.
     let j = kmvs[0].jaccard(&kmvs[1]);
     let inter = kmvs[0].intersection_estimate(&kmvs[1]);
-    println!(
-        "us-east ∩ eu-west: Jaccard ~{j:.3}, shared visitors ~{inter:.0}"
-    );
+    println!("us-east ∩ eu-west: Jaccard ~{j:.3}, shared visitors ~{inter:.0}");
 
     // Sliding window: distinct visitors in the last 100k views.
     let mut sliding = SlidingHyperLogLog::new(12, 100_000).unwrap();

@@ -11,11 +11,7 @@
 
 use std::collections::HashMap;
 use streaming_analytics::core::generators::ZipfStream;
-use streaming_analytics::platform::topology::vec_spout;
-use streaming_analytics::platform::tuple::tuple_of;
-use streaming_analytics::platform::{
-    run_topology, Bolt, ExecutorConfig, OutputCollector, Tuple, TopologyBuilder, Value,
-};
+use streaming_analytics::prelude::*;
 use streaming_analytics::sketches::heavy_hitters::SpaceSaving;
 
 /// A bolt holding a SpaceSaving summary; emits its top-k on flush.
@@ -32,10 +28,7 @@ impl Bolt for TrendingBolt {
     }
     fn flush(&mut self, out: &mut OutputCollector) {
         for h in self.summary.top_k(self.k) {
-            out.emit(tuple_of([
-                Value::Str(h.item),
-                Value::Int(h.count as i64),
-            ]));
+            out.emit(tuple_of([Value::Str(h.item), Value::Int(h.count as i64)]));
         }
     }
 }
@@ -78,14 +71,14 @@ fn main() {
         merged.insert(tag, c);
     }
     let mut top: Vec<(String, i64)> = merged.into_iter().collect();
-    top.sort_by(|a, b| b.1.cmp(&a.1));
+    top.sort_by_key(|e| std::cmp::Reverse(e.1));
     println!("\ntopology top-5 (4-way fields-grouped bolts):");
     for (tag, c) in top.iter().take(5) {
         println!("  {tag:<12} ~{c:>7}");
     }
     println!(
         "\nprocessed {} tuples across bolts; clean shutdown: {}",
-        result.metrics.get("trending.executed"),
+        result.metrics.snapshot().counter("trending.executed"),
         result.clean_shutdown
     );
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: style + lints + build + tests.
+# Run from the repo root:  ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --workspace --release
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -37,3 +37,30 @@ pub use sa_sequences as sequences;
 pub use sa_sketches as sketches;
 pub use sa_timeseries as timeseries;
 pub use sa_windows as windows;
+
+/// One-stop import for applications: the cross-crate summary traits and
+/// the platform's public surface.
+///
+/// ```
+/// use streaming_analytics::prelude::*;
+///
+/// let mut tb = TopologyBuilder::new();
+/// tb.set_spout("words", vec![vec_spout(vec![tuple_of(["a"]), tuple_of(["b"])])]);
+/// tb.set_bolt("echo", vec![Box::new(|t: &Tuple, out: &mut OutputCollector| {
+///     out.emit(t.clone());
+/// }) as Box<dyn Bolt>])
+///   .shuffle("words");
+/// let result = run_topology(tb, ExecutorConfig::default()).unwrap();
+/// assert_eq!(result.outputs["echo"].len(), 2);
+/// ```
+pub mod prelude {
+    pub use sa_core::error::{Result, SaError, TopologyError};
+    pub use sa_core::traits::{
+        CardinalityEstimator, FrequencyEstimator, MembershipFilter, Merge, QuantileSketch,
+    };
+    pub use sa_platform::{
+        run_topology, tuple_of, vec_spout, Batch, Bolt, BoltHandle, CounterHandle, ExecutorConfig,
+        ExecutorModel, Grouping, Metrics, MetricsSnapshot, OutputCollector, RunResult, Semantics,
+        Spout, SpoutHandle, TopologyBuilder, Tuple, Value, VecSpout,
+    };
+}

@@ -2,6 +2,7 @@
 //! topologies, the way the paper's systems deploy them at Twitter —
 //! and the Lambda architecture consuming the same stream as a topology.
 
+use sa_core::traits::CardinalityEstimator;
 use std::collections::HashMap;
 use streaming_analytics::core::generators::ZipfStream;
 use streaming_analytics::core::stats::{exact_distinct, exact_top_k, relative_error};
@@ -13,7 +14,6 @@ use streaming_analytics::platform::{
 };
 use streaming_analytics::sketches::cardinality::HyperLogLog;
 use streaming_analytics::sketches::heavy_hitters::SpaceSaving;
-use sa_core::traits::CardinalityEstimator;
 
 /// Bolt holding a SpaceSaving summary, flushing its top-k.
 struct TrendBolt(SpaceSaving<String>);
@@ -48,8 +48,7 @@ fn trending_topology_matches_offline_top_k() {
     let n = 200_000;
     let mut gen = ZipfStream::new(50_000, 1.3, 7);
     let tags = gen.take_hashtags(n);
-    let truth: Vec<String> =
-        exact_top_k(&tags, 10).into_iter().map(|(t, _)| t).collect();
+    let truth: Vec<String> = exact_top_k(&tags, 10).into_iter().map(|(t, _)| t).collect();
 
     let tuples: Vec<Tuple> = tags.iter().map(|t| tuple_of([t.as_str()])).collect();
     let mut tb = TopologyBuilder::new();
@@ -70,7 +69,7 @@ fn trending_topology_matches_offline_top_k() {
             )
         })
         .collect();
-    merged.sort_by(|a, b| b.1.cmp(&a.1));
+    merged.sort_by_key(|e| std::cmp::Reverse(e.1));
     let found: Vec<String> = merged.into_iter().take(10).map(|(t, _)| t).collect();
     // The top-5 of a steep Zipf must agree exactly; the rest overlap.
     assert_eq!(found[..5], truth[..5]);
@@ -100,10 +99,7 @@ fn audience_topology_estimates_distinct_users() {
         .iter()
         .map(|t| t.get(0).and_then(Value::as_float).unwrap())
         .sum();
-    assert!(
-        relative_error(total, truth) < 0.05,
-        "estimated {total} vs {truth}"
-    );
+    assert!(relative_error(total, truth) < 0.05, "estimated {total} vs {truth}");
 }
 
 #[test]

@@ -1,9 +1,11 @@
-//! Property-based tests (proptest) for the invariants DESIGN.md §7
-//! promises: merge laws, no-false-negative guarantees, error bounds.
+//! Property-based tests for the invariants DESIGN.md §7 promises:
+//! merge laws, no-false-negative guarantees, error bounds.
+//!
+//! Each property runs over 64 randomized cases driven by a seeded
+//! [`SplitMix64`], so failures are reproducible from the case index.
 
-use proptest::prelude::*;
-use sa_core::traits::{CardinalityEstimator, QuantileSketch};
-use sa_core::Merge;
+use sa_core::rng::SplitMix64;
+use streaming_analytics::prelude::{CardinalityEstimator, Merge, QuantileSketch};
 use streaming_analytics::sketches::cardinality::{HyperLogLog, Kmv};
 use streaming_analytics::sketches::frequency::CountMinSketch;
 use streaming_analytics::sketches::heavy_hitters::{MisraGries, SpaceSaving};
@@ -11,81 +13,126 @@ use streaming_analytics::sketches::membership::BloomFilter;
 use streaming_analytics::sketches::quantiles::GkSketch;
 use streaming_analytics::windows::{Dgim, SlidingExtrema};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Bloom filters never produce false negatives.
-    #[test]
-    fn bloom_no_false_negatives(items in prop::collection::vec(any::<u64>(), 1..500)) {
+/// A vector of `len ∈ [min_len, max_len)` draws of `f`.
+fn vec_of<T>(
+    rng: &mut SplitMix64,
+    min_len: usize,
+    max_len: usize,
+    mut f: impl FnMut(&mut SplitMix64) -> T,
+) -> Vec<T> {
+    let len = min_len + rng.next_below((max_len - min_len) as u64) as usize;
+    (0..len).map(|_| f(rng)).collect()
+}
+
+fn uniform_f64(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
+
+/// Bloom filters never produce false negatives.
+#[test]
+fn bloom_no_false_negatives() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB100_u64 ^ case);
+        let items = vec_of(&mut rng, 1, 500, |r| r.next_u64());
         let mut f = BloomFilter::with_fpp(items.len().max(8), 0.01).unwrap();
         for it in &items {
             f.insert(it);
         }
         for it in &items {
-            prop_assert!(f.contains(it));
+            assert!(f.contains(it), "case {case}: lost {it}");
         }
     }
+}
 
-    /// Bloom merge ≡ filter built from the concatenated stream.
-    #[test]
-    fn bloom_merge_equals_concat(
-        a in prop::collection::vec(any::<u64>(), 0..200),
-        b in prop::collection::vec(any::<u64>(), 0..200),
-    ) {
+/// Bloom merge ≡ filter built from the concatenated stream.
+#[test]
+fn bloom_merge_equals_concat() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB200_u64 ^ case);
+        let a = vec_of(&mut rng, 0, 200, |r| r.next_u64());
+        let b = vec_of(&mut rng, 0, 200, |r| r.next_u64());
         let mut fa = BloomFilter::new(4096, 4).unwrap();
         let mut fb = BloomFilter::new(4096, 4).unwrap();
         let mut fc = BloomFilter::new(4096, 4).unwrap();
-        for it in &a { fa.insert(it); fc.insert(it); }
-        for it in &b { fb.insert(it); fc.insert(it); }
+        for it in &a {
+            fa.insert(it);
+            fc.insert(it);
+        }
+        for it in &b {
+            fb.insert(it);
+            fc.insert(it);
+        }
         fa.merge(&fb).unwrap();
         // Identical bit arrays → identical answers for every query.
         for it in a.iter().chain(&b) {
-            prop_assert_eq!(fa.contains(it), fc.contains(it));
+            assert_eq!(fa.contains(it), fc.contains(it), "case {case}");
         }
     }
+}
 
-    /// HLL merge answers exactly like the concatenated-stream sketch.
-    #[test]
-    fn hll_merge_equals_concat(
-        a in prop::collection::vec(any::<u64>(), 0..500),
-        b in prop::collection::vec(any::<u64>(), 0..500),
-    ) {
+/// HLL merge answers exactly like the concatenated-stream sketch.
+#[test]
+fn hll_merge_equals_concat() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x4411_u64 ^ case);
+        let a = vec_of(&mut rng, 0, 500, |r| r.next_u64());
+        let b = vec_of(&mut rng, 0, 500, |r| r.next_u64());
         let mut ha = HyperLogLog::new(8).unwrap();
         let mut hb = HyperLogLog::new(8).unwrap();
         let mut hc = HyperLogLog::new(8).unwrap();
-        for it in &a { ha.insert(it); hc.insert(it); }
-        for it in &b { hb.insert(it); hc.insert(it); }
+        for it in &a {
+            ha.insert(it);
+            hc.insert(it);
+        }
+        for it in &b {
+            hb.insert(it);
+            hc.insert(it);
+        }
         ha.merge(&hb).unwrap();
-        prop_assert_eq!(ha.estimate(), hc.estimate());
+        assert_eq!(ha.estimate(), hc.estimate(), "case {case}");
     }
+}
 
-    /// KMV estimates exactly when distinct count ≤ k.
-    #[test]
-    fn kmv_exact_below_k(items in prop::collection::vec(0u64..100, 0..300)) {
+/// KMV estimates exactly when distinct count ≤ k.
+#[test]
+fn kmv_exact_below_k() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5311_u64 ^ case);
+        let items = vec_of(&mut rng, 0, 300, |r| r.next_below(100));
         let mut kmv = Kmv::new(128).unwrap();
         for it in &items {
             kmv.insert(it);
         }
         let distinct = sa_core::stats::exact_distinct(&items) as f64;
-        prop_assert_eq!(kmv.estimate(), distinct);
+        assert_eq!(kmv.estimate(), distinct, "case {case}");
     }
+}
 
-    /// Count-Min never underestimates under inserts.
-    #[test]
-    fn cms_never_underestimates(items in prop::collection::vec(0u64..50, 1..400)) {
+/// Count-Min never underestimates under inserts.
+#[test]
+fn cms_never_underestimates() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC311_u64 ^ case);
+        let items = vec_of(&mut rng, 1, 400, |r| r.next_below(50));
         let mut cms = CountMinSketch::new(64, 4).unwrap();
         for it in &items {
             cms.add(it, 1);
         }
         let truth = sa_core::stats::exact_counts(&items);
         for (it, &c) in &truth {
-            prop_assert!(cms.estimate(it) >= c as i64);
+            assert!(cms.estimate(it) >= c as i64, "case {case}: item {it}");
         }
     }
+}
 
-    /// Misra–Gries undercounts by at most n/(k+1).
-    #[test]
-    fn misra_gries_error_bound(items in prop::collection::vec(0u64..30, 1..500)) {
+/// Misra–Gries undercounts by at most n/(k+1).
+#[test]
+fn misra_gries_error_bound() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3611_u64 ^ case);
+        let items = vec_of(&mut rng, 1, 500, |r| r.next_below(30));
         let k = 8;
         let mut mg = MisraGries::new(k).unwrap();
         for &it in &items {
@@ -95,14 +142,18 @@ proptest! {
         let bound = items.len() as u64 / (k as u64 + 1);
         for (it, &c) in &truth {
             let est = mg.estimate(it);
-            prop_assert!(est <= c);
-            prop_assert!(c - est <= bound, "undercount {} > {}", c - est, bound);
+            assert!(est <= c, "case {case}");
+            assert!(c - est <= bound, "case {case}: undercount {} > {bound}", c - est);
         }
     }
+}
 
-    /// SpaceSaving brackets the truth: lower ≤ true ≤ estimate.
-    #[test]
-    fn space_saving_brackets(items in prop::collection::vec(0u64..30, 1..500)) {
+/// SpaceSaving brackets the truth: lower ≤ true ≤ estimate.
+#[test]
+fn space_saving_brackets() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5511_u64 ^ case);
+        let items = vec_of(&mut rng, 1, 500, |r| r.next_below(30));
         let mut ss = SpaceSaving::new(8).unwrap();
         for &it in &items {
             ss.insert(it);
@@ -111,15 +162,19 @@ proptest! {
         for (it, &c) in &truth {
             let est = ss.estimate(it);
             if est > 0 {
-                prop_assert!(est >= c);
-                prop_assert!(ss.lower_bound(it) <= c);
+                assert!(est >= c, "case {case}");
+                assert!(ss.lower_bound(it) <= c, "case {case}");
             }
         }
     }
+}
 
-    /// GK rank error stays within ε·n on arbitrary input order.
-    #[test]
-    fn gk_rank_error_bound(values in prop::collection::vec(-1e6f64..1e6, 2..800)) {
+/// GK rank error stays within ε·n on arbitrary input order.
+#[test]
+fn gk_rank_error_bound() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x6411_u64 ^ case);
+        let values = vec_of(&mut rng, 2, 800, |r| uniform_f64(r, -1e6, 1e6));
         let eps = 0.05;
         let mut gk = GkSketch::new(eps).unwrap();
         for &v in &values {
@@ -129,35 +184,42 @@ proptest! {
         for q in [0.1, 0.5, 0.9] {
             let est = gk.query(q).unwrap();
             let rank = sa_core::stats::exact_rank(&values, est) as f64;
-            prop_assert!(
+            assert!(
                 (rank - q * n).abs() <= eps * n + 1.0,
-                "q={}, rank {} target {}", q, rank, q * n
+                "case {case}: q={q}, rank {rank} target {}",
+                q * n
             );
         }
     }
+}
 
-    /// DGIM relative error respects its bound on random bit streams.
-    #[test]
-    fn dgim_error_bound(bits in prop::collection::vec(any::<bool>(), 100..2000), seed in any::<u64>()) {
-        let _ = seed;
+/// DGIM relative error respects its bound on random bit streams.
+#[test]
+fn dgim_error_bound() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xD611_u64 ^ case);
+        let bits = vec_of(&mut rng, 100, 2000, |r| r.next_u64() & 1 == 1);
         let window = 64u64;
         let mut d = Dgim::new(window, 0.1).unwrap();
         for &b in &bits {
             d.push(b);
         }
-        let exact = bits[bits.len().saturating_sub(window as usize)..]
-            .iter()
-            .filter(|&&b| b)
-            .count() as f64;
+        let exact =
+            bits[bits.len().saturating_sub(window as usize)..].iter().filter(|&&b| b).count()
+                as f64;
         if exact > 0.0 {
             let err = (d.estimate() as f64 - exact).abs() / exact;
-            prop_assert!(err <= 0.11, "err {}", err);
+            assert!(err <= 0.11, "case {case}: err {err}");
         }
     }
+}
 
-    /// Sliding extrema agree with a naive window scan.
-    #[test]
-    fn extrema_match_naive(values in prop::collection::vec(-1e3f64..1e3, 1..300)) {
+/// Sliding extrema agree with a naive window scan.
+#[test]
+fn extrema_match_naive() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xE711_u64 ^ case);
+        let values = vec_of(&mut rng, 1, 300, |r| uniform_f64(r, -1e3, 1e3));
         let w = 16u64;
         let mut se = SlidingExtrema::new(w).unwrap();
         for (i, &v) in values.iter().enumerate() {
@@ -166,26 +228,34 @@ proptest! {
             let win = &values[lo..=i];
             let mx = win.iter().cloned().fold(f64::MIN, f64::max);
             let mn = win.iter().cloned().fold(f64::MAX, f64::min);
-            prop_assert_eq!(se.max(), Some(mx));
-            prop_assert_eq!(se.min(), Some(mn));
+            assert_eq!(se.max(), Some(mx), "case {case}");
+            assert_eq!(se.min(), Some(mn), "case {case}");
         }
     }
+}
 
-    /// Exact inversion counter matches the merge-sort reference.
-    #[test]
-    fn inversions_match_reference(values in prop::collection::vec(0u64..64, 0..300)) {
-        use streaming_analytics::sequences::inversions::ExactInversions;
+/// Exact inversion counter matches the merge-sort reference.
+#[test]
+fn inversions_match_reference() {
+    use streaming_analytics::sequences::inversions::ExactInversions;
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x1211_u64 ^ case);
+        let values = vec_of(&mut rng, 0, 300, |r| r.next_below(64));
         let mut c = ExactInversions::new(64).unwrap();
         for &v in &values {
             c.push(v);
         }
-        prop_assert_eq!(c.total(), sa_core::stats::exact_inversions(&values));
+        assert_eq!(c.total(), sa_core::stats::exact_inversions(&values), "case {case}");
     }
+}
 
-    /// Patience LIS matches the quadratic DP.
-    #[test]
-    fn lis_matches_dp(values in prop::collection::vec(-100i64..100, 0..200)) {
-        use streaming_analytics::sequences::PatienceLis;
+/// Patience LIS matches the quadratic DP.
+#[test]
+fn lis_matches_dp() {
+    use streaming_analytics::sequences::PatienceLis;
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x1511_u64 ^ case);
+        let values = vec_of(&mut rng, 0, 200, |r| r.next_below(200) as i64 - 100);
         let mut p = PatienceLis::new();
         for &v in &values {
             p.push(v);
@@ -201,37 +271,49 @@ proptest! {
             }
             best = best.max(dp[i]);
         }
-        prop_assert_eq!(p.lis_len(), best);
+        assert_eq!(p.lis_len(), best, "case {case}");
     }
+}
 
-    /// Haar round-trip is the identity (for power-of-two lengths).
-    #[test]
-    fn haar_round_trip(values in prop::collection::vec(-1e3f64..1e3, 1..9)) {
-        use streaming_analytics::histograms::wavelet::{haar_forward, haar_inverse};
+/// Haar round-trip is the identity (for power-of-two lengths).
+#[test]
+fn haar_round_trip() {
+    use streaming_analytics::histograms::wavelet::{haar_forward, haar_inverse};
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x8811_u64 ^ case);
+        let values = vec_of(&mut rng, 1, 9, |r| uniform_f64(r, -1e3, 1e3));
         let n = values.len().next_power_of_two();
         let mut v = values.clone();
         v.resize(n, 0.0);
         let back = haar_inverse(&haar_forward(&v).unwrap()).unwrap();
         for (a, b) in v.iter().zip(&back) {
-            prop_assert!((a - b).abs() < 1e-6);
+            assert!((a - b).abs() < 1e-6, "case {case}");
         }
     }
+}
 
-    /// Welford merge is associative with the combined stream.
-    #[test]
-    fn welford_merge_law(
-        a in prop::collection::vec(-1e3f64..1e3, 0..200),
-        b in prop::collection::vec(-1e3f64..1e3, 0..200),
-    ) {
-        use sa_core::stats::OnlineStats;
+/// Welford merge is associative with the combined stream.
+#[test]
+fn welford_merge_law() {
+    use sa_core::stats::OnlineStats;
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3E17_u64 ^ case);
+        let a = vec_of(&mut rng, 0, 200, |r| uniform_f64(r, -1e3, 1e3));
+        let b = vec_of(&mut rng, 0, 200, |r| uniform_f64(r, -1e3, 1e3));
         let mut sa_ = OnlineStats::new();
         let mut sb = OnlineStats::new();
         let mut sc = OnlineStats::new();
-        for &x in &a { sa_.push(x); sc.push(x); }
-        for &x in &b { sb.push(x); sc.push(x); }
+        for &x in &a {
+            sa_.push(x);
+            sc.push(x);
+        }
+        for &x in &b {
+            sb.push(x);
+            sc.push(x);
+        }
         sa_.merge(&sb);
-        prop_assert_eq!(sa_.count(), sc.count());
-        prop_assert!((sa_.mean() - sc.mean()).abs() < 1e-6);
-        prop_assert!((sa_.variance() - sc.variance()).abs() < 1e-4);
+        assert_eq!(sa_.count(), sc.count(), "case {case}");
+        assert!((sa_.mean() - sc.mean()).abs() < 1e-6, "case {case}");
+        assert!((sa_.variance() - sc.variance()).abs() < 1e-4, "case {case}");
     }
 }
