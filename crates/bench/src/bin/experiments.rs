@@ -130,6 +130,9 @@ fn main() {
     if want("t2.b") {
         t2_batch_ablation(&mut r);
     }
+    if want("t2.c") {
+        t2c_recovery(&mut r);
+    }
     if want("f1") {
         f1_lambda(&mut r);
     }
@@ -1179,6 +1182,153 @@ fn t2_batch_ablation(r: &mut Recorder) {
                 ],
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------- T2.C
+fn t2c_recovery(r: &mut Recorder) {
+    use sa_core::Synopsis;
+    use sa_platform::operator::{replay_offset, LogSpout, OperatorConfig, SynopsisBolt};
+    use sa_platform::topology::{Bolt, Spout};
+    use sa_platform::tuple::tuple_of;
+    use sa_platform::{
+        run_topology, CheckpointStore, ExecutorConfig, Log, Record, Semantics, TopologyBuilder,
+        Tuple,
+    };
+    use sa_sketches::cardinality::HyperLogLog;
+    use sa_sketches::frequency::CountMinSketch;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    r.section(
+        "T2.C",
+        "Recovery — checkpoint interval vs recovery time & post-recovery accuracy (exactly-once)",
+    );
+
+    let n = 200_000u64;
+    let kill_at = n / 2;
+    let log = Log::new(1).unwrap();
+    let mut gen = ZipfStream::new(50_000, 1.1, 42);
+    let mut items: Vec<String> = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let key = format!("u{}", gen.next_id());
+        log.append(&key, Vec::new());
+        items.push(key);
+    }
+    let distinct = exact_distinct(&items) as f64;
+    let truth = exact_counts(&items);
+    let mut top: Vec<(&String, &u64)> = truth.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    top.truncate(100);
+
+    // Uninterrupted in-process references.
+    let mut hll_direct = HyperLogLog::new(12).unwrap();
+    let mut cms_direct = CountMinSketch::new(2048, 4).unwrap();
+    for key in &items {
+        hll_direct.insert(key);
+        cms_direct.add(key, 1);
+    }
+    let top_err = |cms: &CountMinSketch| -> f64 {
+        top.iter().map(|(k, &c)| (cms.estimate(*k) - c as i64).abs() as f64).sum::<f64>()
+            / top.len() as f64
+    };
+
+    /// Crash a `SynopsisBolt<S>` topology at `kill_at` emissions, then
+    /// restart it from checkpoint + log replay. Returns (recovery wall
+    /// time, records replayed, final snapshot).
+    fn run_pair<S, F>(
+        log: &Log,
+        every: u64,
+        kill_at: u64,
+        make: impl Fn() -> S,
+        update: F,
+    ) -> (f64, u64, Vec<u8>)
+    where
+        S: Synopsis + Send + 'static,
+        F: Fn(&Tuple, &mut S) + Clone + Send + 'static,
+    {
+        let store = CheckpointStore::new();
+        let build = |from: u64, plan: Option<(Arc<AtomicU64>, u64, Arc<AtomicBool>)>| {
+            let mut tb = TopologyBuilder::new();
+            let spout = LogSpout::new(log, 0, from, 0, move |rec: &Record| {
+                if let Some((emitted, at, kill)) = &plan {
+                    if emitted.fetch_add(1, Ordering::SeqCst) + 1 == *at {
+                        kill.store(true, Ordering::SeqCst);
+                    }
+                }
+                tuple_of([rec.key.as_str()])
+            });
+            tb.set_spout("log", vec![Box::new(spout) as Box<dyn Spout>]);
+            let u = update.clone();
+            let bolt = SynopsisBolt::with_config(
+                "op/0",
+                &store,
+                make(),
+                move |t: &Tuple, s: &mut S| u(t, s),
+                OperatorConfig { checkpoint_every: every, ..Default::default() },
+            )
+            .unwrap();
+            tb.set_bolt("op", vec![Box::new(bolt) as Box<dyn Bolt>]).global("log");
+            tb
+        };
+        let kill = Arc::new(AtomicBool::new(false));
+        let plan = Some((Arc::new(AtomicU64::new(0)), kill_at, kill.clone()));
+        let crashed = run_topology(
+            build(0, plan),
+            ExecutorConfig { kill: Some(kill), seed: 5, ..Default::default() },
+        )
+        .unwrap();
+        assert!(!crashed.clean_shutdown, "kill switch must interrupt the run");
+        let from = replay_offset(&store, &["op/0"]);
+        let replayed = log.end_offset(0) - from;
+        let (res, secs) = timed(|| {
+            run_topology(
+                build(from, None),
+                ExecutorConfig { semantics: Semantics::AtLeastOnce, seed: 6, ..Default::default() },
+            )
+            .unwrap()
+        });
+        let snap = res.outputs["op"][0].get(1).unwrap().as_bytes().unwrap().to_vec();
+        (secs, replayed, snap)
+    }
+
+    for every in [16u64, 256, 4096] {
+        let (secs, replayed, snap) = run_pair(
+            &log,
+            every,
+            kill_at,
+            || HyperLogLog::new(12).unwrap(),
+            |t: &Tuple, s: &mut HyperLogLog| s.insert(t.get(0).unwrap().as_str().unwrap()),
+        );
+        let mut hll = HyperLogLog::new(12).unwrap();
+        hll.restore(&snap).unwrap();
+        r.row(
+            &format!("HLL p=12, ckpt={every}"),
+            &[
+                ("replayed", format!("{replayed}/{n}")),
+                ("recover_sec", f(secs)),
+                ("est_err_pct", f(100.0 * relative_error(hll.estimate(), distinct))),
+                ("matches_uninterrupted", (hll.estimate() == hll_direct.estimate()).to_string()),
+            ],
+        );
+        let (secs, replayed, snap) = run_pair(
+            &log,
+            every,
+            kill_at,
+            || CountMinSketch::new(2048, 4).unwrap(),
+            |t: &Tuple, s: &mut CountMinSketch| s.add(t.get(0).unwrap().as_str().unwrap(), 1),
+        );
+        let mut cms = CountMinSketch::new(2048, 4).unwrap();
+        cms.restore(&snap).unwrap();
+        r.row(
+            &format!("CMS 2048x4, ckpt={every}"),
+            &[
+                ("replayed", format!("{replayed}/{n}")),
+                ("recover_sec", f(secs)),
+                ("top100_mean_abs_err", f(top_err(&cms))),
+                ("matches_uninterrupted", (cms.snapshot() == cms_direct.snapshot()).to_string()),
+            ],
+        );
     }
 }
 

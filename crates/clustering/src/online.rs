@@ -2,7 +2,8 @@
 //! counts, plus an optional decay for drifting streams.
 
 use crate::nearest;
-use sa_core::{Result, SaError};
+use sa_core::codec::{ByteReader, ByteWriter};
+use sa_core::{Result, SaError, Synopsis};
 
 /// One-point-at-a-time k-means.
 ///
@@ -86,6 +87,57 @@ impl OnlineKMeans {
     }
 }
 
+const SNAPSHOT_TAG: u8 = b'K';
+
+impl Synopsis for OnlineKMeans {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w =
+            ByteWriter::with_capacity(1 + 8 * 4 + 9 + self.centers.len() * (self.dim + 1) * 8);
+        w.tag(SNAPSHOT_TAG).put_u64(self.k as u64).put_u64(self.dim as u64).put_u64(self.seen);
+        match self.rate {
+            Some(r) => w.put_bool(true).put_f64(r),
+            None => w.put_bool(false),
+        };
+        w.put_u64(self.centers.len() as u64);
+        for (center, &count) in self.centers.iter().zip(&self.counts) {
+            w.put_u64(count);
+            for &c in center {
+                w.put_f64(c);
+            }
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_tag(SNAPSHOT_TAG, "OnlineKMeans")?;
+        let k = r.get_u64()? as usize;
+        let dim = r.get_u64()? as usize;
+        let seen = r.get_u64()?;
+        let rate = if r.get_bool()? { Some(r.get_f64()?) } else { None };
+        if k == 0 || dim == 0 {
+            return Err(SaError::Codec(format!("k-means snapshot has k={k}, dim={dim}")));
+        }
+        let len = r.get_len(8 * (dim + 1))?;
+        if len > k {
+            return Err(SaError::Codec(format!("k-means snapshot has {len} centers for k={k}")));
+        }
+        let mut centers = Vec::with_capacity(k);
+        let mut counts = Vec::with_capacity(k);
+        for _ in 0..len {
+            counts.push(r.get_u64()?);
+            let mut center = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                center.push(r.get_f64()?);
+            }
+            centers.push(center);
+        }
+        r.finish()?;
+        *self = Self { centers, counts, k, dim, rate, seen };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +194,31 @@ mod tests {
         assert!(OnlineKMeans::new(0, 2).is_err());
         assert!(OnlineKMeans::new(2, 0).is_err());
         assert!(OnlineKMeans::new(2, 2).unwrap().with_fixed_rate(1.0).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_exactly() {
+        let mut g = GaussianMixtureGen::new(3, 2, 50.0, 1.0, 12);
+        let mut s = OnlineKMeans::new(3, 2).unwrap();
+        for p in g.take_vec(2_000) {
+            s.push(&p.coords);
+        }
+        let mut t = OnlineKMeans::new(1, 1).unwrap(); // differently configured
+        t.restore(&s.snapshot()).unwrap();
+        assert_eq!(t.centers(), s.centers());
+        assert_eq!(t.counts(), s.counts());
+        for p in g.take_vec(1_000) {
+            s.push(&p.coords);
+            t.push(&p.coords);
+        }
+        assert_eq!(t.centers(), s.centers());
+        assert_eq!(t.seen(), s.seen());
+        // Fixed-rate variant round-trips too.
+        let fixed = OnlineKMeans::new(2, 1).unwrap().with_fixed_rate(0.1).unwrap();
+        let mut back = OnlineKMeans::new(2, 1).unwrap();
+        back.restore(&fixed.snapshot()).unwrap();
+        assert_eq!(back.snapshot(), fixed.snapshot());
+        let snap = s.snapshot();
+        assert!(back.restore(&snap[..snap.len() - 6]).is_err());
     }
 }

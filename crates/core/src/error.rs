@@ -20,6 +20,9 @@ pub enum SaError {
     IncompatibleMerge(String),
     /// The requested operation needs data the summary no longer holds.
     InsufficientData(String),
+    /// A snapshot could not be decoded (truncated, mis-tagged, or
+    /// corrupt bytes handed to `Synopsis::restore`).
+    Codec(String),
     /// A platform-level failure (channel teardown, worker panic…).
     Platform(String),
     /// The topology wiring is invalid (caught before any thread spawns).
@@ -92,6 +95,7 @@ impl fmt::Display for SaError {
             SaError::InsufficientData(msg) => {
                 write!(f, "insufficient data: {msg}")
             }
+            SaError::Codec(msg) => write!(f, "codec error: {msg}"),
             SaError::Platform(msg) => write!(f, "platform error: {msg}"),
             SaError::Topology(e) => write!(f, "invalid topology: {e}"),
         }

@@ -16,6 +16,11 @@
 //!   randomness (reproducible, cheap, no trait objects in hot paths).
 //! * [`traits`] — [`traits::Merge`] and the estimator traits shared across
 //!   crates so heterogeneous sketches can be benchmarked uniformly.
+//! * [`synopsis`] — [`synopsis::Synopsis`]: complete-state snapshot /
+//!   restore, the contract that makes summaries checkpointable by the
+//!   platform's operator layer.
+//! * [`codec`] — the tiny hand-rolled byte codec snapshots are written
+//!   with (the workspace is offline — no serde).
 //! * [`error`] — the workspace error type.
 //! * [`stats`] — exact/offline reference implementations (Welford, exact
 //!   quantiles, exact heavy hitters) used as ground truth in tests and
@@ -24,12 +29,15 @@
 //!   production streams (Zipf "hashtags", sensor series with injected
 //!   anomalies, out-of-order event times, graph edge streams).
 
+pub mod codec;
 pub mod error;
 pub mod generators;
 pub mod hash;
 pub mod rng;
 pub mod stats;
+pub mod synopsis;
 pub mod traits;
 
 pub use error::{Result, SaError, TopologyError};
+pub use synopsis::Synopsis;
 pub use traits::Merge;

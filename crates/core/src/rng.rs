@@ -24,6 +24,14 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
+    /// Current internal state. `SplitMix64::new(rng.state())` resumes
+    /// the exact stream — this is what lets randomized summaries
+    /// (reservoirs) snapshot their generator and replay
+    /// deterministically after recovery.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next 64 uniform bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

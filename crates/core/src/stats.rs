@@ -5,6 +5,9 @@
 //! sorts) — they are the "batch layer" ground truth for tests and for the
 //! EXPERIMENTS.md accuracy columns, not streaming algorithms themselves.
 
+use crate::codec::{ByteReader, ByteWriter};
+use crate::synopsis::Synopsis;
+use crate::traits::Merge;
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -102,6 +105,44 @@ impl OnlineStats {
         self.n += other.n;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+/// Welford accumulators always merge (no shape to mismatch); this
+/// wraps the inherent infallible merge so [`OnlineStats`] can flow
+/// through generic mergeable-synopsis operators.
+impl Merge for OnlineStats {
+    fn merge(&mut self, other: &Self) -> crate::Result<()> {
+        OnlineStats::merge(self, other);
+        Ok(())
+    }
+}
+
+const ONLINE_STATS_TAG: u8 = b'W';
+
+impl Synopsis for OnlineStats {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(1 + 8 * 5);
+        w.tag(ONLINE_STATS_TAG)
+            .put_u64(self.n)
+            .put_f64(self.mean)
+            .put_f64(self.m2)
+            .put_f64(self.min)
+            .put_f64(self.max);
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> crate::Result<()> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_tag(ONLINE_STATS_TAG, "OnlineStats")?;
+        let n = r.get_u64()?;
+        let mean = r.get_f64()?;
+        let m2 = r.get_f64()?;
+        let min = r.get_f64()?;
+        let max = r.get_f64()?;
+        r.finish()?;
+        *self = Self { n, mean, m2, min, max };
+        Ok(())
     }
 }
 
@@ -289,6 +330,30 @@ mod tests {
         e.merge(&a);
         assert_eq!(e.count(), 1);
         assert_eq!(e.mean(), 3.0);
+    }
+
+    #[test]
+    fn welford_snapshot_restore_resumes() {
+        let mut s = OnlineStats::new();
+        for i in 0..100 {
+            s.push((i as f64).cos());
+        }
+        let snap = s.snapshot();
+        let mut t = OnlineStats::new();
+        t.restore(&snap).unwrap();
+        assert_eq!(t.count(), s.count());
+        assert_eq!(t.mean(), s.mean());
+        // Resume both with the same suffix: identical state.
+        for i in 100..150 {
+            s.push(i as f64);
+            t.push(i as f64);
+        }
+        assert_eq!(t.variance(), s.variance());
+        assert_eq!(t.min(), s.min());
+        assert_eq!(t.max(), s.max());
+        // Corrupt bytes leave the receiver untouched.
+        assert!(t.restore(&snap[..snap.len() - 1]).is_err());
+        assert_eq!(t.count(), s.count());
     }
 
     #[test]

@@ -20,10 +20,21 @@ pub struct CheckpointStore {
 struct Inner {
     /// key → (version, value bytes).
     state: HashMap<String, (u64, Vec<u8>)>,
-    /// key → processed record ids.
+    /// key → processed record ids at or above the key's watermark.
     seen: HashMap<String, HashSet<u64>>,
+    /// key → low watermark: every id below it is known-processed, so the
+    /// `seen` set only has to hold ids at or above it (MillWheel garbage-
+    /// collects its dedup tokens the same way, by low watermark).
+    watermarks: HashMap<String, u64>,
     commits: u64,
     duplicates: u64,
+}
+
+impl Inner {
+    fn is_duplicate(&self, key: &str, record_id: u64) -> bool {
+        record_id < self.watermarks.get(key).copied().unwrap_or(0)
+            || self.seen.get(key).is_some_and(|s| s.contains(&record_id))
+    }
 }
 
 impl CheckpointStore {
@@ -50,17 +61,71 @@ impl CheckpointStore {
         F: FnOnce(Option<&[u8]>) -> Vec<u8>,
     {
         let mut inner = self.inner.lock().unwrap();
-        let seen = inner.seen.entry(key.to_string()).or_default();
-        if !seen.insert(record_id) {
+        if inner.is_duplicate(key, record_id) {
             inner.duplicates += 1;
             return false;
         }
+        inner.seen.entry(key.to_string()).or_default().insert(record_id);
         let current = inner.state.get(key).map(|(_, v)| v.clone());
         let new = update(current.as_deref());
         let version = inner.state.get(key).map_or(0, |(v, _)| *v) + 1;
         inner.state.insert(key.to_string(), (version, new));
         inner.commits += 1;
         true
+    }
+
+    /// Atomically commit a *batch* of record ids together with a full
+    /// replacement `value` for `key`. Ids already seen are counted as
+    /// duplicates; if at least one id is fresh, all fresh ids enter the
+    /// dedup set and the value is installed in the same critical
+    /// section. Returns the number of fresh ids applied (0 means the
+    /// whole batch was a replay and the state is untouched).
+    ///
+    /// This is the operator layer's checkpoint primitive: a synopsis
+    /// snapshot and the ids of every tuple folded into it land
+    /// atomically, so a crash can never separate them.
+    pub fn commit_batch(&self, key: &str, record_ids: &[u64], value: Vec<u8>) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let fresh: Vec<u64> =
+            record_ids.iter().copied().filter(|&id| !inner.is_duplicate(key, id)).collect();
+        inner.duplicates += (record_ids.len() - fresh.len()) as u64;
+        if fresh.is_empty() {
+            return 0;
+        }
+        let applied = fresh.len();
+        inner.seen.entry(key.to_string()).or_default().extend(fresh);
+        let version = inner.state.get(key).map_or(0, |(v, _)| *v) + 1;
+        inner.state.insert(key.to_string(), (version, value));
+        inner.commits += 1;
+        applied
+    }
+
+    /// Whether `record_id` has already been committed for `key` (either
+    /// below the watermark or in the dedup set).
+    pub fn is_seen(&self, key: &str, record_id: u64) -> bool {
+        self.inner.lock().unwrap().is_duplicate(key, record_id)
+    }
+
+    /// Garbage-collect dedup tokens: raise `key`'s low watermark to
+    /// `min_record_id` (never lowering it) and drop every stored token
+    /// below it. Returns the number of tokens freed. Callers must only
+    /// raise the watermark past ids that can no longer be replayed.
+    pub fn gc(&self, key: &str, min_record_id: u64) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let wm = inner.watermarks.entry(key.to_string()).or_insert(0);
+        if min_record_id <= *wm {
+            return 0;
+        }
+        *wm = min_record_id;
+        let Some(seen) = inner.seen.get_mut(key) else { return 0 };
+        let before = seen.len();
+        seen.retain(|&id| id >= min_record_id);
+        before - seen.len()
+    }
+
+    /// Number of dedup tokens currently held for `key` (GC diagnostic).
+    pub fn seen_tokens(&self, key: &str) -> usize {
+        self.inner.lock().unwrap().seen.get(key).map_or(0, HashSet::len)
     }
 
     /// Unconditional (non-deduped) write, used by batch layers.
@@ -162,6 +227,39 @@ mod tests {
         let mut scan = store.scan();
         scan.sort();
         assert_eq!(scan.len(), 2);
+    }
+
+    #[test]
+    fn commit_batch_is_atomic_and_dedups() {
+        let store = CheckpointStore::new();
+        assert_eq!(store.commit_batch("k", &[1, 2, 3], vec![10]), 3);
+        // Overlapping replay: only the fresh id applies, value replaced.
+        assert_eq!(store.commit_batch("k", &[2, 3, 4], vec![20]), 1);
+        let (version, value) = store.get("k").unwrap();
+        assert_eq!((version, value), (2, vec![20]));
+        // Full replay: state untouched, no version bump.
+        assert_eq!(store.commit_batch("k", &[1, 4], vec![99]), 0);
+        assert_eq!(store.get("k").unwrap(), (2, vec![20]));
+        let (commits, dups) = store.stats();
+        assert_eq!((commits, dups), (2, 4));
+    }
+
+    #[test]
+    fn gc_raises_watermark_and_frees_tokens() {
+        let store = CheckpointStore::new();
+        let ids: Vec<u64> = (0..100).collect();
+        store.commit_batch("k", &ids, vec![1]);
+        assert_eq!(store.seen_tokens("k"), 100);
+        assert_eq!(store.gc("k", 60), 60);
+        assert_eq!(store.seen_tokens("k"), 40);
+        // Ids below the watermark still count as duplicates...
+        assert!(store.is_seen("k", 5));
+        assert!(!store.commit("k", 5, |_| vec![2]));
+        assert_eq!(store.commit_batch("k", &[10, 200], vec![3]), 1);
+        // ...and the watermark never moves backwards.
+        assert_eq!(store.gc("k", 30), 0);
+        assert!(store.is_seen("k", 45));
+        assert!(!store.is_seen("k", 150));
     }
 
     #[test]

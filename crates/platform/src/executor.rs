@@ -90,6 +90,12 @@ pub struct ExecutorConfig {
     pub shutdown_timeout: Duration,
     /// RNG seed (edge ids, drop injection).
     pub seed: u64,
+    /// Crash injection: when this flag flips to `true`, spouts stop
+    /// emitting immediately and shutdown skips the flush phase — bolts
+    /// never see `flush()`, exactly as if the process died. Recovery
+    /// tests flip it mid-stream and then restart the topology from
+    /// checkpoints + log replay.
+    pub kill: Option<Arc<AtomicBool>>,
 }
 
 impl Default for ExecutorConfig {
@@ -104,6 +110,7 @@ impl Default for ExecutorConfig {
             ack_timeout: Duration::from_secs(5),
             shutdown_timeout: Duration::from_secs(10),
             seed: 0xD15C0,
+            kill: None,
         }
     }
 }
@@ -424,6 +431,7 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
                 ack_timeout: config.ack_timeout,
                 shutdown_timeout: config.shutdown_timeout,
                 unclean: unclean.clone(),
+                kill: config.kill.clone(),
             };
             spout_task_idx += 1;
             spout_handles.push(std::thread::spawn(move || run_spout(spout, ctx)));
@@ -436,12 +444,21 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
     for h in spout_handles {
         h.join().map_err(|_| SaError::Platform("spout panicked".into()))?;
     }
+    // A killed run tears down without flushing: bolts never get their
+    // final `flush()` call, as in a real crash — and is never clean,
+    // even if the kill landed after the spouts drained.
+    let killed = config.kill.as_ref().is_some_and(|k| k.load(Ordering::Relaxed));
+    if killed {
+        unclean.store(true, Ordering::Relaxed);
+    }
     for name in &order {
         let Some(tx_list) = senders.get(name) else {
             continue; // spout
         };
         for tx in tx_list {
-            let _ = tx.send(Msg::Flush);
+            if !killed {
+                let _ = tx.send(Msg::Flush);
+            }
             let _ = tx.send(Msg::Terminate);
         }
         // Drop our sender clones so channels close once upstreams are
@@ -501,6 +518,7 @@ struct SpoutCtx {
     ack_timeout: Duration,
     shutdown_timeout: Duration,
     unclean: Arc<AtomicBool>,
+    kill: Option<Arc<AtomicBool>>,
 }
 
 fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
@@ -528,6 +546,12 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
     let deadline_base = Instant::now();
     let mut exhausted_at: Option<Instant> = None;
     loop {
+        if ctx.kill.as_ref().is_some_and(|k| k.load(Ordering::Relaxed)) {
+            // Crash: stop dead. Buffered partial batches are lost in
+            // flight; in-flight trees never settle.
+            ctx.unclean.store(true, Ordering::Relaxed);
+            return;
+        }
         // Settle acks/fails destined for this spout — once per batch (or
         // on idle), not once per tuple.
         if ctx.semantics == Semantics::AtLeastOnce && since_settle >= emit.batch_size {

@@ -17,8 +17,13 @@
 //!   isolation redesign the paper describes, benchmarked in t18.
 //! * **MillWheel** — [`checkpoint`]'s versioned store with atomic
 //!   per-key commits and dedup tokens: exactly-once state updates.
-//! * **Samza / Kafka** — [`log`]'s durable partitioned log with offsets
-//!   and replayable consumers.
+//! * **Samza / Kafka** — [`log`]'s durable partitioned log with offsets,
+//!   retention ([`log::Log::trim`]) and replayable consumers.
+//! * **The operator layer** — [`operator`]: [`operator::SynopsisBolt`]
+//!   runs any `sa_core::Synopsis` with checkpointed exactly-once state,
+//!   [`operator::LogSpout`] replays the log after a crash, and
+//!   [`operator::MergeBolt`] merges partition-local sketches into a
+//!   global view.
 //! * **Figure 1 (Lambda)** — [`lambda`]: immutable master dataset,
 //!   batch views, serving-layer index, speed layer, merged queries.
 //!
@@ -35,11 +40,17 @@ pub mod executor;
 pub mod lambda;
 pub mod log;
 pub mod metrics;
+pub mod operator;
 pub mod topology;
 pub mod tuple;
 
+pub use checkpoint::CheckpointStore;
 pub use executor::{run_topology, ExecutorConfig, ExecutorModel, RunResult, Semantics};
+pub use log::{Consumer, Log, Record};
 pub use metrics::{CounterHandle, Metrics, MetricsSnapshot};
+pub use operator::{
+    decode_checkpoint, replay_offset, LogSpout, MergeBolt, OperatorConfig, SynopsisBolt,
+};
 pub use topology::{
     vec_spout, Bolt, BoltHandle, Grouping, OutputCollector, Spout, SpoutHandle, TopologyBuilder,
     VecSpout,

@@ -18,11 +18,20 @@ pub struct Record {
     pub value: Vec<u8>,
 }
 
+/// Retained suffix of one partition. Offsets are absolute and stable
+/// across retention: record `offset` lives at index `offset - base`.
+#[derive(Debug, Default)]
+struct Partition {
+    /// Offset of the oldest retained record (= number trimmed away).
+    base: u64,
+    records: Vec<Record>,
+}
+
 /// An append-only, partitioned, replayable log. Cloning shares the
 /// underlying storage (it is the "cluster-wide" log).
 #[derive(Clone, Debug)]
 pub struct Log {
-    partitions: Arc<Vec<RwLock<Vec<Record>>>>,
+    partitions: Arc<Vec<RwLock<Partition>>>,
 }
 
 impl Log {
@@ -32,7 +41,9 @@ impl Log {
             return Err(sa_core::SaError::invalid("partitions", "must be positive"));
         }
         Ok(Self {
-            partitions: Arc::new((0..partitions).map(|_| RwLock::new(Vec::new())).collect()),
+            partitions: Arc::new(
+                (0..partitions).map(|_| RwLock::new(Partition::default())).collect(),
+            ),
         })
     }
 
@@ -50,28 +61,61 @@ impl Log {
     pub fn append(&self, key: &str, value: Vec<u8>) -> (usize, u64) {
         let p = self.partition_of(key);
         let mut part = self.partitions[p].write().unwrap();
-        let offset = part.len() as u64;
-        part.push(Record { offset, key: key.to_string(), value });
+        let offset = part.base + part.records.len() as u64;
+        part.records.push(Record { offset, key: key.to_string(), value });
         (p, offset)
     }
 
     /// Read up to `max` records from a partition starting at `offset`.
+    /// Reads below the retention point resume at the oldest retained
+    /// record (Kafka's `auto.offset.reset = earliest`).
     pub fn read(&self, partition: usize, offset: u64, max: usize) -> Vec<Record> {
         let part = self.partitions[partition].read().unwrap();
-        part.iter().skip(offset as usize).take(max).cloned().collect()
+        let skip = offset.saturating_sub(part.base) as usize;
+        part.records.iter().skip(skip).take(max).cloned().collect()
     }
 
     /// End offset (next offset to be written) of a partition.
     pub fn end_offset(&self, partition: usize) -> u64 {
-        self.partitions[partition].read().unwrap().len() as u64
+        let part = self.partitions[partition].read().unwrap();
+        part.base + part.records.len() as u64
     }
 
-    /// Total records across partitions.
+    /// Oldest retained offset of a partition (0 until trimmed).
+    pub fn start_offset(&self, partition: usize) -> u64 {
+        self.partitions[partition].read().unwrap().base
+    }
+
+    /// Retention: discard records of `partition` with offsets below
+    /// `upto_offset`. Offsets of surviving records are unchanged —
+    /// consumers keep their positions. Returns the number removed.
+    ///
+    /// Safety rule (as with Kafka retention vs. committed offsets): only
+    /// trim below every consumer's committed offset and below every
+    /// checkpoint's replay point, or recovery will skip records.
+    pub fn trim(&self, partition: usize, upto_offset: u64) -> usize {
+        let mut part = self.partitions[partition].write().unwrap();
+        let end = part.base + part.records.len() as u64;
+        let cut = upto_offset.min(end).saturating_sub(part.base) as usize;
+        if cut == 0 {
+            return 0;
+        }
+        part.records.drain(..cut);
+        part.base += cut as u64;
+        cut
+    }
+
+    /// Records currently retained in one partition.
+    pub fn partition_len(&self, partition: usize) -> usize {
+        self.partitions[partition].read().unwrap().records.len()
+    }
+
+    /// Total retained records across partitions.
     pub fn len(&self) -> usize {
-        self.partitions.iter().map(|p| p.read().unwrap().len()).sum()
+        self.partitions.iter().map(|p| p.read().unwrap().records.len()).sum()
     }
 
-    /// Whether the log is empty.
+    /// Whether the log retains no records.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -177,6 +221,33 @@ mod tests {
         assert_eq!(batch3.len(), 2);
         assert_eq!(batch3[0].value, vec![3]);
         assert_eq!(c.lag(), 2);
+    }
+
+    #[test]
+    fn trim_preserves_offsets_of_survivors() {
+        let log = Log::new(1).unwrap();
+        for i in 0..10u8 {
+            log.append("k", vec![i]);
+        }
+        assert_eq!(log.trim(0, 4), 4);
+        assert_eq!(log.partition_len(0), 6);
+        assert_eq!(log.start_offset(0), 4);
+        assert_eq!(log.end_offset(0), 10);
+        // Surviving records keep their absolute offsets.
+        let recs = log.read(0, 6, 100);
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].offset, 6);
+        assert_eq!(recs[0].value, vec![6]);
+        // A read below the retention point resumes at the oldest record.
+        assert_eq!(log.read(0, 0, 100)[0].offset, 4);
+        // Appends continue from the same offset sequence.
+        let (_, o) = log.append("k", vec![99]);
+        assert_eq!(o, 10);
+        // Trimming past the end clears the partition but keeps offsets.
+        assert_eq!(log.trim(0, 1_000), 7);
+        assert_eq!(log.partition_len(0), 0);
+        assert_eq!(log.end_offset(0), 11);
+        assert_eq!(log.trim(0, 5), 0, "watermark never lowers");
     }
 
     #[test]

@@ -1,0 +1,601 @@
+//! The operator layer: checkpointed synopsis bolts with exactly-once
+//! recovery — where the algorithm crates and the platform crate meet.
+//!
+//! [`SynopsisBolt`] runs any [`Synopsis`] (HyperLogLog, CountMin,
+//! SpaceSaving, GK, reservoir, DGIM, Bloom, Welford, k-means, …) as a
+//! partition-local stateful operator with MillWheel's exactly-once
+//! recipe:
+//!
+//! 1. every applied tuple's stable record id ([`Tuple::lineage`]) is
+//!    remembered, and replayed ids are skipped;
+//! 2. the synopsis snapshot and the ids folded into it are committed to
+//!    a [`CheckpointStore`] in one atomic step
+//!    ([`CheckpointStore::commit_batch`]), so a crash can never separate
+//!    state from its dedup tokens;
+//! 3. after the commit, dedup tokens below the GC horizon are freed
+//!    ([`CheckpointStore::gc`]) so the seen-set stays bounded.
+//!
+//! On restart the bolt's constructor finds the latest checkpoint and
+//! resumes from it; [`LogSpout`] replays the durable [`Log`] from
+//! [`replay_offset`] — the oldest record any partition might be missing
+//! — and the dedup tokens absorb everything the checkpoints already
+//! cover. [`MergeBolt`] closes the loop for distributed queries: it
+//! collects the partition-local snapshots (fields-grouped upstream) and
+//! merges them into one global synopsis, the "merge" half of the
+//! sketch contract the paper's §4 algorithms are chosen for.
+//!
+//! ## Correctness envelope
+//!
+//! Replay-from-minimum is exact when in-run delivery is FIFO and
+//! lossless (`link_drop_prob = 0`, the default): each task's committed
+//! `last applied id` then implies every lower id routed to it was
+//! applied. With injected link drops, a drop that is still unrepaired
+//! at crash time can fall below another task's checkpoint and be lost;
+//! at-least-once replay narrows but does not close that window. The
+//! recovery tests pin the lossless case; the drop-injection tests keep
+//! exercising the at-least-once path.
+
+use crate::checkpoint::CheckpointStore;
+use crate::log::{Log, Record};
+use crate::topology::{Bolt, OutputCollector, Spout};
+use crate::tuple::{Tuple, Value};
+use sa_core::codec::{ByteReader, ByteWriter};
+use sa_core::{Merge, Result, Synopsis};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Knobs of a [`SynopsisBolt`].
+#[derive(Clone, Debug)]
+pub struct OperatorConfig {
+    /// Commit a checkpoint after this many freshly applied tuples.
+    /// Smaller = less replay after a crash, more commit overhead (the
+    /// t2.c experiment sweeps this).
+    pub checkpoint_every: u64,
+    /// Also commit on `flush()` (topology drain). Leave on unless a
+    /// test wants to observe the purely periodic schedule.
+    pub commit_on_flush: bool,
+    /// After each commit, free dedup tokens more than this far below
+    /// the newest applied id. Safe when upstream record ids reach the
+    /// task in non-decreasing order with reordering smaller than the
+    /// horizon (true for [`LogSpout`] replay over FIFO links); set to
+    /// `None` to retain every token.
+    pub gc_horizon: Option<u64>,
+}
+
+impl Default for OperatorConfig {
+    fn default() -> Self {
+        Self { checkpoint_every: 256, commit_on_flush: true, gc_horizon: Some(65_536) }
+    }
+}
+
+const CHECKPOINT_TAG: u8 = b'O';
+
+/// Encode a checkpoint value: the newest applied record id plus the
+/// synopsis snapshot, as one atomic unit.
+fn encode_checkpoint(last_applied: u64, snapshot: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(1 + 8 + 8 + snapshot.len());
+    w.tag(CHECKPOINT_TAG).put_u64(last_applied).put_bytes(snapshot);
+    w.finish()
+}
+
+/// Decode a checkpoint value into `(last applied id, snapshot bytes)`.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<(u64, Vec<u8>)> {
+    let mut r = ByteReader::new(bytes);
+    r.expect_tag(CHECKPOINT_TAG, "operator checkpoint")?;
+    let last_applied = r.get_u64()?;
+    let snapshot = r.get_bytes()?.to_vec();
+    r.finish()?;
+    Ok((last_applied, snapshot))
+}
+
+/// The log offset a restarted topology must replay from so that no
+/// task misses a record: the minimum `last applied id` committed under
+/// the given checkpoint keys (0 — replay everything — when any key has
+/// no checkpoint yet). With [`LogSpout`]'s id scheme
+/// (`id = id_base + offset + 1`) and `id_base = 0`, the returned value
+/// is directly the `from_offset` to restart the spout at; tasks whose
+/// checkpoints are ahead of it drop the overlap as duplicates.
+pub fn replay_offset(store: &CheckpointStore, keys: &[&str]) -> u64 {
+    let mut min_applied = u64::MAX;
+    for key in keys {
+        let Some((_, value)) = store.get(key) else { return 0 };
+        let Ok((last_applied, _)) = decode_checkpoint(&value) else { return 0 };
+        min_applied = min_applied.min(last_applied);
+    }
+    if min_applied == u64::MAX {
+        0
+    } else {
+        min_applied
+    }
+}
+
+/// A partition-local checkpointed synopsis operator. See the module
+/// docs for the exactly-once protocol it implements.
+///
+/// `update` folds one tuple into the synopsis; it runs only for tuples
+/// whose record id has not been applied before. On `flush()` the bolt
+/// emits `[Str(checkpoint key), Bytes(snapshot)]` for a downstream
+/// [`MergeBolt`] (or any consumer of partial aggregates).
+pub struct SynopsisBolt<S, F> {
+    key: String,
+    store: CheckpointStore,
+    summary: S,
+    update: F,
+    cfg: OperatorConfig,
+    /// Fresh ids applied since the last commit, in arrival order.
+    pending: Vec<u64>,
+    pending_set: HashSet<u64>,
+    /// Newest id ever folded into the synopsis (committed or pending).
+    last_applied: u64,
+    recovered: bool,
+    duplicates_skipped: u64,
+}
+
+impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
+    /// A bolt checkpointing under `key` in `store`. If `store` already
+    /// holds a checkpoint for `key`, the bolt *recovers*: `initial` is
+    /// replaced by the checkpointed synopsis and deduplication resumes
+    /// from the checkpointed id set. Each parallel instance of a
+    /// component needs its own key (e.g. `"wordcount/3"`).
+    pub fn new(key: &str, store: &CheckpointStore, initial: S, update: F) -> Result<Self> {
+        Self::with_config(key, store, initial, update, OperatorConfig::default())
+    }
+
+    /// [`SynopsisBolt::new`] with explicit [`OperatorConfig`].
+    pub fn with_config(
+        key: &str,
+        store: &CheckpointStore,
+        mut initial: S,
+        update: F,
+        cfg: OperatorConfig,
+    ) -> Result<Self> {
+        let mut last_applied = 0;
+        let mut recovered = false;
+        if let Some((_, value)) = store.get(key) {
+            let (applied, snapshot) = decode_checkpoint(&value)?;
+            initial.restore(&snapshot)?;
+            last_applied = applied;
+            recovered = true;
+        }
+        Ok(Self {
+            key: key.to_string(),
+            store: store.clone(),
+            summary: initial,
+            update,
+            cfg,
+            pending: Vec::new(),
+            pending_set: HashSet::new(),
+            last_applied,
+            recovered,
+            duplicates_skipped: 0,
+        })
+    }
+
+    /// Commit the pending batch: snapshot + fresh ids, atomically.
+    fn commit(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let value = encode_checkpoint(self.last_applied, &self.summary.snapshot());
+        self.store.commit_batch(&self.key, &self.pending, value);
+        self.pending.clear();
+        self.pending_set.clear();
+        if let Some(horizon) = self.cfg.gc_horizon {
+            self.store.gc(&self.key, self.last_applied.saturating_sub(horizon));
+        }
+    }
+
+    /// The live synopsis.
+    pub fn summary(&self) -> &S {
+        &self.summary
+    }
+
+    /// Newest record id folded into the synopsis.
+    pub fn last_applied(&self) -> u64 {
+        self.last_applied
+    }
+
+    /// Whether construction restored a prior checkpoint.
+    pub fn recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// Replayed tuples dropped by deduplication.
+    pub fn duplicates_skipped(&self) -> u64 {
+        self.duplicates_skipped
+    }
+}
+
+impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt for SynopsisBolt<S, F> {
+    fn execute(&mut self, input: &Tuple, _out: &mut OutputCollector) {
+        let id = input.lineage;
+        if self.pending_set.contains(&id) || self.store.is_seen(&self.key, id) {
+            self.duplicates_skipped += 1;
+            return;
+        }
+        (self.update)(input, &mut self.summary);
+        self.pending.push(id);
+        self.pending_set.insert(id);
+        self.last_applied = self.last_applied.max(id);
+        if self.pending.len() as u64 >= self.cfg.checkpoint_every {
+            self.commit();
+        }
+    }
+
+    fn flush(&mut self, out: &mut OutputCollector) {
+        if self.cfg.commit_on_flush {
+            self.commit();
+        }
+        out.emit(Tuple::new(vec![
+            Value::Str(self.key.clone()),
+            Value::Bytes(self.summary.snapshot()),
+        ]));
+    }
+}
+
+/// The global-view aggregator: collects the latest
+/// `[Str(partition key), Bytes(snapshot)]` tuple per partition (emitted
+/// by [`SynopsisBolt::flush`]) and, on its own flush, restores each
+/// into a clone of the template and merges them into one synopsis,
+/// emitting `[Str(name), Bytes(global snapshot)]`. Wire it with a
+/// global (or fields) grouping downstream of the partitioned bolts.
+pub struct MergeBolt<S> {
+    name: String,
+    template: S,
+    parts: HashMap<String, Vec<u8>>,
+    errors: u64,
+}
+
+impl<S: Synopsis + Merge + Clone + Send> MergeBolt<S> {
+    /// An aggregator emitting under `name`; `template` supplies the
+    /// synopsis configuration every partial must be compatible with.
+    pub fn new(name: &str, template: S) -> Self {
+        Self { name: name.to_string(), template, parts: HashMap::new(), errors: 0 }
+    }
+
+    /// Merge the collected partials into one synopsis.
+    pub fn merged(&mut self) -> Result<S> {
+        let mut global = self.template.clone();
+        let mut keys: Vec<&String> = self.parts.keys().collect();
+        keys.sort(); // deterministic merge order
+        for key in keys {
+            let mut part = self.template.clone();
+            part.restore(&self.parts[key])?;
+            global.merge(&part)?;
+        }
+        Ok(global)
+    }
+
+    /// Malformed or incompatible partials dropped so far.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+impl<S: Synopsis + Merge + Clone + Send> Bolt for MergeBolt<S> {
+    fn execute(&mut self, input: &Tuple, _out: &mut OutputCollector) {
+        match (input.get(0).and_then(Value::as_str), input.get(1).and_then(Value::as_bytes)) {
+            (Some(key), Some(bytes)) => {
+                self.parts.insert(key.to_string(), bytes.to_vec());
+            }
+            _ => self.errors += 1,
+        }
+    }
+
+    fn flush(&mut self, out: &mut OutputCollector) {
+        match self.merged() {
+            Ok(global) => out.emit(Tuple::new(vec![
+                Value::Str(self.name.clone()),
+                Value::Bytes(global.snapshot()),
+            ])),
+            Err(_) => self.errors += 1,
+        }
+    }
+}
+
+/// Records fetched from the log per read (amortises lock traffic).
+const READ_CHUNK: usize = 256;
+
+/// A reliable spout over one [`Log`] partition. Record ids are stable
+/// across replays and restarts: `id = id_base + offset + 1` (`id_base`
+/// keeps multi-partition topologies in disjoint id spaces; offsets are
+/// shifted by one so id 0 never occurs). Failed tuples are re-read
+/// from the log — the log *is* the replay buffer, as in Samza/Kafka.
+pub struct LogSpout<F> {
+    log: Log,
+    partition: usize,
+    id_base: u64,
+    next_offset: u64,
+    decode: F,
+    buf: VecDeque<Record>,
+    in_flight: HashSet<u64>,
+    requeue: VecDeque<u64>,
+    /// Re-emissions performed (diagnostic).
+    pub replays: u64,
+    /// Failed records no longer retained by the log (unrecoverable).
+    pub lost: u64,
+}
+
+impl<F: FnMut(&Record) -> Tuple + Send> LogSpout<F> {
+    /// A spout reading `partition` of `log` from `from_offset`, turning
+    /// each record into a tuple via `decode`. On recovery, pass
+    /// [`replay_offset`] as `from_offset` (with the same `id_base` used
+    /// before the crash).
+    pub fn new(log: &Log, partition: usize, from_offset: u64, id_base: u64, decode: F) -> Self {
+        Self {
+            log: log.clone(),
+            partition,
+            id_base,
+            next_offset: from_offset,
+            decode,
+            buf: VecDeque::new(),
+            in_flight: HashSet::new(),
+            requeue: VecDeque::new(),
+            replays: 0,
+            lost: 0,
+        }
+    }
+
+    fn emit(&mut self, rec: &Record) -> Tuple {
+        let id = self.id_base + rec.offset + 1;
+        let mut t = (self.decode)(rec);
+        // The stable id rides in `root`; the runtime turns it into the
+        // tuple's lineage (and assigns a fresh ack tree per attempt).
+        t.root = id;
+        self.in_flight.insert(id);
+        t
+    }
+}
+
+impl<F: FnMut(&Record) -> Tuple + Send> Spout for LogSpout<F> {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        while let Some(id) = self.requeue.pop_front() {
+            let offset = id - self.id_base - 1;
+            match self.log.read(self.partition, offset, 1).into_iter().next() {
+                Some(rec) if rec.offset == offset => {
+                    self.replays += 1;
+                    return Some(self.emit(&rec));
+                }
+                // Trimmed out from under us: nothing left to replay.
+                _ => self.lost += 1,
+            }
+        }
+        if self.buf.is_empty() {
+            self.buf.extend(self.log.read(self.partition, self.next_offset, READ_CHUNK));
+        }
+        let rec = self.buf.pop_front()?;
+        self.next_offset = rec.offset + 1;
+        Some(self.emit(&rec))
+    }
+
+    fn ack(&mut self, root: u64) {
+        self.in_flight.remove(&root);
+    }
+
+    fn fail(&mut self, root: u64) {
+        if self.in_flight.remove(&root) {
+            self.requeue.push_back(root);
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.in_flight.len() + self.requeue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple_of;
+
+    /// Minimal mergeable synopsis for operator-protocol tests: a count
+    /// and a sum.
+    #[derive(Clone, Debug, Default, PartialEq)]
+    struct CountSum {
+        n: u64,
+        sum: i64,
+    }
+
+    impl CountSum {
+        fn push(&mut self, v: i64) {
+            self.n += 1;
+            self.sum += v;
+        }
+    }
+
+    impl Synopsis for CountSum {
+        fn snapshot(&self) -> Vec<u8> {
+            let mut w = ByteWriter::with_capacity(17);
+            w.tag(b'T').put_u64(self.n).put_i64(self.sum);
+            w.finish()
+        }
+
+        fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+            let mut r = ByteReader::new(bytes);
+            r.expect_tag(b'T', "CountSum")?;
+            let n = r.get_u64()?;
+            let sum = r.get_i64()?;
+            r.finish()?;
+            *self = Self { n, sum };
+            Ok(())
+        }
+    }
+
+    impl Merge for CountSum {
+        fn merge(&mut self, other: &Self) -> Result<()> {
+            self.n += other.n;
+            self.sum += other.sum;
+            Ok(())
+        }
+    }
+
+    fn int_tuple(v: i64, lineage: u64) -> Tuple {
+        let mut t = tuple_of([v]);
+        t.lineage = lineage;
+        t
+    }
+
+    fn apply(t: &Tuple, s: &mut CountSum) {
+        s.push(t.get(0).unwrap().as_int().unwrap());
+    }
+
+    #[test]
+    fn checkpoint_commits_batches_and_skips_duplicates() {
+        let store = CheckpointStore::new();
+        let cfg = OperatorConfig { checkpoint_every: 4, ..Default::default() };
+        let mut bolt =
+            SynopsisBolt::with_config("k", &store, CountSum::default(), apply, cfg).unwrap();
+        assert!(!bolt.recovered());
+        let mut out = OutputCollector::new();
+        for id in 1..=6u64 {
+            bolt.execute(&int_tuple(1, id), &mut out);
+        }
+        // Ids 1..=4 committed; 5, 6 still pending.
+        let (applied, snap) = decode_checkpoint(&store.get("k").unwrap().1).unwrap();
+        assert_eq!(applied, 4);
+        let mut cp = CountSum::default();
+        cp.restore(&snap).unwrap();
+        assert_eq!(cp, CountSum { n: 4, sum: 4 });
+        // Replays of committed AND pending ids are both dropped.
+        bolt.execute(&int_tuple(1, 2), &mut out);
+        bolt.execute(&int_tuple(1, 5), &mut out);
+        assert_eq!(bolt.duplicates_skipped(), 2);
+        assert_eq!(bolt.summary(), &CountSum { n: 6, sum: 6 });
+        // Flush commits the tail and emits the snapshot.
+        bolt.flush(&mut out);
+        let (applied, _) = decode_checkpoint(&store.get("k").unwrap().1).unwrap();
+        assert_eq!(applied, 6);
+        let emitted = &out.emitted[0];
+        assert_eq!(emitted.get(0).unwrap().as_str(), Some("k"));
+        let mut from_emit = CountSum::default();
+        from_emit.restore(emitted.get(1).unwrap().as_bytes().unwrap()).unwrap();
+        assert_eq!(from_emit, *bolt.summary());
+    }
+
+    #[test]
+    fn restart_recovers_checkpoint_and_dedups_replay() {
+        let store = CheckpointStore::new();
+        let mut out = OutputCollector::new();
+        {
+            let mut bolt = SynopsisBolt::new("k", &store, CountSum::default(), apply).unwrap();
+            for id in 1..=10u64 {
+                bolt.execute(&int_tuple(id as i64, id), &mut out);
+            }
+            bolt.flush(&mut out);
+        }
+        // "Restart": same key, fresh initial state.
+        let mut bolt = SynopsisBolt::new("k", &store, CountSum::default(), apply).unwrap();
+        assert!(bolt.recovered());
+        assert_eq!(bolt.last_applied(), 10);
+        assert_eq!(bolt.summary(), &CountSum { n: 10, sum: 55 });
+        // Full replay: every id rejected, state unchanged.
+        for id in 1..=10u64 {
+            bolt.execute(&int_tuple(id as i64, id), &mut out);
+        }
+        assert_eq!(bolt.duplicates_skipped(), 10);
+        bolt.execute(&int_tuple(100, 11), &mut out);
+        assert_eq!(bolt.summary(), &CountSum { n: 11, sum: 155 });
+    }
+
+    #[test]
+    fn gc_keeps_seen_set_bounded() {
+        let store = CheckpointStore::new();
+        let cfg =
+            OperatorConfig { checkpoint_every: 10, gc_horizon: Some(20), ..Default::default() };
+        let mut bolt =
+            SynopsisBolt::with_config("k", &store, CountSum::default(), apply, cfg).unwrap();
+        let mut out = OutputCollector::new();
+        for id in 1..=1_000u64 {
+            bolt.execute(&int_tuple(1, id), &mut out);
+        }
+        assert!(store.seen_tokens("k") <= 30, "seen set leaked: {} tokens", store.seen_tokens("k"));
+        // Dedup still covers the GC'd range via the watermark.
+        bolt.execute(&int_tuple(1, 3), &mut out);
+        assert_eq!(bolt.summary().n, 1_000);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_rejected_at_construction() {
+        let store = CheckpointStore::new();
+        store.put("k", vec![0xFF, 1, 2, 3]);
+        assert!(SynopsisBolt::new("k", &store, CountSum::default(), apply).is_err());
+        assert!(decode_checkpoint(&[CHECKPOINT_TAG, 0]).is_err());
+    }
+
+    #[test]
+    fn merge_bolt_builds_global_view() {
+        let mut merge = MergeBolt::new("global", CountSum::default());
+        let mut out = OutputCollector::new();
+        for (i, (n, sum)) in [(3u64, 30i64), (2, 5), (5, 15)].iter().enumerate() {
+            let part = CountSum { n: *n, sum: *sum };
+            let t = Tuple::new(vec![Value::Str(format!("p{i}")), Value::Bytes(part.snapshot())]);
+            merge.execute(&t, &mut out);
+        }
+        // Re-delivery of a newer partial for the same partition replaces
+        // the old one instead of double counting.
+        let t = Tuple::new(vec![
+            Value::Str("p1".into()),
+            Value::Bytes(CountSum { n: 4, sum: 6 }.snapshot()),
+        ]);
+        merge.execute(&t, &mut out);
+        merge.flush(&mut out);
+        let mut global = CountSum::default();
+        global.restore(out.emitted[0].get(1).unwrap().as_bytes().unwrap()).unwrap();
+        assert_eq!(global, CountSum { n: 12, sum: 51 });
+        assert_eq!(merge.errors(), 0);
+        merge.execute(&tuple_of([1i64]), &mut out);
+        assert_eq!(merge.errors(), 1);
+    }
+
+    #[test]
+    fn log_spout_replays_failures_from_the_log() {
+        let log = Log::new(1).unwrap();
+        for w in ["a", "b", "c"] {
+            log.append(w, Vec::new());
+        }
+        let mut spout = LogSpout::new(&log, 0, 0, 0, |r: &Record| tuple_of([r.key.as_str()]));
+        let t1 = spout.next_tuple().unwrap();
+        let t2 = spout.next_tuple().unwrap();
+        assert_eq!(t1.root, 1);
+        assert_eq!(t2.root, 2);
+        assert_eq!(spout.pending(), 2);
+        spout.ack(1);
+        spout.fail(2);
+        // The failed record comes back, re-read from the log.
+        let replayed = spout.next_tuple().unwrap();
+        assert_eq!(replayed.root, 2);
+        assert_eq!(replayed.get(0).unwrap().as_str(), Some("b"));
+        assert_eq!(spout.replays, 1);
+        let t3 = spout.next_tuple().unwrap();
+        assert_eq!(t3.root, 3);
+        assert!(spout.next_tuple().is_none());
+        spout.ack(2);
+        spout.ack(3);
+        assert_eq!(spout.pending(), 0);
+    }
+
+    #[test]
+    fn log_spout_resumes_mid_log_with_id_base() {
+        let log = Log::new(1).unwrap();
+        for i in 0..5u8 {
+            log.append("k", vec![i]);
+        }
+        let base = 1u64 << 40;
+        let mut spout =
+            LogSpout::new(&log, 0, 3, base, |r: &Record| tuple_of([i64::from(r.value[0])]));
+        let t = spout.next_tuple().unwrap();
+        assert_eq!(t.root, base + 4);
+        assert_eq!(t.get(0).unwrap().as_int(), Some(3));
+    }
+
+    #[test]
+    fn replay_offset_is_min_over_keys() {
+        let store = CheckpointStore::new();
+        let snap = CountSum::default().snapshot();
+        store.put("a", encode_checkpoint(42, &snap));
+        store.put("b", encode_checkpoint(17, &snap));
+        assert_eq!(replay_offset(&store, &["a", "b"]), 17);
+        // A task with no checkpoint forces a full replay.
+        assert_eq!(replay_offset(&store, &["a", "b", "c"]), 0);
+        assert_eq!(replay_offset(&store, &[]), 0);
+    }
+}

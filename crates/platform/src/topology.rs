@@ -206,7 +206,8 @@ impl TopologyBuilder {
     /// no self-loops, spouts have no inputs, names are unique.
     ///
     /// `run_topology` calls this automatically; problems surface as
-    /// typed [`TopologyError`] variants inside [`SaError::Topology`].
+    /// typed [`TopologyError`] variants inside
+    /// [`SaError::Topology`](sa_core::SaError::Topology).
     pub fn validate(&self) -> sa_core::Result<()> {
         let mut names = std::collections::HashSet::new();
         for c in &self.components {

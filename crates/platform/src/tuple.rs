@@ -13,6 +13,8 @@ pub enum Value {
     Str(String),
     /// Boolean.
     Bool(bool),
+    /// Opaque bytes (synopsis snapshots travelling between operators).
+    Bytes(Vec<u8>),
 }
 
 impl Value {
@@ -41,6 +43,14 @@ impl Value {
         }
     }
 
+    /// Byte-payload view.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// Stable 64-bit hash (used by fields grouping).
     pub fn hash64(&self) -> u64 {
         match self {
@@ -48,6 +58,7 @@ impl Value {
             Value::Float(f) => sa_core::hash::mix64(f.to_bits() ^ 0x22),
             Value::Str(s) => sa_core::hash::hash64(s.as_str(), 0x33),
             Value::Bool(b) => sa_core::hash::mix64(u64::from(*b) ^ 0x44),
+            Value::Bytes(b) => sa_core::hash::hash64(b.as_slice(), 0x55),
         }
     }
 }
@@ -59,6 +70,7 @@ impl fmt::Display for Value {
             Value::Float(x) => write!(f, "{x}"),
             Value::Str(s) => write!(f, "{s}"),
             Value::Bool(b) => write!(f, "{b}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
         }
     }
 }
@@ -86,6 +98,11 @@ impl From<String> for Value {
 impl From<bool> for Value {
     fn from(v: bool) -> Self {
         Value::Bool(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
     }
 }
 
@@ -150,6 +167,11 @@ mod tests {
         assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
         assert_eq!(Value::Str("x".into()).as_int(), None);
         assert_eq!(Value::Bool(true).as_float(), None);
+        assert_eq!(Value::Bytes(vec![1, 2]).as_bytes(), Some(&[1u8, 2][..]));
+        assert_eq!(Value::Int(1).as_bytes(), None);
+        assert_eq!(Value::Bytes(vec![0; 9]).to_string(), "<9 bytes>");
+        assert_eq!(Value::Bytes(vec![7]).hash64(), Value::Bytes(vec![7]).hash64());
+        assert_ne!(Value::Bytes(vec![7]).hash64(), Value::Bytes(vec![8]).hash64());
     }
 
     #[test]

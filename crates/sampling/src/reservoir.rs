@@ -1,7 +1,8 @@
 //! Uniform reservoir sampling (Vitter, TOMS 1985).
 
+use sa_core::codec::{ByteReader, ByteWriter, CodecItem};
 use sa_core::rng::SplitMix64;
-use sa_core::{Merge, Result, SaError};
+use sa_core::{Merge, Result, SaError, Synopsis};
 
 /// Which reservoir algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -157,6 +158,58 @@ impl<T: Clone> Merge for Reservoir<T> {
     }
 }
 
+const SNAPSHOT_TAG: u8 = b'R';
+
+impl<T: CodecItem> Synopsis for Reservoir<T> {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.tag(SNAPSHOT_TAG)
+            .put_u64(self.k as u64)
+            .put_u64(self.n)
+            .put_u8(match self.algo {
+                ReservoirAlgo::R => 0,
+                ReservoirAlgo::L => 1,
+            })
+            // The RNG state rides along, so the restored reservoir draws
+            // the exact same randomness stream — recovery replays
+            // deterministically.
+            .put_u64(self.rng.state())
+            .put_f64(self.w)
+            .put_u64(self.skip);
+        w.put_u64(self.sample.len() as u64);
+        for item in &self.sample {
+            item.encode_item(&mut w);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_tag(SNAPSHOT_TAG, "Reservoir")?;
+        let k = r.get_u64()? as usize;
+        let n = r.get_u64()?;
+        let algo = match r.get_u8()? {
+            0 => ReservoirAlgo::R,
+            1 => ReservoirAlgo::L,
+            a => return Err(SaError::Codec(format!("unknown reservoir algorithm byte {a}"))),
+        };
+        let rng_state = r.get_u64()?;
+        let w = r.get_f64()?;
+        let skip = r.get_u64()?;
+        let len = r.get_len(1)?;
+        if k == 0 || len > k {
+            return Err(SaError::Codec(format!("reservoir snapshot has {len} items for k={k}")));
+        }
+        let mut sample = Vec::with_capacity(k);
+        for _ in 0..len {
+            sample.push(T::decode_item(&mut r)?);
+        }
+        r.finish()?;
+        *self = Self { sample, k, n, algo, rng: SplitMix64::new(rng_state), w, skip };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +333,39 @@ mod tests {
     #[test]
     fn zero_k_rejected() {
         assert!(Reservoir::<u32>::new(0, ReservoirAlgo::R).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        for algo in [ReservoirAlgo::R, ReservoirAlgo::L] {
+            let mut s = Reservoir::new(64, algo).unwrap().with_seed(11);
+            for i in 0..10_000u64 {
+                s.offer(i);
+            }
+            let mut t = Reservoir::new(8, ReservoirAlgo::R).unwrap(); // differently configured
+            t.restore(&s.snapshot()).unwrap();
+            assert_eq!(t.n(), s.n());
+            assert_eq!(t.sample(), s.sample());
+            // The RNG state rode along: suffixes evolve identically.
+            for i in 10_000..20_000u64 {
+                s.offer(i);
+                t.offer(i);
+            }
+            assert_eq!(t.sample(), s.sample(), "{algo:?} diverged after restore");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_bytes() {
+        let mut s = Reservoir::new(4, ReservoirAlgo::L).unwrap();
+        for i in 0..100u64 {
+            s.offer(i);
+        }
+        let snap = s.snapshot();
+        let mut t = Reservoir::<u64>::new(4, ReservoirAlgo::L).unwrap();
+        assert!(t.restore(&snap[..snap.len() - 3]).is_err());
+        let mut bad_algo = snap.clone();
+        bad_algo[17] = 9; // the algo byte follows tag + k + n
+        assert!(t.restore(&bad_algo).is_err());
     }
 }

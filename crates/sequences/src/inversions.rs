@@ -70,7 +70,7 @@ impl ExactInversions {
         self.n
     }
 
-    /// Normalized sortedness in [0,1]: 1 = sorted, 0 = reversed.
+    /// Normalized sortedness in \[0,1\]: 1 = sorted, 0 = reversed.
     pub fn sortedness(&self) -> f64 {
         if self.n < 2 {
             return 1.0;

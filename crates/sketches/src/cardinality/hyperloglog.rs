@@ -2,8 +2,9 @@
 //! HLL++-style small-range correction (Heule, Nunkesser, Hall — EDBT'13).
 
 use super::rho;
+use sa_core::codec::{ByteReader, ByteWriter};
 use sa_core::traits::CardinalityEstimator;
-use sa_core::{Merge, Result, SaError};
+use sa_core::{Merge, Result, SaError, Synopsis};
 
 /// HyperLogLog cardinality estimator.
 ///
@@ -127,6 +128,34 @@ impl Merge for HyperLogLog {
     }
 }
 
+const SNAPSHOT_TAG: u8 = b'H';
+
+impl Synopsis for HyperLogLog {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(1 + 4 + 1 + 8 + self.registers.len());
+        w.tag(SNAPSHOT_TAG).put_u32(self.p).put_bool(self.small_range_correction);
+        w.put_bytes(&self.registers);
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_tag(SNAPSHOT_TAG, "HyperLogLog")?;
+        let p = r.get_u32()?;
+        let small_range_correction = r.get_bool()?;
+        let registers = r.get_bytes()?.to_vec();
+        r.finish()?;
+        if !(4..=18).contains(&p) || registers.len() != 1 << p {
+            return Err(SaError::Codec(format!(
+                "HLL snapshot has {} registers for precision {p}",
+                registers.len()
+            )));
+        }
+        *self = Self { registers, p, small_range_correction };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +267,33 @@ mod tests {
     fn invalid_precision() {
         assert!(HyperLogLog::new(3).is_err());
         assert!(HyperLogLog::new(19).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_exactly() {
+        let mut s = HyperLogLog::new(10).unwrap().without_small_range_correction();
+        for i in 0..10_000u64 {
+            s.insert(&i);
+        }
+        let mut t = HyperLogLog::new(4).unwrap(); // differently configured
+        t.restore(&s.snapshot()).unwrap();
+        assert_eq!(t.precision(), 10);
+        assert_eq!(t.estimate(), s.estimate());
+        for i in 10_000..20_000u64 {
+            s.insert(&i);
+            t.insert(&i);
+        }
+        assert_eq!(t.estimate(), s.estimate());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_bytes() {
+        let s = HyperLogLog::new(8).unwrap();
+        let snap = s.snapshot();
+        let mut t = HyperLogLog::new(8).unwrap();
+        assert!(t.restore(&snap[..snap.len() - 3]).is_err());
+        let mut wrong_tag = snap.clone();
+        wrong_tag[0] = b'X';
+        assert!(t.restore(&wrong_tag).is_err());
     }
 }

@@ -1,8 +1,9 @@
 //! Count-Min sketch (Cormode & Muthukrishnan, Journal of Algorithms 2005).
 
+use sa_core::codec::{ByteReader, ByteWriter};
 use sa_core::hash::DoubleHash;
 use sa_core::traits::FrequencyEstimator;
-use sa_core::{Merge, Result, SaError};
+use sa_core::{Merge, Result, SaError, Synopsis};
 
 /// Count-Min sketch: `d` rows × `w` counters.
 ///
@@ -174,6 +175,48 @@ impl Merge for CountMinSketch {
     }
 }
 
+const SNAPSHOT_TAG: u8 = b'C';
+
+impl Synopsis for CountMinSketch {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(1 + 8 * 4 + 1 + self.counters.len() * 8);
+        w.tag(SNAPSHOT_TAG)
+            .put_u64(self.width as u64)
+            .put_u64(self.depth as u64)
+            .put_i64(self.total)
+            .put_bool(self.conservative)
+            .put_u64(self.seed);
+        w.put_u64(self.counters.len() as u64);
+        for &c in &self.counters {
+            w.put_i64(c);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_tag(SNAPSHOT_TAG, "CountMinSketch")?;
+        let width = r.get_u64()? as usize;
+        let depth = r.get_u64()? as usize;
+        let total = r.get_i64()?;
+        let conservative = r.get_bool()?;
+        let seed = r.get_u64()?;
+        let n = r.get_len(8)?;
+        if width == 0 || depth == 0 || n != width * depth {
+            return Err(SaError::Codec(format!(
+                "CMS snapshot has {n} counters for {width}×{depth}"
+            )));
+        }
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            counters.push(r.get_i64()?);
+        }
+        r.finish()?;
+        *self = Self { counters, width, depth, total, conservative, seed };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +328,41 @@ mod tests {
         let est = a.inner_product(&b).unwrap();
         assert!(est >= 5000, "inner product underestimated: {est}");
         assert!(est < 7000, "inner product too loose: {est}");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_exactly() {
+        let mut s = CountMinSketch::new(128, 4).unwrap();
+        for i in 0..5_000u64 {
+            s.add(&(i % 200), 1);
+        }
+        let mut t = CountMinSketch::new(8, 1).unwrap(); // differently configured
+        t.restore(&s.snapshot()).unwrap();
+        assert_eq!(t.total(), s.total());
+        for i in 0..200u64 {
+            assert_eq!(t.estimate(&i), s.estimate(&i));
+        }
+        for i in 0..1_000u64 {
+            s.add(&(i % 50), 2);
+            t.add(&(i % 50), 2);
+        }
+        for i in 0..200u64 {
+            assert_eq!(t.estimate(&i), s.estimate(&i));
+        }
+        // Conservative flag round-trips.
+        let cons = CountMinSketch::new(32, 2).unwrap().conservative();
+        let mut back = CountMinSketch::new(32, 2).unwrap();
+        back.restore(&cons.snapshot()).unwrap();
+        assert!(back.merge(&CountMinSketch::new(32, 2).unwrap()).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_bytes() {
+        let s = CountMinSketch::new(16, 2).unwrap();
+        let snap = s.snapshot();
+        let mut t = CountMinSketch::new(16, 2).unwrap();
+        assert!(t.restore(&snap[..snap.len() - 1]).is_err());
+        assert!(t.restore(&[]).is_err());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! SpaceSaving (Metwally, Agrawal, El Abbadi — ICDT 2005).
 
 use super::HeavyHitter;
-use sa_core::{Merge, Result, SaError};
+use sa_core::codec::{ByteReader, ByteWriter, CodecItem};
+use sa_core::{Merge, Result, SaError, Synopsis};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
@@ -192,6 +193,52 @@ impl<T: Eq + Hash + Clone> Merge for SpaceSaving<T> {
     }
 }
 
+const SNAPSHOT_TAG: u8 = b'S';
+
+impl<T: Eq + Hash + Clone + CodecItem> Synopsis for SpaceSaving<T> {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.tag(SNAPSHOT_TAG).put_u64(self.k as u64).put_u64(self.n);
+        w.put_u64(self.slots.len() as u64);
+        for s in &self.slots {
+            s.item.encode_item(&mut w);
+            w.put_u64(s.count).put_u64(s.error);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_tag(SNAPSHOT_TAG, "SpaceSaving")?;
+        let k = r.get_u64()? as usize;
+        let n = r.get_u64()?;
+        let len = r.get_len(1)?;
+        if k == 0 || len > k {
+            return Err(SaError::Codec(format!("SpaceSaving snapshot has {len} slots for k={k}")));
+        }
+        let mut slots = Vec::with_capacity(len.min(k));
+        for _ in 0..len {
+            let item = T::decode_item(&mut r)?;
+            let count = r.get_u64()?;
+            let error = r.get_u64()?;
+            slots.push(Slot { item, count, error });
+        }
+        r.finish()?;
+        // Rebuild the derived index and heap from the slots.
+        let mut index = HashMap::with_capacity(k);
+        let mut heap = BinaryHeap::new();
+        for (i, s) in slots.iter().enumerate() {
+            index.insert(s.item.clone(), i);
+            heap.push(Reverse((s.count, i)));
+        }
+        if index.len() != slots.len() {
+            return Err(SaError::Codec("SpaceSaving snapshot has duplicate items".into()));
+        }
+        *self = Self { slots, index, heap, k, n };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,5 +367,40 @@ mod tests {
     #[test]
     fn invalid_k() {
         assert!(SpaceSaving::<u64>::new(0).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_exactly() {
+        let mut g = ZipfStream::new(1_000, 1.2, 46);
+        let mut s = SpaceSaving::new(32).unwrap();
+        for it in g.take_vec(20_000) {
+            s.insert(it);
+        }
+        let mut t = SpaceSaving::new(4).unwrap(); // differently configured
+        t.restore(&s.snapshot()).unwrap();
+        assert_eq!(t.n(), s.n());
+        assert_eq!(t.len(), s.len());
+        // Resume both with the same suffix: identical summaries.
+        for it in g.take_vec(5_000) {
+            s.insert(it);
+            t.insert(it);
+        }
+        for h in s.top_k(32) {
+            assert_eq!(t.estimate(&h.item), h.count);
+            assert_eq!(t.lower_bound(&h.item), h.count - h.error);
+        }
+    }
+
+    #[test]
+    fn string_items_round_trip() {
+        let mut s = SpaceSaving::new(4).unwrap();
+        for w in ["the", "the", "quick", "fox", "the"] {
+            s.insert(w.to_string());
+        }
+        let mut t = SpaceSaving::new(4).unwrap();
+        t.restore(&s.snapshot()).unwrap();
+        assert_eq!(t.estimate(&"the".to_string()), 3);
+        let snap = s.snapshot();
+        assert!(t.restore(&snap[..snap.len() - 2]).is_err());
     }
 }

@@ -1,8 +1,9 @@
 //! The classic Bloom filter (Bloom, CACM 1970).
 
+use sa_core::codec::{ByteReader, ByteWriter};
 use sa_core::hash::DoubleHash;
 use sa_core::traits::MembershipFilter;
-use sa_core::{Merge, Result, SaError};
+use sa_core::{Merge, Result, SaError, Synopsis};
 
 /// Space/time-efficient approximate set with no false negatives.
 ///
@@ -127,6 +128,39 @@ impl Merge for BloomFilter {
     }
 }
 
+const SNAPSHOT_TAG: u8 = b'B';
+
+impl Synopsis for BloomFilter {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(1 + 8 + 4 + 8 + 8 + self.bits.len() * 8);
+        w.tag(SNAPSHOT_TAG).put_u64(self.m as u64).put_u32(self.k).put_u64(self.items);
+        w.put_u64(self.bits.len() as u64);
+        for &word in &self.bits {
+            w.put_u64(word);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_tag(SNAPSHOT_TAG, "BloomFilter")?;
+        let m = r.get_u64()? as usize;
+        let k = r.get_u32()?;
+        let items = r.get_u64()?;
+        let words = r.get_len(8)?;
+        if m == 0 || k == 0 || words != m.div_ceil(64) {
+            return Err(SaError::Codec(format!("Bloom snapshot has {words} words for m={m}")));
+        }
+        let mut bits = Vec::with_capacity(words);
+        for _ in 0..words {
+            bits.push(r.get_u64()?);
+        }
+        r.finish()?;
+        *self = Self { bits, m, k, items };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +227,27 @@ mod tests {
         assert!(BloomFilter::new(10, 0).is_err());
         assert!(BloomFilter::with_fpp(10, 0.0).is_err());
         assert!(BloomFilter::with_fpp(10, 1.0).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_exactly() {
+        let mut s = BloomFilter::new(4096, 5).unwrap();
+        for i in 0..500u32 {
+            s.insert(&i);
+        }
+        let mut t = BloomFilter::new(64, 1).unwrap(); // differently configured
+        t.restore(&s.snapshot()).unwrap();
+        assert_eq!(t.bits(), 4096);
+        assert_eq!(t.items(), s.items());
+        for i in 500..700u32 {
+            s.insert(&i);
+            t.insert(&i);
+        }
+        for i in 0..1_000u32 {
+            assert_eq!(t.contains(&i), s.contains(&i));
+        }
+        let snap = s.snapshot();
+        assert!(t.restore(&snap[..snap.len() - 4]).is_err());
     }
 
     #[test]

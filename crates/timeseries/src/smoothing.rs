@@ -1,6 +1,7 @@
 //! Exponential smoothing: EWMA and Holt's linear (trend) method.
 
-use sa_core::{Result, SaError};
+use sa_core::codec::{ByteReader, ByteWriter};
+use sa_core::{Result, SaError, Synopsis};
 
 /// Exponentially weighted moving average with optional variance tracking.
 ///
@@ -53,6 +54,35 @@ impl Ewma {
     /// Observations consumed.
     pub fn count(&self) -> u64 {
         self.n
+    }
+}
+
+const EWMA_SNAPSHOT_TAG: u8 = b'E';
+
+impl Synopsis for Ewma {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(1 + 8 * 4);
+        w.tag(EWMA_SNAPSHOT_TAG)
+            .put_f64(self.alpha)
+            .put_f64(self.level)
+            .put_f64(self.var)
+            .put_u64(self.n);
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_tag(EWMA_SNAPSHOT_TAG, "Ewma")?;
+        let alpha = r.get_f64()?;
+        let level = r.get_f64()?;
+        let var = r.get_f64()?;
+        let n = r.get_u64()?;
+        r.finish()?;
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(SaError::Codec(format!("EWMA snapshot has alpha {alpha}")));
+        }
+        *self = Self { alpha, level, var, n };
+        Ok(())
     }
 }
 
@@ -115,6 +145,27 @@ impl Holt {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ewma_snapshot_restore_resumes_exactly() {
+        let mut s = Ewma::new(0.3).unwrap();
+        for i in 0..500 {
+            s.update((i as f64).sin() * 10.0);
+        }
+        let mut t = Ewma::new(0.9).unwrap(); // differently configured
+        t.restore(&s.snapshot()).unwrap();
+        assert_eq!(t.level(), s.level());
+        assert_eq!(t.count(), s.count());
+        for i in 500..800 {
+            let x = (i as f64).sin() * 10.0;
+            s.update(x);
+            t.update(x);
+        }
+        assert_eq!(t.level(), s.level());
+        assert_eq!(t.stddev(), s.stddev());
+        let snap = s.snapshot();
+        assert!(t.restore(&snap[..10]).is_err());
+    }
 
     #[test]
     fn ewma_converges_to_constant() {

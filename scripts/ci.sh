@@ -10,10 +10,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (workspace, no deps, -D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo build --release =="
 cargo build --workspace --release
 
 echo "== cargo test =="
 cargo test --workspace -q
+
+echo "== crash/recovery gate (exactly-once under both semantics) =="
+cargo test -q --test recovery
 
 echo "CI gate passed."

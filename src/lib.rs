@@ -20,12 +20,9 @@
 //!   end to end.
 //!
 //! Per-module guides live in each crate:
-//! [`sketches`](sa_sketches), [`sampling`](sa_sampling),
-//! [`windows`](sa_windows), [`timeseries`](sa_timeseries),
-//! [`clustering`](sa_clustering), [`graph`](sa_graph),
-//! [`sequences`](sa_sequences), [`histograms`](sa_histograms),
-//! [`platform`](sa_platform), with shared plumbing in
-//! [`core`](sa_core).
+//! [`sketches`], [`sampling`], [`windows`], [`timeseries`],
+//! [`clustering`], [`graph`], [`sequences`], [`histograms`],
+//! [`platform`], with shared plumbing in [`core`].
 
 pub use sa_clustering as clustering;
 pub use sa_core as core;
@@ -54,13 +51,17 @@ pub use sa_windows as windows;
 /// assert_eq!(result.outputs["echo"].len(), 2);
 /// ```
 pub mod prelude {
+    pub use sa_core::codec::{ByteReader, ByteWriter, CodecItem};
     pub use sa_core::error::{Result, SaError, TopologyError};
+    pub use sa_core::synopsis::Synopsis;
     pub use sa_core::traits::{
         CardinalityEstimator, FrequencyEstimator, MembershipFilter, Merge, QuantileSketch,
     };
     pub use sa_platform::{
-        run_topology, tuple_of, vec_spout, Batch, Bolt, BoltHandle, CounterHandle, ExecutorConfig,
-        ExecutorModel, Grouping, Metrics, MetricsSnapshot, OutputCollector, RunResult, Semantics,
-        Spout, SpoutHandle, TopologyBuilder, Tuple, Value, VecSpout,
+        decode_checkpoint, replay_offset, run_topology, tuple_of, vec_spout, Batch, Bolt,
+        BoltHandle, CheckpointStore, Consumer, CounterHandle, ExecutorConfig, ExecutorModel,
+        Grouping, Log, LogSpout, MergeBolt, Metrics, MetricsSnapshot, OperatorConfig,
+        OutputCollector, Record, RunResult, Semantics, Spout, SpoutHandle, SynopsisBolt,
+        TopologyBuilder, Tuple, Value, VecSpout,
     };
 }

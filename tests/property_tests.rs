@@ -5,7 +5,7 @@
 //! [`SplitMix64`], so failures are reproducible from the case index.
 
 use sa_core::rng::SplitMix64;
-use streaming_analytics::prelude::{CardinalityEstimator, Merge, QuantileSketch};
+use streaming_analytics::prelude::{CardinalityEstimator, Merge, QuantileSketch, Synopsis};
 use streaming_analytics::sketches::cardinality::{HyperLogLog, Kmv};
 use streaming_analytics::sketches::frequency::CountMinSketch;
 use streaming_analytics::sketches::heavy_hitters::{MisraGries, SpaceSaving};
@@ -289,6 +289,148 @@ fn haar_round_trip() {
         for (a, b) in v.iter().zip(&back) {
             assert!((a - b).abs() < 1e-6, "case {case}");
         }
+    }
+}
+
+/// Restoring `built`'s snapshot into `fresh` must reproduce it bit for
+/// bit — byte-equal snapshots imply equal answers to every query.
+fn assert_round_trip<S: Synopsis>(mut fresh: S, built: &S, ctx: &str) {
+    fresh.restore(&built.snapshot()).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    assert_eq!(fresh.snapshot(), built.snapshot(), "{ctx}: round trip changed state");
+}
+
+/// Synopsis round-trip law across every family: snapshot → restore is
+/// lossless, including into a differently-configured receiver.
+#[test]
+fn synopsis_snapshot_restore_round_trip() {
+    use sa_core::stats::OnlineStats;
+    use streaming_analytics::clustering::OnlineKMeans;
+    use streaming_analytics::sampling::{Reservoir, ReservoirAlgo};
+    use streaming_analytics::timeseries::smoothing::Ewma;
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5A17_u64 ^ case);
+        let items = vec_of(&mut rng, 1, 400, |r| r.next_below(200));
+
+        let mut hll = HyperLogLog::new(8).unwrap();
+        let mut cms = CountMinSketch::new(64, 4).unwrap();
+        let mut ss = SpaceSaving::new(8).unwrap();
+        let mut gk = GkSketch::new(0.05).unwrap();
+        let mut bloom = BloomFilter::new(1024, 3).unwrap();
+        let mut res = Reservoir::new(16, ReservoirAlgo::L).unwrap().with_seed(case);
+        let mut dgim = Dgim::new(64, 0.1).unwrap();
+        let mut ewma = Ewma::new(0.2).unwrap();
+        let mut km = OnlineKMeans::new(3, 2).unwrap();
+        let mut stats = OnlineStats::new();
+        for &it in &items {
+            hll.insert(&it);
+            cms.add(&it, 1);
+            ss.insert(it);
+            gk.insert(it as f64);
+            bloom.insert(&it);
+            res.offer(it);
+            dgim.push(it % 2 == 0);
+            ewma.update(it as f64);
+            km.push(&[it as f64, (it * 7 % 31) as f64]);
+            stats.push(it as f64);
+        }
+        let ctx = format!("case {case}");
+        assert_round_trip(HyperLogLog::new(4).unwrap(), &hll, &ctx);
+        assert_round_trip(CountMinSketch::new(8, 2).unwrap(), &cms, &ctx);
+        assert_round_trip(SpaceSaving::new(2).unwrap(), &ss, &ctx);
+        assert_round_trip(GkSketch::new(0.4).unwrap(), &gk, &ctx);
+        assert_round_trip(BloomFilter::new(64, 1).unwrap(), &bloom, &ctx);
+        assert_round_trip(Reservoir::new(2, ReservoirAlgo::R).unwrap(), &res, &ctx);
+        assert_round_trip(Dgim::new(7, 0.5).unwrap(), &dgim, &ctx);
+        assert_round_trip(Ewma::new(0.9).unwrap(), &ewma, &ctx);
+        assert_round_trip(OnlineKMeans::new(1, 1).unwrap(), &km, &ctx);
+        assert_round_trip(OnlineStats::new(), &stats, &ctx);
+    }
+}
+
+/// Merging restored snapshots equals merging the originals — the
+/// MergeBolt path (snapshot → ship → restore → merge) loses nothing.
+#[test]
+fn restored_merge_equals_direct_merge() {
+    fn check<S: Synopsis + Merge>(mut a: S, b: &S, fresh_a: S, mut fresh_b: S, ctx: &str) {
+        let mut via_bytes = fresh_a;
+        via_bytes.restore(&a.snapshot()).unwrap();
+        fresh_b.restore(&b.snapshot()).unwrap();
+        via_bytes.merge(&fresh_b).unwrap();
+        a.merge(b).unwrap();
+        assert_eq!(via_bytes.snapshot(), a.snapshot(), "{ctx}: merge after restore diverged");
+    }
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x6B17_u64 ^ case);
+        let xs = vec_of(&mut rng, 0, 300, |r| r.next_below(100));
+        let ys = vec_of(&mut rng, 0, 300, |r| r.next_below(100));
+        let ctx = format!("case {case}");
+
+        let mut ha = HyperLogLog::new(8).unwrap();
+        let mut hb = HyperLogLog::new(8).unwrap();
+        let mut ca = CountMinSketch::new(64, 4).unwrap();
+        let mut cb = CountMinSketch::new(64, 4).unwrap();
+        let mut ba = BloomFilter::new(1024, 3).unwrap();
+        let mut bb = BloomFilter::new(1024, 3).unwrap();
+        for &x in &xs {
+            ha.insert(&x);
+            ca.add(&x, 1);
+            ba.insert(&x);
+        }
+        for &y in &ys {
+            hb.insert(&y);
+            cb.add(&y, 1);
+            bb.insert(&y);
+        }
+        check(ha, &hb, HyperLogLog::new(8).unwrap(), HyperLogLog::new(8).unwrap(), &ctx);
+        check(
+            ca,
+            &cb,
+            CountMinSketch::new(8, 2).unwrap(),
+            CountMinSketch::new(8, 2).unwrap(),
+            &ctx,
+        );
+        check(ba, &bb, BloomFilter::new(64, 1).unwrap(), BloomFilter::new(64, 1).unwrap(), &ctx);
+    }
+}
+
+/// A mid-stream snapshot is an exact resume point: feeding the same
+/// suffix to the original and to a restored copy ends in the same state
+/// (for the reservoir this holds bit-identically because the RNG state
+/// rides in the snapshot).
+#[test]
+fn snapshot_is_exact_resume_point() {
+    use streaming_analytics::sampling::{Reservoir, ReservoirAlgo};
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x7C17_u64 ^ case);
+        let prefix = vec_of(&mut rng, 1, 300, |r| r.next_below(500));
+        let suffix = vec_of(&mut rng, 1, 300, |r| r.next_below(500));
+        let ctx = format!("case {case}");
+
+        let mut hll = HyperLogLog::new(8).unwrap();
+        let mut gk = GkSketch::new(0.1).unwrap();
+        let mut res = Reservoir::new(16, ReservoirAlgo::L).unwrap().with_seed(case ^ 0xFE);
+        for &x in &prefix {
+            hll.insert(&x);
+            gk.insert(x as f64);
+            res.offer(x);
+        }
+        let mut hll2 = HyperLogLog::new(8).unwrap();
+        let mut gk2 = GkSketch::new(0.1).unwrap();
+        let mut res2 = Reservoir::new(16, ReservoirAlgo::L).unwrap();
+        hll2.restore(&hll.snapshot()).unwrap();
+        gk2.restore(&gk.snapshot()).unwrap();
+        res2.restore(&res.snapshot()).unwrap();
+        for &x in &suffix {
+            hll.insert(&x);
+            hll2.insert(&x);
+            gk.insert(x as f64);
+            gk2.insert(x as f64);
+            res.offer(x);
+            res2.offer(x);
+        }
+        assert_eq!(hll.snapshot(), hll2.snapshot(), "{ctx}: HLL diverged after resume");
+        assert_eq!(gk.snapshot(), gk2.snapshot(), "{ctx}: GK diverged after resume");
+        assert_eq!(res.sample(), res2.sample(), "{ctx}: reservoir diverged after resume");
     }
 }
 

@@ -1,0 +1,239 @@
+//! Crash/recovery integration: a topology is killed mid-stream, then
+//! restarted from its checkpoints plus log replay, and must produce
+//! exactly the answer of an uninterrupted run — the MillWheel + Samza
+//! exactly-once story, end to end through the operator layer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use streaming_analytics::core::rng::SplitMix64;
+use streaming_analytics::core::traits::CardinalityEstimator;
+use streaming_analytics::prelude::*;
+use streaming_analytics::sketches::cardinality::HyperLogLog;
+use streaming_analytics::sketches::heavy_hitters::SpaceSaving;
+
+const WC_TASKS: usize = 2;
+
+/// A skewed word stream appended to a 1-partition log; returns the
+/// exact counts.
+fn fill_log(log: &Log, n: usize, seed: u64) -> HashMap<String, u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut truth: HashMap<String, u64> = HashMap::new();
+    for _ in 0..n {
+        // min of two uniform draws skews toward low indices.
+        let i = rng.next_below(30).min(rng.next_below(30));
+        let word = format!("w{i:02}");
+        *truth.entry(word.clone()).or_default() += 1;
+        log.append(&word, Vec::new());
+    }
+    truth
+}
+
+/// When set, flips `kill` after the given number of spout emissions,
+/// so the crash lands mid-stream regardless of how fast the spout
+/// outruns the bolts.
+type KillPlan = Option<(Arc<AtomicU64>, u64, Arc<AtomicBool>)>;
+
+/// Record decoder that also executes the kill plan.
+fn killing_decoder(plan: KillPlan) -> impl FnMut(&Record) -> Tuple + Send {
+    move |r: &Record| {
+        if let Some((emitted, at, kill)) = &plan {
+            if emitted.fetch_add(1, Ordering::SeqCst) + 1 == *at {
+                kill.store(true, Ordering::SeqCst);
+            }
+        }
+        tuple_of([r.key.as_str()])
+    }
+}
+
+/// spout(log) → fields-grouped `SynopsisBolt<SpaceSaving<String>>` × 2.
+/// The bolt component is terminal, so its flush snapshots land in
+/// `outputs["wc"]`.
+fn wordcount_topology(
+    log: &Log,
+    store: &CheckpointStore,
+    from_offset: u64,
+    kill_plan: KillPlan,
+) -> TopologyBuilder {
+    let mut tb = TopologyBuilder::new();
+    let spout = LogSpout::new(log, 0, from_offset, 0, killing_decoder(kill_plan));
+    tb.set_spout("log", vec![Box::new(spout) as Box<dyn Spout>]);
+    let mut bolts: Vec<Box<dyn Bolt>> = Vec::new();
+    for task in 0..WC_TASKS {
+        let update = |t: &Tuple, s: &mut SpaceSaving<String>| {
+            s.insert(t.get(0).unwrap().as_str().unwrap().to_string());
+        };
+        let cfg = OperatorConfig { checkpoint_every: 50, ..Default::default() };
+        // k = 64 > 30 distinct words, so SpaceSaving counts are exact and
+        // any lost or double-applied record shows up as a count mismatch.
+        let bolt = SynopsisBolt::with_config(
+            &format!("wc/{task}"),
+            store,
+            SpaceSaving::new(64).unwrap(),
+            update,
+            cfg,
+        )
+        .unwrap();
+        bolts.push(Box::new(bolt));
+    }
+    tb.set_bolt("wc", bolts).fields("log", vec![0]);
+    tb
+}
+
+/// Merge the per-task flush snapshots back into one exact count table.
+fn merged_counts(outputs: &HashMap<String, Vec<Tuple>>) -> HashMap<String, u64> {
+    let mut global = SpaceSaving::<String>::new(64).unwrap();
+    let tuples = &outputs["wc"];
+    assert_eq!(tuples.len(), WC_TASKS, "one flush snapshot per task");
+    for t in tuples {
+        let mut part = SpaceSaving::<String>::new(64).unwrap();
+        part.restore(t.get(1).unwrap().as_bytes().unwrap()).unwrap();
+        global.merge(&part).unwrap();
+    }
+    global.heavy_hitters(0.0).into_iter().map(|h| (h.item, h.count)).collect()
+}
+
+fn config(semantics: Semantics, kill: Option<Arc<AtomicBool>>) -> ExecutorConfig {
+    ExecutorConfig { semantics, kill, seed: 7, ..Default::default() }
+}
+
+#[test]
+fn wordcount_survives_crash_exactly_once() {
+    for semantics in [Semantics::AtLeastOnce, Semantics::AtMostOnce] {
+        let log = Log::new(1).unwrap();
+        let truth = fill_log(&log, 2_000, 42);
+
+        // Reference: an uninterrupted run on its own store.
+        let clean_store = CheckpointStore::new();
+        let clean =
+            run_topology(wordcount_topology(&log, &clean_store, 0, None), config(semantics, None))
+                .unwrap();
+        assert!(clean.clean_shutdown);
+        assert_eq!(merged_counts(&clean.outputs), truth, "{semantics:?}: clean run wrong");
+
+        // Run 1: crash after ~half the records have been applied.
+        let store = CheckpointStore::new();
+        let kill = Arc::new(AtomicBool::new(false));
+        let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 1_000, kill.clone()));
+        let crashed =
+            run_topology(wordcount_topology(&log, &store, 0, plan), config(semantics, Some(kill)))
+                .unwrap();
+        assert!(!crashed.clean_shutdown, "{semantics:?}: kill switch must mark unclean");
+
+        // Run 2: fresh bolts recover their checkpoints; the spout
+        // replays the log from the oldest unapplied record.
+        let keys: Vec<String> = (0..WC_TASKS).map(|t| format!("wc/{t}")).collect();
+        let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let offset = replay_offset(&store, &key_refs);
+        assert!(offset > 0, "{semantics:?}: crash landed before the first checkpoint");
+        assert!(offset < log.end_offset(0), "{semantics:?}: crash after full stream");
+        // Replay starts at the *minimum* checkpointed frontier; the task
+        // that was further ahead at the crash must deduplicate the
+        // overlap for the final counts to come out exact.
+        let max_applied = key_refs
+            .iter()
+            .map(|k| decode_checkpoint(&store.get(k).unwrap().1).unwrap().0)
+            .max()
+            .unwrap();
+        assert!(max_applied > offset, "{semantics:?}: replay should overlap the checkpoints");
+        let recovered =
+            run_topology(wordcount_topology(&log, &store, offset, None), config(semantics, None))
+                .unwrap();
+        assert!(recovered.clean_shutdown);
+        assert_eq!(
+            merged_counts(&recovered.outputs),
+            truth,
+            "{semantics:?}: recovered counts differ from ground truth"
+        );
+    }
+}
+
+#[test]
+fn hyperloglog_estimate_identical_after_crash_recovery() {
+    let log = Log::new(1).unwrap();
+    let mut rng = SplitMix64::new(9);
+    let mut direct = HyperLogLog::new(12).unwrap();
+    for _ in 0..5_000 {
+        let user = format!("user-{}", rng.next_below(3_000));
+        direct.insert(&user);
+        log.append(&user, Vec::new());
+    }
+
+    let hll_topology = |store: &CheckpointStore, from_offset: u64, kill_plan: KillPlan| {
+        let mut tb = TopologyBuilder::new();
+        let spout = LogSpout::new(&log, 0, from_offset, 0, killing_decoder(kill_plan));
+        tb.set_spout("log", vec![Box::new(spout) as Box<dyn Spout>]);
+        let update = |t: &Tuple, s: &mut HyperLogLog| s.insert(t.get(0).unwrap().as_str().unwrap());
+        let cfg = OperatorConfig { checkpoint_every: 100, ..Default::default() };
+        let bolt =
+            SynopsisBolt::with_config("hll/0", store, HyperLogLog::new(12).unwrap(), update, cfg)
+                .unwrap();
+        tb.set_bolt("hll", vec![Box::new(bolt) as Box<dyn Bolt>]).global("log");
+        tb
+    };
+
+    let store = CheckpointStore::new();
+    let kill = Arc::new(AtomicBool::new(false));
+    let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 2_500, kill.clone()));
+    let crashed =
+        run_topology(hll_topology(&store, 0, plan), config(Semantics::AtLeastOnce, Some(kill)))
+            .unwrap();
+    assert!(!crashed.clean_shutdown);
+
+    let offset = replay_offset(&store, &["hll/0"]);
+    assert!(offset > 0 && offset < log.end_offset(0));
+    let recovered =
+        run_topology(hll_topology(&store, offset, None), config(Semantics::AtLeastOnce, None))
+            .unwrap();
+    assert!(recovered.clean_shutdown);
+    let mut restored = HyperLogLog::new(12).unwrap();
+    restored.restore(recovered.outputs["hll"][0].get(1).unwrap().as_bytes().unwrap()).unwrap();
+    // Register-identical recovery: the estimate matches an uninterrupted
+    // in-process run bit for bit, not just within the error bound.
+    assert_eq!(restored.estimate(), direct.estimate());
+}
+
+#[test]
+fn merge_bolt_global_view_matches_single_instance() {
+    let mut tuples = Vec::new();
+    let mut direct = HyperLogLog::new(10).unwrap();
+    let mut rng = SplitMix64::new(77);
+    for _ in 0..3_000 {
+        let user = format!("user-{}", rng.next_below(800));
+        direct.insert(&user);
+        tuples.push(tuple_of([user.as_str()]));
+    }
+
+    let store = CheckpointStore::new();
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("users", vec![vec_spout(tuples)]);
+    let mut bolts: Vec<Box<dyn Bolt>> = Vec::new();
+    for task in 0..4 {
+        let update = |t: &Tuple, s: &mut HyperLogLog| s.insert(t.get(0).unwrap().as_str().unwrap());
+        let bolt = SynopsisBolt::new(
+            &format!("part/{task}"),
+            &store,
+            HyperLogLog::new(10).unwrap(),
+            update,
+        )
+        .unwrap();
+        bolts.push(Box::new(bolt));
+    }
+    tb.set_bolt("partials", bolts).fields("users", vec![0]);
+    tb.set_bolt(
+        "global",
+        vec![Box::new(MergeBolt::new("site", HyperLogLog::new(10).unwrap())) as Box<dyn Bolt>],
+    )
+    .global("partials");
+
+    let result = run_topology(tb, config(Semantics::AtLeastOnce, None)).unwrap();
+    assert!(result.clean_shutdown);
+    let out = &result.outputs["global"][0];
+    assert_eq!(out.get(0).unwrap().as_str(), Some("site"));
+    let mut merged = HyperLogLog::new(10).unwrap();
+    merged.restore(out.get(1).unwrap().as_bytes().unwrap()).unwrap();
+    // Each user routes to exactly one partition and HLL merge is the
+    // register-wise max, so partition-and-merge is *exactly* the
+    // single-instance sketch — same registers, same estimate.
+    assert_eq!(merged.estimate(), direct.estimate());
+}
