@@ -2,33 +2,155 @@
 //! `Sender` type carry both flavours the two executor models need —
 //! rendezvous-bounded (ProcessPerTask / Heron, blocking send =
 //! backpressure) and unbounded (Multiplexed / Storm).
+//!
+//! Links can carry a [`LinkStats`] gauge (see
+//! [`channel_instrumented`]): every successful send bumps a depth
+//! counter (and its high-water mark), every receive decrements it, and
+//! a bounded send that finds the queue full is timed — the blocked
+//! nanoseconds are the platform's *backpressure stall* signal, Heron's
+//! "slow down, downstream is saturated" event surfaced as a metric.
+//! All accounting is relaxed atomics; the uncontended cost is two
+//! `fetch_add`s per message, paid once per *batch* on executor links.
 
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
-/// Sending half of a link.
-pub enum Sender<T> {
+/// Shared depth/backpressure gauge of one (bundle of) link(s).
+/// Clone-cheap; clones share the atomics, so all queues of one
+/// component can aggregate into a single account.
+#[derive(Clone, Debug, Default)]
+pub struct LinkStats {
+    inner: Arc<LinkStatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct LinkStatsInner {
+    depth: AtomicU64,
+    high_water: AtomicU64,
+    stalls: AtomicU64,
+    stall_ns: AtomicU64,
+}
+
+impl LinkStats {
+    /// A fresh gauge at depth 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one message about to be enqueued and update the
+    /// high-water mark. Charged *before* the underlying send, so a
+    /// receiver that dequeues immediately can never drive the depth
+    /// negative (which would wrap the unsigned gauge and poison the
+    /// high-water mark).
+    #[inline]
+    pub(crate) fn on_send(&self) {
+        let depth = self.inner.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Roll back [`LinkStats::on_send`] after a failed send.
+    #[inline]
+    pub(crate) fn on_send_failed(&self) {
+        self.inner.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record one dequeued message.
+    #[inline]
+    pub(crate) fn on_recv(&self) {
+        self.inner.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record one full-queue stall that blocked for `ns` nanoseconds.
+    #[inline]
+    pub(crate) fn on_stall(&self, ns: u64) {
+        self.inner.stalls.fetch_add(1, Ordering::Relaxed);
+        self.inner.stall_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Messages currently queued.
+    pub fn depth(&self) -> u64 {
+        self.inner.depth.load(Ordering::Relaxed)
+    }
+
+    /// Maximum queued messages ever observed.
+    pub fn high_water(&self) -> u64 {
+        self.inner.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Sends that found the queue full (backpressure events).
+    pub fn stalls(&self) -> u64 {
+        self.inner.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds senders spent blocked on a full queue.
+    pub fn stall_ns(&self) -> u64 {
+        self.inner.stall_ns.load(Ordering::Relaxed)
+    }
+}
+
+enum SenderKind<T> {
     /// Bounded queue: `send` blocks when full (backpressure).
     Bounded(mpsc::SyncSender<T>),
     /// Unbounded queue: `send` never blocks.
     Unbounded(mpsc::Sender<T>),
 }
 
-impl<T> Clone for Sender<T> {
+impl<T> Clone for SenderKind<T> {
     fn clone(&self) -> Self {
         match self {
-            Sender::Bounded(s) => Sender::Bounded(s.clone()),
-            Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+            SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
+            SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
         }
     }
 }
 
+/// Sending half of a link.
+pub struct Sender<T> {
+    kind: SenderKind<T>,
+    stats: Option<LinkStats>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self { kind: self.kind.clone(), stats: self.stats.clone() }
+    }
+}
+
 impl<T> Sender<T> {
-    /// Deliver `value`; `Err` only when the receiver is gone.
+    /// Deliver `value`; `Err` only when the receiver is gone. On a
+    /// bounded link a full queue blocks (backpressure) and, when
+    /// instrumented, the blocked time is charged to the gauge.
     pub fn send(&self, value: T) -> Result<(), Disconnected> {
-        match self {
-            Sender::Bounded(s) => s.send(value).map_err(|_| Disconnected),
-            Sender::Unbounded(s) => s.send(value).map_err(|_| Disconnected),
+        // Depth is charged before the enqueue (and rolled back on
+        // failure): the receiver can only dequeue what was charged, so
+        // the gauge stays non-negative under any interleaving.
+        if let Some(stats) = &self.stats {
+            stats.on_send();
         }
+        let sent = match &self.kind {
+            SenderKind::Bounded(s) => match s.try_send(value) {
+                Ok(()) => Ok(()),
+                Err(mpsc::TrySendError::Full(value)) => {
+                    let blocked_at = Instant::now();
+                    let sent = s.send(value).map_err(|_| Disconnected);
+                    if sent.is_ok() {
+                        if let Some(stats) = &self.stats {
+                            stats.on_stall(blocked_at.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    sent
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => Err(Disconnected),
+            },
+            SenderKind::Unbounded(s) => s.send(value).map_err(|_| Disconnected),
+        };
+        if sent.is_err() {
+            if let Some(stats) = &self.stats {
+                stats.on_send_failed();
+            }
+        }
+        sent
     }
 }
 
@@ -39,6 +161,7 @@ pub struct Disconnected;
 /// Receiving half of a link.
 pub struct Receiver<T> {
     inner: mpsc::Receiver<T>,
+    stats: Option<LinkStats>,
 }
 
 /// Why a non-blocking receive returned nothing.
@@ -53,28 +176,58 @@ pub enum TryRecvError {
 impl<T> Receiver<T> {
     /// Block until a message arrives; `Err` when all senders are gone.
     pub fn recv(&self) -> Result<T, Disconnected> {
-        self.inner.recv().map_err(|_| Disconnected)
+        let msg = self.inner.recv().map_err(|_| Disconnected)?;
+        if let Some(stats) = &self.stats {
+            stats.on_recv();
+        }
+        Ok(msg)
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        self.inner.try_recv().map_err(|e| match e {
-            mpsc::TryRecvError::Empty => TryRecvError::Empty,
-            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-        })
+        match self.inner.try_recv() {
+            Ok(msg) => {
+                if let Some(stats) = &self.stats {
+                    stats.on_recv();
+                }
+                Ok(msg)
+            }
+            Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
+            Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+        }
     }
 }
 
 /// A link: `Some(capacity)` = bounded, `None` = unbounded.
 pub fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    build(capacity, None)
+}
+
+/// A link whose traffic is accounted against `stats` (depth, high-water
+/// mark, backpressure stalls). Several links may share one `stats`
+/// clone to aggregate.
+pub fn channel_instrumented<T>(
+    capacity: Option<usize>,
+    stats: LinkStats,
+) -> (Sender<T>, Receiver<T>) {
+    build(capacity, Some(stats))
+}
+
+fn build<T>(capacity: Option<usize>, stats: Option<LinkStats>) -> (Sender<T>, Receiver<T>) {
     match capacity {
         Some(n) => {
             let (s, r) = mpsc::sync_channel(n);
-            (Sender::Bounded(s), Receiver { inner: r })
+            (
+                Sender { kind: SenderKind::Bounded(s), stats: stats.clone() },
+                Receiver { inner: r, stats },
+            )
         }
         None => {
             let (s, r) = mpsc::channel();
-            (Sender::Unbounded(s), Receiver { inner: r })
+            (
+                Sender { kind: SenderKind::Unbounded(s), stats: stats.clone() },
+                Receiver { inner: r, stats },
+            )
         }
     }
 }
@@ -82,6 +235,7 @@ pub fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn bounded_roundtrip_and_disconnect() {
@@ -102,5 +256,52 @@ mod tests {
             tx.send(i).unwrap();
         }
         assert_eq!(rx.recv(), Ok(0));
+    }
+
+    #[test]
+    fn instrumented_link_tracks_depth_and_high_water() {
+        let stats = LinkStats::new();
+        let (tx, rx) = channel_instrumented::<u32>(None, stats.clone());
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(stats.depth(), 5);
+        assert_eq!(stats.high_water(), 5);
+        for _ in 0..3 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(stats.depth(), 2);
+        assert_eq!(stats.high_water(), 5, "high-water mark never recedes");
+        assert_eq!(stats.stalls(), 0, "unbounded links never stall");
+    }
+
+    #[test]
+    fn full_bounded_send_records_a_stall() {
+        let stats = LinkStats::new();
+        let (tx, rx) = channel_instrumented::<u32>(Some(1), stats.clone());
+        tx.send(1).unwrap(); // fills the queue
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            (rx.recv(), rx.recv())
+        });
+        tx.send(2).unwrap(); // blocks until the consumer drains
+        assert_eq!(stats.stalls(), 1);
+        assert!(stats.stall_ns() > 1_000_000, "stall_ns = {}", stats.stall_ns());
+        assert_eq!(consumer.join().unwrap(), (Ok(1), Ok(2)));
+        assert_eq!(stats.depth(), 0);
+        // Depth is charged before the blocked send, so the stalled
+        // message is visible in the mark while it waits.
+        assert_eq!(stats.high_water(), 2);
+    }
+
+    #[test]
+    fn shared_stats_aggregate_across_links() {
+        let stats = LinkStats::new();
+        let (tx1, _rx1) = channel_instrumented::<u32>(None, stats.clone());
+        let (tx2, _rx2) = channel_instrumented::<u32>(None, stats.clone());
+        tx1.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(stats.depth(), 2);
+        assert_eq!(stats.high_water(), 2);
     }
 }

@@ -24,10 +24,27 @@
 //! batch**. Metrics on this path are pre-registered
 //! [`CounterHandle`]s — the per-tuple cost is one relaxed atomic add;
 //! no `format!`, no map lookup, no mutex (see `metrics.rs`).
+//!
+//! # Self-instrumentation
+//!
+//! The executor observes itself with the repo's own synopses
+//! (`metrics.rs` module docs): per-component execute latency, spout
+//! `next_tuple` latency, end-to-end ack latency, and acker settle time
+//! flow into GK quantile histograms under **sampled recording** —
+//! [`ExecutorConfig::latency_sample_every`] gates the clock reads so
+//! the hot loop usually pays one branch. Batch occupancy
+//! (`{component}.batch_fill`) is sampled the same way, once per Nth
+//! shipped batch; samplers are phase-staggered across a component's
+//! tasks so hits on the shared sketch never line up in lockstep. And
+//! every bolt's input queues share a [`crate::channel::LinkStats`]
+//! gauge (`{component}.input`): live depth, high-water mark, and
+//! backpressure stalls (count + blocked nanoseconds in bounded
+//! `send`). Set `latency_sample_every = 0` to disable all of it and
+//! run bare.
 
 use crate::acker::Acker;
-use crate::channel::{channel, Receiver, Sender, TryRecvError};
-use crate::metrics::{CounterHandle, Metrics};
+use crate::channel::{channel, channel_instrumented, Receiver, Sender, TryRecvError};
+use crate::metrics::{CounterHandle, HistogramHandle, Metrics, Sampler};
 use crate::topology::{
     Bolt, ComponentDecl, ComponentKind, Grouping, OutputCollector, Spout, TopologyBuilder,
 };
@@ -86,8 +103,17 @@ pub struct ExecutorConfig {
     /// Wall-clock age after which a pending tuple tree is failed and
     /// replayed (Storm's message timeout).
     pub ack_timeout: Duration,
-    /// Wall-clock bound on draining after spouts exhaust.
+    /// How long a spout may sit idle **without progress** (no emission,
+    /// no settled root) before the run is declared unclean. Progress of
+    /// any kind — a new tuple, an ack, a fail — resets the clock, so
+    /// slow trickle runs are not killed by wall-clock age alone.
     pub shutdown_timeout: Duration,
+    /// Sampled-recording rate of the latency instrumentation: one in
+    /// this many events gets a clock read + histogram insert. `0`
+    /// disables latency histograms, batch-occupancy stats, and link
+    /// gauges entirely (bare fast path). Default 32 — measured overhead
+    /// is within a few percent (experiment T2.D).
+    pub latency_sample_every: u32,
     /// RNG seed (edge ids, drop injection).
     pub seed: u64,
     /// Crash injection: when this flag flips to `true`, spouts stop
@@ -109,6 +135,7 @@ impl Default for ExecutorConfig {
             link_drop_prob: 0.0,
             ack_timeout: Duration::from_secs(5),
             shutdown_timeout: Duration::from_secs(10),
+            latency_sample_every: 32,
             seed: 0xD15C0,
             kill: None,
         }
@@ -143,6 +170,22 @@ struct Route {
 
 type Sink = Arc<Mutex<HashMap<String, Vec<Tuple>>>>;
 
+/// Task index for a fields grouping. Per-field hashes are
+/// mix-combined, not raw-XORed, and the result passes through `mix64`
+/// once more before the modulo: a raw XOR cancels identical per-field
+/// hashes (duplicated indices, repeated values), piling low-entropy
+/// keys onto one task. Tuples missing every grouped field share one
+/// (well-defined) "null key" task, as fields grouping requires.
+fn fields_task(tuple: &Tuple, fields: &[usize], fanout: usize) -> usize {
+    let mut h = 0u64;
+    for &f in fields {
+        if let Some(v) = tuple.get(f) {
+            h = sa_core::hash::mix64(h ^ v.hash64().rotate_left(f as u32));
+        }
+    }
+    (sa_core::hash::mix64(h) % fanout as u64) as usize
+}
+
 /// Per-task emission state: routes plus one pending batch per
 /// downstream task. Tuples are routed (and edge ids assigned, drops
 /// injected, counters bumped) at `push` time; the channel send happens
@@ -156,9 +199,20 @@ struct EmitCtx {
     drop_prob: f64,
     batch_size: usize,
     batch_linger: Duration,
-    /// When the oldest currently-buffered tuple was pushed.
+    /// When the oldest currently-buffered tuple was pushed. `None`
+    /// whenever nothing is buffered — stale timestamps here would make
+    /// `flush_if_lingering` force-flush fresh partial batches forever.
     oldest: Option<Instant>,
+    /// Tuples currently sitting in route buffers + `sink_buf`; `oldest`
+    /// is cleared when this drains to zero.
+    buffered: usize,
     emitted: CounterHandle,
+    /// Occupancy of shipped batches (tuples per batch), recorded for
+    /// sampled sends. `None` when instrumentation is off.
+    batch_fill: Option<HistogramHandle>,
+    /// Every-Nth gate for `batch_fill`, phase-staggered per task so
+    /// sibling tasks don't contend on the shared sketch in lockstep.
+    fill_sampler: Sampler,
     metrics: Metrics,
     component: String,
     sink: Sink,
@@ -177,10 +231,13 @@ impl EmitCtx {
         drop_prob: f64,
         batch_size: usize,
         batch_linger: Duration,
+        sample_every: u32,
     ) -> Self {
         // Registration interns the name once; `format!` never runs on
         // the emit path again.
         let emitted = metrics.register(&format!("{component}.emitted"));
+        let batch_fill = (sample_every > 0)
+            .then(|| metrics.register_histogram(&format!("{component}.batch_fill")));
         let buffers = routes.iter().map(|r| vec![Vec::new(); r.senders.len()]).collect();
         Self {
             shuffle_counters: vec![0; routes.len()],
@@ -191,7 +248,10 @@ impl EmitCtx {
             batch_size: batch_size.max(1),
             batch_linger,
             oldest: None,
+            buffered: 0,
             emitted,
+            batch_fill,
+            fill_sampler: Sampler::with_phase(sample_every, seed as u32),
             metrics: metrics.clone(),
             component,
             sink,
@@ -206,6 +266,7 @@ impl EmitCtx {
             // Terminal component: collect into the sink, batched.
             self.sink_buf.push(tuple.clone());
             self.emitted.add(1);
+            self.buffered += 1;
             if self.sink_buf.len() >= self.batch_size {
                 self.flush_sink();
             } else {
@@ -225,13 +286,7 @@ impl EmitCtx {
                     (i, i)
                 }
                 Grouping::Fields(fields) => {
-                    let mut h = 0u64;
-                    for &f in fields {
-                        if let Some(v) = tuple.get(f) {
-                            h ^= v.hash64().rotate_left(f as u32);
-                        }
-                    }
-                    let i = (h % fanout as u64) as usize;
+                    let i = fields_task(tuple, fields, fanout);
                     (i, i)
                 }
                 Grouping::Global => (0, 0),
@@ -254,10 +309,20 @@ impl EmitCtx {
                 }
                 let buf = &mut self.buffers[ri][t];
                 buf.push(msg);
+                self.buffered += 1;
                 if buf.len() >= self.batch_size {
                     let batch = std::mem::take(buf);
+                    self.buffered -= batch.len();
+                    if self.fill_sampler.hit() {
+                        if let Some(fill) = &self.batch_fill {
+                            fill.record(batch.len() as f64);
+                        }
+                    }
                     // Blocking send = backpressure in bounded mode.
                     let _ = self.routes[ri].senders[t].send(Msg::Data(batch));
+                    if self.buffered == 0 {
+                        self.oldest = None;
+                    }
                 } else {
                     self.oldest.get_or_insert_with(Instant::now);
                 }
@@ -276,18 +341,40 @@ impl EmitCtx {
         for (ri, route) in self.routes.iter().enumerate() {
             for (t, buf) in self.buffers[ri].iter_mut().enumerate() {
                 if !buf.is_empty() {
-                    let _ = route.senders[t].send(Msg::Data(std::mem::take(buf)));
+                    let batch = std::mem::take(buf);
+                    if self.fill_sampler.hit() {
+                        if let Some(fill) = &self.batch_fill {
+                            fill.record(batch.len() as f64);
+                        }
+                    }
+                    let _ = route.senders[t].send(Msg::Data(batch));
                 }
             }
         }
         if !self.sink_buf.is_empty() {
             self.flush_sink();
         }
+        self.buffered = 0;
         self.oldest = None;
     }
 
     fn flush_sink(&mut self) {
         let drained = std::mem::take(&mut self.sink_buf);
+        if drained.is_empty() {
+            return;
+        }
+        self.buffered -= drained.len();
+        if self.fill_sampler.hit() {
+            if let Some(fill) = &self.batch_fill {
+                fill.record(drained.len() as f64);
+            }
+        }
+        if self.buffered == 0 {
+            // Last pending buffer drained: reset the linger clock, or
+            // every later `flush_if_lingering` would force-flush fresh
+            // partial batches off this stale timestamp.
+            self.oldest = None;
+        }
         self.sink.lock().unwrap().entry(self.component.clone()).or_default().extend(drained);
     }
 
@@ -321,18 +408,26 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
     let sink: Sink = Arc::new(Mutex::new(HashMap::new()));
     let acker = Arc::new(Mutex::new(Acker::new()));
     let unclean = Arc::new(AtomicBool::new(false));
+    let instrumented = config.latency_sample_every > 0;
 
     // --- Build channels for every bolt task. ---
     let mut receivers: HashMap<String, Vec<Receiver<Msg>>> = HashMap::new();
     let mut senders: HashMap<String, Vec<Sender<Msg>>> = HashMap::new();
     for c in &builder.components {
         if matches!(c.kind, ComponentKind::Bolt(_)) {
+            // One shared gauge per component: its tasks' queues
+            // aggregate into a single depth/stall account.
+            let stats = instrumented.then(|| metrics.register_link(&format!("{}.input", c.name)));
             let mut rx = Vec::new();
             let mut tx = Vec::new();
             for _ in 0..c.parallelism {
-                let (s, r) = match config.model {
-                    ExecutorModel::ProcessPerTask => channel(Some(config.channel_capacity)),
-                    ExecutorModel::Multiplexed { .. } => channel(None),
+                let capacity = match config.model {
+                    ExecutorModel::ProcessPerTask => Some(config.channel_capacity),
+                    ExecutorModel::Multiplexed { .. } => None,
+                };
+                let (s, r) = match &stats {
+                    Some(stats) => channel_instrumented(capacity, stats.clone()),
+                    None => channel(capacity),
                 };
                 tx.push(s);
                 rx.push(r);
@@ -398,6 +493,7 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
                 seed: task_seed,
                 batch_size: config.batch_size,
                 batch_linger: config.batch_linger,
+                sample_every: config.latency_sample_every,
             };
             handles.push(std::thread::spawn(move || {
                 run_bolt_worker(chunk, ctx_template);
@@ -428,6 +524,7 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
                 seed: task_seed,
                 batch_size: config.batch_size,
                 batch_linger: config.batch_linger,
+                sample_every: config.latency_sample_every,
                 ack_timeout: config.ack_timeout,
                 shutdown_timeout: config.shutdown_timeout,
                 unclean: unclean.clone(),
@@ -515,10 +612,21 @@ struct SpoutCtx {
     seed: u64,
     batch_size: usize,
     batch_linger: Duration,
+    sample_every: u32,
     ack_timeout: Duration,
     shutdown_timeout: Duration,
     unclean: Arc<AtomicBool>,
     kill: Option<Arc<AtomicBool>>,
+}
+
+/// The spout loop's histogram handles (instrumented runs only).
+struct SpoutObs {
+    /// Sampled `next_tuple` latency (only calls that yielded a tuple).
+    next_us: HistogramHandle,
+    /// Sampled end-to-end latency: spout emission → root fully acked.
+    ack_us: HistogramHandle,
+    /// Duration of each acker settle visit (registration + drain).
+    settle_us: HistogramHandle,
 }
 
 fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
@@ -531,19 +639,32 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
         ctx.drop_prob,
         ctx.batch_size,
         ctx.batch_linger,
+        ctx.sample_every,
     );
+    let obs = (ctx.sample_every > 0).then(|| SpoutObs {
+        next_us: ctx.metrics.register_histogram(&format!("{}.next_us", ctx.name)),
+        ack_us: ctx.metrics.register_histogram(&format!("{}.ack_latency_us", ctx.name)),
+        settle_us: ctx.metrics.register_histogram(&format!("{}.settle_us", ctx.name)),
+    });
+    let mut next_sampler = Sampler::new(ctx.sample_every);
+    let mut ack_sampler = Sampler::new(ctx.sample_every);
     let mut local_auto = 0u64;
     // Fresh ack-tree root per emission: replays get a new tree, so stale
     // acks from an earlier attempt cannot corrupt it (Storm assigns new
     // root ids on re-emission for the same reason). `in_flight` maps
-    // live roots back to the spout's stable message id.
+    // live roots back to the spout's stable message id, plus the
+    // emission timestamp for sampled roots (ack-latency tracking).
     let mut root_counter = 0u64;
-    let mut in_flight: HashMap<u64, u64> = HashMap::new();
+    let mut in_flight: HashMap<u64, (u64, Option<Instant>)> = HashMap::new();
     // Root registrations accumulated since the last acker visit; applied
     // in one lock acquisition per batch rather than one per tuple.
     let mut pending_inits: Vec<(u64, u64)> = Vec::new();
     let mut since_settle = 0usize;
-    let deadline_base = Instant::now();
+    // Stall clock: time since the spout last made progress (an
+    // emission, or a root settling). Only a full `shutdown_timeout` of
+    // NO progress marks the run unclean — wall-clock age alone must
+    // not, or long trickle-input runs get falsely flagged while roots
+    // are still settling.
     let mut exhausted_at: Option<Instant> = None;
     loop {
         if ctx.kill.as_ref().is_some_and(|k| k.load(Ordering::Relaxed)) {
@@ -556,10 +677,22 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
         // on idle), not once per tuple.
         if ctx.semantics == Semantics::AtLeastOnce && since_settle >= emit.batch_size {
             since_settle = 0;
-            settle(&ctx, &mut spout, &mut in_flight, &mut pending_inits);
+            settle(&ctx, &mut spout, &mut in_flight, &mut pending_inits, obs.as_ref());
         }
         emit.flush_if_lingering();
-        match spout.next_tuple() {
+        let produced = if next_sampler.hit() {
+            let t0 = Instant::now();
+            let produced = spout.next_tuple();
+            if produced.is_some() {
+                if let Some(obs) = &obs {
+                    obs.next_us.record(t0.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+            produced
+        } else {
+            spout.next_tuple()
+        };
+        match produced {
             Some(mut t) => {
                 exhausted_at = None;
                 since_settle += 1;
@@ -581,7 +714,8 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
                         root_counter += 1;
                         let root = encode_root(ctx.task, root_counter);
                         t.root = root;
-                        in_flight.insert(root, local);
+                        let born = ack_sampler.hit().then(Instant::now);
+                        in_flight.insert(root, (local, born));
                         let xor = emit.push(&t, true);
                         pending_inits.push((root, xor));
                     }
@@ -591,9 +725,11 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
                 // Idle: ship partial batches and settle before deciding
                 // whether we are done.
                 emit.flush_all();
+                let mut progressed = 0;
                 if ctx.semantics == Semantics::AtLeastOnce {
                     since_settle = 0;
-                    settle(&ctx, &mut spout, &mut in_flight, &mut pending_inits);
+                    progressed =
+                        settle(&ctx, &mut spout, &mut in_flight, &mut pending_inits, obs.as_ref());
                 }
                 let done = match ctx.semantics {
                     Semantics::AtMostOnce => true,
@@ -602,10 +738,12 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
                 if done {
                     break;
                 }
+                if progressed > 0 {
+                    // Roots settled: the run is draining, not stuck.
+                    exhausted_at = None;
+                }
                 let started = *exhausted_at.get_or_insert_with(Instant::now);
-                if started.elapsed() > ctx.shutdown_timeout
-                    || deadline_base.elapsed() > ctx.shutdown_timeout.mul_f32(4.0)
-                {
+                if started.elapsed() > ctx.shutdown_timeout {
                     ctx.unclean.store(true, Ordering::Relaxed);
                     break;
                 }
@@ -616,13 +754,17 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
     emit.flush_all();
 
     /// One acker visit: register accumulated roots, expire stale trees,
-    /// and route completions/failures back into the spout.
+    /// and route completions/failures back into the spout. Returns the
+    /// number of this spout's roots that settled (acked or failed) —
+    /// the shutdown loop's progress signal.
     fn settle(
         ctx: &SpoutCtx,
         spout: &mut Box<dyn Spout>,
-        in_flight: &mut HashMap<u64, u64>,
+        in_flight: &mut HashMap<u64, (u64, Option<Instant>)>,
         pending_inits: &mut Vec<(u64, u64)>,
-    ) {
+        obs: Option<&SpoutObs>,
+    ) -> u64 {
+        let visit_start = obs.map(|_| Instant::now());
         let (completed, failed) = {
             let mut acker = ctx.acker.lock().unwrap();
             for (root, xor) in pending_inits.drain(..) {
@@ -631,14 +773,19 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
             acker.expire(ctx.ack_timeout);
             (acker.take_completed(), acker.take_failed())
         };
+        let mut settled = 0u64;
         let mut requeue_completed = Vec::new();
         let mut requeue_failed = Vec::new();
         for root in completed {
             let (task, _) = decode_root(root);
             if task == ctx.task {
-                if let Some(local) = in_flight.remove(&root) {
+                if let Some((local, born)) = in_flight.remove(&root) {
                     spout.ack(local);
                     ctx.metrics.root_acked();
+                    settled += 1;
+                    if let (Some(obs), Some(born)) = (obs, born) {
+                        obs.ack_us.record(born.elapsed().as_secs_f64() * 1e6);
+                    }
                 }
             } else {
                 // Not ours: hand it back for the owning spout.
@@ -648,10 +795,14 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
         for root in failed {
             let (task, _) = decode_root(root);
             if task == ctx.task {
-                if let Some(local) = in_flight.remove(&root) {
-                    spout.fail(local);
+                if let Some((local, _)) = in_flight.remove(&root) {
                     ctx.metrics.root_failed();
-                    ctx.metrics.root_replayed();
+                    // Replay is the spout's decision: only count one
+                    // when the spout actually requeued the message.
+                    if spout.fail(local) {
+                        ctx.metrics.root_replayed();
+                    }
+                    settled += 1;
                 }
             } else {
                 requeue_failed.push(root);
@@ -666,6 +817,10 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
                 acker.requeue_failed(root);
             }
         }
+        if let (Some(obs), Some(visit_start)) = (obs, visit_start) {
+            obs.settle_us.record(visit_start.elapsed().as_secs_f64() * 1e6);
+        }
+        settled
     }
 }
 
@@ -680,6 +835,7 @@ struct WorkerCtx {
     seed: u64,
     batch_size: usize,
     batch_linger: Duration,
+    sample_every: u32,
 }
 
 /// A batch's ack traffic, applied under one acker lock.
@@ -696,6 +852,9 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
         rx: Receiver<Msg>,
         emit: EmitCtx,
         executed: CounterHandle,
+        /// Sampled per-tuple `execute` latency (shared per component).
+        exec_us: Option<HistogramHandle>,
+        sampler: Sampler,
         done: bool,
     }
     let mut states: Vec<TaskState> = tasks
@@ -713,8 +872,14 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
                 ctx.drop_prob,
                 ctx.batch_size,
                 ctx.batch_linger,
+                ctx.sample_every,
             ),
             executed: ctx.metrics.register(&format!("{}.executed", ctx.name)),
+            exec_us: (ctx.sample_every > 0)
+                .then(|| ctx.metrics.register_histogram(&format!("{}.execute_us", ctx.name))),
+            // Phase-staggered per task: sibling tasks sample different
+            // events, so hits on the shared sketch don't collide.
+            sampler: Sampler::with_phase(ctx.sample_every, ctx.seed as u32 ^ i as u32),
             done: false,
         })
         .collect();
@@ -755,7 +920,15 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
                     let mut acks: Vec<AckOp> = Vec::new();
                     for t in &batch {
                         let mut out = OutputCollector::new();
-                        st.bolt.execute(t, &mut out);
+                        if st.sampler.hit() {
+                            let t0 = Instant::now();
+                            st.bolt.execute(t, &mut out);
+                            if let Some(exec_us) = &st.exec_us {
+                                exec_us.record(t0.elapsed().as_secs_f64() * 1e6);
+                            }
+                        } else {
+                            st.bolt.execute(t, &mut out);
+                        }
                         handle_emissions(t, out, st, &ctx, &mut acks);
                     }
                     if !acks.is_empty() {
@@ -825,6 +998,106 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
         }
         if anchored {
             acks.push(AckOp::Ack(input.root, input.id ^ xor_new));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple_of;
+
+    fn empty_sink() -> Sink {
+        Arc::new(Mutex::new(HashMap::new()))
+    }
+
+    /// Regression (PR 3): a full terminal-sink batch must reset the
+    /// linger clock. Pre-fix, `flush_sink` left `oldest` at the drained
+    /// batch's timestamp, so every later `flush_if_lingering` call
+    /// force-flushed fresh partial buffers for the rest of the run —
+    /// silently defeating batching.
+    #[test]
+    fn sink_batch_flush_resets_linger_clock() {
+        let metrics = Metrics::new();
+        let sink = empty_sink();
+        let linger = Duration::from_millis(40);
+        let mut emit =
+            EmitCtx::new(vec![], "sink".into(), &metrics, sink.clone(), 1, 0.0, 4, linger, 32);
+        for i in 0..4i64 {
+            emit.push(&tuple_of([i]), false);
+        }
+        assert_eq!(sink.lock().unwrap()["sink"].len(), 4, "full batch must flush");
+        assert!(emit.oldest.is_none(), "stale linger timestamp survived a full sink flush");
+        // Wait out the *old* batch's linger budget, then buffer one
+        // fresh tuple: it must NOT be force-flushed off the stale clock.
+        std::thread::sleep(linger + Duration::from_millis(20));
+        emit.push(&tuple_of([99i64]), false);
+        emit.flush_if_lingering();
+        assert_eq!(
+            sink.lock().unwrap()["sink"].len(),
+            4,
+            "fresh partial batch was spuriously force-flushed"
+        );
+    }
+
+    /// Same bug class on routed links: a full batch shipped from `push`
+    /// must clear the clock once nothing remains buffered.
+    #[test]
+    fn full_batch_send_resets_linger_clock() {
+        let metrics = Metrics::new();
+        let (tx, rx) = channel::<Msg>(None);
+        let route = Route { grouping: Grouping::Shuffle, senders: vec![tx] };
+        let mut emit = EmitCtx::new(
+            vec![route],
+            "b".into(),
+            &metrics,
+            empty_sink(),
+            1,
+            0.0,
+            4,
+            Duration::from_millis(40),
+            0,
+        );
+        for i in 0..4i64 {
+            emit.push(&tuple_of([i]), false);
+        }
+        assert!(emit.oldest.is_none(), "stale linger timestamp survived a full batch send");
+        assert_eq!(emit.buffered, 0);
+        assert!(matches!(rx.try_recv(), Ok(Msg::Data(b)) if b.len() == 4));
+    }
+
+    /// Regression (PR 3): fields grouping must spread sequential and
+    /// low-entropy keys. Pre-fix the per-field hashes were raw-XORed —
+    /// a duplicated field index cancelled to `h = 0` for every tuple,
+    /// piling 100% of the stream onto task 0.
+    #[test]
+    fn fields_grouping_spreads_sequential_and_low_entropy_keys() {
+        let fanout = 4;
+        let n = 4000usize;
+        let fair = n / fanout;
+        for (label, fields) in [("single field", vec![0usize]), ("duplicated index", vec![0, 0])] {
+            let mut counts = vec![0usize; fanout];
+            for i in 0..n {
+                counts[fields_task(&tuple_of([i as i64]), &fields, fanout)] += 1;
+            }
+            for &c in &counts {
+                assert!(
+                    c >= fair / 2 && c <= fair * 2,
+                    "{label}: sequential integer keys skewed: {counts:?}"
+                );
+            }
+        }
+    }
+
+    /// Missing-field tuples share one well-defined "null key" task —
+    /// constant routing is required for grouping correctness, but the
+    /// choice must be stable.
+    #[test]
+    fn fields_grouping_missing_fields_route_consistently() {
+        let fanout = 4;
+        let first = fields_task(&tuple_of([1i64]), &[7], fanout);
+        for i in 2..100i64 {
+            assert_eq!(fields_task(&tuple_of([i]), &[7], fanout), first);
         }
     }
 }

@@ -44,10 +44,14 @@ pub mod operator;
 pub mod topology;
 pub mod tuple;
 
+pub use channel::LinkStats;
 pub use checkpoint::CheckpointStore;
 pub use executor::{run_topology, ExecutorConfig, ExecutorModel, RunResult, Semantics};
 pub use log::{Consumer, Log, Record};
-pub use metrics::{CounterHandle, Metrics, MetricsSnapshot};
+pub use metrics::{
+    CounterHandle, HistogramHandle, HistogramSummary, LinkSnapshot, Metrics, MetricsSnapshot,
+    Sampler,
+};
 pub use operator::{
     decode_checkpoint, replay_offset, LogSpout, MergeBolt, OperatorConfig, SynopsisBolt,
 };

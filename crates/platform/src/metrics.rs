@@ -1,4 +1,6 @@
-//! Topology metrics: pre-registered, allocation-free counters.
+//! Topology metrics: pre-registered, allocation-free counters, plus the
+//! self-instrumenting observability layer (latency histograms, link
+//! gauges, backpressure stalls).
 //!
 //! The emit path is the hottest loop in the executor, so counters there
 //! must cost one atomic add — no `String` key construction, no map
@@ -11,10 +13,34 @@
 //! bumping the same logical counter usually touch different cache
 //! lines.
 //!
+//! # Observability: dogfooding the paper's synopses
+//!
+//! Latency distributions are the platform observing itself with its own
+//! Section-2 machinery: a [`HistogramHandle`] wraps the in-tree
+//! Greenwald–Khanna quantile sketch (`sa_sketches::quantiles::GkSketch`)
+//! — the same summary MillWheel-style latency tracking is built on — so
+//! p50/p90/p99 cost `O((1/ε)·log εn)` space no matter how many samples
+//! flow in. Recording is *sampled* (see [`Sampler`] and
+//! `ExecutorConfig::latency_sample_every`): the hot loop pays one
+//! branch per tuple and a clock read + sketch insert only every Nth
+//! tuple, keeping measured overhead within a few percent (experiment
+//! T2.D).
+//!
+//! Queue health comes from [`crate::channel::LinkStats`] gauges
+//! registered through [`Metrics::register_link`]: live depth (in
+//! batches), high-water mark, and backpressure stalls — the count of
+//! bounded `send`s that found the queue full, and the total nanoseconds
+//! they spent blocked. This is Heron's backpressure signal, surfaced as
+//! a metric instead of a control-plane event.
+//!
 //! Reads are rare (end-of-run, tests, benches) and go through
-//! [`Metrics::snapshot`], which sums the shards into an immutable,
-//! serialisable [`MetricsSnapshot`].
+//! [`Metrics::snapshot`], which sums the shards, queries the sketches,
+//! and reads the gauges into an immutable, serialisable
+//! [`MetricsSnapshot`].
 
+use crate::channel::LinkStats;
+use sa_core::traits::QuantileSketch;
+use sa_sketches::quantiles::GkSketch;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -22,6 +48,10 @@ use std::sync::{Arc, Mutex};
 
 /// Shards per counter: eight padded cells cover typical worker counts.
 const SHARDS: usize = 8;
+
+/// Rank-error budget of latency histograms: ±0.5% of rank, comfortably
+/// sharp enough to separate p90 from p99 on thousands of samples.
+const HIST_EPSILON: f64 = 0.005;
 
 /// One `AtomicU64` padded out to its own cache line.
 #[repr(align(64))]
@@ -64,6 +94,96 @@ impl CounterHandle {
     }
 }
 
+/// A pre-resolved latency/occupancy histogram over the in-tree GK
+/// quantile sketch. Clone-cheap; all registrants of one name share the
+/// same sketch, so quantiles aggregate across a component's tasks.
+///
+/// `record` takes the sketch mutex — callers keep it off the per-tuple
+/// path by gating with a [`Sampler`] (every-Nth recording), so the lock
+/// is touched orders of magnitude less often than tuples flow.
+#[derive(Clone, Debug)]
+pub struct HistogramHandle {
+    sketch: Arc<Mutex<GkSketch>>,
+}
+
+impl HistogramHandle {
+    /// Fold one observation (typically microseconds) into the sketch.
+    pub fn record(&self, value: f64) {
+        self.sketch.lock().unwrap().insert(value);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.sketch.lock().unwrap().count()
+    }
+
+    /// ε-approximate quantile (`None` until something was recorded).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.sketch.lock().unwrap().query(q)
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        let sketch = self.sketch.lock().unwrap();
+        HistogramSummary {
+            count: sketch.count(),
+            p50: sketch.query(0.50).unwrap_or(0.0),
+            p90: sketch.query(0.90).unwrap_or(0.0),
+            p99: sketch.query(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Every-Nth gate for sampled recording: the hot loop calls
+/// [`Sampler::hit`] per event and only pays for the clock + sketch on a
+/// hit. `every = 0` disables sampling entirely (never hits), which is
+/// how `ExecutorConfig::latency_sample_every = 0` turns the
+/// instrumentation off. The first call after construction hits, so even
+/// short runs produce at least one observation per site.
+#[derive(Clone, Debug)]
+pub struct Sampler {
+    every: u32,
+    tick: u32,
+}
+
+impl Sampler {
+    /// A gate that passes one event in `every` (0 = never).
+    pub fn new(every: u32) -> Self {
+        Self { every, tick: every.saturating_sub(1) }
+    }
+
+    /// Like [`Sampler::new`], but the first hit is deferred by `phase`
+    /// events (mod `every`). Co-located tasks sharing one histogram
+    /// stagger their phases so sampled hits — and the sketch-mutex
+    /// acquisitions they imply — do not line up in lockstep across
+    /// threads. `phase = 0` behaves exactly like `new`.
+    pub fn with_phase(every: u32, phase: u32) -> Self {
+        if every == 0 {
+            return Self { every, tick: 0 };
+        }
+        Self { every, tick: (every - 1).wrapping_sub(phase % every) % every }
+    }
+
+    /// Advance; true when this event should be recorded.
+    #[inline]
+    pub fn hit(&mut self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        self.tick += 1;
+        if self.tick >= self.every {
+            self.tick = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether this sampler can ever hit.
+    pub fn enabled(&self) -> bool {
+        self.every != 0
+    }
+}
+
 /// Shared metrics sink for one topology run. Clones share storage.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -75,6 +195,10 @@ struct MetricsInner {
     /// Interned counters: name -> cell bank. Touched only at
     /// registration and snapshot time, never per tuple.
     registry: Mutex<HashMap<String, Arc<CounterCells>>>,
+    /// Interned histograms: name -> shared GK sketch.
+    histograms: Mutex<HashMap<String, HistogramHandle>>,
+    /// Interned link gauges: name -> depth/stall atomics.
+    links: Mutex<HashMap<String, LinkStats>>,
     /// Round-robin shard assignment for successive registrations.
     next_shard: AtomicUsize,
     acked_roots: AtomicU64,
@@ -103,6 +227,30 @@ impl Metrics {
         CounterHandle { cells, shard }
     }
 
+    /// Intern a histogram; same-name registrations share one sketch, so
+    /// a component's tasks aggregate into one distribution. Build-time
+    /// only.
+    pub fn register_histogram(&self, name: &str) -> HistogramHandle {
+        self.inner
+            .histograms
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramHandle {
+                sketch: Arc::new(Mutex::new(
+                    GkSketch::new(HIST_EPSILON).expect("valid histogram epsilon"),
+                )),
+            })
+            .clone()
+    }
+
+    /// Intern a link gauge; same-name registrations share the atomics,
+    /// so a component's input queues aggregate into one depth/stall
+    /// account. Build-time only.
+    pub fn register_link(&self, name: &str) -> LinkStats {
+        self.inner.links.lock().unwrap().entry(name.to_string()).or_default().clone()
+    }
+
     /// Record an acked root.
     pub fn root_acked(&self) {
         self.inner.acked_roots.fetch_add(1, Ordering::Relaxed);
@@ -123,7 +271,8 @@ impl Metrics {
         self.inner.dropped_links.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Immutable view of every counter and root stat at this instant.
+    /// Immutable view of every counter, histogram, gauge, and root stat
+    /// at this instant.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self
             .inner
@@ -133,8 +282,36 @@ impl Metrics {
             .iter()
             .map(|(name, cells)| (name.clone(), cells.sum()))
             .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| (name.clone(), h.summary()))
+            .collect();
+        let links = self
+            .inner
+            .links
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, l)| {
+                (
+                    name.clone(),
+                    LinkSnapshot {
+                        depth: l.depth(),
+                        high_water: l.high_water(),
+                        stalls: l.stalls(),
+                        stall_ns: l.stall_ns(),
+                    },
+                )
+            })
+            .collect();
         MetricsSnapshot {
             counters,
+            histograms,
+            links,
             acked_roots: self.inner.acked_roots.load(Ordering::Relaxed),
             failed_roots: self.inner.failed_roots.load(Ordering::Relaxed),
             replayed_roots: self.inner.replayed_roots.load(Ordering::Relaxed),
@@ -143,11 +320,43 @@ impl Metrics {
     }
 }
 
+/// p50/p90/p99 summary of one histogram (units are whatever the
+/// recorder fed in — the executor records microseconds for `*_us`
+/// names and tuples-per-batch for `*.batch_fill`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Point-in-time view of one link gauge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkSnapshot {
+    /// Batches currently queued.
+    pub depth: u64,
+    /// Maximum queued batches ever observed (high-water mark).
+    pub high_water: u64,
+    /// Bounded sends that found the queue full (backpressure events).
+    pub stalls: u64,
+    /// Total nanoseconds senders spent blocked on full queues.
+    pub stall_ns: u64,
+}
+
 /// A point-in-time copy of all metrics, detached from the live cells.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// Named counters, in name order.
     pub counters: BTreeMap<String, u64>,
+    /// Named latency/occupancy histograms, in name order.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Named link gauges (queue depth + backpressure), in name order.
+    pub links: BTreeMap<String, LinkSnapshot>,
     /// Roots fully acked.
     pub acked_roots: u64,
     /// Roots failed (explicitly or by timeout).
@@ -164,6 +373,21 @@ impl MetricsSnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Summary of a named histogram (`None` when never registered).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// Gauge of a named link (`None` when never registered).
+    pub fn link(&self, name: &str) -> Option<&LinkSnapshot> {
+        self.links.get(name)
+    }
+
+    /// Total backpressure stall time across every link, in seconds.
+    pub fn total_stall_secs(&self) -> f64 {
+        self.links.values().map(|l| l.stall_ns as f64 / 1e9).sum()
+    }
+
     /// Render as a JSON object (stable key order).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
@@ -174,6 +398,39 @@ impl MetricsSnapshot {
         if !self.counters.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                escape_json(k),
+                h.count,
+                json_f64(h.p50),
+                json_f64(h.p90),
+                json_f64(h.p99)
+            );
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"links\": {");
+        for (i, (k, l)) in self.links.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"depth\": {}, \"high_water\": {}, \"stalls\": {}, \
+                 \"stall_ns\": {}}}",
+                escape_json(k),
+                l.depth,
+                l.high_water,
+                l.stalls,
+                l.stall_ns
+            );
+        }
+        if !self.links.is_empty() {
+            out.push_str("\n  ");
+        }
         let _ = write!(
             out,
             "}},\n  \"acked_roots\": {},\n  \"failed_roots\": {},\n  \
@@ -181,6 +438,15 @@ impl MetricsSnapshot {
             self.acked_roots, self.failed_roots, self.replayed_roots, self.dropped_links
         );
         out
+    }
+}
+
+/// Render an f64 as JSON (NaN/∞ have no JSON encoding; clamp to 0).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".into()
     }
 }
 
@@ -260,5 +526,65 @@ mod tests {
         let json = m.snapshot().to_json();
         assert!(json.contains("\\\""));
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn histograms_aggregate_across_registrants_and_report_quantiles() {
+        let m = Metrics::new();
+        let a = m.register_histogram("comp.execute_us");
+        let b = m.register_histogram("comp.execute_us");
+        for i in 1..=1_000 {
+            a.record(i as f64);
+        }
+        b.record(100_000.0); // one outlier from another task
+        assert_eq!(a.count(), 1_001);
+        let s = m.snapshot();
+        let h = s.histogram("comp.execute_us").unwrap();
+        assert_eq!(h.count, 1_001);
+        assert!((h.p50 - 500.0).abs() <= 0.01 * 1_001.0 + 2.0, "p50 = {}", h.p50);
+        assert!(h.p99 >= h.p90 && h.p90 >= h.p50);
+        assert!(s.histogram("missing").is_none());
+        // Quantiles survive JSON rendering.
+        let json = s.to_json();
+        assert!(json.contains("\"comp.execute_us\""));
+        assert!(json.contains("\"p99\""));
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_as_zeros() {
+        let m = Metrics::new();
+        m.register_histogram("never.recorded");
+        let h = *m.snapshot().histogram("never.recorded").unwrap();
+        assert_eq!(h, HistogramSummary { count: 0, p50: 0.0, p90: 0.0, p99: 0.0 });
+    }
+
+    #[test]
+    fn link_registry_roundtrips_through_snapshot() {
+        let m = Metrics::new();
+        let l = m.register_link("sink.input");
+        let same = m.register_link("sink.input");
+        l.on_send();
+        same.on_send();
+        l.on_recv();
+        l.on_stall(1_500);
+        let s = m.snapshot();
+        let snap = s.link("sink.input").unwrap();
+        assert_eq!(snap.depth, 1);
+        assert_eq!(snap.high_water, 2);
+        assert_eq!(snap.stalls, 1);
+        assert_eq!(snap.stall_ns, 1_500);
+        assert!(s.total_stall_secs() > 0.0);
+        assert!(s.to_json().contains("\"high_water\": 2"));
+    }
+
+    #[test]
+    fn sampler_gates_every_nth() {
+        let mut s = Sampler::new(4);
+        assert!(s.enabled());
+        let hits: Vec<bool> = (0..9).map(|_| s.hit()).collect();
+        assert_eq!(hits, [true, false, false, false, true, false, false, false, true]);
+        let mut off = Sampler::new(0);
+        assert!(!off.enabled());
+        assert!((0..100).all(|_| !off.hit()));
     }
 }

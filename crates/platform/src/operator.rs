@@ -40,8 +40,11 @@ use crate::log::{Log, Record};
 use crate::topology::{Bolt, OutputCollector, Spout};
 use crate::tuple::{Tuple, Value};
 use sa_core::codec::{ByteReader, ByteWriter};
+use sa_core::traits::QuantileSketch;
 use sa_core::{Merge, Result, Synopsis};
+use sa_sketches::quantiles::GkSketch;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
 
 /// Knobs of a [`SynopsisBolt`].
 #[derive(Clone, Debug)]
@@ -128,6 +131,11 @@ pub struct SynopsisBolt<S, F> {
     last_applied: u64,
     recovered: bool,
     duplicates_skipped: u64,
+    /// Commit (snapshot + store write + gc) latency in µs — the bolt
+    /// observes its own checkpoint cost with the repo's GK sketch.
+    commit_us: GkSketch,
+    /// How long the constructor's checkpoint restore took, in µs.
+    restore_us: Option<f64>,
 }
 
 impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
@@ -150,9 +158,12 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
     ) -> Result<Self> {
         let mut last_applied = 0;
         let mut recovered = false;
+        let mut restore_us = None;
         if let Some((_, value)) = store.get(key) {
+            let restore_start = Instant::now();
             let (applied, snapshot) = decode_checkpoint(&value)?;
             initial.restore(&snapshot)?;
+            restore_us = Some(restore_start.elapsed().as_secs_f64() * 1e6);
             last_applied = applied;
             recovered = true;
         }
@@ -167,6 +178,8 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
             last_applied,
             recovered,
             duplicates_skipped: 0,
+            commit_us: GkSketch::new(0.005).expect("valid commit-latency epsilon"),
+            restore_us,
         })
     }
 
@@ -175,6 +188,7 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
         if self.pending.is_empty() {
             return;
         }
+        let commit_start = Instant::now();
         let value = encode_checkpoint(self.last_applied, &self.summary.snapshot());
         self.store.commit_batch(&self.key, &self.pending, value);
         self.pending.clear();
@@ -182,6 +196,7 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
         if let Some(horizon) = self.cfg.gc_horizon {
             self.store.gc(&self.key, self.last_applied.saturating_sub(horizon));
         }
+        self.commit_us.insert(commit_start.elapsed().as_secs_f64() * 1e6);
     }
 
     /// The live synopsis.
@@ -202,6 +217,25 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
     /// Replayed tuples dropped by deduplication.
     pub fn duplicates_skipped(&self) -> u64 {
         self.duplicates_skipped
+    }
+
+    /// Commit-latency quantiles `(p50, p90, p99)` in µs across the
+    /// commits this bolt has performed; `None` before the first commit.
+    pub fn commit_latency_us(&self) -> Option<(f64, f64, f64)> {
+        if self.commit_us.count() == 0 {
+            return None;
+        }
+        Some((
+            self.commit_us.query(0.5).unwrap_or(0.0),
+            self.commit_us.query(0.9).unwrap_or(0.0),
+            self.commit_us.query(0.99).unwrap_or(0.0),
+        ))
+    }
+
+    /// How long the constructor's checkpoint restore took, in µs
+    /// (`None` when the bolt started fresh).
+    pub fn restore_us(&self) -> Option<f64> {
+        self.restore_us
     }
 }
 
@@ -371,9 +405,12 @@ impl<F: FnMut(&Record) -> Tuple + Send> Spout for LogSpout<F> {
         self.in_flight.remove(&root);
     }
 
-    fn fail(&mut self, root: u64) {
+    fn fail(&mut self, root: u64) -> bool {
         if self.in_flight.remove(&root) {
             self.requeue.push_back(root);
+            true
+        } else {
+            false
         }
     }
 
@@ -511,6 +548,28 @@ mod tests {
         // Dedup still covers the GC'd range via the watermark.
         bolt.execute(&int_tuple(1, 3), &mut out);
         assert_eq!(bolt.summary().n, 1_000);
+    }
+
+    #[test]
+    fn commit_and_restore_latencies_are_observed() {
+        let store = CheckpointStore::new();
+        let cfg = OperatorConfig { checkpoint_every: 4, ..Default::default() };
+        let mut bolt =
+            SynopsisBolt::with_config("k", &store, CountSum::default(), apply, cfg.clone())
+                .unwrap();
+        assert!(bolt.commit_latency_us().is_none(), "no commits yet");
+        assert!(bolt.restore_us().is_none(), "fresh start restores nothing");
+        let mut out = OutputCollector::new();
+        for id in 1..=20u64 {
+            bolt.execute(&int_tuple(1, id), &mut out);
+        }
+        let (p50, p90, p99) = bolt.commit_latency_us().expect("5 commits happened");
+        assert!(p50 > 0.0 && p50 <= p90 && p90 <= p99, "bad quantiles: {p50} {p90} {p99}");
+        drop(bolt);
+        let restarted =
+            SynopsisBolt::with_config("k", &store, CountSum::default(), apply, cfg).unwrap();
+        assert!(restarted.recovered());
+        assert!(restarted.restore_us().is_some(), "recovery must time the restore");
     }
 
     #[test]

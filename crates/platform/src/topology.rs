@@ -31,8 +31,12 @@ pub trait Spout: Send {
     fn ack(&mut self, _root: u64) {}
 
     /// The runtime reports a failed/timed-out tuple; reliable spouts
-    /// re-emit it.
-    fn fail(&mut self, _root: u64) {}
+    /// re-emit it. Return `true` iff the tuple was requeued for replay —
+    /// the runtime counts a replay only when the spout says one will
+    /// happen (an unreliable spout that drops failures returns `false`).
+    fn fail(&mut self, _root: u64) -> bool {
+        false
+    }
 
     /// Whether every emitted tuple has been fully settled (used for
     /// clean shutdown in at-least-once mode).
@@ -274,10 +278,13 @@ impl Spout for VecSpout {
         self.in_flight.remove(&root);
     }
 
-    fn fail(&mut self, root: u64) {
+    fn fail(&mut self, root: u64) -> bool {
         if let Some(t) = self.in_flight.remove(&root) {
             self.replays += 1;
             self.queue.push_back((root, t));
+            true
+        } else {
+            false
         }
     }
 
@@ -338,7 +345,8 @@ mod tests {
         assert_eq!(s.pending(), 2);
         s.ack(t1.root);
         assert_eq!(s.pending(), 1);
-        s.fail(2);
+        assert!(s.fail(2), "requeued failure must report a replay");
+        assert!(!s.fail(999), "unknown root must not report a replay");
         assert_eq!(s.replays, 1);
         let replayed = s.next_tuple().unwrap();
         assert_eq!(replayed.root, 2);

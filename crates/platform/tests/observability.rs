@@ -1,0 +1,115 @@
+//! End-to-end tests of the self-instrumentation layer: a topology run
+//! observes its own latency quantiles (via the repo's GK sketch), queue
+//! depths, and backpressure stalls — and `latency_sample_every = 0`
+//! turns the whole thing off.
+
+use sa_platform::topology::vec_spout;
+use sa_platform::tuple::tuple_of;
+use sa_platform::{
+    run_topology, Bolt, ExecutorConfig, OutputCollector, Semantics, TopologyBuilder, Tuple,
+};
+use std::time::Duration;
+
+fn int_tuples(n: usize) -> Vec<Tuple> {
+    (0..n).map(|i| tuple_of([i as i64])).collect()
+}
+
+fn echo_bolt() -> Box<dyn Bolt> {
+    Box::new(|t: &Tuple, out: &mut OutputCollector| out.emit(t.clone())) as Box<dyn Bolt>
+}
+
+/// Spout → 2×work → sink with sampling on: every instrumentation site
+/// must have observations, quantiles must be ordered, queues drained.
+#[test]
+fn instrumented_run_populates_histograms_and_links() {
+    let n = 3000;
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("src", vec![vec_spout(int_tuples(n))]);
+    tb.set_bolt("work", vec![echo_bolt(), echo_bolt()]).shuffle("src");
+    tb.set_bolt("out", vec![echo_bolt()]).shuffle("work");
+    let cfg = ExecutorConfig {
+        semantics: Semantics::AtLeastOnce,
+        latency_sample_every: 8,
+        batch_size: 16,
+        ..Default::default()
+    };
+    let result = run_topology(tb, cfg).unwrap();
+    assert!(result.clean_shutdown);
+    assert_eq!(result.outputs["out"].len(), n);
+    let snap = result.metrics.snapshot();
+    for name in [
+        "work.execute_us",
+        "out.execute_us",
+        "src.next_us",
+        "src.ack_latency_us",
+        "src.settle_us",
+        "src.batch_fill",
+        "work.batch_fill",
+    ] {
+        let h = snap.histogram(name).unwrap_or_else(|| panic!("missing histogram {name}"));
+        assert!(h.count > 0, "{name} recorded nothing");
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99, "{name} quantiles out of order: {h:?}");
+    }
+    assert!(
+        snap.histogram("src.ack_latency_us").unwrap().p99 > 0.0,
+        "end-to-end ack latency must be positive"
+    );
+    for name in ["work.input", "out.input"] {
+        let link = snap.link(name).unwrap_or_else(|| panic!("missing link {name}"));
+        assert_eq!(link.depth, 0, "{name} not drained at shutdown");
+        assert!(link.high_water >= 1, "{name} saw no traffic");
+    }
+    let json = snap.to_json();
+    assert!(json.contains("\"histograms\""), "JSON lost the histograms section");
+    assert!(json.contains("\"work.input\""), "JSON lost the link gauges");
+}
+
+/// A slow consumer behind a capacity-1 bounded queue forces the
+/// producer to block: the stall counter and blocked-time account must
+/// both show it.
+#[test]
+fn bounded_queue_backpressure_shows_up_as_stalls() {
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("src", vec![vec_spout(int_tuples(300))]);
+    tb.set_bolt(
+        "slow",
+        vec![Box::new(|_: &Tuple, _: &mut OutputCollector| {
+            std::thread::sleep(Duration::from_micros(200));
+        }) as Box<dyn Bolt>],
+    )
+    .shuffle("src");
+    let cfg = ExecutorConfig {
+        semantics: Semantics::AtMostOnce,
+        channel_capacity: 1,
+        batch_size: 1,
+        latency_sample_every: 4,
+        ..Default::default()
+    };
+    let result = run_topology(tb, cfg).unwrap();
+    let snap = result.metrics.snapshot();
+    let link = snap.link("slow.input").expect("slow.input gauge");
+    assert!(link.stalls > 0, "no backpressure stall observed: {link:?}");
+    assert!(link.stall_ns > 0, "stalls counted but no blocked time charged");
+    assert!(snap.total_stall_secs() > 0.0);
+}
+
+/// `latency_sample_every = 0` runs the bare fast path: no histograms,
+/// no link gauges — and identical outputs.
+#[test]
+fn sample_every_zero_disables_instrumentation() {
+    let n = 1000;
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("src", vec![vec_spout(int_tuples(n))]);
+    tb.set_bolt("out", vec![echo_bolt()]).shuffle("src");
+    let cfg = ExecutorConfig {
+        semantics: Semantics::AtLeastOnce,
+        latency_sample_every: 0,
+        ..Default::default()
+    };
+    let result = run_topology(tb, cfg).unwrap();
+    assert!(result.clean_shutdown);
+    assert_eq!(result.outputs["out"].len(), n);
+    let snap = result.metrics.snapshot();
+    assert!(snap.histograms.is_empty(), "histograms registered with sampling off");
+    assert!(snap.links.is_empty(), "link gauges registered with sampling off");
+}

@@ -22,4 +22,7 @@ cargo test --workspace -q
 echo "== crash/recovery gate (exactly-once under both semantics) =="
 cargo test -q --test recovery
 
+echo "== observability gate (latency histograms, queue gauges, bug regressions) =="
+cargo test -q -p sa-platform --test observability --test regressions
+
 echo "CI gate passed."

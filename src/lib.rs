@@ -18,6 +18,9 @@
 //!   imputation over a sensor stream.
 //! * `examples/lambda_wordcount.rs` — the Figure-1 Lambda Architecture
 //!   end to end.
+//! * `examples/observability.rs` — the platform watching itself:
+//!   GK-sketch latency histograms, queue-depth gauges, backpressure
+//!   stalls.
 //!
 //! Per-module guides live in each crate:
 //! [`sketches`], [`sampling`], [`windows`], [`timeseries`],
@@ -60,8 +63,8 @@ pub mod prelude {
     pub use sa_platform::{
         decode_checkpoint, replay_offset, run_topology, tuple_of, vec_spout, Batch, Bolt,
         BoltHandle, CheckpointStore, Consumer, CounterHandle, ExecutorConfig, ExecutorModel,
-        Grouping, Log, LogSpout, MergeBolt, Metrics, MetricsSnapshot, OperatorConfig,
-        OutputCollector, Record, RunResult, Semantics, Spout, SpoutHandle, SynopsisBolt,
-        TopologyBuilder, Tuple, Value, VecSpout,
+        Grouping, HistogramSummary, LinkSnapshot, LinkStats, Log, LogSpout, MergeBolt, Metrics,
+        MetricsSnapshot, OperatorConfig, OutputCollector, Record, RunResult, Semantics, Spout,
+        SpoutHandle, SynopsisBolt, TopologyBuilder, Tuple, Value, VecSpout,
     };
 }

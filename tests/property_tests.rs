@@ -459,3 +459,83 @@ fn welford_merge_law() {
         assert!((sa_.variance() - sc.variance()).abs() < 1e-4, "case {case}");
     }
 }
+
+/// The XOR-ack protocol settles every root exactly once — across mixed
+/// complete/fail/expire interleavings, with stale acks re-opening
+/// orphan entries — and the acker drains back to zero pending trees.
+#[test]
+fn acker_settles_each_root_exactly_once() {
+    use std::collections::{HashMap, HashSet};
+    use std::time::Duration;
+    use streaming_analytics::platform::acker::Acker;
+
+    /// Route drained completions/failures through the spout-side
+    /// `in_flight` model, exactly as the executor does: a settlement
+    /// report for a root no longer in flight is ignored (that is what
+    /// keeps orphan expiries from double-failing a settled root).
+    fn drain(acker: &mut Acker, in_flight: &mut HashSet<u64>, settled: &mut HashMap<u64, u64>) {
+        for root in acker.take_completed().into_iter().chain(acker.take_failed()) {
+            if in_flight.remove(&root) {
+                *settled.entry(root).or_insert(0) += 1;
+            }
+        }
+    }
+
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xACC3_u64 ^ case);
+        let mut acker = Acker::new();
+        let n_roots = 1 + rng.next_below(40);
+        let mut in_flight: HashSet<u64> = HashSet::new();
+        let mut settled: HashMap<u64, u64> = HashMap::new();
+        let mut edges: HashMap<u64, Vec<u64>> = HashMap::new();
+        for root in 1..=n_roots {
+            let es = vec_of(&mut rng, 1, 5, |r| r.next_u64() | 1);
+            acker.init(root, es.iter().fold(0u64, |a, &e| a ^ e));
+            in_flight.insert(root);
+            edges.insert(root, es);
+        }
+        for root in 1..=n_roots {
+            match rng.next_below(3) {
+                0 => {
+                    // Fully process the tree: retire every edge.
+                    for &e in &edges[&root] {
+                        acker.ack(root, e);
+                    }
+                }
+                1 => {
+                    // Partial progress, then an explicit bolt failure.
+                    // (A one-edge tree completes on the ack; the
+                    // trailing `fail` must then find nothing.)
+                    acker.ack(root, edges[&root][0]);
+                    acker.fail(root);
+                }
+                _ => {
+                    // Leave stuck: only the timeout sweep settles it.
+                }
+            }
+            if rng.next_below(2) == 0 {
+                // Stale ack for an already-settled root: re-opens an
+                // orphan entry the final expiry must sweep without a
+                // second settlement.
+                drain(&mut acker, &mut in_flight, &mut settled);
+                if let Some(&done) = settled.keys().next() {
+                    acker.ack(done, rng.next_u64() | 1);
+                }
+            }
+        }
+        drain(&mut acker, &mut in_flight, &mut settled);
+        // Timeout sweep: stuck trees fail, orphans evaporate.
+        std::thread::sleep(Duration::from_millis(2));
+        acker.expire(Duration::from_millis(1));
+        drain(&mut acker, &mut in_flight, &mut settled);
+        for root in 1..=n_roots {
+            assert_eq!(
+                settled.get(&root),
+                Some(&1),
+                "case {case}: root {root} settled {:?} times",
+                settled.get(&root).copied().unwrap_or(0)
+            );
+        }
+        assert_eq!(acker.pending(), 0, "case {case}: acker left pending trees");
+    }
+}
