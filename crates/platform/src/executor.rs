@@ -44,7 +44,8 @@
 
 use crate::acker::Acker;
 use crate::channel::{channel, channel_instrumented, Receiver, Sender, TryRecvError};
-use crate::metrics::{CounterHandle, HistogramHandle, Metrics, Sampler};
+use crate::metrics::{CounterHandle, GaugeHandle, HistogramHandle, Metrics, Sampler};
+use crate::time::{WatermarkConfig, WatermarkGen, WatermarkMerger};
 use crate::topology::{
     Bolt, ComponentDecl, ComponentKind, Grouping, OutputCollector, Spout, TopologyBuilder,
 };
@@ -114,6 +115,12 @@ pub struct ExecutorConfig {
     /// gauges entirely (bare fast path). Default 32 — measured overhead
     /// is within a few percent (experiment T2.D).
     pub latency_sample_every: u32,
+    /// Event-time watermark policy. `None` (the default) disables the
+    /// event-time layer entirely: no markers flow, `Bolt::on_watermark`
+    /// never fires, and the data path is unchanged. `Some` turns spouts
+    /// into watermark generators and bolts into min-merging forwarders
+    /// (see `time.rs` module docs).
+    pub watermarks: Option<WatermarkConfig>,
     /// RNG seed (edge ids, drop injection).
     pub seed: u64,
     /// Crash injection: when this flag flips to `true`, spouts stop
@@ -136,6 +143,7 @@ impl Default for ExecutorConfig {
             ack_timeout: Duration::from_secs(5),
             shutdown_timeout: Duration::from_secs(10),
             latency_sample_every: 32,
+            watermarks: None,
             seed: 0xD15C0,
             kill: None,
         }
@@ -157,6 +165,17 @@ pub struct RunResult {
 enum Msg {
     /// A run of tuples for one task.
     Data(Batch),
+    /// In-band watermark marker: the task identified by `source`
+    /// promises no tuple with `event_time < wm` will follow on this
+    /// link. `idle` declares the source dormant (excluded from
+    /// downstream min-merges until it speaks again). Markers ride the
+    /// same FIFO channels as data — senders flush their emit buffers
+    /// first, so a marker can never overtake tuples it covers.
+    Watermark {
+        source: u32,
+        wm: u64,
+        idle: bool,
+    },
     Flush,
     Terminate,
 }
@@ -385,6 +404,20 @@ impl EmitCtx {
             self.flush_all();
         }
     }
+
+    /// Broadcast a watermark marker to every downstream task (markers
+    /// are control messages: they go to ALL tasks regardless of
+    /// grouping, and bypass drop injection). Buffered data is flushed
+    /// first so the marker cannot overtake tuples it covers — FIFO
+    /// channel order does the rest.
+    fn broadcast_watermark(&mut self, source: u32, wm: u64, idle: bool) {
+        self.flush_all();
+        for route in &self.routes {
+            for s in &route.senders {
+                let _ = s.send(Msg::Watermark { source, wm, idle });
+            }
+        }
+    }
 }
 
 const ROOT_SHIFT: u32 = 48;
@@ -437,6 +470,31 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
         }
     }
 
+    // --- Event-time source ids: every task (spout or bolt) gets a
+    //     global id so watermark markers identify their sender, and
+    //     each bolt pre-seeds its merger with every upstream task id
+    //     (an input it has never heard from must block the merge). ---
+    let mut task_ids: HashMap<String, Vec<u32>> = HashMap::new();
+    let mut next_task_id = 0u32;
+    for c in &builder.components {
+        let ids = (0..c.parallelism)
+            .map(|_| {
+                let id = next_task_id;
+                next_task_id += 1;
+                id
+            })
+            .collect();
+        task_ids.insert(c.name.clone(), ids);
+    }
+    let mut upstream_ids: HashMap<String, Vec<u32>> = HashMap::new();
+    for c in &builder.components {
+        let mut ids: Vec<u32> =
+            c.inputs.iter().flat_map(|(up, _)| task_ids[up].iter().copied()).collect();
+        ids.sort_unstable();
+        ids.dedup(); // double-subscribed upstreams must not double-block
+        upstream_ids.insert(c.name.clone(), ids);
+    }
+
     // --- Routing tables: component → its downstream routes. ---
     let mut routes: HashMap<String, Vec<Route>> = HashMap::new();
     for c in &builder.components {
@@ -470,8 +528,12 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
         let my_routes = routes[&name].clone();
         let rx_list = receivers.remove(&name).expect("bolt channel");
         let instances: Vec<Box<dyn Bolt>> = std::mem::take(instances);
-        let mut tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)> =
-            instances.into_iter().zip(rx_list).collect();
+        let mut tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)> = task_ids[&name]
+            .iter()
+            .copied()
+            .zip(instances.into_iter().zip(rx_list))
+            .map(|(id, (b, r))| (id, b, r))
+            .collect();
 
         let group_size = match config.model {
             ExecutorModel::ProcessPerTask => 1,
@@ -479,7 +541,7 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
         };
         let mut handles = Vec::new();
         while !tasks.is_empty() {
-            let chunk: Vec<(Box<dyn Bolt>, Receiver<Msg>)> =
+            let chunk: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)> =
                 tasks.drain(..group_size.min(tasks.len())).collect();
             task_seed = sa_core::hash::mix64(task_seed);
             let ctx_template = WorkerCtx {
@@ -494,6 +556,8 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
                 batch_size: config.batch_size,
                 batch_linger: config.batch_linger,
                 sample_every: config.latency_sample_every,
+                upstream_ids: upstream_ids[&name].clone(),
+                watermarks: config.watermarks.is_some(),
             };
             handles.push(std::thread::spawn(move || {
                 run_bolt_worker(chunk, ctx_template);
@@ -510,7 +574,7 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
         };
         let name = decl.name.clone();
         let my_routes = routes[&name].clone();
-        for spout in std::mem::take(instances) {
+        for (local_idx, spout) in std::mem::take(instances).into_iter().enumerate() {
             task_seed = sa_core::hash::mix64(task_seed);
             let ctx = SpoutCtx {
                 task: spout_task_idx,
@@ -529,6 +593,8 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
                 shutdown_timeout: config.shutdown_timeout,
                 unclean: unclean.clone(),
                 kill: config.kill.clone(),
+                wm_source: task_ids[&name][local_idx],
+                watermarks: config.watermarks.clone(),
             };
             spout_task_idx += 1;
             spout_handles.push(std::thread::spawn(move || run_spout(spout, ctx)));
@@ -617,6 +683,23 @@ struct SpoutCtx {
     shutdown_timeout: Duration,
     unclean: Arc<AtomicBool>,
     kill: Option<Arc<AtomicBool>>,
+    /// This task's global watermark-source id.
+    wm_source: u32,
+    /// Watermark policy (`None` = event-time layer off).
+    watermarks: Option<WatermarkConfig>,
+}
+
+/// Spout-side watermark state (only built when the policy is on).
+struct SpoutWm {
+    gen: WatermarkGen,
+    cfg: WatermarkConfig,
+    source: u32,
+    /// Emissions since the last broadcast attempt.
+    since_emit: usize,
+    /// When this spout last produced a tuple (idle detection).
+    last_emit: Instant,
+    /// Whether the idle marker for the current lull was already sent.
+    idle_sent: bool,
 }
 
 /// The spout loop's histogram handles (instrumented runs only).
@@ -666,6 +749,15 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
     // not, or long trickle-input runs get falsely flagged while roots
     // are still settling.
     let mut exhausted_at: Option<Instant> = None;
+    let mut wm = ctx.watermarks.take().map(|cfg| SpoutWm {
+        gen: WatermarkGen::new(cfg.bound),
+        cfg,
+        source: ctx.wm_source,
+        since_emit: 0,
+        last_emit: Instant::now(),
+        idle_sent: false,
+    });
+    let mut finished_clean = false;
     loop {
         if ctx.kill.as_ref().is_some_and(|k| k.load(Ordering::Relaxed)) {
             // Crash: stop dead. Buffered partial batches are lost in
@@ -720,6 +812,20 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
                         pending_inits.push((root, xor));
                     }
                 }
+                if let Some(w) = wm.as_mut() {
+                    if let Some(et) = t.event_time {
+                        w.gen.observe(et);
+                    }
+                    w.since_emit += 1;
+                    w.last_emit = Instant::now();
+                    w.idle_sent = false;
+                    if w.since_emit >= w.cfg.emit_every {
+                        w.since_emit = 0;
+                        if let Some(new_wm) = w.gen.advance() {
+                            emit.broadcast_watermark(w.source, new_wm, false);
+                        }
+                    }
+                }
             }
             None => {
                 // Idle: ship partial batches and settle before deciding
@@ -736,7 +842,23 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
                     Semantics::AtLeastOnce => spout.pending() == 0,
                 };
                 if done {
+                    finished_clean = true;
                     break;
+                }
+                // An idle lull long enough to trip the timeout: drop the
+                // out-of-orderness margin (everything emittable has been
+                // emitted) and declare this source idle so it stops
+                // gating downstream min-merges.
+                if let Some(w) = wm.as_mut() {
+                    if let Some(timeout) = w.cfg.idle_timeout {
+                        if !w.idle_sent && w.last_emit.elapsed() >= timeout {
+                            if let Some(new_wm) = w.gen.advance_to_max() {
+                                emit.broadcast_watermark(w.source, new_wm, false);
+                            }
+                            emit.broadcast_watermark(w.source, w.gen.max_ts().unwrap_or(0), true);
+                            w.idle_sent = true;
+                        }
+                    }
                 }
                 if progressed > 0 {
                     // Roots settled: the run is draining, not stuck.
@@ -752,6 +874,15 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
         }
     }
     emit.flush_all();
+    if let Some(w) = wm.as_mut() {
+        if finished_clean {
+            // End of stream: promise "no more data, ever" so every
+            // pending window downstream fires before the flush phase.
+            // (FIFO order puts this marker ahead of the coordinator's
+            // `Flush`, which is only sent after spouts are joined.)
+            emit.broadcast_watermark(w.source, u64::MAX, false);
+        }
+    }
 
     /// One acker visit: register accumulated roots, expire stale trees,
     /// and route completions/failures back into the spout. Returns the
@@ -836,6 +967,11 @@ struct WorkerCtx {
     batch_size: usize,
     batch_linger: Duration,
     sample_every: u32,
+    /// Every upstream task id (pre-seeds the watermark merger: an
+    /// input never heard from blocks the merge).
+    upstream_ids: Vec<u32>,
+    /// Whether the event-time layer is on for this run.
+    watermarks: bool,
 }
 
 /// A batch's ack traffic, applied under one acker lock.
@@ -846,7 +982,7 @@ enum AckOp {
     Fail(u64),
 }
 
-fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
+fn run_bolt_worker(tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
     struct TaskState {
         bolt: Box<dyn Bolt>,
         rx: Receiver<Msg>,
@@ -856,11 +992,26 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
         exec_us: Option<HistogramHandle>,
         sampler: Sampler,
         done: bool,
+        /// This task's watermark-source id (stamped on forwarded markers).
+        my_id: u32,
+        /// Min-across-inputs merge state (event-time runs only).
+        merger: Option<WatermarkMerger>,
+        /// Max event time seen in delivered data (watermark-lag gauge).
+        max_et: u64,
+        /// Tuples emitted from `on_watermark` (window firings).
+        fired: Option<CounterHandle>,
+        /// Tuples diverted to the late side output.
+        dropped_late: CounterHandle,
+        /// Current merged watermark / its lag behind `max_et`.
+        wm_gauge: Option<GaugeHandle>,
+        lag_gauge: Option<GaugeHandle>,
+        /// Terminal-sink key for the late side output.
+        late_key: String,
     }
     let mut states: Vec<TaskState> = tasks
         .into_iter()
         .enumerate()
-        .map(|(i, (bolt, rx))| TaskState {
+        .map(|(i, (my_id, bolt, rx))| TaskState {
             bolt,
             rx,
             emit: EmitCtx::new(
@@ -881,6 +1032,18 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
             // events, so hits on the shared sketch don't collide.
             sampler: Sampler::with_phase(ctx.sample_every, ctx.seed as u32 ^ i as u32),
             done: false,
+            my_id,
+            merger: ctx.watermarks.then(|| WatermarkMerger::new(ctx.upstream_ids.iter().copied())),
+            max_et: 0,
+            fired: ctx.watermarks.then(|| ctx.metrics.register(&format!("{}.fired", ctx.name))),
+            dropped_late: ctx.metrics.register(&format!("{}.dropped_late", ctx.name)),
+            wm_gauge: ctx
+                .watermarks
+                .then(|| ctx.metrics.register_gauge(&format!("{}.watermark", ctx.name))),
+            lag_gauge: ctx
+                .watermarks
+                .then(|| ctx.metrics.register_gauge(&format!("{}.watermark_lag", ctx.name))),
+            late_key: format!("{}.late", ctx.name),
         })
         .collect();
     let single = states.len() == 1;
@@ -917,6 +1080,13 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
             match msg {
                 Msg::Data(batch) => {
                     st.executed.add(batch.len() as u64);
+                    if st.merger.is_some() {
+                        for t in &batch {
+                            if let Some(et) = t.event_time {
+                                st.max_et = st.max_et.max(et);
+                            }
+                        }
+                    }
                     let mut acks: Vec<AckOp> = Vec::new();
                     for t in &batch {
                         let mut out = OutputCollector::new();
@@ -945,6 +1115,32 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
                     }
                     st.emit.flush_if_lingering();
                 }
+                Msg::Watermark { source, wm, idle } => {
+                    let advanced = st.merger.as_mut().and_then(|m| m.update(source, wm, idle));
+                    if let Some(new_wm) = advanced {
+                        let mut out = OutputCollector::new();
+                        st.bolt.on_watermark(new_wm, &mut out);
+                        if let Some(fired) = &st.fired {
+                            fired.add(out.emitted.len() as u64);
+                        }
+                        for mut e in out.emitted {
+                            // Watermark firings have no input to anchor
+                            // to; they ride unanchored, like flush output.
+                            e.root = 0;
+                            st.emit.push(&e, false);
+                        }
+                        route_late(std::mem::take(&mut out.late), st, &ctx);
+                        if let Some(g) = &st.wm_gauge {
+                            g.set(new_wm);
+                        }
+                        if let Some(g) = &st.lag_gauge {
+                            g.set(st.max_et.saturating_sub(new_wm));
+                        }
+                        // Forward as our own marker — flushing first so
+                        // it stays behind everything we just emitted.
+                        st.emit.broadcast_watermark(st.my_id, new_wm, false);
+                    }
+                }
                 Msg::Flush => {
                     let mut out = OutputCollector::new();
                     st.bolt.flush(&mut out);
@@ -952,6 +1148,7 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
                         e.root = 0;
                         st.emit.push(&e, false);
                     }
+                    route_late(std::mem::take(&mut out.late), st, &ctx);
                     st.emit.flush_all();
                 }
                 Msg::Terminate => {
@@ -975,11 +1172,12 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
 
     fn handle_emissions(
         input: &Tuple,
-        out: OutputCollector,
+        mut out: OutputCollector,
         st: &mut TaskState,
         ctx: &WorkerCtx,
         acks: &mut Vec<AckOp>,
     ) {
+        route_late(std::mem::take(&mut out.late), st, ctx);
         let anchored = ctx.semantics == Semantics::AtLeastOnce && input.root != 0;
         if out.failed {
             if anchored {
@@ -991,7 +1189,10 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
         for mut e in out.emitted {
             e.root = input.root;
             e.lineage = input.lineage;
-            if e.event_time == 0 {
+            // Unstamped outputs inherit the input's event time. `None`
+            // is the explicit "unset" marker — an epoch-0 stamp set by
+            // the bolt is a real timestamp and survives untouched.
+            if e.event_time.is_none() {
                 e.event_time = input.event_time;
             }
             xor_new ^= st.emit.push(&e, anchored);
@@ -999,6 +1200,17 @@ fn run_bolt_worker(tasks: Vec<(Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
         if anchored {
             acks.push(AckOp::Ack(input.root, input.id ^ xor_new));
         }
+    }
+
+    /// Deliver late-side-output tuples to the run's `"{component}.late"`
+    /// sink and count them. Late tuples are rare by construction, so
+    /// this path takes the sink lock directly rather than batching.
+    fn route_late(late: Vec<Tuple>, st: &TaskState, ctx: &WorkerCtx) {
+        if late.is_empty() {
+            return;
+        }
+        st.dropped_late.add(late.len() as u64);
+        ctx.sink.lock().unwrap().entry(st.late_key.clone()).or_default().extend(late);
     }
 }
 

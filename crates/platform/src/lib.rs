@@ -41,22 +41,26 @@ pub mod lambda;
 pub mod log;
 pub mod metrics;
 pub mod operator;
+pub mod time;
 pub mod topology;
 pub mod tuple;
+pub mod window;
 
 pub use channel::LinkStats;
 pub use checkpoint::CheckpointStore;
 pub use executor::{run_topology, ExecutorConfig, ExecutorModel, RunResult, Semantics};
 pub use log::{Consumer, Log, Record};
 pub use metrics::{
-    CounterHandle, HistogramHandle, HistogramSummary, LinkSnapshot, Metrics, MetricsSnapshot,
-    Sampler,
+    CounterHandle, GaugeHandle, HistogramHandle, HistogramSummary, LinkSnapshot, Metrics,
+    MetricsSnapshot, Sampler,
 };
 pub use operator::{
     decode_checkpoint, replay_offset, LogSpout, MergeBolt, OperatorConfig, SynopsisBolt,
 };
+pub use time::{TimerService, WatermarkConfig, WatermarkGen, WatermarkMerger};
 pub use topology::{
     vec_spout, Bolt, BoltHandle, Grouping, OutputCollector, Spout, SpoutHandle, TopologyBuilder,
     VecSpout,
 };
 pub use tuple::{tuple_of, Batch, Tuple, Value};
+pub use window::{WindowBolt, WindowConfig, WindowSpec};

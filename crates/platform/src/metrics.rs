@@ -133,6 +133,27 @@ impl HistogramHandle {
     }
 }
 
+/// A pre-resolved gauge: one shared `AtomicU64` cell, last-write-wins.
+/// Used for point-in-time readings (current watermark, watermark lag)
+/// where summing across registrants would be meaningless.
+#[derive(Clone, Debug, Default)]
+pub struct GaugeHandle {
+    cell: Arc<AtomicU64>,
+}
+
+impl GaugeHandle {
+    /// Set the gauge: one relaxed store.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Current reading.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
 /// Every-Nth gate for sampled recording: the hot loop calls
 /// [`Sampler::hit`] per event and only pays for the clock + sketch on a
 /// hit. `every = 0` disables sampling entirely (never hits), which is
@@ -199,6 +220,8 @@ struct MetricsInner {
     histograms: Mutex<HashMap<String, HistogramHandle>>,
     /// Interned link gauges: name -> depth/stall atomics.
     links: Mutex<HashMap<String, LinkStats>>,
+    /// Interned scalar gauges: name -> shared cell.
+    gauges: Mutex<HashMap<String, GaugeHandle>>,
     /// Round-robin shard assignment for successive registrations.
     next_shard: AtomicUsize,
     acked_roots: AtomicU64,
@@ -249,6 +272,12 @@ impl Metrics {
     /// account. Build-time only.
     pub fn register_link(&self, name: &str) -> LinkStats {
         self.inner.links.lock().unwrap().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Intern a scalar gauge; same-name registrations share one cell
+    /// (last write wins). Build-time only.
+    pub fn register_gauge(&self, name: &str) -> GaugeHandle {
+        self.inner.gauges.lock().unwrap().entry(name.to_string()).or_default().clone()
     }
 
     /// Record an acked root.
@@ -308,10 +337,19 @@ impl Metrics {
                 )
             })
             .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
         MetricsSnapshot {
             counters,
             histograms,
             links,
+            gauges,
             acked_roots: self.inner.acked_roots.load(Ordering::Relaxed),
             failed_roots: self.inner.failed_roots.load(Ordering::Relaxed),
             replayed_roots: self.inner.replayed_roots.load(Ordering::Relaxed),
@@ -357,6 +395,8 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSummary>,
     /// Named link gauges (queue depth + backpressure), in name order.
     pub links: BTreeMap<String, LinkSnapshot>,
+    /// Named scalar gauges (watermarks, watermark lag), in name order.
+    pub gauges: BTreeMap<String, u64>,
     /// Roots fully acked.
     pub acked_roots: u64,
     /// Roots failed (explicitly or by timeout).
@@ -381,6 +421,11 @@ impl MetricsSnapshot {
     /// Gauge of a named link (`None` when never registered).
     pub fn link(&self, name: &str) -> Option<&LinkSnapshot> {
         self.links.get(name)
+    }
+
+    /// Reading of a named scalar gauge (`None` when never registered).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
     }
 
     /// Total backpressure stall time across every link, in seconds.
@@ -429,6 +474,14 @@ impl MetricsSnapshot {
             );
         }
         if !self.links.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", escape_json(k));
+        }
+        if !self.gauges.is_empty() {
             out.push_str("\n  ");
         }
         let _ = write!(
@@ -575,6 +628,21 @@ mod tests {
         assert_eq!(snap.stall_ns, 1_500);
         assert!(s.total_stall_secs() > 0.0);
         assert!(s.to_json().contains("\"high_water\": 2"));
+    }
+
+    #[test]
+    fn gauges_last_write_wins_and_render() {
+        let m = Metrics::new();
+        let a = m.register_gauge("win.watermark");
+        let b = m.register_gauge("win.watermark");
+        a.set(10);
+        b.set(25);
+        assert_eq!(a.get(), 25, "same-name registrations share one cell");
+        let s = m.snapshot();
+        assert_eq!(s.gauge("win.watermark"), Some(25));
+        assert_eq!(s.gauge("missing"), None);
+        assert!(s.to_json().contains("\"gauges\""));
+        assert!(s.to_json().contains("\"win.watermark\": 25"));
     }
 
     #[test]

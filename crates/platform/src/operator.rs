@@ -74,7 +74,7 @@ const CHECKPOINT_TAG: u8 = b'O';
 
 /// Encode a checkpoint value: the newest applied record id plus the
 /// synopsis snapshot, as one atomic unit.
-fn encode_checkpoint(last_applied: u64, snapshot: &[u8]) -> Vec<u8> {
+pub(crate) fn encode_checkpoint(last_applied: u64, snapshot: &[u8]) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(1 + 8 + 8 + snapshot.len());
     w.tag(CHECKPOINT_TAG).put_u64(last_applied).put_bytes(snapshot);
     w.finish()
@@ -375,6 +375,12 @@ impl<F: FnMut(&Record) -> Tuple + Send> LogSpout<F> {
         // The stable id rides in `root`; the runtime turns it into the
         // tuple's lineage (and assigns a fresh ack tree per attempt).
         t.root = id;
+        // The log's event-time stamp survives replay, so recovered
+        // tuples re-enter the same windows as the original attempt
+        // (unless `decode` already chose a timestamp).
+        if t.event_time.is_none() {
+            t.event_time = rec.event_time;
+        }
         self.in_flight.insert(id);
         t
     }

@@ -49,19 +49,31 @@ pub trait Spout: Send {
 pub struct OutputCollector {
     /// Tuples emitted during this `execute` call.
     pub(crate) emitted: Vec<Tuple>,
+    /// Tuples diverted to the late side output (arrived after their
+    /// window's allowed lateness expired). The runtime collects these
+    /// under `"{component}.late"` instead of the normal downstream
+    /// routes, and bumps the component's dropped-late counter.
+    pub(crate) late: Vec<Tuple>,
     /// Whether the input tuple was explicitly failed.
     pub(crate) failed: bool,
 }
 
 impl OutputCollector {
     pub(crate) fn new() -> Self {
-        Self { emitted: Vec::new(), failed: false }
+        Self { emitted: Vec::new(), late: Vec::new(), failed: false }
     }
 
     /// Emit a tuple anchored to the current input (its lineage joins the
     /// ack tree; a replay of the root will re-drive it).
     pub fn emit(&mut self, tuple: Tuple) {
         self.emitted.push(tuple);
+    }
+
+    /// Divert a tuple to the late side output: it skips the normal
+    /// downstream routes and lands in the run's `"{component}.late"`
+    /// sink, counted by the `{component}.dropped_late` metric.
+    pub fn emit_late(&mut self, tuple: Tuple) {
+        self.late.push(tuple);
     }
 
     /// Mark the input tuple as failed: the root will be replayed in
@@ -79,6 +91,12 @@ pub trait Bolt: Send {
     /// Called when the topology is draining; bolts may emit final
     /// aggregates.
     fn flush(&mut self, _out: &mut OutputCollector) {}
+
+    /// Called when this task's event-time watermark advances (only in
+    /// topologies run with `ExecutorConfig::watermarks` set). `wm` is
+    /// the new merged watermark: no tuple with `event_time < wm` will
+    /// be delivered to `execute` again. Windowed operators fire here.
+    fn on_watermark(&mut self, _wm: u64, _out: &mut OutputCollector) {}
 }
 
 /// Blanket impl so closures can be used as stateless bolts.

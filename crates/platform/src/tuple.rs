@@ -111,8 +111,11 @@ impl From<Vec<u8>> for Value {
 pub struct Tuple {
     /// Field values.
     pub values: Vec<Value>,
-    /// Event time (logical), for windowed operators.
-    pub event_time: u64,
+    /// Event time (logical), for windowed operators. `None` means the
+    /// tuple was never stamped — epoch 0 is a *valid* timestamp, so
+    /// "unset" needs its own representation (a `0` sentinel would let
+    /// emit-path inheritance clobber real epoch-0 stamps).
+    pub event_time: Option<u64>,
     /// Unique id of this tuple instance (the ack-tree edge id; fresh on
     /// every delivery, including replays).
     pub id: u64,
@@ -129,12 +132,12 @@ impl Tuple {
     /// A tuple from field values (id/root/lineage filled in by the
     /// runtime).
     pub fn new(values: Vec<Value>) -> Self {
-        Self { values, event_time: 0, id: 0, root: 0, lineage: 0 }
+        Self { values, event_time: None, id: 0, root: 0, lineage: 0 }
     }
 
     /// Builder: set event time.
     pub fn at(mut self, t: u64) -> Self {
-        self.event_time = t;
+        self.event_time = Some(t);
         self
     }
 
@@ -188,7 +191,8 @@ mod tests {
     #[test]
     fn tuple_construction() {
         let t = tuple_of(["a", "b"]).at(42);
-        assert_eq!(t.event_time, 42);
+        assert_eq!(t.event_time, Some(42));
+        assert_eq!(tuple_of(["a"]).event_time, None, "unstamped tuples carry no time");
         assert_eq!(t.get(0).unwrap().as_str(), Some("a"));
         assert!(t.get(5).is_none());
     }

@@ -1,0 +1,810 @@
+//! Windowed operators: `sa-windows` assigners wired to the executor's
+//! event-time layer, with exactly-once state.
+//!
+//! [`WindowBolt`] groups tuples by key fields, assigns each to its
+//! event-time windows (tumbling, sliding, or session — the vocabulary
+//! shared by every Table-2 system), and folds it into a per-window
+//! [`Synopsis`] aggregate. Windows *fire* when the bolt's merged
+//! watermark passes their end: [`crate::time::TimerService`] turns the
+//! advancing watermark into ordered `(key, window)` callbacks, and the
+//! firing emits `[Str(key), Int(start), Int(end), Bytes(snapshot)]`.
+//!
+//! Lateness semantics (Flink's model, which the survey credits as the
+//! production treatment of out-of-order data):
+//!
+//! * a tuple is **on time** while `watermark < window.end` — it
+//!   accumulates silently and the window fires once, on passage;
+//! * a **straggler** arrives with `window.end <= watermark <
+//!   window.end + allowed_lateness` — the window's state is still
+//!   alive, the update is applied, and the window *re-fires*
+//!   immediately with the amended aggregate (downstream consumers see
+//!   a corrected result for the same `[start, end)`);
+//! * a **too-late** tuple (`watermark >= window.end + lateness` for
+//!   every window it maps to) is diverted to the
+//!   [`OutputCollector::emit_late`] side output and counted by the
+//!   component's `dropped_late` metric — it can no longer change any
+//!   result, but it is not silently discarded.
+//!
+//! State — every `(key, window)` aggregate, the open sessions, and the
+//! applied-tuple dedup ids — snapshots and restores through the same
+//! [`CheckpointStore`] path as [`crate::operator::SynopsisBolt`]
+//! (atomic `commit_batch`, GC'd dedup tokens), so crash recovery via
+//! log replay reproduces the exact window results of an uncrashed run.
+
+use crate::checkpoint::CheckpointStore;
+use crate::operator::OperatorConfig;
+use crate::topology::{Bolt, OutputCollector};
+use crate::tuple::{Tuple, Value};
+use sa_core::codec::{ByteReader, ByteWriter};
+use sa_core::{Merge, Result, Synopsis};
+use sa_windows::assigners::{sliding, tumbling, SessionWindows, Window};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Which windows a timestamp maps to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Fixed, non-overlapping `[k·size, (k+1)·size)` windows.
+    Tumbling {
+        /// Window length (event-time units).
+        size: u64,
+    },
+    /// Overlapping windows of `size` advancing by `slide` (≤ size).
+    Sliding {
+        /// Window length.
+        size: u64,
+        /// Hop between window starts.
+        slide: u64,
+    },
+    /// Per-key activity sessions separated by `gap` of inactivity.
+    Session {
+        /// Inactivity gap that closes a session.
+        gap: u64,
+    },
+}
+
+/// Configuration of a [`WindowBolt`].
+#[derive(Clone, Debug)]
+pub struct WindowConfig {
+    /// Window shape.
+    pub spec: WindowSpec,
+    /// Tuple field indices forming the grouping key (their `Display`
+    /// forms joined; empty = one global key). Wire the bolt with a
+    /// fields grouping on the same indices so each key owns one task.
+    pub key_fields: Vec<usize>,
+    /// How long past a window's end its state stays alive for
+    /// stragglers. 0 = fire once and drop immediately.
+    pub allowed_lateness: u64,
+    /// Checkpoint cadence/GC (the `SynopsisBolt` knobs).
+    pub checkpoint: OperatorConfig,
+}
+
+impl WindowConfig {
+    /// Config with the given shape, keyed on `key_fields`, with
+    /// defaults for lateness (0) and checkpointing.
+    pub fn new(spec: WindowSpec, key_fields: Vec<usize>) -> Self {
+        Self { spec, key_fields, allowed_lateness: 0, checkpoint: OperatorConfig::default() }
+    }
+
+    /// Builder: set the allowed lateness.
+    pub fn lateness(mut self, l: u64) -> Self {
+        self.allowed_lateness = l;
+        self
+    }
+}
+
+/// What a timer is armed to do.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum TimerKind {
+    /// Watermark passed `window.end`: emit the aggregate.
+    Fire,
+    /// Watermark passed `window.end + lateness`: drop the state.
+    Cleanup,
+}
+
+type TimerKey = (String, Window, TimerKind);
+
+/// One live `(key, window)` aggregate.
+struct WindowState<S> {
+    agg: S,
+    /// Updates applied since the last firing — `flush` emits only
+    /// dirty groups, so a fired-and-unchanged window is not repeated.
+    dirty: bool,
+}
+
+const WINDOW_TAG: u8 = b'W';
+
+/// A keyed, windowed, checkpointed aggregation bolt. See the module
+/// docs for semantics. `update` folds one tuple into the per-window
+/// synopsis; `Merge` is required because session windows that grow
+/// together must merge their aggregates.
+pub struct WindowBolt<S, F> {
+    key: String,
+    store: CheckpointStore,
+    template: S,
+    update: F,
+    cfg: WindowConfig,
+    /// Live aggregates, ordered for deterministic emission/encoding.
+    groups: BTreeMap<(String, Window), WindowState<S>>,
+    /// Open sessions per key (session spec only).
+    sessions: HashMap<String, SessionWindows>,
+    timers: crate::time::TimerService<TimerKey>,
+    /// Local watermark (None until the first `on_watermark`).
+    wm: Option<u64>,
+    /// Exactly-once bookkeeping, as in `SynopsisBolt`.
+    pending: Vec<u64>,
+    pending_set: HashSet<u64>,
+    last_applied: u64,
+    recovered: bool,
+    duplicates_skipped: u64,
+    /// Session-aggregate merges that failed (incompatible synopses).
+    merge_errors: u64,
+}
+
+impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> WindowBolt<S, F> {
+    /// A bolt checkpointing under `key` in `store`. If a checkpoint
+    /// for `key` exists, the bolt recovers every live window, session,
+    /// and dedup id from it. Each parallel instance needs its own key.
+    pub fn new(
+        key: &str,
+        store: &CheckpointStore,
+        template: S,
+        cfg: WindowConfig,
+        update: F,
+    ) -> Result<Self> {
+        let mut me = Self {
+            key: key.to_string(),
+            store: store.clone(),
+            template,
+            update,
+            cfg,
+            groups: BTreeMap::new(),
+            sessions: HashMap::new(),
+            timers: crate::time::TimerService::new(),
+            wm: None,
+            pending: Vec::new(),
+            pending_set: HashSet::new(),
+            last_applied: 0,
+            recovered: false,
+            duplicates_skipped: 0,
+            merge_errors: 0,
+        };
+        if let Some((_, value)) = store.get(key) {
+            let (applied, payload) = crate::operator::decode_checkpoint(&value)?;
+            me.last_applied = applied;
+            me.restore_state(&payload)?;
+            me.recovered = true;
+        }
+        Ok(me)
+    }
+
+    /// The grouping key of a tuple: key fields' `Display` forms joined
+    /// by a unit separator.
+    fn group_key(&self, t: &Tuple) -> String {
+        let mut s = String::new();
+        for (i, &f) in self.cfg.key_fields.iter().enumerate() {
+            if i > 0 {
+                s.push('\u{1f}');
+            }
+            if let Some(v) = t.get(f) {
+                let _ = write!(s, "{v}");
+            }
+        }
+        s
+    }
+
+    /// Whether a window is past its allowed lateness (tuples for it go
+    /// to the side output).
+    fn expired(&self, w: &Window) -> bool {
+        self.wm.is_some_and(|wm| w.end.saturating_add(self.cfg.allowed_lateness) <= wm)
+    }
+
+    /// Whether a window already fired (stragglers re-fire immediately).
+    fn already_fired(&self, w: &Window) -> bool {
+        self.wm.is_some_and(|wm| w.end <= wm)
+    }
+
+    /// Arm the fire/cleanup timers for a (key, window) group.
+    fn arm(&mut self, key: &str, w: Window) {
+        self.timers.register(w.end, (key.to_string(), w, TimerKind::Fire));
+        if self.cfg.allowed_lateness > 0 {
+            self.timers.register(
+                w.end.saturating_add(self.cfg.allowed_lateness),
+                (key.to_string(), w, TimerKind::Cleanup),
+            );
+        }
+    }
+
+    /// Emit one window result and mark it clean.
+    fn emit_window(&mut self, key: &str, w: Window, out: &mut OutputCollector) {
+        let Some(state) = self.groups.get_mut(&(key.to_string(), w)) else {
+            return;
+        };
+        state.dirty = false;
+        let snapshot = state.agg.snapshot();
+        out.emit(
+            Tuple::new(vec![
+                Value::Str(key.to_string()),
+                Value::Int(w.start as i64),
+                Value::Int(w.end as i64),
+                Value::Bytes(snapshot),
+            ])
+            .at(w.end.saturating_sub(1)),
+        );
+    }
+
+    /// Fold a tuple into one live (possibly already-fired) window.
+    fn apply_to(&mut self, key: &str, w: Window, input: &Tuple, out: &mut OutputCollector) {
+        let entry = self
+            .groups
+            .entry((key.to_string(), w))
+            .or_insert_with(|| WindowState { agg: self.template.clone(), dirty: false });
+        (self.update)(input, &mut entry.agg);
+        entry.dirty = true;
+        if self.already_fired(&w) {
+            // Straggler inside the lateness horizon: re-fire now with
+            // the amended aggregate (the downstream sees a correction).
+            self.emit_window(key, w, out);
+        } else {
+            self.arm(key, w);
+        }
+    }
+
+    /// Session-spec path: extend/merge sessions and their aggregates.
+    fn apply_session(
+        &mut self,
+        key: &str,
+        et: u64,
+        gap: u64,
+        input: &Tuple,
+        out: &mut OutputCollector,
+    ) {
+        let sess = self.sessions.entry(key.to_string()).or_insert_with(|| SessionWindows::new(gap));
+        let (merged, absorbed) = sess.add_tracking(et);
+        let mut agg = self.template.clone();
+        for w in &absorbed {
+            if let Some(old) = self.groups.remove(&(key.to_string(), *w)) {
+                if agg.merge(&old.agg).is_err() {
+                    self.merge_errors += 1;
+                }
+            }
+        }
+        (self.update)(input, &mut agg);
+        self.groups.insert((key.to_string(), merged), WindowState { agg, dirty: true });
+        // Timers for absorbed windows go stale; their firings find no
+        // group and are ignored (lazy deletion).
+        if self.already_fired(&merged) {
+            self.emit_window(key, merged, out);
+        } else {
+            self.arm(key, merged);
+        }
+    }
+
+    /// Encode every live group and session as the checkpoint's snapshot
+    /// payload (the newest applied id travels in the standard operator
+    /// envelope so [`crate::operator::replay_offset`] can read it).
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.tag(WINDOW_TAG);
+        w.put_u64(self.groups.len() as u64);
+        for ((key, win), state) in &self.groups {
+            w.put_str(key)
+                .put_u64(win.start)
+                .put_u64(win.end)
+                .put_bool(state.dirty)
+                .put_bytes(&state.agg.snapshot());
+        }
+        let mut session_keys: Vec<&String> = self.sessions.keys().collect();
+        session_keys.sort(); // deterministic encoding
+        w.put_u64(session_keys.len() as u64);
+        for key in session_keys {
+            let open = self.sessions[key].open();
+            w.put_str(key).put_u64(open.len() as u64);
+            for s in open {
+                w.put_u64(s.start).put_u64(s.end);
+            }
+        }
+        w.finish()
+    }
+
+    /// Rebuild groups, sessions, and timers from a snapshot payload.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_tag(WINDOW_TAG, "window checkpoint")?;
+        let n_groups = r.get_len(17)?;
+        let mut armed = Vec::new();
+        for _ in 0..n_groups {
+            let key = r.get_str()?;
+            let win = Window { start: r.get_u64()?, end: r.get_u64()? };
+            let dirty = r.get_bool()?;
+            let mut agg = self.template.clone();
+            agg.restore(r.get_bytes()?)?;
+            self.groups.insert((key.clone(), win), WindowState { agg, dirty });
+            armed.push((key, win));
+        }
+        let n_sessions = r.get_len(9)?;
+        let WindowSpec::Session { gap } = self.cfg.spec else {
+            if n_sessions != 0 {
+                return Err(sa_core::SaError::Platform(
+                    "session state in a non-session window checkpoint".into(),
+                ));
+            }
+            r.finish()?;
+            for (key, win) in armed {
+                self.arm(&key, win);
+            }
+            return Ok(());
+        };
+        for _ in 0..n_sessions {
+            let key = r.get_str()?;
+            let n_open = r.get_len(16)?;
+            let mut sess = SessionWindows::new(gap);
+            for _ in 0..n_open {
+                // Re-adding the start reproduces [start, start+gap);
+                // wider recorded ends are restored by a second add at
+                // end - gap (sessions only widen in whole events, but
+                // the pair of adds reconstructs any [start, end)).
+                let start = r.get_u64()?;
+                let end = r.get_u64()?;
+                sess.add(start);
+                if end > start.saturating_add(gap) {
+                    sess.add(end - gap);
+                }
+            }
+            self.sessions.insert(key, sess);
+        }
+        r.finish()?;
+        for (key, win) in armed {
+            self.arm(&key, win);
+        }
+        Ok(())
+    }
+
+    /// Commit pending state + dedup ids atomically, then GC tokens.
+    fn commit(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let value = crate::operator::encode_checkpoint(self.last_applied, &self.encode_state());
+        self.store.commit_batch(&self.key, &self.pending, value);
+        self.pending.clear();
+        self.pending_set.clear();
+        if let Some(horizon) = self.cfg.checkpoint.gc_horizon {
+            self.store.gc(&self.key, self.last_applied.saturating_sub(horizon));
+        }
+    }
+
+    /// Live `(key, window)` groups.
+    pub fn live_windows(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether construction restored a prior checkpoint.
+    pub fn recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// Replayed tuples dropped by deduplication.
+    pub fn duplicates_skipped(&self) -> u64 {
+        self.duplicates_skipped
+    }
+
+    /// Newest record id folded into any window.
+    pub fn last_applied(&self) -> u64 {
+        self.last_applied
+    }
+
+    /// Failed session-aggregate merges.
+    pub fn merge_errors(&self) -> u64 {
+        self.merge_errors
+    }
+}
+
+impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt
+    for WindowBolt<S, F>
+{
+    fn execute(&mut self, input: &Tuple, out: &mut OutputCollector) {
+        // Exactly-once dedup first: a replayed tuple must not re-enter
+        // any window (lineage 0 = untracked test input, not deduped).
+        let id = input.lineage;
+        if id != 0 && (self.pending_set.contains(&id) || self.store.is_seen(&self.key, id)) {
+            self.duplicates_skipped += 1;
+            return;
+        }
+        let applied = match input.event_time {
+            None => {
+                // Unstamped tuples cannot be windowed.
+                out.emit_late(input.clone());
+                false
+            }
+            Some(et) => {
+                let key = self.group_key(input);
+                match self.cfg.spec {
+                    WindowSpec::Tumbling { size } => {
+                        let w = tumbling(et, size);
+                        if self.expired(&w) {
+                            out.emit_late(input.clone());
+                            false
+                        } else {
+                            self.apply_to(&key, w, input, out);
+                            true
+                        }
+                    }
+                    WindowSpec::Sliding { size, slide } => {
+                        let live: Vec<Window> = sliding(et, size, slide)
+                            .into_iter()
+                            .filter(|w| !self.expired(w))
+                            .collect();
+                        if live.is_empty() {
+                            out.emit_late(input.clone());
+                            false
+                        } else {
+                            for w in live {
+                                self.apply_to(&key, w, input, out);
+                            }
+                            true
+                        }
+                    }
+                    WindowSpec::Session { gap } => {
+                        // The session this event would create ends at
+                        // et + gap; merging into an open session only
+                        // pushes the end later, so this bound decides.
+                        let probe = Window { start: et, end: et.saturating_add(gap) };
+                        if self.expired(&probe) {
+                            out.emit_late(input.clone());
+                            false
+                        } else {
+                            self.apply_session(&key, et, gap, input, out);
+                            true
+                        }
+                    }
+                }
+            }
+        };
+        // Record the id either way: a replay of a dropped-late tuple
+        // would be just as late, and replays of applied tuples must be
+        // absorbed. (`applied` only gates nothing today but keeps the
+        // decision explicit.)
+        let _ = applied;
+        if id != 0 {
+            self.pending.push(id);
+            self.pending_set.insert(id);
+            self.last_applied = self.last_applied.max(id);
+            if self.pending.len() as u64 >= self.cfg.checkpoint.checkpoint_every {
+                self.commit();
+            }
+        }
+    }
+
+    fn on_watermark(&mut self, wm: u64, out: &mut OutputCollector) {
+        // The executor's merger is monotone; max() guards unit tests
+        // driving this directly.
+        self.wm = Some(self.wm.map_or(wm, |prev| prev.max(wm)));
+        for (_at, (key, win, kind)) in self.timers.advance(wm) {
+            match kind {
+                TimerKind::Fire => {
+                    if self.groups.contains_key(&(key.clone(), win)) {
+                        self.emit_window(&key, win, out);
+                        if self.cfg.allowed_lateness == 0 {
+                            self.groups.remove(&(key.clone(), win));
+                            if let Some(sess) = self.sessions.get_mut(&key) {
+                                sess.remove(&win);
+                            }
+                        }
+                    } // else: session absorbed this window — stale timer.
+                }
+                TimerKind::Cleanup => {
+                    self.groups.remove(&(key.clone(), win));
+                    if let Some(sess) = self.sessions.get_mut(&key) {
+                        sess.remove(&win);
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self, out: &mut OutputCollector) {
+        if self.cfg.checkpoint.commit_on_flush {
+            self.commit();
+        }
+        // Emit windows that never fired (no watermark reached them —
+        // e.g. watermarks disabled, or an unclean drain). Fired-and-
+        // unchanged groups are clean and not repeated.
+        let pending: Vec<(String, Window)> = self
+            .groups
+            .iter()
+            .filter(|(_, st)| st.dirty)
+            .map(|((k, w), _)| (k.clone(), *w))
+            .collect();
+        for (key, win) in pending {
+            self.emit_window(&key, win, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple_of;
+    use sa_core::codec::{ByteReader, ByteWriter};
+
+    /// Count-and-sum synopsis (mirrors the operator-layer test type).
+    #[derive(Clone, Debug, Default, PartialEq)]
+    struct CountSum {
+        n: u64,
+        sum: i64,
+    }
+
+    impl Synopsis for CountSum {
+        fn snapshot(&self) -> Vec<u8> {
+            let mut w = ByteWriter::with_capacity(17);
+            w.tag(b'T').put_u64(self.n).put_i64(self.sum);
+            w.finish()
+        }
+
+        fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+            let mut r = ByteReader::new(bytes);
+            r.expect_tag(b'T', "CountSum")?;
+            let n = r.get_u64()?;
+            let sum = r.get_i64()?;
+            r.finish()?;
+            *self = Self { n, sum };
+            Ok(())
+        }
+    }
+
+    impl Merge for CountSum {
+        fn merge(&mut self, other: &Self) -> Result<()> {
+            self.n += other.n;
+            self.sum += other.sum;
+            Ok(())
+        }
+    }
+
+    fn apply(t: &Tuple, s: &mut CountSum) {
+        s.n += 1;
+        s.sum += t.get(1).and_then(Value::as_int).unwrap_or(0);
+    }
+
+    fn keyed(key: &str, v: i64, et: u64, lineage: u64) -> Tuple {
+        let mut t = tuple_of([Value::Str(key.into()), Value::Int(v)]).at(et);
+        t.lineage = lineage;
+        t
+    }
+
+    fn bolt(
+        store: &CheckpointStore,
+        spec: WindowSpec,
+        lateness: u64,
+    ) -> WindowBolt<CountSum, fn(&Tuple, &mut CountSum)> {
+        WindowBolt::new(
+            "w/0",
+            store,
+            CountSum::default(),
+            WindowConfig::new(spec, vec![0]).lateness(lateness),
+            apply as fn(&Tuple, &mut CountSum),
+        )
+        .unwrap()
+    }
+
+    fn decode_result(t: &Tuple) -> (String, u64, u64, CountSum) {
+        let mut agg = CountSum::default();
+        agg.restore(t.get(3).unwrap().as_bytes().unwrap()).unwrap();
+        (
+            t.get(0).unwrap().as_str().unwrap().to_string(),
+            t.get(1).unwrap().as_int().unwrap() as u64,
+            t.get(2).unwrap().as_int().unwrap() as u64,
+            agg,
+        )
+    }
+
+    #[test]
+    fn tumbling_fires_on_watermark_passage() {
+        let store = CheckpointStore::new();
+        let mut b = bolt(&store, WindowSpec::Tumbling { size: 10 }, 0);
+        let mut out = OutputCollector::new();
+        b.execute(&keyed("a", 1, 3, 1), &mut out);
+        b.execute(&keyed("a", 2, 7, 2), &mut out);
+        b.execute(&keyed("a", 4, 12, 3), &mut out);
+        assert!(out.emitted.is_empty(), "nothing fires before the watermark");
+        b.on_watermark(10, &mut out);
+        assert_eq!(out.emitted.len(), 1);
+        let (key, start, end, agg) = decode_result(&out.emitted[0]);
+        assert_eq!((key.as_str(), start, end), ("a", 0, 10));
+        assert_eq!(agg, CountSum { n: 2, sum: 3 });
+        assert_eq!(out.emitted[0].event_time, Some(9), "result stamped at window close");
+        assert_eq!(b.live_windows(), 1, "lateness 0: fired window dropped");
+        b.on_watermark(20, &mut out);
+        assert_eq!(out.emitted.len(), 2);
+        let (_, start, _, agg) = decode_result(&out.emitted[1]);
+        assert_eq!((start, agg.sum), (10, 4));
+    }
+
+    #[test]
+    fn straggler_refires_and_too_late_goes_to_side_output() {
+        let store = CheckpointStore::new();
+        let mut b = bolt(&store, WindowSpec::Tumbling { size: 10 }, 15);
+        let mut out = OutputCollector::new();
+        b.execute(&keyed("a", 1, 5, 1), &mut out);
+        b.on_watermark(12, &mut out);
+        assert_eq!(out.emitted.len(), 1, "on-time firing");
+        // Straggler: wm 12 < end 10 + lateness 15 → refire with n=2.
+        b.execute(&keyed("a", 10, 8, 2), &mut out);
+        assert_eq!(out.emitted.len(), 2, "straggler re-fires immediately");
+        let (_, _, _, agg) = decode_result(&out.emitted[1]);
+        assert_eq!(agg, CountSum { n: 2, sum: 11 });
+        assert!(out.late.is_empty());
+        // Too late: wm 25 ≥ 10 + 15.
+        b.on_watermark(25, &mut out);
+        assert_eq!(b.live_windows(), 0, "cleanup timer dropped the state");
+        b.execute(&keyed("a", 99, 9, 3), &mut out);
+        assert_eq!(out.late.len(), 1, "expired window: side output");
+        assert_eq!(out.emitted.len(), 2, "no further firing");
+    }
+
+    #[test]
+    fn unstamped_tuple_goes_to_side_output() {
+        let store = CheckpointStore::new();
+        let mut b = bolt(&store, WindowSpec::Tumbling { size: 10 }, 0);
+        let mut out = OutputCollector::new();
+        let mut t = tuple_of([Value::Str("a".into()), Value::Int(1)]);
+        t.lineage = 1;
+        b.execute(&t, &mut out);
+        assert_eq!(out.late.len(), 1);
+        assert_eq!(b.live_windows(), 0);
+    }
+
+    #[test]
+    fn sliding_assigns_to_overlapping_windows() {
+        let store = CheckpointStore::new();
+        let mut b = bolt(&store, WindowSpec::Sliding { size: 10, slide: 5 }, 0);
+        let mut out = OutputCollector::new();
+        b.execute(&keyed("a", 1, 7, 1), &mut out);
+        assert_eq!(b.live_windows(), 2, "t=7 lives in [0,10) and [5,15)");
+        b.on_watermark(u64::MAX, &mut out);
+        assert_eq!(out.emitted.len(), 2);
+        let (_, s0, _, a0) = decode_result(&out.emitted[0]);
+        let (_, s1, _, a1) = decode_result(&out.emitted[1]);
+        assert_eq!((s0, s1), (0, 5));
+        assert_eq!(a0, a1);
+    }
+
+    #[test]
+    fn sessions_merge_aggregates_across_bridged_windows() {
+        let store = CheckpointStore::new();
+        let mut b = bolt(&store, WindowSpec::Session { gap: 10 }, 0);
+        let mut out = OutputCollector::new();
+        b.execute(&keyed("a", 1, 100, 1), &mut out);
+        b.execute(&keyed("a", 2, 120, 2), &mut out);
+        assert_eq!(b.live_windows(), 2, "two separate sessions");
+        b.execute(&keyed("a", 4, 110, 3), &mut out); // bridges both
+        assert_eq!(b.live_windows(), 1, "bridge merged the sessions");
+        b.on_watermark(u64::MAX, &mut out);
+        assert_eq!(out.emitted.len(), 1);
+        let (key, start, end, agg) = decode_result(&out.emitted[0]);
+        assert_eq!((key.as_str(), start, end), ("a", 100, 130));
+        assert_eq!(agg, CountSum { n: 3, sum: 7 }, "absorbed aggregates merged");
+        assert_eq!(b.merge_errors(), 0);
+    }
+
+    #[test]
+    fn keys_are_isolated() {
+        let store = CheckpointStore::new();
+        let mut b = bolt(&store, WindowSpec::Tumbling { size: 10 }, 0);
+        let mut out = OutputCollector::new();
+        b.execute(&keyed("a", 1, 5, 1), &mut out);
+        b.execute(&keyed("b", 7, 5, 2), &mut out);
+        b.on_watermark(10, &mut out);
+        assert_eq!(out.emitted.len(), 2);
+        let mut results: Vec<(String, i64)> = out
+            .emitted
+            .iter()
+            .map(|t| {
+                let (k, _, _, agg) = decode_result(t);
+                (k, agg.sum)
+            })
+            .collect();
+        results.sort();
+        assert_eq!(results, vec![("a".into(), 1), ("b".into(), 7)]);
+    }
+
+    #[test]
+    fn replayed_lineage_is_deduplicated() {
+        let store = CheckpointStore::new();
+        let mut b = bolt(&store, WindowSpec::Tumbling { size: 10 }, 0);
+        let mut out = OutputCollector::new();
+        b.execute(&keyed("a", 1, 5, 7), &mut out);
+        b.execute(&keyed("a", 1, 5, 7), &mut out);
+        assert_eq!(b.duplicates_skipped(), 1);
+        b.on_watermark(10, &mut out);
+        let (_, _, _, agg) = decode_result(&out.emitted[0]);
+        assert_eq!(agg.n, 1, "replay must not double count");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_windows_sessions_and_dedup() {
+        let store = CheckpointStore::new();
+        let cfg = WindowConfig::new(WindowSpec::Session { gap: 10 }, vec![0]).lateness(5);
+        let mut b = WindowBolt::new(
+            "w/0",
+            &store,
+            CountSum::default(),
+            cfg.clone(),
+            apply as fn(&Tuple, &mut CountSum),
+        )
+        .unwrap();
+        let mut out = OutputCollector::new();
+        b.execute(&keyed("a", 1, 100, 1), &mut out);
+        b.execute(&keyed("a", 2, 105, 2), &mut out);
+        b.execute(&keyed("b", 3, 500, 3), &mut out);
+        b.flush(&mut out); // commits
+        let flushed = out.emitted.len();
+
+        // "Restart": fresh bolt, same key.
+        let mut b2 = WindowBolt::new(
+            "w/0",
+            &store,
+            CountSum::default(),
+            cfg,
+            apply as fn(&Tuple, &mut CountSum),
+        )
+        .unwrap();
+        assert!(b2.recovered());
+        assert_eq!(b2.live_windows(), 2);
+        assert_eq!(b2.last_applied(), 3);
+        let mut out2 = OutputCollector::new();
+        // Replays are absorbed…
+        b2.execute(&keyed("a", 1, 100, 1), &mut out2);
+        assert_eq!(b2.duplicates_skipped(), 1);
+        // …sessions still merge (restored session [100,115) + new event)…
+        b2.execute(&keyed("a", 8, 110, 4), &mut out2);
+        assert_eq!(b2.live_windows(), 2, "extension merged, not duplicated");
+        // …and firing produces the same totals an uncrashed run would.
+        b2.on_watermark(u64::MAX, &mut out2);
+        let mut sums: Vec<(String, u64, i64)> = out2
+            .emitted
+            .iter()
+            .map(|t| {
+                let (k, _, e, agg) = decode_result(t);
+                (k, e, agg.sum)
+            })
+            .collect();
+        sums.sort();
+        assert_eq!(sums, vec![("a".into(), 120, 11), ("b".into(), 510, 3)]);
+        assert_eq!(flushed, 2, "pre-crash flush emitted the dirty groups");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_rejected_at_construction() {
+        let store = CheckpointStore::new();
+        store.put("w/0", vec![0xFF, 1, 2, 3]);
+        assert!(WindowBolt::new(
+            "w/0",
+            &store,
+            CountSum::default(),
+            WindowConfig::new(WindowSpec::Tumbling { size: 10 }, vec![0]),
+            apply as fn(&Tuple, &mut CountSum),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn global_key_windows_everything_together() {
+        let store = CheckpointStore::new();
+        let mut b = WindowBolt::new(
+            "w/0",
+            &store,
+            CountSum::default(),
+            WindowConfig::new(WindowSpec::Tumbling { size: 100 }, vec![]),
+            apply as fn(&Tuple, &mut CountSum),
+        )
+        .unwrap();
+        let mut out = OutputCollector::new();
+        b.execute(&keyed("a", 1, 5, 1), &mut out);
+        b.execute(&keyed("b", 2, 50, 2), &mut out);
+        b.on_watermark(100, &mut out);
+        assert_eq!(out.emitted.len(), 1);
+        let (_, _, _, agg) = decode_result(&out.emitted[0]);
+        assert_eq!(agg, CountSum { n: 2, sum: 3 });
+    }
+}

@@ -1,0 +1,325 @@
+//! Event-time layer, end to end through the executor: watermark
+//! generation at spouts, in-band propagation, min-across-inputs
+//! merging (a slow upstream holds back downstream time), window
+//! firing on passage, lateness accounting, and the epoch-0 regression
+//! (`event_time == 0` is a valid stamp, not "unset").
+
+use sa_core::codec::{ByteReader, ByteWriter};
+use sa_core::rng::SplitMix64;
+use sa_core::{Merge, Result, Synopsis};
+use sa_platform::{
+    run_topology, tuple_of, vec_spout, Bolt, CheckpointStore, ExecutorConfig, OutputCollector,
+    RunResult, Semantics, TopologyBuilder, Tuple, Value, WatermarkConfig, WindowBolt, WindowConfig,
+    WindowSpec,
+};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Count-and-sum synopsis for exact windowed aggregation.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct CountSum {
+    n: u64,
+    sum: i64,
+}
+
+impl Synopsis for CountSum {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(17);
+        w.tag(b'E').put_u64(self.n).put_i64(self.sum);
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_tag(b'E', "CountSum")?;
+        let n = r.get_u64()?;
+        let sum = r.get_i64()?;
+        r.finish()?;
+        *self = Self { n, sum };
+        Ok(())
+    }
+}
+
+impl Merge for CountSum {
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        self.n += other.n;
+        self.sum += other.sum;
+        Ok(())
+    }
+}
+
+fn apply(t: &Tuple, s: &mut CountSum) {
+    s.n += 1;
+    s.sum += t.get(1).and_then(Value::as_int).unwrap_or(0);
+}
+
+fn window_bolt(store: &CheckpointStore, spec: WindowSpec, lateness: u64) -> Box<dyn Bolt> {
+    Box::new(
+        WindowBolt::new(
+            "win/0",
+            store,
+            CountSum::default(),
+            WindowConfig::new(spec, vec![0]).lateness(lateness),
+            apply as fn(&Tuple, &mut CountSum),
+        )
+        .unwrap(),
+    )
+}
+
+/// Collect `[key, start, end, snapshot]` firings into a map keyed by
+/// `(key, start, end)`, keeping the *last* firing per window (a
+/// straggler re-fire amends the earlier result).
+fn window_results(result: &RunResult) -> BTreeMap<(String, u64, u64), (u64, i64)> {
+    let mut m = BTreeMap::new();
+    for t in result.outputs.get("win").map(Vec::as_slice).unwrap_or(&[]) {
+        let key = t.get(0).unwrap().as_str().unwrap().to_string();
+        let start = t.get(1).unwrap().as_int().unwrap() as u64;
+        let end = t.get(2).unwrap().as_int().unwrap() as u64;
+        let mut agg = CountSum::default();
+        agg.restore(t.get(3).unwrap().as_bytes().unwrap()).unwrap();
+        m.insert((key, start, end), (agg.n, agg.sum));
+    }
+    m
+}
+
+fn config(watermarks: WatermarkConfig) -> ExecutorConfig {
+    ExecutorConfig {
+        semantics: Semantics::AtMostOnce,
+        watermarks: Some(watermarks),
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+/// Epoch-0 regression: `event_time == 0` is a real timestamp. A tuple
+/// stamped at 0 must enter `[0, size)` and fire, and an emission that
+/// *inherits* its parent's stamp must inherit `Some(0)` — under the old
+/// `0 == unset` sentinel both were impossible.
+#[test]
+fn epoch_zero_event_time_is_valid() {
+    let store = CheckpointStore::new();
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout(
+        "src",
+        vec![vec_spout(vec![
+            tuple_of([Value::Str("a".into()), Value::Int(5)]).at(0),
+            tuple_of([Value::Str("a".into()), Value::Int(7)]).at(25),
+        ])],
+    );
+    // Pass-through bolt that emits *unstamped* tuples: the executor
+    // must stamp them with the input's event time — including 0.
+    let echo = |t: &Tuple, out: &mut OutputCollector| {
+        out.emit(Tuple::new(t.values.clone()));
+    };
+    tb.set_bolt("echo", vec![Box::new(echo) as Box<dyn Bolt>]).shuffle("src");
+    tb.set_bolt("win", vec![window_bolt(&store, WindowSpec::Tumbling { size: 10 }, 0)])
+        .global("echo");
+
+    let result = run_topology(tb, config(WatermarkConfig::bounded(0).emit_every(1))).unwrap();
+    assert!(result.clean_shutdown);
+    let windows = window_results(&result);
+    assert_eq!(windows.get(&("a".into(), 0, 10)), Some(&(1, 5)), "epoch-0 tuple lost: {windows:?}");
+    assert_eq!(windows.get(&("a".into(), 20, 30)), Some(&(1, 7)));
+    assert!(
+        !result.outputs.contains_key("win.late"),
+        "epoch-0 stamp misread as unset: {:?}",
+        result.outputs.get("win.late")
+    );
+}
+
+/// An unstamped tuple reaching a window bolt is diverted to the late
+/// side output (it cannot be windowed), never silently dropped.
+#[test]
+fn unstamped_tuples_take_the_side_output() {
+    let store = CheckpointStore::new();
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout(
+        "src",
+        vec![vec_spout(vec![
+            tuple_of([Value::Str("a".into()), Value::Int(1)]), // no .at()
+            tuple_of([Value::Str("a".into()), Value::Int(2)]).at(5),
+        ])],
+    );
+    tb.set_bolt("win", vec![window_bolt(&store, WindowSpec::Tumbling { size: 10 }, 0)])
+        .global("src");
+    let result = run_topology(tb, config(WatermarkConfig::bounded(0))).unwrap();
+    assert!(result.clean_shutdown);
+    assert_eq!(result.outputs["win.late"].len(), 1);
+    assert_eq!(result.metrics.snapshot().counter("win.dropped_late"), 1);
+    assert_eq!(window_results(&result).get(&("a".into(), 0, 10)), Some(&(1, 2)));
+}
+
+/// Probe bolt recording every watermark the executor delivers to it.
+struct WmProbe(Arc<Mutex<Vec<u64>>>);
+
+impl Bolt for WmProbe {
+    fn execute(&mut self, _input: &Tuple, _out: &mut OutputCollector) {}
+    fn on_watermark(&mut self, wm: u64, _out: &mut OutputCollector) {
+        self.0.lock().unwrap().push(wm);
+    }
+}
+
+/// Min-across-inputs merge: a bolt fed by a fast source (event times
+/// to 1000) and a delayed source (event times to 50) must never see a
+/// merged watermark past the delayed source's frontier until both hit
+/// end-of-stream — the slow upstream holds back downstream time.
+#[test]
+fn delayed_source_holds_back_merged_watermark() {
+    let fast: Vec<Tuple> =
+        (0..=1000u64).step_by(10).map(|t| tuple_of([Value::Int(t as i64)]).at(t)).collect();
+    let slow: Vec<Tuple> =
+        (0..=50u64).step_by(5).map(|t| tuple_of([Value::Int(t as i64)]).at(t)).collect();
+
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("fast", vec![vec_spout(fast)]);
+    tb.set_spout("slow", vec![vec_spout(slow)]);
+    tb.set_bolt("probe", vec![Box::new(WmProbe(seen.clone())) as Box<dyn Bolt>])
+        .shuffle("fast")
+        .shuffle("slow");
+
+    let result = run_topology(tb, config(WatermarkConfig::bounded(0).emit_every(1))).unwrap();
+    assert!(result.clean_shutdown);
+    let seen = seen.lock().unwrap();
+    assert!(!seen.is_empty(), "no watermarks delivered");
+    for pair in seen.windows(2) {
+        assert!(pair[0] < pair[1], "merged watermark not strictly monotone: {seen:?}");
+    }
+    assert!(
+        seen[0] <= 50,
+        "first merged watermark {} outran the delayed source (max event time 50)",
+        seen[0]
+    );
+    for &wm in seen.iter() {
+        assert!(
+            wm <= 50 || wm == u64::MAX,
+            "merged watermark {wm} beyond the slow frontier before end-of-stream"
+        );
+    }
+    assert_eq!(*seen.last().unwrap(), u64::MAX, "end-of-stream watermark missing");
+}
+
+/// Shuffled input produces window results identical to sorted input
+/// when the out-of-orderness stays within the watermark bound — the
+/// §3 "resilience to out-of-order data" requirement, made exact.
+#[test]
+fn shuffled_input_matches_sorted_up_to_lateness() {
+    const DISORDER: u64 = 40;
+    let mut rng = SplitMix64::new(0xE7E7);
+    let sorted: Vec<Tuple> = (0..400u64)
+        .map(|i| {
+            let key = format!("k{}", rng.next_below(3));
+            tuple_of([Value::Str(key), Value::Int((i % 9) as i64)]).at(i)
+        })
+        .collect();
+    // Bounded disorder: deliver in order of `event_time + jitter` with
+    // jitter < DISORDER/2. When a tuple stamped `t` arrives, everything
+    // before it has event time ≤ t + DISORDER/2, so the watermark
+    // (max − DISORDER) is still below t — nothing is ever late.
+    let mut keyed: Vec<(u64, Tuple)> = sorted
+        .iter()
+        .map(|t| (t.event_time.unwrap() + rng.next_below(DISORDER / 2), t.clone()))
+        .collect();
+    keyed.sort_by_key(|(k, _)| *k);
+    let shuffled: Vec<Tuple> = keyed.into_iter().map(|(_, t)| t).collect();
+    assert_ne!(
+        shuffled.iter().map(|t| t.event_time).collect::<Vec<_>>(),
+        sorted.iter().map(|t| t.event_time).collect::<Vec<_>>(),
+        "shuffle was a no-op"
+    );
+
+    let run = |tuples: Vec<Tuple>| {
+        let store = CheckpointStore::new();
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("src", vec![vec_spout(tuples)]);
+        tb.set_bolt("win", vec![window_bolt(&store, WindowSpec::Tumbling { size: 25 }, 0)])
+            .global("src");
+        run_topology(tb, config(WatermarkConfig::bounded(DISORDER).emit_every(1))).unwrap()
+    };
+
+    let a = run(sorted);
+    let b = run(shuffled);
+    assert!(a.clean_shutdown && b.clean_shutdown);
+    let wa = window_results(&a);
+    assert!(!wa.is_empty());
+    assert_eq!(wa, window_results(&b), "disorder within the bound changed window results");
+    assert_eq!(b.metrics.snapshot().counter("win.dropped_late"), 0, "no tuple should be late");
+}
+
+/// A tuple arriving beyond `bound + allowed_lateness` is dropped to the
+/// side output and counted; the watermark and lag gauges surface in the
+/// metrics snapshot.
+#[test]
+fn late_tuple_is_counted_and_gauges_surface() {
+    let mut tuples: Vec<Tuple> =
+        (0..100u64).map(|t| tuple_of([Value::Str("a".into()), Value::Int(1)]).at(t)).collect();
+    // One straggler far beyond bound (0) + lateness (0).
+    tuples.push(tuple_of([Value::Str("a".into()), Value::Int(99)]).at(5));
+
+    let store = CheckpointStore::new();
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("src", vec![vec_spout(tuples)]);
+    tb.set_bolt("win", vec![window_bolt(&store, WindowSpec::Tumbling { size: 10 }, 0)])
+        .global("src");
+    let result = run_topology(tb, config(WatermarkConfig::bounded(0).emit_every(1))).unwrap();
+    assert!(result.clean_shutdown);
+
+    let snap = result.metrics.snapshot();
+    assert_eq!(snap.counter("win.dropped_late"), 1);
+    assert_eq!(result.outputs["win.late"].len(), 1);
+    assert_eq!(result.outputs["win.late"][0].get(1).and_then(Value::as_int), Some(99));
+    assert!(snap.counter("win.fired") >= 10, "windows must fire on watermark passage");
+    assert!(snap.gauge("win.watermark").is_some(), "watermark gauge missing");
+    assert_eq!(snap.gauge("win.watermark_lag"), Some(0), "all event time accounted for at EOS");
+    // The straggler's window fired with only its on-time contents.
+    assert_eq!(window_results(&result).get(&("a".into(), 0, 10)), Some(&(10, 10)));
+    // And the gauges render in the JSON dump.
+    assert!(snap.to_json().contains("\"win.watermark\""));
+}
+
+/// Allowed lateness keeps window state alive: a straggler within the
+/// horizon re-fires its window with the amended aggregate instead of
+/// being dropped.
+#[test]
+fn straggler_within_lateness_amends_the_window() {
+    let mut tuples: Vec<Tuple> =
+        (0..100u64).map(|t| tuple_of([Value::Str("a".into()), Value::Int(1)]).at(t)).collect();
+    tuples.push(tuple_of([Value::Str("a".into()), Value::Int(50)]).at(5));
+
+    let store = CheckpointStore::new();
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("src", vec![vec_spout(tuples)]);
+    // Lateness 1000 covers the whole stream: the straggler amends.
+    tb.set_bolt("win", vec![window_bolt(&store, WindowSpec::Tumbling { size: 10 }, 1000)])
+        .global("src");
+    let result = run_topology(tb, config(WatermarkConfig::bounded(0).emit_every(1))).unwrap();
+    assert!(result.clean_shutdown);
+    assert_eq!(result.metrics.snapshot().counter("win.dropped_late"), 0);
+    // Last firing for [0,10) includes the straggler: 10 on-time + 1.
+    assert_eq!(window_results(&result).get(&("a".into(), 0, 10)), Some(&(11, 60)));
+}
+
+/// With watermarks disabled (the default config), the event-time layer
+/// is fully inert: no firings, no gauges — results only at flush.
+#[test]
+fn watermarks_off_means_layer_off() {
+    let store = CheckpointStore::new();
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout(
+        "src",
+        vec![vec_spout(vec![tuple_of([Value::Str("a".into()), Value::Int(3)]).at(4)])],
+    );
+    tb.set_bolt("win", vec![window_bolt(&store, WindowSpec::Tumbling { size: 10 }, 0)])
+        .global("src");
+    let result = run_topology(
+        tb,
+        ExecutorConfig { semantics: Semantics::AtMostOnce, seed: 11, ..Default::default() },
+    )
+    .unwrap();
+    assert!(result.clean_shutdown);
+    let snap = result.metrics.snapshot();
+    assert_eq!(snap.counter("win.fired"), 0);
+    assert_eq!(snap.gauge("win.watermark"), None);
+    // The window still surfaces, via the flush path.
+    assert_eq!(window_results(&result).get(&("a".into(), 0, 10)), Some(&(1, 3)));
+}

@@ -80,7 +80,16 @@ impl SessionWindows {
     /// Add an event timestamp; returns the (possibly merged) session it
     /// now belongs to.
     pub fn add(&mut self, t: u64) -> Window {
+        self.add_tracking(t).0
+    }
+
+    /// Like [`SessionWindows::add`], but also returns the pre-existing
+    /// sessions the new event absorbed (in ascending order). Stateful
+    /// operators keying per-session aggregates need these to know which
+    /// old aggregates to merge into the widened session.
+    pub fn add_tracking(&mut self, t: u64) -> (Window, Vec<Window>) {
         let mut new = Window { start: t, end: t + self.gap };
+        let mut absorbed = Vec::new();
         // Merge every session that overlaps [t, t+gap) or abuts within gap.
         let mut i = 0;
         while i < self.sessions.len() {
@@ -89,6 +98,7 @@ impl SessionWindows {
             if overlaps {
                 new.start = new.start.min(s.start);
                 new.end = new.end.max(s.end);
+                absorbed.push(s);
                 self.sessions.remove(i);
             } else {
                 i += 1;
@@ -96,7 +106,19 @@ impl SessionWindows {
         }
         let pos = self.sessions.partition_point(|s| s.start < new.start);
         self.sessions.insert(pos, new);
-        new
+        (new, absorbed)
+    }
+
+    /// Remove an open session (e.g. after its state was garbage
+    /// collected). Returns whether it was present.
+    pub fn remove(&mut self, w: &Window) -> bool {
+        match self.sessions.iter().position(|s| s == w) {
+            Some(i) => {
+                self.sessions.remove(i);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Sessions whose end precedes the watermark — safe to emit.
@@ -170,6 +192,31 @@ mod tests {
         s.add(112); // [112,122) overlaps [100,115) and [120,130)
         assert_eq!(s.open().len(), 2);
         assert_eq!(s.open()[0], Window { start: 100, end: 130 });
+    }
+
+    #[test]
+    fn add_tracking_reports_absorbed_sessions() {
+        let mut s = SessionWindows::new(10);
+        s.add(100);
+        s.add(120);
+        let (merged, absorbed) = s.add_tracking(110);
+        assert_eq!(merged, Window { start: 100, end: 130 });
+        assert_eq!(
+            absorbed,
+            vec![Window { start: 100, end: 110 }, Window { start: 120, end: 130 }]
+        );
+        let (solo, none) = s.add_tracking(500);
+        assert_eq!(solo, Window { start: 500, end: 510 });
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn remove_drops_open_session() {
+        let mut s = SessionWindows::new(5);
+        let w = s.add(10);
+        assert!(s.remove(&w));
+        assert!(!s.remove(&w), "already gone");
+        assert!(s.open().is_empty());
     }
 
     #[test]

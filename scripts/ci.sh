@@ -25,4 +25,8 @@ cargo test -q --test recovery
 echo "== observability gate (latency histograms, queue gauges, bug regressions) =="
 cargo test -q -p sa-platform --test observability --test regressions
 
+echo "== event-time gate (watermarks, windows, lateness) =="
+cargo test -q -p sa-platform --test event_time
+cargo run --release -q --example windowed > /dev/null
+
 echo "CI gate passed."

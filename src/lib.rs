@@ -63,8 +63,9 @@ pub mod prelude {
     pub use sa_platform::{
         decode_checkpoint, replay_offset, run_topology, tuple_of, vec_spout, Batch, Bolt,
         BoltHandle, CheckpointStore, Consumer, CounterHandle, ExecutorConfig, ExecutorModel,
-        Grouping, HistogramSummary, LinkSnapshot, LinkStats, Log, LogSpout, MergeBolt, Metrics,
-        MetricsSnapshot, OperatorConfig, OutputCollector, Record, RunResult, Semantics, Spout,
-        SpoutHandle, SynopsisBolt, TopologyBuilder, Tuple, Value, VecSpout,
+        GaugeHandle, Grouping, HistogramSummary, LinkSnapshot, LinkStats, Log, LogSpout, MergeBolt,
+        Metrics, MetricsSnapshot, OperatorConfig, OutputCollector, Record, RunResult, Semantics,
+        Spout, SpoutHandle, SynopsisBolt, TimerService, TopologyBuilder, Tuple, Value, VecSpout,
+        WatermarkConfig, WatermarkGen, WatermarkMerger, WindowBolt, WindowConfig, WindowSpec,
     };
 }

@@ -460,6 +460,111 @@ fn welford_merge_law() {
     }
 }
 
+/// Sliding-window assignment: every produced window contains the
+/// timestamp, windows are slide-aligned and sorted, and their number
+/// matches the closed form — the count of slide multiples in
+/// `[max(0, t+1-size), t]`.
+#[test]
+fn sliding_assignment_matches_closed_form() {
+    use streaming_analytics::windows::assigners::sliding;
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x51D3_u64 ^ case);
+        for _ in 0..50 {
+            let slide = 1 + rng.next_below(20);
+            let size = slide + rng.next_below(60);
+            let t = rng.next_below(10_000);
+            let ws = sliding(t, size, slide);
+            let lo = t.saturating_sub(size - 1).div_ceil(slide);
+            let hi = t / slide;
+            assert_eq!(
+                ws.len() as u64,
+                hi - lo + 1,
+                "case {case}: t={t} size={size} slide={slide}"
+            );
+            for (i, w) in ws.iter().enumerate() {
+                assert!(w.contains(t), "case {case}: {w:?} misses t={t}");
+                assert_eq!(w.len(), size, "case {case}");
+                assert_eq!(w.start % slide, 0, "case {case}: unaligned start");
+                assert_eq!(w.start, (lo + i as u64) * slide, "case {case}: gap in covers");
+            }
+        }
+    }
+}
+
+/// Session windows stay sorted and strictly disjoint under random
+/// out-of-order insertion, each at least one gap long, and every added
+/// timestamp remains covered by some open session.
+#[test]
+fn session_windows_sorted_disjoint_under_disorder() {
+    use streaming_analytics::windows::assigners::SessionWindows;
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5E55_u64 ^ case);
+        let gap = 1 + rng.next_below(30);
+        let mut s = SessionWindows::new(gap);
+        let ts = vec_of(&mut rng, 1, 200, |r| r.next_below(2_000));
+        for (i, &t) in ts.iter().enumerate() {
+            let merged = s.add(t);
+            assert!(merged.contains(t), "case {case}: merged session misses its event");
+            let open = s.open();
+            for w in open {
+                assert!(w.len() >= gap, "case {case}: session shorter than gap");
+            }
+            for pair in open.windows(2) {
+                assert!(
+                    pair[0].end < pair[1].start,
+                    "case {case}: sessions {:?} and {:?} touch or overlap",
+                    pair[0],
+                    pair[1]
+                );
+            }
+            for &seen in &ts[..=i] {
+                assert!(
+                    open.iter().any(|w| w.contains(seen)),
+                    "case {case}: t={seen} lost from all sessions"
+                );
+            }
+        }
+    }
+}
+
+/// Watermarks advance strictly monotonically under out-of-order input,
+/// always trail the observed maximum by exactly the bound, and never
+/// claim event time the generator has not yet earned.
+#[test]
+fn watermark_monotone_under_disorder() {
+    use streaming_analytics::prelude::WatermarkGen;
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3A7E_u64 ^ case);
+        let bound = rng.next_below(100);
+        let mut gen = WatermarkGen::new(bound);
+        let mut max_seen = 0u64;
+        let mut last_wm: Option<u64> = None;
+        let ts = vec_of(&mut rng, 1, 400, |r| r.next_below(5_000));
+        for &t in &ts {
+            gen.observe(t);
+            max_seen = max_seen.max(t);
+            assert_eq!(gen.current(), Some(max_seen.saturating_sub(bound)), "case {case}");
+            if let Some(wm) = gen.advance() {
+                assert!(
+                    last_wm.is_none_or(|prev| wm > prev),
+                    "case {case}: watermark regressed {last_wm:?} -> {wm}"
+                );
+                assert_eq!(
+                    wm,
+                    max_seen.saturating_sub(bound),
+                    "case {case}: watermark not max - bound"
+                );
+                last_wm = Some(wm);
+            }
+        }
+        // Out-of-order replay of everything already seen moves nothing.
+        for &t in &ts {
+            gen.observe(t);
+            assert!(gen.advance().is_none(), "case {case}: stale input advanced the watermark");
+        }
+    }
+}
+
 /// The XOR-ack protocol settles every root exactly once — across mixed
 /// complete/fail/expire interleavings, with stale acks re-opening
 /// orphan entries — and the acker drains back to zero pending trees.

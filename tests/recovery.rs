@@ -3,7 +3,7 @@
 //! exactly the answer of an uninterrupted run — the MillWheel + Samza
 //! exactly-once story, end to end through the operator layer.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use streaming_analytics::core::rng::SplitMix64;
@@ -146,6 +146,126 @@ fn wordcount_survives_crash_exactly_once() {
             "{semantics:?}: recovered counts differ from ground truth"
         );
     }
+}
+
+/// A skewed word stream with event-time stamps in `[0, 1000)` appended
+/// via [`Log::append_at`]; returns exact per-(word, tumbling-window)
+/// counts.
+fn fill_log_at(log: &Log, n: usize, seed: u64, size: u64) -> HashMap<(String, u64), u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut truth: HashMap<(String, u64), u64> = HashMap::new();
+    for _ in 0..n {
+        let i = rng.next_below(30).min(rng.next_below(30));
+        let word = format!("w{i:02}");
+        let et = rng.next_below(1_000);
+        *truth.entry((word.clone(), et - et % size)).or_default() += 1;
+        log.append_at(&word, Vec::new(), et);
+    }
+    truth
+}
+
+/// spout(log) → fields-grouped `WindowBolt<SpaceSaving<String>>` × 2,
+/// counting each word per tumbling window.
+fn windowed_topology(
+    log: &Log,
+    store: &CheckpointStore,
+    from_offset: u64,
+    kill_plan: KillPlan,
+) -> TopologyBuilder {
+    let mut tb = TopologyBuilder::new();
+    let spout = LogSpout::new(log, 0, from_offset, 0, killing_decoder(kill_plan));
+    tb.set_spout("log", vec![Box::new(spout) as Box<dyn Spout>]);
+    let mut bolts: Vec<Box<dyn Bolt>> = Vec::new();
+    for task in 0..WC_TASKS {
+        let update = |t: &Tuple, s: &mut SpaceSaving<String>| {
+            s.insert(t.get(0).unwrap().as_str().unwrap().to_string());
+        };
+        let cfg = WindowConfig {
+            checkpoint: OperatorConfig { checkpoint_every: 50, ..Default::default() },
+            ..WindowConfig::new(WindowSpec::Tumbling { size: 100 }, vec![0])
+        };
+        let bolt = WindowBolt::new(
+            &format!("win/{task}"),
+            store,
+            SpaceSaving::new(64).unwrap(),
+            cfg,
+            update,
+        )
+        .unwrap();
+        bolts.push(Box::new(bolt));
+    }
+    tb.set_bolt("win", bolts).fields("log", vec![0]);
+    tb
+}
+
+/// Collect `[key, start, end, snapshot]` window emissions, asserting
+/// each `(key, window)` fired exactly once.
+fn window_results(outputs: &HashMap<String, Vec<Tuple>>) -> BTreeMap<(String, u64, u64), Vec<u8>> {
+    let mut m = BTreeMap::new();
+    for t in &outputs["win"] {
+        let key = t.get(0).unwrap().as_str().unwrap().to_string();
+        let start = t.get(1).unwrap().as_int().unwrap() as u64;
+        let end = t.get(2).unwrap().as_int().unwrap() as u64;
+        let snap = t.get(3).unwrap().as_bytes().unwrap().to_vec();
+        assert!(m.insert((key, start, end), snap).is_none(), "window emitted twice");
+    }
+    m
+}
+
+#[test]
+fn windowed_aggregation_identical_after_crash_recovery() {
+    const SIZE: u64 = 100;
+    let log = Log::new(1).unwrap();
+    let truth = fill_log_at(&log, 2_000, 4242, SIZE);
+
+    // Reference: an uninterrupted run on its own store.
+    let clean_store = CheckpointStore::new();
+    let clean = run_topology(
+        windowed_topology(&log, &clean_store, 0, None),
+        config(Semantics::AtLeastOnce, None),
+    )
+    .unwrap();
+    assert!(clean.clean_shutdown);
+    let clean_windows = window_results(&clean.outputs);
+    // The clean run's per-window counts are exact (k = 64 > 30 words).
+    let mut from_windows: HashMap<(String, u64), u64> = HashMap::new();
+    for ((key, start, end), snap) in &clean_windows {
+        assert_eq!(end - start, SIZE);
+        let mut s = SpaceSaving::<String>::new(64).unwrap();
+        s.restore(snap).unwrap();
+        let count = s.heavy_hitters(0.0).into_iter().find(|h| h.item == *key).unwrap().count;
+        from_windows.insert((key.clone(), *start), count);
+    }
+    assert_eq!(from_windows, truth, "clean windowed counts wrong");
+
+    // Run 1: crash after ~half the records have been emitted.
+    let store = CheckpointStore::new();
+    let kill = Arc::new(AtomicBool::new(false));
+    let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 1_000, kill.clone()));
+    let crashed = run_topology(
+        windowed_topology(&log, &store, 0, plan),
+        config(Semantics::AtLeastOnce, Some(kill)),
+    )
+    .unwrap();
+    assert!(!crashed.clean_shutdown);
+
+    // Run 2: fresh window bolts recover every live window, session, and
+    // dedup id; the spout replays the log from the oldest unapplied
+    // record, and replayed tuples carry their original event-time
+    // stamps — so they re-enter exactly the windows they were in.
+    let keys: Vec<String> = (0..WC_TASKS).map(|t| format!("win/{t}")).collect();
+    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    let offset = replay_offset(&store, &key_refs);
+    assert!(offset > 0, "crash landed before the first checkpoint");
+    assert!(offset < log.end_offset(0), "crash after full stream");
+    let recovered = run_topology(
+        windowed_topology(&log, &store, offset, None),
+        config(Semantics::AtLeastOnce, None),
+    )
+    .unwrap();
+    assert!(recovered.clean_shutdown);
+    // Bit-identical window results, not just equal counts.
+    assert_eq!(window_results(&recovered.outputs), clean_windows);
 }
 
 #[test]
