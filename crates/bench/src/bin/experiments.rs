@@ -139,6 +139,9 @@ fn main() {
     if want("t2.e") {
         t2e_event_time(&mut r);
     }
+    if want("t2.f") {
+        t2f_supervision(&mut r);
+    }
     if want("f1") {
         f1_lambda(&mut r);
     }
@@ -1587,6 +1590,171 @@ fn t2e_event_time(r: &mut Recorder) {
                 ("Ktuples/s", f(total as f64 / secs / 1e3)),
             ],
         );
+    }
+}
+
+// ---------------------------------------------------------------- T2.F
+fn t2f_supervision(r: &mut Recorder) {
+    use sa_core::synopsis::Synopsis;
+    use sa_platform::log::Record;
+    use sa_platform::topology::{Bolt, BoltBuilder, OutputCollector, Spout};
+    use sa_platform::tuple::tuple_of;
+    use sa_platform::*;
+    use sa_sketches::heavy_hitters::SpaceSaving;
+    use std::time::Duration;
+    r.section("T2.F", "Supervision — recovery latency & goodput vs panic rate × backoff");
+
+    // A skewed word stream in a durable log, with ground-truth counts.
+    const N: usize = 10_000;
+    const WC_TASKS: usize = 2;
+    let log = Log::new(1).unwrap();
+    let mut rng = SplitMix64::new(2026);
+    let mut truth: HashMap<String, u64> = HashMap::new();
+    for _ in 0..N {
+        let i = rng.next_below(30).min(rng.next_below(30));
+        let word = format!("w{i:02}");
+        *truth.entry(word.clone()).or_default() += 1;
+        log.append(&word, Vec::new());
+    }
+
+    // Exactly-once wordcount with bolt *factories*: a supervised
+    // restart rebuilds each task from its checkpoint, mid-run.
+    let build = |store: &CheckpointStore| {
+        let mut tb = TopologyBuilder::new();
+        let spout = LogSpout::new(&log, 0, 0, 0, |rec: &Record| tuple_of([rec.key.as_str()]))
+            .with_frontier(store, "log.frontier", 32);
+        tb.set_spout("log", vec![Box::new(spout) as Box<dyn Spout>]);
+        let mut builders: Vec<BoltBuilder> = Vec::new();
+        for task in 0..WC_TASKS {
+            let store = store.clone();
+            builders.push(Box::new(move || {
+                let update = |t: &Tuple, s: &mut SpaceSaving<String>| {
+                    s.insert(t.get(0).unwrap().as_str().unwrap().to_string());
+                };
+                // Commit cadence must beat the panic rate (see
+                // examples/supervised.rs): rare checkpoints burn each
+                // restart's progress on rebuild churn.
+                let cfg = OperatorConfig { checkpoint_every: 25, ..Default::default() };
+                let bolt = SynopsisBolt::with_config(
+                    &format!("wc/{task}"),
+                    &store,
+                    SpaceSaving::new(64).unwrap(),
+                    update,
+                    cfg,
+                )?;
+                Ok(Box::new(bolt) as Box<dyn Bolt>)
+            }));
+        }
+        tb.set_bolt_builders("wc", builders).fields("log", vec![0]);
+        tb
+    };
+    let merged = |outputs: &HashMap<String, Vec<Tuple>>| -> HashMap<String, u64> {
+        let mut global = SpaceSaving::<String>::new(64).unwrap();
+        for t in &outputs["wc"] {
+            let mut part = SpaceSaving::<String>::new(64).unwrap();
+            part.restore(t.get(1).unwrap().as_bytes().unwrap()).unwrap();
+            global.merge(&part).unwrap();
+        }
+        global.heavy_hitters(0.0).into_iter().map(|h| (h.item, h.count)).collect()
+    };
+
+    // The sweep: how much goodput does panic isolation cost, and how
+    // much does the backoff schedule add to recovery latency? A
+    // constant backoff (cap = base) isolates the backoff variable.
+    for panic_prob in [0.0, 0.01, 0.05] {
+        for backoff_us in [0u64, 1_000, 10_000] {
+            if panic_prob == 0.0 && backoff_us > 0 {
+                continue; // backoff never fires without panics
+            }
+            let store = CheckpointStore::new();
+            let policy = RestartPolicy::default()
+                .base(Duration::from_micros(backoff_us))
+                .cap(Duration::from_micros(backoff_us))
+                .budget(100_000, Duration::from_secs(120));
+            let config = ExecutorConfig {
+                semantics: Semantics::AtLeastOnce,
+                // Nothing is dropped in this sweep, so expiry only adds
+                // noise: the timeout must sit far above the queue delay
+                // a 10ms-backoff restart storm can induce, or expired
+                // roots re-enter the queue faster than they settle.
+                ack_timeout: Duration::from_secs(30),
+                shutdown_timeout: Duration::from_secs(120),
+                restart: policy,
+                faults: FaultPlan::new(7).panic_on("wc", panic_prob),
+                ..Default::default()
+            };
+            let (res, secs) = timed(|| run_topology(build(&store), config).unwrap());
+            let snap = res.metrics.snapshot();
+            let restart = snap.histogram("wc.restart_us").copied().unwrap_or_default();
+            let exact = merged(&res.outputs) == truth;
+            r.row(
+                &format!("panic={:>4.1}% backoff={:>5}µs", panic_prob * 100.0, backoff_us),
+                &[
+                    ("Ktuples/s", f(N as f64 / secs / 1e3)),
+                    ("panics", snap.task_panics.to_string()),
+                    ("restarts", snap.task_restarts.to_string()),
+                    ("dlq", snap.quarantined_roots.to_string()),
+                    ("restart_p50_us", f(restart.p50)),
+                    ("restart_p99_us", f(restart.p99)),
+                    ("exact", exact.to_string()),
+                    ("clean", res.clean_shutdown.to_string()),
+                ],
+            );
+        }
+    }
+
+    // Poison-tuple quarantine: one word the bolt rejects on every
+    // attempt; after max_replays replays each of its records lands in
+    // the dead-letter queue instead of cycling forever.
+    {
+        let poison = "w07";
+        let mut tb = TopologyBuilder::new();
+        let spout = LogSpout::new(&log, 0, 0, 0, |rec: &Record| tuple_of([rec.key.as_str()]));
+        tb.set_spout("log", vec![Box::new(spout) as Box<dyn Spout>]);
+        let bolt = move |t: &Tuple, out: &mut OutputCollector| {
+            if t.get(0).unwrap().as_str() == Some(poison) {
+                out.fail();
+            }
+        };
+        tb.set_bolt("validate", vec![Box::new(bolt) as Box<dyn Bolt>]).shuffle("log");
+        let config = ExecutorConfig {
+            max_replays: Some(4),
+            ack_timeout: Duration::from_secs(1),
+            shutdown_timeout: Duration::from_secs(60),
+            ..Default::default()
+        };
+        let (res, secs) = timed(|| run_topology(tb, config).unwrap());
+        let snap = res.metrics.snapshot();
+        r.row(
+            "poison word, max_replays=4",
+            &[
+                ("Ktuples/s", f(N as f64 / secs / 1e3)),
+                ("dlq", snap.quarantined_roots.to_string()),
+                ("poison_records", truth[poison].to_string()),
+                ("replays", snap.replayed_roots.to_string()),
+                ("clean", res.clean_shutdown.to_string()),
+            ],
+        );
+    }
+
+    // The control: RestartPolicy::none() restores fail-fast — the same
+    // 1%-panic run the default policy absorbs becomes a topology error.
+    {
+        let store = CheckpointStore::new();
+        let config = ExecutorConfig {
+            restart: RestartPolicy::none(),
+            faults: FaultPlan::new(7).panic_on("wc", 0.01),
+            shutdown_timeout: Duration::from_secs(60),
+            ..Default::default()
+        };
+        let outcome = match run_topology(build(&store), config) {
+            Ok(_) => "Ok (no panic fired)".to_string(),
+            Err(e) => {
+                let msg = e.to_string();
+                format!("Err: {}", &msg[..msg.len().min(60)])
+            }
+        };
+        r.row("RestartPolicy::none(), panic=1%", &[("result", outcome)]);
     }
 }
 

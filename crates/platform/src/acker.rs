@@ -37,6 +37,11 @@ pub struct Acker {
     completed: Vec<u64>,
     /// Failed (explicit or timed-out) roots since the last drain.
     failed: Vec<u64>,
+    /// Roots failed before their `init` arrived (a bolt can error on a
+    /// tuple while its spout still batches the registration). The init
+    /// consumes the tombstone and fails immediately; root ids are never
+    /// reused, so a stale tombstone can only be swept by `expire`.
+    failed_early: HashMap<u64, Instant>,
 }
 
 impl Acker {
@@ -48,6 +53,14 @@ impl Acker {
     /// Register a new spout tuple: `root` with the XOR of its initial
     /// edge ids.
     pub fn init(&mut self, root: u64, first_edges_xor: u64) {
+        if self.failed_early.remove(&root).is_some() {
+            // The tree already failed while this registration was in
+            // flight: fail it now (dropping any orphan ack entry) so
+            // the spout replays without waiting for the timeout.
+            self.entries.remove(&root);
+            self.failed.push(root);
+            return;
+        }
         let e = self.entries.entry(root).or_insert(Entry { xor: 0, born: Instant::now() });
         e.xor ^= first_edges_xor;
         if e.xor == 0 {
@@ -76,9 +89,18 @@ impl Acker {
     }
 
     /// Explicitly fail a root (bolt error): the spout must replay.
+    ///
+    /// Like acks, a failure can race ahead of its root's `init` (the
+    /// executor sends tuples before registering the root). Dropping it
+    /// would strand the tree until the message timeout, so an unknown
+    /// root leaves a tombstone that fails the init on arrival. A
+    /// tombstone for an already-settled root is garbage — `expire`
+    /// sweeps it, mirroring orphan ack entries.
     pub fn fail(&mut self, root: u64) {
         if self.entries.remove(&root).is_some() {
             self.failed.push(root);
+        } else {
+            self.failed_early.entry(root).or_insert_with(Instant::now);
         }
     }
 
@@ -96,6 +118,9 @@ impl Acker {
             self.entries.remove(&r);
             self.failed.push(r);
         }
+        // Tombstones whose init never came (the fail was stale: the
+        // root had already settled) are garbage, not failures.
+        self.failed_early.retain(|_, born| now.duration_since(*born) <= max_age);
     }
 
     /// Hand a drained completion back (it belonged to another spout).
@@ -229,5 +254,49 @@ mod tests {
         assert_eq!(acker.ack(4, e1), AckOutcome::Pending); // bolt b
         acker.init(4, e0); // spout registers last
         assert_eq!(acker.take_completed(), vec![4]);
+    }
+
+    #[test]
+    fn fail_racing_ahead_of_init_fails_on_registration() {
+        // Symmetric to the ack race: a bolt panics on the tuple before
+        // the spout's batched `init` lands. The failure must not be
+        // dropped (that would strand the tree until the timeout).
+        let mut acker = Acker::new();
+        acker.fail(8);
+        assert!(acker.take_failed().is_empty(), "nothing to replay yet");
+        acker.init(8, 0xC3);
+        assert_eq!(acker.take_failed(), vec![8]);
+        assert_eq!(acker.pending(), 0);
+        // The tombstone is consumed: a replay's fresh root is clean.
+        acker.init(9, 0xC4);
+        assert!(acker.take_failed().is_empty());
+        assert_eq!(acker.pending(), 1);
+    }
+
+    #[test]
+    fn early_fail_beats_orphan_ack() {
+        // fail + another bolt's ack both arrive before init: the tree
+        // must fail, and the orphan entry must not linger as pending.
+        let mut acker = Acker::new();
+        acker.fail(11);
+        assert_eq!(acker.ack(11, 0xD5), AckOutcome::Pending);
+        acker.init(11, 0xE6);
+        assert_eq!(acker.take_failed(), vec![11]);
+        assert_eq!(acker.pending(), 0);
+    }
+
+    #[test]
+    fn stale_fail_tombstones_are_swept() {
+        // A fail for an already-settled root leaves a tombstone that
+        // expiry sweeps without reporting a failure.
+        let mut acker = Acker::new();
+        acker.init(12, 0x7);
+        acker.ack(12, 0x7);
+        assert_eq!(acker.take_completed(), vec![12]);
+        acker.fail(12); // stale: the root settled
+        std::thread::sleep(Duration::from_millis(10));
+        acker.expire(Duration::from_millis(1));
+        assert!(acker.take_failed().is_empty());
+        assert_eq!(acker.pending(), 0);
     }
 }

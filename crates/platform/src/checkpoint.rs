@@ -6,6 +6,8 @@
 //! halves are properties of the store interface (atomic commit, dedup
 //! token set), reproduced here in-process (DESIGN.md §2).
 
+use sa_core::rng::SplitMix64;
+use sa_core::{Result, SaError};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -14,6 +16,13 @@ use std::sync::Mutex;
 #[derive(Clone, Debug, Default)]
 pub struct CheckpointStore {
     inner: Arc<Mutex<Inner>>,
+}
+
+/// Injected write-failure policy (chaos harness).
+#[derive(Debug)]
+struct CommitFaults {
+    prob: f64,
+    rng: SplitMix64,
 }
 
 #[derive(Debug, Default)]
@@ -28,6 +37,8 @@ struct Inner {
     watermarks: HashMap<String, u64>,
     commits: u64,
     duplicates: u64,
+    faults: Option<CommitFaults>,
+    failed_commits: u64,
 }
 
 impl Inner {
@@ -84,20 +95,49 @@ impl CheckpointStore {
     /// This is the operator layer's checkpoint primitive: a synopsis
     /// snapshot and the ids of every tuple folded into it land
     /// atomically, so a crash can never separate them.
-    pub fn commit_batch(&self, key: &str, record_ids: &[u64], value: Vec<u8>) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Fails only when [`CheckpointStore::inject_commit_failures`] is
+    /// armed (the chaos harness's stand-in for a storage-backend write
+    /// error). On `Err` nothing was mutated: no id entered the dedup
+    /// set, the stored value and version are untouched — callers must
+    /// keep their pending state and retry a later commit.
+    pub fn commit_batch(&self, key: &str, record_ids: &[u64], value: Vec<u8>) -> Result<usize> {
         let mut inner = self.inner.lock().unwrap();
+        if let Some(f) = inner.faults.as_mut() {
+            if f.prob > 0.0 && f.rng.bernoulli(f.prob) {
+                inner.failed_commits += 1;
+                return Err(SaError::Platform(format!(
+                    "injected checkpoint write failure for key '{key}'"
+                )));
+            }
+        }
         let fresh: Vec<u64> =
             record_ids.iter().copied().filter(|&id| !inner.is_duplicate(key, id)).collect();
         inner.duplicates += (record_ids.len() - fresh.len()) as u64;
         if fresh.is_empty() {
-            return 0;
+            return Ok(0);
         }
         let applied = fresh.len();
         inner.seen.entry(key.to_string()).or_default().extend(fresh);
         let version = inner.state.get(key).map_or(0, |(v, _)| *v) + 1;
         inner.state.insert(key.to_string(), (version, value));
         inner.commits += 1;
-        applied
+        Ok(applied)
+    }
+
+    /// Arm injected write failures: every later
+    /// [`CheckpointStore::commit_batch`] call fails with probability
+    /// `prob` (deterministically under `seed`). `prob <= 0` disarms.
+    pub fn inject_commit_failures(&self, prob: f64, seed: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.faults = (prob > 0.0).then(|| CommitFaults { prob, rng: SplitMix64::new(seed) });
+    }
+
+    /// Commits rejected by injected write failures.
+    pub fn failed_commits(&self) -> u64 {
+        self.inner.lock().unwrap().failed_commits
     }
 
     /// Whether `record_id` has already been committed for `key` (either
@@ -232,30 +272,51 @@ mod tests {
     #[test]
     fn commit_batch_is_atomic_and_dedups() {
         let store = CheckpointStore::new();
-        assert_eq!(store.commit_batch("k", &[1, 2, 3], vec![10]), 3);
+        assert_eq!(store.commit_batch("k", &[1, 2, 3], vec![10]).unwrap(), 3);
         // Overlapping replay: only the fresh id applies, value replaced.
-        assert_eq!(store.commit_batch("k", &[2, 3, 4], vec![20]), 1);
+        assert_eq!(store.commit_batch("k", &[2, 3, 4], vec![20]).unwrap(), 1);
         let (version, value) = store.get("k").unwrap();
         assert_eq!((version, value), (2, vec![20]));
         // Full replay: state untouched, no version bump.
-        assert_eq!(store.commit_batch("k", &[1, 4], vec![99]), 0);
+        assert_eq!(store.commit_batch("k", &[1, 4], vec![99]).unwrap(), 0);
         assert_eq!(store.get("k").unwrap(), (2, vec![20]));
         let (commits, dups) = store.stats();
         assert_eq!((commits, dups), (2, 4));
+    }
+
+    /// A failed commit must mutate nothing: no dedup token, no value,
+    /// no version bump — the atomicity half of the MillWheel contract
+    /// under storage faults.
+    #[test]
+    fn injected_commit_failure_leaves_store_untouched() {
+        let store = CheckpointStore::new();
+        store.commit_batch("k", &[1, 2], vec![10]).unwrap();
+        store.inject_commit_failures(1.0, 42);
+        let err = store.commit_batch("k", &[3, 4], vec![20]).unwrap_err();
+        assert!(format!("{err}").contains("checkpoint write failure"), "got: {err}");
+        assert_eq!(store.failed_commits(), 1);
+        assert_eq!(store.get("k").unwrap(), (1, vec![10]), "failed commit mutated state");
+        assert!(!store.is_seen("k", 3), "failed commit leaked a dedup token");
+        // Disarm: the retry commits everything, including the ids the
+        // failed attempt carried.
+        store.inject_commit_failures(0.0, 42);
+        assert_eq!(store.commit_batch("k", &[3, 4], vec![20]).unwrap(), 2);
+        assert_eq!(store.get("k").unwrap(), (2, vec![20]));
+        assert_eq!(store.failed_commits(), 1, "disarmed store fails nothing");
     }
 
     #[test]
     fn gc_raises_watermark_and_frees_tokens() {
         let store = CheckpointStore::new();
         let ids: Vec<u64> = (0..100).collect();
-        store.commit_batch("k", &ids, vec![1]);
+        store.commit_batch("k", &ids, vec![1]).unwrap();
         assert_eq!(store.seen_tokens("k"), 100);
         assert_eq!(store.gc("k", 60), 60);
         assert_eq!(store.seen_tokens("k"), 40);
         // Ids below the watermark still count as duplicates...
         assert!(store.is_seen("k", 5));
         assert!(!store.commit("k", 5, |_| vec![2]));
-        assert_eq!(store.commit_batch("k", &[10, 200], vec![3]), 1);
+        assert_eq!(store.commit_batch("k", &[10, 200], vec![3]).unwrap(), 1);
         // ...and the watermark never moves backwards.
         assert_eq!(store.gc("k", 30), 0);
         assert!(store.is_seen("k", 45));

@@ -45,14 +45,17 @@
 use crate::acker::Acker;
 use crate::channel::{channel, channel_instrumented, Receiver, Sender, TryRecvError};
 use crate::metrics::{CounterHandle, GaugeHandle, HistogramHandle, Metrics, Sampler};
+use crate::supervise::{panic_message, FaultPlan, RestartDecision, RestartPolicy, RestartTracker};
 use crate::time::{WatermarkConfig, WatermarkGen, WatermarkMerger};
 use crate::topology::{
-    Bolt, ComponentDecl, ComponentKind, Grouping, OutputCollector, Spout, TopologyBuilder,
+    Bolt, BoltBuilder, BoltSource, ComponentDecl, ComponentKind, Grouping, OutputCollector, Spout,
+    TopologyBuilder,
 };
-use crate::tuple::{Batch, Tuple};
+use crate::tuple::{tuple_of, Batch, Tuple};
 use sa_core::rng::SplitMix64;
 use sa_core::{Result, SaError, TopologyError};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -129,6 +132,19 @@ pub struct ExecutorConfig {
     /// tests flip it mid-stream and then restart the topology from
     /// checkpoints + log replay.
     pub kill: Option<Arc<AtomicBool>>,
+    /// Default restart policy for every task; components override it
+    /// with `SpoutHandle::restart` / `BoltHandle::restart`. The default
+    /// grants a generous budget — [`RestartPolicy::none`] restores the
+    /// pre-supervision "first panic fails the topology" behaviour.
+    pub restart: RestartPolicy,
+    /// Replays granted to one spout message before it is quarantined to
+    /// the `"{spout}.dlq"` dead-letter output instead of being replayed
+    /// again. `None` (default) replays forever.
+    pub max_replays: Option<u32>,
+    /// Chaos plan: injected panics, per-component link drops/delays.
+    /// (Checkpoint-write faults arm separately via
+    /// [`FaultPlan::arm_store`].) Empty by default.
+    pub faults: FaultPlan,
 }
 
 impl Default for ExecutorConfig {
@@ -146,6 +162,9 @@ impl Default for ExecutorConfig {
             watermarks: None,
             seed: 0xD15C0,
             kill: None,
+            restart: RestartPolicy::default(),
+            max_replays: None,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -216,6 +235,8 @@ struct EmitCtx {
     shuffle_counters: Vec<usize>,
     rng: SplitMix64,
     drop_prob: f64,
+    /// Chaos: `(probability, delay)` slept before a batch send.
+    delay: Option<(f64, Duration)>,
     batch_size: usize,
     batch_linger: Duration,
     /// When the oldest currently-buffered tuple was pushed. `None`
@@ -248,6 +269,7 @@ impl EmitCtx {
         sink: Sink,
         seed: u64,
         drop_prob: f64,
+        delay: Option<(f64, Duration)>,
         batch_size: usize,
         batch_linger: Duration,
         sample_every: u32,
@@ -264,6 +286,7 @@ impl EmitCtx {
             routes,
             rng: SplitMix64::new(seed),
             drop_prob,
+            delay,
             batch_size: batch_size.max(1),
             batch_linger,
             oldest: None,
@@ -337,6 +360,7 @@ impl EmitCtx {
                             fill.record(batch.len() as f64);
                         }
                     }
+                    maybe_delay(&mut self.rng, self.delay);
                     // Blocking send = backpressure in bounded mode.
                     let _ = self.routes[ri].senders[t].send(Msg::Data(batch));
                     if self.buffered == 0 {
@@ -366,6 +390,7 @@ impl EmitCtx {
                             fill.record(batch.len() as f64);
                         }
                     }
+                    maybe_delay(&mut self.rng, self.delay);
                     let _ = route.senders[t].send(Msg::Data(batch));
                 }
             }
@@ -420,6 +445,16 @@ impl EmitCtx {
     }
 }
 
+/// Chaos: with probability `prob`, hold the caller back `delay` long
+/// (injected network latency) before a channel send.
+fn maybe_delay(rng: &mut SplitMix64, delay: Option<(f64, Duration)>) {
+    if let Some((prob, d)) = delay {
+        if prob > 0.0 && rng.bernoulli(prob) {
+            std::thread::sleep(d);
+        }
+    }
+}
+
 const ROOT_SHIFT: u32 = 48;
 
 fn encode_root(spout_task: usize, local: u64) -> u64 {
@@ -441,6 +476,12 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
     let sink: Sink = Arc::new(Mutex::new(HashMap::new()));
     let acker = Arc::new(Mutex::new(Acker::new()));
     let unclean = Arc::new(AtomicBool::new(false));
+    // Escalation: the first task to exhaust its restart budget records
+    // why here and flips `abort`; spouts then stop (like `kill`) and the
+    // run drains before `run_topology` surfaces the message as an error.
+    let abort = Arc::new(AtomicBool::new(false));
+    let failure: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let run_start = Instant::now();
     let instrumented = config.latency_sample_every > 0;
 
     // --- Build channels for every bolt task. ---
@@ -513,26 +554,54 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
     // DAG by validation of names; cycles would deadlock — detect them.
     let order = topo_order(&builder)?;
 
-    let mut spout_handles = Vec::new();
-    let mut bolt_handles: HashMap<String, Vec<std::thread::JoinHandle<()>>> = HashMap::new();
+    let mut spout_handles: Vec<(String, usize, std::thread::JoinHandle<()>)> = Vec::new();
+    let mut bolt_handles: HashMap<String, Vec<(String, std::thread::JoinHandle<()>)>> =
+        HashMap::new();
     let mut decls: Vec<ComponentDecl> = builder.components;
+
+    // --- Materialize bolt tasks before spawning anything: a factory
+    //     whose initial build fails aborts the run cleanly. ---
+    let mut built: HashMap<String, Vec<BoltTask>> = HashMap::new();
+    for decl in decls.iter_mut() {
+        let ComponentKind::Bolt(ref mut sources) = decl.kind else {
+            continue;
+        };
+        let mut tasks = Vec::with_capacity(sources.len());
+        for (i, src) in std::mem::take(sources).into_iter().enumerate() {
+            match src {
+                BoltSource::Instance(bolt) => tasks.push(BoltTask { bolt, factory: None }),
+                BoltSource::Factory(mut build) => {
+                    let bolt = build().map_err(|e| {
+                        SaError::Platform(format!(
+                            "bolt '{}' task {i} factory failed at startup: {e}",
+                            decl.name
+                        ))
+                    })?;
+                    tasks.push(BoltTask { bolt, factory: Some(build) });
+                }
+            }
+        }
+        built.insert(decl.name.clone(), tasks);
+    }
 
     // --- Spawn bolts (reverse topo order so downstream exists first —
     //     senders are already cloned, order only matters for clarity). ---
     let mut task_seed = config.seed;
-    for decl in decls.iter_mut() {
-        let ComponentKind::Bolt(ref mut instances) = decl.kind else {
+    for decl in decls.iter() {
+        let ComponentKind::Bolt(_) = decl.kind else {
             continue;
         };
         let name = decl.name.clone();
         let my_routes = routes[&name].clone();
         let rx_list = receivers.remove(&name).expect("bolt channel");
-        let instances: Vec<Box<dyn Bolt>> = std::mem::take(instances);
-        let mut tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)> = task_ids[&name]
+        let restart = decl.restart.clone().unwrap_or_else(|| config.restart.clone());
+        let drop_prob = config.faults.drop_for(&name).unwrap_or(config.link_drop_prob);
+        let mut tasks: Vec<(usize, u32, BoltTask, Receiver<Msg>)> = task_ids[&name]
             .iter()
             .copied()
-            .zip(instances.into_iter().zip(rx_list))
-            .map(|(id, (b, r))| (id, b, r))
+            .zip(built.remove(&name).expect("built bolt tasks").into_iter().zip(rx_list))
+            .enumerate()
+            .map(|(idx, (id, (task, rx)))| (idx, id, task, rx))
             .collect();
 
         let group_size = match config.model {
@@ -541,8 +610,13 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
         };
         let mut handles = Vec::new();
         while !tasks.is_empty() {
-            let chunk: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)> =
+            let chunk: Vec<(usize, u32, BoltTask, Receiver<Msg>)> =
                 tasks.drain(..group_size.min(tasks.len())).collect();
+            let label = match (chunk.first(), chunk.last()) {
+                (Some(first), Some(last)) if first.0 == last.0 => format!("task {}", first.0),
+                (Some(first), Some(last)) => format!("tasks {}..={}", first.0, last.0),
+                _ => unreachable!("chunk is non-empty"),
+            };
             task_seed = sa_core::hash::mix64(task_seed);
             let ctx_template = WorkerCtx {
                 name: name.clone(),
@@ -551,7 +625,13 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
                 semantics: config.semantics,
                 metrics: metrics.clone(),
                 sink: sink.clone(),
-                drop_prob: config.link_drop_prob,
+                drop_prob,
+                delay: config.faults.delay_for(&name),
+                panic_prob: config.faults.panic_prob_for(&name),
+                restart: restart.clone(),
+                abort: abort.clone(),
+                failure: failure.clone(),
+                run_start,
                 seed: task_seed,
                 batch_size: config.batch_size,
                 batch_linger: config.batch_linger,
@@ -559,9 +639,10 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
                 upstream_ids: upstream_ids[&name].clone(),
                 watermarks: config.watermarks.is_some(),
             };
-            handles.push(std::thread::spawn(move || {
+            let handle = std::thread::spawn(move || {
                 run_bolt_worker(chunk, ctx_template);
-            }));
+            });
+            handles.push((label, handle));
         }
         bolt_handles.insert(name, handles);
     }
@@ -574,6 +655,8 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
         };
         let name = decl.name.clone();
         let my_routes = routes[&name].clone();
+        let restart = decl.restart.clone().unwrap_or_else(|| config.restart.clone());
+        let drop_prob = config.faults.drop_for(&name).unwrap_or(config.link_drop_prob);
         for (local_idx, spout) in std::mem::take(instances).into_iter().enumerate() {
             task_seed = sa_core::hash::mix64(task_seed);
             let ctx = SpoutCtx {
@@ -584,7 +667,14 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
                 semantics: config.semantics,
                 metrics: metrics.clone(),
                 sink: sink.clone(),
-                drop_prob: config.link_drop_prob,
+                drop_prob,
+                delay: config.faults.delay_for(&name),
+                panic_prob: config.faults.panic_prob_for(&name),
+                restart: restart.clone(),
+                max_replays: config.max_replays,
+                abort: abort.clone(),
+                failure: failure.clone(),
+                run_start,
                 seed: task_seed,
                 batch_size: config.batch_size,
                 batch_linger: config.batch_linger,
@@ -597,15 +687,21 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
                 watermarks: config.watermarks.clone(),
             };
             spout_task_idx += 1;
-            spout_handles.push(std::thread::spawn(move || run_spout(spout, ctx)));
+            let handle = std::thread::spawn(move || run_spout(spout, ctx));
+            spout_handles.push((name.clone(), local_idx, handle));
         }
     }
 
     // --- Shutdown protocol: join spouts, then flush+terminate bolts in
     //     topological order so upstream flush output reaches live
     //     downstream tasks. ---
-    for h in spout_handles {
-        h.join().map_err(|_| SaError::Platform("spout panicked".into()))?;
+    for (name, idx, h) in spout_handles {
+        h.join().map_err(|payload| {
+            SaError::Platform(format!(
+                "spout '{name}' task {idx} panicked outside supervision: {}",
+                panic_message(&*payload)
+            ))
+        })?;
     }
     // A killed run tears down without flushing: bolts never get their
     // final `flush()` call, as in a real crash — and is never clean,
@@ -627,14 +723,33 @@ pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<
         // Drop our sender clones so channels close once upstreams are
         // gone, then join this component's workers.
         if let Some(handles) = bolt_handles.remove(name) {
-            for h in handles {
-                h.join().map_err(|_| SaError::Platform("bolt panicked".into()))?;
+            for (label, h) in handles {
+                h.join().map_err(|payload| {
+                    SaError::Platform(format!(
+                        "bolt '{name}' {label} panicked outside supervision: {}",
+                        panic_message(&*payload)
+                    ))
+                })?;
             }
         }
     }
 
+    // An escalated task failed the topology: surface it as an error
+    // (after the full drain, so no threads leak).
+    if let Some(why) = failure.lock().unwrap().take() {
+        return Err(SaError::Platform(why));
+    }
+
     let outputs = std::mem::take(&mut *sink.lock().unwrap());
     Ok(RunResult { outputs, metrics, clean_shutdown: !unclean.load(Ordering::Relaxed) })
+}
+
+/// One bolt task as materialized at spawn: the live instance plus the
+/// factory that rebuilds it on supervised restart (present only for
+/// bolts declared via `TopologyBuilder::set_bolt_builders`).
+struct BoltTask {
+    bolt: Box<dyn Bolt>,
+    factory: Option<BoltBuilder>,
 }
 
 fn topo_order(builder: &TopologyBuilder) -> Result<Vec<String>> {
@@ -675,6 +790,19 @@ struct SpoutCtx {
     metrics: Metrics,
     sink: Sink,
     drop_prob: f64,
+    /// Chaos: link-delay injection for this component's sends.
+    delay: Option<(f64, Duration)>,
+    /// Chaos: probability that one `next_tuple` call panics.
+    panic_prob: f64,
+    /// Supervision policy for this component.
+    restart: RestartPolicy,
+    /// Replay budget before quarantine (`None` = replay forever).
+    max_replays: Option<u32>,
+    /// Escalation: topology-wide abort flag + first-failure slot.
+    abort: Arc<AtomicBool>,
+    failure: Arc<Mutex<Option<String>>>,
+    /// Run epoch: the injectable clock for restart-window accounting.
+    run_start: Instant,
     seed: u64,
     batch_size: usize,
     batch_linger: Duration,
@@ -687,6 +815,17 @@ struct SpoutCtx {
     wm_source: u32,
     /// Watermark policy (`None` = event-time layer off).
     watermarks: Option<WatermarkConfig>,
+}
+
+/// Spout-side poison-tuple bookkeeping: replay counts per message and
+/// the dead-letter output they overflow into.
+struct Quarantine {
+    max_replays: Option<u32>,
+    /// Failures observed per spout-local message id.
+    counts: HashMap<u64, u32>,
+    /// Terminal-sink key (`"{spout}.dlq"`).
+    key: String,
+    dlq: CounterHandle,
 }
 
 /// Spout-side watermark state (only built when the policy is on).
@@ -720,6 +859,7 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
         ctx.sink.clone(),
         ctx.seed,
         ctx.drop_prob,
+        ctx.delay,
         ctx.batch_size,
         ctx.batch_linger,
         ctx.sample_every,
@@ -729,6 +869,19 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
         ack_us: ctx.metrics.register_histogram(&format!("{}.ack_latency_us", ctx.name)),
         settle_us: ctx.metrics.register_histogram(&format!("{}.settle_us", ctx.name)),
     });
+    // Supervision state: restart accounting, chaos RNG, and counters.
+    let mut tracker = RestartTracker::new(ctx.restart.clone());
+    let mut panic_rng = SplitMix64::new(ctx.seed ^ 0xFA17);
+    let panics = ctx.metrics.register(&format!("{}.panics", ctx.name));
+    let restarts = ctx.metrics.register(&format!("{}.restarts", ctx.name));
+    let restart_us = (ctx.sample_every > 0)
+        .then(|| ctx.metrics.register_histogram(&format!("{}.restart_us", ctx.name)));
+    let mut quarantine = Quarantine {
+        max_replays: ctx.max_replays,
+        counts: HashMap::new(),
+        key: format!("{}.dlq", ctx.name),
+        dlq: ctx.metrics.register(&format!("{}.dlq", ctx.name)),
+    };
     let mut next_sampler = Sampler::new(ctx.sample_every);
     let mut ack_sampler = Sampler::new(ctx.sample_every);
     let mut local_auto = 0u64;
@@ -765,24 +918,84 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
             ctx.unclean.store(true, Ordering::Relaxed);
             return;
         }
+        if ctx.abort.load(Ordering::Relaxed) {
+            // Another task escalated: stop feeding the topology so the
+            // coordinator can drain it and report the failure.
+            ctx.unclean.store(true, Ordering::Relaxed);
+            return;
+        }
         // Settle acks/fails destined for this spout — once per batch (or
         // on idle), not once per tuple.
         if ctx.semantics == Semantics::AtLeastOnce && since_settle >= emit.batch_size {
             since_settle = 0;
-            settle(&ctx, &mut spout, &mut in_flight, &mut pending_inits, obs.as_ref());
+            settle(
+                &ctx,
+                &mut spout,
+                &mut in_flight,
+                &mut pending_inits,
+                &mut quarantine,
+                obs.as_ref(),
+            );
         }
         emit.flush_if_lingering();
-        let produced = if next_sampler.hit() {
-            let t0 = Instant::now();
-            let produced = spout.next_tuple();
-            if produced.is_some() {
-                if let Some(obs) = &obs {
-                    obs.next_us.record(t0.elapsed().as_secs_f64() * 1e6);
+        // Panic isolation: `next_tuple` runs under `catch_unwind` (plus
+        // chaos injection), so a crashing spout is supervised — backoff
+        // and retry with the same instance — not a dead topology.
+        let attempt = if ctx.panic_prob > 0.0 && panic_rng.bernoulli(ctx.panic_prob) {
+            Err("injected chaos panic (FaultPlan)".to_string())
+        } else {
+            let t0 = next_sampler.hit().then(Instant::now);
+            match catch_unwind(AssertUnwindSafe(|| spout.next_tuple())) {
+                Ok(produced) => {
+                    if produced.is_some() {
+                        if let (Some(t0), Some(obs)) = (t0, &obs) {
+                            obs.next_us.record(t0.elapsed().as_secs_f64() * 1e6);
+                        }
+                    }
+                    Ok(produced)
+                }
+                Err(payload) => Err(panic_message(&*payload)),
+            }
+        };
+        let produced = match attempt {
+            Ok(produced) => produced,
+            Err(why) => {
+                panics.add(1);
+                ctx.metrics.task_panic();
+                match tracker.on_panic(ctx.run_start.elapsed()) {
+                    RestartDecision::Restart(backoff) => {
+                        let t0 = Instant::now();
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        restarts.add(1);
+                        ctx.metrics.task_restart();
+                        if let Some(h) = &restart_us {
+                            h.record(t0.elapsed().as_secs_f64() * 1e6);
+                        }
+                        continue;
+                    }
+                    RestartDecision::Escalate => {
+                        {
+                            let mut slot = ctx.failure.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(format!(
+                                    "spout '{}' task {} escalated: restart budget exhausted \
+                                     ({} restarts in the last {:?}): {why}",
+                                    ctx.name,
+                                    ctx.task,
+                                    tracker.restarts_in_window(ctx.run_start.elapsed()),
+                                    tracker.policy().window,
+                                ));
+                            }
+                        }
+                        ctx.metrics.escalated();
+                        ctx.abort.store(true, Ordering::Relaxed);
+                        ctx.unclean.store(true, Ordering::Relaxed);
+                        return;
+                    }
                 }
             }
-            produced
-        } else {
-            spout.next_tuple()
         };
         match produced {
             Some(mut t) => {
@@ -834,8 +1047,14 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
                 let mut progressed = 0;
                 if ctx.semantics == Semantics::AtLeastOnce {
                     since_settle = 0;
-                    progressed =
-                        settle(&ctx, &mut spout, &mut in_flight, &mut pending_inits, obs.as_ref());
+                    progressed = settle(
+                        &ctx,
+                        &mut spout,
+                        &mut in_flight,
+                        &mut pending_inits,
+                        &mut quarantine,
+                        obs.as_ref(),
+                    );
                 }
                 let done = match ctx.semantics {
                     Semantics::AtMostOnce => true,
@@ -886,13 +1105,14 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
 
     /// One acker visit: register accumulated roots, expire stale trees,
     /// and route completions/failures back into the spout. Returns the
-    /// number of this spout's roots that settled (acked or failed) —
-    /// the shutdown loop's progress signal.
+    /// number of this spout's roots that settled (acked, failed, or
+    /// quarantined) — the shutdown loop's progress signal.
     fn settle(
         ctx: &SpoutCtx,
         spout: &mut Box<dyn Spout>,
         in_flight: &mut HashMap<u64, (u64, Option<Instant>)>,
         pending_inits: &mut Vec<(u64, u64)>,
+        quarantine: &mut Quarantine,
         obs: Option<&SpoutObs>,
     ) -> u64 {
         let visit_start = obs.map(|_| Instant::now());
@@ -912,6 +1132,7 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
             if task == ctx.task {
                 if let Some((local, born)) = in_flight.remove(&root) {
                     spout.ack(local);
+                    quarantine.counts.remove(&local);
                     ctx.metrics.root_acked();
                     settled += 1;
                     if let (Some(obs), Some(born)) = (obs, born) {
@@ -928,9 +1149,23 @@ fn run_spout(mut spout: Box<dyn Spout>, mut ctx: SpoutCtx) {
             if task == ctx.task {
                 if let Some((local, _)) = in_flight.remove(&root) {
                     ctx.metrics.root_failed();
-                    // Replay is the spout's decision: only count one
-                    // when the spout actually requeued the message.
-                    if spout.fail(local) {
+                    let replays = quarantine.counts.entry(local).or_insert(0);
+                    *replays += 1;
+                    if quarantine.max_replays.is_some_and(|max| *replays > max) {
+                        // Poison: its replay budget is spent. Retire the
+                        // message from the spout and divert it (or an
+                        // id-only stub) to the dead-letter output.
+                        quarantine.counts.remove(&local);
+                        let mut t =
+                            spout.quarantine(local).unwrap_or_else(|| tuple_of([local as i64]));
+                        t.lineage = local;
+                        t.root = 0;
+                        ctx.metrics.root_quarantined();
+                        quarantine.dlq.add(1);
+                        ctx.sink.lock().unwrap().entry(quarantine.key.clone()).or_default().push(t);
+                    } else if spout.fail(local) {
+                        // Replay is the spout's decision: only count one
+                        // when the spout actually requeued the message.
                         ctx.metrics.root_replayed();
                     }
                     settled += 1;
@@ -963,6 +1198,17 @@ struct WorkerCtx {
     metrics: Metrics,
     sink: Sink,
     drop_prob: f64,
+    /// Chaos: link-delay injection for this component's sends.
+    delay: Option<(f64, Duration)>,
+    /// Chaos: probability that one `execute` call panics.
+    panic_prob: f64,
+    /// Supervision policy for this component's tasks.
+    restart: RestartPolicy,
+    /// Escalation: topology-wide abort flag + first-failure slot.
+    abort: Arc<AtomicBool>,
+    failure: Arc<Mutex<Option<String>>>,
+    /// Run epoch: the injectable clock for restart-window accounting.
+    run_start: Instant,
     seed: u64,
     batch_size: usize,
     batch_linger: Duration,
@@ -982,9 +1228,32 @@ enum AckOp {
     Fail(u64),
 }
 
-fn run_bolt_worker(tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerCtx) {
+fn run_bolt_worker(tasks: Vec<(usize, u32, BoltTask, Receiver<Msg>)>, ctx: WorkerCtx) {
     struct TaskState {
+        /// Task index within the component (error messages, labels).
+        idx: usize,
         bolt: Box<dyn Bolt>,
+        /// Rebuilds `bolt` on supervised restart (factory-declared
+        /// bolts recover from their checkpoint; `None` resumes in
+        /// place).
+        factory: Option<BoltBuilder>,
+        /// Restart-budget accounting for this task.
+        tracker: RestartTracker,
+        /// Held acks: `(root, ack value)` per input whose effect is not
+        /// yet durable (`OutputCollector::hold_ack`). Drained as acks on
+        /// release, as fails on restart-from-checkpoint or escalation.
+        held: Vec<(u64, u64)>,
+        /// Escalated: drop everything until `Terminate` (the thread must
+        /// keep draining or bounded upstreams would deadlock).
+        zombie: bool,
+        /// Chaos RNG for injected panics.
+        panic_rng: SplitMix64,
+        panics: CounterHandle,
+        restarts: CounterHandle,
+        /// Restart duration (backoff sleep + rebuild), sampled runs only.
+        restart_us: Option<HistogramHandle>,
+        /// Whether data arrived since the last `on_idle` call.
+        idle_dirty: bool,
         rx: Receiver<Msg>,
         emit: EmitCtx,
         executed: CounterHandle,
@@ -1011,8 +1280,19 @@ fn run_bolt_worker(tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerC
     let mut states: Vec<TaskState> = tasks
         .into_iter()
         .enumerate()
-        .map(|(i, (my_id, bolt, rx))| TaskState {
-            bolt,
+        .map(|(i, (idx, my_id, task, rx))| TaskState {
+            idx,
+            bolt: task.bolt,
+            factory: task.factory,
+            tracker: RestartTracker::new(ctx.restart.clone()),
+            held: Vec::new(),
+            zombie: false,
+            panic_rng: SplitMix64::new(ctx.seed ^ 0xB017 ^ (idx as u64) << 32),
+            panics: ctx.metrics.register(&format!("{}.panics", ctx.name)),
+            restarts: ctx.metrics.register(&format!("{}.restarts", ctx.name)),
+            restart_us: (ctx.sample_every > 0)
+                .then(|| ctx.metrics.register_histogram(&format!("{}.restart_us", ctx.name))),
+            idle_dirty: false,
             rx,
             emit: EmitCtx::new(
                 ctx.routes.clone(),
@@ -1021,6 +1301,7 @@ fn run_bolt_worker(tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerC
                 ctx.sink.clone(),
                 ctx.seed.wrapping_add(i as u64 * 0x9E37),
                 ctx.drop_prob,
+                ctx.delay,
                 ctx.batch_size,
                 ctx.batch_linger,
                 ctx.sample_every,
@@ -1058,9 +1339,18 @@ fn run_bolt_worker(tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerC
             let msg = match st.rx.try_recv() {
                 Ok(m) => Some(m),
                 Err(TryRecvError::Empty) if single => {
-                    // Dedicated worker about to park: ship partial
-                    // batches downstream first, then block.
+                    // Dedicated worker about to park: give the bolt its
+                    // idle hook (commit + release held acks), ship
+                    // partial batches downstream, then block.
+                    run_on_idle(st, &ctx);
                     st.emit.flush_all();
+                    if !st.held.is_empty() {
+                        // A failed commit left acks held; the spout is
+                        // waiting on those trees, so retry soon instead
+                        // of parking.
+                        std::thread::sleep(Duration::from_micros(200));
+                        continue;
+                    }
                     match st.rx.recv() {
                         Ok(m) => Some(m),
                         Err(_) => {
@@ -1077,9 +1367,18 @@ fn run_bolt_worker(tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerC
             };
             let Some(msg) = msg else { continue };
             progressed = true;
+            if st.zombie {
+                // Escalated: drain and discard (upstreams may be blocked
+                // on our bounded queue), only honouring Terminate.
+                if matches!(msg, Msg::Terminate) {
+                    st.done = true;
+                }
+                continue;
+            }
             match msg {
                 Msg::Data(batch) => {
                     st.executed.add(batch.len() as u64);
+                    st.idle_dirty = true;
                     if st.merger.is_some() {
                         for t in &batch {
                             if let Some(et) = t.event_time {
@@ -1089,17 +1388,45 @@ fn run_bolt_worker(tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerC
                     }
                     let mut acks: Vec<AckOp> = Vec::new();
                     for t in &batch {
-                        let mut out = OutputCollector::new();
-                        if st.sampler.hit() {
-                            let t0 = Instant::now();
-                            st.bolt.execute(t, &mut out);
-                            if let Some(exec_us) = &st.exec_us {
-                                exec_us.record(t0.elapsed().as_secs_f64() * 1e6);
-                            }
-                        } else {
-                            st.bolt.execute(t, &mut out);
+                        if st.zombie {
+                            // Escalated mid-batch: the rest of the batch
+                            // is dropped (trees fail via the timeout).
+                            break;
                         }
-                        handle_emissions(t, out, st, &ctx, &mut acks);
+                        // Chaos panics fire BEFORE `execute`, so the
+                        // input was not applied and its replay is not a
+                        // duplicate. A genuine mid-`execute` panic may
+                        // leave an instance bolt half-updated — factory
+                        // bolts discard that state on rebuild.
+                        let injected =
+                            ctx.panic_prob > 0.0 && st.panic_rng.bernoulli(ctx.panic_prob);
+                        let outcome = if injected {
+                            Err("injected chaos panic (FaultPlan)".to_string())
+                        } else {
+                            let t0 = st.sampler.hit().then(Instant::now);
+                            let mut out = OutputCollector::new();
+                            let bolt = &mut st.bolt;
+                            match catch_unwind(AssertUnwindSafe(|| bolt.execute(t, &mut out))) {
+                                Ok(()) => {
+                                    if let (Some(t0), Some(exec_us)) = (t0, &st.exec_us) {
+                                        exec_us.record(t0.elapsed().as_secs_f64() * 1e6);
+                                    }
+                                    Ok(out)
+                                }
+                                Err(payload) => Err(panic_message(&*payload)),
+                            }
+                        };
+                        match outcome {
+                            Ok(out) => handle_emissions(t, out, st, &ctx, &mut acks),
+                            Err(why) => {
+                                // Fail the input's tree (replayed by the
+                                // spout), then supervise the task.
+                                if ctx.semantics == Semantics::AtLeastOnce && t.root != 0 {
+                                    acks.push(AckOp::Fail(t.root));
+                                }
+                                supervise(st, &ctx, &why);
+                            }
+                        }
                     }
                     if !acks.is_empty() {
                         // One lock acquisition settles the whole batch.
@@ -1118,37 +1445,31 @@ fn run_bolt_worker(tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerC
                 Msg::Watermark { source, wm, idle } => {
                     let advanced = st.merger.as_mut().and_then(|m| m.update(source, wm, idle));
                     if let Some(new_wm) = advanced {
-                        let mut out = OutputCollector::new();
-                        st.bolt.on_watermark(new_wm, &mut out);
-                        if let Some(fired) = &st.fired {
-                            fired.add(out.emitted.len() as u64);
-                        }
-                        for mut e in out.emitted {
+                        if let Some(out) = guarded(st, &ctx, |b, o| b.on_watermark(new_wm, o)) {
+                            if let Some(fired) = &st.fired {
+                                fired.add(out.emitted.len() as u64);
+                            }
                             // Watermark firings have no input to anchor
                             // to; they ride unanchored, like flush output.
-                            e.root = 0;
-                            st.emit.push(&e, false);
+                            handle_control_out(out, st, &ctx);
+                            if let Some(g) = &st.wm_gauge {
+                                g.set(new_wm);
+                            }
+                            if let Some(g) = &st.lag_gauge {
+                                g.set(st.max_et.saturating_sub(new_wm));
+                            }
                         }
-                        route_late(std::mem::take(&mut out.late), st, &ctx);
-                        if let Some(g) = &st.wm_gauge {
-                            g.set(new_wm);
-                        }
-                        if let Some(g) = &st.lag_gauge {
-                            g.set(st.max_et.saturating_sub(new_wm));
-                        }
-                        // Forward as our own marker — flushing first so
-                        // it stays behind everything we just emitted.
+                        // Forward as our own marker (even when the
+                        // callback panicked — watermarks are control
+                        // flow) — flushing first so it stays behind
+                        // everything we just emitted.
                         st.emit.broadcast_watermark(st.my_id, new_wm, false);
                     }
                 }
                 Msg::Flush => {
-                    let mut out = OutputCollector::new();
-                    st.bolt.flush(&mut out);
-                    for mut e in out.emitted {
-                        e.root = 0;
-                        st.emit.push(&e, false);
+                    if let Some(out) = guarded(st, &ctx, |b, o| b.flush(o)) {
+                        handle_control_out(out, st, &ctx);
                     }
-                    route_late(std::mem::take(&mut out.late), st, &ctx);
                     st.emit.flush_all();
                 }
                 Msg::Terminate => {
@@ -1163,10 +1484,131 @@ fn run_bolt_worker(tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerC
         if !progressed && !single {
             for st in states.iter_mut() {
                 if !st.done {
+                    run_on_idle(st, &ctx);
                     st.emit.flush_all();
                 }
             }
             std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    /// The idle hook: when the task saw data since the last call (or
+    /// still holds acks from a failed commit), let the bolt commit and
+    /// release. Supervised like every other callback.
+    fn run_on_idle(st: &mut TaskState, ctx: &WorkerCtx) {
+        if st.zombie || (!st.idle_dirty && st.held.is_empty()) {
+            return;
+        }
+        st.idle_dirty = false;
+        if let Some(out) = guarded(st, ctx, |b, o| b.on_idle(o)) {
+            handle_control_out(out, st, ctx);
+        }
+    }
+
+    /// Run one bolt callback under `catch_unwind`; on panic, supervise
+    /// (restart or escalate) and return `None`.
+    fn guarded<F>(st: &mut TaskState, ctx: &WorkerCtx, call: F) -> Option<OutputCollector>
+    where
+        F: FnOnce(&mut Box<dyn Bolt>, &mut OutputCollector),
+    {
+        let mut out = OutputCollector::new();
+        let bolt = &mut st.bolt;
+        match catch_unwind(AssertUnwindSafe(|| call(bolt, &mut out))) {
+            Ok(()) => Some(out),
+            Err(payload) => {
+                supervise(st, ctx, &panic_message(&*payload));
+                None
+            }
+        }
+    }
+
+    /// Account one panic against the task's restart budget: back off and
+    /// restart (rebuilding factory bolts from their checkpoint), or
+    /// escalate to topology failure.
+    fn supervise(st: &mut TaskState, ctx: &WorkerCtx, why: &str) {
+        st.panics.add(1);
+        ctx.metrics.task_panic();
+        match st.tracker.on_panic(ctx.run_start.elapsed()) {
+            RestartDecision::Restart(backoff) => {
+                // The restart clock includes the backoff sleep — it is
+                // the user-visible recovery latency.
+                let t0 = Instant::now();
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                if let Some(build) = st.factory.as_mut() {
+                    match build() {
+                        Ok(fresh) => {
+                            st.bolt = fresh;
+                            // Inputs the dead incarnation applied but
+                            // never persisted: fail them so the spout
+                            // replays (the recovered checkpoint dedups
+                            // whatever *was* persisted).
+                            fail_held(st, ctx);
+                        }
+                        Err(e) => {
+                            escalate(st, ctx, &format!("restart rebuild failed: {e}"));
+                            return;
+                        }
+                    }
+                }
+                st.restarts.add(1);
+                ctx.metrics.task_restart();
+                if let Some(h) = &st.restart_us {
+                    h.record(t0.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+            RestartDecision::Escalate => escalate(st, ctx, why),
+        }
+    }
+
+    /// Budget exhausted: record the first failure, flip the abort flag,
+    /// and turn this task into a draining zombie.
+    fn escalate(st: &mut TaskState, ctx: &WorkerCtx, why: &str) {
+        ctx.metrics.escalated();
+        {
+            let mut slot = ctx.failure.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(format!(
+                    "bolt '{}' task {} escalated: restart budget exhausted \
+                     ({} restarts in the last {:?}): {why}",
+                    ctx.name,
+                    st.idx,
+                    st.tracker.restarts_in_window(ctx.run_start.elapsed()),
+                    st.tracker.policy().window,
+                ));
+            }
+        }
+        ctx.abort.store(true, Ordering::Relaxed);
+        st.zombie = true;
+        fail_held(st, ctx);
+    }
+
+    /// Fail every held ack (the inputs will be replayed).
+    fn fail_held(st: &mut TaskState, ctx: &WorkerCtx) {
+        if st.held.is_empty() {
+            return;
+        }
+        let mut acker = ctx.acker.lock().unwrap();
+        for (root, _) in st.held.drain(..) {
+            acker.fail(root);
+        }
+    }
+
+    /// Apply a control-path collector (`flush` / `on_watermark` /
+    /// `on_idle`): emissions ride unanchored, late tuples divert to the
+    /// side output, and a release drains the held acks.
+    fn handle_control_out(mut out: OutputCollector, st: &mut TaskState, ctx: &WorkerCtx) {
+        route_late(std::mem::take(&mut out.late), st, ctx);
+        for mut e in out.emitted {
+            e.root = 0;
+            st.emit.push(&e, false);
+        }
+        if out.release && !st.held.is_empty() {
+            let mut acker = ctx.acker.lock().unwrap();
+            for (root, val) in st.held.drain(..) {
+                acker.ack(root, val);
+            }
         }
     }
 
@@ -1179,6 +1621,12 @@ fn run_bolt_worker(tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerC
     ) {
         route_late(std::mem::take(&mut out.late), st, ctx);
         let anchored = ctx.semantics == Semantics::AtLeastOnce && input.root != 0;
+        if out.release {
+            // A durable commit covered every held input: ack them all.
+            for (root, val) in st.held.drain(..) {
+                acks.push(AckOp::Ack(root, val));
+            }
+        }
         if out.failed {
             if anchored {
                 acks.push(AckOp::Fail(input.root));
@@ -1198,7 +1646,13 @@ fn run_bolt_worker(tasks: Vec<(u32, Box<dyn Bolt>, Receiver<Msg>)>, ctx: WorkerC
             xor_new ^= st.emit.push(&e, anchored);
         }
         if anchored {
-            acks.push(AckOp::Ack(input.root, input.id ^ xor_new));
+            if out.hold && !out.release {
+                // Not yet durable: park the ack until the bolt releases
+                // (or fails/restarts, which replays it).
+                st.held.push((input.root, input.id ^ xor_new));
+            } else {
+                acks.push(AckOp::Ack(input.root, input.id ^ xor_new));
+            }
         }
     }
 
@@ -1233,8 +1687,18 @@ mod tests {
         let metrics = Metrics::new();
         let sink = empty_sink();
         let linger = Duration::from_millis(40);
-        let mut emit =
-            EmitCtx::new(vec![], "sink".into(), &metrics, sink.clone(), 1, 0.0, 4, linger, 32);
+        let mut emit = EmitCtx::new(
+            vec![],
+            "sink".into(),
+            &metrics,
+            sink.clone(),
+            1,
+            0.0,
+            None,
+            4,
+            linger,
+            32,
+        );
         for i in 0..4i64 {
             emit.push(&tuple_of([i]), false);
         }
@@ -1266,6 +1730,7 @@ mod tests {
             empty_sink(),
             1,
             0.0,
+            None,
             4,
             Duration::from_millis(40),
             0,

@@ -41,6 +41,7 @@ pub mod lambda;
 pub mod log;
 pub mod metrics;
 pub mod operator;
+pub mod supervise;
 pub mod time;
 pub mod topology;
 pub mod tuple;
@@ -55,12 +56,14 @@ pub use metrics::{
     MetricsSnapshot, Sampler,
 };
 pub use operator::{
-    decode_checkpoint, replay_offset, LogSpout, MergeBolt, OperatorConfig, SynopsisBolt,
+    decode_checkpoint, frontier_offset, replay_offset, LogSpout, MergeBolt, OperatorConfig,
+    SynopsisBolt,
 };
+pub use supervise::{panic_message, FaultPlan, RestartDecision, RestartPolicy, RestartTracker};
 pub use time::{TimerService, WatermarkConfig, WatermarkGen, WatermarkMerger};
 pub use topology::{
-    vec_spout, Bolt, BoltHandle, Grouping, OutputCollector, Spout, SpoutHandle, TopologyBuilder,
-    VecSpout,
+    vec_spout, Bolt, BoltBuilder, BoltHandle, Grouping, OutputCollector, Spout, SpoutHandle,
+    TopologyBuilder, VecSpout,
 };
 pub use tuple::{tuple_of, Batch, Tuple, Value};
 pub use window::{WindowBolt, WindowConfig, WindowSpec};

@@ -228,6 +228,10 @@ struct MetricsInner {
     failed_roots: AtomicU64,
     replayed_roots: AtomicU64,
     dropped_links: AtomicU64,
+    task_panics: AtomicU64,
+    task_restarts: AtomicU64,
+    quarantined_roots: AtomicU64,
+    escalations: AtomicU64,
 }
 
 impl Metrics {
@@ -300,6 +304,26 @@ impl Metrics {
         self.inner.dropped_links.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record a task panic (caught by the supervision layer).
+    pub fn task_panic(&self) {
+        self.inner.task_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a supervised task restart.
+    pub fn task_restart(&self) {
+        self.inner.task_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a root quarantined to a dead-letter output.
+    pub fn root_quarantined(&self) {
+        self.inner.quarantined_roots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an escalation (a task exhausted its restart budget).
+    pub fn escalated(&self) {
+        self.inner.escalations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Immutable view of every counter, histogram, gauge, and root stat
     /// at this instant.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -354,6 +378,10 @@ impl Metrics {
             failed_roots: self.inner.failed_roots.load(Ordering::Relaxed),
             replayed_roots: self.inner.replayed_roots.load(Ordering::Relaxed),
             dropped_links: self.inner.dropped_links.load(Ordering::Relaxed),
+            task_panics: self.inner.task_panics.load(Ordering::Relaxed),
+            task_restarts: self.inner.task_restarts.load(Ordering::Relaxed),
+            quarantined_roots: self.inner.quarantined_roots.load(Ordering::Relaxed),
+            escalations: self.inner.escalations.load(Ordering::Relaxed),
         }
     }
 }
@@ -405,6 +433,14 @@ pub struct MetricsSnapshot {
     pub replayed_roots: u64,
     /// Tuples dropped by link failure injection.
     pub dropped_links: u64,
+    /// Panics caught by the supervision layer (injected or genuine).
+    pub task_panics: u64,
+    /// Supervised task restarts granted.
+    pub task_restarts: u64,
+    /// Roots quarantined to dead-letter outputs.
+    pub quarantined_roots: u64,
+    /// Tasks that exhausted their restart budget (topology failures).
+    pub escalations: u64,
 }
 
 impl MetricsSnapshot {
@@ -487,8 +523,17 @@ impl MetricsSnapshot {
         let _ = write!(
             out,
             "}},\n  \"acked_roots\": {},\n  \"failed_roots\": {},\n  \
-             \"replayed_roots\": {},\n  \"dropped_links\": {}\n}}",
-            self.acked_roots, self.failed_roots, self.replayed_roots, self.dropped_links
+             \"replayed_roots\": {},\n  \"dropped_links\": {},\n  \
+             \"task_panics\": {},\n  \"task_restarts\": {},\n  \
+             \"quarantined_roots\": {},\n  \"escalations\": {}\n}}",
+            self.acked_roots,
+            self.failed_roots,
+            self.replayed_roots,
+            self.dropped_links,
+            self.task_panics,
+            self.task_restarts,
+            self.quarantined_roots,
+            self.escalations
         );
         out
     }
@@ -565,11 +610,24 @@ mod tests {
         m.root_failed();
         m.root_replayed();
         m.links_dropped(3);
+        m.task_panic();
+        m.task_panic();
+        m.task_restart();
+        m.root_quarantined();
+        m.escalated();
         let s = m.snapshot();
         assert_eq!(
             (s.acked_roots, s.failed_roots, s.replayed_roots, s.dropped_links),
             (1, 2, 1, 3)
         );
+        assert_eq!(
+            (s.task_panics, s.task_restarts, s.quarantined_roots, s.escalations),
+            (2, 1, 1, 1)
+        );
+        let json = s.to_json();
+        for key in ["task_panics", "task_restarts", "quarantined_roots", "escalations"] {
+            assert!(json.contains(&format!("\"{key}\"")), "JSON lost {key}");
+        }
     }
 
     #[test]

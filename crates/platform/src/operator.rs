@@ -26,14 +26,22 @@
 //!
 //! ## Correctness envelope
 //!
-//! Replay-from-minimum is exact when in-run delivery is FIFO and
-//! lossless (`link_drop_prob = 0`, the default): each task's committed
-//! `last applied id` then implies every lower id routed to it was
-//! applied. With injected link drops, a drop that is still unrepaired
-//! at crash time can fall below another task's checkpoint and be lost;
-//! at-least-once replay narrows but does not close that window. The
-//! recovery tests pin the lossless case; the drop-injection tests keep
-//! exercising the at-least-once path.
+//! Replay-from-minimum ([`replay_offset`]) is exact when in-run
+//! delivery is FIFO and lossless (`link_drop_prob = 0`, no injected
+//! panics — the default): each task's committed `last applied id` then
+//! implies every lower id routed to it was applied. When tuples can
+//! settle *out of order* — supervised restarts, injected panics, link
+//! drops — a failed tuple awaiting replay can fall below another
+//! task's checkpoint frontier and be skipped on recovery. For those
+//! runs, [`LogSpout::with_frontier`] persists the spout's settled
+//! frontier (the Samza committed-offset pattern) and
+//! [`frontier_offset`] recovers from it: the frontier only advances
+//! past acked records, and checkpointed bolts hold acks until their
+//! commit is durable, so replay-from-frontier never skips live state.
+//! One residual envelope: `OperatorConfig::gc_horizon` must exceed how
+//! far the spout can run ahead of its oldest unsettled record (or be
+//! `None`), so a deep replay is never mistaken for a duplicate by the
+//! dedup-token low watermark.
 
 use crate::checkpoint::CheckpointStore;
 use crate::log::{Log, Record};
@@ -111,6 +119,19 @@ pub fn replay_offset(store: &CheckpointStore, keys: &[&str]) -> u64 {
     }
 }
 
+/// The settled-frontier offset persisted by a
+/// [`LogSpout::with_frontier`] spout (0 — replay everything — when no
+/// frontier was ever committed). Unlike [`replay_offset`], this is safe
+/// when tuples settle *out of order* — under supervised restarts, link
+/// drops, or replays — because the frontier only advances past records
+/// that were acked, and an ack implies durability everywhere.
+pub fn frontier_offset(store: &CheckpointStore, key: &str) -> u64 {
+    store
+        .get(key)
+        .and_then(|(_, value)| decode_checkpoint(&value).ok())
+        .map_or(0, |(offset, _)| offset)
+}
+
 /// A partition-local checkpointed synopsis operator. See the module
 /// docs for the exactly-once protocol it implements.
 ///
@@ -131,6 +152,9 @@ pub struct SynopsisBolt<S, F> {
     last_applied: u64,
     recovered: bool,
     duplicates_skipped: u64,
+    /// Checkpoint writes rejected by the store (injected faults). The
+    /// bolt keeps its pending batch and retries on a later commit.
+    commit_failures: u64,
     /// Commit (snapshot + store write + gc) latency in µs — the bolt
     /// observes its own checkpoint cost with the repo's GK sketch.
     commit_us: GkSketch,
@@ -178,25 +202,36 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
             last_applied,
             recovered,
             duplicates_skipped: 0,
+            commit_failures: 0,
             commit_us: GkSketch::new(0.005).expect("valid commit-latency epsilon"),
             restore_us,
         })
     }
 
     /// Commit the pending batch: snapshot + fresh ids, atomically.
-    fn commit(&mut self) {
+    /// Returns whether the pending batch is now durable (trivially true
+    /// when it was empty). On a failed write the checkpoint is
+    /// *skipped, state intact*: the pending ids stay pending (so the
+    /// stored `last applied` — and with it [`replay_offset`] — never
+    /// advances past unpersisted state) and the next commit retries
+    /// them together with anything newer.
+    fn commit(&mut self) -> bool {
         if self.pending.is_empty() {
-            return;
+            return true;
         }
         let commit_start = Instant::now();
         let value = encode_checkpoint(self.last_applied, &self.summary.snapshot());
-        self.store.commit_batch(&self.key, &self.pending, value);
+        if self.store.commit_batch(&self.key, &self.pending, value).is_err() {
+            self.commit_failures += 1;
+            return false;
+        }
         self.pending.clear();
         self.pending_set.clear();
         if let Some(horizon) = self.cfg.gc_horizon {
             self.store.gc(&self.key, self.last_applied.saturating_sub(horizon));
         }
         self.commit_us.insert(commit_start.elapsed().as_secs_f64() * 1e6);
+        true
     }
 
     /// The live synopsis.
@@ -217,6 +252,11 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
     /// Replayed tuples dropped by deduplication.
     pub fn duplicates_skipped(&self) -> u64 {
         self.duplicates_skipped
+    }
+
+    /// Checkpoint writes the store rejected (state kept, retried later).
+    pub fn commit_failures(&self) -> u64 {
+        self.commit_failures
     }
 
     /// Commit-latency quantiles `(p50, p90, p99)` in µs across the
@@ -240,9 +280,19 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
 }
 
 impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt for SynopsisBolt<S, F> {
-    fn execute(&mut self, input: &Tuple, _out: &mut OutputCollector) {
+    fn execute(&mut self, input: &Tuple, out: &mut OutputCollector) {
         let id = input.lineage;
-        if self.pending_set.contains(&id) || self.store.is_seen(&self.key, id) {
+        if self.pending_set.contains(&id) {
+            // Replay of an id that is applied but not yet durable: its
+            // original attempt's ack is held, so this one must be held
+            // too — acking now would settle a record that a crash could
+            // still lose.
+            self.duplicates_skipped += 1;
+            out.hold_ack();
+            return;
+        }
+        if self.store.is_seen(&self.key, id) {
+            // Durable duplicate: the replay acks immediately.
             self.duplicates_skipped += 1;
             return;
         }
@@ -250,19 +300,32 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt for SynopsisBolt<
         self.pending.push(id);
         self.pending_set.insert(id);
         self.last_applied = self.last_applied.max(id);
-        if self.pending.len() as u64 >= self.cfg.checkpoint_every {
-            self.commit();
+        if self.pending.len() as u64 >= self.cfg.checkpoint_every && self.commit() {
+            // The commit covered every held input including this one.
+            out.release_acks();
+        } else {
+            // Not yet durable (below the cadence, or the write failed):
+            // hold the ack so a restart replays this tuple.
+            out.hold_ack();
         }
     }
 
     fn flush(&mut self, out: &mut OutputCollector) {
-        if self.cfg.commit_on_flush {
-            self.commit();
+        if self.cfg.commit_on_flush && self.commit() {
+            out.release_acks();
         }
         out.emit(Tuple::new(vec![
             Value::Str(self.key.clone()),
             Value::Bytes(self.summary.snapshot()),
         ]));
+    }
+
+    fn on_idle(&mut self, out: &mut OutputCollector) {
+        // Input queue drained: make the tail durable and release its
+        // held acks so the spout can settle.
+        if !self.pending.is_empty() && self.commit() {
+            out.release_acks();
+        }
     }
 }
 
@@ -329,6 +392,15 @@ impl<S: Synopsis + Merge + Clone + Send> Bolt for MergeBolt<S> {
 /// Records fetched from the log per read (amortises lock traffic).
 const READ_CHUNK: usize = 256;
 
+/// Periodic persistence of a [`LogSpout`]'s settled frontier — the
+/// Samza/Kafka committed-offset pattern.
+struct FrontierCheckpoint {
+    store: CheckpointStore,
+    key: String,
+    every: u64,
+    settles: u64,
+}
+
 /// A reliable spout over one [`Log`] partition. Record ids are stable
 /// across replays and restarts: `id = id_base + offset + 1` (`id_base`
 /// keeps multi-partition topologies in disjoint id spaces; offsets are
@@ -343,6 +415,7 @@ pub struct LogSpout<F> {
     buf: VecDeque<Record>,
     in_flight: HashSet<u64>,
     requeue: VecDeque<u64>,
+    frontier: Option<FrontierCheckpoint>,
     /// Re-emissions performed (diagnostic).
     pub replays: u64,
     /// Failed records no longer retained by the log (unrecoverable).
@@ -353,7 +426,9 @@ impl<F: FnMut(&Record) -> Tuple + Send> LogSpout<F> {
     /// A spout reading `partition` of `log` from `from_offset`, turning
     /// each record into a tuple via `decode`. On recovery, pass
     /// [`replay_offset`] as `from_offset` (with the same `id_base` used
-    /// before the crash).
+    /// before the crash) — or, when tuples can settle out of order (see
+    /// [`frontier_offset`]), enable [`LogSpout::with_frontier`] and pass
+    /// [`frontier_offset`] instead.
     pub fn new(log: &Log, partition: usize, from_offset: u64, id_base: u64, decode: F) -> Self {
         Self {
             log: log.clone(),
@@ -364,8 +439,52 @@ impl<F: FnMut(&Record) -> Tuple + Send> LogSpout<F> {
             buf: VecDeque::new(),
             in_flight: HashSet::new(),
             requeue: VecDeque::new(),
+            frontier: None,
             replays: 0,
             lost: 0,
+        }
+    }
+
+    /// Persist the spout's *settled frontier* — the oldest offset whose
+    /// record has not yet been acked — under `key` in `store`, every
+    /// `every` settled records (Samza's committed consumer offset).
+    ///
+    /// An ack only reaches the spout once the record's effects are
+    /// durable everywhere (checkpointed bolts hold acks until their
+    /// commit succeeds), so every offset below the frontier is fully
+    /// recovered state: a restart may replay from [`frontier_offset`]
+    /// regardless of how far individual tasks' checkpoints ran ahead,
+    /// closing the replay-from-minimum gap described in the module
+    /// docs' correctness envelope.
+    pub fn with_frontier(mut self, store: &CheckpointStore, key: &str, every: u64) -> Self {
+        self.frontier = Some(FrontierCheckpoint {
+            store: store.clone(),
+            key: key.to_string(),
+            every: every.max(1),
+            settles: 0,
+        });
+        self
+    }
+
+    /// The oldest offset not yet settled (== `next_offset` when nothing
+    /// is pending). Every offset below it has been acked — durable
+    /// everywhere — and never needs replay.
+    fn settled_frontier(&self) -> u64 {
+        self.in_flight
+            .iter()
+            .chain(self.requeue.iter())
+            .min()
+            .map_or(self.next_offset, |&id| id - self.id_base - 1)
+    }
+
+    /// Count one settled record; persist the frontier on cadence.
+    fn on_settle(&mut self) {
+        let frontier = self.settled_frontier();
+        if let Some(fc) = self.frontier.as_mut() {
+            fc.settles += 1;
+            if fc.settles % fc.every == 0 {
+                fc.store.put(&fc.key, encode_checkpoint(frontier, &[]));
+            }
         }
     }
 
@@ -408,7 +527,9 @@ impl<F: FnMut(&Record) -> Tuple + Send> Spout for LogSpout<F> {
     }
 
     fn ack(&mut self, root: u64) {
-        self.in_flight.remove(&root);
+        if self.in_flight.remove(&root) {
+            self.on_settle();
+        }
     }
 
     fn fail(&mut self, root: u64) -> bool {
@@ -422,6 +543,27 @@ impl<F: FnMut(&Record) -> Tuple + Send> Spout for LogSpout<F> {
 
     fn pending(&self) -> usize {
         self.in_flight.len() + self.requeue.len()
+    }
+
+    fn quarantine(&mut self, root: u64) -> Option<Tuple> {
+        // Retire the record so it is never replayed again, then re-read
+        // it from the log so the DLQ carries the original payload.
+        if !self.in_flight.remove(&root) {
+            let pos = self.requeue.iter().position(|&id| id == root)?;
+            self.requeue.remove(pos);
+        }
+        // A quarantined record is settled: it will never be replayed,
+        // so the frontier may advance past it.
+        self.on_settle();
+        let offset = root - self.id_base - 1;
+        match self.log.read(self.partition, offset, 1).into_iter().next() {
+            Some(rec) if rec.offset == offset => Some((self.decode)(&rec)),
+            _ => {
+                // Trimmed: quarantined *and* unrecoverable.
+                self.lost += 1;
+                None
+            }
+        }
     }
 }
 
@@ -512,6 +654,57 @@ mod tests {
         let mut from_emit = CountSum::default();
         from_emit.restore(emitted.get(1).unwrap().as_bytes().unwrap()).unwrap();
         assert_eq!(from_emit, *bolt.summary());
+    }
+
+    #[test]
+    fn failed_commit_keeps_pending_and_never_advances_offset() {
+        let store = CheckpointStore::new();
+        store.inject_commit_failures(1.0, 7);
+        let cfg = OperatorConfig { checkpoint_every: 2, ..Default::default() };
+        let mut bolt =
+            SynopsisBolt::with_config("k", &store, CountSum::default(), apply, cfg).unwrap();
+        let mut out = OutputCollector::new();
+        bolt.execute(&int_tuple(1, 1), &mut out);
+        assert!(out.hold && !out.release, "below cadence: ack must be held");
+        bolt.execute(&int_tuple(1, 2), &mut out);
+        // The commit failed: acks stay held, nothing is persisted, and
+        // the replay offset must NOT advance past the unpersisted ids.
+        assert!(out.hold && !out.release, "failed commit must not release acks");
+        assert_eq!(bolt.commit_failures(), 1);
+        assert!(store.get("k").is_none());
+        assert_eq!(replay_offset(&store, &["k"]), 0);
+        // State stays intact; the next interval retries and commits
+        // the whole backlog.
+        store.inject_commit_failures(0.0, 0);
+        out.hold = false;
+        bolt.execute(&int_tuple(1, 3), &mut out);
+        assert!(out.release, "successful commit releases the held acks");
+        let (applied, snap) = decode_checkpoint(&store.get("k").unwrap().1).unwrap();
+        assert_eq!(applied, 3);
+        let mut cp = CountSum::default();
+        cp.restore(&snap).unwrap();
+        assert_eq!(cp, CountSum { n: 3, sum: 3 });
+        assert_eq!(replay_offset(&store, &["k"]), 3);
+    }
+
+    #[test]
+    fn on_idle_commits_the_tail_and_releases() {
+        let store = CheckpointStore::new();
+        let cfg = OperatorConfig { checkpoint_every: 100, ..Default::default() };
+        let mut bolt =
+            SynopsisBolt::with_config("k", &store, CountSum::default(), apply, cfg).unwrap();
+        let mut out = OutputCollector::new();
+        for id in 1..=3u64 {
+            bolt.execute(&int_tuple(1, id), &mut out);
+        }
+        assert!(out.hold && store.get("k").is_none());
+        bolt.on_idle(&mut out);
+        assert!(out.release);
+        assert_eq!(replay_offset(&store, &["k"]), 3);
+        // Idle with nothing pending is a no-op.
+        out.release = false;
+        bolt.on_idle(&mut out);
+        assert!(!out.release);
     }
 
     #[test]
@@ -650,6 +843,60 @@ mod tests {
         let t = spout.next_tuple().unwrap();
         assert_eq!(t.root, base + 4);
         assert_eq!(t.get(0).unwrap().as_int(), Some(3));
+    }
+
+    #[test]
+    fn log_spout_quarantine_retires_and_returns_the_record() {
+        let log = Log::new(1).unwrap();
+        for i in 0..3u8 {
+            log.append("k", vec![i]);
+        }
+        let mut spout =
+            LogSpout::new(&log, 0, 0, 0, |r: &Record| tuple_of([i64::from(r.value[0])]));
+        let t = spout.next_tuple().unwrap();
+        let root = t.root;
+        // In-flight → quarantined: body comes back, nothing pends.
+        let body = spout.quarantine(root).expect("record still in the log");
+        assert_eq!(body.get(0).unwrap().as_int(), Some(0));
+        assert_eq!(spout.pending(), 0);
+        // Failed-and-requeued → quarantined before replay.
+        let t = spout.next_tuple().unwrap();
+        assert!(spout.fail(t.root));
+        assert!(spout.quarantine(t.root).is_some());
+        assert_eq!(spout.pending(), 0);
+        // Unknown root: nothing to retire.
+        assert!(spout.quarantine(9_999).is_none());
+    }
+
+    /// The persisted frontier is the oldest *unsettled* offset: acks
+    /// arriving out of order must not advance it past a live record.
+    #[test]
+    fn log_spout_frontier_tracks_oldest_unsettled_offset() {
+        let log = Log::new(1).unwrap();
+        for i in 0..4u8 {
+            log.append("k", vec![i]);
+        }
+        let store = CheckpointStore::new();
+        let mut spout =
+            LogSpout::new(&log, 0, 0, 0, |r: &Record| tuple_of([i64::from(r.value[0])]))
+                .with_frontier(&store, "f", 1);
+        for _ in 0..4 {
+            spout.next_tuple().unwrap();
+        }
+        // Out-of-order settles: the frontier is pinned by root 1
+        // (offset 0) no matter how far later acks run ahead.
+        spout.ack(3);
+        spout.ack(2);
+        assert_eq!(frontier_offset(&store, "f"), 0);
+        // Settling the oldest record jumps the frontier over the
+        // already-settled run, stopping at the next live record.
+        spout.ack(1);
+        assert_eq!(frontier_offset(&store, "f"), 3);
+        // A quarantined record settles too (it will never replay).
+        spout.quarantine(4);
+        assert_eq!(frontier_offset(&store, "f"), 4);
+        // A key never committed reads as "replay everything".
+        assert_eq!(frontier_offset(&store, "missing"), 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Topology model: spouts, bolts, groupings — Storm's abstractions,
 //! which the rest of Table 2's systems refine.
 
+use crate::supervise::RestartPolicy;
 use crate::tuple::Tuple;
 use sa_core::TopologyError;
 
@@ -43,6 +44,18 @@ pub trait Spout: Send {
     fn pending(&self) -> usize {
         0
     }
+
+    /// The runtime quarantines this message: its replay budget
+    /// (`ExecutorConfig::max_replays`) is exhausted, so it must be
+    /// *retired* from the spout's pending set — not requeued — and its
+    /// body (if reproducible) returned for the `"{spout}.dlq"`
+    /// dead-letter output. Implementations that track `pending` MUST
+    /// drop the message here or clean shutdown will wait on it forever.
+    /// The default (for stateless spouts) retires nothing and sends an
+    /// id-only stub to the DLQ.
+    fn quarantine(&mut self, _root: u64) -> Option<Tuple> {
+        None
+    }
 }
 
 /// Emission interface handed to bolts.
@@ -56,11 +69,15 @@ pub struct OutputCollector {
     pub(crate) late: Vec<Tuple>,
     /// Whether the input tuple was explicitly failed.
     pub(crate) failed: bool,
+    /// Defer the input's ack until a later `release_acks`.
+    pub(crate) hold: bool,
+    /// Ack every input held by this task since the last release.
+    pub(crate) release: bool,
 }
 
 impl OutputCollector {
     pub(crate) fn new() -> Self {
-        Self { emitted: Vec::new(), late: Vec::new(), failed: false }
+        Self { emitted: Vec::new(), late: Vec::new(), failed: false, hold: false, release: false }
     }
 
     /// Emit a tuple anchored to the current input (its lineage joins the
@@ -81,6 +98,22 @@ impl OutputCollector {
     pub fn fail(&mut self) {
         self.failed = true;
     }
+
+    /// Defer the input's ack: the runtime holds it until
+    /// [`OutputCollector::release_acks`] (or fails it for replay if the
+    /// task restarts from a checkpoint first). Stateful exactly-once
+    /// bolts hold each input until its effect is durably committed, so
+    /// a mid-run restart replays exactly the uncommitted suffix.
+    pub fn hold_ack(&mut self) {
+        self.hold = true;
+    }
+
+    /// Ack every input this task is holding — call after a durable
+    /// commit has covered them (the current input is acked too, not
+    /// held, when both flags would apply).
+    pub fn release_acks(&mut self) {
+        self.release = true;
+    }
 }
 
 /// A processing node. `Send` — each task runs on a worker thread.
@@ -97,6 +130,13 @@ pub trait Bolt: Send {
     /// the new merged watermark: no tuple with `event_time < wm` will
     /// be delivered to `execute` again. Windowed operators fire here.
     fn on_watermark(&mut self, _wm: u64, _out: &mut OutputCollector) {}
+
+    /// Called (best-effort, possibly repeatedly) when the task's input
+    /// queue has drained. Bolts that hold acks
+    /// ([`OutputCollector::hold_ack`]) use this to commit pending state
+    /// and release them, so upstream spouts can settle and shut down
+    /// cleanly.
+    fn on_idle(&mut self, _out: &mut OutputCollector) {}
 }
 
 /// Blanket impl so closures can be used as stateless bolts.
@@ -109,6 +149,22 @@ where
     }
 }
 
+/// Constructor for one bolt task. The executor calls it once at spawn
+/// and again on every supervised restart — a checkpointed bolt built
+/// here recovers its state from the store each time, which is what
+/// makes mid-run restart-from-checkpoint work.
+pub type BoltBuilder = Box<dyn FnMut() -> sa_core::Result<Box<dyn Bolt>> + Send>;
+
+/// How one bolt task is obtained (and re-obtained after a panic).
+pub(crate) enum BoltSource {
+    /// A pre-built instance; supervised restarts resume it in place
+    /// (its in-memory state survives, nothing is rebuilt).
+    Instance(Box<dyn Bolt>),
+    /// A rebuildable task; supervised restarts construct a fresh bolt,
+    /// which recovers from its checkpoint.
+    Factory(BoltBuilder),
+}
+
 /// One component (spout or bolt) declaration.
 pub(crate) struct ComponentDecl {
     pub name: String,
@@ -116,11 +172,13 @@ pub(crate) struct ComponentDecl {
     pub kind: ComponentKind,
     /// (upstream component name, grouping).
     pub inputs: Vec<(String, Grouping)>,
+    /// Per-component override of `ExecutorConfig::restart`.
+    pub restart: Option<RestartPolicy>,
 }
 
 pub(crate) enum ComponentKind {
     Spout(Vec<Box<dyn Spout>>),
-    Bolt(Vec<Box<dyn Bolt>>),
+    Bolt(Vec<BoltSource>),
 }
 
 /// Declarative topology builder (Storm's `TopologyBuilder`).
@@ -149,7 +207,7 @@ pub struct SpoutHandle<'a> {
     decl: &'a mut ComponentDecl,
 }
 
-impl SpoutHandle<'_> {
+impl<'a> SpoutHandle<'a> {
     /// The declared component name.
     pub fn name(&self) -> &str {
         &self.decl.name
@@ -158,6 +216,13 @@ impl SpoutHandle<'_> {
     /// The number of task instances declared.
     pub fn parallelism(&self) -> usize {
         self.decl.parallelism
+    }
+
+    /// Override the run-wide [`RestartPolicy`]
+    /// (`ExecutorConfig::restart`) for this component's tasks.
+    pub fn restart(self, policy: RestartPolicy) -> SpoutHandle<'a> {
+        self.decl.restart = Some(policy);
+        self
     }
 }
 
@@ -190,6 +255,13 @@ impl<'a> BoltHandle<'a> {
         self.decl.inputs.push((upstream.to_string(), Grouping::All));
         self
     }
+
+    /// Override the run-wide [`RestartPolicy`]
+    /// (`ExecutorConfig::restart`) for this component's tasks.
+    pub fn restart(self, policy: RestartPolicy) -> BoltHandle<'a> {
+        self.decl.restart = Some(policy);
+        self
+    }
 }
 
 impl TopologyBuilder {
@@ -207,19 +279,39 @@ impl TopologyBuilder {
             parallelism: instances.len(),
             kind: ComponentKind::Spout(instances),
             inputs: Vec::new(),
+            restart: None,
         });
         SpoutHandle { decl: self.components.last_mut().unwrap() }
     }
 
     /// Declare a bolt; parallelism = number of instances supplied.
-    /// Returns a handle to wire its inputs.
+    /// Returns a handle to wire its inputs. Tasks declared this way
+    /// survive supervised restarts *in place* (same instance, state
+    /// kept); use [`TopologyBuilder::set_bolt_builders`] for tasks that
+    /// should be rebuilt from their checkpoint instead.
     pub fn set_bolt(&mut self, name: &str, instances: Vec<Box<dyn Bolt>>) -> BoltHandle<'_> {
         assert!(!instances.is_empty(), "need at least one bolt instance");
+        self.declare_bolt(name, instances.into_iter().map(BoltSource::Instance).collect())
+    }
+
+    /// Declare a bolt from per-task constructors; parallelism = number
+    /// of builders supplied. The executor calls each builder at spawn
+    /// AND on every supervised restart of that task — a checkpointed
+    /// bolt ([`crate::operator::SynopsisBolt`],
+    /// [`crate::window::WindowBolt`]) built here therefore recovers
+    /// through its checkpoint + replay path mid-run.
+    pub fn set_bolt_builders(&mut self, name: &str, builders: Vec<BoltBuilder>) -> BoltHandle<'_> {
+        assert!(!builders.is_empty(), "need at least one bolt builder");
+        self.declare_bolt(name, builders.into_iter().map(BoltSource::Factory).collect())
+    }
+
+    fn declare_bolt(&mut self, name: &str, sources: Vec<BoltSource>) -> BoltHandle<'_> {
         self.components.push(ComponentDecl {
             name: name.to_string(),
-            parallelism: instances.len(),
-            kind: ComponentKind::Bolt(instances),
+            parallelism: sources.len(),
+            kind: ComponentKind::Bolt(sources),
             inputs: Vec::new(),
+            restart: None,
         });
         BoltHandle { decl: self.components.last_mut().unwrap() }
     }
@@ -309,6 +401,15 @@ impl Spout for VecSpout {
     fn pending(&self) -> usize {
         self.in_flight.len() + self.queue.len()
     }
+
+    fn quarantine(&mut self, root: u64) -> Option<Tuple> {
+        if let Some(t) = self.in_flight.remove(&root) {
+            return Some(t);
+        }
+        // Defensive: a message already requeued for replay.
+        let pos = self.queue.iter().position(|(seq, _)| *seq == root)?;
+        self.queue.remove(pos).map(|(_, t)| t)
+    }
 }
 
 #[cfg(test)]
@@ -371,5 +472,21 @@ mod tests {
         s.ack(2);
         assert_eq!(s.pending(), 0);
         assert!(s.next_tuple().is_none());
+    }
+
+    #[test]
+    fn vec_spout_quarantine_retires_the_message() {
+        let mut s = VecSpout::new(vec![tuple_of(["poison"]), tuple_of(["fine"])]);
+        let t1 = s.next_tuple().unwrap();
+        let body = s.quarantine(t1.root).expect("in-flight message surrendered");
+        assert_eq!(body.get(0).unwrap().as_str(), Some("poison"));
+        assert_eq!(s.pending(), 1, "quarantined message left the pending set");
+        assert!(!s.fail(t1.root), "a quarantined message cannot be replayed");
+        assert!(s.quarantine(999).is_none());
+        // A message sitting in the replay queue is also reachable.
+        let t2 = s.next_tuple().unwrap();
+        s.fail(t2.root);
+        assert!(s.quarantine(t2.root).is_some());
+        assert_eq!(s.pending(), 0);
     }
 }

@@ -139,6 +139,8 @@ pub struct WindowBolt<S, F> {
     duplicates_skipped: u64,
     /// Session-aggregate merges that failed (incompatible synopses).
     merge_errors: u64,
+    /// Checkpoint writes rejected by the store (state kept, retried).
+    commit_failures: u64,
 }
 
 impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> WindowBolt<S, F> {
@@ -168,6 +170,7 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Window
             recovered: false,
             duplicates_skipped: 0,
             merge_errors: 0,
+            commit_failures: 0,
         };
         if let Some((_, value)) = store.get(key) {
             let (applied, payload) = crate::operator::decode_checkpoint(&value)?;
@@ -361,17 +364,24 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Window
     }
 
     /// Commit pending state + dedup ids atomically, then GC tokens.
-    fn commit(&mut self) {
+    /// Returns whether the pending set is durable; a rejected write
+    /// keeps `pending` intact (checkpoint skipped, retried next
+    /// interval) so `replay_offset` never passes unpersisted state.
+    fn commit(&mut self) -> bool {
         if self.pending.is_empty() {
-            return;
+            return true;
         }
         let value = crate::operator::encode_checkpoint(self.last_applied, &self.encode_state());
-        self.store.commit_batch(&self.key, &self.pending, value);
+        if self.store.commit_batch(&self.key, &self.pending, value).is_err() {
+            self.commit_failures += 1;
+            return false;
+        }
         self.pending.clear();
         self.pending_set.clear();
         if let Some(horizon) = self.cfg.checkpoint.gc_horizon {
             self.store.gc(&self.key, self.last_applied.saturating_sub(horizon));
         }
+        true
     }
 
     /// Live `(key, window)` groups.
@@ -398,6 +408,11 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Window
     pub fn merge_errors(&self) -> u64 {
         self.merge_errors
     }
+
+    /// Checkpoint writes the store rejected (state retained each time).
+    pub fn commit_failures(&self) -> u64 {
+        self.commit_failures
+    }
 }
 
 impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt
@@ -407,7 +422,14 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt
         // Exactly-once dedup first: a replayed tuple must not re-enter
         // any window (lineage 0 = untracked test input, not deduped).
         let id = input.lineage;
-        if id != 0 && (self.pending_set.contains(&id) || self.store.is_seen(&self.key, id)) {
+        if id != 0 && self.pending_set.contains(&id) {
+            // Applied but not yet durable: hold this replay's ack along
+            // with the original attempt's (see `SynopsisBolt::execute`).
+            self.duplicates_skipped += 1;
+            out.hold_ack();
+            return;
+        }
+        if id != 0 && self.store.is_seen(&self.key, id) {
             self.duplicates_skipped += 1;
             return;
         }
@@ -470,8 +492,10 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt
             self.pending.push(id);
             self.pending_set.insert(id);
             self.last_applied = self.last_applied.max(id);
-            if self.pending.len() as u64 >= self.cfg.checkpoint.checkpoint_every {
-                self.commit();
+            if self.pending.len() as u64 >= self.cfg.checkpoint.checkpoint_every && self.commit() {
+                out.release_acks();
+            } else {
+                out.hold_ack();
             }
         }
     }
@@ -504,8 +528,8 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt
     }
 
     fn flush(&mut self, out: &mut OutputCollector) {
-        if self.cfg.checkpoint.commit_on_flush {
-            self.commit();
+        if self.cfg.checkpoint.commit_on_flush && self.commit() {
+            out.release_acks();
         }
         // Emit windows that never fired (no watermark reached them —
         // e.g. watermarks disabled, or an unclean drain). Fired-and-
@@ -518,6 +542,12 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt
             .collect();
         for (key, win) in pending {
             self.emit_window(&key, win, out);
+        }
+    }
+
+    fn on_idle(&mut self, out: &mut OutputCollector) {
+        if !self.pending.is_empty() && self.commit() {
+            out.release_acks();
         }
     }
 }

@@ -29,4 +29,8 @@ echo "== event-time gate (watermarks, windows, lateness) =="
 cargo test -q -p sa-platform --test event_time
 cargo run --release -q --example windowed > /dev/null
 
+echo "== chaos gate (supervision: panics, drops, kills, quarantine) =="
+cargo test -q --test chaos
+cargo run --release -q --example supervised > /dev/null
+
 echo "CI gate passed."

@@ -21,6 +21,8 @@
 //! * `examples/observability.rs` — the platform watching itself:
 //!   GK-sketch latency histograms, queue-depth gauges, backpressure
 //!   stalls.
+//! * `examples/supervised.rs` — an exact word count surviving injected
+//!   panics, link drops, and a poison record under supervision.
 //!
 //! Per-module guides live in each crate:
 //! [`sketches`], [`sampling`], [`windows`], [`timeseries`],
@@ -61,11 +63,13 @@ pub mod prelude {
         CardinalityEstimator, FrequencyEstimator, MembershipFilter, Merge, QuantileSketch,
     };
     pub use sa_platform::{
-        decode_checkpoint, replay_offset, run_topology, tuple_of, vec_spout, Batch, Bolt,
-        BoltHandle, CheckpointStore, Consumer, CounterHandle, ExecutorConfig, ExecutorModel,
-        GaugeHandle, Grouping, HistogramSummary, LinkSnapshot, LinkStats, Log, LogSpout, MergeBolt,
-        Metrics, MetricsSnapshot, OperatorConfig, OutputCollector, Record, RunResult, Semantics,
-        Spout, SpoutHandle, SynopsisBolt, TimerService, TopologyBuilder, Tuple, Value, VecSpout,
-        WatermarkConfig, WatermarkGen, WatermarkMerger, WindowBolt, WindowConfig, WindowSpec,
+        decode_checkpoint, frontier_offset, replay_offset, run_topology, tuple_of, vec_spout,
+        Batch, Bolt, BoltBuilder, BoltHandle, CheckpointStore, Consumer, CounterHandle,
+        ExecutorConfig, ExecutorModel, FaultPlan, GaugeHandle, Grouping, HistogramSummary,
+        LinkSnapshot, LinkStats, Log, LogSpout, MergeBolt, Metrics, MetricsSnapshot,
+        OperatorConfig, OutputCollector, Record, RestartDecision, RestartPolicy, RestartTracker,
+        RunResult, Semantics, Spout, SpoutHandle, SynopsisBolt, TimerService, TopologyBuilder,
+        Tuple, Value, VecSpout, WatermarkConfig, WatermarkGen, WatermarkMerger, WindowBolt,
+        WindowConfig, WindowSpec,
     };
 }

@@ -644,3 +644,147 @@ fn acker_settles_each_root_exactly_once() {
         assert_eq!(acker.pending(), 0, "case {case}: acker left pending trees");
     }
 }
+
+/// Restart backoff schedules are monotone non-decreasing and capped,
+/// for arbitrary (base, factor, cap) combinations — including factors
+/// below 1, which are clamped rather than letting the schedule decay.
+#[test]
+fn restart_backoff_monotone_and_capped() {
+    use std::time::Duration;
+    use streaming_analytics::prelude::RestartPolicy;
+
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xBACC0FF_u64 ^ case);
+        let mut p = RestartPolicy::default()
+            .base(Duration::from_micros(rng.next_below(5_000)))
+            .cap(Duration::from_micros(1 + rng.next_below(50_000)));
+        p.backoff_factor = uniform_f64(&mut rng, 0.25, 8.0);
+        let mut prev = Duration::ZERO;
+        for attempt in 0..300 {
+            let d = p.backoff(attempt);
+            assert!(d >= prev, "case {case}: backoff shrank at attempt {attempt}");
+            assert!(d <= p.backoff_cap, "case {case}: backoff above cap at attempt {attempt}");
+            prev = d;
+        }
+    }
+}
+
+/// The sliding restart budget is never exceeded: under arbitrary panic
+/// times, the number of granted restarts inside any window stays at or
+/// below `max_restarts`, and a grant exists only where the budget had
+/// room.
+#[test]
+fn restart_budget_never_exceeded_in_any_window() {
+    use std::time::Duration;
+    use streaming_analytics::prelude::{RestartDecision, RestartPolicy, RestartTracker};
+
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB0D9E7_u64 ^ case);
+        let max = rng.next_below(6) as u32;
+        let window = Duration::from_millis(1 + rng.next_below(500));
+        let policy = RestartPolicy::default().budget(max, window);
+        let mut tracker = RestartTracker::new(policy);
+        let mut now = Duration::ZERO;
+        let mut grants: Vec<Duration> = Vec::new();
+        for _ in 0..200 {
+            now += Duration::from_micros(rng.next_below(300_000));
+            match tracker.on_panic(now) {
+                RestartDecision::Restart(backoff) => {
+                    grants.push(now);
+                    let in_window =
+                        grants.iter().filter(|&&t| t + window > now && t <= now).count();
+                    assert!(
+                        in_window <= max as usize,
+                        "case {case}: {in_window} grants inside one window (budget {max})"
+                    );
+                    assert!(backoff <= tracker.policy().backoff_cap);
+                }
+                RestartDecision::Escalate => {
+                    // Escalation is only legal when the window is full.
+                    let in_window =
+                        grants.iter().filter(|&&t| t + window > now && t <= now).count();
+                    assert!(
+                        in_window >= max as usize,
+                        "case {case}: escalated with {in_window}/{max} of the budget used"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            grants.len() as u32,
+            {
+                let mut replayed =
+                    RestartTracker::new(RestartPolicy::default().budget(max, window));
+                let mut n = 0;
+                let mut rng2 = SplitMix64::new(0xB0D9E7_u64 ^ case);
+                let _ = (rng2.next_below(6), rng2.next_below(500));
+                let mut t = Duration::ZERO;
+                for _ in 0..200 {
+                    t += Duration::from_micros(rng2.next_below(300_000));
+                    if matches!(replayed.on_panic(t), RestartDecision::Restart(_)) {
+                        n += 1;
+                    }
+                }
+                n
+            },
+            "case {case}: decision sequence must be deterministic"
+        );
+    }
+}
+
+/// A poison tuple — one the bolt fails on every attempt — lands in the
+/// dead-letter queue exactly once after `max_replays` replays, while
+/// every healthy tuple is still processed.
+#[test]
+fn poison_tuple_quarantined_exactly_once() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+    use streaming_analytics::platform::log::Record;
+    use streaming_analytics::prelude::*;
+
+    for case in 0..8u64 {
+        let log = Log::new(1).unwrap();
+        let n = 40 + (case as usize) * 17;
+        let poison = (case % n as u64) as i64;
+        for i in 0..n {
+            log.append(&format!("r{i}"), vec![i as u8]);
+        }
+        let processed = Arc::new(AtomicU64::new(0));
+        let seen = processed.clone();
+        let mut tb = TopologyBuilder::new();
+        let spout =
+            LogSpout::new(&log, 0, 0, 0, move |r: &Record| tuple_of([i64::from(r.value[0])]));
+        tb.set_spout("log", vec![Box::new(spout) as Box<dyn Spout>]);
+        let bolt = move |t: &Tuple, out: &mut OutputCollector| {
+            if t.get(0).unwrap().as_int() == Some(poison) {
+                out.fail();
+            } else {
+                seen.fetch_add(1, Ordering::SeqCst);
+            }
+        };
+        tb.set_bolt("eat", vec![Box::new(bolt) as Box<dyn Bolt>]).shuffle("log");
+
+        let config = ExecutorConfig {
+            max_replays: Some(4),
+            ack_timeout: Duration::from_millis(100),
+            shutdown_timeout: Duration::from_secs(30),
+            seed: 0xD1 ^ case,
+            ..Default::default()
+        };
+        let result = run_topology(tb, config).unwrap();
+        assert!(result.clean_shutdown, "case {case}: poison tuple stalled shutdown");
+
+        let snap = result.metrics.snapshot();
+        assert_eq!(snap.quarantined_roots, 1, "case {case}: wrong DLQ count");
+        assert_eq!(snap.counters.get("log.dlq"), Some(&1), "case {case}");
+        let dlq = &result.outputs["log.dlq"];
+        assert_eq!(dlq.len(), 1, "case {case}: DLQ must hold the tuple exactly once");
+        assert_eq!(dlq[0].get(0).unwrap().as_int(), Some(poison), "case {case}: wrong tuple");
+        assert_eq!(
+            processed.load(Ordering::SeqCst),
+            (n - 1) as u64,
+            "case {case}: healthy tuples lost"
+        );
+    }
+}
