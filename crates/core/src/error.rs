@@ -46,6 +46,20 @@ pub enum TopologyError {
     SelfLoop(String),
     /// A spout declares inputs.
     SpoutWithInputs(String),
+    /// A fields grouping names a field index outside the upstream
+    /// component's declared output schema. Caught at build time so the
+    /// grouping cannot silently degenerate (an absent field contributes
+    /// nothing to the routing hash) at the first tuple.
+    FieldOutOfRange {
+        /// The subscribing component.
+        component: String,
+        /// The upstream whose schema is violated.
+        upstream: String,
+        /// The offending field index.
+        field: usize,
+        /// The declared number of output fields.
+        arity: usize,
+    },
     /// The component graph contains a directed cycle.
     Cycle,
 }
@@ -64,6 +78,13 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::SpoutWithInputs(name) => {
                 write!(f, "spout `{name}` cannot have inputs")
+            }
+            TopologyError::FieldOutOfRange { component, upstream, field, arity } => {
+                write!(
+                    f,
+                    "`{component}` fields-groups on field {field} of `{upstream}`, \
+                     whose declared schema has only {arity} field(s)"
+                )
             }
             TopologyError::Cycle => write!(f, "component graph contains a cycle"),
         }

@@ -40,4 +40,4 @@ pub mod traits;
 
 pub use error::{Result, SaError, TopologyError};
 pub use synopsis::Synopsis;
-pub use traits::Merge;
+pub use traits::{Aggregator, Merge};

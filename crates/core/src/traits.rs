@@ -25,6 +25,19 @@ pub trait Merge: Sized {
     fn merge(&mut self, other: &Self) -> Result<()>;
 }
 
+/// The capability bundle a query planner needs from an aggregation
+/// state: checkpointable ([`crate::Synopsis`]), mergeable across
+/// partitions ([`Merge`]), cloneable so one declared template can seed
+/// every parallel task, and sendable to worker threads.
+///
+/// Blanket-implemented — any summary satisfying the bounds is an
+/// `Aggregator` automatically, so the trait is purely a capability
+/// alias: `Query::aggregate` (in `sa-platform`) accepts every Table-1
+/// summary family without per-type plumbing.
+pub trait Aggregator: crate::Synopsis + Merge + Clone + Send + 'static {}
+
+impl<T: crate::Synopsis + Merge + Clone + Send + 'static> Aggregator for T {}
+
 /// Estimators of the number of distinct elements (Table 1, "Estimating
 /// Cardinality").
 pub trait CardinalityEstimator {

@@ -471,8 +471,21 @@ fn decode_root(root: u64) -> (usize, u64) {
 /// Validation runs first — wiring mistakes surface as
 /// [`SaError::Topology`] before any thread spawns.
 pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<RunResult> {
+    run_topology_with(builder, config, Metrics::new())
+}
+
+/// [`run_topology`] against a caller-supplied [`Metrics`] registry, so
+/// the run's counters land next to metrics registered *outside* the
+/// topology (e.g. a [`crate::ServingView`]'s `query_us`/`epoch`
+/// instruments share the snapshot with the executor's throughput
+/// accounting — the compiled-query path in [`crate::query`] relies on
+/// this).
+pub fn run_topology_with(
+    builder: TopologyBuilder,
+    config: ExecutorConfig,
+    metrics: Metrics,
+) -> Result<RunResult> {
     builder.validate()?;
-    let metrics = Metrics::new();
     let sink: Sink = Arc::new(Mutex::new(HashMap::new()));
     let acker = Arc::new(Mutex::new(Acker::new()));
     let unclean = Arc::new(AtomicBool::new(false));

@@ -8,18 +8,41 @@
 //!    append-only set of raw data — our [`crate::log::Log`]) and
 //!    pre-computes batch views — [`LambdaArchitecture::run_batch`].
 //! 3. The **serving layer** indexes the batch views for low-latency
-//!    queries — the [`crate::checkpoint::CheckpointStore`] holding them.
+//!    queries — an epoch-swapped, lock-free [`ServingView`]: each batch
+//!    run publishes a new immutable generation, readers never block.
 //! 4. The **speed layer** handles recent data only, compensating for the
-//!    batch/serving latency — the incremental counters updated on every
-//!    ingest.
-//! 5. **Queries** merge batch views and real-time views —
-//!    [`LambdaArchitecture::query`].
+//!    batch/serving latency — a second [`ServingView`] republished on
+//!    the ingest path (every [`LambdaArchitecture::with_config`]
+//!    `publish_every` events).
+//! 5. **Queries** merge batch views and real-time views — the
+//!    [`QueryHandle`] from [`LambdaArchitecture::handle`], whose
+//!    [`QueryHandle::query`] answers from either layer or their merge,
+//!    tagged with epoch and staleness metadata.
+//!
+//! Both views report into the deployment's [`Metrics`]: `batch.epoch` /
+//! `speed.epoch` gauges and sampled `batch.query_us` / `speed.query_us`
+//! point-query latencies, surfaced by
+//! [`LambdaArchitecture::metrics`].
+//!
+//! Writer-side coordination: `ingest` appends to the master log *under*
+//! the speed-layer buffer lock, so a batch run (which takes the same
+//! lock) can never fold an event into the batch view while its
+//! speed-layer increment is still in flight — merged queries stay exact
+//! through concurrent batch runs. Readers never touch that lock.
 
-use crate::checkpoint::{counter_add, counter_value, CheckpointStore};
 use crate::log::Log;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::serving::{Layer, QueryHandle, ServingView};
 use std::collections::HashMap;
-use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Speed-layer write-side state: the accumulating real-time table and
+/// how many ingests it has absorbed since the last publish.
+struct SpeedBuf {
+    table: HashMap<String, i64>,
+    since: u64,
+}
 
 /// A keyed-count Lambda deployment (the canonical example: per-key event
 /// counts, e.g. hashtag impressions).
@@ -27,47 +50,88 @@ use std::sync::Mutex;
 pub struct LambdaArchitecture {
     /// Master dataset: immutable, append-only.
     master: Log,
-    /// Serving layer: indexed batch views.
-    serving: CheckpointStore,
+    /// Serving layer: the indexed batch views, one epoch per batch run.
+    batch: ServingView<i64>,
+    /// Real-time view: republished from the ingest path.
+    speed: ServingView<i64>,
+    /// Speed-layer accumulation buffer (write side only).
+    buf: Arc<Mutex<SpeedBuf>>,
     /// Offset (per partition) up to which the batch views are computed.
     batch_horizon: Arc<Mutex<Vec<u64>>>,
-    /// Speed layer: real-time increments since the last batch run.
-    speed: Arc<Mutex<HashMap<String, i64>>>,
-    /// Events whose offset is below the horizon at their partition have
-    /// been folded into batch views; the speed layer holds the rest.
-    ingested: Arc<Mutex<u64>>,
+    /// Total events ingested — the staleness reference point.
+    ingested: Arc<AtomicU64>,
+    /// Publish a speed epoch every this many ingests.
+    publish_every: u64,
+    /// Registry both views report into.
+    metrics: Metrics,
 }
 
 impl LambdaArchitecture {
-    /// A deployment over `partitions` master-log partitions.
+    /// A deployment over `partitions` master-log partitions, publishing
+    /// a speed epoch on every ingest (exact real-time views; see
+    /// [`LambdaArchitecture::with_config`] to batch publishes).
     pub fn new(partitions: usize) -> sa_core::Result<Self> {
+        Self::with_config(partitions, 1)
+    }
+
+    /// [`LambdaArchitecture::new`] with an explicit speed-layer publish
+    /// cadence: a new epoch every `publish_every` ingests. Larger
+    /// cadences amortise the per-epoch table clone under write-heavy
+    /// load at the cost of bounded speed-view staleness (at most
+    /// `publish_every - 1` events, and [`LambdaArchitecture::flush_speed`]
+    /// publishes the remainder on demand).
+    pub fn with_config(partitions: usize, publish_every: u64) -> sa_core::Result<Self> {
+        let metrics = Metrics::new();
         Ok(Self {
             master: Log::new(partitions)?,
-            serving: CheckpointStore::new(),
+            batch: ServingView::instrumented("batch", &metrics),
+            speed: ServingView::instrumented("speed", &metrics),
+            buf: Arc::new(Mutex::new(SpeedBuf { table: HashMap::new(), since: 0 })),
             batch_horizon: Arc::new(Mutex::new(vec![0; partitions])),
-            speed: Arc::new(Mutex::new(HashMap::new())),
-            ingested: Arc::new(Mutex::new(0)),
+            ingested: Arc::new(AtomicU64::new(0)),
+            publish_every: publish_every.max(1),
+            metrics,
         })
     }
 
     /// Stage 1: dispatch one event to both layers.
     pub fn ingest(&self, key: &str, count: i64) {
-        // Batch path: append to the immutable master dataset.
+        let mut buf = self.buf.lock().unwrap();
+        // Batch path: append to the immutable master dataset (under the
+        // buffer lock — see the module docs' coordination note).
         self.master.append(key, count.to_le_bytes().to_vec());
+        let ingested = self.ingested.fetch_add(1, Ordering::Relaxed) + 1;
         // Speed path: incremental real-time view.
-        *self.speed.lock().unwrap().entry(key.to_string()).or_insert(0) += count;
-        *self.ingested.lock().unwrap() += 1;
+        *buf.table.entry(key.to_string()).or_insert(0) += count;
+        buf.since += 1;
+        if buf.since >= self.publish_every {
+            self.speed.publish(buf.table.clone(), ingested);
+            buf.since = 0;
+        }
+    }
+
+    /// Publish any speed-layer increments still buffered below the
+    /// publish cadence. No-op when the published view is current.
+    pub fn flush_speed(&self) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.since > 0 {
+            self.speed.publish(buf.table.clone(), self.ingested.load(Ordering::Relaxed));
+            buf.since = 0;
+        }
     }
 
     /// Stages 2–3: recompute batch views from the *entire* master
     /// dataset (that is the point of the batch layer: views are always
-    /// recomputable from raw data) and swap them into the serving layer;
-    /// then discard the speed-layer state the new views now cover.
+    /// recomputable from raw data) and publish them as a new serving
+    /// epoch; then retire the speed-layer state the new views cover.
+    /// In-flight point queries keep the epoch they pinned; new queries
+    /// see the new views immediately.
     ///
     /// Returns the number of master records folded in.
     pub fn run_batch(&self) -> u64 {
-        // Snapshot the horizon first: events appended *during* the batch
-        // run stay in the speed layer.
+        // The buffer lock stalls ingests for the duration, so the
+        // horizon is exact and no event can straddle the two layers.
+        let mut buf = self.buf.lock().unwrap();
         let horizon: Vec<u64> =
             (0..self.master.partitions()).map(|p| self.master.end_offset(p)).collect();
         let mut views: HashMap<String, i64> = HashMap::new();
@@ -79,54 +143,53 @@ impl LambdaArchitecture {
                 folded += 1;
             }
         }
-        // Swap into the serving layer.
-        for (k, v) in &views {
-            self.serving.put(k, v.to_le_bytes().to_vec());
-        }
-        // Retire speed-layer state now covered by batch views. Events
-        // ingested after the horizon snapshot re-enter the speed layer
-        // below: recompute the uncovered tail exactly.
-        let mut speed = self.speed.lock().unwrap();
-        speed.clear();
-        let mut hz = self.batch_horizon.lock().unwrap();
-        *hz = horizon.clone();
-        drop(hz);
-        for (p, &start) in horizon.iter().enumerate() {
-            let end = self.master.end_offset(p);
-            for rec in self.master.read(p, start, (end - start) as usize) {
-                let c = i64::from_le_bytes(rec.value[..8].try_into().unwrap());
-                *speed.entry(rec.key).or_insert(0) += c;
-            }
-        }
+        self.batch.publish(views, folded);
+        *self.batch_horizon.lock().unwrap() = horizon;
+        // Retire the speed layer: everything below the horizon is now
+        // served by the batch views (nothing can be above it — ingests
+        // are stalled).
+        buf.table.clear();
+        buf.since = 0;
+        self.speed.publish(HashMap::new(), self.ingested.load(Ordering::Relaxed));
         folded
+    }
+
+    /// The deployment's query front door: a clone-cheap, lock-free
+    /// handle answering [`Layer::Batch`] / [`Layer::Speed`] /
+    /// [`Layer::Merged`] point queries with epoch + staleness metadata.
+    /// Hand one to each reader thread.
+    pub fn handle(&self) -> QueryHandle {
+        QueryHandle::new(self.batch.clone(), self.speed.clone(), self.ingested.clone())
     }
 
     /// Stage 5: answer a query by merging the batch view (serving
     /// layer) with the real-time view (speed layer).
     pub fn query(&self, key: &str) -> i64 {
-        let batch = self.serving.get(key).map_or(0, |(_, v)| counter_value(&v));
-        let speed = self.speed.lock().unwrap().get(key).copied().unwrap_or(0);
-        batch + speed
+        self.handle().query(key, Layer::Merged).value
     }
 
     /// Batch-view-only answer (stale by whatever the speed layer holds).
+    #[deprecated(note = "use `handle().query(key, Layer::Batch)` — it also reports staleness")]
     pub fn query_batch_only(&self, key: &str) -> i64 {
-        self.serving.get(key).map_or(0, |(_, v)| counter_value(&v))
+        self.handle().query(key, Layer::Batch).value
     }
 
     /// Speed-view-only answer.
+    #[deprecated(note = "use `handle().query(key, Layer::Speed)` — it also reports staleness")]
     pub fn query_speed_only(&self, key: &str) -> i64 {
-        self.speed.lock().unwrap().get(key).copied().unwrap_or(0)
+        self.handle().query(key, Layer::Speed).value
     }
 
-    /// Number of events in the speed layer (staleness of batch views).
+    /// Number of keys in the *published* real-time view (staleness of
+    /// batch views). With a publish cadence above 1, call
+    /// [`LambdaArchitecture::flush_speed`] first for an exact count.
     pub fn speed_layer_keys(&self) -> usize {
-        self.speed.lock().unwrap().len()
+        self.speed.snapshot().table.len()
     }
 
     /// Total events ingested.
     pub fn ingested(&self) -> u64 {
-        *self.ingested.lock().unwrap()
+        self.ingested.load(Ordering::Relaxed)
     }
 
     /// The master dataset (for inspection/recomputation).
@@ -134,18 +197,22 @@ impl LambdaArchitecture {
         &self.master
     }
 
-    /// Demonstrate the "human fault tolerance" property: rebuild the
-    /// serving layer from scratch (e.g. after a buggy view function) —
-    /// only possible because the master dataset is immutable.
-    pub fn rebuild_from_master(&self) -> u64 {
-        // Views are keyed state; a put overwrites, so a plain re-run is a
-        // full rebuild.
-        self.run_batch()
+    /// A snapshot of the deployment's metrics: `batch.epoch` /
+    /// `speed.epoch` gauges and sampled `batch.query_us` /
+    /// `speed.query_us` point-query latency histograms.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
-    #[allow(dead_code)]
-    fn unused(&self) {
-        let _ = counter_add(None, 0);
+    /// Demonstrate the "human fault tolerance" property: rebuild the
+    /// serving layer from scratch (e.g. after a buggy view function) —
+    /// only possible because the master dataset is immutable. The
+    /// rebuilt views supersede the corrupt epoch atomically.
+    pub fn rebuild_from_master(&self) -> u64 {
+        // Each batch run re-derives every view from raw data and
+        // publishes a whole new epoch, so a plain re-run is a full
+        // rebuild.
+        self.run_batch()
     }
 }
 
@@ -178,8 +245,9 @@ mod tests {
     }
 
     #[test]
-    fn batch_only_is_stale_speed_fills_the_gap() {
+    fn layers_report_value_epoch_and_staleness() {
         let lambda = LambdaArchitecture::new(2).unwrap();
+        let handle = lambda.handle();
         for _ in 0..100 {
             lambda.ingest("x", 1);
         }
@@ -187,9 +255,16 @@ mod tests {
         for _ in 0..7 {
             lambda.ingest("x", 1);
         }
-        assert_eq!(lambda.query_batch_only("x"), 100, "batch view is stale");
-        assert_eq!(lambda.query_speed_only("x"), 7);
-        assert_eq!(lambda.query("x"), 107, "merge = batch + speed");
+        let batch = handle.query("x", Layer::Batch);
+        assert_eq!(batch.value, 100, "batch view is stale");
+        assert_eq!(batch.staleness.behind, Some(7), "7 events past the horizon");
+        assert_eq!(batch.epoch, 1, "one batch run, one batch epoch");
+        let speed = handle.query("x", Layer::Speed);
+        assert_eq!(speed.value, 7);
+        assert_eq!(speed.staleness.behind, Some(0), "speed view is current");
+        let merged = handle.query("x", Layer::Merged);
+        assert_eq!(merged.value, 107, "merge = batch + speed");
+        assert_eq!(merged.staleness.behind, Some(0));
     }
 
     #[test]
@@ -205,14 +280,33 @@ mod tests {
     }
 
     #[test]
+    fn publish_cadence_batches_epochs_and_flush_catches_up() {
+        let lambda = LambdaArchitecture::with_config(1, 8).unwrap();
+        let handle = lambda.handle();
+        for _ in 0..20 {
+            lambda.ingest("x", 1);
+        }
+        // 20 ingests at cadence 8 → 2 published epochs covering 16.
+        let r = handle.query("x", Layer::Speed);
+        assert_eq!(r.value, 16);
+        assert_eq!(r.epoch, 2);
+        assert_eq!(r.staleness.behind, Some(4), "4 ingests still buffered");
+        lambda.flush_speed();
+        let r = handle.query("x", Layer::Speed);
+        assert_eq!((r.value, r.epoch, r.staleness.behind), (20, 3, Some(0)));
+        lambda.flush_speed();
+        assert_eq!(handle.query("x", Layer::Speed).epoch, 3, "clean flush is a no-op");
+    }
+
+    #[test]
     fn rebuild_recovers_from_corrupted_views() {
         let lambda = LambdaArchitecture::new(2).unwrap();
         for _ in 0..30 {
             lambda.ingest("x", 2);
         }
         lambda.run_batch();
-        // Simulate a bad deploy corrupting the serving layer.
-        lambda.serving.put("x", 999i64.to_le_bytes().to_vec());
+        // Simulate a bad deploy publishing a corrupt batch epoch.
+        lambda.batch.publish(HashMap::from([("x".to_string(), 999)]), lambda.ingested());
         assert_eq!(lambda.query("x"), 999);
         // Recompute from the immutable master dataset.
         lambda.rebuild_from_master();
@@ -223,6 +317,39 @@ mod tests {
     fn unknown_keys_are_zero() {
         let lambda = LambdaArchitecture::new(1).unwrap();
         assert_eq!(lambda.query("ghost"), 0);
-        assert_eq!(lambda.query_batch_only("ghost"), 0);
+        let handle = lambda.handle();
+        for layer in [Layer::Batch, Layer::Speed, Layer::Merged] {
+            assert_eq!(handle.query("ghost", layer).value, 0);
+        }
+    }
+
+    #[test]
+    fn deprecated_shims_still_answer() {
+        let lambda = LambdaArchitecture::new(1).unwrap();
+        lambda.ingest("x", 5);
+        #[allow(deprecated)]
+        {
+            assert_eq!(lambda.query_batch_only("x"), 0);
+            assert_eq!(lambda.query_speed_only("x"), 5);
+        }
+    }
+
+    #[test]
+    fn views_report_into_the_metrics_snapshot() {
+        let lambda = LambdaArchitecture::new(1).unwrap();
+        let handle = lambda.handle();
+        for i in 0..200 {
+            lambda.ingest(&format!("k{}", i % 10), 1);
+        }
+        lambda.run_batch();
+        for _ in 0..300 {
+            let _ = handle.query("k0", Layer::Merged);
+        }
+        let snap = lambda.metrics();
+        assert_eq!(snap.gauge("batch.epoch"), Some(1));
+        assert_eq!(snap.gauge("speed.epoch"), Some(201), "200 ingest epochs + batch retire");
+        let batch_h = snap.histogram("batch.query_us").expect("sampled batch reads");
+        let speed_h = snap.histogram("speed.query_us").expect("sampled speed reads");
+        assert!(batch_h.count > 0 && speed_h.count > 0);
     }
 }

@@ -41,6 +41,8 @@ pub mod lambda;
 pub mod log;
 pub mod metrics;
 pub mod operator;
+pub mod query;
+pub mod serving;
 pub mod supervise;
 pub mod time;
 pub mod topology;
@@ -49,7 +51,9 @@ pub mod window;
 
 pub use channel::LinkStats;
 pub use checkpoint::CheckpointStore;
-pub use executor::{run_topology, ExecutorConfig, ExecutorModel, RunResult, Semantics};
+pub use executor::{
+    run_topology, run_topology_with, ExecutorConfig, ExecutorModel, RunResult, Semantics,
+};
 pub use log::{Consumer, Log, Record};
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, HistogramSummary, LinkSnapshot, Metrics,
@@ -59,11 +63,15 @@ pub use operator::{
     decode_checkpoint, frontier_offset, replay_offset, LogSpout, MergeBolt, OperatorConfig,
     SynopsisBolt,
 };
+pub use query::{
+    session, sliding, tumbling, CompiledQuery, ContinuousQuery, Query, ViewEntry, ViewHandle,
+};
+pub use serving::{EpochData, Layer, QueryHandle, QueryResult, ServingView, Staleness, ViewRead};
 pub use supervise::{panic_message, FaultPlan, RestartDecision, RestartPolicy, RestartTracker};
 pub use time::{TimerService, WatermarkConfig, WatermarkGen, WatermarkMerger};
 pub use topology::{
-    vec_spout, Bolt, BoltBuilder, BoltHandle, Grouping, OutputCollector, Spout, SpoutHandle,
-    TopologyBuilder, VecSpout,
+    vec_spout, Bolt, BoltBuilder, BoltFactory, BoltHandle, Grouping, IntoBoltFactory,
+    OutputCollector, Spout, SpoutHandle, TopologyBuilder, VecSpout,
 };
 pub use tuple::{tuple_of, Batch, Tuple, Value};
 pub use window::{WindowBolt, WindowConfig, WindowSpec};

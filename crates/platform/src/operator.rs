@@ -70,11 +70,23 @@ pub struct OperatorConfig {
     /// horizon (true for [`LogSpout`] replay over FIFO links); set to
     /// `None` to retain every token.
     pub gc_horizon: Option<u64>,
+    /// After every successful mid-run commit, also emit the partial
+    /// `[Str(key), Bytes(snapshot), Int(last applied id)]` downstream.
+    /// This is how a compiled continuous query ([`crate::query`]) feeds
+    /// its serving view *while the stream runs*, not only at drain; the
+    /// emitted snapshot is exactly the durable checkpoint, so consumers
+    /// never observe state a crash could roll back.
+    pub emit_on_commit: bool,
 }
 
 impl Default for OperatorConfig {
     fn default() -> Self {
-        Self { checkpoint_every: 256, commit_on_flush: true, gc_horizon: Some(65_536) }
+        Self {
+            checkpoint_every: 256,
+            commit_on_flush: true,
+            gc_horizon: Some(65_536),
+            emit_on_commit: false,
+        }
     }
 }
 
@@ -277,6 +289,18 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
     pub fn restore_us(&self) -> Option<f64> {
         self.restore_us
     }
+
+    /// Emit the just-committed partial (see
+    /// [`OperatorConfig::emit_on_commit`]): checkpoint key, durable
+    /// snapshot, and the progress marker consumers fold into their
+    /// `covers` watermark.
+    fn emit_partial(&self, out: &mut OutputCollector) {
+        out.emit(Tuple::new(vec![
+            Value::Str(self.key.clone()),
+            Value::Bytes(self.summary.snapshot()),
+            Value::Int(self.last_applied as i64),
+        ]));
+    }
 }
 
 impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt for SynopsisBolt<S, F> {
@@ -303,6 +327,9 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt for SynopsisBolt<
         if self.pending.len() as u64 >= self.cfg.checkpoint_every && self.commit() {
             // The commit covered every held input including this one.
             out.release_acks();
+            if self.cfg.emit_on_commit {
+                self.emit_partial(out);
+            }
         } else {
             // Not yet durable (below the cadence, or the write failed):
             // hold the ack so a restart replays this tuple.
@@ -325,6 +352,9 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt for SynopsisBolt<
         // held acks so the spout can settle.
         if !self.pending.is_empty() && self.commit() {
             out.release_acks();
+            if self.cfg.emit_on_commit {
+                self.emit_partial(out);
+            }
         }
     }
 }
@@ -705,6 +735,31 @@ mod tests {
         out.release = false;
         bolt.on_idle(&mut out);
         assert!(!out.release);
+    }
+
+    #[test]
+    fn emit_on_commit_streams_durable_partials() {
+        let store = CheckpointStore::new();
+        let cfg =
+            OperatorConfig { checkpoint_every: 2, emit_on_commit: true, ..Default::default() };
+        let mut bolt =
+            SynopsisBolt::with_config("k", &store, CountSum::default(), apply, cfg).unwrap();
+        let mut out = OutputCollector::new();
+        for id in 1..=4u64 {
+            bolt.execute(&int_tuple(1, id), &mut out);
+        }
+        assert_eq!(out.emitted.len(), 2, "one partial per commit");
+        let t = &out.emitted[1];
+        assert_eq!(t.get(0).unwrap().as_str(), Some("k"));
+        assert_eq!(t.get(2).unwrap().as_int(), Some(4), "partial carries its progress marker");
+        let mut part = CountSum::default();
+        part.restore(t.get(1).unwrap().as_bytes().unwrap()).unwrap();
+        assert_eq!(part, CountSum { n: 4, sum: 4 }, "partial is the durable snapshot");
+        // The on_idle tail commit publishes too.
+        bolt.execute(&int_tuple(1, 5), &mut out);
+        bolt.on_idle(&mut out);
+        assert_eq!(out.emitted.len(), 3);
+        assert_eq!(out.emitted[2].get(2).unwrap().as_int(), Some(5));
     }
 
     #[test]

@@ -1,0 +1,490 @@
+//! The serving index: a lock-free, epoch-swapped table for the Lambda
+//! Architecture's stage 3 (and for every view compiled by
+//! [`crate::query`]).
+//!
+//! The paper's serving layer "indexes batch views for low-latency
+//! queries" — the operational requirement is that *many* concurrent
+//! readers sustain point/merge queries while a writer (the speed layer,
+//! or a batch run) publishes new views. A mutex-guarded map serialises
+//! every reader behind the writer (and behind each other: a lock
+//! convoy); [`ServingView`] removes both:
+//!
+//! * **Readers are lock-free.** Each published generation is an
+//!   immutable [`EpochData`] behind an `Arc`, installed into one slot
+//!   of a small ring. A reader *pins* the current slot (one sharded
+//!   atomic increment), re-checks that the slot is still current, reads
+//!   straight from the immutable table, and unpins. No mutex, no CAS
+//!   retry loop on the hot path, and point queries never touch a shared
+//!   reference count — sixteen readers scale because the only shared
+//!   writes land on per-thread indicator shards.
+//! * **The writer never blocks readers.** Publishing builds the next
+//!   epoch off to the side, waits for the *oldest* slot in the ring to
+//!   drain (readers pinned there finished `SLOTS` generations ago),
+//!   installs the new epoch there, and swings the `current` index.
+//!   In-flight readers keep the epoch they pinned; new readers see the
+//!   new one. Epochs are therefore monotonically non-decreasing per
+//!   reader and a read is never torn across generations.
+//!
+//! The safety argument for the two `unsafe` blocks is spelled out
+//! inline; `tests/serving.rs` drives seeded writer/reader interleavings
+//! (including full ring wrap-arounds) to enforce the protocol's two
+//! observable guarantees: no torn reads, monotone epochs.
+//!
+//! [`QueryHandle`] composes two views — batch and speed — into the
+//! paper's stage-5 merged query, tagging every answer with its epoch
+//! and [`Staleness`] metadata.
+
+use crate::metrics::{GaugeHandle, HistogramHandle, Metrics};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Ring length: a publishing writer reuses the slot `SLOTS - 1`
+/// generations old, so a reader may lag the writer by that many
+/// publishes before the writer has to wait for it to unpin.
+const SLOTS: usize = 8;
+
+/// Read-indicator shards: readers on different threads pin through
+/// different cache lines, so pinning never becomes the convoy it
+/// replaces.
+const INDICATOR_SHARDS: usize = 8;
+
+/// One in this many point queries gets a clock read + histogram insert
+/// when the view is instrumented (the `{view}.query_us` metric).
+const QUERY_SAMPLE_EVERY: u64 = 64;
+
+/// One immutable published generation of a serving view.
+#[derive(Debug)]
+pub struct EpochData<V> {
+    /// Generation number: 0 is the empty pre-publish epoch; `publish`
+    /// increments by one.
+    pub epoch: u64,
+    /// Progress marker the writer stamped on this generation — for the
+    /// Lambda layers it is "events ingested when this view was built",
+    /// for windowed views the served event-time frontier. Readers turn
+    /// it into [`Staleness::behind`].
+    pub covers: u64,
+    /// When this generation was swapped in.
+    pub published: Instant,
+    /// The indexed view itself.
+    pub table: HashMap<String, V>,
+}
+
+/// A padded per-shard counter (its own cache line).
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCounter(AtomicUsize);
+
+/// RCU-style read indicator: `pin` marks a reader inside the slot,
+/// `quiescent` tells the writer no reader remains.
+#[derive(Default)]
+struct ReadIndicator {
+    shards: [PaddedCounter; INDICATOR_SHARDS],
+}
+
+impl ReadIndicator {
+    fn pin(&self, shard: usize) {
+        self.shards[shard].0.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn unpin(&self, shard: usize) {
+        self.shards[shard].0.fetch_sub(1, Ordering::Release);
+    }
+
+    fn quiescent(&self) -> bool {
+        self.shards.iter().all(|s| s.0.load(Ordering::SeqCst) == 0)
+    }
+}
+
+struct Slot<V> {
+    readers: ReadIndicator,
+    /// Only the writer mutates this, and only after `readers` is
+    /// quiescent *and* `current` points elsewhere — see `publish`.
+    data: UnsafeCell<Arc<EpochData<V>>>,
+}
+
+struct Inner<V> {
+    slots: Box<[Slot<V>]>,
+    /// Index of the slot holding the newest published epoch.
+    current: AtomicUsize,
+    /// Serialises writers; holds the last epoch number handed out.
+    writer: Mutex<u64>,
+    /// Sampled point-query latency (`{view}.query_us`), when
+    /// instrumented.
+    query_us: Option<HistogramHandle>,
+    /// Published generation number (`{view}.epoch`), when instrumented.
+    epoch_gauge: Option<GaugeHandle>,
+    /// Per-shard sampling counters for `query_us`.
+    samples: [PaddedCounter; INDICATOR_SHARDS],
+}
+
+// SAFETY: the UnsafeCell is the only non-Sync member. All mutation goes
+// through `publish`, which (a) serialises writers behind `writer` and
+// (b) waits for the slot's read indicator to drain before writing, so a
+// `&EpochData` handed to a pinned reader is never aliased by a write.
+// The acquire/release edges are carried by the SeqCst operations on
+// `current` and the indicator counters (see `pinned`/`publish`).
+unsafe impl<V: Send + Sync> Send for Inner<V> {}
+unsafe impl<V: Send + Sync> Sync for Inner<V> {}
+
+/// Reader shards are assigned round-robin per thread, once.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static READER_SHARD: usize =
+        NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % INDICATOR_SHARDS;
+}
+
+/// A lock-free, epoch-swapped serving index. Clone-cheap (`Arc`
+/// inside): hand one clone to the publishing side and as many as you
+/// like to readers.
+pub struct ServingView<V> {
+    inner: Arc<Inner<V>>,
+}
+
+impl<V> Clone for ServingView<V> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<V: Send + Sync> Default for ServingView<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Send + Sync> ServingView<V> {
+    /// An empty view at epoch 0.
+    pub fn new() -> Self {
+        Self::build(None, None)
+    }
+
+    /// An empty view reporting into `metrics`: point-query latency as
+    /// the `{name}.query_us` histogram (sampled 1-in-64) and the
+    /// published generation as the `{name}.epoch` gauge, both visible
+    /// in [`crate::MetricsSnapshot`].
+    pub fn instrumented(name: &str, metrics: &Metrics) -> Self {
+        Self::build(
+            Some(metrics.register_histogram(&format!("{name}.query_us"))),
+            Some(metrics.register_gauge(&format!("{name}.epoch"))),
+        )
+    }
+
+    fn build(query_us: Option<HistogramHandle>, epoch_gauge: Option<GaugeHandle>) -> Self {
+        let zero = Arc::new(EpochData {
+            epoch: 0,
+            covers: 0,
+            published: Instant::now(),
+            table: HashMap::new(),
+        });
+        let slots = (0..SLOTS)
+            .map(|_| Slot {
+                readers: ReadIndicator::default(),
+                data: UnsafeCell::new(Arc::clone(&zero)),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            inner: Arc::new(Inner {
+                slots,
+                current: AtomicUsize::new(0),
+                writer: Mutex::new(0),
+                query_us,
+                epoch_gauge,
+                samples: Default::default(),
+            }),
+        }
+    }
+
+    /// Run `f` against the current epoch while pinned to its slot. The
+    /// closure must be short — a pinned reader in the *oldest* slot is
+    /// the only thing that can make a writer wait.
+    fn pinned<R>(&self, f: impl FnOnce(&Arc<EpochData<V>>) -> R) -> R {
+        let shard = READER_SHARD.with(|s| *s);
+        loop {
+            let i = self.inner.current.load(Ordering::SeqCst);
+            let slot = &self.inner.slots[i];
+            slot.readers.pin(shard);
+            if self.inner.current.load(Ordering::SeqCst) == i {
+                // SAFETY: the re-check read `current == i` *after* the
+                // pin. `publish` stores `current = i` only after fully
+                // writing the slot's data, and it never rewrites a slot
+                // while its indicator is non-zero — so between pin and
+                // unpin this reference is valid and unaliased by
+                // writes. (A reader that pinned a slot the writer was
+                // about to reuse fails this re-check — the writer moved
+                // `current` away generations ago — and retries without
+                // ever dereferencing.)
+                let r = f(unsafe { &*slot.data.get() });
+                slot.readers.unpin(shard);
+                return r;
+            }
+            // The writer republished between load and pin: retry.
+            slot.readers.unpin(shard);
+        }
+    }
+
+    /// Publish the next generation: `table` becomes the new epoch,
+    /// stamped with the `covers` progress marker. Returns the new epoch
+    /// number. Readers are never blocked; concurrent publishers
+    /// serialise behind an internal writer lock.
+    pub fn publish(&self, table: HashMap<String, V>, covers: u64) -> u64 {
+        let mut last = self.inner.writer.lock().unwrap();
+        *last += 1;
+        let epoch = *last;
+        let data = Arc::new(EpochData { epoch, covers, published: Instant::now(), table });
+        let cur = self.inner.current.load(Ordering::SeqCst);
+        let next = (cur + 1) % SLOTS;
+        let slot = &self.inner.slots[next];
+        // Grace period: wait out readers still pinned to the ring's
+        // oldest generation. They pinned when this slot was current,
+        // `SLOTS - 1` publishes ago; reads are single point lookups, so
+        // in practice this never spins. When it does (a reader was
+        // descheduled mid-pin on an oversubscribed box), yield instead
+        // of burning the timeslice the reader needs to unpin.
+        let mut spins = 0u32;
+        while !slot.readers.quiescent() {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // SAFETY: writers are serialised by the `writer` lock, the slot
+        // is not `current` (readers starting now pin `cur`), and its
+        // indicator just read quiescent — any reader that increments it
+        // from here on will fail the `current == next` re-check until
+        // the store below, which happens after this write completes.
+        unsafe {
+            *slot.data.get() = data;
+        }
+        self.inner.current.store(next, Ordering::SeqCst);
+        if let Some(g) = &self.inner.epoch_gauge {
+            g.set(epoch);
+        }
+        epoch
+    }
+
+    /// The current epoch number (0 before the first publish).
+    pub fn epoch(&self) -> u64 {
+        self.pinned(|d| d.epoch)
+    }
+
+    /// A shared handle to the entire current generation (for merge
+    /// queries, iteration, or holding a consistent view across several
+    /// lookups). The `Arc` keeps the epoch alive after the writer moves
+    /// on.
+    pub fn snapshot(&self) -> Arc<EpochData<V>> {
+        self.pinned(Arc::clone)
+    }
+}
+
+impl<V: Clone + Send + Sync> ServingView<V> {
+    /// Point query: the value under `key` in the current epoch, plus
+    /// the epoch's metadata, read coherently under one pin. Records
+    /// sampled latency into `{view}.query_us` when instrumented.
+    pub fn get(&self, key: &str) -> ViewRead<V> {
+        let sample = self.inner.query_us.is_some() && {
+            let shard = READER_SHARD.with(|s| *s);
+            (self.inner.samples[shard].0.fetch_add(1, Ordering::Relaxed) as u64)
+                .is_multiple_of(QUERY_SAMPLE_EVERY)
+        };
+        let t0 = sample.then(Instant::now);
+        let read = self.pinned(|d| ViewRead {
+            value: d.table.get(key).cloned(),
+            epoch: d.epoch,
+            covers: d.covers,
+            age: d.published.elapsed(),
+        });
+        if let (Some(t0), Some(h)) = (t0, &self.inner.query_us) {
+            h.record(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        read
+    }
+}
+
+/// One coherent point read: the value (if the key is indexed) and the
+/// generation it came from.
+#[derive(Clone, Debug)]
+pub struct ViewRead<V> {
+    /// The indexed value, `None` when the key is absent from this epoch.
+    pub value: Option<V>,
+    /// Epoch the read observed.
+    pub epoch: u64,
+    /// The epoch's progress marker (see [`EpochData::covers`]).
+    pub covers: u64,
+    /// Time since the epoch was published.
+    pub age: Duration,
+}
+
+/// Which Lambda layer answers a [`QueryHandle::query`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layer {
+    /// The batch view alone — stale by whatever the speed layer holds.
+    Batch,
+    /// The real-time view alone — only events since the batch horizon.
+    Speed,
+    /// Stage 5 of Figure 1: batch + speed, the freshest exact answer
+    /// published.
+    Merged,
+}
+
+/// How far behind the live stream an answer is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Staleness {
+    /// Events ingested but not reflected in this answer — `None` when
+    /// the serving side has no ingest watermark to compare against.
+    pub behind: Option<u64>,
+    /// Time since the answering epoch was published.
+    pub age: Duration,
+}
+
+/// A layered query answer with its provenance.
+#[derive(Clone, Debug)]
+pub struct QueryResult<V> {
+    /// The answer (missing keys read as the layer's zero).
+    pub value: V,
+    /// Epoch of the view that answered; for [`Layer::Merged`] the
+    /// *speed* epoch, since the real-time view bounds freshness.
+    pub epoch: u64,
+    /// How far behind the live stream the answer is.
+    pub staleness: Staleness,
+}
+
+/// The one query front door for a keyed-count Lambda deployment:
+/// batch-only, speed-only, or merged answers, each tagged with epoch
+/// and staleness. Clone-cheap; safe to share across reader threads.
+#[derive(Clone)]
+pub struct QueryHandle {
+    batch: ServingView<i64>,
+    speed: ServingView<i64>,
+    ingested: Arc<AtomicU64>,
+}
+
+impl QueryHandle {
+    /// A handle over the two serving views and the deployment's ingest
+    /// counter (the staleness reference point).
+    pub fn new(batch: ServingView<i64>, speed: ServingView<i64>, ingested: Arc<AtomicU64>) -> Self {
+        Self { batch, speed, ingested }
+    }
+
+    /// Answer a point query from the chosen layer. Lock-free: the
+    /// reader path touches only epoch-swapped immutable tables.
+    pub fn query(&self, key: &str, layer: Layer) -> QueryResult<i64> {
+        let ingested = self.ingested.load(Ordering::Relaxed);
+        let behind = |covers: u64| Some(ingested.saturating_sub(covers));
+        match layer {
+            Layer::Batch => {
+                let b = self.batch.get(key);
+                QueryResult {
+                    value: b.value.unwrap_or(0),
+                    epoch: b.epoch,
+                    staleness: Staleness { behind: behind(b.covers), age: b.age },
+                }
+            }
+            Layer::Speed => {
+                let s = self.speed.get(key);
+                QueryResult {
+                    value: s.value.unwrap_or(0),
+                    epoch: s.epoch,
+                    staleness: Staleness { behind: behind(s.covers), age: s.age },
+                }
+            }
+            Layer::Merged => {
+                let b = self.batch.get(key);
+                let s = self.speed.get(key);
+                QueryResult {
+                    value: b.value.unwrap_or(0) + s.value.unwrap_or(0),
+                    epoch: s.epoch,
+                    staleness: Staleness { behind: behind(s.covers), age: s.age },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn publish_and_point_read() {
+        let view: ServingView<i64> = ServingView::new();
+        assert_eq!(view.epoch(), 0);
+        let r = view.get("x");
+        assert!(r.value.is_none());
+        assert_eq!(r.epoch, 0);
+        assert_eq!(view.publish(table(&[("x", 7)]), 10), 1);
+        let r = view.get("x");
+        assert_eq!(r.value, Some(7));
+        assert_eq!(r.epoch, 1);
+        assert_eq!(r.covers, 10);
+        assert!(view.get("ghost").value.is_none());
+    }
+
+    #[test]
+    fn ring_wraps_past_slot_count() {
+        let view: ServingView<i64> = ServingView::new();
+        for e in 1..=(3 * SLOTS as u64) {
+            assert_eq!(view.publish(table(&[("k", e as i64)]), e), e);
+            assert_eq!(view.get("k").value, Some(e as i64));
+            assert_eq!(view.epoch(), e);
+        }
+    }
+
+    #[test]
+    fn snapshot_outlives_later_publishes() {
+        let view: ServingView<i64> = ServingView::new();
+        view.publish(table(&[("k", 1)]), 1);
+        let snap = view.snapshot();
+        for e in 2..=20 {
+            view.publish(table(&[("k", e)]), e as u64);
+        }
+        // The pinned-then-cloned Arc still reads the old generation.
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.table["k"], 1);
+        assert_eq!(view.get("k").value, Some(20));
+    }
+
+    #[test]
+    fn instrumented_view_reports_epoch_and_latency() {
+        let metrics = Metrics::new();
+        let view: ServingView<i64> = ServingView::instrumented("trending", &metrics);
+        view.publish(table(&[("a", 1)]), 1);
+        view.publish(table(&[("a", 2)]), 2);
+        // Enough reads that sampling (1 in 64) must fire.
+        for _ in 0..500 {
+            let _ = view.get("a");
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("trending.epoch"), Some(2));
+        let h = snap.histogram("trending.query_us").expect("sampled queries recorded");
+        assert!(h.count > 0, "no query latencies recorded");
+    }
+
+    #[test]
+    fn query_handle_layers_merge_and_report_staleness() {
+        let batch = ServingView::new();
+        let speed = ServingView::new();
+        let ingested = Arc::new(AtomicU64::new(0));
+        let h = QueryHandle::new(batch.clone(), speed.clone(), ingested.clone());
+        batch.publish(table(&[("x", 100)]), 100);
+        speed.publish(table(&[("x", 7)]), 107);
+        ingested.store(110, Ordering::Relaxed);
+        let b = h.query("x", Layer::Batch);
+        assert_eq!((b.value, b.epoch, b.staleness.behind), (100, 1, Some(10)));
+        let s = h.query("x", Layer::Speed);
+        assert_eq!((s.value, s.staleness.behind), (7, Some(3)));
+        let m = h.query("x", Layer::Merged);
+        assert_eq!((m.value, m.epoch, m.staleness.behind), (107, 1, Some(3)));
+        let ghost = h.query("ghost", Layer::Merged);
+        assert_eq!(ghost.value, 0, "unknown keys read as zero");
+    }
+}

@@ -165,6 +165,69 @@ pub(crate) enum BoltSource {
     Factory(BoltBuilder),
 }
 
+/// The normalised form every [`TopologyBuilder::set_bolt`] argument
+/// lowers to: one task source per declared parallelism slot. Construct
+/// via [`BoltFactory::instances`] / [`BoltFactory::builders`], or hand
+/// `set_bolt` a `Vec<Box<dyn Bolt>>` / `Vec<BoltBuilder>` directly —
+/// both convert through [`IntoBoltFactory`].
+pub struct BoltFactory {
+    pub(crate) sources: Vec<BoltSource>,
+}
+
+impl BoltFactory {
+    /// Tasks from pre-built instances: supervised restarts resume each
+    /// task *in place* (in-memory state survives the panic).
+    pub fn instances(bolts: Vec<Box<dyn Bolt>>) -> Self {
+        Self { sources: bolts.into_iter().map(BoltSource::Instance).collect() }
+    }
+
+    /// Tasks from per-task constructors: the executor calls each
+    /// builder at spawn AND on every supervised restart, so a
+    /// checkpointed bolt ([`crate::operator::SynopsisBolt`],
+    /// [`crate::window::WindowBolt`]) rebuilt here recovers through its
+    /// checkpoint + replay path mid-run.
+    pub fn builders(builders: Vec<BoltBuilder>) -> Self {
+        Self { sources: builders.into_iter().map(BoltSource::Factory).collect() }
+    }
+
+    /// Number of task slots this factory declares.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when no task slots were supplied (always rejected by
+    /// `set_bolt`).
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+/// Conversion accepted by the unified [`TopologyBuilder::set_bolt`]:
+/// plain instance vectors, builder vectors, and explicit
+/// [`BoltFactory`] values all register through the same entry point.
+pub trait IntoBoltFactory {
+    /// Lower into the normalised per-task source list.
+    fn into_factory(self) -> BoltFactory;
+}
+
+impl IntoBoltFactory for BoltFactory {
+    fn into_factory(self) -> BoltFactory {
+        self
+    }
+}
+
+impl IntoBoltFactory for Vec<Box<dyn Bolt>> {
+    fn into_factory(self) -> BoltFactory {
+        BoltFactory::instances(self)
+    }
+}
+
+impl IntoBoltFactory for Vec<BoltBuilder> {
+    fn into_factory(self) -> BoltFactory {
+        BoltFactory::builders(self)
+    }
+}
+
 /// One component (spout or bolt) declaration.
 pub(crate) struct ComponentDecl {
     pub name: String,
@@ -174,6 +237,10 @@ pub(crate) struct ComponentDecl {
     pub inputs: Vec<(String, Grouping)>,
     /// Per-component override of `ExecutorConfig::restart`.
     pub restart: Option<RestartPolicy>,
+    /// Declared output field names, when the component opted in via
+    /// `output_fields`. Lets `validate` range-check downstream
+    /// fields-groupings at build time.
+    pub schema: Option<Vec<String>>,
 }
 
 pub(crate) enum ComponentKind {
@@ -224,6 +291,17 @@ impl<'a> SpoutHandle<'a> {
         self.decl.restart = Some(policy);
         self
     }
+
+    /// Declare the spout's output schema (field names, by position).
+    /// Once declared, [`TopologyBuilder::validate`] rejects any
+    /// downstream fields-grouping that names an index outside it.
+    pub fn output_fields<S: Into<String>>(
+        self,
+        fields: impl IntoIterator<Item = S>,
+    ) -> SpoutHandle<'a> {
+        self.decl.schema = Some(fields.into_iter().map(Into::into).collect());
+        self
+    }
 }
 
 /// Handle for wiring a bolt's inputs.
@@ -262,6 +340,17 @@ impl<'a> BoltHandle<'a> {
         self.decl.restart = Some(policy);
         self
     }
+
+    /// Declare the bolt's output schema (field names, by position).
+    /// Once declared, [`TopologyBuilder::validate`] rejects any
+    /// downstream fields-grouping that names an index outside it.
+    pub fn output_fields<S: Into<String>>(
+        self,
+        fields: impl IntoIterator<Item = S>,
+    ) -> BoltHandle<'a> {
+        self.decl.schema = Some(fields.into_iter().map(Into::into).collect());
+        self
+    }
 }
 
 impl TopologyBuilder {
@@ -280,26 +369,31 @@ impl TopologyBuilder {
             kind: ComponentKind::Spout(instances),
             inputs: Vec::new(),
             restart: None,
+            schema: None,
         });
         SpoutHandle { decl: self.components.last_mut().unwrap() }
     }
 
-    /// Declare a bolt; parallelism = number of instances supplied.
-    /// Returns a handle to wire its inputs. Tasks declared this way
-    /// survive supervised restarts *in place* (same instance, state
-    /// kept); use [`TopologyBuilder::set_bolt_builders`] for tasks that
-    /// should be rebuilt from their checkpoint instead.
-    pub fn set_bolt(&mut self, name: &str, instances: Vec<Box<dyn Bolt>>) -> BoltHandle<'_> {
-        assert!(!instances.is_empty(), "need at least one bolt instance");
-        self.declare_bolt(name, instances.into_iter().map(BoltSource::Instance).collect())
+    /// Declare a bolt; parallelism = number of task sources supplied.
+    /// Returns a handle to wire its inputs.
+    ///
+    /// The one registration entry point: accepts anything convertible
+    /// via [`IntoBoltFactory`] —
+    ///
+    /// * `Vec<Box<dyn Bolt>>` — pre-built instances; supervised
+    ///   restarts resume each task *in place* (state kept);
+    /// * `Vec<BoltBuilder>` — per-task constructors, re-invoked on
+    ///   every supervised restart so checkpointed bolts recover through
+    ///   their checkpoint + replay path;
+    /// * an explicit [`BoltFactory`] (what both of the above lower to).
+    pub fn set_bolt(&mut self, name: &str, bolts: impl IntoBoltFactory) -> BoltHandle<'_> {
+        let factory = bolts.into_factory();
+        assert!(!factory.is_empty(), "need at least one bolt instance");
+        self.declare_bolt(name, factory.sources)
     }
 
-    /// Declare a bolt from per-task constructors; parallelism = number
-    /// of builders supplied. The executor calls each builder at spawn
-    /// AND on every supervised restart of that task — a checkpointed
-    /// bolt ([`crate::operator::SynopsisBolt`],
-    /// [`crate::window::WindowBolt`]) built here therefore recovers
-    /// through its checkpoint + replay path mid-run.
+    /// Declare a bolt from per-task constructors.
+    #[deprecated(note = "use `set_bolt` — it accepts `Vec<BoltBuilder>` directly")]
     pub fn set_bolt_builders(&mut self, name: &str, builders: Vec<BoltBuilder>) -> BoltHandle<'_> {
         assert!(!builders.is_empty(), "need at least one bolt builder");
         self.declare_bolt(name, builders.into_iter().map(BoltSource::Factory).collect())
@@ -312,12 +406,21 @@ impl TopologyBuilder {
             kind: ComponentKind::Bolt(sources),
             inputs: Vec::new(),
             restart: None,
+            schema: None,
         });
         BoltHandle { decl: self.components.last_mut().unwrap() }
     }
 
     /// Validate the wiring: every input references a declared component,
-    /// no self-loops, spouts have no inputs, names are unique.
+    /// no self-loops, spouts have no inputs, names are unique, and every
+    /// fields-grouping stays inside its upstream's declared schema
+    /// (components without an `output_fields` declaration are exempt).
+    ///
+    /// The schema check matters because a fields-grouping on an absent
+    /// index does not fail at runtime — the missing field simply
+    /// contributes nothing to the routing hash, silently degenerating
+    /// the partitioning (worst case: every key lands on one task).
+    /// Build-time rejection is the only place the mistake is visible.
     ///
     /// `run_topology` calls this automatically; problems surface as
     /// typed [`TopologyError`] variants inside
@@ -329,8 +432,13 @@ impl TopologyBuilder {
                 return Err(TopologyError::DuplicateComponent(c.name.clone()).into());
             }
         }
+        let arity: std::collections::HashMap<&str, usize> = self
+            .components
+            .iter()
+            .filter_map(|c| c.schema.as_ref().map(|s| (c.name.as_str(), s.len())))
+            .collect();
         for c in &self.components {
-            for (up, _) in &c.inputs {
+            for (up, grouping) in &c.inputs {
                 if up == &c.name {
                     return Err(TopologyError::SelfLoop(c.name.clone()).into());
                 }
@@ -340,6 +448,18 @@ impl TopologyBuilder {
                         upstream: up.clone(),
                     }
                     .into());
+                }
+                if let (Grouping::Fields(fields), Some(&arity)) = (grouping, arity.get(up.as_str()))
+                {
+                    if let Some(&field) = fields.iter().find(|&&f| f >= arity) {
+                        return Err(TopologyError::FieldOutOfRange {
+                            component: c.name.clone(),
+                            upstream: up.clone(),
+                            field,
+                            arity,
+                        }
+                        .into());
+                    }
                 }
             }
             if matches!(c.kind, ComponentKind::Spout(_)) && !c.inputs.is_empty() {
@@ -446,6 +566,88 @@ mod tests {
             tb.validate(),
             Err(sa_core::SaError::Topology(TopologyError::DuplicateComponent(n))) if n == "x"
         ));
+    }
+
+    #[test]
+    fn builder_rejects_fields_grouping_outside_declared_schema() {
+        // Regression: before build-time schema validation, grouping on a
+        // field the upstream never emits silently degenerated routing
+        // (the absent index contributes nothing to the hash).
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("tweets", vec![vec_spout(vec![])]).output_fields(["user", "tag"]);
+        tb.set_bolt("agg", vec![noop_bolt()]).fields("tweets", vec![2]);
+        match tb.validate() {
+            Err(sa_core::SaError::Topology(TopologyError::FieldOutOfRange {
+                component,
+                upstream,
+                field,
+                arity,
+            })) => {
+                assert_eq!((component.as_str(), upstream.as_str()), ("agg", "tweets"));
+                assert_eq!((field, arity), (2, 2));
+            }
+            other => panic!("expected FieldOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fields_grouping_inside_declared_schema_passes() {
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("tweets", vec![vec_spout(vec![])]).output_fields(["user", "tag"]);
+        tb.set_bolt("agg", vec![noop_bolt()]).fields("tweets", vec![0, 1]);
+        assert!(tb.validate().is_ok());
+    }
+
+    #[test]
+    fn undeclared_schema_stays_unchecked() {
+        // Opt-in: components that never declared output_fields keep the
+        // old permissive behaviour.
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("tweets", vec![vec_spout(vec![])]);
+        tb.set_bolt("agg", vec![noop_bolt()]).fields("tweets", vec![7]);
+        assert!(tb.validate().is_ok());
+    }
+
+    #[test]
+    fn bolt_schema_checks_downstream_groupings_too() {
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("s", vec![vec_spout(vec![])]);
+        tb.set_bolt("mid", vec![noop_bolt()]).shuffle("s").output_fields(["key"]);
+        tb.set_bolt("sink", vec![noop_bolt()]).fields("mid", vec![1]);
+        assert!(matches!(
+            tb.validate(),
+            Err(sa_core::SaError::Topology(TopologyError::FieldOutOfRange { field: 1, .. }))
+        ));
+    }
+
+    #[test]
+    fn set_bolt_accepts_builders_and_factories() {
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("s", vec![vec_spout(vec![])]);
+        let builders: Vec<BoltBuilder> =
+            vec![Box::new(|| Ok(noop_bolt())), Box::new(|| Ok(noop_bolt()))];
+        let h = tb.set_bolt("built", builders);
+        h.shuffle("s");
+        tb.set_bolt("wrapped", BoltFactory::instances(vec![noop_bolt()])).shuffle("s");
+        assert!(tb.validate().is_ok());
+        assert_eq!(tb.components[1].parallelism, 2);
+    }
+
+    #[test]
+    fn deprecated_builder_shim_still_registers_factories() {
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("s", vec![vec_spout(vec![])]);
+        #[allow(deprecated)]
+        tb.set_bolt_builders("b", vec![Box::new(|| Ok(noop_bolt())) as BoltBuilder]).shuffle("s");
+        assert!(tb.validate().is_ok());
+        assert!(matches!(
+            tb.components[1].kind,
+            ComponentKind::Bolt(ref s) if matches!(s[0], BoltSource::Factory(_))
+        ));
+    }
+
+    fn noop_bolt() -> Box<dyn Bolt> {
+        Box::new(|_: &Tuple, _: &mut OutputCollector| {})
     }
 
     #[test]

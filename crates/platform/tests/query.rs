@@ -1,0 +1,180 @@
+//! Merge correctness under chaos: whatever the path to the serving
+//! layer — a compiled continuous query surviving injected panics and
+//! link drops, or a Lambda deployment with ingest, batch retirement,
+//! and readers racing on separate threads — the served answer must
+//! equal a clean replay of the immutable master dataset.
+
+use sa_core::rng::SplitMix64;
+use sa_platform::{
+    CheckpointStore, ExecutorConfig, FaultPlan, Layer, Log, LogSpout, Query, Record, RestartPolicy,
+    Semantics, Spout, Tuple,
+};
+use sa_sketches::heavy_hitters::SpaceSaving;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Append a skewed word stream to the log's single partition.
+fn fill_log(log: &Log, n: usize, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..n {
+        let i = rng.next_below(30).min(rng.next_below(30));
+        log.append(&format!("w{i:02}"), Vec::new());
+    }
+}
+
+/// The ground truth: a clean, fault-free replay of the master dataset.
+fn replay_master_keys(log: &Log) -> HashMap<String, u64> {
+    let mut truth: HashMap<String, u64> = HashMap::new();
+    for p in 0..log.partitions() {
+        let end = log.end_offset(p) as usize;
+        for rec in log.read(p, 0, end) {
+            *truth.entry(rec.key).or_default() += 1;
+        }
+    }
+    truth
+}
+
+/// A compiled query under the chaos harness (1% task panics + 1% link
+/// drops, lenient restart budget): the served global aggregate must be
+/// bit-identical to the replayed-master ground truth — every replayed
+/// tuple deduplicated, every restarted task recovered from checkpoint,
+/// every served epoch durable.
+#[test]
+fn chaos_run_serves_exactly_the_replayed_master() {
+    let log = Log::new(1).unwrap();
+    fill_log(&log, 2_000, 4242);
+    let truth = replay_master_keys(&log);
+
+    let store = CheckpointStore::new();
+    let spout = LogSpout::new(&log, 0, 0, 0, |r: &Record| sa_platform::tuple_of([r.key.as_str()]))
+        .with_frontier(&store, "log.frontier", 32);
+
+    let compiled = Query::from("log")
+        .source_fields(["word"])
+        .key_by(vec![0])
+        .parallelism(2)
+        .checkpoint(&store)
+        .checkpoint_every(50)
+        .aggregate(SpaceSaving::<String>::new(64).unwrap(), |t: &Tuple, s| {
+            s.insert(t.get(0).unwrap().as_str().unwrap().to_string());
+        })
+        .serve("counts")
+        .compile(vec![Box::new(spout) as Box<dyn Spout>])
+        .unwrap();
+    let view = compiled.view();
+
+    let config = ExecutorConfig {
+        semantics: Semantics::AtLeastOnce,
+        ack_timeout: Duration::from_millis(200),
+        shutdown_timeout: Duration::from_secs(30),
+        seed: 11,
+        restart: RestartPolicy::default()
+            .base(Duration::from_micros(10))
+            .cap(Duration::from_micros(200))
+            .budget(10_000, Duration::from_secs(60)),
+        faults: FaultPlan::new(99).panic_on("counts.agg", 0.01).drop_on("log", 0.01),
+        ..Default::default()
+    };
+    let result = compiled.run(config).unwrap();
+    assert!(result.clean_shutdown);
+
+    let served = view.global().expect("view published").value;
+    // k=64 > 30 distinct words → SpaceSaving is exact here, so the
+    // served counts must *equal* the replay, not just bound it.
+    let got: HashMap<String, u64> =
+        served.heavy_hitters(0.0).into_iter().map(|h| (h.item, h.count)).collect();
+    assert_eq!(got, truth, "served view diverged from the replayed master");
+
+    let snap = result.metrics.snapshot();
+    assert!(snap.task_panics > 0, "chaos plan never fired");
+    assert_eq!(snap.escalations, 0);
+    assert!(snap.gauge("counts.epoch").unwrap_or(0) > 0, "view instruments in the snapshot");
+}
+
+/// Lambda merge correctness under thread chaos: two ingest threads, a
+/// batch thread retiring the speed layer mid-stream, and readers
+/// hammering merged queries throughout. After the dust settles,
+/// `batch + speed` for every key must equal the replayed master — no
+/// double counting across the batch horizon, no lost tail.
+#[test]
+fn lambda_merge_equals_replayed_master_under_interleaved_chaos() {
+    use sa_platform::lambda::LambdaArchitecture;
+
+    const INGESTERS: u64 = 2;
+    const PER_THREAD: u64 = 600;
+    for seed in 0..6u64 {
+        let lambda = Arc::new(LambdaArchitecture::with_config(2, 16).unwrap());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..2)
+            .map(|r| {
+                let lambda = lambda.clone();
+                let done = done.clone();
+                thread::spawn(move || {
+                    let handle = lambda.handle();
+                    let mut rng = SplitMix64::new(seed ^ (0xbeef + r));
+                    let mut last_epoch = 0;
+                    while !done.load(Ordering::SeqCst) {
+                        let key = format!("w{:02}", rng.next_below(30));
+                        let merged = handle.query(&key, Layer::Merged);
+                        assert!(merged.value >= 0, "merged count went negative");
+                        assert!(merged.epoch >= last_epoch, "speed epoch regressed");
+                        last_epoch = merged.epoch;
+                    }
+                })
+            })
+            .collect();
+
+        let batcher = {
+            let lambda = lambda.clone();
+            let done = done.clone();
+            thread::spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    lambda.run_batch();
+                    thread::yield_now();
+                }
+            })
+        };
+
+        let ingesters: Vec<_> = (0..INGESTERS)
+            .map(|t| {
+                let lambda = lambda.clone();
+                thread::spawn(move || {
+                    let mut rng = SplitMix64::new(seed.wrapping_mul(31) + t);
+                    for _ in 0..PER_THREAD {
+                        let i = rng.next_below(30).min(rng.next_below(30));
+                        lambda.ingest(&format!("w{i:02}"), 1);
+                        if rng.next_below(8) == 0 {
+                            thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for t in ingesters {
+            t.join().unwrap();
+        }
+        done.store(true, Ordering::SeqCst);
+        batcher.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+
+        lambda.flush_speed();
+        assert_eq!(lambda.ingested(), INGESTERS * PER_THREAD);
+        let truth = replay_master_keys(lambda.master());
+        assert_eq!(truth.values().sum::<u64>(), INGESTERS * PER_THREAD);
+        let handle = lambda.handle();
+        for (key, want) in &truth {
+            let got = handle.query(key, Layer::Merged).value;
+            assert_eq!(
+                got, *want as i64,
+                "batch+speed diverged from replayed master for {key} (seed {seed})"
+            );
+        }
+    }
+}

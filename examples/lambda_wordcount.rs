@@ -11,9 +11,12 @@
 
 use streaming_analytics::core::generators::ZipfStream;
 use streaming_analytics::platform::lambda::LambdaArchitecture;
+use streaming_analytics::prelude::Layer;
 
 fn main() {
-    let lambda = LambdaArchitecture::new(8).unwrap();
+    // Publish a speed epoch every 1024 ingests: the write side batches
+    // its epoch-swaps while readers stay lock-free throughout.
+    let lambda = LambdaArchitecture::with_config(8, 1024).unwrap();
     let mut gen = ZipfStream::new(10_000, 1.1, 77);
 
     println!("ingesting 300k hashtag events with a batch run every 100k…\n");
@@ -31,11 +34,23 @@ fn main() {
         }
     }
 
+    // Publish the sub-cadence tail so the real-time view is current,
+    // then query every layer through the one front door.
+    lambda.flush_speed();
+    let handle = lambda.handle();
     let probe = "#tag0";
     println!("\nquery '{probe}' after {} events:", lambda.ingested());
-    println!("  batch view only : {}", lambda.query_batch_only(probe));
-    println!("  speed view only : {}", lambda.query_speed_only(probe));
-    println!("  merged (lambda) : {}", lambda.query(probe));
+    for (name, layer) in
+        [("batch view", Layer::Batch), ("speed view", Layer::Speed), ("merged", Layer::Merged)]
+    {
+        let r = handle.query(probe, layer);
+        println!(
+            "  {name:<11}: {:>6}  (epoch {}, {} events behind)",
+            r.value,
+            r.epoch,
+            r.staleness.behind.unwrap_or(0)
+        );
+    }
 
     // Stage-5 correctness: merged query equals a full recount of the
     // master dataset.

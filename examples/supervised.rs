@@ -42,7 +42,7 @@ fn main() {
         .with_frontier(&store, "words.frontier", 32);
     tb.set_spout("words", vec![Box::new(spout) as Box<dyn Spout>]);
     let wc_store = store.clone();
-    tb.set_bolt_builders(
+    tb.set_bolt(
         "wc",
         vec![Box::new(move || {
             let update = |t: &Tuple, s: &mut SpaceSaving<String>| {

@@ -33,4 +33,10 @@ echo "== chaos gate (supervision: panics, drops, kills, quarantine) =="
 cargo test -q --test chaos
 cargo run --release -q --example supervised > /dev/null
 
+echo "== query gate (declarative plans, epoch-swapped serving, lambda merge) =="
+cargo test -q -p sa-platform --test query --test serving
+cargo run --release -q --example trending_hashtags > /dev/null
+cargo run --release -q --example lambda_wordcount > /dev/null
+cargo run --release -q -p sa-bench --bin experiments t2.g
+
 echo "CI gate passed."

@@ -60,16 +60,19 @@ pub mod prelude {
     pub use sa_core::error::{Result, SaError, TopologyError};
     pub use sa_core::synopsis::Synopsis;
     pub use sa_core::traits::{
-        CardinalityEstimator, FrequencyEstimator, MembershipFilter, Merge, QuantileSketch,
+        Aggregator, CardinalityEstimator, FrequencyEstimator, MembershipFilter, Merge,
+        QuantileSketch,
     };
     pub use sa_platform::{
-        decode_checkpoint, frontier_offset, replay_offset, run_topology, tuple_of, vec_spout,
-        Batch, Bolt, BoltBuilder, BoltHandle, CheckpointStore, Consumer, CounterHandle,
-        ExecutorConfig, ExecutorModel, FaultPlan, GaugeHandle, Grouping, HistogramSummary,
-        LinkSnapshot, LinkStats, Log, LogSpout, MergeBolt, Metrics, MetricsSnapshot,
-        OperatorConfig, OutputCollector, Record, RestartDecision, RestartPolicy, RestartTracker,
-        RunResult, Semantics, Spout, SpoutHandle, SynopsisBolt, TimerService, TopologyBuilder,
-        Tuple, Value, VecSpout, WatermarkConfig, WatermarkGen, WatermarkMerger, WindowBolt,
-        WindowConfig, WindowSpec,
+        decode_checkpoint, frontier_offset, replay_offset, run_topology, run_topology_with,
+        session, sliding, tumbling, tuple_of, vec_spout, Batch, Bolt, BoltBuilder, BoltFactory,
+        BoltHandle, CheckpointStore, CompiledQuery, Consumer, ContinuousQuery, CounterHandle,
+        EpochData, ExecutorConfig, ExecutorModel, FaultPlan, GaugeHandle, Grouping,
+        HistogramSummary, IntoBoltFactory, Layer, LinkSnapshot, LinkStats, Log, LogSpout,
+        MergeBolt, Metrics, MetricsSnapshot, OperatorConfig, OutputCollector, Query, QueryHandle,
+        QueryResult, Record, RestartDecision, RestartPolicy, RestartTracker, RunResult, Semantics,
+        ServingView, Spout, SpoutHandle, Staleness, SynopsisBolt, TimerService, TopologyBuilder,
+        Tuple, Value, VecSpout, ViewEntry, ViewHandle, ViewRead, WatermarkConfig, WatermarkGen,
+        WatermarkMerger, WindowBolt, WindowConfig, WindowSpec,
     };
 }

@@ -101,7 +101,7 @@ fn eo_wordcount(
             Ok(Box::new(bolt) as Box<dyn Bolt>)
         }));
     }
-    tb.set_bolt_builders("wc", builders).fields("log", vec![0]);
+    tb.set_bolt("wc", builders).fields("log", vec![0]);
     tb
 }
 
