@@ -145,6 +145,9 @@ fn main() {
     if want("t2.g") {
         t2g_query_serving(&mut r);
     }
+    if want("t2.h") {
+        t2h_scheduler(&mut r);
+    }
     if want("f1") {
         f1_lambda(&mut r);
     }
@@ -1943,6 +1946,142 @@ fn t2g_query_serving(r: &mut Recorder) {
     ));
     std::fs::write("BENCH_query.json", out).ok();
     println!("  [p99 16-reader/1-reader ratio: {ratio:.2} -> BENCH_query.json]");
+}
+
+// ---------------------------------------------------------------- T2.H
+/// Scheduler ablation. Two workloads isolate the two claims:
+///
+/// * **wide64** — one bolt component with 64 latency-bound tasks
+///   (20 µs simulated I/O per tuple, at-most-once). Thread-per-task
+///   overlaps all 64 sleeps with 64 dedicated threads; the
+///   work-stealing pool must recover that overlap with a handful of
+///   workers. The acceptance bar is ≥2× throughput from 1 → 4 workers.
+/// * **chain3** — a CPU-light three-stage pipeline at parallelism 1,
+///   where per-tuple cost is dominated by the channel hop. Chain fusion
+///   collapses it into one activation per input; fused must beat
+///   unfused on the same single worker.
+fn t2h_scheduler(r: &mut Recorder) {
+    use sa_platform::topology::{vec_spout, Bolt};
+    use sa_platform::tuple::tuple_of;
+    use sa_platform::*;
+    use std::time::Duration;
+    r.section("T2.H", "Scheduler — work-stealing worker sweep & chain fusion");
+
+    let wide_n = 4_000usize;
+    let run_wide = |scheduling: Scheduling| -> f64 {
+        let tuples: Vec<Tuple> = (0..wide_n).map(|i| tuple_of([i as i64])).collect();
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("src", vec![vec_spout(tuples)]);
+        let bolts: Vec<Box<dyn Bolt>> = (0..64)
+            .map(|_| {
+                Box::new(|t: &Tuple, o: &mut OutputCollector| {
+                    std::thread::sleep(Duration::from_micros(20)); // simulated I/O
+                    o.emit(t.clone());
+                }) as Box<dyn Bolt>
+            })
+            .collect();
+        tb.set_bolt("io", bolts).shuffle("src");
+        let (res, secs) = timed(|| {
+            run_topology(
+                tb,
+                ExecutorConfig {
+                    scheduling,
+                    semantics: Semantics::AtMostOnce,
+                    shutdown_timeout: Duration::from_secs(60),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        });
+        assert!(res.clean_shutdown);
+        assert_eq!(res.outputs.get("io").map_or(0, Vec::len), wide_n);
+        wide_n as f64 / secs / 1e3
+    };
+    let mut wide_rows: Vec<(String, f64)> = Vec::new();
+    let tpt = run_wide(Scheduling::ThreadPerTask);
+    wide_rows.push(("wide64, thread-per-task (65 threads)".into(), tpt));
+    let mut by_workers = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let ktps = run_wide(Scheduling::WorkStealing { workers });
+        by_workers.push((workers, ktps));
+        wide_rows.push((format!("wide64, work-stealing workers={workers}"), ktps));
+    }
+    for (label, ktps) in &wide_rows {
+        r.row(label, &[("Ktuples/s", f(*ktps)), ("n", wide_n.to_string())]);
+    }
+    let scaling = by_workers[2].1 / by_workers[0].1.max(1e-9);
+
+    let chain_n = 200_000usize;
+    let run_chain = |scheduling: Scheduling, fuse_chains: bool| -> f64 {
+        let tuples: Vec<Tuple> = (0..chain_n).map(|i| tuple_of([(i % 100) as i64])).collect();
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("src", vec![vec_spout(tuples)]);
+        let scale = |t: &Tuple, o: &mut OutputCollector| {
+            let v = t.get(0).and_then(Value::as_int).unwrap();
+            o.emit(tuple_of([v * 3]));
+        };
+        tb.set_bolt("scale", vec![Box::new(scale) as Box<dyn Bolt>]).shuffle("src");
+        let add = |t: &Tuple, o: &mut OutputCollector| {
+            let v = t.get(0).and_then(Value::as_int).unwrap();
+            o.emit(tuple_of([v + 1]));
+        };
+        tb.set_bolt("add", vec![Box::new(add) as Box<dyn Bolt>]).shuffle("scale");
+        let sink = |_t: &Tuple, _o: &mut OutputCollector| {};
+        tb.set_bolt("sink", vec![Box::new(sink) as Box<dyn Bolt>]).shuffle("add");
+        let (res, secs) = timed(|| {
+            run_topology(
+                tb,
+                ExecutorConfig {
+                    scheduling,
+                    fuse_chains,
+                    semantics: Semantics::AtMostOnce,
+                    shutdown_timeout: Duration::from_secs(60),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        });
+        assert!(res.clean_shutdown);
+        chain_n as f64 / secs / 1e3
+    };
+    let fused = run_chain(Scheduling::WorkStealing { workers: 1 }, true);
+    let unfused = run_chain(Scheduling::WorkStealing { workers: 1 }, false);
+    let chain_tpt = run_chain(Scheduling::ThreadPerTask, false);
+    for (label, ktps) in [
+        ("chain3, ws-1 fused", fused),
+        ("chain3, ws-1 unfused", unfused),
+        ("chain3, thread-per-task", chain_tpt),
+    ] {
+        r.row(label, &[("Ktuples/s", f(ktps)), ("n", chain_n.to_string())]);
+    }
+    let fusion = fused / unfused.max(1e-9);
+
+    // Persist for CI trend lines. Acceptance bars: ≥2× wide64
+    // throughput from 1 → 4 workers, and fused ≥ unfused on the chain.
+    let mut out = String::from("{\n  \"experiment\": \"t2.h\",\n  \"wide64_ktuples_s\": [\n");
+    out.push_str(&format!(
+        "    {{\"scheduler\": \"thread-per-task\", \"ktuples_s\": {tpt:.1}}},\n"
+    ));
+    for (i, (workers, ktps)) in by_workers.iter().enumerate() {
+        let sep = if i + 1 == by_workers.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"scheduler\": \"work-stealing\", \"workers\": {workers}, \
+             \"ktuples_s\": {ktps:.1}}}{sep}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"chain3_ktuples_s\": {{\"ws1_fused\": {fused:.1}, \"ws1_unfused\": \
+         {unfused:.1}, \"thread_per_task\": {chain_tpt:.1}}},\n  \
+         \"ws_scaling_4_over_1\": {scaling:.2},\n  \"fused_over_unfused\": {fusion:.2},\n  \
+         \"scaling_ok\": {},\n  \"fusion_wins\": {}\n}}\n",
+        scaling >= 2.0,
+        fusion > 1.0
+    ));
+    std::fs::write("BENCH_sched.json", out).ok();
+    println!(
+        "  [wide64 ws 1->4 scaling: {scaling:.2}x, chain fused/unfused: {fusion:.2}x \
+         -> BENCH_sched.json]"
+    );
 }
 
 // ---------------------------------------------------------------- S2.H

@@ -1,7 +1,13 @@
 //! Executor links: a thin front over `std::sync::mpsc` that lets one
 //! `Sender` type carry both flavours the two executor models need —
 //! rendezvous-bounded (ProcessPerTask / Heron, blocking send =
-//! backpressure) and unbounded (Multiplexed / Storm).
+//! backpressure) and unbounded (Multiplexed / Storm) — plus the
+//! scheduling primitives of the work-stealing runtime: [`Notifier`]
+//! (condvar-based idle waiting, no sleep-polling), `WsDeque` (a
+//! fixed-capacity Chase–Lev work-stealing deque over atomic cells, no
+//! `unsafe`), `Injector` (the global overflow/handoff queue workers
+//! park on), and inbox links (`inbox_channel`) whose sends invoke a
+//! scheduler wake hook instead of unblocking a thread.
 //!
 //! Links can carry a [`LinkStats`] gauge (see
 //! [`channel_instrumented`]): every successful send bumps a depth
@@ -12,9 +18,10 @@
 //! All accounting is relaxed atomics; the uncontended cost is two
 //! `fetch_add`s per message, paid once per *batch* on executor links.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
-use std::time::Instant;
+use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Shared depth/backpressure gauge of one (bundle of) link(s).
 /// Clone-cheap; clones share the atomics, so all queues of one
@@ -94,6 +101,11 @@ enum SenderKind<T> {
     Bounded(mpsc::SyncSender<T>),
     /// Unbounded queue: `send` never blocks.
     Unbounded(mpsc::Sender<T>),
+    /// Work-stealing inbox: an unbounded queue owned by a scheduler
+    /// slot. Every send invokes `wake`, which (re)schedules the owning
+    /// task on the worker pool — there is no thread blocked on the
+    /// receiving side to unblock.
+    Inbox { q: Arc<Mutex<VecDeque<T>>>, wake: Arc<dyn Fn() + Send + Sync> },
 }
 
 impl<T> Clone for SenderKind<T> {
@@ -101,6 +113,7 @@ impl<T> Clone for SenderKind<T> {
         match self {
             SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
             SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
+            SenderKind::Inbox { q, wake } => SenderKind::Inbox { q: q.clone(), wake: wake.clone() },
         }
     }
 }
@@ -109,11 +122,14 @@ impl<T> Clone for SenderKind<T> {
 pub struct Sender<T> {
     kind: SenderKind<T>,
     stats: Option<LinkStats>,
+    /// Bumped after every successful send: the receiving worker parks
+    /// on this instead of sleep-polling its queues.
+    note: Option<Arc<Notifier>>,
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        Self { kind: self.kind.clone(), stats: self.stats.clone() }
+        Self { kind: self.kind.clone(), stats: self.stats.clone(), note: self.note.clone() }
     }
 }
 
@@ -144,11 +160,18 @@ impl<T> Sender<T> {
                 Err(mpsc::TrySendError::Disconnected(_)) => Err(Disconnected),
             },
             SenderKind::Unbounded(s) => s.send(value).map_err(|_| Disconnected),
+            SenderKind::Inbox { q, wake } => {
+                q.lock().unwrap().push_back(value);
+                wake();
+                Ok(())
+            }
         };
         if sent.is_err() {
             if let Some(stats) = &self.stats {
                 stats.on_send_failed();
             }
+        } else if let Some(note) = &self.note {
+            note.notify();
         }
         sent
     }
@@ -218,24 +241,326 @@ fn build<T>(capacity: Option<usize>, stats: Option<LinkStats>) -> (Sender<T>, Re
         Some(n) => {
             let (s, r) = mpsc::sync_channel(n);
             (
-                Sender { kind: SenderKind::Bounded(s), stats: stats.clone() },
+                Sender { kind: SenderKind::Bounded(s), stats: stats.clone(), note: None },
                 Receiver { inner: r, stats },
             )
         }
         None => {
             let (s, r) = mpsc::channel();
             (
-                Sender { kind: SenderKind::Unbounded(s), stats: stats.clone() },
+                Sender { kind: SenderKind::Unbounded(s), stats: stats.clone(), note: None },
                 Receiver { inner: r, stats },
             )
         }
     }
 }
 
+/// A link whose sends additionally bump `note` — the receiving worker
+/// waits on the notifier (with a short timeout for time-based retries)
+/// instead of sleep-polling, so an idle topology burns ~0 CPU.
+pub(crate) fn channel_noted<T>(
+    capacity: Option<usize>,
+    stats: Option<LinkStats>,
+    note: Arc<Notifier>,
+) -> (Sender<T>, Receiver<T>) {
+    let (mut s, r) = build(capacity, stats);
+    s.note = Some(note);
+    (s, r)
+}
+
+/// Receiving half of an inbox link: a plain pollable queue. Inboxes
+/// have no blocking `recv` — the scheduler runs the owning task when
+/// the send-side wake hook fires, and the task drains with
+/// [`InboxReceiver::try_pop`].
+pub(crate) struct InboxReceiver<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+    stats: Option<LinkStats>,
+}
+
+impl<T> InboxReceiver<T> {
+    /// Pop the oldest queued message, if any.
+    pub fn try_pop(&self) -> Option<T> {
+        let msg = self.q.lock().unwrap().pop_front()?;
+        if let Some(stats) = &self.stats {
+            stats.on_recv();
+        }
+        Some(msg)
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.lock().unwrap().is_empty()
+    }
+}
+
+/// A work-stealing inbox link: unbounded, and every send invokes
+/// `wake` after enqueueing (the scheduler uses it to mark the owning
+/// task runnable). FIFO per queue, like every other link flavour.
+pub(crate) fn inbox_channel<T>(
+    stats: Option<LinkStats>,
+    wake: Arc<dyn Fn() + Send + Sync>,
+) -> (Sender<T>, InboxReceiver<T>) {
+    let q = Arc::new(Mutex::new(VecDeque::new()));
+    (
+        Sender { kind: SenderKind::Inbox { q: q.clone(), wake }, stats: stats.clone(), note: None },
+        InboxReceiver { q, stats },
+    )
+}
+
+/// A lost-wakeup-free event counter: waiters snapshot [`Notifier::seq`]
+/// *before* their final re-check of whatever condition they sleep on,
+/// then call [`Notifier::wait_past`] — if the event fired in between,
+/// the sequence number already moved and the wait returns immediately.
+/// Replaces the executor's historical `sleep(200µs)` polling loops:
+/// idle tasks now burn ~0 CPU and wake promptly when signalled.
+///
+/// `notify` is cheap when nobody is waiting (one relaxed-ish atomic
+/// add plus one load), so it can sit on the per-batch send path.
+#[derive(Default)]
+pub struct Notifier {
+    seq: AtomicU64,
+    waiters: AtomicUsize,
+    mx: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Notifier {
+    /// A fresh notifier at sequence 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current sequence number. Snapshot this before the final
+    /// condition re-check that precedes [`Notifier::wait_past`].
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Record one event and wake every current waiter.
+    pub fn notify(&self) {
+        self.seq.fetch_add(1, Ordering::Release);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // The lock orders us against a waiter between its re-check
+            // and its `wait`: we cannot notify into that window.
+            let _g = self.mx.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Sleep until the sequence moves past `seen` or `timeout` elapses.
+    /// Returns `true` when woken by an event (sequence advanced).
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> bool {
+        if self.seq.load(Ordering::Acquire) != seen {
+            return true;
+        }
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let deadline = Instant::now() + timeout;
+        let mut g = self.mx.lock().unwrap();
+        let advanced = loop {
+            if self.seq.load(Ordering::Acquire) != seen {
+                break true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break false;
+            }
+            let (guard, _) = self.cv.wait_timeout(g, deadline - now).unwrap();
+            g = guard;
+        };
+        drop(g);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        advanced
+    }
+}
+
+/// A fixed-capacity Chase–Lev work-stealing deque specialised to
+/// `u64` task ids, built **without `unsafe`**: the ring is a slab of
+/// `AtomicU64` cells, so a stealer that loses the CAS race on `top`
+/// merely read (and discards) a stale-but-well-defined value — there
+/// is no uninitialised memory and no torn read to defend against.
+///
+/// * The owner pushes and pops at `bottom` (LIFO — hot batches stay
+///   cache-warm).
+/// * Stealers CAS `top` upward (FIFO — the oldest work migrates).
+/// * `push` refuses when the ring is full (the caller overflows to the
+///   [`Injector`]) — which is also the load-bearing safety fact: a
+///   slot observed by a stealer at index `t` can only be overwritten
+///   after `top` has advanced past `t`, and any such advance makes the
+///   stealer's `compare_exchange` from `t` fail, so a stale read is
+///   never *returned*.
+pub(crate) struct WsDeque {
+    top: AtomicU64,
+    bottom: AtomicU64,
+    buf: Box<[AtomicU64]>,
+    mask: u64,
+}
+
+impl WsDeque {
+    /// A deque holding up to `capacity` (rounded up to a power of two)
+    /// queued ids.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        let buf: Vec<AtomicU64> = (0..cap).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            top: AtomicU64::new(0),
+            bottom: AtomicU64::new(0),
+            buf: buf.into_boxed_slice(),
+            mask: cap as u64 - 1,
+        }
+    }
+
+    /// Owner-only: push onto the bottom. `Err(v)` when the ring is
+    /// full — the caller must overflow to the global injector (never
+    /// drop: a lost task id is a hung topology).
+    pub fn push(&self, v: u64) -> Result<(), u64> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) > self.mask {
+            return Err(v);
+        }
+        self.buf[(b & self.mask) as usize].store(v, Ordering::Relaxed);
+        self.bottom.store(b.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pop the most recently pushed id (LIFO).
+    pub fn pop(&self) -> Option<u64> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        if t == b {
+            return None;
+        }
+        let b = b.wrapping_sub(1);
+        self.bottom.store(b, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if after(t, b) {
+            // A stealer emptied the deque under us: restore bottom.
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return None;
+        }
+        let v = self.buf[(b & self.mask) as usize].load(Ordering::Relaxed);
+        if t == b {
+            // Last element: race the stealers for it via `top`.
+            let won = self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return won.then_some(v);
+        }
+        Some(v)
+    }
+
+    /// Any thread: steal the oldest id (FIFO). Returns `None` when the
+    /// deque is (momentarily) empty.
+    pub fn steal(&self) -> Option<u64> {
+        loop {
+            let t = self.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t == b || after(t, b) {
+                return None;
+            }
+            let v = self.buf[(t & self.mask) as usize].load(Ordering::Relaxed);
+            // The CAS validates the read: if the cell was recycled,
+            // `top` moved and the exchange fails (see type docs).
+            if self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(v);
+            }
+        }
+    }
+}
+
+/// Wrap-safe "a is logically after b" for the deque's monotone indices.
+fn after(a: u64, b: u64) -> bool {
+    a.wrapping_sub(b).wrapping_sub(1) < u64::MAX / 2
+}
+
+/// The global injector: a mutex-protected FIFO that takes (a) work
+/// submitted from outside the pool (spout activations, the
+/// coordinator's flush/terminate pushes, timer firings), and (b)
+/// overflow from full worker deques. Idle workers park on its condvar
+/// after a spin→steal sweep comes up empty, so an idle pool burns ~0
+/// CPU instead of sleep-polling.
+pub(crate) struct Injector {
+    q: Mutex<VecDeque<u64>>,
+    cv: Condvar,
+    parked: AtomicUsize,
+}
+
+impl Injector {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Self { q: Mutex::new(VecDeque::new()), cv: Condvar::new(), parked: AtomicUsize::new(0) }
+    }
+
+    /// Enqueue an id and wake one parked worker (if any).
+    pub fn push(&self, v: u64) {
+        let mut g = self.q.lock().unwrap();
+        g.push_back(v);
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            self.cv.notify_one();
+        }
+    }
+
+    /// Wake one parked worker without enqueueing (used when local-deque
+    /// pushes leave stealable surplus behind).
+    pub fn wake_one(&self) {
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            let _g = self.q.lock().unwrap();
+            self.cv.notify_one();
+        }
+    }
+
+    /// Wake every parked worker (shutdown).
+    pub fn wake_all(&self) {
+        let _g = self.q.lock().unwrap();
+        self.cv.notify_all();
+    }
+
+    /// Dequeue the oldest id, if any.
+    pub fn try_pop(&self) -> Option<u64> {
+        self.q.lock().unwrap().pop_front()
+    }
+
+    /// Announce intent to park. The caller must re-check its local
+    /// work sources *after* this call and before [`Injector::park`]:
+    /// any producer that enqueues after `prepare_park` sees the parked
+    /// count and notifies, so the re-check + park pair cannot lose a
+    /// wakeup.
+    pub fn prepare_park(&self) {
+        self.parked.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Abort a prepared park (the re-check found work).
+    pub fn cancel_park(&self) {
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Park for up to `timeout` (after [`Injector::prepare_park`]),
+    /// returning a queued id when one arrives.
+    pub fn park(&self, timeout: Duration) -> Option<u64> {
+        let mut g = self.q.lock().unwrap();
+        let v = match g.pop_front() {
+            Some(v) => Some(v),
+            None => {
+                let (mut g, _) = self.cv.wait_timeout(g, timeout).unwrap();
+                g.pop_front()
+            }
+        };
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     #[test]
     fn bounded_roundtrip_and_disconnect() {
@@ -303,5 +628,138 @@ mod tests {
         tx2.send(2).unwrap();
         assert_eq!(stats.depth(), 2);
         assert_eq!(stats.high_water(), 2);
+    }
+
+    #[test]
+    fn inbox_send_wakes_and_preserves_fifo() {
+        let wakes = Arc::new(AtomicU64::new(0));
+        let hook = {
+            let wakes = wakes.clone();
+            Arc::new(move || {
+                wakes.fetch_add(1, Ordering::Relaxed);
+            }) as Arc<dyn Fn() + Send + Sync>
+        };
+        let stats = LinkStats::new();
+        let (tx, rx) = inbox_channel::<u32>(Some(stats.clone()), hook);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(wakes.load(Ordering::Relaxed), 5, "every send must invoke the wake hook");
+        assert_eq!(stats.depth(), 5);
+        assert!(!rx.is_empty());
+        for i in 0..5 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+        assert_eq!(stats.depth(), 0);
+    }
+
+    #[test]
+    fn notifier_wakes_waiter_and_times_out() {
+        let n = Arc::new(Notifier::new());
+        let seen = n.seq();
+        assert!(!n.wait_past(seen, Duration::from_millis(5)), "no event: must time out");
+        let waiter = {
+            let n = n.clone();
+            std::thread::spawn(move || n.wait_past(seen, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        n.notify();
+        assert!(waiter.join().unwrap(), "notify must wake the waiter");
+        // An event that fired before the wait started is never missed.
+        assert!(n.wait_past(seen, Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn ws_deque_lifo_owner_fifo_stealer() {
+        let d = WsDeque::new(8);
+        for v in 1..=3 {
+            d.push(v).unwrap();
+        }
+        assert_eq!(d.steal(), Some(1), "stealers take the oldest");
+        assert_eq!(d.pop(), Some(3), "the owner takes the newest");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn ws_deque_rejects_overflow_instead_of_dropping() {
+        let d = WsDeque::new(4);
+        for v in 0..4 {
+            d.push(v).unwrap();
+        }
+        assert_eq!(d.push(99), Err(99), "a full ring must hand the id back");
+        assert_eq!(d.steal(), Some(0));
+        d.push(99).unwrap();
+    }
+
+    #[test]
+    fn ws_deque_concurrent_steal_loses_nothing() {
+        // 4 stealer threads race the owner (pushing and popping) over
+        // 20k ids; every id must be claimed exactly once.
+        let d = Arc::new(WsDeque::new(64));
+        let stolen = Arc::new(Mutex::new(Vec::new()));
+        let done = Arc::new(AtomicU64::new(0));
+        let stealers: Vec<_> = (0..4)
+            .map(|_| {
+                let d = d.clone();
+                let stolen = stolen.clone();
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while done.load(Ordering::Acquire) == 0 {
+                        if let Some(v) = d.steal() {
+                            got.push(v);
+                        }
+                    }
+                    while let Some(v) = d.steal() {
+                        got.push(v);
+                    }
+                    stolen.lock().unwrap().extend(got);
+                })
+            })
+            .collect();
+        let total: u64 = 20_000;
+        let mut popped = Vec::new();
+        let mut next = 0u64;
+        while next < total {
+            if d.push(next).is_ok() {
+                next += 1;
+            } else if let Some(v) = d.pop() {
+                popped.push(v);
+            }
+        }
+        while let Some(v) = d.pop() {
+            popped.push(v);
+        }
+        done.store(1, Ordering::Release);
+        for s in stealers {
+            s.join().unwrap();
+        }
+        let mut all = popped;
+        all.extend(stolen.lock().unwrap().iter().copied());
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..total).collect();
+        assert_eq!(all, expect, "every pushed id claimed exactly once");
+    }
+
+    #[test]
+    fn injector_park_wakes_on_push() {
+        let inj = Arc::new(Injector::new());
+        inj.push(7);
+        assert_eq!(inj.try_pop(), Some(7));
+        let waiter = {
+            let inj = inj.clone();
+            std::thread::spawn(move || {
+                inj.prepare_park();
+                inj.park(Duration::from_secs(5))
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        inj.push(42);
+        assert_eq!(waiter.join().unwrap(), Some(42));
+        inj.prepare_park();
+        assert_eq!(inj.park(Duration::from_millis(2)), None, "empty park times out");
     }
 }

@@ -1,0 +1,300 @@
+//! Operator-chain fusion: run a degree-1 co-located pipeline as ONE
+//! schedulable activation, delivering intermediate tuples by inline
+//! `execute` calls instead of channel hops.
+//!
+//! The planner (`crate::topology`'s chain planner) guarantees every
+//! fused edge is a parallelism-1, single-subscription,
+//! single-subscriber hop, so inline delivery is observationally
+//! equivalent to the FIFO channel it replaces: same tuples, same
+//! order, same per-stage callbacks. Control events (watermark, flush,
+//! idle) cascade stage by stage *behind* the data they cover, exactly
+//! as in-band markers would. Each stage keeps its own public metrics
+//! identity (`{stage}.executed`, `{stage}.emitted`, `{stage}.fired`,
+//! `{stage}.dropped_late`, `{stage}.late` sink key) so fused and
+//! unfused runs are observably alike; only the *last* stage's
+//! `emitted` is deferred to the shared emit path, which counts it.
+//!
+//! Supervision wraps the whole chain as one unit (the head's restart
+//! policy): a panic anywhere backs off and rebuilds every
+//! factory-declared stage; held acks are failed for replay, exactly as
+//! an unfused restart-from-checkpoint would.
+
+use super::{BoltTask, Sink};
+use crate::metrics::{CounterHandle, Metrics};
+use crate::topology::{Bolt, BoltBuilder, OutputCollector};
+use crate::tuple::Tuple;
+
+/// The result of driving one event through a fused chain: the final
+/// stage's emissions plus the chain-level ack verdict.
+#[derive(Default)]
+pub(crate) struct ChainOut {
+    /// Outputs of the last stage (intermediate hops were consumed
+    /// inline). Root/lineage stamping is the caller's job, as it is
+    /// for an unfused bolt's collector.
+    pub(crate) emitted: Vec<Tuple>,
+    /// Some stage failed the (propagated) input: the whole chain
+    /// rejects it, nothing is delivered downstream.
+    pub(crate) failed: bool,
+    /// At least one stage is holding its effects un-durable: defer the
+    /// input's ack.
+    pub(crate) hold: bool,
+    /// Every previously-holding stage has committed: release all held
+    /// acks.
+    pub(crate) release: bool,
+}
+
+impl ChainOut {
+    /// View as a plain collector so the shared emission/ack path can
+    /// treat a fused chain exactly like a single bolt. (`late` is
+    /// always empty: the chain routes each stage's late output itself.)
+    pub(crate) fn into_collector(self) -> OutputCollector {
+        let mut o = OutputCollector::new();
+        o.emitted = self.emitted;
+        o.failed = self.failed;
+        o.hold = self.hold;
+        o.release = self.release;
+        o
+    }
+}
+
+/// Control event cascading through the chain (alongside data).
+#[derive(Clone, Copy)]
+enum Control {
+    Watermark(u64),
+    Flush,
+    Idle,
+}
+
+struct ChainStage {
+    name: String,
+    bolt: Box<dyn Bolt>,
+    factory: Option<BoltBuilder>,
+    executed: CounterHandle,
+    /// `None` for the last stage: the shared emit path counts it.
+    emitted: Option<CounterHandle>,
+    /// Tuples emitted from `on_watermark` (event-time runs only).
+    fired: Option<CounterHandle>,
+    dropped_late: CounterHandle,
+    late_key: String,
+    /// Whether this stage's latest `hold_ack` is still unreleased.
+    holds: bool,
+}
+
+/// A fused pipeline of bolts, driven inline by one task activation.
+pub(crate) struct FusedChain {
+    stages: Vec<ChainStage>,
+    sink: Sink,
+    /// Whether any stage was holding after the previous event (edge
+    /// detection for `ChainOut::release`).
+    holding: bool,
+}
+
+impl FusedChain {
+    /// Assemble a chain from the materialized bolt tasks of its stages,
+    /// in chain order (`names[i]` owns `tasks[i]`).
+    pub(crate) fn build(
+        names: &[String],
+        tasks: Vec<BoltTask>,
+        metrics: &Metrics,
+        sink: Sink,
+        watermarks: bool,
+    ) -> Self {
+        let last = names.len() - 1;
+        let stages = names
+            .iter()
+            .zip(tasks)
+            .enumerate()
+            .map(|(i, (name, task))| ChainStage {
+                executed: metrics.register(&format!("{name}.executed")),
+                emitted: (i != last).then(|| metrics.register(&format!("{name}.emitted"))),
+                fired: watermarks.then(|| metrics.register(&format!("{name}.fired"))),
+                dropped_late: metrics.register(&format!("{name}.dropped_late")),
+                late_key: format!("{name}.late"),
+                holds: false,
+                bolt: task.bolt,
+                factory: task.factory,
+                name: name.clone(),
+            })
+            .collect();
+        Self { stages, sink, holding: false }
+    }
+
+    /// Name of the head stage (supervision attribution).
+    pub(crate) fn head_name(&self) -> &str {
+        &self.stages[0].name
+    }
+
+    /// Name of the last stage (the chain's public emission identity).
+    pub(crate) fn tail_name(&self) -> &str {
+        &self.stages[self.stages.len() - 1].name
+    }
+
+    /// Drive one input through every stage.
+    pub(crate) fn execute(&mut self, input: &Tuple) -> ChainOut {
+        self.cascade(Some(input), None)
+    }
+
+    /// Cascade a watermark advance: each stage's `on_watermark` fires
+    /// after the data (and upstream firings) it covers.
+    pub(crate) fn on_watermark(&mut self, wm: u64) -> ChainOut {
+        self.cascade(None, Some(Control::Watermark(wm)))
+    }
+
+    /// Cascade the end-of-run flush.
+    pub(crate) fn flush(&mut self) -> ChainOut {
+        self.cascade(None, Some(Control::Flush))
+    }
+
+    /// Cascade the idle hook (commit + release held acks).
+    pub(crate) fn on_idle(&mut self) -> ChainOut {
+        self.cascade(None, Some(Control::Idle))
+    }
+
+    /// Whether any stage currently holds un-durable effects.
+    pub(crate) fn holding(&self) -> bool {
+        self.holding
+    }
+
+    /// Supervised restart: rebuild every factory-declared stage (it
+    /// recovers from its checkpoint). Returns `true` when anything was
+    /// rebuilt — the caller must then fail held roots for replay, as
+    /// for an unfused restart-from-checkpoint. Instance stages resume
+    /// in place, as they do unfused.
+    pub(crate) fn rebuild(&mut self) -> sa_core::Result<bool> {
+        let mut any = false;
+        for stage in &mut self.stages {
+            if let Some(build) = stage.factory.as_mut() {
+                stage.bolt = build()?;
+                stage.holds = false;
+                any = true;
+            }
+        }
+        self.holding = self.stages.iter().any(|s| s.holds);
+        Ok(any)
+    }
+
+    /// The fusion engine: feed data through stage 0..n, then let the
+    /// control event (if any) fire at each stage *behind* its data —
+    /// the same order the in-band messages impose unfused. A stage
+    /// panic propagates to the caller's `catch_unwind` (supervision is
+    /// chain-level).
+    fn cascade(&mut self, input: Option<&Tuple>, event: Option<Control>) -> ChainOut {
+        let mut out = ChainOut::default();
+        let mut carry: Vec<Tuple> = Vec::new();
+        for k in 0..self.stages.len() {
+            let mut produced: Vec<Tuple> = Vec::new();
+            if k == 0 {
+                if let Some(t) = input {
+                    self.run_execute(k, t, &mut produced, &mut out);
+                }
+            } else {
+                for t in std::mem::take(&mut carry) {
+                    if out.failed {
+                        break;
+                    }
+                    self.run_execute(k, &t, &mut produced, &mut out);
+                }
+            }
+            if out.failed {
+                // A failed stage rejects the whole input: the root is
+                // failed for replay, nothing reaches the tail.
+                break;
+            }
+            if let Some(ctl) = event {
+                self.run_control(k, ctl, &mut produced);
+            }
+            carry = produced;
+        }
+        if !out.failed {
+            out.emitted = carry;
+        }
+        let any = self.stages.iter().any(|s| s.holds);
+        out.hold = any;
+        out.release = self.holding && !any;
+        self.holding = any;
+        out
+    }
+
+    /// One stage's `execute`, unfused-equivalent: late diverted to the
+    /// stage's side output, emissions inherit root/lineage/event-time
+    /// from the stage's input (the upstream hop would have stamped the
+    /// same values).
+    fn run_execute(
+        &mut self,
+        k: usize,
+        input: &Tuple,
+        produced: &mut Vec<Tuple>,
+        out: &mut ChainOut,
+    ) {
+        let stage = &mut self.stages[k];
+        let mut o = OutputCollector::new();
+        stage.bolt.execute(input, &mut o);
+        stage.executed.add(1);
+        route_late(stage, &self.sink, std::mem::take(&mut o.late));
+        if o.failed {
+            out.failed = true;
+            return;
+        }
+        if o.release {
+            stage.holds = false;
+        }
+        if o.hold && !o.release {
+            stage.holds = true;
+        }
+        if let Some(c) = &stage.emitted {
+            c.add(o.emitted.len() as u64);
+        }
+        for mut e in o.emitted {
+            e.root = input.root;
+            e.lineage = input.lineage;
+            if e.event_time.is_none() {
+                e.event_time = input.event_time;
+            }
+            produced.push(e);
+        }
+    }
+
+    /// One stage's control callback (`on_watermark`/`flush`/`on_idle`),
+    /// unfused-equivalent: emissions ride unanchored (root 0) and a
+    /// control-path `fail()` is ignored, exactly as on the channel
+    /// runtime's control path.
+    fn run_control(&mut self, k: usize, ctl: Control, produced: &mut Vec<Tuple>) {
+        let stage = &mut self.stages[k];
+        let mut o = OutputCollector::new();
+        match ctl {
+            Control::Watermark(wm) => stage.bolt.on_watermark(wm, &mut o),
+            Control::Flush => stage.bolt.flush(&mut o),
+            Control::Idle => stage.bolt.on_idle(&mut o),
+        }
+        route_late(stage, &self.sink, std::mem::take(&mut o.late));
+        if matches!(ctl, Control::Watermark(_)) {
+            if let Some(f) = &stage.fired {
+                f.add(o.emitted.len() as u64);
+            }
+        }
+        if o.release {
+            stage.holds = false;
+        }
+        if o.hold && !o.release {
+            stage.holds = true;
+        }
+        if let Some(c) = &stage.emitted {
+            c.add(o.emitted.len() as u64);
+        }
+        for mut e in o.emitted {
+            e.root = 0;
+            produced.push(e);
+        }
+    }
+}
+
+/// Deliver a stage's late tuples to its `"{stage}.late"` sink key.
+/// Late tuples are rare by construction, so this takes the sink lock
+/// directly rather than batching.
+fn route_late(stage: &ChainStage, sink: &Sink, late: Vec<Tuple>) {
+    if late.is_empty() {
+        return;
+    }
+    stage.dropped_late.add(late.len() as u64);
+    sink.lock().unwrap().entry(stage.late_key.clone()).or_default().extend(late);
+}

@@ -1,0 +1,503 @@
+//! The runtime: maps a topology onto OS threads and channels.
+//!
+//! A "cluster" here is a set of OS threads (workers) connected by
+//! channels (links); DESIGN.md §2 argues why the semantics under study
+//! — groupings, acking, replay, backpressure — are preserved by this
+//! substitution. Two *schedulers* map tasks onto threads
+//! ([`crate::Scheduling`], see DESIGN.md §9):
+//!
+//! * [`Scheduling::ThreadPerTask`]: every task owns a thread for the
+//!   whole run. Within it, [`ExecutorModel`] reproduces the Storm→Heron
+//!   redesign the paper describes — `ProcessPerTask` (Heron: dedicated
+//!   thread, **bounded** queue, natural backpressure) vs `Multiplexed`
+//!   (Storm: several tasks share a worker over **unbounded** queues,
+//!   exactly the "complex set of queues … making the performance worse"
+//!   configuration that motivated Heron).
+//! * [`Scheduling::WorkStealing`]: a fixed pool of N workers (Samza /
+//!   Flink style) with per-worker Chase–Lev deques and a global
+//!   injector; the schedulable unit is "run this operator task on its
+//!   pending input". Idle workers spin → steal → park on a condvar.
+//!   Degree-1 co-located chains additionally *fuse* into single
+//!   activations ([`ExecutorConfig::fuse_chains`]) that call `execute`
+//!   inline with no channel hop. Queues are unbounded inboxes, so
+//!   `ExecutorModel` and `channel_capacity` are inert under this
+//!   scheduler.
+//!
+//! # The fast path
+//!
+//! Links carry [`Batch`]es, not single tuples: emitters buffer per
+//! downstream task and ship a full `Vec<Tuple>` when
+//! [`ExecutorConfig::batch_size`] is reached, or when the linger/idle
+//! policy flushes a partial batch. Routing still happens per tuple
+//! (fields grouping hashes every tuple), but channel synchronisation,
+//! terminal-sink locking, and acker locking are paid **once per
+//! batch**. Metrics on this path are pre-registered
+//! [`crate::metrics::CounterHandle`]s — the per-tuple cost is one relaxed atomic add;
+//! no `format!`, no map lookup, no mutex (see `metrics.rs`).
+//!
+//! # Self-instrumentation
+//!
+//! The executor observes itself with the repo's own synopses
+//! (`metrics.rs` module docs): per-component execute latency, spout
+//! `next_tuple` latency, end-to-end ack latency, and acker settle time
+//! flow into GK quantile histograms under **sampled recording** —
+//! [`ExecutorConfig::latency_sample_every`] gates the clock reads so
+//! the hot loop usually pays one branch. Batch occupancy
+//! (`{component}.batch_fill`) is sampled the same way, once per Nth
+//! shipped batch; samplers are phase-staggered across a component's
+//! tasks so hits on the shared sketch never line up in lockstep. And
+//! every bolt's input queues share a [`crate::channel::LinkStats`]
+//! gauge (`{component}.input`): live depth, high-water mark, and
+//! backpressure stalls (count + blocked nanoseconds in bounded
+//! `send`). The work-stealing pool adds per-worker scheduler counters
+//! (`sched.worker{i}.{runs,steals,parks}`). Set
+//! `latency_sample_every = 0` to disable the latency layer and run
+//! bare.
+
+mod bolt;
+mod emit;
+mod fuse;
+mod spout;
+mod thread_per_task;
+mod work_stealing;
+
+use crate::acker::Acker;
+use crate::channel::{Notifier, Sender};
+use crate::metrics::Metrics;
+use crate::supervise::{FaultPlan, RestartPolicy};
+use crate::time::WatermarkConfig;
+use crate::topology::{
+    Bolt, BoltBuilder, BoltSource, ComponentDecl, ComponentKind, Grouping, Scheduling, Spout,
+    TopologyBuilder,
+};
+use crate::tuple::{Batch, Tuple};
+use sa_core::{Result, SaError, TopologyError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Delivery guarantee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Semantics {
+    /// Fire-and-forget: no acking, lost tuples stay lost (S4-style).
+    AtMostOnce,
+    /// Storm's XOR-ack protocol: failed/timed-out trees are replayed by
+    /// the spout. Exactly-once is built on top of this by bolts that
+    /// deduplicate through [`crate::checkpoint::CheckpointStore`].
+    AtLeastOnce,
+}
+
+/// How tasks map onto worker threads under
+/// [`Scheduling::ThreadPerTask`] (inert under work-stealing, whose
+/// inboxes are always unbounded).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutorModel {
+    /// Heron: one thread per task, bounded queues (backpressure).
+    ProcessPerTask,
+    /// Storm: up to `tasks_per_worker` tasks of a component share a
+    /// thread; unbounded queues (no backpressure).
+    Multiplexed {
+        /// Tasks sharing one worker thread.
+        tasks_per_worker: usize,
+    },
+}
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    /// Thread/queue model (thread-per-task scheduler only).
+    pub model: ExecutorModel,
+    /// Task→thread scheduler: the historical thread-per-task runtime
+    /// (default) or the fixed-pool work-stealing scheduler.
+    pub scheduling: Scheduling,
+    /// Under [`Scheduling::WorkStealing`], fuse degree-1 co-located
+    /// chains (see [`crate::topology`]'s chain planner) into single
+    /// activations that call `execute` inline — no channel hop, no
+    /// re-batching. Defaults to `true`; no effect under
+    /// thread-per-task.
+    pub fuse_chains: bool,
+    /// Delivery guarantee.
+    pub semantics: Semantics,
+    /// Queue capacity (in batches) in ProcessPerTask mode.
+    pub channel_capacity: usize,
+    /// Tuples per link batch. 1 = ship every tuple immediately (the
+    /// pre-batching behaviour); larger values amortise channel and
+    /// acker synchronisation across the batch.
+    pub batch_size: usize,
+    /// How long a partial batch may sit in an emit buffer before the
+    /// producer force-flushes it, bounding latency under trickle input.
+    /// (Producers also flush whenever they go idle, so this only
+    /// matters for tasks that stay busy without filling a batch.)
+    pub batch_linger: Duration,
+    /// Probability that a link delivery is dropped (failure injection).
+    pub link_drop_prob: f64,
+    /// Wall-clock age after which a pending tuple tree is failed and
+    /// replayed (Storm's message timeout).
+    pub ack_timeout: Duration,
+    /// How long a spout may sit idle **without progress** (no emission,
+    /// no settled root) before the run is declared unclean. Progress of
+    /// any kind — a new tuple, an ack, a fail — resets the clock, so
+    /// slow trickle runs are not killed by wall-clock age alone.
+    pub shutdown_timeout: Duration,
+    /// Sampled-recording rate of the latency instrumentation: one in
+    /// this many events gets a clock read + histogram insert. `0`
+    /// disables latency histograms, batch-occupancy stats, and link
+    /// gauges entirely (bare fast path). Default 32 — measured overhead
+    /// is within a few percent (experiment T2.D).
+    pub latency_sample_every: u32,
+    /// Event-time watermark policy. `None` (the default) disables the
+    /// event-time layer entirely: no markers flow, `Bolt::on_watermark`
+    /// never fires, and the data path is unchanged. `Some` turns spouts
+    /// into watermark generators and bolts into min-merging forwarders
+    /// (see `time.rs` module docs).
+    pub watermarks: Option<WatermarkConfig>,
+    /// RNG seed (edge ids, drop injection).
+    pub seed: u64,
+    /// Crash injection: when this flag flips to `true`, spouts stop
+    /// emitting immediately and shutdown skips the flush phase — bolts
+    /// never see `flush()`, exactly as if the process died. Recovery
+    /// tests flip it mid-stream and then restart the topology from
+    /// checkpoints + log replay.
+    pub kill: Option<Arc<AtomicBool>>,
+    /// Default restart policy for every task; components override it
+    /// with `SpoutHandle::restart` / `BoltHandle::restart`. The default
+    /// grants a generous budget — [`RestartPolicy::none`] restores the
+    /// pre-supervision "first panic fails the topology" behaviour.
+    pub restart: RestartPolicy,
+    /// Replays granted to one spout message before it is quarantined to
+    /// the `"{spout}.dlq"` dead-letter output instead of being replayed
+    /// again. `None` (default) replays forever.
+    pub max_replays: Option<u32>,
+    /// Chaos plan: injected panics, per-component link drops/delays.
+    /// (Checkpoint-write faults arm separately via
+    /// [`FaultPlan::arm_store`].) Empty by default.
+    pub faults: FaultPlan,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            model: ExecutorModel::ProcessPerTask,
+            scheduling: Scheduling::ThreadPerTask,
+            fuse_chains: true,
+            semantics: Semantics::AtLeastOnce,
+            channel_capacity: 1024,
+            batch_size: 64,
+            batch_linger: Duration::from_millis(2),
+            link_drop_prob: 0.0,
+            ack_timeout: Duration::from_secs(5),
+            shutdown_timeout: Duration::from_secs(10),
+            latency_sample_every: 32,
+            watermarks: None,
+            seed: 0xD15C0,
+            kill: None,
+            restart: RestartPolicy::default(),
+            max_replays: None,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// What a run returns.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Tuples emitted by *terminal* bolts (no downstream subscribers),
+    /// keyed by component name.
+    pub outputs: HashMap<String, Vec<Tuple>>,
+    /// Runtime metrics (read with [`Metrics::snapshot`]).
+    pub metrics: Metrics,
+    /// False when the shutdown timeout expired with trees still pending.
+    pub clean_shutdown: bool,
+}
+
+pub(crate) enum Msg {
+    /// A run of tuples for one task.
+    Data(Batch),
+    /// In-band watermark marker: the task identified by `source`
+    /// promises no tuple with `event_time < wm` will follow on this
+    /// link. `idle` declares the source dormant (excluded from
+    /// downstream min-merges until it speaks again). Markers ride the
+    /// same FIFO channels as data — senders flush their emit buffers
+    /// first, so a marker can never overtake tuples it covers.
+    Watermark {
+        source: u32,
+        wm: u64,
+        idle: bool,
+    },
+    Flush,
+    Terminate,
+}
+
+/// One downstream subscription of a component.
+#[derive(Clone)]
+pub(crate) struct Route {
+    pub(crate) grouping: Grouping,
+    pub(crate) senders: Vec<Sender<Msg>>,
+}
+
+pub(crate) type Sink = Arc<Mutex<HashMap<String, Vec<Tuple>>>>;
+
+/// Task index for a fields grouping. Per-field hashes are
+/// mix-combined, not raw-XORed, and the result passes through `mix64`
+/// once more before the modulo: a raw XOR cancels identical per-field
+/// hashes (duplicated indices, repeated values), piling low-entropy
+/// keys onto one task. Tuples missing every grouped field share one
+/// (well-defined) "null key" task, as fields grouping requires.
+pub(crate) fn fields_task(tuple: &Tuple, fields: &[usize], fanout: usize) -> usize {
+    let mut h = 0u64;
+    for &f in fields {
+        if let Some(v) = tuple.get(f) {
+            h = sa_core::hash::mix64(h ^ v.hash64().rotate_left(f as u32));
+        }
+    }
+    (sa_core::hash::mix64(h) % fanout as u64) as usize
+}
+
+const ROOT_SHIFT: u32 = 48;
+
+pub(crate) fn encode_root(spout_task: usize, local: u64) -> u64 {
+    ((spout_task as u64 + 1) << ROOT_SHIFT) | (local & ((1 << ROOT_SHIFT) - 1))
+}
+
+pub(crate) fn decode_root(root: u64) -> (usize, u64) {
+    (((root >> ROOT_SHIFT) - 1) as usize, root & ((1 << ROOT_SHIFT) - 1))
+}
+
+/// One bolt task as materialized before spawn: the live instance plus
+/// the factory that rebuilds it on supervised restart (present only
+/// for bolts declared via factories/builders).
+pub(crate) struct BoltTask {
+    pub(crate) bolt: Box<dyn Bolt>,
+    pub(crate) factory: Option<BoltBuilder>,
+}
+
+/// Everything both schedulers need, prepared once: validated component
+/// declarations (instances extracted), shared run state, task ids, and
+/// the topological order the shutdown protocol walks.
+pub(crate) struct RunCore {
+    pub(crate) config: ExecutorConfig,
+    pub(crate) metrics: Metrics,
+    pub(crate) sink: Sink,
+    pub(crate) acker: Arc<Mutex<Acker>>,
+    pub(crate) unclean: Arc<AtomicBool>,
+    /// Escalation: the first task to exhaust its restart budget records
+    /// why in `failure` and flips `abort`; spouts then stop (like
+    /// `kill`) and the run drains before the error surfaces.
+    pub(crate) abort: Arc<AtomicBool>,
+    pub(crate) failure: Arc<Mutex<Option<String>>>,
+    pub(crate) run_start: Instant,
+    /// Ack progress events: bolts notify after applying acks/fails so
+    /// idle spouts wake to settle instead of sleep-polling.
+    pub(crate) ack_note: Arc<Notifier>,
+    /// Component declarations with their instances moved out into
+    /// `built` / `spouts` (metadata — name, parallelism, inputs,
+    /// restart, kind discriminant — remains).
+    pub(crate) decls: Vec<ComponentDecl>,
+    pub(crate) built: HashMap<String, Vec<BoltTask>>,
+    pub(crate) spouts: HashMap<String, Vec<Box<dyn Spout>>>,
+    pub(crate) task_ids: HashMap<String, Vec<u32>>,
+    pub(crate) upstream_ids: HashMap<String, Vec<u32>>,
+    pub(crate) order: Vec<String>,
+}
+
+impl RunCore {
+    /// The restart policy governing `decl` (component override or the
+    /// run default).
+    pub(crate) fn restart_for(&self, decl: &ComponentDecl) -> RestartPolicy {
+        decl.restart.clone().unwrap_or_else(|| self.config.restart.clone())
+    }
+
+    /// The link-drop probability for `name` (chaos override or the run
+    /// default).
+    pub(crate) fn drop_prob_for(&self, name: &str) -> f64 {
+        self.config.faults.drop_for(name).unwrap_or(self.config.link_drop_prob)
+    }
+
+    /// Surface an escalated failure, or hand back the terminal sink.
+    pub(crate) fn conclude(self) -> Result<RunResult> {
+        if let Some(why) = self.failure.lock().unwrap().take() {
+            return Err(SaError::Platform(why));
+        }
+        let outputs = std::mem::take(&mut *self.sink.lock().unwrap());
+        Ok(RunResult {
+            outputs,
+            metrics: self.metrics,
+            clean_shutdown: !self.unclean.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Run a topology to completion: spouts drain, trees settle (or the
+/// shutdown timeout fires), bolts flush in topological order.
+///
+/// Validation runs first — wiring mistakes surface as
+/// [`SaError::Topology`] before any thread spawns.
+pub fn run_topology(builder: TopologyBuilder, config: ExecutorConfig) -> Result<RunResult> {
+    run_topology_with(builder, config, Metrics::new())
+}
+
+/// [`run_topology`] against a caller-supplied [`Metrics`] registry, so
+/// the run's counters land next to metrics registered *outside* the
+/// topology (e.g. a [`crate::ServingView`]'s `query_us`/`epoch`
+/// instruments share the snapshot with the executor's throughput
+/// accounting — the compiled-query path in [`crate::query`] relies on
+/// this).
+pub fn run_topology_with(
+    builder: TopologyBuilder,
+    config: ExecutorConfig,
+    metrics: Metrics,
+) -> Result<RunResult> {
+    builder.validate()?;
+    let order = topo_order(&builder)?;
+
+    // --- Event-time source ids: every task (spout or bolt) gets a
+    //     global id so watermark markers identify their sender, and
+    //     each bolt pre-seeds its merger with every upstream task id
+    //     (an input it has never heard from must block the merge). ---
+    let mut task_ids: HashMap<String, Vec<u32>> = HashMap::new();
+    let mut next_task_id = 0u32;
+    for c in &builder.components {
+        let ids = (0..c.parallelism)
+            .map(|_| {
+                let id = next_task_id;
+                next_task_id += 1;
+                id
+            })
+            .collect();
+        task_ids.insert(c.name.clone(), ids);
+    }
+    let mut upstream_ids: HashMap<String, Vec<u32>> = HashMap::new();
+    for c in &builder.components {
+        let mut ids: Vec<u32> =
+            c.inputs.iter().flat_map(|(up, _)| task_ids[up].iter().copied()).collect();
+        ids.sort_unstable();
+        ids.dedup(); // double-subscribed upstreams must not double-block
+        upstream_ids.insert(c.name.clone(), ids);
+    }
+
+    let mut decls: Vec<ComponentDecl> = builder.components;
+
+    // --- Materialize bolt tasks (and extract spout instances) before
+    //     spawning anything: a factory whose initial build fails aborts
+    //     the run cleanly. ---
+    let mut built: HashMap<String, Vec<BoltTask>> = HashMap::new();
+    let mut spouts: HashMap<String, Vec<Box<dyn Spout>>> = HashMap::new();
+    for decl in decls.iter_mut() {
+        match decl.kind {
+            ComponentKind::Spout(ref mut instances) => {
+                spouts.insert(decl.name.clone(), std::mem::take(instances));
+            }
+            ComponentKind::Bolt(ref mut sources) => {
+                let mut tasks = Vec::with_capacity(sources.len());
+                for (i, src) in std::mem::take(sources).into_iter().enumerate() {
+                    match src {
+                        BoltSource::Instance(bolt) => tasks.push(BoltTask { bolt, factory: None }),
+                        BoltSource::Factory(mut build) => {
+                            let bolt = build().map_err(|e| {
+                                SaError::Platform(format!(
+                                    "bolt '{}' task {i} factory failed at startup: {e}",
+                                    decl.name
+                                ))
+                            })?;
+                            tasks.push(BoltTask { bolt, factory: Some(build) });
+                        }
+                    }
+                }
+                built.insert(decl.name.clone(), tasks);
+            }
+        }
+    }
+
+    let core = RunCore {
+        metrics,
+        sink: Arc::new(Mutex::new(HashMap::new())),
+        acker: Arc::new(Mutex::new(Acker::new())),
+        unclean: Arc::new(AtomicBool::new(false)),
+        abort: Arc::new(AtomicBool::new(false)),
+        failure: Arc::new(Mutex::new(None)),
+        run_start: Instant::now(),
+        ack_note: Arc::new(Notifier::new()),
+        decls,
+        built,
+        spouts,
+        task_ids,
+        upstream_ids,
+        order,
+        config,
+    };
+    match core.config.scheduling {
+        Scheduling::ThreadPerTask => thread_per_task::run(core),
+        Scheduling::WorkStealing { .. } => work_stealing::run(core),
+    }
+}
+
+fn topo_order(builder: &TopologyBuilder) -> Result<Vec<String>> {
+    let mut indeg: HashMap<&str, usize> = HashMap::new();
+    let mut down: HashMap<&str, Vec<&str>> = HashMap::new();
+    for c in &builder.components {
+        indeg.entry(c.name.as_str()).or_insert(0);
+        for (up, _) in &c.inputs {
+            *indeg.entry(c.name.as_str()).or_insert(0) += 1;
+            down.entry(up.as_str()).or_default().push(c.name.as_str());
+        }
+    }
+    let mut queue: Vec<&str> = indeg.iter().filter(|(_, &d)| d == 0).map(|(&n, _)| n).collect();
+    queue.sort(); // determinism
+    let mut order = Vec::new();
+    while let Some(n) = queue.pop() {
+        order.push(n.to_string());
+        for &d in down.get(n).into_iter().flatten() {
+            let e = indeg.get_mut(d).unwrap();
+            *e -= 1;
+            if *e == 0 {
+                queue.push(d);
+            }
+        }
+    }
+    if order.len() != builder.components.len() {
+        return Err(TopologyError::Cycle.into());
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple_of;
+
+    /// Regression (PR 3): fields grouping must spread sequential and
+    /// low-entropy keys. Pre-fix the per-field hashes were raw-XORed —
+    /// a duplicated field index cancelled to `h = 0` for every tuple,
+    /// piling 100% of the stream onto task 0.
+    #[test]
+    fn fields_grouping_spreads_sequential_and_low_entropy_keys() {
+        let fanout = 4;
+        let n = 4000usize;
+        let fair = n / fanout;
+        for (label, fields) in [("single field", vec![0usize]), ("duplicated index", vec![0, 0])] {
+            let mut counts = vec![0usize; fanout];
+            for i in 0..n {
+                counts[fields_task(&tuple_of([i as i64]), &fields, fanout)] += 1;
+            }
+            for &c in &counts {
+                assert!(
+                    c >= fair / 2 && c <= fair * 2,
+                    "{label}: sequential integer keys skewed: {counts:?}"
+                );
+            }
+        }
+    }
+
+    /// Missing-field tuples share one well-defined "null key" task —
+    /// constant routing is required for grouping correctness, but the
+    /// choice must be stable.
+    #[test]
+    fn fields_grouping_missing_fields_route_consistently() {
+        let fanout = 4;
+        let first = fields_task(&tuple_of([1i64]), &[7], fanout);
+        for i in 2..100i64 {
+            assert_eq!(fields_task(&tuple_of([i]), &[7], fanout), first);
+        }
+    }
+}

@@ -1,0 +1,881 @@
+//! Re-entrant spout core: one `step()` = one iteration of the classic
+//! spout loop, so the same code drives a dedicated thread
+//! (`Scheduling::ThreadPerTask`) or a work-stealing activation that
+//! must yield between steps (`Scheduling::WorkStealing`).
+//!
+//! When the planner fused a `spout → bolt → …` chain, the core also
+//! owns the chain tail ([`SpoutChain`]): every produced tuple runs the
+//! fused bolts inline and only the *final* outputs are routed. Ack
+//! bookkeeping stays exactly-once: the chain's final edge ids XOR into
+//! the root's tree, and a holding stage contributes one synthetic
+//! "hold token" edge that is acked when the stage commits — the same
+//! shape the unfused runtime builds from real channel edges.
+
+use super::emit::EmitCtx;
+use super::fuse::{ChainOut, FusedChain};
+use super::{decode_root, encode_root, Route, Semantics, Sink};
+use crate::acker::Acker;
+use crate::channel::Notifier;
+use crate::metrics::{CounterHandle, HistogramHandle, Metrics, Sampler};
+use crate::supervise::{panic_message, RestartDecision, RestartPolicy, RestartTracker};
+use crate::time::{WatermarkConfig, WatermarkGen, WatermarkMerger};
+use crate::topology::Spout;
+use crate::tuple::{tuple_of, Tuple};
+use sa_core::rng::SplitMix64;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything a spout task needs from the executor, scheduler-agnostic.
+pub(crate) struct SpoutCtx {
+    pub(crate) task: usize,
+    pub(crate) name: String,
+    pub(crate) routes: Vec<Route>,
+    pub(crate) acker: Arc<Mutex<Acker>>,
+    pub(crate) semantics: Semantics,
+    pub(crate) metrics: Metrics,
+    pub(crate) sink: Sink,
+    pub(crate) drop_prob: f64,
+    /// Chaos: link-delay injection for this component's sends.
+    pub(crate) delay: Option<(f64, Duration)>,
+    /// Chaos: probability that one `next_tuple` call panics.
+    pub(crate) panic_prob: f64,
+    /// Supervision policy for this component.
+    pub(crate) restart: RestartPolicy,
+    /// Replay budget before quarantine (`None` = replay forever).
+    pub(crate) max_replays: Option<u32>,
+    /// Escalation: topology-wide abort flag + first-failure slot.
+    pub(crate) abort: Arc<AtomicBool>,
+    pub(crate) failure: Arc<Mutex<Option<String>>>,
+    /// Run epoch: the injectable clock for restart-window accounting.
+    pub(crate) run_start: Instant,
+    pub(crate) seed: u64,
+    pub(crate) batch_size: usize,
+    pub(crate) batch_linger: Duration,
+    pub(crate) sample_every: u32,
+    pub(crate) ack_timeout: Duration,
+    pub(crate) shutdown_timeout: Duration,
+    pub(crate) unclean: Arc<AtomicBool>,
+    pub(crate) kill: Option<Arc<AtomicBool>>,
+    /// This task's global watermark-source id.
+    pub(crate) wm_source: u32,
+    /// Watermark policy (`None` = event-time layer off).
+    pub(crate) watermarks: Option<WatermarkConfig>,
+    /// Bumped whenever ack progress lands anywhere in the topology —
+    /// what an idle spout waits on instead of sleep-polling.
+    pub(crate) ack_note: Arc<Notifier>,
+    /// Hook run after this spout settles roots belonging to *other*
+    /// spouts (wakes them so the requeued roots are picked up).
+    pub(crate) on_ack: Arc<dyn Fn() + Send + Sync>,
+}
+
+/// Spout-side poison-tuple bookkeeping: replay counts per message and
+/// the dead-letter output they overflow into.
+struct Quarantine {
+    max_replays: Option<u32>,
+    /// Failures observed per spout-local message id.
+    counts: HashMap<u64, u32>,
+    /// Terminal-sink key (`"{spout}.dlq"`).
+    key: String,
+    dlq: CounterHandle,
+}
+
+/// Spout-side watermark state (only built when the policy is on).
+struct SpoutWm {
+    gen: WatermarkGen,
+    cfg: WatermarkConfig,
+    /// Emissions since the last broadcast attempt.
+    since_emit: usize,
+    /// When this spout last produced a tuple (idle detection).
+    last_emit: Instant,
+    /// Whether the idle marker for the current lull was already sent.
+    idle_sent: bool,
+}
+
+/// The spout loop's histogram handles (instrumented runs only).
+struct SpoutObs {
+    /// Sampled `next_tuple` latency (only calls that yielded a tuple).
+    next_us: HistogramHandle,
+    /// Sampled end-to-end latency: spout emission → root fully acked.
+    ack_us: HistogramHandle,
+    /// Duration of each acker settle visit (registration + drain).
+    settle_us: HistogramHandle,
+}
+
+/// A fused `spout → bolt…` tail owned by the spout task, with its own
+/// chain-level supervision and held-ack ledger.
+pub(crate) struct SpoutChain {
+    pub(crate) chain: FusedChain,
+    /// Task id of the last stage — downstream watermark markers carry
+    /// this source so the fused run is indistinguishable from unfused.
+    pub(crate) last_id: u32,
+    /// Min-merges this spout's own markers (single input by the fusion
+    /// rule) so chain windows fire exactly when an unfused tail would.
+    pub(crate) merger: WatermarkMerger,
+    /// Chain-level restart accounting (the head bolt's policy).
+    pub(crate) tracker: RestartTracker,
+    /// Held roots: `(root, hold-token edge)` per input whose chain
+    /// effects are not yet durable.
+    pub(crate) ledger: Vec<(u64, u64)>,
+    pub(crate) token_rng: SplitMix64,
+    /// Chaos: max panic probability over the fused stages.
+    pub(crate) panic_prob: f64,
+    pub(crate) panic_rng: SplitMix64,
+    pub(crate) panics: CounterHandle,
+    pub(crate) restarts: CounterHandle,
+    pub(crate) restart_us: Option<HistogramHandle>,
+    /// Set after any successful execute; gates the idle hook.
+    pub(crate) idle_dirty: bool,
+    /// Escalated: the chain drops inputs (fails them for the record)
+    /// while the topology aborts.
+    pub(crate) zombie: bool,
+}
+
+impl SpoutChain {
+    #[allow(clippy::too_many_arguments)] // built once per fused spout, at spawn
+    pub(crate) fn new(
+        chain: FusedChain,
+        last_id: u32,
+        wm_source: u32,
+        restart: RestartPolicy,
+        panic_prob: f64,
+        seed: u64,
+        metrics: &Metrics,
+        sample_every: u32,
+    ) -> Self {
+        let head = chain.head_name().to_string();
+        Self {
+            merger: WatermarkMerger::new([wm_source]),
+            tracker: RestartTracker::new(restart),
+            ledger: Vec::new(),
+            token_rng: SplitMix64::new(seed ^ 0x70C3),
+            panic_prob,
+            panic_rng: SplitMix64::new(seed ^ 0xC4A1),
+            panics: metrics.register(&format!("{head}.panics")),
+            restarts: metrics.register(&format!("{head}.restarts")),
+            restart_us: (sample_every > 0)
+                .then(|| metrics.register_histogram(&format!("{head}.restart_us"))),
+            idle_dirty: false,
+            zombie: false,
+            chain,
+            last_id,
+        }
+    }
+}
+
+/// What one `step()` did — the scheduler decides what happens next.
+pub(crate) enum SpoutStep {
+    /// Produced a tuple (or recovered from a panic): call again soon.
+    Progress,
+    /// Source exhausted for now. `seen` is the ack-notifier sequence
+    /// snapshotted *before* the final settle — waiting with
+    /// `wait_past(seen, …)` cannot miss an ack that landed in between.
+    Idle { seen: u64 },
+    /// Terminal: clean finish, shutdown timeout, kill, or escalation.
+    Done,
+}
+
+/// One call into the fused tail (chaos + panic supervision applied).
+enum ChainCall<'a> {
+    Execute(&'a Tuple),
+    Watermark(u64),
+    Flush,
+    Idle,
+}
+
+/// The spout state machine. `step()` is one iteration of the classic
+/// spout loop; both schedulers drive it.
+pub(crate) struct SpoutCore {
+    spout: Box<dyn Spout>,
+    pub(crate) ctx: SpoutCtx,
+    emit: EmitCtx,
+    obs: Option<SpoutObs>,
+    tracker: RestartTracker,
+    panic_rng: SplitMix64,
+    panics: CounterHandle,
+    restarts: CounterHandle,
+    restart_us: Option<HistogramHandle>,
+    quarantine: Quarantine,
+    next_sampler: Sampler,
+    ack_sampler: Sampler,
+    local_auto: u64,
+    // Fresh ack-tree root per emission: replays get a new tree, so stale
+    // acks from an earlier attempt cannot corrupt it (Storm assigns new
+    // root ids on re-emission for the same reason). `in_flight` maps
+    // live roots back to the spout's stable message id, plus the
+    // emission timestamp for sampled roots (ack-latency tracking).
+    root_counter: u64,
+    in_flight: HashMap<u64, (u64, Option<Instant>)>,
+    // Root registrations (and chain hold-token acks) accumulated since
+    // the last acker visit; applied in one lock acquisition per batch
+    // rather than one per tuple.
+    pending_inits: Vec<(u64, u64)>,
+    pending_acks: Vec<(u64, u64)>,
+    since_settle: usize,
+    // Stall clock: time since the spout last made progress (an
+    // emission, or a root settling). Only a full `shutdown_timeout` of
+    // NO progress marks the run unclean — wall-clock age alone must
+    // not, or long trickle-input runs get falsely flagged while roots
+    // are still settling.
+    exhausted_at: Option<Instant>,
+    wm: Option<SpoutWm>,
+    finished_clean: bool,
+    chain: Option<SpoutChain>,
+    done: bool,
+}
+
+impl SpoutCore {
+    pub(crate) fn new(spout: Box<dyn Spout>, mut ctx: SpoutCtx, chain: Option<SpoutChain>) -> Self {
+        let emit = EmitCtx::new(
+            std::mem::take(&mut ctx.routes),
+            match &chain {
+                // Fused: the routed outputs are the LAST stage's, so the
+                // emit-side counters keep that stage's public name.
+                Some(sc) => sc.chain.tail_name().to_string(),
+                None => ctx.name.clone(),
+            },
+            &ctx.metrics,
+            ctx.sink.clone(),
+            ctx.seed,
+            ctx.drop_prob,
+            ctx.delay,
+            ctx.batch_size,
+            ctx.batch_linger,
+            ctx.sample_every,
+        );
+        let obs = (ctx.sample_every > 0).then(|| SpoutObs {
+            next_us: ctx.metrics.register_histogram(&format!("{}.next_us", ctx.name)),
+            ack_us: ctx.metrics.register_histogram(&format!("{}.ack_latency_us", ctx.name)),
+            settle_us: ctx.metrics.register_histogram(&format!("{}.settle_us", ctx.name)),
+        });
+        let tracker = RestartTracker::new(ctx.restart.clone());
+        let panic_rng = SplitMix64::new(ctx.seed ^ 0xFA17);
+        let panics = ctx.metrics.register(&format!("{}.panics", ctx.name));
+        let restarts = ctx.metrics.register(&format!("{}.restarts", ctx.name));
+        let restart_us = (ctx.sample_every > 0)
+            .then(|| ctx.metrics.register_histogram(&format!("{}.restart_us", ctx.name)));
+        let quarantine = Quarantine {
+            max_replays: ctx.max_replays,
+            counts: HashMap::new(),
+            key: format!("{}.dlq", ctx.name),
+            dlq: ctx.metrics.register(&format!("{}.dlq", ctx.name)),
+        };
+        let next_sampler = Sampler::new(ctx.sample_every);
+        let ack_sampler = Sampler::new(ctx.sample_every);
+        let wm = ctx.watermarks.take().map(|cfg| SpoutWm {
+            gen: WatermarkGen::new(cfg.bound),
+            cfg,
+            since_emit: 0,
+            last_emit: Instant::now(),
+            idle_sent: false,
+        });
+        Self {
+            spout,
+            ctx,
+            emit,
+            obs,
+            tracker,
+            panic_rng,
+            panics,
+            restarts,
+            restart_us,
+            quarantine,
+            next_sampler,
+            ack_sampler,
+            local_auto: 0,
+            root_counter: 0,
+            in_flight: HashMap::new(),
+            pending_inits: Vec::new(),
+            pending_acks: Vec::new(),
+            since_settle: 0,
+            exhausted_at: None,
+            wm,
+            finished_clean: false,
+            chain,
+            done: false,
+        }
+    }
+
+    /// Run up to `budget` steps, stopping early on idle or done. The
+    /// work-stealing runner calls this so one activation cannot
+    /// monopolize a worker.
+    pub(crate) fn run_slice(&mut self, budget: usize) -> SpoutStep {
+        for _ in 0..budget {
+            match self.step() {
+                SpoutStep::Progress => {}
+                stop => return stop,
+            }
+        }
+        SpoutStep::Progress
+    }
+
+    /// One iteration of the spout loop. Never blocks beyond supervised
+    /// restart backoff and chaos delays.
+    pub(crate) fn step(&mut self) -> SpoutStep {
+        if self.done {
+            return SpoutStep::Done;
+        }
+        if self.ctx.kill.as_ref().is_some_and(|k| k.load(Ordering::Relaxed)) {
+            // Crash: stop dead. Buffered partial batches are lost in
+            // flight; in-flight trees never settle.
+            self.ctx.unclean.store(true, Ordering::Relaxed);
+            self.done = true;
+            return SpoutStep::Done;
+        }
+        if self.ctx.abort.load(Ordering::Relaxed) {
+            // Another task escalated: stop feeding the topology so the
+            // coordinator can drain it and report the failure.
+            self.ctx.unclean.store(true, Ordering::Relaxed);
+            self.done = true;
+            return SpoutStep::Done;
+        }
+        // Settle acks/fails destined for this spout — once per batch (or
+        // on idle), not once per tuple.
+        if self.ctx.semantics == Semantics::AtLeastOnce && self.since_settle >= self.emit.batch_size
+        {
+            self.since_settle = 0;
+            self.settle();
+        }
+        self.emit.flush_if_lingering();
+        // Panic isolation: `next_tuple` runs under `catch_unwind` (plus
+        // chaos injection), so a crashing spout is supervised — backoff
+        // and retry with the same instance — not a dead topology.
+        let attempt = if self.ctx.panic_prob > 0.0 && self.panic_rng.bernoulli(self.ctx.panic_prob)
+        {
+            Err("injected chaos panic (FaultPlan)".to_string())
+        } else {
+            let t0 = self.next_sampler.hit().then(Instant::now);
+            match catch_unwind(AssertUnwindSafe(|| self.spout.next_tuple())) {
+                Ok(produced) => {
+                    if produced.is_some() {
+                        if let (Some(t0), Some(obs)) = (t0, &self.obs) {
+                            obs.next_us.record(t0.elapsed().as_secs_f64() * 1e6);
+                        }
+                    }
+                    Ok(produced)
+                }
+                Err(payload) => Err(panic_message(&*payload)),
+            }
+        };
+        let produced = match attempt {
+            Ok(produced) => produced,
+            Err(why) => {
+                self.panics.add(1);
+                self.ctx.metrics.task_panic();
+                match self.tracker.on_panic(self.ctx.run_start.elapsed()) {
+                    RestartDecision::Restart(backoff) => {
+                        let t0 = Instant::now();
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        self.restarts.add(1);
+                        self.ctx.metrics.task_restart();
+                        if let Some(h) = &self.restart_us {
+                            h.record(t0.elapsed().as_secs_f64() * 1e6);
+                        }
+                        return SpoutStep::Progress;
+                    }
+                    RestartDecision::Escalate => {
+                        {
+                            let mut slot = self.ctx.failure.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(format!(
+                                    "spout '{}' task {} escalated: restart budget exhausted \
+                                     ({} restarts in the last {:?}): {why}",
+                                    self.ctx.name,
+                                    self.ctx.task,
+                                    self.tracker.restarts_in_window(self.ctx.run_start.elapsed()),
+                                    self.tracker.policy().window,
+                                ));
+                            }
+                        }
+                        self.ctx.metrics.escalated();
+                        self.ctx.abort.store(true, Ordering::Relaxed);
+                        self.ctx.unclean.store(true, Ordering::Relaxed);
+                        self.done = true;
+                        return SpoutStep::Done;
+                    }
+                }
+            }
+        };
+        match produced {
+            Some(t) => {
+                self.process(t);
+                SpoutStep::Progress
+            }
+            None => self.idle_step(),
+        }
+    }
+
+    /// Route one produced tuple (directly, or through the fused tail).
+    fn process(&mut self, mut t: Tuple) {
+        self.exhausted_at = None;
+        self.since_settle += 1;
+        // The spout's own message id (stable across replays) arrives in
+        // `root`; it becomes the tuple's lineage.
+        let local = if t.root != 0 {
+            t.root
+        } else {
+            self.local_auto += 1;
+            self.local_auto
+        };
+        t.lineage = local;
+        match self.ctx.semantics {
+            Semantics::AtMostOnce => {
+                t.root = 0;
+                match self.chain.take() {
+                    None => {
+                        self.emit.push(&t, false);
+                    }
+                    Some(mut sc) => {
+                        if !sc.zombie {
+                            sc.idle_dirty = true;
+                            if let Some(out) = self.chain_guarded(&mut sc, ChainCall::Execute(&t)) {
+                                if !out.failed {
+                                    for mut e in out.emitted {
+                                        e.root = 0;
+                                        self.emit.push(&e, false);
+                                    }
+                                }
+                            }
+                        }
+                        self.chain = Some(sc);
+                    }
+                }
+            }
+            Semantics::AtLeastOnce => {
+                self.root_counter += 1;
+                let root = encode_root(self.ctx.task, self.root_counter);
+                t.root = root;
+                let born = self.ack_sampler.hit().then(Instant::now);
+                self.in_flight.insert(root, (local, born));
+                match self.chain.take() {
+                    None => {
+                        let xor = self.emit.push(&t, true);
+                        self.pending_inits.push((root, xor));
+                    }
+                    Some(mut sc) => {
+                        self.chain_execute_alo(&mut sc, &t, root, local);
+                        self.chain = Some(sc);
+                    }
+                }
+            }
+        }
+        let mut adv = None;
+        if let Some(w) = self.wm.as_mut() {
+            if let Some(et) = t.event_time {
+                w.gen.observe(et);
+            }
+            w.since_emit += 1;
+            w.last_emit = Instant::now();
+            w.idle_sent = false;
+            if w.since_emit >= w.cfg.emit_every {
+                w.since_emit = 0;
+                adv = w.gen.advance();
+            }
+        }
+        if let Some(new_wm) = adv {
+            self.broadcast_wm(new_wm, false);
+        }
+    }
+
+    /// Exactly-once path through the fused tail: final edge ids (plus a
+    /// hold token per holding input) form the root's ack tree. A chain
+    /// panic or explicit `fail()` fails the root *then* registers an
+    /// empty tree — the fail-before-init tombstone routes it straight
+    /// to the replay path, never to a spurious success.
+    fn chain_execute_alo(&mut self, sc: &mut SpoutChain, t: &Tuple, root: u64, local: u64) {
+        if sc.zombie {
+            self.fail_root_now(root);
+            return;
+        }
+        sc.idle_dirty = true;
+        match self.chain_guarded(sc, ChainCall::Execute(t)) {
+            None => self.fail_root_now(root),
+            Some(out) if out.failed => self.fail_root_now(root),
+            Some(out) => {
+                let mut xor = 0u64;
+                for mut e in out.emitted {
+                    e.root = root;
+                    e.lineage = local;
+                    xor ^= self.emit.push(&e, true);
+                }
+                if out.hold {
+                    let token = sc.token_rng.next_u64() | 1;
+                    xor ^= token;
+                    sc.ledger.push((root, token));
+                }
+                if out.release {
+                    self.pending_acks.append(&mut sc.ledger);
+                }
+                self.pending_inits.push((root, xor));
+            }
+        }
+    }
+
+    /// Fail + register a root in ONE acker visit: the fail lands first
+    /// (orphan tombstone), so the zero-XOR init settles as FAILED and
+    /// the message replays. `init(root, 0)` alone would read as a
+    /// completed tree and spuriously ack the message.
+    fn fail_root_now(&mut self, root: u64) {
+        let mut acker = self.ctx.acker.lock().unwrap();
+        acker.fail(root);
+        acker.init(root, 0);
+    }
+
+    /// The exhausted branch: flush, settle, and decide between clean
+    /// finish, stall timeout, and parking.
+    fn idle_step(&mut self) -> SpoutStep {
+        // Snapshot the notifier BEFORE settling: an ack landing after
+        // this point bumps the sequence and `wait_past(seen, …)` returns
+        // immediately instead of sleeping on missed progress.
+        let seen = self.ctx.ack_note.seq();
+        // Idle: commit the fused tail (may release held acks), then
+        // ship partial batches and settle before deciding.
+        self.chain_idle();
+        self.emit.flush_all();
+        let mut progressed = 0;
+        if self.ctx.semantics == Semantics::AtLeastOnce {
+            self.since_settle = 0;
+            progressed = self.settle();
+        }
+        let done = match self.ctx.semantics {
+            Semantics::AtMostOnce => true,
+            Semantics::AtLeastOnce => self.spout.pending() == 0,
+        };
+        if done {
+            self.finished_clean = true;
+            self.finish();
+            self.done = true;
+            return SpoutStep::Done;
+        }
+        // An idle lull long enough to trip the timeout: drop the
+        // out-of-orderness margin (everything emittable has been
+        // emitted) and declare this source idle so it stops gating
+        // downstream min-merges.
+        let mut idle_mark = None;
+        if let Some(w) = self.wm.as_mut() {
+            if let Some(timeout) = w.cfg.idle_timeout {
+                if !w.idle_sent && w.last_emit.elapsed() >= timeout {
+                    w.idle_sent = true;
+                    idle_mark = Some((w.gen.advance_to_max(), w.gen.max_ts().unwrap_or(0)));
+                }
+            }
+        }
+        if let Some((adv, max_ts)) = idle_mark {
+            if let Some(new_wm) = adv {
+                self.broadcast_wm(new_wm, false);
+            }
+            self.broadcast_idle(max_ts);
+        }
+        if progressed > 0 {
+            // Roots settled: the run is draining, not stuck.
+            self.exhausted_at = None;
+        }
+        let started = *self.exhausted_at.get_or_insert_with(Instant::now);
+        if started.elapsed() > self.ctx.shutdown_timeout {
+            self.ctx.unclean.store(true, Ordering::Relaxed);
+            self.finish();
+            self.done = true;
+            return SpoutStep::Done;
+        }
+        SpoutStep::Idle { seen }
+    }
+
+    /// Terminal flush: final partial batches, end-of-stream watermark,
+    /// and the fused tail's `flush` (its stages never see the
+    /// coordinator's `Flush` message — the chain has no inbox).
+    fn finish(&mut self) {
+        self.emit.flush_all();
+        if self.finished_clean && self.wm.is_some() {
+            // End of stream: promise "no more data, ever" so every
+            // pending window downstream fires before the flush phase.
+            // (FIFO order puts this marker ahead of the coordinator's
+            // `Flush`, which is only sent after spouts are joined.)
+            self.broadcast_wm(u64::MAX, false);
+        }
+        if let Some(mut sc) = self.chain.take() {
+            if !sc.zombie {
+                if let Some(out) = self.chain_guarded(&mut sc, ChainCall::Flush) {
+                    for mut e in out.emitted {
+                        e.root = 0;
+                        self.emit.push(&e, false);
+                    }
+                    if out.release {
+                        self.pending_acks.append(&mut sc.ledger);
+                    }
+                }
+                self.emit.flush_all();
+            }
+            self.chain = Some(sc);
+        }
+        // Leftover bookkeeping (e.g. from the flush release) still has
+        // to reach the acker so trees settle for a later settle() by a
+        // sibling — or just leave a consistent acker behind.
+        if !self.pending_inits.is_empty() || !self.pending_acks.is_empty() {
+            let mut acker = self.ctx.acker.lock().unwrap();
+            for (root, xor) in self.pending_inits.drain(..) {
+                acker.init(root, xor);
+            }
+            for (root, val) in self.pending_acks.drain(..) {
+                acker.ack(root, val);
+            }
+        }
+    }
+
+    /// Run the fused tail's idle hook (commit windows / release held
+    /// acks) when there is anything to commit.
+    fn chain_idle(&mut self) {
+        let Some(mut sc) = self.chain.take() else { return };
+        if !sc.zombie && (sc.idle_dirty || !sc.ledger.is_empty() || sc.chain.holding()) {
+            sc.idle_dirty = false;
+            if let Some(out) = self.chain_guarded(&mut sc, ChainCall::Idle) {
+                for mut e in out.emitted {
+                    e.root = 0;
+                    self.emit.push(&e, false);
+                }
+                if out.release {
+                    self.pending_acks.append(&mut sc.ledger);
+                }
+            }
+        }
+        self.chain = Some(sc);
+    }
+
+    /// Broadcast a watermark downstream — directly, or through the
+    /// fused tail's merger + `on_watermark` cascade so fused windows
+    /// fire at exactly the advance an unfused tail would see.
+    fn broadcast_wm(&mut self, wm: u64, idle: bool) {
+        let Some(mut sc) = self.chain.take() else {
+            self.emit.broadcast_watermark(self.ctx.wm_source, wm, idle);
+            return;
+        };
+        if sc.zombie {
+            // An escalated unfused bolt drains and discards markers;
+            // match it (the topology is aborting anyway).
+            self.chain = Some(sc);
+            return;
+        }
+        if let Some(adv) = sc.merger.update(self.ctx.wm_source, wm, idle) {
+            if let Some(out) = self.chain_guarded(&mut sc, ChainCall::Watermark(adv)) {
+                for mut e in out.emitted {
+                    e.root = 0;
+                    self.emit.push(&e, false);
+                }
+                if out.release {
+                    self.pending_acks.append(&mut sc.ledger);
+                }
+            }
+            // Forward even when the callback panicked — the marker is
+            // control-plane, exactly as the unfused runtime forwards it.
+            self.emit.broadcast_watermark(sc.last_id, adv, false);
+        }
+        self.chain = Some(sc);
+    }
+
+    /// Forward this source's idle marker. A fused tail swallows it:
+    /// unfused bolts only ever forward strict advances (idle=false), so
+    /// the chain records the idle source in its merger and broadcasts
+    /// nothing — downstream sees exactly what the unfused last stage
+    /// would have sent.
+    fn broadcast_idle(&mut self, max_ts: u64) {
+        let Some(mut sc) = self.chain.take() else {
+            self.emit.broadcast_watermark(self.ctx.wm_source, max_ts, true);
+            return;
+        };
+        if !sc.zombie {
+            sc.merger.update(self.ctx.wm_source, max_ts, true);
+        }
+        self.chain = Some(sc);
+    }
+
+    /// One guarded call into the fused tail: chaos injection (execute
+    /// only, matching the unfused data path), panic capture, and
+    /// chain-level supervision. `None` = the call panicked (and was
+    /// supervised); the input must be failed for replay.
+    fn chain_guarded(&mut self, sc: &mut SpoutChain, call: ChainCall) -> Option<ChainOut> {
+        let inject = matches!(call, ChainCall::Execute(_))
+            && sc.panic_prob > 0.0
+            && sc.panic_rng.bernoulli(sc.panic_prob);
+        let outcome = if inject {
+            Err("injected chaos panic (FaultPlan)".to_string())
+        } else {
+            let chain = &mut sc.chain;
+            catch_unwind(AssertUnwindSafe(|| match call {
+                ChainCall::Execute(t) => chain.execute(t),
+                ChainCall::Watermark(wm) => chain.on_watermark(wm),
+                ChainCall::Flush => chain.flush(),
+                ChainCall::Idle => chain.on_idle(),
+            }))
+            .map_err(|payload| panic_message(&*payload))
+        };
+        match outcome {
+            Ok(out) => Some(out),
+            Err(why) => {
+                self.supervise_chain(sc, &why);
+                None
+            }
+        }
+    }
+
+    /// Chain-level supervision: backoff + rebuild factory stages (and
+    /// fail held roots for replay), or escalate the whole run.
+    fn supervise_chain(&mut self, sc: &mut SpoutChain, why: &str) {
+        sc.panics.add(1);
+        self.ctx.metrics.task_panic();
+        match sc.tracker.on_panic(self.ctx.run_start.elapsed()) {
+            RestartDecision::Restart(backoff) => {
+                let t0 = Instant::now();
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                match sc.chain.rebuild() {
+                    Ok(true) => self.fail_ledger(sc),
+                    Ok(false) => {} // instance stages resume in place
+                    Err(e) => {
+                        self.escalate_chain(sc, &format!("restart rebuild failed: {e}"));
+                        return;
+                    }
+                }
+                sc.restarts.add(1);
+                self.ctx.metrics.task_restart();
+                if let Some(h) = &sc.restart_us {
+                    h.record(t0.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+            RestartDecision::Escalate => self.escalate_chain(sc, why),
+        }
+    }
+
+    fn escalate_chain(&mut self, sc: &mut SpoutChain, why: &str) {
+        {
+            let mut slot = self.ctx.failure.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(format!(
+                    "bolt '{}' task 0 escalated (fused into spout '{}'): restart budget \
+                     exhausted ({} restarts in the last {:?}): {why}",
+                    sc.chain.head_name(),
+                    self.ctx.name,
+                    sc.tracker.restarts_in_window(self.ctx.run_start.elapsed()),
+                    sc.tracker.policy().window,
+                ));
+            }
+        }
+        self.ctx.metrics.escalated();
+        self.ctx.abort.store(true, Ordering::Relaxed);
+        self.ctx.unclean.store(true, Ordering::Relaxed);
+        sc.zombie = true;
+        self.fail_ledger(sc);
+    }
+
+    /// Fail every held root (their chain effects were rolled back by the
+    /// rebuild); the ack timeout is not needed — replay is immediate.
+    fn fail_ledger(&mut self, sc: &mut SpoutChain) {
+        if sc.ledger.is_empty() {
+            return;
+        }
+        let mut acker = self.ctx.acker.lock().unwrap();
+        for (root, _) in sc.ledger.drain(..) {
+            acker.fail(root);
+        }
+    }
+
+    /// One acker visit: register accumulated roots, apply deferred
+    /// hold-token acks, expire stale trees, and route
+    /// completions/failures back into the spout. Returns the number of
+    /// this spout's roots that settled (acked, failed, or quarantined)
+    /// — the shutdown loop's progress signal.
+    fn settle(&mut self) -> u64 {
+        let obs = self.obs.as_ref();
+        let visit_start = obs.map(|_| Instant::now());
+        let (completed, failed) = {
+            let mut acker = self.ctx.acker.lock().unwrap();
+            for (root, xor) in self.pending_inits.drain(..) {
+                acker.init(root, xor);
+            }
+            for (root, val) in self.pending_acks.drain(..) {
+                acker.ack(root, val);
+            }
+            acker.expire(self.ctx.ack_timeout);
+            (acker.take_completed(), acker.take_failed())
+        };
+        let mut settled = 0u64;
+        let mut requeue_completed = Vec::new();
+        let mut requeue_failed = Vec::new();
+        for root in completed {
+            let (task, _) = decode_root(root);
+            if task == self.ctx.task {
+                if let Some((local, born)) = self.in_flight.remove(&root) {
+                    self.spout.ack(local);
+                    self.quarantine.counts.remove(&local);
+                    self.ctx.metrics.root_acked();
+                    settled += 1;
+                    if let (Some(obs), Some(born)) = (obs, born) {
+                        obs.ack_us.record(born.elapsed().as_secs_f64() * 1e6);
+                    }
+                }
+            } else {
+                // Not ours: hand it back for the owning spout.
+                requeue_completed.push(root);
+            }
+        }
+        for root in failed {
+            let (task, _) = decode_root(root);
+            if task == self.ctx.task {
+                if let Some((local, _)) = self.in_flight.remove(&root) {
+                    self.ctx.metrics.root_failed();
+                    let replays = self.quarantine.counts.entry(local).or_insert(0);
+                    *replays += 1;
+                    if self.quarantine.max_replays.is_some_and(|max| *replays > max) {
+                        // Poison: its replay budget is spent. Retire the
+                        // message from the spout and divert it (or an
+                        // id-only stub) to the dead-letter output.
+                        self.quarantine.counts.remove(&local);
+                        let mut t = self
+                            .spout
+                            .quarantine(local)
+                            .unwrap_or_else(|| tuple_of([local as i64]));
+                        t.lineage = local;
+                        t.root = 0;
+                        self.ctx.metrics.root_quarantined();
+                        self.quarantine.dlq.add(1);
+                        self.ctx
+                            .sink
+                            .lock()
+                            .unwrap()
+                            .entry(self.quarantine.key.clone())
+                            .or_default()
+                            .push(t);
+                    } else if self.spout.fail(local) {
+                        // Replay is the spout's decision: only count one
+                        // when the spout actually requeued the message.
+                        self.ctx.metrics.root_replayed();
+                    }
+                    settled += 1;
+                }
+            } else {
+                requeue_failed.push(root);
+            }
+        }
+        let requeued = !requeue_completed.is_empty() || !requeue_failed.is_empty();
+        if requeued {
+            let mut acker = self.ctx.acker.lock().unwrap();
+            for root in requeue_completed {
+                acker.requeue_completed(root);
+            }
+            for root in requeue_failed {
+                acker.requeue_failed(root);
+            }
+        }
+        if let (Some(obs), Some(visit_start)) = (obs, visit_start) {
+            obs.settle_us.record(visit_start.elapsed().as_secs_f64() * 1e6);
+        }
+        if requeued {
+            // Roots for sibling spouts landed: wake them.
+            (self.ctx.on_ack)();
+        }
+        settled
+    }
+}

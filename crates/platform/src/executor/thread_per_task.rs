@@ -1,0 +1,327 @@
+//! The historical runtime: every task owns an OS thread for the whole
+//! run ([`crate::Scheduling::ThreadPerTask`]). `ExecutorModel` picks
+//! the thread/queue layout (Heron-style dedicated threads over bounded
+//! queues vs Storm-style multiplexed workers over unbounded queues).
+//!
+//! Idle waiting is notifier-based throughout — no sleep-polling:
+//!
+//! * an exhausted spout parks on the run-wide ack notifier (bolts bump
+//!   it after applying acks/fails), with a short timeout for ack-expiry
+//!   sweeps and the shutdown clock;
+//! * a dedicated bolt worker blocks on its channel, or — while holding
+//!   acks that need a commit retry — parks on the component's send
+//!   notifier with a 1 ms retry cadence;
+//! * a multiplexed worker that found no work on any of its queues parks
+//!   on the same send notifier instead of spinning over `try_recv`.
+
+use super::bolt::{BoltCore, TaskBolt, WorkerCtx};
+use super::spout::{SpoutCore, SpoutCtx, SpoutStep};
+use super::{Msg, Route, RunCore, RunResult, Sender};
+use crate::channel::{channel_noted, Notifier, Receiver, TryRecvError};
+use crate::executor::ExecutorModel;
+use crate::supervise::panic_message;
+use sa_core::{Result, SaError};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub(crate) fn run(mut core: RunCore) -> Result<RunResult> {
+    let instrumented = core.config.latency_sample_every > 0;
+
+    // --- Build channels for every bolt task, with one send-notifier
+    //     per component so its workers can park instead of polling. ---
+    let mut receivers: HashMap<String, Vec<Receiver<Msg>>> = HashMap::new();
+    let mut senders: HashMap<String, Vec<Sender<Msg>>> = HashMap::new();
+    let mut notes: HashMap<String, Arc<Notifier>> = HashMap::new();
+    for c in core.decls.iter().filter(|c| c.is_bolt()) {
+        // One shared gauge per component: its tasks' queues aggregate
+        // into a single depth/stall account.
+        let stats = instrumented.then(|| core.metrics.register_link(&format!("{}.input", c.name)));
+        let note = Arc::new(Notifier::new());
+        let mut rx = Vec::new();
+        let mut tx = Vec::new();
+        for _ in 0..c.parallelism {
+            let capacity = match core.config.model {
+                ExecutorModel::ProcessPerTask => Some(core.config.channel_capacity),
+                ExecutorModel::Multiplexed { .. } => None,
+            };
+            let (s, r) = channel_noted(capacity, stats.clone(), note.clone());
+            tx.push(s);
+            rx.push(r);
+        }
+        notes.insert(c.name.clone(), note);
+        receivers.insert(c.name.clone(), rx);
+        senders.insert(c.name.clone(), tx);
+    }
+
+    // --- Routing tables: component → its downstream routes. ---
+    let mut routes: HashMap<String, Vec<Route>> = HashMap::new();
+    for c in &core.decls {
+        routes.entry(c.name.clone()).or_default();
+    }
+    for c in &core.decls {
+        for (upstream, grouping) in &c.inputs {
+            routes
+                .get_mut(upstream)
+                .unwrap()
+                .push(Route { grouping: grouping.clone(), senders: senders[&c.name].clone() });
+        }
+    }
+
+    // Ack progress (bolt-side acks/fails, cross-spout requeues) bumps
+    // the shared notifier; exhausted spouts park on it.
+    let on_ack: Arc<dyn Fn() + Send + Sync> = {
+        let note = core.ack_note.clone();
+        Arc::new(move || note.notify())
+    };
+
+    // --- Spawn bolts. ---
+    let mut bolt_handles: HashMap<String, Vec<(String, std::thread::JoinHandle<()>)>> =
+        HashMap::new();
+    let mut task_seed = core.config.seed;
+    for decl in core.decls.iter().filter(|c| c.is_bolt()) {
+        let name = decl.name.clone();
+        let my_routes = routes[&name].clone();
+        let rx_list = receivers.remove(&name).expect("bolt channel");
+        let note = notes[&name].clone();
+        let restart = core.restart_for(decl);
+        let drop_prob = core.drop_prob_for(&name);
+        let mut tasks: Vec<(usize, u32, super::BoltTask, Receiver<Msg>)> = core.task_ids[&name]
+            .iter()
+            .copied()
+            .zip(core.built.remove(&name).expect("built bolt tasks").into_iter().zip(rx_list))
+            .enumerate()
+            .map(|(idx, (id, (task, rx)))| (idx, id, task, rx))
+            .collect();
+
+        let group_size = match core.config.model {
+            ExecutorModel::ProcessPerTask => 1,
+            ExecutorModel::Multiplexed { tasks_per_worker } => tasks_per_worker.max(1),
+        };
+        let mut handles = Vec::new();
+        while !tasks.is_empty() {
+            let chunk: Vec<(usize, u32, super::BoltTask, Receiver<Msg>)> =
+                tasks.drain(..group_size.min(tasks.len())).collect();
+            let label = match (chunk.first(), chunk.last()) {
+                (Some(first), Some(last)) if first.0 == last.0 => format!("task {}", first.0),
+                (Some(first), Some(last)) => format!("tasks {}..={}", first.0, last.0),
+                _ => unreachable!("chunk is non-empty"),
+            };
+            task_seed = sa_core::hash::mix64(task_seed);
+            let ctx = WorkerCtx {
+                name: name.clone(),
+                emit_name: name.clone(),
+                routes: my_routes.clone(),
+                acker: core.acker.clone(),
+                semantics: core.config.semantics,
+                metrics: core.metrics.clone(),
+                sink: core.sink.clone(),
+                drop_prob,
+                delay: core.config.faults.delay_for(&name),
+                panic_prob: core.config.faults.panic_prob_for(&name),
+                restart: restart.clone(),
+                abort: core.abort.clone(),
+                failure: core.failure.clone(),
+                run_start: core.run_start,
+                seed: task_seed,
+                batch_size: core.config.batch_size,
+                batch_linger: core.config.batch_linger,
+                sample_every: core.config.latency_sample_every,
+                upstream_ids: core.upstream_ids[&name].clone(),
+                watermarks: core.config.watermarks.is_some(),
+                on_ack: on_ack.clone(),
+            };
+            let worker_note = note.clone();
+            let handle = std::thread::spawn(move || {
+                let cores: Vec<(BoltCore, Receiver<Msg>)> = chunk
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (idx, my_id, task, rx))| {
+                        (
+                            BoltCore::new(
+                                i,
+                                idx,
+                                my_id,
+                                TaskBolt::Plain(task.bolt),
+                                task.factory,
+                                &ctx,
+                            ),
+                            rx,
+                        )
+                    })
+                    .collect();
+                run_bolt_worker(cores, ctx, worker_note);
+            });
+            handles.push((label, handle));
+        }
+        bolt_handles.insert(name, handles);
+    }
+
+    // --- Spawn spouts. ---
+    let mut spout_handles: Vec<(String, usize, std::thread::JoinHandle<()>)> = Vec::new();
+    let mut spout_task_idx = 0usize;
+    for decl in core.decls.iter().filter(|c| !c.is_bolt()) {
+        let name = decl.name.clone();
+        let my_routes = routes[&name].clone();
+        let restart = core.restart_for(decl);
+        let drop_prob = core.drop_prob_for(&name);
+        let instances = core.spouts.remove(&name).expect("spout instances");
+        for (local_idx, spout) in instances.into_iter().enumerate() {
+            task_seed = sa_core::hash::mix64(task_seed);
+            let ctx = SpoutCtx {
+                task: spout_task_idx,
+                name: name.clone(),
+                routes: my_routes.clone(),
+                acker: core.acker.clone(),
+                semantics: core.config.semantics,
+                metrics: core.metrics.clone(),
+                sink: core.sink.clone(),
+                drop_prob,
+                delay: core.config.faults.delay_for(&name),
+                panic_prob: core.config.faults.panic_prob_for(&name),
+                restart: restart.clone(),
+                max_replays: core.config.max_replays,
+                abort: core.abort.clone(),
+                failure: core.failure.clone(),
+                run_start: core.run_start,
+                seed: task_seed,
+                batch_size: core.config.batch_size,
+                batch_linger: core.config.batch_linger,
+                sample_every: core.config.latency_sample_every,
+                ack_timeout: core.config.ack_timeout,
+                shutdown_timeout: core.config.shutdown_timeout,
+                unclean: core.unclean.clone(),
+                kill: core.config.kill.clone(),
+                wm_source: core.task_ids[&name][local_idx],
+                watermarks: core.config.watermarks.clone(),
+                ack_note: core.ack_note.clone(),
+                on_ack: on_ack.clone(),
+            };
+            spout_task_idx += 1;
+            let handle = std::thread::spawn(move || {
+                let mut sc = SpoutCore::new(spout, ctx, None);
+                loop {
+                    match sc.step() {
+                        SpoutStep::Progress => {}
+                        SpoutStep::Idle { seen } => {
+                            // Park until ack progress lands anywhere (or
+                            // the sweep cadence expires — the settle
+                            // visit also expires stale trees).
+                            sc.ctx.ack_note.wait_past(seen, Duration::from_millis(2));
+                        }
+                        SpoutStep::Done => break,
+                    }
+                }
+            });
+            spout_handles.push((name.clone(), local_idx, handle));
+        }
+    }
+
+    // --- Shutdown protocol: join spouts, then flush+terminate bolts in
+    //     topological order so upstream flush output reaches live
+    //     downstream tasks. ---
+    for (name, idx, h) in spout_handles {
+        h.join().map_err(|payload| {
+            SaError::Platform(format!(
+                "spout '{name}' task {idx} panicked outside supervision: {}",
+                panic_message(&*payload)
+            ))
+        })?;
+    }
+    // A killed run tears down without flushing: bolts never get their
+    // final `flush()` call, as in a real crash — and is never clean,
+    // even if the kill landed after the spouts drained.
+    let killed = core.config.kill.as_ref().is_some_and(|k| k.load(Ordering::Relaxed));
+    if killed {
+        core.unclean.store(true, Ordering::Relaxed);
+    }
+    for name in &core.order {
+        let Some(tx_list) = senders.get(name) else {
+            continue; // spout
+        };
+        for tx in tx_list {
+            if !killed {
+                let _ = tx.send(Msg::Flush);
+            }
+            let _ = tx.send(Msg::Terminate);
+        }
+        if let Some(handles) = bolt_handles.remove(name) {
+            for (label, h) in handles {
+                h.join().map_err(|payload| {
+                    SaError::Platform(format!(
+                        "bolt '{name}' {label} panicked outside supervision: {}",
+                        panic_message(&*payload)
+                    ))
+                })?;
+            }
+        }
+    }
+
+    core.conclude()
+}
+
+/// One worker thread driving its chunk of a component's tasks (one
+/// task in ProcessPerTask, several in Multiplexed).
+fn run_bolt_worker(mut cores: Vec<(BoltCore, Receiver<Msg>)>, ctx: WorkerCtx, note: Arc<Notifier>) {
+    let single = cores.len() == 1;
+    loop {
+        // Snapshot before scanning: a send landing mid-scan bumps the
+        // sequence, so the park below returns immediately.
+        let seen = note.seq();
+        let mut progressed = false;
+        let mut all_done = true;
+        for (core, rx) in cores.iter_mut() {
+            if core.done {
+                continue;
+            }
+            all_done = false;
+            let msg = match rx.try_recv() {
+                Ok(m) => Some(m),
+                Err(TryRecvError::Empty) if single => {
+                    // Dedicated worker about to park: give the bolt its
+                    // idle hook (commit + release held acks), ship
+                    // partial batches downstream, then block.
+                    core.idle(&ctx);
+                    if !core.held_empty() {
+                        // A failed commit left acks held; the spout is
+                        // waiting on those trees, so retry the commit at
+                        // a 1 ms cadence instead of blocking (fresh data
+                        // still wakes us immediately).
+                        note.wait_past(seen, Duration::from_millis(1));
+                        continue;
+                    }
+                    match rx.recv() {
+                        Ok(m) => Some(m),
+                        Err(_) => {
+                            core.done = true;
+                            continue;
+                        }
+                    }
+                }
+                Err(TryRecvError::Empty) => None,
+                Err(TryRecvError::Disconnected) => {
+                    core.done = true;
+                    continue;
+                }
+            };
+            let Some(msg) = msg else { continue };
+            progressed = true;
+            core.handle_msg(msg, &ctx);
+        }
+        if all_done {
+            break;
+        }
+        if !progressed && !single {
+            // Multiplexed worker found nothing on any queue: idle hooks,
+            // then park on the component's send notifier instead of
+            // spinning over `try_recv`.
+            for (core, _) in cores.iter_mut() {
+                if !core.done {
+                    core.idle(&ctx);
+                }
+            }
+            note.wait_past(seen, Duration::from_millis(1));
+        }
+    }
+}

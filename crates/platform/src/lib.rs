@@ -57,7 +57,7 @@ pub use executor::{
 pub use log::{Consumer, Log, Record};
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, HistogramSummary, LinkSnapshot, Metrics,
-    MetricsSnapshot, Sampler,
+    MetricsSnapshot, Sampler, SchedCounters,
 };
 pub use operator::{
     decode_checkpoint, frontier_offset, replay_offset, LogSpout, MergeBolt, OperatorConfig,
@@ -71,7 +71,7 @@ pub use supervise::{panic_message, FaultPlan, RestartDecision, RestartPolicy, Re
 pub use time::{TimerService, WatermarkConfig, WatermarkGen, WatermarkMerger};
 pub use topology::{
     vec_spout, Bolt, BoltBuilder, BoltFactory, BoltHandle, Grouping, IntoBoltFactory,
-    OutputCollector, Spout, SpoutHandle, TopologyBuilder, VecSpout,
+    OutputCollector, Scheduling, Spout, SpoutHandle, TopologyBuilder, VecSpout,
 };
 pub use tuple::{tuple_of, Batch, Tuple, Value};
 pub use window::{WindowBolt, WindowConfig, WindowSpec};

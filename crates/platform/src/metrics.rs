@@ -154,6 +154,19 @@ impl GaugeHandle {
     }
 }
 
+/// Per-worker scheduler counters of the work-stealing pool, bumped on
+/// the worker loop's hot path (one relaxed atomic add each). Named
+/// `sched.worker{i}.runs` / `.steals` / `.parks` in the snapshot.
+#[derive(Clone)]
+pub struct SchedCounters {
+    /// Activations this worker executed.
+    pub runs: CounterHandle,
+    /// Activations this worker stole from a sibling's deque.
+    pub steals: CounterHandle,
+    /// Times this worker parked on the injector condvar.
+    pub parks: CounterHandle,
+}
+
 /// Every-Nth gate for sampled recording: the hot loop calls
 /// [`Sampler::hit`] per event and only pays for the clock + sketch on a
 /// hit. `every = 0` disables sampling entirely (never hits), which is
@@ -282,6 +295,17 @@ impl Metrics {
     /// (last write wins). Build-time only.
     pub fn register_gauge(&self, name: &str) -> GaugeHandle {
         self.inner.gauges.lock().unwrap().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Intern the per-worker counters of the work-stealing pool
+    /// (`sched.worker{i}.{runs,steals,parks}`); they land in the
+    /// snapshot's counter map like any other metric. Build-time only.
+    pub fn register_sched_worker(&self, worker: usize) -> SchedCounters {
+        SchedCounters {
+            runs: self.register(&format!("sched.worker{worker}.runs")),
+            steals: self.register(&format!("sched.worker{worker}.steals")),
+            parks: self.register(&format!("sched.worker{worker}.parks")),
+        }
     }
 
     /// Record an acked root.

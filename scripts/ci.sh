@@ -39,4 +39,15 @@ cargo run --release -q --example trending_hashtags > /dev/null
 cargo run --release -q --example lambda_wordcount > /dev/null
 cargo run --release -q -p sa-bench --bin experiments t2.g
 
+echo "== scheduler gate (work-stealing equivalence, chaos, idle CPU, fusion) =="
+cargo test -q -p sa-platform --test scheduler --test idle_cpu
+# One example under both runtimes (the example asserts identical counts
+# and that the per-worker steal/run/park counters are live).
+cargo run --release -q --example scheduled_wordcount | grep -q "identical counts"
+# T2.H kick-tires: worker sweep + fusion ablation; the bench asserts
+# clean runs and full delivery, and records the scaling ratios.
+cargo run --release -q -p sa-bench --bin experiments t2.h
+grep -q '"scaling_ok": true' BENCH_sched.json
+grep -q '"fusion_wins": true' BENCH_sched.json
+
 echo "CI gate passed."

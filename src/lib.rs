@@ -70,9 +70,10 @@ pub mod prelude {
         EpochData, ExecutorConfig, ExecutorModel, FaultPlan, GaugeHandle, Grouping,
         HistogramSummary, IntoBoltFactory, Layer, LinkSnapshot, LinkStats, Log, LogSpout,
         MergeBolt, Metrics, MetricsSnapshot, OperatorConfig, OutputCollector, Query, QueryHandle,
-        QueryResult, Record, RestartDecision, RestartPolicy, RestartTracker, RunResult, Semantics,
-        ServingView, Spout, SpoutHandle, Staleness, SynopsisBolt, TimerService, TopologyBuilder,
-        Tuple, Value, VecSpout, ViewEntry, ViewHandle, ViewRead, WatermarkConfig, WatermarkGen,
-        WatermarkMerger, WindowBolt, WindowConfig, WindowSpec,
+        QueryResult, Record, RestartDecision, RestartPolicy, RestartTracker, RunResult,
+        SchedCounters, Scheduling, Semantics, ServingView, Spout, SpoutHandle, Staleness,
+        SynopsisBolt, TimerService, TopologyBuilder, Tuple, Value, VecSpout, ViewEntry, ViewHandle,
+        ViewRead, WatermarkConfig, WatermarkGen, WatermarkMerger, WindowBolt, WindowConfig,
+        WindowSpec,
     };
 }

@@ -51,8 +51,20 @@ fn lenient() -> RestartPolicy {
         .budget(10_000, Duration::from_secs(60))
 }
 
-fn chaos_config(faults: FaultPlan, kill: Option<Arc<AtomicBool>>) -> ExecutorConfig {
+/// Every chaos guarantee must hold under both runtimes: the
+/// work-stealing pool supervises activations exactly as
+/// thread-per-task supervises dedicated threads.
+fn schedulings() -> [Scheduling; 2] {
+    [Scheduling::ThreadPerTask, Scheduling::WorkStealing { workers: 2 }]
+}
+
+fn chaos_config(
+    faults: FaultPlan,
+    kill: Option<Arc<AtomicBool>>,
+    scheduling: Scheduling,
+) -> ExecutorConfig {
     ExecutorConfig {
+        scheduling,
         semantics: Semantics::AtLeastOnce,
         // Dropped deliveries must time out and replay quickly.
         ack_timeout: Duration::from_millis(200),
@@ -125,43 +137,47 @@ fn merged_counts(outputs: &HashMap<String, Vec<Tuple>>) -> HashMap<String, u64> 
 /// Duplicates are allowed; loss is not.
 #[test]
 fn at_least_once_no_loss_under_panics_drops_and_kill() {
-    let log = Log::new(1).unwrap();
-    let truth = fill_log(&log, 2_000, 42);
-    let counts: Arc<Mutex<HashMap<String, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    for scheduling in schedulings() {
+        let log = Log::new(1).unwrap();
+        let truth = fill_log(&log, 2_000, 42);
+        let counts: Arc<Mutex<HashMap<String, u64>>> = Arc::new(Mutex::new(HashMap::new()));
 
-    let topology = |kill_plan: KillPlan| {
-        let mut tb = TopologyBuilder::new();
-        let spout = LogSpout::new(&log, 0, 0, 0, killing_decoder(kill_plan));
-        tb.set_spout("log", vec![Box::new(spout) as Box<dyn Spout>]);
-        let counts = counts.clone();
-        let bolt = move |t: &Tuple, _out: &mut OutputCollector| {
-            let word = t.get(0).unwrap().as_str().unwrap().to_string();
-            *counts.lock().unwrap().entry(word).or_default() += 1;
+        let topology = |kill_plan: KillPlan| {
+            let mut tb = TopologyBuilder::new();
+            let spout = LogSpout::new(&log, 0, 0, 0, killing_decoder(kill_plan));
+            tb.set_spout("log", vec![Box::new(spout) as Box<dyn Spout>]);
+            let counts = counts.clone();
+            let bolt = move |t: &Tuple, _out: &mut OutputCollector| {
+                let word = t.get(0).unwrap().as_str().unwrap().to_string();
+                *counts.lock().unwrap().entry(word).or_default() += 1;
+            };
+            tb.set_bolt("count", vec![Box::new(bolt) as Box<dyn Bolt>]).shuffle("log");
+            tb
         };
-        tb.set_bolt("count", vec![Box::new(bolt) as Box<dyn Bolt>]).shuffle("log");
-        tb
-    };
-    let faults = || FaultPlan::new(77).panic_on("count", 0.01).drop_on("log", 0.01);
+        let faults = || FaultPlan::new(77).panic_on("count", 0.01).drop_on("log", 0.01);
 
-    // Run 1: killed after ~half the stream has been emitted.
-    let kill = Arc::new(AtomicBool::new(false));
-    let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 1_000, kill.clone()));
-    let crashed = run_topology(topology(plan), chaos_config(faults(), Some(kill))).unwrap();
-    assert!(!crashed.clean_shutdown, "kill switch must mark unclean");
+        // Run 1: killed after ~half the stream has been emitted.
+        let kill = Arc::new(AtomicBool::new(false));
+        let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 1_000, kill.clone()));
+        let crashed =
+            run_topology(topology(plan), chaos_config(faults(), Some(kill), scheduling)).unwrap();
+        assert!(!crashed.clean_shutdown, "{scheduling:?}: kill switch must mark unclean");
 
-    // Run 2: replay the whole log (no checkpoint to resume from).
-    let resumed = run_topology(topology(None), chaos_config(faults(), None)).unwrap();
-    assert!(resumed.clean_shutdown);
+        // Run 2: replay the whole log (no checkpoint to resume from).
+        let resumed =
+            run_topology(topology(None), chaos_config(faults(), None, scheduling)).unwrap();
+        assert!(resumed.clean_shutdown);
 
-    let got = counts.lock().unwrap();
-    for (word, &want) in &truth {
-        let have = got.get(word).copied().unwrap_or(0);
-        assert!(have >= want, "lost tuples for {word}: {have} < {want}");
+        let got = counts.lock().unwrap();
+        for (word, &want) in &truth {
+            let have = got.get(word).copied().unwrap_or(0);
+            assert!(have >= want, "{scheduling:?}: lost tuples for {word}: {have} < {want}");
+        }
+        let snap = resumed.metrics.snapshot();
+        assert!(snap.task_panics > 0, "{scheduling:?}: chaos plan never fired");
+        assert_eq!(snap.task_panics, snap.task_restarts, "every panic must be forgiven");
+        assert_eq!(snap.escalations, 0);
     }
-    let snap = resumed.metrics.snapshot();
-    assert!(snap.task_panics > 0, "chaos plan never fired");
-    assert_eq!(snap.task_panics, snap.task_restarts, "every panic must be forgiven");
-    assert_eq!(snap.escalations, 0);
 }
 
 /// Exactly-once under panics + drops (no kill): a full run with bolt
@@ -170,21 +186,30 @@ fn at_least_once_no_loss_under_panics_drops_and_kill() {
 /// checkpoint.
 #[test]
 fn exactly_once_exact_under_panics_and_drops() {
-    let log = Log::new(1).unwrap();
-    let truth = fill_log(&log, 2_000, 43);
-    let store = CheckpointStore::new();
-    let faults = FaultPlan::new(99).panic_on("wc", 0.01).drop_on("log", 0.01);
+    for scheduling in schedulings() {
+        let log = Log::new(1).unwrap();
+        let truth = fill_log(&log, 2_000, 43);
+        let store = CheckpointStore::new();
+        let faults = FaultPlan::new(99).panic_on("wc", 0.01).drop_on("log", 0.01);
 
-    let result =
-        run_topology(eo_wordcount(&log, &store, 0, None), chaos_config(faults, None)).unwrap();
-    assert!(result.clean_shutdown);
-    assert_eq!(merged_counts(&result.outputs), truth, "chaos perturbed the exact counts");
+        let result = run_topology(
+            eo_wordcount(&log, &store, 0, None),
+            chaos_config(faults, None, scheduling),
+        )
+        .unwrap();
+        assert!(result.clean_shutdown);
+        assert_eq!(
+            merged_counts(&result.outputs),
+            truth,
+            "{scheduling:?}: chaos perturbed the exact counts"
+        );
 
-    let snap = result.metrics.snapshot();
-    assert!(snap.task_panics > 0, "chaos plan never fired");
-    assert!(snap.task_restarts > 0);
-    assert_eq!(snap.escalations, 0);
-    assert!(snap.counters.get("wc.restarts").copied().unwrap_or(0) > 0);
+        let snap = result.metrics.snapshot();
+        assert!(snap.task_panics > 0, "{scheduling:?}: chaos plan never fired");
+        assert!(snap.task_restarts > 0);
+        assert_eq!(snap.escalations, 0);
+        assert!(snap.counters.get("wc.restarts").copied().unwrap_or(0) > 0);
+    }
 }
 
 /// Exactly-once under panics + a mid-run kill: the restarted topology
@@ -194,29 +219,39 @@ fn exactly_once_exact_under_panics_and_drops() {
 /// process death together need the at-least-once envelope above.)
 #[test]
 fn exactly_once_recovers_from_kill_under_panics() {
-    let log = Log::new(1).unwrap();
-    let truth = fill_log(&log, 2_000, 44);
-    let store = CheckpointStore::new();
-    let faults = || FaultPlan::new(1234).panic_on("wc", 0.01);
+    for scheduling in schedulings() {
+        let log = Log::new(1).unwrap();
+        let truth = fill_log(&log, 2_000, 44);
+        let store = CheckpointStore::new();
+        let faults = || FaultPlan::new(1234).panic_on("wc", 0.01);
 
-    // Run 1: crash after ~half the records have been emitted.
-    let kill = Arc::new(AtomicBool::new(false));
-    let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 1_000, kill.clone()));
-    let crashed =
-        run_topology(eo_wordcount(&log, &store, 0, plan), chaos_config(faults(), Some(kill)))
-            .unwrap();
-    assert!(!crashed.clean_shutdown);
+        // Run 1: crash after ~half the records have been emitted.
+        let kill = Arc::new(AtomicBool::new(false));
+        let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 1_000, kill.clone()));
+        let crashed = run_topology(
+            eo_wordcount(&log, &store, 0, plan),
+            chaos_config(faults(), Some(kill), scheduling),
+        )
+        .unwrap();
+        assert!(!crashed.clean_shutdown);
 
-    // Run 2: fresh bolts recover their checkpoints; the spout replays
-    // from its settled frontier — the oldest record whose durability is
-    // not yet certain; chaos stays on.
-    let offset = frontier_offset(&store, "log.frontier");
-    assert!(offset < log.end_offset(0), "crash after full stream");
-    let recovered =
-        run_topology(eo_wordcount(&log, &store, offset, None), chaos_config(faults(), None))
-            .unwrap();
-    assert!(recovered.clean_shutdown);
-    assert_eq!(merged_counts(&recovered.outputs), truth, "recovery lost or duplicated state");
+        // Run 2: fresh bolts recover their checkpoints; the spout replays
+        // from its settled frontier — the oldest record whose durability is
+        // not yet certain; chaos stays on.
+        let offset = frontier_offset(&store, "log.frontier");
+        assert!(offset < log.end_offset(0), "{scheduling:?}: crash after full stream");
+        let recovered = run_topology(
+            eo_wordcount(&log, &store, offset, None),
+            chaos_config(faults(), None, scheduling),
+        )
+        .unwrap();
+        assert!(recovered.clean_shutdown);
+        assert_eq!(
+            merged_counts(&recovered.outputs),
+            truth,
+            "{scheduling:?}: recovery lost or duplicated state"
+        );
+    }
 }
 
 /// `RestartPolicy::none()` restores the old behaviour: the very same
@@ -224,35 +259,40 @@ fn exactly_once_recovers_from_kill_under_panics() {
 /// failure naming the component.
 #[test]
 fn restart_policy_none_escalates_the_first_panic() {
-    let log = Log::new(1).unwrap();
-    fill_log(&log, 2_000, 45);
-    let store = CheckpointStore::new();
-    let faults = FaultPlan::new(99).panic_on("wc", 0.01);
+    for scheduling in schedulings() {
+        let log = Log::new(1).unwrap();
+        fill_log(&log, 2_000, 45);
+        let store = CheckpointStore::new();
+        let faults = FaultPlan::new(99).panic_on("wc", 0.01);
 
-    let mut config = chaos_config(faults, None);
-    config.restart = RestartPolicy::none();
-    let err = run_topology(eo_wordcount(&log, &store, 0, None), config)
-        .expect_err("first panic must fail the topology");
-    let msg = err.to_string();
-    assert!(msg.contains("bolt 'wc'"), "error must name the component: {msg}");
-    assert!(msg.contains("escalated"), "error must say what happened: {msg}");
+        let mut config = chaos_config(faults, None, scheduling);
+        config.restart = RestartPolicy::none();
+        let err = run_topology(eo_wordcount(&log, &store, 0, None), config)
+            .expect_err("first panic must fail the topology");
+        let msg = err.to_string();
+        assert!(msg.contains("bolt 'wc'"), "error must name the component: {msg}");
+        assert!(msg.contains("escalated"), "error must say what happened: {msg}");
+    }
 }
 
 /// A per-component `.restart()` override beats the config default: the
 /// config grants a lenient budget, but the bolt opted out.
 #[test]
 fn per_component_restart_override_wins() {
-    let mut tb = TopologyBuilder::new();
-    tb.set_spout("nums", vec![vec_spout((0..50).map(|i| tuple_of([i])).collect())]);
-    tb.set_bolt(
-        "boom",
-        vec![Box::new(|t: &Tuple, out: &mut OutputCollector| out.emit(t.clone())) as Box<dyn Bolt>],
-    )
-    .shuffle("nums")
-    .restart(RestartPolicy::none());
+    for scheduling in schedulings() {
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("nums", vec![vec_spout((0..50).map(|i| tuple_of([i])).collect())]);
+        tb.set_bolt(
+            "boom",
+            vec![Box::new(|t: &Tuple, out: &mut OutputCollector| out.emit(t.clone()))
+                as Box<dyn Bolt>],
+        )
+        .shuffle("nums")
+        .restart(RestartPolicy::none());
 
-    let config = chaos_config(FaultPlan::new(5).panic_on("boom", 1.0), None);
-    assert_eq!(config.restart.max_restarts, 10_000, "default stays lenient");
-    let err = run_topology(tb, config).expect_err("override must escalate the first panic");
-    assert!(err.to_string().contains("bolt 'boom'"), "wrong component: {err}");
+        let config = chaos_config(FaultPlan::new(5).panic_on("boom", 1.0), None, scheduling);
+        assert_eq!(config.restart.max_restarts, 10_000, "default stays lenient");
+        let err = run_topology(tb, config).expect_err("override must escalate the first panic");
+        assert!(err.to_string().contains("bolt 'boom'"), "wrong component: {err}");
+    }
 }

@@ -93,21 +93,41 @@ fn merged_counts(outputs: &HashMap<String, Vec<Tuple>>) -> HashMap<String, u64> 
     global.heavy_hitters(0.0).into_iter().map(|h| (h.item, h.count)).collect()
 }
 
-fn config(semantics: Semantics, kill: Option<Arc<AtomicBool>>) -> ExecutorConfig {
-    ExecutorConfig { semantics, kill, seed: 7, ..Default::default() }
+/// Recovery must be scheduler-independent: checkpoints + log replay
+/// give the same answer whether tasks own threads or share a pool.
+fn schedulings() -> [Scheduling; 2] {
+    [Scheduling::ThreadPerTask, Scheduling::WorkStealing { workers: 2 }]
+}
+
+fn config(
+    semantics: Semantics,
+    kill: Option<Arc<AtomicBool>>,
+    scheduling: Scheduling,
+) -> ExecutorConfig {
+    ExecutorConfig { scheduling, semantics, kill, seed: 7, ..Default::default() }
 }
 
 #[test]
 fn wordcount_survives_crash_exactly_once() {
-    for semantics in [Semantics::AtLeastOnce, Semantics::AtMostOnce] {
+    for scheduling in schedulings() {
+        for semantics in [Semantics::AtLeastOnce, Semantics::AtMostOnce] {
+            wordcount_crash_case(scheduling, semantics);
+        }
+    }
+}
+
+fn wordcount_crash_case(scheduling: Scheduling, semantics: Semantics) {
+    {
         let log = Log::new(1).unwrap();
         let truth = fill_log(&log, 2_000, 42);
 
         // Reference: an uninterrupted run on its own store.
         let clean_store = CheckpointStore::new();
-        let clean =
-            run_topology(wordcount_topology(&log, &clean_store, 0, None), config(semantics, None))
-                .unwrap();
+        let clean = run_topology(
+            wordcount_topology(&log, &clean_store, 0, None),
+            config(semantics, None, scheduling),
+        )
+        .unwrap();
         assert!(clean.clean_shutdown);
         assert_eq!(merged_counts(&clean.outputs), truth, "{semantics:?}: clean run wrong");
 
@@ -115,9 +135,11 @@ fn wordcount_survives_crash_exactly_once() {
         let store = CheckpointStore::new();
         let kill = Arc::new(AtomicBool::new(false));
         let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 1_000, kill.clone()));
-        let crashed =
-            run_topology(wordcount_topology(&log, &store, 0, plan), config(semantics, Some(kill)))
-                .unwrap();
+        let crashed = run_topology(
+            wordcount_topology(&log, &store, 0, plan),
+            config(semantics, Some(kill), scheduling),
+        )
+        .unwrap();
         assert!(!crashed.clean_shutdown, "{semantics:?}: kill switch must mark unclean");
 
         // Run 2: fresh bolts recover their checkpoints; the spout
@@ -136,9 +158,11 @@ fn wordcount_survives_crash_exactly_once() {
             .max()
             .unwrap();
         assert!(max_applied > offset, "{semantics:?}: replay should overlap the checkpoints");
-        let recovered =
-            run_topology(wordcount_topology(&log, &store, offset, None), config(semantics, None))
-                .unwrap();
+        let recovered = run_topology(
+            wordcount_topology(&log, &store, offset, None),
+            config(semantics, None, scheduling),
+        )
+        .unwrap();
         assert!(recovered.clean_shutdown);
         assert_eq!(
             merged_counts(&recovered.outputs),
@@ -218,11 +242,14 @@ fn windowed_aggregation_identical_after_crash_recovery() {
     let log = Log::new(1).unwrap();
     let truth = fill_log_at(&log, 2_000, 4242, SIZE);
 
-    // Reference: an uninterrupted run on its own store.
+    // Reference: an uninterrupted thread-per-task run on its own store.
+    // Every scheduler's recovered run below must reproduce it bit for
+    // bit — window results are a scheduler-independent function of the
+    // log.
     let clean_store = CheckpointStore::new();
     let clean = run_topology(
         windowed_topology(&log, &clean_store, 0, None),
-        config(Semantics::AtLeastOnce, None),
+        config(Semantics::AtLeastOnce, None, Scheduling::ThreadPerTask),
     )
     .unwrap();
     assert!(clean.clean_shutdown);
@@ -238,34 +265,39 @@ fn windowed_aggregation_identical_after_crash_recovery() {
     }
     assert_eq!(from_windows, truth, "clean windowed counts wrong");
 
-    // Run 1: crash after ~half the records have been emitted.
-    let store = CheckpointStore::new();
-    let kill = Arc::new(AtomicBool::new(false));
-    let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 1_000, kill.clone()));
-    let crashed = run_topology(
-        windowed_topology(&log, &store, 0, plan),
-        config(Semantics::AtLeastOnce, Some(kill)),
-    )
-    .unwrap();
-    assert!(!crashed.clean_shutdown);
+    for scheduling in schedulings() {
+        // Run 1: crash after ~half the records have been emitted.
+        let store = CheckpointStore::new();
+        let kill = Arc::new(AtomicBool::new(false));
+        let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 1_000, kill.clone()));
+        let crashed = run_topology(
+            windowed_topology(&log, &store, 0, plan),
+            config(Semantics::AtLeastOnce, Some(kill), scheduling),
+        )
+        .unwrap();
+        assert!(!crashed.clean_shutdown);
 
-    // Run 2: fresh window bolts recover every live window, session, and
-    // dedup id; the spout replays the log from the oldest unapplied
-    // record, and replayed tuples carry their original event-time
-    // stamps — so they re-enter exactly the windows they were in.
-    let keys: Vec<String> = (0..WC_TASKS).map(|t| format!("win/{t}")).collect();
-    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
-    let offset = replay_offset(&store, &key_refs);
-    assert!(offset > 0, "crash landed before the first checkpoint");
-    assert!(offset < log.end_offset(0), "crash after full stream");
-    let recovered = run_topology(
-        windowed_topology(&log, &store, offset, None),
-        config(Semantics::AtLeastOnce, None),
-    )
-    .unwrap();
-    assert!(recovered.clean_shutdown);
-    // Bit-identical window results, not just equal counts.
-    assert_eq!(window_results(&recovered.outputs), clean_windows);
+        // Run 2: fresh window bolts recover every live window, session,
+        // and dedup id; the spout replays the log from the oldest
+        // unapplied record, and replayed tuples carry their original
+        // event-time stamps — so they re-enter exactly the windows they
+        // were in.
+        let keys: Vec<String> = (0..WC_TASKS).map(|t| format!("win/{t}")).collect();
+        let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let offset = replay_offset(&store, &key_refs);
+        assert!(offset > 0, "{scheduling:?}: crash landed before the first checkpoint");
+        assert!(offset < log.end_offset(0), "{scheduling:?}: crash after full stream");
+        let recovered = run_topology(
+            windowed_topology(&log, &store, offset, None),
+            config(Semantics::AtLeastOnce, None, scheduling),
+        )
+        .unwrap();
+        assert!(recovered.clean_shutdown);
+        // Bit-identical window results, not just equal counts — and
+        // identical across schedulers, since the reference run used
+        // thread-per-task.
+        assert_eq!(window_results(&recovered.outputs), clean_windows, "{scheduling:?}");
+    }
 }
 
 #[test]
@@ -292,25 +324,32 @@ fn hyperloglog_estimate_identical_after_crash_recovery() {
         tb
     };
 
-    let store = CheckpointStore::new();
-    let kill = Arc::new(AtomicBool::new(false));
-    let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 2_500, kill.clone()));
-    let crashed =
-        run_topology(hll_topology(&store, 0, plan), config(Semantics::AtLeastOnce, Some(kill)))
-            .unwrap();
-    assert!(!crashed.clean_shutdown);
+    for scheduling in schedulings() {
+        let store = CheckpointStore::new();
+        let kill = Arc::new(AtomicBool::new(false));
+        let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 2_500, kill.clone()));
+        let crashed = run_topology(
+            hll_topology(&store, 0, plan),
+            config(Semantics::AtLeastOnce, Some(kill), scheduling),
+        )
+        .unwrap();
+        assert!(!crashed.clean_shutdown);
 
-    let offset = replay_offset(&store, &["hll/0"]);
-    assert!(offset > 0 && offset < log.end_offset(0));
-    let recovered =
-        run_topology(hll_topology(&store, offset, None), config(Semantics::AtLeastOnce, None))
-            .unwrap();
-    assert!(recovered.clean_shutdown);
-    let mut restored = HyperLogLog::new(12).unwrap();
-    restored.restore(recovered.outputs["hll"][0].get(1).unwrap().as_bytes().unwrap()).unwrap();
-    // Register-identical recovery: the estimate matches an uninterrupted
-    // in-process run bit for bit, not just within the error bound.
-    assert_eq!(restored.estimate(), direct.estimate());
+        let offset = replay_offset(&store, &["hll/0"]);
+        assert!(offset > 0 && offset < log.end_offset(0));
+        let recovered = run_topology(
+            hll_topology(&store, offset, None),
+            config(Semantics::AtLeastOnce, None, scheduling),
+        )
+        .unwrap();
+        assert!(recovered.clean_shutdown);
+        let mut restored = HyperLogLog::new(12).unwrap();
+        restored.restore(recovered.outputs["hll"][0].get(1).unwrap().as_bytes().unwrap()).unwrap();
+        // Register-identical recovery: the estimate matches an
+        // uninterrupted in-process run bit for bit, not just within the
+        // error bound.
+        assert_eq!(restored.estimate(), direct.estimate(), "{scheduling:?}");
+    }
 }
 
 #[test]
@@ -346,7 +385,11 @@ fn merge_bolt_global_view_matches_single_instance() {
     )
     .global("partials");
 
-    let result = run_topology(tb, config(Semantics::AtLeastOnce, None)).unwrap();
+    let result = run_topology(
+        tb,
+        config(Semantics::AtLeastOnce, None, Scheduling::WorkStealing { workers: 2 }),
+    )
+    .unwrap();
     assert!(result.clean_shutdown);
     let out = &result.outputs["global"][0];
     assert_eq!(out.get(0).unwrap().as_str(), Some("site"));
