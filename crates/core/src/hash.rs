@@ -123,6 +123,17 @@ impl XxHasher {
     pub fn with_seed(seed: u64) -> Self {
         Self { seed, buf: Vec::with_capacity(32) }
     }
+
+    /// Reset to a fresh hasher state under `seed`, keeping the byte
+    /// buffer's capacity. Bulk callers hashing a run of items reuse one
+    /// hasher this way instead of paying [`XxHasher::with_seed`]'s
+    /// buffer allocation per item; results are bit-identical to
+    /// [`hash64`].
+    #[inline]
+    pub fn reset(&mut self, seed: u64) {
+        self.seed = seed;
+        self.buf.clear();
+    }
 }
 
 impl Default for XxHasher {

@@ -296,5 +296,5 @@ fn route_late(stage: &ChainStage, sink: &Sink, late: Vec<Tuple>) {
         return;
     }
     stage.dropped_late.add(late.len() as u64);
-    sink.lock().unwrap().entry(stage.late_key.clone()).or_default().extend(late);
+    super::sink_slot(sink, &stage.late_key).lock().unwrap().extend(late);
 }

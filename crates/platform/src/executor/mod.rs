@@ -214,6 +214,10 @@ pub struct RunResult {
 pub(crate) enum Msg {
     /// A run of tuples for one task.
     Data(Batch),
+    /// A columnar batch for one task (links whose consumer opted in via
+    /// [`Bolt::wants_frames`]; consumers that cannot take the bulk path
+    /// fall back through [`crate::frame::Frame::to_batch`]).
+    Frame(crate::frame::Frame),
     /// In-band watermark marker: the task identified by `source`
     /// promises no tuple with `event_time < wm` will follow on this
     /// link. `idle` declares the source dormant (excluded from
@@ -234,9 +238,32 @@ pub(crate) enum Msg {
 pub(crate) struct Route {
     pub(crate) grouping: Grouping,
     pub(crate) senders: Vec<Sender<Msg>>,
+    /// Ship full batches on this link as columnar [`Msg::Frame`]s
+    /// (every downstream task opted in via [`Bolt::wants_frames`]).
+    pub(crate) frames: bool,
 }
 
-pub(crate) type Sink = Arc<Mutex<HashMap<String, Vec<Tuple>>>>;
+/// One terminal-sink entry, pre-resolved at task spawn so the hot flush
+/// path locks only its own slot — no map lookup, no key clone, and no
+/// contention between components that share the run-wide sink.
+pub(crate) type SinkSlot = Arc<Mutex<Vec<Tuple>>>;
+
+pub(crate) type Sink = Arc<Mutex<HashMap<String, SinkSlot>>>;
+
+/// Intern `key`'s slot in the run sink (build-time only).
+pub(crate) fn sink_slot(sink: &Sink, key: &str) -> SinkSlot {
+    sink.lock().unwrap().entry(key.to_string()).or_default().clone()
+}
+
+/// True when every task of `downstream` opted into columnar input via
+/// [`Bolt::wants_frames`] — links into it then ship [`Msg::Frame`].
+/// Components absent from `built` (spouts, or bolts already fused into
+/// a chain and moved out) stay on the row path.
+pub(crate) fn link_frames(built: &HashMap<String, Vec<BoltTask>>, downstream: &str) -> bool {
+    built
+        .get(downstream)
+        .is_some_and(|tasks| !tasks.is_empty() && tasks.iter().all(|t| t.bolt.wants_frames()))
+}
 
 /// Task index for a fields grouping. Per-field hashes are
 /// mix-combined, not raw-XORed, and the result passes through `mix64`
@@ -319,7 +346,13 @@ impl RunCore {
         if let Some(why) = self.failure.lock().unwrap().take() {
             return Err(SaError::Platform(why));
         }
-        let outputs = std::mem::take(&mut *self.sink.lock().unwrap());
+        // Pre-resolved slots exist for every terminal/late/dlq key the
+        // run *could* have used; only keys that saw tuples surface.
+        let outputs = std::mem::take(&mut *self.sink.lock().unwrap())
+            .into_iter()
+            .map(|(k, slot)| (k, std::mem::take(&mut *slot.lock().unwrap())))
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
         Ok(RunResult {
             outputs,
             metrics: self.metrics,

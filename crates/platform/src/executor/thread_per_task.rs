@@ -62,10 +62,11 @@ pub(crate) fn run(mut core: RunCore) -> Result<RunResult> {
     }
     for c in &core.decls {
         for (upstream, grouping) in &c.inputs {
-            routes
-                .get_mut(upstream)
-                .unwrap()
-                .push(Route { grouping: grouping.clone(), senders: senders[&c.name].clone() });
+            routes.get_mut(upstream).unwrap().push(Route {
+                grouping: grouping.clone(),
+                senders: senders[&c.name].clone(),
+                frames: super::link_frames(&core.built, &c.name),
+            });
         }
     }
 

@@ -51,9 +51,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Messages drained per bolt activation before the slot yields (keeps
-/// a backlogged task from monopolizing a worker).
-const DRAIN_BUDGET: usize = 16;
+/// Tuples processed per bolt activation before the slot yields (keeps
+/// a backlogged task from monopolizing a worker). Budgeting in tuples
+/// rather than messages makes the fairness slice batch-size-agnostic:
+/// an activation amortizes its fixed costs (unit lock, claim hand-off,
+/// injector requeue) over ~2k tuples whether they arrive as 64-tuple
+/// batches or singletons.
+const DRAIN_TUPLES: usize = 2048;
+/// Messages pulled from the inbox per lock acquisition (bulk drain).
+const DRAIN_MSGS: usize = 32;
 /// Spout-loop iterations per activation (same fairness bound).
 const SPOUT_SLICE: usize = 128;
 /// Held-ack commit retry cadence (mirrors thread-per-task's 1 ms).
@@ -143,7 +149,16 @@ impl Sched {
         let (owner, wi) = WORKER.with(|w| w.get());
         if owner == self.id {
             match self.deques[wi].push(s as u64) {
-                Ok(()) => self.injector.wake_one(),
+                Ok(()) => {
+                    // Wake a parked sibling only when the push left
+                    // stealable *surplus*: a lone item is popped by
+                    // this worker right after its current activation,
+                    // and waking someone to lose that race is a
+                    // park/unpark round-trip per batch send.
+                    if self.deques[wi].len() > 1 {
+                        self.injector.wake_one();
+                    }
+                }
                 Err(v) => self.injector.push(v),
             }
         } else {
@@ -256,6 +271,16 @@ fn worker(sched: Arc<Sched>, wi: usize, counters: SchedCounters) {
     }
 }
 
+/// Fairness weight of one inbox message: data costs its row count,
+/// control markers cost one.
+fn msg_tuples(msg: &Msg) -> usize {
+    match msg {
+        Msg::Data(batch) => batch.len().max(1),
+        Msg::Frame(frame) => frame.len(),
+        _ => 1,
+    }
+}
+
 /// One sweep over the sibling deques, oldest work first.
 fn steal(sched: &Sched, wi: usize) -> Option<u64> {
     let n = sched.deques.len();
@@ -274,16 +299,28 @@ fn run_slot(sched: &Arc<Sched>, s: usize) {
             if core.done {
                 return;
             }
-            let mut budget = DRAIN_BUDGET;
+            // Chunked drain: one inbox lock per DRAIN_MSGS messages,
+            // processed inline until the tuple budget runs out — the
+            // run-inline-after-drain loop keeps a steady producer from
+            // forcing an injector round-trip per handful of messages.
+            let mut budget = DRAIN_TUPLES as i64;
+            let mut chunk: Vec<Msg> = Vec::with_capacity(DRAIN_MSGS);
             while budget > 0 {
-                let Some(msg) = rx.try_pop() else { break };
-                core.handle_msg(msg, ctx);
-                if core.done {
-                    drop(guard);
-                    sched.finish(s);
-                    return;
+                if rx.drain(DRAIN_MSGS, &mut chunk) == 0 {
+                    break;
                 }
-                budget -= 1;
+                // Every drained message is processed — the budget is
+                // re-checked only between chunks, so a drained message
+                // can never be stranded in the local buffer.
+                for msg in chunk.drain(..) {
+                    budget -= msg_tuples(&msg) as i64;
+                    core.handle_msg(msg, ctx);
+                    if core.done {
+                        drop(guard);
+                        sched.finish(s);
+                        return;
+                    }
+                }
             }
             if rx.is_empty() {
                 // Fully drained: idle hook (commit + release held acks,
@@ -443,13 +480,23 @@ pub(crate) fn run(mut core: RunCore) -> Result<RunResult> {
     for c in &core.decls {
         routes.entry(c.name.clone()).or_default();
     }
+    // Columnar links require an unfused consumer: a bolt fused into a
+    // chain is driven row-by-row by inline `execute` calls, so frames
+    // would only be pivoted back. Singleton chain heads qualify.
+    let singleton: std::collections::HashSet<&str> = chains
+        .iter()
+        .filter(|chain| chain.len() == 1 && core.decls[chain[0]].is_bolt())
+        .map(|chain| core.decls[chain[0]].name.as_str())
+        .collect();
     for c in &core.decls {
         for (upstream, grouping) in &c.inputs {
             if let Some(tx) = senders.get(&c.name) {
-                routes
-                    .get_mut(upstream)
-                    .unwrap()
-                    .push(Route { grouping: grouping.clone(), senders: tx.clone() });
+                routes.get_mut(upstream).unwrap().push(Route {
+                    grouping: grouping.clone(),
+                    senders: tx.clone(),
+                    frames: singleton.contains(c.name.as_str())
+                        && super::link_frames(&built, &c.name),
+                });
             }
         }
     }

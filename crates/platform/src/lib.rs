@@ -34,9 +34,11 @@
 //! (parallelism sweeps in t18).
 
 pub mod acker;
+pub mod alloc_stats;
 pub mod channel;
 pub mod checkpoint;
 pub mod executor;
+pub mod frame;
 pub mod lambda;
 pub mod log;
 pub mod metrics;
@@ -54,6 +56,7 @@ pub use checkpoint::CheckpointStore;
 pub use executor::{
     run_topology, run_topology_with, ExecutorConfig, ExecutorModel, RunResult, Semantics,
 };
+pub use frame::{ColumnData, Frame};
 pub use log::{Consumer, Log, Record};
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, HistogramSummary, LinkSnapshot, Metrics,

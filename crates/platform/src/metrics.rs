@@ -393,11 +393,14 @@ impl Metrics {
             .iter()
             .map(|(name, g)| (name.clone(), g.get()))
             .collect();
+        let (allocs, bytes) = crate::alloc_stats::totals();
         MetricsSnapshot {
             counters,
             histograms,
             links,
             gauges,
+            allocs,
+            bytes,
             acked_roots: self.inner.acked_roots.load(Ordering::Relaxed),
             failed_roots: self.inner.failed_roots.load(Ordering::Relaxed),
             replayed_roots: self.inner.replayed_roots.load(Ordering::Relaxed),
@@ -449,6 +452,11 @@ pub struct MetricsSnapshot {
     pub links: BTreeMap<String, LinkSnapshot>,
     /// Named scalar gauges (watermarks, watermark lag), in name order.
     pub gauges: BTreeMap<String, u64>,
+    /// Cumulative process allocations at snapshot time (see
+    /// [`crate::alloc_stats`]); diff two snapshots to meter a region.
+    pub allocs: u64,
+    /// Cumulative bytes requested from the allocator at snapshot time.
+    pub bytes: u64,
     /// Roots fully acked.
     pub acked_roots: u64,
     /// Roots failed (explicitly or by timeout).
@@ -546,10 +554,13 @@ impl MetricsSnapshot {
         }
         let _ = write!(
             out,
-            "}},\n  \"acked_roots\": {},\n  \"failed_roots\": {},\n  \
+            "}},\n  \"allocs\": {},\n  \"bytes\": {},\n  \
+             \"acked_roots\": {},\n  \"failed_roots\": {},\n  \
              \"replayed_roots\": {},\n  \"dropped_links\": {},\n  \
              \"task_panics\": {},\n  \"task_restarts\": {},\n  \
              \"quarantined_roots\": {},\n  \"escalations\": {}\n}}",
+            self.allocs,
+            self.bytes,
             self.acked_roots,
             self.failed_roots,
             self.replayed_roots,

@@ -44,6 +44,7 @@
 //! dedup-token low watermark.
 
 use crate::checkpoint::CheckpointStore;
+use crate::frame::Frame;
 use crate::log::{Log, Record};
 use crate::topology::{Bolt, OutputCollector, Spout};
 use crate::tuple::{Tuple, Value};
@@ -151,11 +152,19 @@ pub fn frontier_offset(store: &CheckpointStore, key: &str) -> u64 {
 /// whose record id has not been applied before. On `flush()` the bolt
 /// emits `[Str(checkpoint key), Bytes(snapshot)]` for a downstream
 /// [`MergeBolt`] (or any consumer of partial aggregates).
+/// Bulk update closure for [`SynopsisBolt`]: folds the fresh rows
+/// (second argument, indices into the frame) of a whole [`Frame`]
+/// into the synopsis in one call.
+pub type BulkUpdate<S> = Box<dyn FnMut(&Frame, &[usize], &mut S) + Send>;
+
 pub struct SynopsisBolt<S, F> {
-    key: String,
+    key: std::sync::Arc<str>,
     store: CheckpointStore,
     summary: S,
     update: F,
+    /// Columnar fast path (see [`SynopsisBolt::with_bulk`]): folds the
+    /// fresh rows of a whole [`Frame`] into the synopsis in one call.
+    bulk: Option<BulkUpdate<S>>,
     cfg: OperatorConfig,
     /// Fresh ids applied since the last commit, in arrival order.
     pending: Vec<u64>,
@@ -204,10 +213,11 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
             recovered = true;
         }
         Ok(Self {
-            key: key.to_string(),
+            key: std::sync::Arc::from(key),
             store: store.clone(),
             summary: initial,
             update,
+            bulk: None,
             cfg,
             pending: Vec::new(),
             pending_set: HashSet::new(),
@@ -218,6 +228,27 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
             commit_us: GkSketch::new(0.005).expect("valid commit-latency epsilon"),
             restore_us,
         })
+    }
+
+    /// Opt into the columnar fast path. `bulk(frame, fresh, summary)`
+    /// must fold exactly the rows whose indices appear in `fresh` (the
+    /// deduplicated survivors, in arrival order) into the synopsis,
+    /// producing the same final state as `update` called once per fresh
+    /// row. With a bulk closure installed the bolt advertises
+    /// [`Bolt::wants_frames`], upstream links ship columnar
+    /// [`Frame`]s, and per-column hashes ([`Frame::column_hashes`]) are
+    /// computed once per batch instead of once per tuple per sketch.
+    ///
+    /// Checkpoint cadence is evaluated once per frame (not per row), so
+    /// commit *boundaries* may differ from the row-at-a-time path; the
+    /// synopsis contents, dedup guarantees, and post-flush checkpoint
+    /// are identical.
+    pub fn with_bulk(
+        mut self,
+        bulk: impl FnMut(&Frame, &[usize], &mut S) + Send + 'static,
+    ) -> Self {
+        self.bulk = Some(Box::new(bulk));
+        self
     }
 
     /// Commit the pending batch: snapshot + fresh ids, atomically.
@@ -297,7 +328,7 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
     fn emit_partial(&self, out: &mut OutputCollector) {
         out.emit(Tuple::new(vec![
             Value::Str(self.key.clone()),
-            Value::Bytes(self.summary.snapshot()),
+            Value::Bytes(self.summary.snapshot().into()),
             Value::Int(self.last_applied as i64),
         ]));
     }
@@ -337,13 +368,55 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt for SynopsisBolt<
         }
     }
 
+    fn wants_frames(&self) -> bool {
+        self.bulk.is_some()
+    }
+
+    fn execute_frame(&mut self, frame: &Frame, out: &mut OutputCollector) {
+        // Dedup is protocol state and stays row-at-a-time; the synopsis
+        // fold — the hot part — goes through the bulk closure once.
+        let mut fresh: Vec<usize> = Vec::with_capacity(frame.len());
+        let mut nondurable_dup = false;
+        for (i, &id) in frame.lineages().iter().enumerate() {
+            if self.pending_set.contains(&id) {
+                // Replay of an id applied but not yet durable (or a
+                // duplicate earlier in this very frame): hold, as the
+                // row path would.
+                self.duplicates_skipped += 1;
+                nondurable_dup = true;
+            } else if self.store.is_seen(&self.key, id) {
+                self.duplicates_skipped += 1;
+            } else {
+                fresh.push(i);
+                self.pending.push(id);
+                self.pending_set.insert(id);
+                self.last_applied = self.last_applied.max(id);
+            }
+        }
+        if !fresh.is_empty() {
+            (self.bulk.as_mut().expect("frames imply bulk"))(frame, &fresh, &mut self.summary);
+        }
+        if self.pending.len() as u64 >= self.cfg.checkpoint_every && self.commit() {
+            out.release_acks();
+            if self.cfg.emit_on_commit {
+                self.emit_partial(out);
+            }
+        } else if !fresh.is_empty() || nondurable_dup {
+            // Some row in this frame is applied-but-not-durable: hold
+            // the whole frame's acks for the next commit to release.
+            // (Holding the durable-duplicate rows too is safe — their
+            // release rides the same commit.)
+            out.hold_ack();
+        }
+    }
+
     fn flush(&mut self, out: &mut OutputCollector) {
         if self.cfg.commit_on_flush && self.commit() {
             out.release_acks();
         }
         out.emit(Tuple::new(vec![
             Value::Str(self.key.clone()),
-            Value::Bytes(self.summary.snapshot()),
+            Value::Bytes(self.summary.snapshot().into()),
         ]));
     }
 
@@ -366,7 +439,7 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt for SynopsisBolt<
 /// emitting `[Str(name), Bytes(global snapshot)]`. Wire it with a
 /// global (or fields) grouping downstream of the partitioned bolts.
 pub struct MergeBolt<S> {
-    name: String,
+    name: std::sync::Arc<str>,
     template: S,
     parts: HashMap<String, Vec<u8>>,
     errors: u64,
@@ -376,7 +449,7 @@ impl<S: Synopsis + Merge + Clone + Send> MergeBolt<S> {
     /// An aggregator emitting under `name`; `template` supplies the
     /// synopsis configuration every partial must be compatible with.
     pub fn new(name: &str, template: S) -> Self {
-        Self { name: name.to_string(), template, parts: HashMap::new(), errors: 0 }
+        Self { name: std::sync::Arc::from(name), template, parts: HashMap::new(), errors: 0 }
     }
 
     /// Merge the collected partials into one synopsis.
@@ -412,7 +485,7 @@ impl<S: Synopsis + Merge + Clone + Send> Bolt for MergeBolt<S> {
         match self.merged() {
             Ok(global) => out.emit(Tuple::new(vec![
                 Value::Str(self.name.clone()),
-                Value::Bytes(global.snapshot()),
+                Value::Bytes(global.snapshot().into()),
             ])),
             Err(_) => self.errors += 1,
         }
@@ -840,14 +913,17 @@ mod tests {
         let mut out = OutputCollector::new();
         for (i, (n, sum)) in [(3u64, 30i64), (2, 5), (5, 15)].iter().enumerate() {
             let part = CountSum { n: *n, sum: *sum };
-            let t = Tuple::new(vec![Value::Str(format!("p{i}")), Value::Bytes(part.snapshot())]);
+            let t = Tuple::new(vec![
+                Value::Str(format!("p{i}").into()),
+                Value::Bytes(part.snapshot().into()),
+            ]);
             merge.execute(&t, &mut out);
         }
         // Re-delivery of a newer partial for the same partition replaces
         // the old one instead of double counting.
         let t = Tuple::new(vec![
             Value::Str("p1".into()),
-            Value::Bytes(CountSum { n: 4, sum: 6 }.snapshot()),
+            Value::Bytes(CountSum { n: 4, sum: 6 }.snapshot().into()),
         ]);
         merge.execute(&t, &mut out);
         merge.flush(&mut out);

@@ -480,7 +480,10 @@ impl<S: Aggregator + Sync> Bolt for MergeServe<S> {
 
     fn flush(&mut self, out: &mut OutputCollector) {
         let global = self.publish();
-        out.emit(Tuple::new(vec![Value::Str(self.name.clone()), Value::Bytes(global.snapshot())]));
+        out.emit(Tuple::new(vec![
+            Value::Str(self.name.clone().into()),
+            Value::Bytes(global.snapshot().into()),
+        ]));
     }
 }
 

@@ -228,6 +228,23 @@ pub trait Bolt: Send {
     /// and release them, so upstream spouts can settle and shut down
     /// cleanly.
     fn on_idle(&mut self, _out: &mut OutputCollector) {}
+
+    /// Opt in to columnar delivery: when every task of a component
+    /// returns `true`, upstream emitters ship whole batches as
+    /// [`crate::frame::Frame`]s (struct-of-arrays, per-column hashes
+    /// computed once) and the runtime calls
+    /// [`Bolt::execute_frame`] instead of per-row [`Bolt::execute`].
+    /// The default row path is untouched for everyone else.
+    fn wants_frames(&self) -> bool {
+        false
+    }
+
+    /// Process one columnar frame (only called when
+    /// [`Bolt::wants_frames`] is `true`). The collector's flags apply
+    /// frame-wide: `hold_ack` parks every row's ack, `release_acks`
+    /// releases all held inputs, `fail` fails every row's root.
+    /// Emissions anchor to the frame's last anchored row.
+    fn execute_frame(&mut self, _frame: &crate::frame::Frame, _out: &mut OutputCollector) {}
 }
 
 /// Blanket impl so closures can be used as stateless bolts.

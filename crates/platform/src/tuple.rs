@@ -1,6 +1,19 @@
 //! The data model: dynamically typed tuples, as in Storm/Heron.
+//!
+//! # Zero-copy payloads
+//!
+//! `Str` and `Bytes` payloads are interned behind `Arc<str>` /
+//! `Arc<[u8]>`, and a tuple's field vector is itself a shared
+//! `Arc<[Value]>` slice. Cloning a [`Tuple`] — which the emit path does
+//! once per downstream task on shuffle and `All` (broadcast) fan-out —
+//! therefore bumps one reference count instead of deep-copying every
+//! field. Routing metadata (`id`, `root`, `lineage`, `event_time`)
+//! stays inline and per-delivery; only the payload is shared. The
+//! executor never mutates `values` after construction, which is what
+//! makes the sharing sound.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A single field value.
 #[derive(Clone, Debug, PartialEq)]
@@ -9,12 +22,13 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// UTF-8 string.
-    Str(String),
+    /// UTF-8 string (interned; clones share the payload).
+    Str(Arc<str>),
     /// Boolean.
     Bool(bool),
-    /// Opaque bytes (synopsis snapshots travelling between operators).
-    Bytes(Vec<u8>),
+    /// Opaque bytes (synopsis snapshots travelling between operators;
+    /// interned; clones share the payload).
+    Bytes(Arc<[u8]>),
 }
 
 impl Value {
@@ -38,7 +52,7 @@ impl Value {
     /// String view.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(&**s),
             _ => None,
         }
     }
@@ -46,7 +60,7 @@ impl Value {
     /// Byte-payload view.
     pub fn as_bytes(&self) -> Option<&[u8]> {
         match self {
-            Value::Bytes(b) => Some(b),
+            Value::Bytes(b) => Some(&**b),
             _ => None,
         }
     }
@@ -56,9 +70,9 @@ impl Value {
         match self {
             Value::Int(i) => sa_core::hash::mix64(*i as u64 ^ 0x11),
             Value::Float(f) => sa_core::hash::mix64(f.to_bits() ^ 0x22),
-            Value::Str(s) => sa_core::hash::hash64(s.as_str(), 0x33),
+            Value::Str(s) => sa_core::hash::hash64(&**s, 0x33),
             Value::Bool(b) => sa_core::hash::mix64(u64::from(*b) ^ 0x44),
-            Value::Bytes(b) => sa_core::hash::hash64(b.as_slice(), 0x55),
+            Value::Bytes(b) => sa_core::hash::hash64(&**b, 0x55),
         }
     }
 }
@@ -87,11 +101,16 @@ impl From<f64> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(Arc::from(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Str(v)
     }
 }
@@ -102,6 +121,11 @@ impl From<bool> for Value {
 }
 impl From<Vec<u8>> for Value {
     fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(Arc::from(v))
+    }
+}
+impl From<Arc<[u8]>> for Value {
+    fn from(v: Arc<[u8]>) -> Self {
         Value::Bytes(v)
     }
 }
@@ -109,8 +133,8 @@ impl From<Vec<u8>> for Value {
 /// A tuple flowing through the topology.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tuple {
-    /// Field values.
-    pub values: Vec<Value>,
+    /// Field values — a shared slice: clones alias the same payload.
+    pub values: Arc<[Value]>,
     /// Event time (logical), for windowed operators. `None` means the
     /// tuple was never stamped — epoch 0 is a *valid* timestamp, so
     /// "unset" needs its own representation (a `0` sentinel would let
@@ -130,9 +154,10 @@ pub struct Tuple {
 
 impl Tuple {
     /// A tuple from field values (id/root/lineage filled in by the
-    /// runtime).
-    pub fn new(values: Vec<Value>) -> Self {
-        Self { values, event_time: None, id: 0, root: 0, lineage: 0 }
+    /// runtime). Accepts a `Vec<Value>` or an already-shared
+    /// `Arc<[Value]>` slice.
+    pub fn new(values: impl Into<Arc<[Value]>>) -> Self {
+        Self { values: values.into(), event_time: None, id: 0, root: 0, lineage: 0 }
     }
 
     /// Builder: set event time.
@@ -149,7 +174,7 @@ impl Tuple {
 
 /// Convenience macro-free constructor.
 pub fn tuple_of<V: Into<Value>, I: IntoIterator<Item = V>>(vals: I) -> Tuple {
-    Tuple::new(vals.into_iter().map(Into::into).collect())
+    Tuple::new(vals.into_iter().map(Into::into).collect::<Vec<_>>())
 }
 
 /// The unit of transfer on every executor link: a run of tuples that
@@ -167,14 +192,14 @@ mod tests {
     fn value_views() {
         assert_eq!(Value::Int(5).as_int(), Some(5));
         assert_eq!(Value::Int(5).as_float(), Some(5.0));
-        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
-        assert_eq!(Value::Str("x".into()).as_int(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from("x").as_int(), None);
         assert_eq!(Value::Bool(true).as_float(), None);
-        assert_eq!(Value::Bytes(vec![1, 2]).as_bytes(), Some(&[1u8, 2][..]));
+        assert_eq!(Value::from(vec![1u8, 2]).as_bytes(), Some(&[1u8, 2][..]));
         assert_eq!(Value::Int(1).as_bytes(), None);
-        assert_eq!(Value::Bytes(vec![0; 9]).to_string(), "<9 bytes>");
-        assert_eq!(Value::Bytes(vec![7]).hash64(), Value::Bytes(vec![7]).hash64());
-        assert_ne!(Value::Bytes(vec![7]).hash64(), Value::Bytes(vec![8]).hash64());
+        assert_eq!(Value::from(vec![0u8; 9]).to_string(), "<9 bytes>");
+        assert_eq!(Value::from(vec![7u8]).hash64(), Value::from(vec![7u8]).hash64());
+        assert_ne!(Value::from(vec![7u8]).hash64(), Value::from(vec![8u8]).hash64());
     }
 
     #[test]
@@ -182,7 +207,7 @@ mod tests {
         assert_eq!(Value::Int(7).hash64(), Value::Int(7).hash64());
         assert_ne!(Value::Int(7).hash64(), Value::Int(8).hash64());
         assert_ne!(
-            Value::Str("7".into()).hash64(),
+            Value::from("7").hash64(),
             Value::Int(7).hash64(),
             "types must not collide trivially"
         );
@@ -195,6 +220,19 @@ mod tests {
         assert_eq!(tuple_of(["a"]).event_time, None, "unstamped tuples carry no time");
         assert_eq!(t.get(0).unwrap().as_str(), Some("a"));
         assert!(t.get(5).is_none());
+    }
+
+    #[test]
+    fn clones_share_payloads() {
+        let t = tuple_of(["shared payload"]);
+        let c = t.clone();
+        assert!(Arc::ptr_eq(&t.values, &c.values), "clone must alias the field slice");
+        match (&t.values[0], &c.values[0]) {
+            (Value::Str(a), Value::Str(b)) => {
+                assert!(Arc::ptr_eq(a, b), "string payloads must be shared")
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

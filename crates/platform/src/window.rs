@@ -227,10 +227,10 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Window
         let snapshot = state.agg.snapshot();
         out.emit(
             Tuple::new(vec![
-                Value::Str(key.to_string()),
+                Value::Str(key.to_string().into()),
                 Value::Int(w.start as i64),
                 Value::Int(w.end as i64),
-                Value::Bytes(snapshot),
+                Value::Bytes(snapshot.into()),
             ])
             .at(w.end.saturating_sub(1)),
         );

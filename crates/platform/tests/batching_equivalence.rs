@@ -21,7 +21,7 @@ struct TagBolt {
 impl Bolt for TagBolt {
     fn execute(&mut self, input: &Tuple, out: &mut OutputCollector) {
         let word = input.get(0).and_then(Value::as_str).unwrap_or("");
-        out.emit(tuple_of([Value::Str(word.to_string()), Value::Int(self.task)]));
+        out.emit(tuple_of([Value::Str(word.into()), Value::Int(self.task)]));
     }
 }
 
@@ -35,7 +35,7 @@ fn run_once(grouping: &Grouping, batch_size: usize, n: usize) -> Multiset {
             // A skewed vocabulary so fields grouping exercises both hot
             // and cold keys.
             let word = format!("w{}", rng.next_below(17));
-            tuple_of([Value::Str(word), Value::Int(i as i64)])
+            tuple_of([Value::Str(word.into()), Value::Int(i as i64)])
         })
         .collect();
     let mut tb = TopologyBuilder::new();

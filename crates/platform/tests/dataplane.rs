@@ -1,0 +1,344 @@
+//! Data-plane invariants: the columnar [`Frame`] path must be
+//! invisible to topology semantics (same outputs, same checkpoints as
+//! the row path, under both schedulers), frames must round-trip
+//! losslessly, and `All`-grouped fan-out must stay O(1) allocations
+//! per delivered tuple now that payloads are `Arc`-interned.
+
+use sa_core::rng::SplitMix64;
+use sa_core::traits::CardinalityEstimator;
+use sa_platform::checkpoint::CheckpointStore;
+use sa_platform::operator::{OperatorConfig, SynopsisBolt};
+use sa_platform::topology::vec_spout;
+use sa_platform::{
+    alloc_stats, run_topology, tuple_of, Bolt, ExecutorConfig, Frame, OutputCollector, Scheduling,
+    Semantics, TopologyBuilder, Tuple, Value,
+};
+use sa_sketches::cardinality::HyperLogLog;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// The allocation counters are process-global, so tests in this binary
+/// run serially to keep diff-based measurements honest.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(())).lock().unwrap()
+}
+
+fn random_value(rng: &mut SplitMix64, kind: u64) -> Value {
+    match kind {
+        0 => Value::Int(rng.next_u64() as i64),
+        1 => Value::Float(f64::from_bits(0x3FF0_0000_0000_0000 | (rng.next_u64() >> 12))),
+        2 => Value::Str(format!("s{}", rng.next_below(1000)).into()),
+        3 => Value::Bool(rng.next_u64() & 1 == 0),
+        _ => Value::Bytes(vec![rng.next_u64() as u8; (rng.next_below(16) + 1) as usize].into()),
+    }
+}
+
+/// Property test: any uniform-schema batch pivots to a frame and back
+/// bit-identically — values, event times, and ack metadata alike —
+/// and per-column hashes equal the row path's `Value::hash64`.
+#[test]
+fn frame_roundtrip_property() {
+    let _g = serial();
+    let mut rng = SplitMix64::new(0xF4A3E);
+    for case in 0..200u64 {
+        let arity = (rng.next_below(4) + 1) as usize;
+        let schema: Vec<u64> = (0..arity).map(|_| rng.next_below(5)).collect();
+        let rows = (rng.next_below(100) + 1) as usize;
+        let batch: Vec<Tuple> = (0..rows)
+            .map(|i| {
+                let mut t = Tuple::new(
+                    schema.iter().map(|&k| random_value(&mut rng, k)).collect::<Vec<_>>(),
+                );
+                t.id = rng.next_u64() | 1;
+                t.root = rng.next_u64();
+                t.lineage = i as u64 + 1;
+                if rng.next_u64() & 1 == 0 {
+                    t.event_time = Some(rng.next_u64());
+                }
+                t
+            })
+            .collect();
+        let frame = Frame::from_batch(batch.clone())
+            .unwrap_or_else(|_| panic!("case {case}: uniform batch rejected"));
+        assert_eq!(frame.len(), rows);
+        assert_eq!(frame.arity(), arity);
+        for c in 0..arity {
+            let hashes = frame.column_hashes(c);
+            for (i, t) in batch.iter().enumerate() {
+                assert_eq!(
+                    hashes[i],
+                    t.get(c).unwrap().hash64(),
+                    "case {case}: hash mismatch at row {i} col {c}"
+                );
+            }
+        }
+        let back = frame.to_batch();
+        assert_eq!(back, batch, "case {case}: round-trip changed the batch");
+    }
+}
+
+/// Mixed-schema batches must be handed back untouched (the shipper
+/// falls back to rows).
+#[test]
+fn frame_rejects_mixed_schema_batches() {
+    let _g = serial();
+    let mixed = vec![tuple_of([Value::Int(1)]), tuple_of([Value::Str("x".into())])];
+    match Frame::from_batch(mixed.clone()) {
+        Ok(_) => panic!("mixed-discriminant batch must not pivot"),
+        Err(rows) => assert_eq!(rows, mixed),
+    }
+}
+
+const EQ_TUPLES: usize = 20_000;
+const EQ_TASKS: usize = 2;
+
+fn eq_tuples() -> Vec<Tuple> {
+    let mut rng = SplitMix64::new(0x5EED);
+    (0..EQ_TUPLES)
+        .map(|i| {
+            let mut t = tuple_of([format!("user{}", rng.next_below(3000))]);
+            // VecSpout stamps roots but not lineages; the dedup layer
+            // keys on lineage, so stamp stable per-record ids here.
+            t.lineage = i as u64 + 1;
+            t
+        })
+        .collect()
+}
+
+/// Build the audience topology: spout → fields-grouped
+/// `SynopsisBolt<HyperLogLog>` × 2 (terminal, so flush snapshots land
+/// in the run outputs). `columnar` installs the bulk closure, flipping
+/// the upstream link to frames.
+fn audience_topology(
+    store: &CheckpointStore,
+    columnar: bool,
+    bulk_calls: &Arc<AtomicU64>,
+) -> TopologyBuilder {
+    let mut tb = TopologyBuilder::new();
+    tb.set_spout("views", vec![vec_spout(eq_tuples())]);
+    let mut bolts: Vec<Box<dyn Bolt>> = Vec::new();
+    for task in 0..EQ_TASKS {
+        // Row path hashes each value exactly as the frame column does.
+        let update = |t: &Tuple, s: &mut HyperLogLog| {
+            s.insert_hash(t.get(0).unwrap().hash64());
+        };
+        let cfg = OperatorConfig { checkpoint_every: 500, ..Default::default() };
+        let bolt = SynopsisBolt::with_config(
+            &format!("hll/{task}"),
+            store,
+            HyperLogLog::new(12).unwrap(),
+            update,
+            cfg,
+        )
+        .unwrap();
+        if columnar {
+            let calls = bulk_calls.clone();
+            bolts.push(Box::new(bolt.with_bulk(move |frame: &Frame, fresh, s| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                let hashes = frame.column_hashes(0);
+                let picked: Vec<u64> = fresh.iter().map(|&i| hashes[i]).collect();
+                s.insert_hashes(&picked);
+            })));
+        } else {
+            bolts.push(Box::new(bolt));
+        }
+    }
+    tb.set_bolt("hll", bolts).fields("views", vec![0]);
+    tb
+}
+
+type KeyedBlobs = Vec<(String, Vec<u8>)>;
+
+fn run_audience(scheduling: Scheduling, columnar: bool) -> (KeyedBlobs, KeyedBlobs, u64) {
+    let store = CheckpointStore::new();
+    let bulk_calls = Arc::new(AtomicU64::new(0));
+    let tb = audience_topology(&store, columnar, &bulk_calls);
+    let result = run_topology(
+        tb,
+        ExecutorConfig {
+            scheduling,
+            semantics: Semantics::AtLeastOnce,
+            seed: 11,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(result.clean_shutdown);
+    let mut outputs: Vec<(String, Vec<u8>)> = result.outputs["hll"]
+        .iter()
+        .map(|t| {
+            (
+                t.get(0).and_then(Value::as_str).unwrap().to_string(),
+                t.get(1).and_then(Value::as_bytes).unwrap().to_vec(),
+            )
+        })
+        .collect();
+    outputs.sort();
+    let mut checkpoints: Vec<(String, Vec<u8>)> = (0..EQ_TASKS)
+        .map(|task| {
+            let key = format!("hll/{task}");
+            let (_, value) = store.get(&key).expect("final checkpoint present");
+            (key, value)
+        })
+        .collect();
+    checkpoints.sort();
+    (outputs, checkpoints, bulk_calls.load(Ordering::Relaxed))
+}
+
+/// The tentpole equivalence: columnar and row runs must produce
+/// bit-identical flush snapshots AND bit-identical final checkpoints,
+/// under both schedulers.
+#[test]
+fn columnar_and_row_runs_are_bit_identical() {
+    let _g = serial();
+    for scheduling in [Scheduling::ThreadPerTask, Scheduling::WorkStealing { workers: 2 }] {
+        let (row_out, row_ckpt, row_bulk) = run_audience(scheduling, false);
+        let (col_out, col_ckpt, col_bulk) = run_audience(scheduling, true);
+        assert_eq!(row_bulk, 0, "row path must never invoke the bulk closure");
+        assert!(col_bulk > 0, "{scheduling:?}: no frame reached the bulk path");
+        assert_eq!(row_out, col_out, "{scheduling:?}: flush snapshots diverge");
+        assert_eq!(row_ckpt, col_ckpt, "{scheduling:?}: final checkpoints diverge");
+    }
+}
+
+const FANOUT: usize = 8;
+const FANOUT_TUPLES: usize = 30_000;
+
+/// A terminal bolt that just counts — the cost under measurement is
+/// delivery, not processing.
+struct CountBolt(u64);
+impl Bolt for CountBolt {
+    fn execute(&mut self, _input: &Tuple, _out: &mut OutputCollector) {
+        self.0 += 1;
+    }
+    fn flush(&mut self, out: &mut OutputCollector) {
+        out.emit(tuple_of([self.0 as i64]));
+    }
+}
+
+/// Regression (this PR): `All`-grouped fan-out used to deep-clone the
+/// whole tuple — values, string payloads and all — once per downstream
+/// task. With `Arc`-interned payloads a clone is a few refcount bumps,
+/// so allocations per *delivered* tuple must stay O(1) and, above all,
+/// independent of payload size.
+#[test]
+fn all_grouped_fanout_allocs_per_tuple_is_constant() {
+    let _g = serial();
+    let payload = "x".repeat(512); // big enough that a deep clone would show
+    let run = |n: usize| -> f64 {
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|i| tuple_of([Value::Str(payload.as_str().into()), Value::Int(i as i64)]))
+            .collect();
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("src", vec![vec_spout(tuples)]);
+        let bolts: Vec<Box<dyn Bolt>> =
+            (0..FANOUT).map(|_| Box::new(CountBolt(0)) as Box<dyn Bolt>).collect();
+        tb.set_bolt("fan", bolts).all("src");
+        let (a0, _) = alloc_stats::totals();
+        let result = run_topology(
+            tb,
+            ExecutorConfig {
+                semantics: Semantics::AtMostOnce,
+                batch_linger: Duration::from_millis(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (a1, _) = alloc_stats::totals();
+        let delivered: i64 =
+            result.outputs["fan"].iter().map(|t| t.get(0).and_then(Value::as_int).unwrap()).sum();
+        assert_eq!(delivered as usize, n * FANOUT, "fan-out lost tuples");
+        (a1 - a0) as f64 / (n * FANOUT) as f64
+    };
+    run(2_000); // warm-up: metrics registration, thread spawns, etc.
+    let allocs_per_tuple = run(FANOUT_TUPLES);
+    // Interned fan-out measures ~2-4 allocs per delivered tuple; the
+    // old deep-clone path added one Vec + one String per clone (≥ 2
+    // more, and growing with arity). Gate with headroom.
+    assert!(
+        allocs_per_tuple < 8.0,
+        "fan-out allocates {allocs_per_tuple:.1} per delivered tuple — payload cloning is back?"
+    );
+}
+
+/// A frame-consuming counter that also folds every row's column hash,
+/// so row/columnar runs can be compared bit-for-bit.
+struct HashFoldBolt {
+    count: u64,
+    fold: u64,
+    columnar: bool,
+}
+impl Bolt for HashFoldBolt {
+    fn execute(&mut self, t: &Tuple, _out: &mut OutputCollector) {
+        self.count += 1;
+        self.fold ^= t.get(0).unwrap().hash64().rotate_left((self.count % 63) as u32);
+    }
+    fn wants_frames(&self) -> bool {
+        self.columnar
+    }
+    fn execute_frame(&mut self, frame: &Frame, _out: &mut OutputCollector) {
+        for &h in frame.column_hashes(0) {
+            self.count += 1;
+            self.fold ^= h.rotate_left((self.count % 63) as u32);
+        }
+    }
+    fn flush(&mut self, out: &mut OutputCollector) {
+        out.emit(tuple_of([self.count as i64, self.fold as i64]));
+    }
+}
+
+/// `All`-grouped frame links under at-most-once share ONE pivoted
+/// frame across all targets (`ship_shared`). Every consumer must still
+/// see every tuple, in order — bit-identical to the row broadcast.
+#[test]
+fn shared_broadcast_frames_match_row_broadcast() {
+    let _g = serial();
+    let run = |columnar: bool| -> Vec<(i64, i64)> {
+        let tuples: Vec<Tuple> = (0..10_000).map(|i| tuple_of([format!("k{}", i % 777)])).collect();
+        let mut tb = TopologyBuilder::new();
+        tb.set_spout("src", vec![vec_spout(tuples)]);
+        let bolts: Vec<Box<dyn Bolt>> = (0..4)
+            .map(|_| Box::new(HashFoldBolt { count: 0, fold: 0, columnar }) as Box<dyn Bolt>)
+            .collect();
+        tb.set_bolt("fan", bolts).all("src");
+        let result = run_topology(
+            tb,
+            ExecutorConfig { semantics: Semantics::AtMostOnce, ..Default::default() },
+        )
+        .unwrap();
+        assert!(result.clean_shutdown);
+        let mut outs: Vec<(i64, i64)> = result.outputs["fan"]
+            .iter()
+            .map(|t| {
+                (
+                    t.get(0).and_then(Value::as_int).unwrap(),
+                    t.get(1).and_then(Value::as_int).unwrap(),
+                )
+            })
+            .collect();
+        outs.sort();
+        outs
+    };
+    let rows = run(false);
+    let frames = run(true);
+    assert_eq!(rows.len(), 4);
+    assert!(rows.iter().all(|&(n, _)| n == 10_000), "row broadcast lost tuples: {rows:?}");
+    assert_eq!(rows, frames, "shared-frame broadcast diverged from row broadcast");
+}
+
+/// Clones must share payload storage, not copy it (the mechanism the
+/// fan-out gate above relies on).
+#[test]
+fn tuple_clone_shares_interned_payloads() {
+    let _g = serial();
+    let t = tuple_of([Value::Str("shared".into()), Value::Bytes(vec![1, 2, 3].into())]);
+    let (a0, _) = alloc_stats::totals();
+    let clones: Vec<Tuple> = (0..1000).map(|_| t.clone()).collect();
+    let (a1, _) = alloc_stats::totals();
+    assert!(Arc::ptr_eq(&t.values, &clones[999].values), "clone re-allocated values");
+    // The only allocation 1000 clones may perform is the collecting Vec
+    // itself (plus its growth doublings).
+    assert!(a1 - a0 < 32, "{} allocations for 1000 clones", a1 - a0);
+}

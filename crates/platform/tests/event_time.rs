@@ -209,7 +209,7 @@ fn shuffled_input_matches_sorted_up_to_lateness() {
     let sorted: Vec<Tuple> = (0..400u64)
         .map(|i| {
             let key = format!("k{}", rng.next_below(3));
-            tuple_of([Value::Str(key), Value::Int((i % 9) as i64)]).at(i)
+            tuple_of([Value::Str(key.into()), Value::Int((i % 9) as i64)]).at(i)
         })
         .collect();
     // Bounded disorder: deliver in order of `event_time + jitter` with

@@ -44,7 +44,7 @@ fn canon(result: &RunResult) -> Canon {
         .iter()
         .map(|(k, ts)| {
             let c =
-                ts.iter().map(|t| (t.values.clone(), t.event_time, t.root, t.lineage)).collect();
+                ts.iter().map(|t| (t.values.to_vec(), t.event_time, t.root, t.lineage)).collect();
             (k.clone(), c)
         })
         .collect()
@@ -59,7 +59,7 @@ fn keyed_stream(n: usize, seed: u64) -> (Vec<Tuple>, HashMap<String, i64>) {
         let key = format!("k{}", rng.next_below(7));
         let v = rng.next_below(100) as i64;
         *truth.entry(key.clone()).or_insert(0) += v * 3;
-        tuples.push(tuple_of([Value::Str(key), Value::Int(v)]));
+        tuples.push(tuple_of([Value::Str(key.into()), Value::Int(v)]));
     }
     (tuples, truth)
 }
@@ -175,7 +175,7 @@ fn multiworker_fanout_is_exact() {
     for _ in 0..300 {
         let key = format!("w{}", rng.next_below(20));
         *truth.entry(key.clone()).or_insert(0) += 1;
-        tuples.push(tuple_of([Value::Str(key)]));
+        tuples.push(tuple_of([Value::Str(key.into())]));
     }
     let mut tb = TopologyBuilder::new();
     tb.set_spout("words", vec![vec_spout(tuples)]);
@@ -267,7 +267,7 @@ fn event_time_windows_agree_across_schedulers() {
     let tuples: Vec<Tuple> = (0..200u64)
         .map(|i| {
             let key = format!("k{}", rng.next_below(3));
-            tuple_of([Value::Str(key), Value::Int((i % 11) as i64)]).at(i)
+            tuple_of([Value::Str(key.into()), Value::Int((i % 11) as i64)]).at(i)
         })
         .collect();
     let mut reference: Option<WindowTable> = None;
@@ -395,7 +395,7 @@ fn work_stealing_survives_panics_and_drops() {
     for _ in 0..500 {
         let key = format!("w{}", rng.next_below(16));
         *truth.entry(key.clone()).or_insert(0) += 1;
-        tuples.push(tuple_of([Value::Str(key)]));
+        tuples.push(tuple_of([Value::Str(key.into())]));
     }
     let store = CheckpointStore::new();
     let mut tb = TopologyBuilder::new();

@@ -26,7 +26,7 @@ impl Bolt for SplitBolt {
             return;
         };
         for (i, word) in sentence.split_whitespace().enumerate() {
-            out.emit(Tuple::new(vec![Value::Str(word.to_string()), Value::Int(i as i64)]));
+            out.emit(Tuple::new(vec![Value::Str(word.into()), Value::Int(i as i64)]));
         }
     }
 }
@@ -45,7 +45,7 @@ impl Bolt for CountBolt {
     }
     fn flush(&mut self, out: &mut OutputCollector) {
         for (w, c) in &self.counts {
-            out.emit(tuple_of([Value::Str(w.clone()), Value::Int(*c)]));
+            out.emit(tuple_of([Value::Str(w.clone().into()), Value::Int(*c)]));
         }
     }
 }
@@ -232,7 +232,11 @@ fn fields_grouping_sends_key_to_single_task() {
         }
         fn flush(&mut self, out: &mut OutputCollector) {
             for (w, c) in &self.counts {
-                out.emit(tuple_of([Value::Str(w.clone()), Value::Int(*c), Value::Int(self.tag)]));
+                out.emit(tuple_of([
+                    Value::Str(w.clone().into()),
+                    Value::Int(*c),
+                    Value::Int(self.tag),
+                ]));
             }
         }
     }

@@ -83,6 +83,29 @@ impl CountMinSketch {
         self.add_hash(sa_core::hash::hash64(item, self.seed), count);
     }
 
+    /// Bulk add of pre-computed hashes, `count` occurrences each — the
+    /// columnar fast path. Plain mode walks the counter matrix
+    /// row-major (all hashes against row 0, then row 1, …) so each
+    /// row's counters stay hot in cache and the inner loop carries no
+    /// mode branch; conservative mode needs the cross-row minimum per
+    /// item and keeps the per-item path.
+    pub fn add_hashes(&mut self, hashes: &[u64], count: i64) {
+        if self.conservative && count > 0 {
+            for &h in hashes {
+                self.add_hash(h, count);
+            }
+            return;
+        }
+        self.total += count * hashes.len() as i64;
+        for r in 0..self.depth {
+            let row = &mut self.counters[r * self.width..(r + 1) * self.width];
+            for &h in hashes {
+                let dh = DoubleHash { h1: h, h2: sa_core::hash::mix64(h) | 1 };
+                row[dh.index(r as u64, self.width)] += count;
+            }
+        }
+    }
+
     /// Estimated frequency of a hashable item.
     pub fn estimate<T: std::hash::Hash + ?Sized>(&self, item: &T) -> i64 {
         self.estimate_hash(sa_core::hash::hash64(item, self.seed))
@@ -328,6 +351,29 @@ mod tests {
         let est = a.inner_product(&b).unwrap();
         assert!(est >= 5000, "inner product underestimated: {est}");
         assert!(est < 7000, "inner product too loose: {est}");
+    }
+
+    #[test]
+    fn bulk_add_matches_sequential() {
+        use sa_core::traits::FrequencyEstimator;
+        let hashes: Vec<u64> =
+            (0..5_000u64).map(|i| sa_core::hash::mix64((i % 700) ^ 0xF0)).collect();
+        let mut seq = CountMinSketch::new(256, 4).unwrap();
+        let mut bulk = CountMinSketch::new(256, 4).unwrap();
+        for &h in &hashes {
+            seq.add_hash(h, 2);
+        }
+        bulk.add_hashes(&hashes, 2);
+        assert_eq!(seq.counters, bulk.counters);
+        assert_eq!(seq.total(), bulk.total());
+        // Conservative mode routes through the per-item path unchanged.
+        let mut seq_c = CountMinSketch::new(64, 3).unwrap().conservative();
+        let mut bulk_c = CountMinSketch::new(64, 3).unwrap().conservative();
+        for &h in &hashes {
+            seq_c.add_hash(h, 1);
+        }
+        bulk_c.add_hashes(&hashes, 1);
+        assert_eq!(seq_c.counters, bulk_c.counters);
     }
 
     #[test]

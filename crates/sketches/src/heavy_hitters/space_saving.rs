@@ -87,6 +87,23 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
         self.heap.push(Reverse((inherited + w, slot)));
     }
 
+    /// Bulk insert — the columnar fast path. Consecutive equal items
+    /// (common after a fields-grouped shuffle, where a hot key arrives
+    /// in runs) collapse into one weighted update, turning `r` heap
+    /// pushes into one; order of effects is otherwise identical to
+    /// `insert` per element.
+    pub fn insert_batch(&mut self, items: &[T]) {
+        let mut i = 0;
+        while i < items.len() {
+            let mut j = i + 1;
+            while j < items.len() && items[j] == items[i] {
+                j += 1;
+            }
+            self.insert_weighted(items[i].clone(), (j - i) as u64);
+            i = j;
+        }
+    }
+
     /// Stream length so far.
     pub fn n(&self) -> u64 {
         self.n
@@ -244,6 +261,26 @@ mod tests {
     use super::*;
     use sa_core::generators::ZipfStream;
     use sa_core::stats::{exact_counts, exact_heavy_hitters, exact_top_k};
+
+    #[test]
+    fn batch_insert_matches_sequential() {
+        // Run-heavy stream: hot keys arrive in bursts, as after a
+        // fields-grouped shuffle.
+        let mut g = ZipfStream::new(500, 1.3, 7);
+        let mut items = g.take_vec(20_000);
+        items.sort_unstable_by_key(|&x| x / 4); // manufacture runs, keep variety
+        let mut seq = SpaceSaving::new(64).unwrap();
+        let mut bulk = SpaceSaving::new(64).unwrap();
+        for &it in &items {
+            seq.insert(it);
+        }
+        bulk.insert_batch(&items);
+        assert_eq!(seq.n(), bulk.n());
+        for &it in &items {
+            assert_eq!(seq.estimate(&it), bulk.estimate(&it), "item {it}");
+            assert_eq!(seq.lower_bound(&it), bulk.lower_bound(&it), "item {it}");
+        }
+    }
 
     #[test]
     fn estimates_bracket_truth() {

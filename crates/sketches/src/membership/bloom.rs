@@ -65,6 +65,21 @@ impl BloomFilter {
         self.insert_hash(sa_core::hash::hash64(item, 0));
     }
 
+    /// Bulk insert of pre-computed hashes — the columnar fast path.
+    /// Equivalent to `insert_hash` per element; the word/bit split is
+    /// inlined so the inner loop is k unconditional OR-stores per hash.
+    pub fn insert_hashes(&mut self, hashes: &[u64]) {
+        let (m, k) = (self.m, u64::from(self.k));
+        for &hash in hashes {
+            let dh = DoubleHash { h1: hash, h2: sa_core::hash::mix64(hash) | 1 };
+            for i in 0..k {
+                let idx = dh.index(i, m);
+                self.bits[idx / 64] |= 1u64 << (idx % 64);
+            }
+        }
+        self.items += hashes.len() as u64;
+    }
+
     /// Membership query for any hashable item.
     pub fn contains<T: std::hash::Hash + ?Sized>(&self, item: &T) -> bool {
         self.contains_hash(sa_core::hash::hash64(item, 0))
@@ -164,6 +179,19 @@ impl Synopsis for BloomFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bulk_insert_matches_sequential() {
+        let hashes: Vec<u64> = (0..3_000u64).map(|i| sa_core::hash::mix64(i ^ 0xB1)).collect();
+        let mut seq = BloomFilter::new(8192, 5).unwrap();
+        let mut bulk = BloomFilter::new(8192, 5).unwrap();
+        for &h in &hashes {
+            seq.insert_hash(h);
+        }
+        bulk.insert_hashes(&hashes);
+        assert_eq!(seq.bits, bulk.bits);
+        assert_eq!(seq.items(), bulk.items());
+    }
 
     #[test]
     fn no_false_negatives() {

@@ -31,7 +31,7 @@ impl Bolt for TrendingBolt {
     }
     fn flush(&mut self, out: &mut OutputCollector) {
         for h in self.summary.top_k(self.k) {
-            out.emit(tuple_of([Value::Str(h.item), Value::Int(h.count as i64)]));
+            out.emit(tuple_of([Value::Str(h.item.into()), Value::Int(h.count as i64)]));
         }
     }
 }

@@ -28,7 +28,7 @@ fn main() {
             let et = i / 10; // ~10 clicks per "second", 500 s total
             let user = format!("user-{}", rng.next_below(300 + et));
             let arrival_key = et + rng.next_below(DISORDER / 2);
-            (arrival_key, tuple_of([Value::Str(user)]).at(et))
+            (arrival_key, tuple_of([Value::Str(user.into())]).at(et))
         })
         .collect();
     clicks.sort_by_key(|(k, _)| *k); // bounded disorder, as in real feeds

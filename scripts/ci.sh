@@ -48,6 +48,16 @@ cargo run --release -q --example scheduled_wordcount | grep -q "identical counts
 # clean runs and full delivery, and records the scaling ratios.
 cargo run --release -q -p sa-bench --bin experiments t2.h
 grep -q '"scaling_ok": true' BENCH_sched.json
+grep -q '"ws8_ok": true' BENCH_sched.json
 grep -q '"fusion_wins": true' BENCH_sched.json
+
+echo "== data plane gate (frames round-trip, row/columnar equivalence, fan-out allocs) =="
+cargo test -q -p sa-platform --test dataplane
+# T2.I kick-tires: broadcast analytics fan-out rows vs frames (asserts
+# bit-identical sketch outputs), exactly-once synopsis comparison, and
+# the 8-way fan-out allocation audit.
+cargo run --release -q -p sa-bench --bin experiments t2.i
+grep -q '"columnar_wins": true' BENCH_dataplane.json
+grep -q '"allocs_ok": true' BENCH_dataplane.json
 
 echo "CI gate passed."

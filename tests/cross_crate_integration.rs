@@ -25,7 +25,7 @@ impl Bolt for TrendBolt {
     }
     fn flush(&mut self, out: &mut OutputCollector) {
         for h in self.0.top_k(20) {
-            out.emit(tuple_of([Value::Str(h.item), Value::Int(h.count as i64)]));
+            out.emit(tuple_of([Value::Str(h.item.into()), Value::Int(h.count as i64)]));
         }
     }
 }
@@ -128,7 +128,7 @@ fn lambda_and_topology_agree_on_counts() {
         }
         fn flush(&mut self, out: &mut OutputCollector) {
             for (k, c) in &self.0 {
-                out.emit(tuple_of([Value::Str(k.clone()), Value::Int(*c)]));
+                out.emit(tuple_of([Value::Str(k.clone().into()), Value::Int(*c)]));
             }
         }
     }
