@@ -151,6 +151,9 @@ fn main() {
     if want("t2.i") {
         t2i_dataplane(&mut r);
     }
+    if want("t2.j") {
+        t2j_rescale(&mut r);
+    }
     if want("f1") {
         f1_lambda(&mut r);
     }
@@ -2362,6 +2365,160 @@ fn t2i_dataplane(r: &mut Recorder) {
     println!(
         "  [columnar/rows: {speedup:.2}x, fan-out allocs/tuple: {allocs_per_tuple:.2} \
          -> BENCH_dataplane.json]"
+    );
+}
+
+// ---------------------------------------------------------------- T2.J
+/// Live rescaling. A three-phase log — light uniform traffic, a Zipf
+/// hot-key storm with 20 µs of per-tuple work, light traffic again —
+/// flows through a `Parallelism::Auto` query while the signal-driven
+/// autoscaler watches queue depth and backpressure stalls. The bar:
+/// the component widens under the storm, drains after it, and the
+/// served counts stay *exact* through every live migration.
+fn t2j_rescale(r: &mut Recorder) {
+    use sa_platform::{
+        tuple_of, AutoPolicy, ExecutorConfig, Log, LogSpout, Parallelism, Query, Record,
+        Scheduling, Semantics, Spout, Tuple,
+    };
+    use sa_sketches::heavy_hitters::SpaceSaving;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    r.section("T2.J", "Live rescaling — autoscaler vs a Zipf hot-key storm");
+
+    const KEYS: u64 = 50;
+    const SLOTS: usize = 4;
+    // Phase sizes: the storm carries the CPU weight; the calm tail is
+    // long enough (in wall time) for several scale-down decisions.
+    const CALM_BEFORE: usize = 8_000;
+    const STORM: usize = 32_000;
+    const CALM_AFTER: usize = 150_000;
+
+    let log = Log::new(1).unwrap();
+    let mut truth: HashMap<String, u64> = HashMap::new();
+    let mut feed = |key: String, heavy: bool| {
+        *truth.entry(key.clone()).or_default() += 1;
+        log.append(&key, if heavy { b"h".to_vec() } else { b"l".to_vec() });
+    };
+    let mut rng = SplitMix64::new(0x72E5);
+    for _ in 0..CALM_BEFORE {
+        feed(format!("k{}", rng.next_below(KEYS)), false);
+    }
+    let mut zipf = ZipfStream::new(KEYS, 1.2, 0x5702);
+    for _ in 0..STORM {
+        feed(format!("k{}", zipf.next_id()), true);
+    }
+    for _ in 0..CALM_AFTER {
+        feed(format!("k{}", rng.next_below(KEYS)), false);
+    }
+
+    // Per-tuple cost rides in the record payload: storm tuples simulate
+    // 20 µs of feature extraction, calm tuples are free.
+    let update = |t: &Tuple, s: &mut SpaceSaving<String>| {
+        if t.get(1).unwrap().as_str().unwrap() == "h" {
+            let t0 = Instant::now();
+            while t0.elapsed() < Duration::from_micros(20) {
+                std::hint::black_box(0u64);
+            }
+        }
+        s.insert(t.get(0).unwrap().as_str().unwrap().to_string());
+    };
+    let spout = LogSpout::new(&log, 0, 0, 0, |rec: &Record| {
+        tuple_of([rec.key.as_str(), if rec.value == b"h" { "h" } else { "l" }])
+    });
+    let compiled = Query::from("events")
+        .key_by(vec![0])
+        .parallelism(Parallelism::Auto { min: 1, max: SLOTS })
+        .checkpoint_every(64)
+        .aggregate(SpaceSaving::<String>::new(64).unwrap(), update)
+        .serve("t2j")
+        .compile(vec![Box::new(spout) as Box<dyn Spout>])
+        .unwrap();
+    let view = compiled.view();
+    let agg = compiled.agg_component().to_string();
+    let ctl = compiled.controller().unwrap();
+    // Patience beats twitchiness: a scale step needs 20 ms of cooldown
+    // and a drain needs 100 ms of sustained calm, so only the storm —
+    // not transient queue ripples — moves the parallelism.
+    let policy = AutoPolicy {
+        min: 1,
+        max: SLOTS,
+        interval: Duration::from_millis(5),
+        up_depth: 48,
+        up_stall_ns: 20_000_000,
+        down_depth: 8,
+        calm_ticks: 20,
+        cooldown_ticks: 4,
+    };
+    let mut scaler = compiled.autoscaler(policy).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let loop_stop = stop.clone();
+    let loop_handle = std::thread::spawn(move || {
+        scaler.run_until(&loop_stop);
+        scaler
+    });
+
+    let total = (CALM_BEFORE + STORM + CALM_AFTER) as f64;
+    let t0 = Instant::now();
+    let result = compiled
+        .run(ExecutorConfig {
+            scheduling: Scheduling::WorkStealing { workers: 4 },
+            semantics: Semantics::AtLeastOnce,
+            ack_timeout: Duration::from_secs(2),
+            shutdown_timeout: Duration::from_secs(60),
+            ..Default::default()
+        })
+        .unwrap();
+    let wall = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let scaler = loop_handle.join().unwrap();
+    assert!(result.clean_shutdown);
+
+    // Exactness through every migration: the served global synopsis
+    // must match the ground truth for all 50 keys (k = 64 > 50, so
+    // SpaceSaving is exact here).
+    let served = view.global().expect("view published").value;
+    let exact_ok = truth.iter().all(|(k, &c)| served.estimate(k) == c);
+    let table = ctl.table_of(&agg).unwrap();
+    let scaled_up = scaler.peak > 1;
+    let drained = scaler.active() < scaler.peak;
+
+    r.row(
+        "storm",
+        &[
+            ("Ktuples/s", f(total / wall.as_secs_f64() / 1e3)),
+            ("peak_active", scaler.peak.to_string()),
+            ("final_active", scaler.active().to_string()),
+            ("ups", scaler.scale_ups.to_string()),
+            ("downs", scaler.scale_downs.to_string()),
+            ("migrated_groups", table.migrated_groups().to_string()),
+            ("exact", exact_ok.to_string()),
+        ],
+    );
+
+    let out = format!(
+        "{{\n  \"experiment\": \"t2.j\",\n  \"tuples\": {},\n  \"wall_ms\": {:.1},\n  \
+         \"peak_active\": {},\n  \"final_active\": {},\n  \"scale_ups\": {},\n  \
+         \"scale_downs\": {},\n  \"rescales_installed\": {},\n  \"migrated_groups\": {},\n  \
+         \"autoscaler_ticks\": {},\n  \"scaled_up\": {scaled_up},\n  \"drained\": {drained},\n  \
+         \"rescale_exact_ok\": {exact_ok}\n}}\n",
+        total as u64,
+        wall.as_secs_f64() * 1e3,
+        scaler.peak,
+        scaler.active(),
+        scaler.scale_ups,
+        scaler.scale_downs,
+        table.rescales(),
+        table.migrated_groups(),
+        scaler.ticks.len(),
+    );
+    std::fs::write("BENCH_rescale.json", out).ok();
+    println!(
+        "  [peak {} -> final {}, {} up / {} down, exact: {exact_ok} -> BENCH_rescale.json]",
+        scaler.peak,
+        scaler.active(),
+        scaler.scale_ups,
+        scaler.scale_downs
     );
 }
 

@@ -3,7 +3,7 @@
 
 use crate::nearest;
 use sa_core::codec::{ByteReader, ByteWriter};
-use sa_core::{Result, SaError, Synopsis};
+use sa_core::{Merge, Result, SaError, Synopsis};
 
 /// One-point-at-a-time k-means.
 ///
@@ -84,6 +84,39 @@ impl OnlineKMeans {
     /// Points seen.
     pub fn seen(&self) -> u64 {
         self.seen
+    }
+}
+
+impl Merge for OnlineKMeans {
+    /// Fold the other clusterer's centroids in as count-weighted
+    /// points: while this side has spare capacity they seed new
+    /// centroids; otherwise each moves its nearest centroid by the
+    /// count-proportional step `η = count/(count_here + count)` — the
+    /// exact weighted mean of the two centroids. Conserves the total
+    /// assigned count and `seen`, never exceeds `k` centroids, and
+    /// keeps every centroid inside the convex hull of the inputs.
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.k != other.k || self.dim != other.dim || self.rate != other.rate {
+            return Err(SaError::IncompatibleMerge(format!(
+                "k-means shape mismatch: (k {}, dim {}, rate {:?}) vs (k {}, dim {}, rate {:?})",
+                self.k, self.dim, self.rate, other.k, other.dim, other.rate
+            )));
+        }
+        for (center, &count) in other.centers.iter().zip(&other.counts) {
+            if self.centers.len() < self.k {
+                self.centers.push(center.clone());
+                self.counts.push(count);
+                continue;
+            }
+            let (ci, _) = nearest(center, &self.centers);
+            let eta = count as f64 / (self.counts[ci] + count) as f64;
+            for (c, &x) in self.centers[ci].iter_mut().zip(center) {
+                *c += eta * (x - *c);
+            }
+            self.counts[ci] += count;
+        }
+        self.seen += other.seen;
+        Ok(())
     }
 }
 

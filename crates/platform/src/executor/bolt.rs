@@ -327,6 +327,20 @@ impl BoltCore {
                     self.emit.broadcast_watermark(self.my_id, new_wm, false);
                 }
             }
+            Msg::Rescale => {
+                // A shard-table phase change is in flight: drive the
+                // idle hook unconditionally (no dirtiness gate) so a
+                // sharded bolt observes the table — acknowledging a
+                // quiesce or adopting the installed assignment — even
+                // if it was parked with no pending input.
+                if let Some(out) = self.guarded(ctx, |b, o| match b {
+                    TaskBolt::Plain(bolt) => bolt.on_idle(o),
+                    TaskBolt::Chain(c) => *o = c.on_idle().into_collector(),
+                }) {
+                    self.handle_control_out(out, ctx);
+                }
+                self.emit.flush_all();
+            }
             Msg::Flush => {
                 if let Some(out) = self.guarded(ctx, |b, o| match b {
                     TaskBolt::Plain(bolt) => bolt.flush(o),
@@ -475,6 +489,11 @@ impl BoltCore {
             e.root = 0;
             self.emit.push(&e, false);
         }
+        if out.abandon {
+            // The bolt discarded uncommitted state (rescale quiesce):
+            // replay the held inputs, exactly like a restart.
+            self.fail_held(ctx);
+        }
         if out.release && !self.held.is_empty() {
             {
                 let mut acker = ctx.acker.lock().unwrap();
@@ -495,6 +514,14 @@ impl BoltCore {
     ) {
         self.route_late(std::mem::take(&mut out.late), ctx);
         let anchored = ctx.semantics == Semantics::AtLeastOnce && input.root != 0;
+        if out.abandon {
+            // Uncommitted state was discarded mid-stream (rescale
+            // quiesce observed on the execute path): replay the held
+            // inputs.
+            for (root, _) in self.held.drain(..) {
+                acks.push(AckOp::Fail(root));
+            }
+        }
         if out.release {
             // A durable commit covered every held input: ack them all.
             for (root, val) in self.held.drain(..) {
@@ -587,6 +614,11 @@ impl BoltCore {
         self.route_late(std::mem::take(&mut out.late), ctx);
         let alo = ctx.semantics == Semantics::AtLeastOnce;
         let mut acks: Vec<AckOp> = Vec::new();
+        if out.abandon {
+            for (root, _) in self.held.drain(..) {
+                acks.push(AckOp::Fail(root));
+            }
+        }
         if out.release {
             for (root, val) in self.held.drain(..) {
                 acks.push(AckOp::Ack(root, val));

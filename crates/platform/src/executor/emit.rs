@@ -163,7 +163,14 @@ impl EmitCtx {
                     (i, i)
                 }
                 Grouping::Fields(fields) => {
-                    let i = fields_task(tuple, fields, fanout);
+                    // Rescalable downstream: consult the live shard
+                    // table (group → current owner); static otherwise.
+                    let i = match &self.routes[ri].shard {
+                        Some(table) => {
+                            table.task_of(crate::rescale::key_group(tuple, fields)).min(fanout - 1)
+                        }
+                        None => fields_task(tuple, fields, fanout),
+                    };
                     (i, i)
                 }
                 Grouping::Global => (0, 0),
@@ -392,7 +399,8 @@ mod tests {
     fn full_batch_send_resets_linger_clock() {
         let metrics = Metrics::new();
         let (tx, rx) = channel::<Msg>(None);
-        let route = Route { grouping: Grouping::Shuffle, senders: vec![tx], frames: false };
+        let route =
+            Route { grouping: Grouping::Shuffle, senders: vec![tx], frames: false, shard: None };
         let mut emit = EmitCtx::new(
             vec![route],
             "b".into(),

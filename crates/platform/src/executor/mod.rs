@@ -173,6 +173,14 @@ pub struct ExecutorConfig {
     /// (Checkpoint-write faults arm separately via
     /// [`FaultPlan::arm_store`].) Empty by default.
     pub faults: FaultPlan,
+    /// Live-rescaling controller. When set, `Fields` routes into
+    /// components with a registered [`crate::rescale::ShardTable`]
+    /// consult the table's live assignment (instead of the static
+    /// ring→task map), and the executor registers every component's
+    /// input senders with the controller so
+    /// [`crate::rescale::RescaleController::resize`] can reach parked
+    /// tasks. `None` (default): fully static routing, zero overhead.
+    pub rescale: Option<crate::rescale::RescaleController>,
 }
 
 impl Default for ExecutorConfig {
@@ -195,6 +203,7 @@ impl Default for ExecutorConfig {
             restart: RestartPolicy::default(),
             max_replays: None,
             faults: FaultPlan::default(),
+            rescale: None,
         }
     }
 }
@@ -229,6 +238,11 @@ pub(crate) enum Msg {
         wm: u64,
         idle: bool,
     },
+    /// Rescale kick: a shard-table phase change is in flight for this
+    /// component. Wakes parked tasks and drives the idle hook so
+    /// sharded bolts observe the new table promptly (harmless no-op
+    /// for everything else).
+    Rescale,
     Flush,
     Terminate,
 }
@@ -241,6 +255,9 @@ pub(crate) struct Route {
     /// Ship full batches on this link as columnar [`Msg::Frame`]s
     /// (every downstream task opted in via [`Bolt::wants_frames`]).
     pub(crate) frames: bool,
+    /// Live group→task assignment for `Fields` routes into a rescalable
+    /// component; `None` routes through the static ring→task map.
+    pub(crate) shard: Option<crate::rescale::ShardTable>,
 }
 
 /// One terminal-sink entry, pre-resolved at task spawn so the hot flush
@@ -265,20 +282,30 @@ pub(crate) fn link_frames(built: &HashMap<String, Vec<BoltTask>>, downstream: &s
         .is_some_and(|tasks| !tasks.is_empty() && tasks.iter().all(|t| t.bolt.wants_frames()))
 }
 
-/// Task index for a fields grouping. Per-field hashes are
+/// Combined hash of a tuple's grouped fields. Per-field hashes are
 /// mix-combined, not raw-XORed, and the result passes through `mix64`
-/// once more before the modulo: a raw XOR cancels identical per-field
-/// hashes (duplicated indices, repeated values), piling low-entropy
-/// keys onto one task. Tuples missing every grouped field share one
-/// (well-defined) "null key" task, as fields grouping requires.
-pub(crate) fn fields_task(tuple: &Tuple, fields: &[usize], fanout: usize) -> usize {
+/// once more: a raw XOR cancels identical per-field hashes (duplicated
+/// indices, repeated values), piling low-entropy keys onto one group.
+/// Tuples missing every grouped field share one (well-defined) "null
+/// key" hash, as fields grouping requires.
+pub(crate) fn fields_hash(tuple: &Tuple, fields: &[usize]) -> u64 {
     let mut h = 0u64;
     for &f in fields {
         if let Some(v) = tuple.get(f) {
             h = sa_core::hash::mix64(h ^ v.hash64().rotate_left(f as u32));
         }
     }
-    (sa_core::hash::mix64(h) % fanout as u64) as usize
+    sa_core::hash::mix64(h)
+}
+
+/// Task index for a fields grouping. Routes through the key-group ring
+/// (`hash → group → contiguous range of tasks`, see [`crate::rescale`])
+/// rather than `hash % fanout` directly, so a key's placement is a
+/// function of its *group* at every parallelism: keys sharing a group
+/// always co-locate, and this static map agrees exactly with a
+/// [`crate::rescale::ShardTable`] running at `active == fanout`.
+pub(crate) fn fields_task(tuple: &Tuple, fields: &[usize], fanout: usize) -> usize {
+    crate::rescale::task_of_group(crate::rescale::group_of_hash(fields_hash(tuple, fields)), fanout)
 }
 
 const ROOT_SHIFT: u32 = 48;

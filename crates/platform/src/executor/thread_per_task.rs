@@ -55,6 +55,16 @@ pub(crate) fn run(mut core: RunCore) -> Result<RunResult> {
         senders.insert(c.name.clone(), tx);
     }
 
+    // Live rescaling: hand the controller every component's inbox so it
+    // can broadcast `Msg::Rescale` during a resize, and publish the
+    // per-table `active` gauges.
+    if let Some(ctl) = &core.config.rescale {
+        ctl.bind(&core.metrics);
+        for (name, txs) in &senders {
+            ctl.register_senders(name, txs.clone());
+        }
+    }
+
     // --- Routing tables: component → its downstream routes. ---
     let mut routes: HashMap<String, Vec<Route>> = HashMap::new();
     for c in &core.decls {
@@ -66,6 +76,7 @@ pub(crate) fn run(mut core: RunCore) -> Result<RunResult> {
                 grouping: grouping.clone(),
                 senders: senders[&c.name].clone(),
                 frames: super::link_frames(&core.built, &c.name),
+                shard: core.config.rescale.as_ref().and_then(|ctl| ctl.table_of(&c.name)),
             });
         }
     }

@@ -473,6 +473,16 @@ pub(crate) fn run(mut core: RunCore) -> Result<RunResult> {
         inboxes.insert(slot, rx);
     }
 
+    // Live rescaling: register every component's inbox with the
+    // controller (a `Msg::Rescale` send schedules the parked slot via
+    // the wake hook above) and publish the per-table `active` gauges.
+    if let Some(ctl) = &core.config.rescale {
+        ctl.bind(&core.metrics);
+        for (name, txs) in &senders {
+            ctl.register_senders(name, txs.clone());
+        }
+    }
+
     // --- Routing tables. A component fused into a chain has no inbox
     //     (no `senders` entry): its single input edge is delivered
     //     inline by the chain, so no route materializes for it. ---
@@ -496,6 +506,7 @@ pub(crate) fn run(mut core: RunCore) -> Result<RunResult> {
                     senders: tx.clone(),
                     frames: singleton.contains(c.name.as_str())
                         && super::link_frames(&built, &c.name),
+                    shard: core.config.rescale.as_ref().and_then(|ctl| ctl.table_of(&c.name)),
                 });
             }
         }

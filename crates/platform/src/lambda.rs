@@ -168,18 +168,6 @@ impl LambdaArchitecture {
         self.handle().query(key, Layer::Merged).value
     }
 
-    /// Batch-view-only answer (stale by whatever the speed layer holds).
-    #[deprecated(note = "use `handle().query(key, Layer::Batch)` — it also reports staleness")]
-    pub fn query_batch_only(&self, key: &str) -> i64 {
-        self.handle().query(key, Layer::Batch).value
-    }
-
-    /// Speed-view-only answer.
-    #[deprecated(note = "use `handle().query(key, Layer::Speed)` — it also reports staleness")]
-    pub fn query_speed_only(&self, key: &str) -> i64 {
-        self.handle().query(key, Layer::Speed).value
-    }
-
     /// Number of keys in the *published* real-time view (staleness of
     /// batch views). With a publish cadence above 1, call
     /// [`LambdaArchitecture::flush_speed`] first for an exact count.
@@ -320,17 +308,6 @@ mod tests {
         let handle = lambda.handle();
         for layer in [Layer::Batch, Layer::Speed, Layer::Merged] {
             assert_eq!(handle.query("ghost", layer).value, 0);
-        }
-    }
-
-    #[test]
-    fn deprecated_shims_still_answer() {
-        let lambda = LambdaArchitecture::new(1).unwrap();
-        lambda.ingest("x", 5);
-        #[allow(deprecated)]
-        {
-            assert_eq!(lambda.query_batch_only("x"), 0);
-            assert_eq!(lambda.query_speed_only("x"), 5);
         }
     }
 

@@ -44,6 +44,7 @@ pub mod log;
 pub mod metrics;
 pub mod operator;
 pub mod query;
+pub mod rescale;
 pub mod serving;
 pub mod supervise;
 pub mod time;
@@ -67,7 +68,12 @@ pub use operator::{
     SynopsisBolt,
 };
 pub use query::{
-    session, sliding, tumbling, CompiledQuery, ContinuousQuery, Query, ViewEntry, ViewHandle,
+    session, sliding, tumbling, CompiledQuery, ContinuousQuery, Parallelism, Query, ViewEntry,
+    ViewHandle,
+};
+pub use rescale::{
+    group_key, group_of_hash, key_group, task_of_group, AutoPolicy, AutoTick, Autoscaler,
+    KeyGroupBolt, RescaleController, ShardTable, KEY_GROUPS,
 };
 pub use serving::{EpochData, Layer, QueryHandle, QueryResult, ServingView, Staleness, ViewRead};
 pub use supervise::{panic_message, FaultPlan, RestartDecision, RestartPolicy, RestartTracker};

@@ -44,13 +44,39 @@ use crate::checkpoint::CheckpointStore;
 use crate::executor::{run_topology_with, ExecutorConfig, RunResult};
 use crate::metrics::Metrics;
 use crate::operator::{OperatorConfig, SynopsisBolt};
+use crate::rescale::{AutoPolicy, Autoscaler, KeyGroupBolt, RescaleController};
 use crate::serving::{EpochData, QueryResult, ServingView, Staleness, ViewRead};
 use crate::topology::{Bolt, BoltBuilder, OutputCollector, Spout, TopologyBuilder};
 use crate::tuple::{Tuple, Value};
 use crate::window::{WindowBolt, WindowConfig, WindowSpec};
-use sa_core::{Aggregator, Result};
+use sa_core::{Aggregator, Result, SaError};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// The parallelism clause of a [`Query`]: a fixed task count, or an
+/// autoscaled range compiled into `max` task slots of which `min` are
+/// initially active — pair the compiled query with
+/// [`CompiledQuery::autoscaler`] (or drive
+/// [`CompiledQuery::controller`] directly) to move within the range
+/// while the topology runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Exactly this many aggregation tasks.
+    Fixed(usize),
+    /// Between `min` and `max` tasks, decided at runtime.
+    Auto {
+        /// Parallelism floor (initial active count).
+        min: usize,
+        /// Parallelism ceiling (compiled slot count).
+        max: usize,
+    },
+}
+
+impl From<usize> for Parallelism {
+    fn from(tasks: usize) -> Self {
+        Parallelism::Fixed(tasks.max(1))
+    }
+}
 
 /// Fixed, non-overlapping windows of `size` event-time units.
 pub fn tumbling(size: u64) -> WindowSpec {
@@ -77,7 +103,7 @@ pub struct Query {
     key_fields: Vec<usize>,
     window: Option<WindowSpec>,
     lateness: u64,
-    parallelism: usize,
+    parallelism: Parallelism,
     checkpoint_every: u64,
     store: Option<CheckpointStore>,
     publish_every: u64,
@@ -93,7 +119,7 @@ impl Query {
             key_fields: Vec::new(),
             window: None,
             lateness: 0,
-            parallelism: 1,
+            parallelism: Parallelism::Fixed(1),
             checkpoint_every: 256,
             store: None,
             publish_every: 1,
@@ -132,9 +158,18 @@ impl Query {
         self
     }
 
-    /// Number of parallel aggregation tasks (default 1).
-    pub fn parallelism(mut self, tasks: usize) -> Self {
-        self.parallelism = tasks.max(1);
+    /// Number of parallel aggregation tasks (default 1). Accepts a
+    /// plain count, or [`Parallelism::Auto`] to compile an autoscaled
+    /// range (requires a `key_by` clause: autoscaling shards state by
+    /// key-group).
+    pub fn parallelism(mut self, tasks: impl Into<Parallelism>) -> Self {
+        self.parallelism = match tasks.into() {
+            Parallelism::Fixed(n) => Parallelism::Fixed(n.max(1)),
+            Parallelism::Auto { min, max } => {
+                let min = min.max(1);
+                Parallelism::Auto { min, max: max.max(min) }
+            }
+        };
         self
     }
 
@@ -225,32 +260,57 @@ where
         // Partitioned aggregation tasks, rebuilt from their checkpoint
         // on supervised restarts.
         let agg_name = if windowed { format!("{view}.win") } else { format!("{view}.agg") };
-        let mut builders: Vec<BoltBuilder> = Vec::with_capacity(plan.parallelism);
-        for task in 0..plan.parallelism {
-            let key = format!("{agg_name}/{task}");
+
+        // An Auto plan compiles `max` task slots governed by a shard
+        // table, `min` of them initially active; resizing happens at
+        // runtime through the controller (see `autoscaler`).
+        let controller = match plan.parallelism {
+            Parallelism::Fixed(_) => None,
+            Parallelism::Auto { min, max } => {
+                if plan.key_fields.is_empty() {
+                    return Err(SaError::invalid(
+                        "parallelism",
+                        "Parallelism::Auto requires key_by(...): autoscaling shards state \
+                         by key-group",
+                    ));
+                }
+                let ctl = RescaleController::new();
+                ctl.table(&agg_name, max, min);
+                Some((ctl, min, max))
+            }
+        };
+        let slots = match plan.parallelism {
+            Parallelism::Fixed(n) => n,
+            Parallelism::Auto { max, .. } => max,
+        };
+
+        // One inner stateful bolt under a given checkpoint key — the
+        // unit both fixed tasks and key-group shards are made of.
+        let cfg = OperatorConfig {
+            checkpoint_every: plan.checkpoint_every,
+            emit_on_commit: true,
+            ..OperatorConfig::default()
+        };
+        let make_inner = {
             let store = store.clone();
             let template = template.clone();
             let update = update.clone();
-            let cfg = OperatorConfig {
-                checkpoint_every: plan.checkpoint_every,
-                emit_on_commit: true,
-                ..OperatorConfig::default()
-            };
-            let builder: BoltBuilder = match plan.window {
-                None => Box::new(move || {
-                    let bolt = SynopsisBolt::with_config(
-                        &key,
-                        &store,
-                        template.clone(),
-                        update.clone(),
-                        cfg.clone(),
-                    )?;
-                    Ok(Box::new(bolt) as Box<dyn Bolt>)
-                }),
-                Some(spec) => {
-                    let key_fields = plan.key_fields.clone();
-                    let lateness = plan.lateness;
-                    Box::new(move || {
+            let window = plan.window;
+            let key_fields = plan.key_fields.clone();
+            let lateness = plan.lateness;
+            move |key: &str| -> Result<Box<dyn Bolt>> {
+                match window {
+                    None => {
+                        let bolt = SynopsisBolt::with_config(
+                            key,
+                            &store,
+                            template.clone(),
+                            update.clone(),
+                            cfg.clone(),
+                        )?;
+                        Ok(Box::new(bolt) as Box<dyn Bolt>)
+                    }
+                    Some(spec) => {
                         let wc = WindowConfig {
                             spec,
                             key_fields: key_fields.clone(),
@@ -258,8 +318,36 @@ where
                             checkpoint: cfg.clone(),
                         };
                         let bolt =
-                            WindowBolt::new(&key, &store, template.clone(), wc, update.clone())?;
+                            WindowBolt::new(key, &store, template.clone(), wc, update.clone())?;
                         Ok(Box::new(bolt) as Box<dyn Bolt>)
+                    }
+                }
+            }
+        };
+
+        let mut builders: Vec<BoltBuilder> = Vec::with_capacity(slots);
+        for task in 0..slots {
+            let builder: BoltBuilder = match &controller {
+                None => {
+                    let key = format!("{agg_name}/{task}");
+                    let make = make_inner.clone();
+                    Box::new(move || make(&key))
+                }
+                Some((ctl, _, _)) => {
+                    let table = ctl.table_of(&agg_name).expect("table registered above");
+                    let base = agg_name.clone();
+                    let fields = plan.key_fields.clone();
+                    let store = store.clone();
+                    let make = make_inner.clone();
+                    Box::new(move || {
+                        Ok(Box::new(KeyGroupBolt::new(
+                            &base,
+                            fields.clone(),
+                            table.clone(),
+                            task,
+                            &store,
+                            make.clone(),
+                        )) as Box<dyn Bolt>)
                     })
                 }
             };
@@ -304,7 +392,15 @@ where
         tb.set_bolt(&view, vec![serve]).global(&agg_name).output_fields(["view", "snapshot"]);
 
         tb.validate()?;
-        Ok(CompiledQuery { topology: tb, metrics, view: ViewHandle { view: serving }, windowed })
+        Ok(CompiledQuery {
+            topology: tb,
+            metrics,
+            view: ViewHandle { view: serving },
+            windowed,
+            controller: controller.as_ref().map(|(ctl, _, _)| ctl.clone()),
+            agg_name,
+            auto_bounds: controller.map(|(_, min, max)| (min, max)),
+        })
     }
 }
 
@@ -317,6 +413,9 @@ pub struct CompiledQuery<S> {
     metrics: Metrics,
     view: ViewHandle<S>,
     windowed: bool,
+    controller: Option<RescaleController>,
+    agg_name: String,
+    auto_bounds: Option<(usize, usize)>,
 }
 
 // Manual impl so `compile(..).unwrap_err()` works in caller tests: the
@@ -339,6 +438,42 @@ impl<S: Clone + Send + Sync> CompiledQuery<S> {
         &self.metrics
     }
 
+    /// The aggregation component's name in the compiled topology — the
+    /// resize target for [`CompiledQuery::controller`].
+    pub fn agg_component(&self) -> &str {
+        &self.agg_name
+    }
+
+    /// The live-rescaling controller of a [`Parallelism::Auto`] plan
+    /// (`None` for fixed plans). Call
+    /// `resize(self.agg_component(), n)` on it while the query runs to
+    /// rescale by hand.
+    pub fn controller(&self) -> Option<RescaleController> {
+        self.controller.clone()
+    }
+
+    /// An [`Autoscaler`] governing the aggregation within the plan's
+    /// `Auto { min, max }` bounds (which override `policy`'s). Drive it
+    /// from a sampling thread while the query runs. Errors for
+    /// fixed-parallelism plans.
+    pub fn autoscaler(&self, policy: AutoPolicy) -> Result<Autoscaler> {
+        let (ctl, (min, max)) = match (&self.controller, self.auto_bounds) {
+            (Some(ctl), Some(bounds)) => (ctl.clone(), bounds),
+            _ => {
+                return Err(SaError::invalid(
+                    "parallelism",
+                    "autoscaler requires a Parallelism::Auto plan",
+                ))
+            }
+        };
+        Ok(Autoscaler::new(
+            ctl,
+            &self.agg_name,
+            self.metrics.clone(),
+            AutoPolicy { min, max, ..policy },
+        ))
+    }
+
     /// Run the compiled topology to completion under `config`. Windowed
     /// plans enable the executor's watermark layer when the caller's
     /// config didn't configure one. The serving view keeps answering
@@ -346,6 +481,11 @@ impl<S: Clone + Send + Sync> CompiledQuery<S> {
     pub fn run(self, mut config: ExecutorConfig) -> Result<RunResult> {
         if self.windowed && config.watermarks.is_none() {
             config.watermarks = Some(crate::time::WatermarkConfig::default());
+        }
+        // An Auto plan's shard tables live in its own controller — the
+        // executor must see that one for routing and quiesce kicks.
+        if let Some(ctl) = &self.controller {
+            config.rescale = Some(ctl.clone());
         }
         run_topology_with(self.topology, config, self.metrics)
     }

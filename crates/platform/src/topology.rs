@@ -164,11 +164,20 @@ pub struct OutputCollector {
     pub(crate) hold: bool,
     /// Ack every input held by this task since the last release.
     pub(crate) release: bool,
+    /// Fail every input held by this task (replay instead of ack).
+    pub(crate) abandon: bool,
 }
 
 impl OutputCollector {
     pub(crate) fn new() -> Self {
-        Self { emitted: Vec::new(), late: Vec::new(), failed: false, hold: false, release: false }
+        Self {
+            emitted: Vec::new(),
+            late: Vec::new(),
+            failed: false,
+            hold: false,
+            release: false,
+            abandon: false,
+        }
     }
 
     /// Emit a tuple anchored to the current input (its lineage joins the
@@ -204,6 +213,17 @@ impl OutputCollector {
     /// held, when both flags would apply).
     pub fn release_acks(&mut self) {
         self.release = true;
+    }
+
+    /// Fail every input this task is holding, forcing their replay —
+    /// the voluntary twin of the restart-from-checkpoint path. A bolt
+    /// that discards uncommitted state (e.g. when surrendering its
+    /// key-groups during a live rescale, see [`crate::rescale`]) calls
+    /// this so the discarded effects are re-driven to whichever task
+    /// owns them next; checkpoint dedup absorbs any replays of inputs
+    /// that *were* already durable.
+    pub fn abandon_held(&mut self) {
+        self.abandon = true;
     }
 }
 
@@ -506,13 +526,6 @@ impl TopologyBuilder {
         self.declare_bolt(name, factory.sources)
     }
 
-    /// Declare a bolt from per-task constructors.
-    #[deprecated(note = "use `set_bolt` — it accepts `Vec<BoltBuilder>` directly")]
-    pub fn set_bolt_builders(&mut self, name: &str, builders: Vec<BoltBuilder>) -> BoltHandle<'_> {
-        assert!(!builders.is_empty(), "need at least one bolt builder");
-        self.declare_bolt(name, builders.into_iter().map(BoltSource::Factory).collect())
-    }
-
     fn declare_bolt(&mut self, name: &str, sources: Vec<BoltSource>) -> BoltHandle<'_> {
         self.components.push(ComponentDecl {
             name: name.to_string(),
@@ -745,19 +758,6 @@ mod tests {
         tb.set_bolt("wrapped", BoltFactory::instances(vec![noop_bolt()])).shuffle("s");
         assert!(tb.validate().is_ok());
         assert_eq!(tb.components[1].parallelism, 2);
-    }
-
-    #[test]
-    fn deprecated_builder_shim_still_registers_factories() {
-        let mut tb = TopologyBuilder::new();
-        tb.set_spout("s", vec![vec_spout(vec![])]);
-        #[allow(deprecated)]
-        tb.set_bolt_builders("b", vec![Box::new(|| Ok(noop_bolt())) as BoltBuilder]).shuffle("s");
-        assert!(tb.validate().is_ok());
-        assert!(matches!(
-            tb.components[1].kind,
-            ComponentKind::Bolt(ref s) if matches!(s[0], BoltSource::Factory(_))
-        ));
     }
 
     fn noop_bolt() -> Box<dyn Bolt> {

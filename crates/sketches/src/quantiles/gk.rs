@@ -2,7 +2,7 @@
 
 use sa_core::codec::{ByteReader, ByteWriter};
 use sa_core::traits::QuantileSketch;
-use sa_core::{Result, SaError, Synopsis};
+use sa_core::{Merge, Result, SaError, Synopsis};
 
 /// One GK tuple: `v` with `g = r_min(v) - r_min(prev)` and
 /// `delta = r_max(v) - r_min(v)`.
@@ -122,6 +122,59 @@ impl QuantileSketch for GkSketch {
 
     fn count(&self) -> u64 {
         self.n
+    }
+}
+
+impl Merge for GkSketch {
+    /// Combine two same-ε summaries: interleave the sorted tuple lists,
+    /// widening each interior tuple's `delta` by the *other* summary's
+    /// rank-error budget `⌊2εn⌋` (a tuple's rank interval must absorb
+    /// where the other side's values may fall between its neighbours).
+    /// The global extremes stay exact. Rank error after the merge is at
+    /// most the sum of the two budgets — still `O(ε)` of the merged
+    /// count — and a final compress restores the space bound.
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if (self.epsilon - other.epsilon).abs() > f64::EPSILON {
+            return Err(SaError::IncompatibleMerge(format!(
+                "GK epsilon mismatch: {} vs {}",
+                self.epsilon, other.epsilon
+            )));
+        }
+        if other.n == 0 {
+            return Ok(());
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return Ok(());
+        }
+        let spread_self = self.threshold();
+        let spread_other = other.threshold();
+        let (a, b) = (&self.tuples, &other.tuples);
+        let mut merged: Vec<Tuple> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let take_a = j >= b.len() || (i < a.len() && a[i].v <= b[j].v);
+            let (t, widen) = if take_a {
+                i += 1;
+                (a[i - 1], spread_other)
+            } else {
+                j += 1;
+                (b[j - 1], spread_self)
+            };
+            merged.push(Tuple { v: t.v, g: t.g, delta: t.delta + widen });
+        }
+        // The merged extremes are the exact global min/max.
+        if let Some(first) = merged.first_mut() {
+            first.delta = 0;
+        }
+        if let Some(last) = merged.last_mut() {
+            last.delta = 0;
+        }
+        self.tuples = merged;
+        self.n += other.n;
+        self.since_compress = 0;
+        self.compress();
+        Ok(())
     }
 }
 

@@ -1,7 +1,7 @@
 //! Exponential smoothing: EWMA and Holt's linear (trend) method.
 
 use sa_core::codec::{ByteReader, ByteWriter};
-use sa_core::{Result, SaError, Synopsis};
+use sa_core::{Merge, Result, SaError, Synopsis};
 
 /// Exponentially weighted moving average with optional variance tracking.
 ///
@@ -54,6 +54,38 @@ impl Ewma {
     /// Observations consumed.
     pub fn count(&self) -> u64 {
         self.n
+    }
+}
+
+impl Merge for Ewma {
+    /// Combine two same-α trackers over disjoint shards of one stream:
+    /// the merged level/variance is the observation-count-weighted
+    /// average — each shard's state summarizes its share of the stream,
+    /// so weighting by count recovers an unbiased whole-stream view.
+    /// Commutative to the bit (the weighted sum's operands are
+    /// symmetric); an empty side is the identity.
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if (self.alpha - other.alpha).abs() > f64::EPSILON {
+            return Err(SaError::IncompatibleMerge(format!(
+                "EWMA alpha mismatch: {} vs {}",
+                self.alpha, other.alpha
+            )));
+        }
+        if other.n == 0 {
+            return Ok(());
+        }
+        if self.n == 0 {
+            self.level = other.level;
+            self.var = other.var;
+            self.n = other.n;
+            return Ok(());
+        }
+        let (wa, wb) = (self.n as f64, other.n as f64);
+        let total = wa + wb;
+        self.level = (wa * self.level + wb * other.level) / total;
+        self.var = (wa * self.var + wb * other.var) / total;
+        self.n += other.n;
+        Ok(())
     }
 }
 

@@ -1,7 +1,7 @@
 //! DGIM basic counting (Datar, Gionis, Indyk, Motwani — SICOMP 2002).
 
 use sa_core::codec::{ByteReader, ByteWriter};
-use sa_core::{Result, SaError, Synopsis};
+use sa_core::{Merge, Result, SaError, Synopsis};
 use std::collections::VecDeque;
 
 /// Approximate count of 1-bits in a sliding window of `n` slots.
@@ -130,6 +130,56 @@ impl Dgim {
     /// Slots consumed so far.
     pub fn now(&self) -> u64 {
         self.now
+    }
+}
+
+impl Merge for Dgim {
+    /// Combine two counters observed over the *same* slot clock (e.g.
+    /// two shards of one stream): the merged counter estimates the
+    /// union's 1-count. Buckets are pooled on the shared time axis,
+    /// expired against the newer frontier, and the per-size bucket cap
+    /// is repaired by the same oldest-pair merges the push cascade
+    /// uses. Deterministic given the two bucket multisets, so the
+    /// operation is commutative; estimates stay within the DGIM bound
+    /// because every bucket still covers a disjoint set of 1s.
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.window != other.window || self.r != other.r {
+            return Err(SaError::IncompatibleMerge(format!(
+                "DGIM shape mismatch: (window {}, r {}) vs (window {}, r {})",
+                self.window, self.r, other.window, other.r
+            )));
+        }
+        self.now = self.now.max(other.now);
+        let sort = |all: &mut Vec<(u64, u64)>| {
+            // Newest first; same timestamp → smaller bucket first.
+            all.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        };
+        let mut all: Vec<(u64, u64)> =
+            self.buckets.iter().chain(other.buckets.iter()).copied().collect();
+        sort(&mut all);
+        all.retain(|&(ts, _)| ts + self.window > self.now);
+        // Repair the ≤ r buckets-per-size invariant, smallest size up
+        // (each repair feeds one bucket of the next size).
+        let mut size = 1u64;
+        loop {
+            let pos: Vec<usize> = (0..all.len()).filter(|&i| all[i].1 == size).collect();
+            if pos.len() > self.r {
+                // Merge the two oldest of this size, keeping the newer
+                // timestamp of the pair.
+                let oldest = pos[pos.len() - 1];
+                let second = pos[pos.len() - 2];
+                all[second] = (all[second].0, size * 2);
+                all.remove(oldest);
+                sort(&mut all);
+                continue;
+            }
+            match all.iter().map(|&(_, s)| s).filter(|&s| s > size).min() {
+                Some(next) => size = next,
+                None => break,
+            }
+        }
+        self.buckets = all.into();
+        Ok(())
     }
 }
 

@@ -60,4 +60,12 @@ cargo run --release -q -p sa-bench --bin experiments t2.i
 grep -q '"columnar_wins": true' BENCH_dataplane.json
 grep -q '"allocs_ok": true' BENCH_dataplane.json
 
+echo "== rescale gate (key-group routing, live migration chaos, autoscaler) =="
+cargo test -q --test rescale
+# T2.J kick-tires: autoscaler vs a Zipf hot-key storm through a
+# Parallelism::Auto query; the hard bar is exactness through every
+# live migration (scaled_up/drained are recorded but timing-dependent).
+cargo run --release -q -p sa-bench --bin experiments t2.j
+grep -q '"rescale_exact_ok": true' BENCH_rescale.json
+
 echo "CI gate passed."

@@ -64,16 +64,17 @@ pub mod prelude {
         QuantileSketch,
     };
     pub use sa_platform::{
-        decode_checkpoint, frontier_offset, replay_offset, run_topology, run_topology_with,
-        session, sliding, tumbling, tuple_of, vec_spout, Batch, Bolt, BoltBuilder, BoltFactory,
+        decode_checkpoint, frontier_offset, group_key, group_of_hash, key_group, replay_offset,
+        run_topology, run_topology_with, session, sliding, task_of_group, tumbling, tuple_of,
+        vec_spout, AutoPolicy, AutoTick, Autoscaler, Batch, Bolt, BoltBuilder, BoltFactory,
         BoltHandle, CheckpointStore, CompiledQuery, Consumer, ContinuousQuery, CounterHandle,
         EpochData, ExecutorConfig, ExecutorModel, FaultPlan, GaugeHandle, Grouping,
-        HistogramSummary, IntoBoltFactory, Layer, LinkSnapshot, LinkStats, Log, LogSpout,
-        MergeBolt, Metrics, MetricsSnapshot, OperatorConfig, OutputCollector, Query, QueryHandle,
-        QueryResult, Record, RestartDecision, RestartPolicy, RestartTracker, RunResult,
-        SchedCounters, Scheduling, Semantics, ServingView, Spout, SpoutHandle, Staleness,
-        SynopsisBolt, TimerService, TopologyBuilder, Tuple, Value, VecSpout, ViewEntry, ViewHandle,
-        ViewRead, WatermarkConfig, WatermarkGen, WatermarkMerger, WindowBolt, WindowConfig,
-        WindowSpec,
+        HistogramSummary, IntoBoltFactory, KeyGroupBolt, Layer, LinkSnapshot, LinkStats, Log,
+        LogSpout, MergeBolt, Metrics, MetricsSnapshot, OperatorConfig, OutputCollector,
+        Parallelism, Query, QueryHandle, QueryResult, Record, RescaleController, RestartDecision,
+        RestartPolicy, RestartTracker, RunResult, SchedCounters, Scheduling, Semantics,
+        ServingView, ShardTable, Spout, SpoutHandle, Staleness, SynopsisBolt, TimerService,
+        TopologyBuilder, Tuple, Value, VecSpout, ViewEntry, ViewHandle, ViewRead, WatermarkConfig,
+        WatermarkGen, WatermarkMerger, WindowBolt, WindowConfig, WindowSpec, KEY_GROUPS,
     };
 }

@@ -732,6 +732,342 @@ fn restart_budget_never_exceeded_in_any_window() {
     }
 }
 
+/// Build `a` over `xs` and `b` over `ys`, then merge both ways.
+/// Returns `(a⊕b, b⊕a)` for the commutativity checks below.
+fn merged_both_ways<S: Synopsis + Merge + Clone>(
+    mut build: impl FnMut() -> S,
+    feed: impl Fn(&mut S, u64),
+    xs: &[u64],
+    ys: &[u64],
+) -> (S, S) {
+    let mut a = build();
+    let mut b = build();
+    for &x in xs {
+        feed(&mut a, x);
+    }
+    for &y in ys {
+        feed(&mut b, y);
+    }
+    let mut ab = a.clone();
+    Merge::merge(&mut ab, &b).unwrap();
+    let mut ba = b;
+    Merge::merge(&mut ba, &a).unwrap();
+    (ab, ba)
+}
+
+/// Build over three slices and merge with both parenthesizations.
+/// Returns `((a⊕b)⊕c, a⊕(b⊕c))` for the associativity checks below.
+fn merged_both_groupings<S: Synopsis + Merge + Clone>(
+    mut build: impl FnMut() -> S,
+    feed: impl Fn(&mut S, u64),
+    xs: &[u64],
+    ys: &[u64],
+    zs: &[u64],
+) -> (S, S) {
+    let mut a = build();
+    let mut b = build();
+    let mut c = build();
+    for &x in xs {
+        feed(&mut a, x);
+    }
+    for &y in ys {
+        feed(&mut b, y);
+    }
+    for &z in zs {
+        feed(&mut c, z);
+    }
+    let mut left = a.clone();
+    Merge::merge(&mut left, &b).unwrap();
+    Merge::merge(&mut left, &c).unwrap();
+    let mut bc = b;
+    Merge::merge(&mut bc, &c).unwrap();
+    let mut right = a;
+    Merge::merge(&mut right, &bc).unwrap();
+    (left, right)
+}
+
+/// Merge is commutative across every Table-1 summary family — byte-
+/// identical where the state is a lattice or a symmetric formula (HLL,
+/// Bloom, Count-Min, EWMA, DGIM), answer-identical where internal
+/// layout may legally differ (SpaceSaving below capacity, GK within its
+/// rank-error budget), and conservation-law-exact for the sampled /
+/// clustered families (reservoir, k-means, Welford).
+#[test]
+fn merge_commutative_across_all_families() {
+    use sa_core::stats::OnlineStats;
+    use streaming_analytics::clustering::OnlineKMeans;
+    use streaming_analytics::sampling::{Reservoir, ReservoirAlgo};
+    use streaming_analytics::timeseries::smoothing::Ewma;
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC0117_u64 ^ case);
+        let xs = vec_of(&mut rng, 1, 250, |r| r.next_below(40));
+        let ys = vec_of(&mut rng, 1, 250, |r| r.next_below(40));
+        let ctx = format!("case {case}");
+
+        // Lattice / symmetric-formula families: bit-identical.
+        let (ab, ba) =
+            merged_both_ways(|| HyperLogLog::new(8).unwrap(), |s, x| s.insert(&x), &xs, &ys);
+        assert_eq!(ab.snapshot(), ba.snapshot(), "{ctx}: HLL");
+        let (ab, ba) =
+            merged_both_ways(|| CountMinSketch::new(64, 4).unwrap(), |s, x| s.add(&x, 1), &xs, &ys);
+        assert_eq!(ab.snapshot(), ba.snapshot(), "{ctx}: CMS");
+        let (ab, ba) =
+            merged_both_ways(|| BloomFilter::new(1024, 3).unwrap(), |s, x| s.insert(&x), &xs, &ys);
+        assert_eq!(ab.snapshot(), ba.snapshot(), "{ctx}: Bloom");
+        let (ab, ba) = merged_both_ways(
+            || Ewma::new(0.2).unwrap(),
+            |s, x| {
+                s.update(x as f64);
+            },
+            &xs,
+            &ys,
+        );
+        assert_eq!(ab.snapshot(), ba.snapshot(), "{ctx}: EWMA");
+        let (ab, ba) =
+            merged_both_ways(|| Dgim::new(64, 0.1).unwrap(), |s, x| s.push(x % 2 == 0), &xs, &ys);
+        assert_eq!(ab.snapshot(), ba.snapshot(), "{ctx}: DGIM");
+
+        // SpaceSaving with spare capacity (64 slots, ≤ 40 distinct):
+        // merge is exact, so both orders equal the exact counts.
+        let (ab, ba) = merged_both_ways(
+            || SpaceSaving::new(64).unwrap(),
+            |s, x| {
+                s.insert(x);
+            },
+            &xs,
+            &ys,
+        );
+        let truth = sa_core::stats::exact_counts(&[xs.clone(), ys.clone()].concat());
+        for (it, &c) in &truth {
+            assert_eq!(ab.estimate(it), c, "{ctx}: SpaceSaving a⊕b item {it}");
+            assert_eq!(ba.estimate(it), c, "{ctx}: SpaceSaving b⊕a item {it}");
+        }
+
+        // GK: both orders stay within the combined 2·(2εn) rank budget.
+        let eps = 0.05;
+        let (ab, ba) =
+            merged_both_ways(|| GkSketch::new(eps).unwrap(), |s, x| s.insert(x as f64), &xs, &ys);
+        let all: Vec<f64> = xs.iter().chain(&ys).map(|&v| v as f64).collect();
+        let n = all.len() as f64;
+        assert_eq!(ab.count(), ba.count(), "{ctx}: GK count");
+        assert_eq!(ab.count(), all.len() as u64, "{ctx}: GK count vs stream");
+        for q in [0.1, 0.5, 0.9] {
+            for (side, gk) in [("a⊕b", &ab), ("b⊕a", &ba)] {
+                let est = gk.query(q).unwrap();
+                let rank = sa_core::stats::exact_rank(&all, est) as f64;
+                assert!(
+                    (rank - q * n).abs() <= 2.0 * eps * n + 2.0,
+                    "{ctx}: GK {side} q={q} rank {rank} target {}",
+                    q * n
+                );
+            }
+        }
+
+        // Reservoir: contents are RNG-order-dependent, but the sample
+        // accounting is conserved in both orders.
+        let (ab, ba) = merged_both_ways(
+            || Reservoir::new(16, ReservoirAlgo::L).unwrap().with_seed(case),
+            |s, x| s.offer(x),
+            &xs,
+            &ys,
+        );
+        let total = (xs.len() + ys.len()) as u64;
+        assert_eq!(ab.n(), total, "{ctx}: reservoir a⊕b n");
+        assert_eq!(ba.n(), total, "{ctx}: reservoir b⊕a n");
+        assert_eq!(ab.sample().len(), ba.sample().len(), "{ctx}: reservoir fill");
+        assert_eq!(ab.sample().len(), 16.min(total as usize), "{ctx}: reservoir size");
+        let pool: std::collections::HashSet<u64> = xs.iter().chain(&ys).copied().collect();
+        for v in ab.sample().iter().chain(ba.sample()) {
+            assert!(pool.contains(v), "{ctx}: reservoir invented {v}");
+        }
+
+        // Welford: count exact, moments equal to fp tolerance.
+        let (ab, ba) = merged_both_ways(OnlineStats::new, |s, x| s.push(x as f64), &xs, &ys);
+        assert_eq!(ab.count(), ba.count(), "{ctx}: Welford count");
+        assert!((ab.mean() - ba.mean()).abs() < 1e-9, "{ctx}: Welford mean");
+        assert!((ab.variance() - ba.variance()).abs() < 1e-6, "{ctx}: Welford variance");
+
+        // k-means: conservation laws hold in both orders.
+        let feed_km = |s: &mut OnlineKMeans, x: u64| {
+            s.push(&[x as f64, (x * 7 % 31) as f64]);
+        };
+        let (ab, ba) = merged_both_ways(|| OnlineKMeans::new(3, 2).unwrap(), feed_km, &xs, &ys);
+        for (side, km) in [("a⊕b", &ab), ("b⊕a", &ba)] {
+            assert_eq!(km.seen(), total, "{ctx}: k-means {side} seen");
+            assert_eq!(km.counts().iter().sum::<u64>(), total, "{ctx}: k-means {side} counts");
+            assert!(km.centers().len() <= 3, "{ctx}: k-means {side} over capacity");
+            for c in km.centers() {
+                assert!((0.0..40.0).contains(&c[0]), "{ctx}: k-means {side} centroid {c:?}");
+                assert!((0.0..31.0).contains(&c[1]), "{ctx}: k-means {side} centroid {c:?}");
+            }
+        }
+    }
+}
+
+/// Merge is associative across every family — byte-identical for the
+/// lattice families, answer-identical (within each family's documented
+/// error envelope) for the rest. Together with commutativity this is
+/// what lets a rescale merge key-group state in any order.
+#[test]
+fn merge_associative_across_all_families() {
+    use sa_core::stats::OnlineStats;
+    use streaming_analytics::clustering::OnlineKMeans;
+    use streaming_analytics::sampling::{Reservoir, ReservoirAlgo};
+    use streaming_analytics::timeseries::smoothing::Ewma;
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA550C_u64 ^ case);
+        let xs = vec_of(&mut rng, 1, 200, |r| r.next_below(40));
+        let ys = vec_of(&mut rng, 1, 200, |r| r.next_below(40));
+        let zs = vec_of(&mut rng, 1, 200, |r| r.next_below(40));
+        let total = (xs.len() + ys.len() + zs.len()) as u64;
+        let ctx = format!("case {case}");
+
+        let (l, r) = merged_both_groupings(
+            || HyperLogLog::new(8).unwrap(),
+            |s, x| s.insert(&x),
+            &xs,
+            &ys,
+            &zs,
+        );
+        assert_eq!(l.snapshot(), r.snapshot(), "{ctx}: HLL");
+        let (l, r) = merged_both_groupings(
+            || CountMinSketch::new(64, 4).unwrap(),
+            |s, x| s.add(&x, 1),
+            &xs,
+            &ys,
+            &zs,
+        );
+        assert_eq!(l.snapshot(), r.snapshot(), "{ctx}: CMS");
+        let (l, r) = merged_both_groupings(
+            || BloomFilter::new(1024, 3).unwrap(),
+            |s, x| s.insert(&x),
+            &xs,
+            &ys,
+            &zs,
+        );
+        assert_eq!(l.snapshot(), r.snapshot(), "{ctx}: Bloom");
+
+        // EWMA: the count-weighted average is associative up to fp
+        // rounding; counts are exact.
+        let (l, r) = merged_both_groupings(
+            || Ewma::new(0.2).unwrap(),
+            |s, x| {
+                s.update(x as f64);
+            },
+            &xs,
+            &ys,
+            &zs,
+        );
+        assert_eq!(l.count(), r.count(), "{ctx}: EWMA count");
+        assert_eq!(l.count(), total, "{ctx}: EWMA count vs stream");
+        assert!((l.level() - r.level()).abs() < 1e-9, "{ctx}: EWMA level");
+        assert!((l.stddev() - r.stddev()).abs() < 1e-9, "{ctx}: EWMA stddev");
+
+        // DGIM: bucket layouts may differ by repair order; estimates
+        // agree within the counter's error envelope of each other.
+        let (l, r) = merged_both_groupings(
+            || Dgim::new(64, 0.1).unwrap(),
+            |s, x| s.push(x % 2 == 0),
+            &xs,
+            &ys,
+            &zs,
+        );
+        assert_eq!(l.now(), r.now(), "{ctx}: DGIM frontier");
+        let (el, er) = (l.estimate() as f64, r.estimate() as f64);
+        let slack = 2.0 * l.error_bound() * el.max(er) + 4.0;
+        assert!((el - er).abs() <= slack, "{ctx}: DGIM {el} vs {er} (slack {slack})");
+
+        // SpaceSaving with spare capacity: exact either way.
+        let (l, r) = merged_both_groupings(
+            || SpaceSaving::new(64).unwrap(),
+            |s, x| {
+                s.insert(x);
+            },
+            &xs,
+            &ys,
+            &zs,
+        );
+        let truth = sa_core::stats::exact_counts(&[xs.clone(), ys.clone(), zs.clone()].concat());
+        for (it, &c) in &truth {
+            assert_eq!(l.estimate(it), c, "{ctx}: SpaceSaving (a⊕b)⊕c item {it}");
+            assert_eq!(r.estimate(it), c, "{ctx}: SpaceSaving a⊕(b⊕c) item {it}");
+        }
+
+        // GK: two merges widen the budget at most threefold.
+        let eps = 0.05;
+        let (l, r) = merged_both_groupings(
+            || GkSketch::new(eps).unwrap(),
+            |s, x| s.insert(x as f64),
+            &xs,
+            &ys,
+            &zs,
+        );
+        let all: Vec<f64> = xs.iter().chain(&ys).chain(&zs).map(|&v| v as f64).collect();
+        let n = all.len() as f64;
+        assert_eq!(l.count(), r.count(), "{ctx}: GK count");
+        for q in [0.1, 0.5, 0.9] {
+            for (side, gk) in [("(a⊕b)⊕c", &l), ("a⊕(b⊕c)", &r)] {
+                let est = gk.query(q).unwrap();
+                let rank = sa_core::stats::exact_rank(&all, est) as f64;
+                assert!(
+                    (rank - q * n).abs() <= 3.0 * eps * n + 2.0,
+                    "{ctx}: GK {side} q={q} rank {rank} target {}",
+                    q * n
+                );
+            }
+        }
+
+        // Reservoir / Welford / k-means: conservation either way.
+        let (l, r) = merged_both_groupings(
+            || Reservoir::new(16, ReservoirAlgo::L).unwrap().with_seed(case),
+            |s, x| s.offer(x),
+            &xs,
+            &ys,
+            &zs,
+        );
+        assert_eq!(l.n(), total, "{ctx}: reservoir n");
+        assert_eq!(r.n(), total, "{ctx}: reservoir n");
+        assert_eq!(l.sample().len(), r.sample().len(), "{ctx}: reservoir fill");
+
+        let (l, r) =
+            merged_both_groupings(OnlineStats::new, |s, x| s.push(x as f64), &xs, &ys, &zs);
+        assert_eq!(l.count(), r.count(), "{ctx}: Welford count");
+        assert!((l.mean() - r.mean()).abs() < 1e-6, "{ctx}: Welford mean");
+        assert!((l.variance() - r.variance()).abs() < 1e-4, "{ctx}: Welford variance");
+
+        let feed_km = |s: &mut OnlineKMeans, x: u64| {
+            s.push(&[x as f64, (x * 7 % 31) as f64]);
+        };
+        let (l, r) =
+            merged_both_groupings(|| OnlineKMeans::new(3, 2).unwrap(), feed_km, &xs, &ys, &zs);
+        for (side, km) in [("(a⊕b)⊕c", &l), ("a⊕(b⊕c)", &r)] {
+            assert_eq!(km.seen(), total, "{ctx}: k-means {side} seen");
+            assert_eq!(km.counts().iter().sum::<u64>(), total, "{ctx}: k-means {side} counts");
+            assert!(km.centers().len() <= 3, "{ctx}: k-means {side} over capacity");
+        }
+    }
+}
+
+/// Merging mismatched configurations is a typed error, not silent
+/// corruption, for every family that carries shape parameters.
+#[test]
+fn merge_rejects_mismatched_shapes() {
+    use streaming_analytics::clustering::OnlineKMeans;
+    use streaming_analytics::timeseries::smoothing::Ewma;
+    let mut gk_a = GkSketch::new(0.05).unwrap();
+    let gk_b = GkSketch::new(0.01).unwrap();
+    assert!(Merge::merge(&mut gk_a, &gk_b).is_err(), "GK epsilon mismatch");
+    let mut d_a = Dgim::new(64, 0.1).unwrap();
+    let d_b = Dgim::new(128, 0.1).unwrap();
+    assert!(Merge::merge(&mut d_a, &d_b).is_err(), "DGIM window mismatch");
+    let mut e_a = Ewma::new(0.2).unwrap();
+    let e_b = Ewma::new(0.3).unwrap();
+    assert!(Merge::merge(&mut e_a, &e_b).is_err(), "EWMA alpha mismatch");
+    let mut k_a = OnlineKMeans::new(3, 2).unwrap();
+    let k_b = OnlineKMeans::new(4, 2).unwrap();
+    assert!(Merge::merge(&mut k_a, &k_b).is_err(), "k-means k mismatch");
+}
+
 /// A poison tuple — one the bolt fails on every attempt — lands in the
 /// dead-letter queue exactly once after `max_replays` replays, while
 /// every healthy tuple is still processed.
