@@ -70,6 +70,12 @@ fn rows_to_json(rows: &[JsonRow]) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The T2.K kill -9 harness re-execs this binary as its victim; the
+    // child runs a durable topology until SIGKILLed and records nothing.
+    if args.iter().any(|a| a == "t2.k-child") {
+        t2k_child();
+        return;
+    }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
     let mut r = Recorder { rows: Vec::new(), current: String::new() };
 
@@ -153,6 +159,9 @@ fn main() {
     }
     if want("t2.j") {
         t2j_rescale(&mut r);
+    }
+    if want("t2.k") {
+        t2k_durability(&mut r);
     }
     if want("f1") {
         f1_lambda(&mut r);
@@ -2520,6 +2529,317 @@ fn t2j_rescale(r: &mut Recorder) {
         scaler.scale_ups,
         scaler.scale_downs
     );
+}
+
+// ---------------------------------------------------------------- T2.K
+
+/// Records in the T2.K kill -9 child's stream.
+const T2K_KILL_N: usize = 3_000;
+
+/// Skewed word stream appended to `log`; returns its exact counts.
+#[cfg(unix)]
+fn t2k_fill(log: &sa_platform::Log, n: usize, seed: u64) -> HashMap<String, u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut truth: HashMap<String, u64> = HashMap::new();
+    for _ in 0..n {
+        let i = rng.next_below(30).min(rng.next_below(30));
+        let word = format!("w{i:02}");
+        *truth.entry(word.clone()).or_default() += 1;
+        log.append(&word, Vec::new());
+    }
+    truth
+}
+
+/// The durable log under `root`, group-committed every 32 appends.
+fn t2k_open_log(root: &std::path::Path) -> sa_platform::Log {
+    use sa_platform::{DiskStorage, Log, Storage, SyncPolicy};
+    use std::sync::Arc;
+    let storage: Arc<dyn Storage> = Arc::new(DiskStorage::new(root).unwrap());
+    Log::durable(storage, "log", 1, SyncPolicy::EveryN(32), 1 << 20).unwrap()
+}
+
+/// The durable checkpoint store under `root`, group-committed every 8.
+fn t2k_open_store(root: &std::path::Path) -> sa_platform::CheckpointStore {
+    use sa_platform::{CheckpointStore, DiskStorage, DurableConfig, Storage, SyncPolicy};
+    use std::sync::Arc;
+    let storage: Arc<dyn Storage> = Arc::new(DiskStorage::new(root).unwrap());
+    let cfg = DurableConfig { sync: SyncPolicy::EveryN(8), ..Default::default() };
+    CheckpointStore::durable(storage, "ckpt", cfg).unwrap()
+}
+
+/// Log spout with a committed-offset frontier feeding two fields-grouped
+/// exact SpaceSaving word counters (k = 64 > 30 distinct words, so any
+/// lost or double-applied record shows up as a count mismatch).
+fn t2k_topology(
+    log: &sa_platform::Log,
+    store: &sa_platform::CheckpointStore,
+    throttle: Option<std::time::Duration>,
+) -> sa_platform::TopologyBuilder {
+    use sa_platform::{
+        tuple_of, Bolt, LogSpout, OperatorConfig, Record, Spout, SynopsisBolt, TopologyBuilder,
+        Tuple,
+    };
+    use sa_sketches::heavy_hitters::SpaceSaving;
+    let mut tb = TopologyBuilder::new();
+    let spout = LogSpout::new(log, 0, 0, 0, |r: &Record| tuple_of([r.key.as_str()])).with_frontier(
+        store,
+        "log.frontier",
+        16,
+    );
+    tb.set_spout("log", vec![Box::new(spout) as Box<dyn Spout>]);
+    let mut bolts: Vec<Box<dyn Bolt>> = Vec::new();
+    for task in 0..2 {
+        let update = move |t: &Tuple, s: &mut SpaceSaving<String>| {
+            if let Some(d) = throttle {
+                std::thread::sleep(d);
+            }
+            s.insert(t.get(0).unwrap().as_str().unwrap().to_string());
+        };
+        let bolt = SynopsisBolt::with_config(
+            &format!("wc/{task}"),
+            store,
+            SpaceSaving::new(64).unwrap(),
+            update,
+            OperatorConfig { checkpoint_every: 25, ..Default::default() },
+        )
+        .unwrap();
+        bolts.push(Box::new(bolt));
+    }
+    tb.set_bolt("wc", bolts).fields("log", vec![0]);
+    tb
+}
+
+/// Merge the per-task flush snapshots back into one exact count table.
+#[cfg(unix)]
+fn t2k_merged(outputs: &HashMap<String, Vec<sa_platform::Tuple>>) -> HashMap<String, u64> {
+    use sa_core::Synopsis;
+    use sa_sketches::heavy_hitters::SpaceSaving;
+    let mut global = SpaceSaving::<String>::new(64).unwrap();
+    for t in &outputs["wc"] {
+        let mut part = SpaceSaving::<String>::new(64).unwrap();
+        part.restore(t.get(1).unwrap().as_bytes().unwrap()).unwrap();
+        global.merge(&part).unwrap();
+    }
+    global.heavy_hitters(0.0).into_iter().map(|h| (h.item, h.count)).collect()
+}
+
+/// Total bytes on disk under `dir` (recursive) — the parent's progress
+/// probe into the child's checkpoint WAL.
+#[cfg(unix)]
+fn t2k_dir_bytes(dir: &std::path::Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    entries
+        .flatten()
+        .map(|e| match e.metadata() {
+            Ok(m) if m.is_dir() => t2k_dir_bytes(&e.path()),
+            Ok(m) => m.len(),
+            Err(_) => 0,
+        })
+        .sum()
+}
+
+/// The kill -9 victim: spawned by [`t2k_durability`] with `t2.k-child`
+/// in argv; runs the throttled durable word count against `SA_T2K_DIR`
+/// until the parent SIGKILLs it mid-stream.
+fn t2k_child() {
+    use sa_platform::{run_topology, ExecutorConfig, Scheduling, Semantics};
+    let Ok(root) = std::env::var("SA_T2K_DIR") else { return };
+    let root = std::path::PathBuf::from(root);
+    let log = t2k_open_log(&root);
+    let store = t2k_open_store(&root);
+    let tb = t2k_topology(&log, &store, Some(std::time::Duration::from_micros(150)));
+    let _ = run_topology(
+        tb,
+        ExecutorConfig {
+            semantics: Semantics::AtLeastOnce,
+            scheduling: Scheduling::ThreadPerTask,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+}
+
+/// Fill a durable log, SIGKILL a child process mid-stream, then recover
+/// in-process from the same directory. Returns
+/// `(exact_ok, records_replayed, recover_ms)`.
+#[cfg(unix)]
+fn t2k_kill9(root: &std::path::Path) -> (bool, u64, f64) {
+    use sa_platform::{
+        frontier_offset, run_topology, CheckpointStore, ExecutorConfig, Scheduling, Semantics,
+    };
+    use std::os::unix::process::ExitStatusExt;
+    use std::time::{Duration, Instant};
+
+    let cfg = || ExecutorConfig {
+        semantics: Semantics::AtLeastOnce,
+        scheduling: Scheduling::ThreadPerTask,
+        seed: 7,
+        ..Default::default()
+    };
+    let truth = t2k_fill(&t2k_open_log(root), T2K_KILL_N, 42);
+    // Uninterrupted exactly-once reference on an in-memory store.
+    let reference = t2k_merged(
+        &run_topology(t2k_topology(&t2k_open_log(root), &CheckpointStore::new(), None), cfg())
+            .unwrap()
+            .outputs,
+    );
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .arg("t2.k-child")
+        .env("SA_T2K_DIR", root)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let ckpt = root.join("ckpt");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while t2k_dir_bytes(&ckpt) <= 8 * 1024 {
+        assert!(Instant::now() < deadline, "t2.k: child never made durable progress");
+        assert!(child.try_wait().unwrap().is_none(), "t2.k: child finished before the kill");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // A few more commits land mid-kill window; then no warning, no
+    // flush, no drop handlers — SIGKILL.
+    std::thread::sleep(Duration::from_millis(20));
+    child.kill().unwrap();
+    let killed = child.wait().unwrap().signal() == Some(9);
+
+    let t0 = Instant::now();
+    let log = t2k_open_log(root);
+    let store = t2k_open_store(root);
+    let offset = frontier_offset(&store, "log.frontier");
+    let recovered =
+        t2k_merged(&run_topology(t2k_topology(&log, &store, None), cfg()).unwrap().outputs);
+    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let exact =
+        killed && offset < T2K_KILL_N as u64 && recovered == truth && recovered == reference;
+    (exact, T2K_KILL_N as u64 - offset, recover_ms)
+}
+
+/// Durability. Part one prices the fsync discipline: the same 2 000
+/// checkpoint commits against an in-memory store, a disk store that
+/// fsyncs every commit, and a disk store group-committing every 32 —
+/// then times recovery by reopening each directory (full WAL replay)
+/// and again after compaction (snapshot load). Part two is the honest
+/// crash: a child process running a throttled durable word count is
+/// SIGKILLed mid-stream, and a fresh process recovers from the same
+/// directory — the counts must be bit-identical to ground truth and to
+/// an uninterrupted exactly-once reference.
+fn t2k_durability(r: &mut Recorder) {
+    use sa_platform::{CheckpointStore, DiskStorage, DurableConfig, Storage, SyncPolicy};
+    use std::sync::Arc;
+    r.section("T2.K", "Durability — fsync discipline vs goodput, recovery latency, kill -9");
+
+    const COMMITS: u64 = 2_000;
+    let root = std::env::temp_dir().join(format!("sa-t2k-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // 16 hot keys, 256-byte states, 16 acked records per commit — the
+    // shape a SynopsisBolt checkpoint cadence produces.
+    let run_commits = |store: &CheckpointStore| -> f64 {
+        let (_, secs) = timed(|| {
+            for c in 0..COMMITS {
+                let ids: Vec<u64> = (c * 16..(c + 1) * 16).collect();
+                store
+                    .commit_batch(&format!("k{}", c % 16), &ids, vec![(c % 251) as u8; 256])
+                    .unwrap();
+            }
+            store.sync().unwrap();
+        });
+        secs
+    };
+
+    let mem_secs = run_commits(&CheckpointStore::new());
+    r.row(
+        "in-memory",
+        &[
+            ("commits/s", f(COMMITS as f64 / mem_secs)),
+            ("fsyncs", "0".to_string()),
+            ("wal_replay_ms", "n/a".to_string()),
+            ("snap_replay_ms", "n/a".to_string()),
+        ],
+    );
+
+    let disk = |tag: &str, sync: SyncPolicy| -> (f64, u64, f64, f64) {
+        let dir = format!("ckpt-{tag}");
+        let cfg = DurableConfig { sync, ..Default::default() };
+        let open = || -> CheckpointStore {
+            let storage: Arc<dyn Storage> = Arc::new(DiskStorage::new(&root).unwrap());
+            CheckpointStore::durable(storage, &dir, cfg).unwrap()
+        };
+        let store = open();
+        let secs = run_commits(&store);
+        let (fsyncs, _, _, _) = store.storage_stats().unwrap().totals();
+        drop(store);
+        // Recovery cost, worst case: reopen replays the full WAL.
+        let (store, wal_secs) = timed(open);
+        assert_eq!(store.len(), 16, "t2.k: WAL replay lost keys");
+        // Recovery cost after compaction: load one snapshot instead.
+        store.compact().unwrap();
+        drop(store);
+        let (store, snap_secs) = timed(open);
+        assert_eq!(store.len(), 16, "t2.k: snapshot recovery lost keys");
+        (secs, fsyncs, wal_secs * 1e3, snap_secs * 1e3)
+    };
+
+    let (always_secs, always_fsyncs, always_wal, always_snap) = disk("always", SyncPolicy::Always);
+    r.row(
+        "disk fsync-every",
+        &[
+            ("commits/s", f(COMMITS as f64 / always_secs)),
+            ("fsyncs", always_fsyncs.to_string()),
+            ("wal_replay_ms", f(always_wal)),
+            ("snap_replay_ms", f(always_snap)),
+        ],
+    );
+    let (group_secs, group_fsyncs, group_wal, group_snap) = disk("group32", SyncPolicy::EveryN(32));
+    r.row(
+        "disk group-commit(32)",
+        &[
+            ("commits/s", f(COMMITS as f64 / group_secs)),
+            ("fsyncs", group_fsyncs.to_string()),
+            ("wal_replay_ms", f(group_wal)),
+            ("snap_replay_ms", f(group_snap)),
+        ],
+    );
+    let speedup = always_secs / group_secs;
+
+    let kill_root = root.join("kill9");
+    #[cfg(unix)]
+    let (kill9_exact_ok, replayed, recover_ms) = t2k_kill9(&kill_root);
+    #[cfg(not(unix))]
+    let (kill9_exact_ok, replayed, recover_ms) = {
+        let _ = &kill_root;
+        (false, 0u64, 0.0f64)
+    };
+    r.row(
+        "kill -9",
+        &[
+            ("replayed", format!("{replayed}/{T2K_KILL_N}")),
+            ("recover_ms", f(recover_ms)),
+            ("exact", kill9_exact_ok.to_string()),
+        ],
+    );
+
+    let out = format!(
+        "{{\n  \"experiment\": \"t2.k\",\n  \"commits\": {COMMITS},\n  \
+         \"memory_commits_per_s\": {:.0},\n  \"fsync_every_commits_per_s\": {:.0},\n  \
+         \"group_commit_commits_per_s\": {:.0},\n  \"group_commit_speedup\": {speedup:.2},\n  \
+         \"fsync_every_fsyncs\": {always_fsyncs},\n  \"group_commit_fsyncs\": {group_fsyncs},\n  \
+         \"wal_replay_ms\": {group_wal:.2},\n  \"snapshot_recover_ms\": {group_snap:.2},\n  \
+         \"kill9_replayed\": {replayed},\n  \"kill9_recover_ms\": {recover_ms:.1},\n  \
+         \"kill9_exact_ok\": {kill9_exact_ok}\n}}\n",
+        COMMITS as f64 / mem_secs,
+        COMMITS as f64 / always_secs,
+        COMMITS as f64 / group_secs,
+    );
+    std::fs::write("BENCH_durability.json", out).ok();
+    println!(
+        "  [group-commit {speedup:.2}x vs fsync-every, kill -9 exact: {kill9_exact_ok} \
+         -> BENCH_durability.json]"
+    );
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 // ---------------------------------------------------------------- S2.H

@@ -27,6 +27,20 @@ pub enum SaError {
     Platform(String),
     /// The topology wiring is invalid (caught before any thread spawns).
     Topology(TopologyError),
+    /// A storage-backend I/O failure. `transient` failures (EIO, short
+    /// write, injected chaos) are safe to retry; persistent ones are
+    /// not and must escalate.
+    Io {
+        /// Whether retrying the operation may succeed.
+        transient: bool,
+        /// What failed, naming the operation and path.
+        context: String,
+    },
+    /// Durable state failed verification (CRC mismatch, bad frame,
+    /// impossible length). Never retried, never silently repaired
+    /// outside the documented torn-tail case: callers must fail loudly
+    /// rather than serve wrong state.
+    Corrupt(String),
 }
 
 /// Structural problems in a topology declaration, surfaced by
@@ -102,6 +116,27 @@ impl SaError {
     pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
         SaError::InvalidParameter { name, reason: reason.into() }
     }
+
+    /// Shorthand for a retryable storage failure.
+    pub fn io_transient(context: impl Into<String>) -> Self {
+        SaError::Io { transient: true, context: context.into() }
+    }
+
+    /// Shorthand for a non-retryable storage failure.
+    pub fn io_permanent(context: impl Into<String>) -> Self {
+        SaError::Io { transient: false, context: context.into() }
+    }
+
+    /// Shorthand for a corruption error.
+    pub fn corrupt(context: impl Into<String>) -> Self {
+        SaError::Corrupt(context.into())
+    }
+
+    /// Whether retrying the failed operation may succeed (used by the
+    /// commit paths' bounded-backoff retry loops).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SaError::Io { transient: true, .. })
+    }
 }
 
 impl fmt::Display for SaError {
@@ -119,6 +154,11 @@ impl fmt::Display for SaError {
             SaError::Codec(msg) => write!(f, "codec error: {msg}"),
             SaError::Platform(msg) => write!(f, "platform error: {msg}"),
             SaError::Topology(e) => write!(f, "invalid topology: {e}"),
+            SaError::Io { transient, context } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "{kind} storage I/O error: {context}")
+            }
+            SaError::Corrupt(msg) => write!(f, "corrupt durable state: {msg}"),
         }
     }
 }

@@ -138,11 +138,15 @@ impl BoltCore {
         i: usize,
         idx: usize,
         my_id: u32,
-        bolt: TaskBolt,
+        mut bolt: TaskBolt,
         factory: Option<BoltBuilder>,
         ctx: &WorkerCtx,
     ) -> Self {
         let is_chain = matches!(bolt, TaskBolt::Chain(_));
+        if let TaskBolt::Plain(b) = &mut bolt {
+            // Chain stages register in FusedChain::build, per stage.
+            b.register_metrics(&ctx.metrics, &ctx.name);
+        }
         Self {
             idx,
             tracker: RestartTracker::new(ctx.restart.clone()),
@@ -409,7 +413,8 @@ impl BoltCore {
                     TaskBolt::Plain(slot) => {
                         if let Some(build) = self.factory.as_mut() {
                             match build() {
-                                Ok(fresh) => {
+                                Ok(mut fresh) => {
+                                    fresh.register_metrics(&ctx.metrics, &ctx.name);
                                     *slot = fresh;
                                     // Inputs the dead incarnation applied
                                     // but never persisted: fail them so

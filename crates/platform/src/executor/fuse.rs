@@ -84,6 +84,9 @@ struct ChainStage {
 pub(crate) struct FusedChain {
     stages: Vec<ChainStage>,
     sink: Sink,
+    /// Registry handle kept so rebuilt stages can re-register their
+    /// bolt-owned counters (registration is idempotent-sharing).
+    metrics: Metrics,
     /// Whether any stage was holding after the previous event (edge
     /// detection for `ChainOut::release`).
     holding: bool,
@@ -104,19 +107,23 @@ impl FusedChain {
             .iter()
             .zip(tasks)
             .enumerate()
-            .map(|(i, (name, task))| ChainStage {
-                executed: metrics.register(&format!("{name}.executed")),
-                emitted: (i != last).then(|| metrics.register(&format!("{name}.emitted"))),
-                fired: watermarks.then(|| metrics.register(&format!("{name}.fired"))),
-                dropped_late: metrics.register(&format!("{name}.dropped_late")),
-                late_key: format!("{name}.late"),
-                holds: false,
-                bolt: task.bolt,
-                factory: task.factory,
-                name: name.clone(),
+            .map(|(i, (name, task))| {
+                let mut bolt = task.bolt;
+                bolt.register_metrics(metrics, name);
+                ChainStage {
+                    executed: metrics.register(&format!("{name}.executed")),
+                    emitted: (i != last).then(|| metrics.register(&format!("{name}.emitted"))),
+                    fired: watermarks.then(|| metrics.register(&format!("{name}.fired"))),
+                    dropped_late: metrics.register(&format!("{name}.dropped_late")),
+                    late_key: format!("{name}.late"),
+                    holds: false,
+                    bolt,
+                    factory: task.factory,
+                    name: name.clone(),
+                }
             })
             .collect();
-        Self { stages, sink, holding: false }
+        Self { stages, sink, metrics: metrics.clone(), holding: false }
     }
 
     /// Name of the head stage (supervision attribution).
@@ -165,6 +172,7 @@ impl FusedChain {
         for stage in &mut self.stages {
             if let Some(build) = stage.factory.as_mut() {
                 stage.bolt = build()?;
+                stage.bolt.register_metrics(&self.metrics, &stage.name);
                 stage.holds = false;
                 any = true;
             }

@@ -46,6 +46,7 @@ pub mod operator;
 pub mod query;
 pub mod rescale;
 pub mod serving;
+pub mod storage;
 pub mod supervise;
 pub mod time;
 pub mod topology;
@@ -53,7 +54,7 @@ pub mod tuple;
 pub mod window;
 
 pub use channel::LinkStats;
-pub use checkpoint::CheckpointStore;
+pub use checkpoint::{CheckpointStore, DurableConfig};
 pub use executor::{
     run_topology, run_topology_with, ExecutorConfig, ExecutorModel, RunResult, Semantics,
 };
@@ -76,6 +77,9 @@ pub use rescale::{
     KeyGroupBolt, RescaleController, ShardTable, KEY_GROUPS,
 };
 pub use serving::{EpochData, Layer, QueryHandle, QueryResult, ServingView, Staleness, ViewRead};
+pub use storage::{
+    DiskStorage, FaultyStorage, MemStorage, Storage, StorageFaults, StorageStats, SyncPolicy,
+};
 pub use supervise::{panic_message, FaultPlan, RestartDecision, RestartPolicy, RestartTracker};
 pub use time::{TimerService, WatermarkConfig, WatermarkGen, WatermarkMerger};
 pub use topology::{

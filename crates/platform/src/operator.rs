@@ -46,6 +46,8 @@
 use crate::checkpoint::CheckpointStore;
 use crate::frame::Frame;
 use crate::log::{Log, Record};
+use crate::metrics::{CounterHandle, Metrics};
+use crate::supervise::RestartPolicy;
 use crate::topology::{Bolt, OutputCollector, Spout};
 use crate::tuple::{Tuple, Value};
 use sa_core::codec::{ByteReader, ByteWriter};
@@ -78,6 +80,15 @@ pub struct OperatorConfig {
     /// emitted snapshot is exactly the durable checkpoint, so consumers
     /// never observe state a crash could roll back.
     pub emit_on_commit: bool,
+    /// In-place retry of *transient* commit failures (flaky disk, I/O
+    /// fault injection): up to `max_restarts` extra attempts, sleeping
+    /// the policy's capped exponential backoff between them (the
+    /// sliding-window fields are unused here). Retrying in place is what
+    /// prevents a replay storm — without it, every transient fault costs
+    /// a full replay-from-frontier cycle. `None` fails fast (the
+    /// pre-retry behaviour); permanent and corruption errors never
+    /// retry.
+    pub commit_retry: Option<RestartPolicy>,
 }
 
 impl Default for OperatorConfig {
@@ -87,6 +98,7 @@ impl Default for OperatorConfig {
             commit_on_flush: true,
             gc_horizon: Some(65_536),
             emit_on_commit: false,
+            commit_retry: Some(RestartPolicy { max_restarts: 3, ..RestartPolicy::default() }),
         }
     }
 }
@@ -173,9 +185,18 @@ pub struct SynopsisBolt<S, F> {
     last_applied: u64,
     recovered: bool,
     duplicates_skipped: u64,
-    /// Checkpoint writes rejected by the store (injected faults). The
-    /// bolt keeps its pending batch and retries on a later commit.
+    /// Checkpoint writes rejected by the store after the in-place retry
+    /// budget (if any) was spent. The bolt keeps its pending batch and
+    /// retries on a later commit.
     commit_failures: u64,
+    /// Transient commit errors absorbed by in-place retry (each one a
+    /// replay cycle that did *not* happen).
+    commit_retries: u64,
+    /// `{component}.commit_failures` / `{component}.commit_retries`
+    /// counters, wired by [`Bolt::register_metrics`] when the bolt runs
+    /// under an executor (absent when driven standalone).
+    commit_failures_ctr: Option<CounterHandle>,
+    commit_retries_ctr: Option<CounterHandle>,
     /// Commit (snapshot + store write + gc) latency in µs — the bolt
     /// observes its own checkpoint cost with the repo's GK sketch.
     commit_us: GkSketch,
@@ -225,6 +246,9 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
             recovered,
             duplicates_skipped: 0,
             commit_failures: 0,
+            commit_retries: 0,
+            commit_failures_ctr: None,
+            commit_retries_ctr: None,
             commit_us: GkSketch::new(0.005).expect("valid commit-latency epsilon"),
             restore_us,
         })
@@ -263,10 +287,27 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
             return true;
         }
         let commit_start = Instant::now();
-        let value = encode_checkpoint(self.last_applied, &self.summary.snapshot());
-        if self.store.commit_batch(&self.key, &self.pending, value).is_err() {
-            self.commit_failures += 1;
-            return false;
+        let mut attempt: u32 = 0;
+        loop {
+            let value = encode_checkpoint(self.last_applied, &self.summary.snapshot());
+            let Err(e) = self.store.commit_batch(&self.key, &self.pending, value) else { break };
+            let budget = self.cfg.commit_retry.as_ref().map_or(0, |p| p.max_restarts);
+            if !e.is_transient() || attempt >= budget {
+                self.commit_failures += 1;
+                if let Some(c) = &self.commit_failures_ctr {
+                    c.add(1);
+                }
+                return false;
+            }
+            let backoff = self.cfg.commit_retry.as_ref().expect("budget > 0").backoff(attempt);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            attempt += 1;
+            self.commit_retries += 1;
+            if let Some(c) = &self.commit_retries_ctr {
+                c.add(1);
+            }
         }
         self.pending.clear();
         self.pending_set.clear();
@@ -300,6 +341,13 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> SynopsisBolt<S, F> {
     /// Checkpoint writes the store rejected (state kept, retried later).
     pub fn commit_failures(&self) -> u64 {
         self.commit_failures
+    }
+
+    /// Transient commit errors absorbed by in-place retry
+    /// ([`OperatorConfig::commit_retry`]) — faults that did *not*
+    /// surface as a failed commit or a replay.
+    pub fn commit_retries(&self) -> u64 {
+        self.commit_retries
     }
 
     /// Commit-latency quantiles `(p50, p90, p99)` in µs across the
@@ -430,6 +478,11 @@ impl<S: Synopsis + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt for SynopsisBolt<
             }
         }
     }
+
+    fn register_metrics(&mut self, metrics: &Metrics, component: &str) {
+        self.commit_failures_ctr = Some(metrics.register(&format!("{component}.commit_failures")));
+        self.commit_retries_ctr = Some(metrics.register(&format!("{component}.commit_retries")));
+    }
 }
 
 /// The global-view aggregator: collects the latest
@@ -502,6 +555,9 @@ struct FrontierCheckpoint {
     key: String,
     every: u64,
     settles: u64,
+    /// Frontier puts the store rejected (flaky durable backend). Each
+    /// one only defers the advance to the next cadence hit.
+    put_failures: u64,
 }
 
 /// A reliable spout over one [`Log`] partition. Record ids are stable
@@ -565,8 +621,16 @@ impl<F: FnMut(&Record) -> Tuple + Send> LogSpout<F> {
             key: key.to_string(),
             every: every.max(1),
             settles: 0,
+            put_failures: 0,
         });
         self
+    }
+
+    /// Frontier persists the store rejected (flaky durable backend) —
+    /// each one deferred the advance to the next cadence, it never
+    /// loses settled state.
+    pub fn frontier_put_failures(&self) -> u64 {
+        self.frontier.as_ref().map_or(0, |fc| fc.put_failures)
     }
 
     /// The oldest offset not yet settled (== `next_offset` when nothing
@@ -586,7 +650,13 @@ impl<F: FnMut(&Record) -> Tuple + Send> LogSpout<F> {
         if let Some(fc) = self.frontier.as_mut() {
             fc.settles += 1;
             if fc.settles % fc.every == 0 {
-                fc.store.put(&fc.key, encode_checkpoint(frontier, &[]));
+                // The frontier is pure optimization: a rejected put only
+                // means a deeper replay after the next crash, so a flaky
+                // durable store must not panic the spout — the next
+                // cadence hit retries with a fresher frontier.
+                if fc.store.try_put(&fc.key, encode_checkpoint(frontier, &[])).is_err() {
+                    fc.put_failures += 1;
+                }
             }
         }
     }

@@ -35,8 +35,10 @@
 //! [`FaultPlan::arm_store`]), all seeded and deterministic.
 
 use crate::checkpoint::CheckpointStore;
+use crate::storage::{FaultyStorage, Storage, StorageFaults};
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Per-component restart policy: a deterministic exponential backoff
@@ -192,6 +194,9 @@ pub struct FaultPlan {
     /// Probability that a `CheckpointStore::commit_batch` call fails
     /// (applied via [`FaultPlan::arm_store`]).
     commit_fail_prob: f64,
+    /// Storage-level I/O faults (torn appends, bit flips, transient
+    /// errors, latency), applied via [`FaultPlan::wrap_storage`].
+    storage_faults: Option<StorageFaults>,
 }
 
 impl FaultPlan {
@@ -206,6 +211,7 @@ impl FaultPlan {
             && self.link_drop.is_empty()
             && self.link_delay.is_empty()
             && self.commit_fail_prob == 0.0
+            && self.storage_faults.is_none()
     }
 
     /// Builder: panic probability per unit of work for `component`
@@ -239,6 +245,31 @@ impl FaultPlan {
     /// Install the plan's checkpoint-write faults on `store`.
     pub fn arm_store(&self, store: &CheckpointStore) {
         store.inject_commit_failures(self.commit_fail_prob, self.seed ^ 0xC0117);
+    }
+
+    /// Builder: storage-level I/O faults ([`StorageFaults`]), taking
+    /// effect via [`FaultPlan::wrap_storage`]. The fault set's own seed
+    /// is overridden by the plan's seed, so one knob governs every
+    /// injected decision.
+    pub fn storage(mut self, faults: StorageFaults) -> Self {
+        self.storage_faults = Some(StorageFaults { seed: self.seed, ..faults });
+        self
+    }
+
+    /// The plan's storage-fault set, when declared.
+    pub fn storage_faults(&self) -> Option<&StorageFaults> {
+        self.storage_faults.as_ref()
+    }
+
+    /// Wrap `storage` in a [`FaultyStorage`] chaos proxy when the plan
+    /// declares storage faults; otherwise pass it through untouched.
+    /// Durable stores built over the returned handle see the plan's
+    /// torn appends, bit flips, transient errors, and latency spikes.
+    pub fn wrap_storage(&self, storage: Arc<dyn Storage>) -> Arc<dyn Storage> {
+        match &self.storage_faults {
+            Some(f) => Arc::new(FaultyStorage::new(storage, f.clone())),
+            None => storage,
+        }
     }
 
     fn lookup<'a, T>(table: &'a [(String, T)], component: &str) -> Option<&'a T> {

@@ -265,6 +265,13 @@ pub trait Bolt: Send {
     /// releases all held inputs, `fail` fails every row's root.
     /// Emissions anchor to the frame's last anchored row.
     fn execute_frame(&mut self, _frame: &crate::frame::Frame, _out: &mut OutputCollector) {}
+
+    /// Hook for bolt-owned counters: called with the worker's metrics
+    /// registry and the component name when the task is spawned, and
+    /// again after every supervised rebuild. Same-name registrations
+    /// share cells, so parallel tasks aggregate into one counter.
+    /// Default: no bolt-owned metrics.
+    fn register_metrics(&mut self, _metrics: &crate::metrics::Metrics, _component: &str) {}
 }
 
 /// Blanket impl so closures can be used as stateless bolts.

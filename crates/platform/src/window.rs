@@ -32,6 +32,7 @@
 //! log replay reproduces the exact window results of an uncrashed run.
 
 use crate::checkpoint::CheckpointStore;
+use crate::metrics::{CounterHandle, Metrics};
 use crate::operator::OperatorConfig;
 use crate::topology::{Bolt, OutputCollector};
 use crate::tuple::{Tuple, Value};
@@ -141,6 +142,13 @@ pub struct WindowBolt<S, F> {
     merge_errors: u64,
     /// Checkpoint writes rejected by the store (state kept, retried).
     commit_failures: u64,
+    /// Transient commit errors absorbed by in-place retry
+    /// ([`OperatorConfig::commit_retry`]).
+    commit_retries: u64,
+    /// `{component}.commit_failures` / `{component}.commit_retries`,
+    /// wired by [`Bolt::register_metrics`] under an executor.
+    commit_failures_ctr: Option<CounterHandle>,
+    commit_retries_ctr: Option<CounterHandle>,
 }
 
 impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> WindowBolt<S, F> {
@@ -171,6 +179,9 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Window
             duplicates_skipped: 0,
             merge_errors: 0,
             commit_failures: 0,
+            commit_retries: 0,
+            commit_failures_ctr: None,
+            commit_retries_ctr: None,
         };
         if let Some((_, value)) = store.get(key) {
             let (applied, payload) = crate::operator::decode_checkpoint(&value)?;
@@ -371,10 +382,27 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Window
         if self.pending.is_empty() {
             return true;
         }
-        let value = crate::operator::encode_checkpoint(self.last_applied, &self.encode_state());
-        if self.store.commit_batch(&self.key, &self.pending, value).is_err() {
-            self.commit_failures += 1;
-            return false;
+        let mut attempt: u32 = 0;
+        loop {
+            let value = crate::operator::encode_checkpoint(self.last_applied, &self.encode_state());
+            let Err(e) = self.store.commit_batch(&self.key, &self.pending, value) else { break };
+            let retry = self.cfg.checkpoint.commit_retry.as_ref();
+            if !e.is_transient() || attempt >= retry.map_or(0, |p| p.max_restarts) {
+                self.commit_failures += 1;
+                if let Some(c) = &self.commit_failures_ctr {
+                    c.add(1);
+                }
+                return false;
+            }
+            let backoff = retry.expect("budget > 0").backoff(attempt);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            attempt += 1;
+            self.commit_retries += 1;
+            if let Some(c) = &self.commit_retries_ctr {
+                c.add(1);
+            }
         }
         self.pending.clear();
         self.pending_set.clear();
@@ -412,6 +440,11 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Window
     /// Checkpoint writes the store rejected (state retained each time).
     pub fn commit_failures(&self) -> u64 {
         self.commit_failures
+    }
+
+    /// Transient commit errors absorbed by in-place retry.
+    pub fn commit_retries(&self) -> u64 {
+        self.commit_retries
     }
 }
 
@@ -549,6 +582,11 @@ impl<S: Synopsis + Merge + Clone + Send, F: FnMut(&Tuple, &mut S) + Send> Bolt
         if !self.pending.is_empty() && self.commit() {
             out.release_acks();
         }
+    }
+
+    fn register_metrics(&mut self, metrics: &Metrics, component: &str) {
+        self.commit_failures_ctr = Some(metrics.register(&format!("{component}.commit_failures")));
+        self.commit_retries_ctr = Some(metrics.register(&format!("{component}.commit_retries")));
     }
 }
 

@@ -68,13 +68,15 @@ pub mod prelude {
         run_topology, run_topology_with, session, sliding, task_of_group, tumbling, tuple_of,
         vec_spout, AutoPolicy, AutoTick, Autoscaler, Batch, Bolt, BoltBuilder, BoltFactory,
         BoltHandle, CheckpointStore, CompiledQuery, Consumer, ContinuousQuery, CounterHandle,
-        EpochData, ExecutorConfig, ExecutorModel, FaultPlan, GaugeHandle, Grouping,
-        HistogramSummary, IntoBoltFactory, KeyGroupBolt, Layer, LinkSnapshot, LinkStats, Log,
-        LogSpout, MergeBolt, Metrics, MetricsSnapshot, OperatorConfig, OutputCollector,
-        Parallelism, Query, QueryHandle, QueryResult, Record, RescaleController, RestartDecision,
-        RestartPolicy, RestartTracker, RunResult, SchedCounters, Scheduling, Semantics,
-        ServingView, ShardTable, Spout, SpoutHandle, Staleness, SynopsisBolt, TimerService,
-        TopologyBuilder, Tuple, Value, VecSpout, ViewEntry, ViewHandle, ViewRead, WatermarkConfig,
-        WatermarkGen, WatermarkMerger, WindowBolt, WindowConfig, WindowSpec, KEY_GROUPS,
+        DiskStorage, DurableConfig, EpochData, ExecutorConfig, ExecutorModel, FaultPlan,
+        FaultyStorage, GaugeHandle, Grouping, HistogramSummary, IntoBoltFactory, KeyGroupBolt,
+        Layer, LinkSnapshot, LinkStats, Log, LogSpout, MemStorage, MergeBolt, Metrics,
+        MetricsSnapshot, OperatorConfig, OutputCollector, Parallelism, Query, QueryHandle,
+        QueryResult, Record, RescaleController, RestartDecision, RestartPolicy, RestartTracker,
+        RunResult, SchedCounters, Scheduling, Semantics, ServingView, ShardTable, Spout,
+        SpoutHandle, Staleness, Storage, StorageFaults, StorageStats, SyncPolicy, SynopsisBolt,
+        TimerService, TopologyBuilder, Tuple, Value, VecSpout, ViewEntry, ViewHandle, ViewRead,
+        WatermarkConfig, WatermarkGen, WatermarkMerger, WindowBolt, WindowConfig, WindowSpec,
+        KEY_GROUPS,
     };
 }

@@ -172,6 +172,62 @@ fn wordcount_crash_case(scheduling: Scheduling, semantics: Semantics) {
     }
 }
 
+/// The same crash/recover/dedup story, but durable: the log and the
+/// checkpoints both live on a real filesystem ([`DiskStorage`] in a
+/// scratch dir), the "crash" discards every in-memory handle, and
+/// recovery must come entirely from the WAL segments and snapshots on
+/// disk — under both schedulers.
+#[test]
+fn wordcount_survives_crash_on_disk_storage() {
+    for (cell, scheduling) in schedulings().into_iter().enumerate() {
+        let root = std::env::temp_dir()
+            .join(format!("sa-recovery-disk-{}-cell{cell}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let storage: Arc<dyn Storage> = Arc::new(DiskStorage::new(&root).unwrap());
+        let open_log = || Log::durable(storage.clone(), "log", 1, SyncPolicy::EveryN(64), 1 << 20);
+        let open_store =
+            || CheckpointStore::durable(storage.clone(), "ckpt", DurableConfig::default());
+
+        let truth = {
+            let log = open_log().unwrap();
+            let truth = fill_log(&log, 2_000, 42);
+            let store = open_store().unwrap();
+            let kill = Arc::new(AtomicBool::new(false));
+            let plan: KillPlan = Some((Arc::new(AtomicU64::new(0)), 1_000, kill.clone()));
+            let crashed = run_topology(
+                wordcount_topology(&log, &store, 0, plan),
+                config(Semantics::AtLeastOnce, Some(kill), scheduling),
+            )
+            .unwrap();
+            assert!(!crashed.clean_shutdown, "{scheduling:?}: kill switch must mark unclean");
+            truth
+            // Every handle drops here: nothing in memory survives.
+        };
+
+        // Recovery: reopen log and store purely from the files on disk.
+        let log = open_log().unwrap();
+        assert_eq!(log.end_offset(0), 2_000, "durable log must replay every record");
+        let store = open_store().unwrap();
+        let keys: Vec<String> = (0..WC_TASKS).map(|t| format!("wc/{t}")).collect();
+        let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let offset = replay_offset(&store, &key_refs);
+        assert!(offset > 0, "{scheduling:?}: crash landed before the first checkpoint");
+        assert!(offset < log.end_offset(0), "{scheduling:?}: crash after full stream");
+        let recovered = run_topology(
+            wordcount_topology(&log, &store, offset, None),
+            config(Semantics::AtLeastOnce, None, scheduling),
+        )
+        .unwrap();
+        assert!(recovered.clean_shutdown);
+        assert_eq!(
+            merged_counts(&recovered.outputs),
+            truth,
+            "{scheduling:?}: disk-recovered counts differ from ground truth"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
 /// A skewed word stream with event-time stamps in `[0, 1000)` appended
 /// via [`Log::append_at`]; returns exact per-(word, tumbling-window)
 /// counts.
